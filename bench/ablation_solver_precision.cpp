@@ -1,0 +1,47 @@
+//===- bench/ablation_solver_precision.cpp - Solver precision ablation -----------===//
+//
+// Ablation of the paper's §4.3 limitation: their constraint solver
+// supported only 56-bit integers, which forced curation of paths whose
+// inputs need larger literals (e.g. SmallInteger overflow boundaries).
+// This sweep re-explores the arithmetic byte-codes under decreasing
+// solver precision and reports how many paths survive.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concolic/ConcolicExplorer.h"
+#include "support/TablePrinter.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+
+using namespace igdt;
+
+int main() {
+  const char *Instructions[] = {"bytecodePrim_add", "bytecodePrim_sub",
+                                "bytecodePrim_mul", "primitiveAdd",
+                                "primitiveMultiply", "primitiveBitShift"};
+  const int Precisions[] = {61, 56, 32};
+
+  TablePrinter T({"Instruction", "bits=61 paths", "bits=56 paths",
+                  "bits=32 paths"});
+  VMConfig VM;
+  for (const char *Name : Instructions) {
+    const InstructionSpec *Spec = findInstruction(Name);
+    std::vector<std::string> Row = {Name};
+    for (int Bits : Precisions) {
+      ExplorerOptions Opts;
+      Opts.Solver.IntegerBits = Bits;
+      ConcolicExplorer Explorer(VM, Opts);
+      ExplorationResult R = Explorer.explore(*Spec);
+      Row.push_back(formatString("%zu (unknown negations: %u)",
+                                 R.Paths.size(), R.UnknownNegations));
+    }
+    T.addRow(Row);
+  }
+  std::printf("Ablation: solver integer precision vs discovered paths\n%s\n",
+              T.render().c_str());
+  std::printf("Expectation: at 56/32 bits the overflow paths become "
+              "unreachable (unknown negations grow), reproducing the "
+              "paper's curation of solver-limited paths.\n");
+  return 0;
+}

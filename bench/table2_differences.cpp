@@ -1,0 +1,25 @@
+//===- bench/table2_differences.cpp - Paper Table 2 ------------------------------===//
+//
+// Regenerates Table 2 of the paper: for each of the four compilers, the
+// number of tested instructions, interpreter paths found by concolic
+// exploration, curated paths, and paths whose behaviour differs between
+// interpreter and compiled code (tested on both back-ends).
+//
+//===----------------------------------------------------------------------===//
+
+#include "evalkit/Experiments.h"
+
+#include <cstdio>
+
+using namespace igdt;
+
+int main() {
+  EvaluationHarness Harness;
+  std::vector<CompilerEvaluation> Rows = Harness.evaluateAllCompilers();
+  std::printf("%s\n", Harness.renderTable2(Rows).c_str());
+  std::printf("Shape targets (paper): native methods dominate the "
+              "differences (~29%% of curated paths);\nSimple > "
+              "Stack-to-Register = Linear-Scan; byte-code compiler "
+              "differences stay in low percent.\n");
+  return 0;
+}

@@ -1,0 +1,80 @@
+//===- examples/quickstart.cpp - IGDT in five minutes ----------------------------===//
+//
+// The smallest end-to-end tour of the library:
+//
+//   1. pick a VM instruction (the integer-addition byte-code of the
+//      paper's Listing 1);
+//   2. concolically explore the interpreter to enumerate its execution
+//      paths (paper Table 1);
+//   3. replay every path against a JIT compiler and report agreement.
+//
+// Build & run:   ./build/examples/quickstart
+//
+//===----------------------------------------------------------------------===//
+
+#include "differential/DifferentialTester.h"
+#include "evalkit/TestExport.h"
+#include "solver/TermPrinter.h"
+
+#include <cstdio>
+
+using namespace igdt;
+
+int main() {
+  // --- 1. the instruction under test -----------------------------------
+  const InstructionSpec *Add = findInstruction("bytecodePrim_add");
+  std::printf("Instruction under test: %s (family %s)\n\n", Add->Name.c_str(),
+              Add->Family.c_str());
+
+  // --- 2. concolic exploration of the interpreter ----------------------
+  VMConfig VM;
+  ConcolicExplorer Explorer(VM);
+  ExplorationResult Paths = Explorer.explore(*Add);
+
+  std::printf("Concolic exploration found %zu paths in %u executions "
+              "(%llu solver queries):\n\n",
+              Paths.Paths.size(), Paths.Iterations,
+              (unsigned long long)Paths.Solver.Queries);
+  for (std::size_t I = 0; I < Paths.Paths.size(); ++I) {
+    const PathSolution &P = Paths.Paths[I];
+    std::printf("path %zu: exit=%s, input stack:", I, exitKindName(P.Exit));
+    if (P.Input.Stack.empty())
+      std::printf(" (empty)");
+    for (const ConcolicValue &V : P.Input.Stack)
+      std::printf(" %s", Paths.Memory->describe(V.C).c_str());
+    std::printf("\n");
+    for (const BoolTerm *C : P.Constraints)
+      std::printf("    %s\n", printBoolTerm(C).c_str());
+  }
+
+  // --- 3. differential replay against the production compiler ----------
+  DiffTestConfig Cfg;
+  Cfg.Kind = CompilerKind::StackToRegister;
+  DifferentialTester Tester(Cfg);
+
+  std::printf("\nReplaying against %s on %s:\n",
+              compilerKindName(Cfg.Kind), Tester.desc().Name);
+  unsigned Matches = 0;
+  unsigned Diffs = 0;
+  for (std::size_t I = 0; I < Paths.Paths.size(); ++I) {
+    PathTestOutcome O = Tester.testPath(Paths, I);
+    std::printf("  path %zu: %-16s", I, pathTestStatusName(O.Status));
+    if (O.Status == PathTestStatus::Difference) {
+      ++Diffs;
+      std::printf(" [%s] %s", defectFamilyName(O.Family),
+                  O.Details.c_str());
+    } else if (O.Status == PathTestStatus::Match) {
+      ++Matches;
+    }
+    std::printf("\n");
+  }
+  std::printf("\n%u paths match, %u differ.\n", Matches, Diffs);
+  std::printf("(The float-addition paths differ: the interpreter inlines "
+              "float arithmetic,\nthe compiler sends — the paper's "
+              "'optimisation difference' family.)\n");
+
+  // --- 4. exporting one path as a standalone test -----------------------
+  std::printf("\nOne generated test, exported:\n\n%s",
+              renderPathAsTest(Paths, 1).c_str());
+  return 0;
+}

@@ -1,0 +1,101 @@
+//===- concolic/ConcolicExplorer.h - Interpreter path exploration ------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concolic exploration loop of the paper (§2.3, Figure 2): execute
+/// the instruction on concrete inputs while recording symbolic path
+/// conditions, then repeatedly negate the last not-already-negated
+/// condition, solve, and re-execute with the new model — until every
+/// reachable path has been visited.
+///
+/// Unlike classic concolic testing, exploration does *not* stop at
+/// concrete errors: every exit condition (success, failure, message send,
+/// method return, invalid frame, invalid memory access) is a first-class
+/// outcome attached to its path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_CONCOLIC_CONCOLICEXPLORER_H
+#define IGDT_CONCOLIC_CONCOLICEXPLORER_H
+
+#include "concolic/PathSolution.h"
+#include "solver/Solver.h"
+#include "vm/InstructionCatalog.h"
+#include "vm/ObjectMemory.h"
+#include "vm/VMConfig.h"
+
+#include <memory>
+
+namespace igdt {
+
+/// Exploration tunables.
+struct ExplorerOptions {
+  /// Maximum distinct paths retained per instruction.
+  unsigned MaxPaths = 160;
+  /// Maximum concolic executions per instruction.
+  unsigned MaxIterations = 600;
+  /// Operand-stack depth the differential harness supports; deeper paths
+  /// are curated out (paper §5.2).
+  std::int64_t MaxReplayStackDepth = 8;
+  SolverOptions Solver;
+};
+
+/// Everything produced by exploring one instruction. Owns the term arena,
+/// heap and method the path solutions reference.
+struct ExplorationResult {
+  const InstructionSpec *Spec = nullptr;
+  /// Synthetic spec for sequence explorations (Spec points into it).
+  std::unique_ptr<InstructionSpec> OwnedSpec;
+  /// True when the whole method was executed as one fragment (the
+  /// sequence-testing extension) rather than a single instruction.
+  bool IsSequence = false;
+  std::unique_ptr<CompiledMethod> Method;
+  std::unique_ptr<TermBuilder> Builder;
+  std::unique_ptr<ObjectMemory> Memory;
+  std::vector<PathSolution> Paths;
+
+  unsigned Iterations = 0;
+  unsigned UnknownNegations = 0; // solver gave up on a negated prefix
+  unsigned UnsatNegations = 0;
+  SolverStats Solver;
+
+  /// Paths the differential harness can replay.
+  unsigned curatedCount() const {
+    unsigned N = 0;
+    for (const PathSolution &P : Paths)
+      N += P.Curated ? 1 : 0;
+    return N;
+  }
+};
+
+/// Drives concolic exploration of catalog instructions.
+class ConcolicExplorer {
+public:
+  ConcolicExplorer(const VMConfig &Config,
+                   ExplorerOptions Options = ExplorerOptions())
+      : Cfg(Config), Opts(Options) {}
+
+  /// Explores every execution path of \p Spec.
+  ExplorationResult explore(const InstructionSpec &Spec);
+
+  /// Explores a whole byte-code *sequence* (the paper's future-work
+  /// extension): \p Method runs as one fragment from PC 0 until it falls
+  /// off the end or leaves through a non-Success exit.
+  ExplorationResult exploreMethod(const CompiledMethod &Method,
+                                  const std::string &Name);
+
+  const ExplorerOptions &options() const { return Opts; }
+
+private:
+  ExplorationResult run(ExplorationResult Seed);
+
+  const VMConfig &Cfg;
+  ExplorerOptions Opts;
+};
+
+} // namespace igdt
+
+#endif // IGDT_CONCOLIC_CONCOLICEXPLORER_H

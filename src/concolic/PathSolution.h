@@ -1,0 +1,68 @@
+//===- concolic/PathSolution.h - One explored execution path -----------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The result of exploring one interpreter execution path: the recorded
+/// path condition, the input model (concrete values that reach the path),
+/// snapshots of the abstract input and output frames, the exit condition
+/// and the side effects — everything Figure 2 of the paper attaches to a
+/// concolic execution column.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_CONCOLIC_PATHSOLUTION_H
+#define IGDT_CONCOLIC_PATHSOLUTION_H
+
+#include "solver/Model.h"
+#include "symbolic/ConcolicValue.h"
+#include "symbolic/Effects.h"
+#include "symbolic/PathRecorder.h"
+#include "vm/ExitCondition.h"
+
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// Copy of a concolic frame at a point in time (input or output).
+struct FrameSnapshot {
+  ConcolicValue Receiver;
+  std::vector<ConcolicValue> Locals;
+  std::vector<ConcolicValue> Stack;
+  std::uint32_t PC = 0;
+};
+
+/// One fully-described interpreter execution path.
+struct PathSolution {
+  /// Path condition as a conjunction (polarity applied).
+  std::vector<const BoolTerm *> Constraints;
+  /// Raw recorded entries (for negation bookkeeping and display).
+  std::vector<PathEntry> Entries;
+
+  ExitKind Exit = ExitKind::Success;
+  SelectorId Selector = 0;
+  std::uint8_t SendNumArgs = 0;
+  ConcolicValue Result; // MethodReturn value / primitive result
+
+  /// Solver model that drives this path (input constraints, solved).
+  Model InputModel;
+
+  FrameSnapshot Input;
+  FrameSnapshot Output;
+
+  std::vector<SlotStoreEffect> SlotStores;
+  std::vector<ByteStoreEffect> ByteStores;
+  std::vector<AllocationRecord> Allocations;
+
+  /// False when the prototype harness cannot replay this path
+  /// (paper §5.2: "curated paths").
+  bool Curated = true;
+  std::string CurationNote;
+};
+
+} // namespace igdt
+
+#endif // IGDT_CONCOLIC_PATHSOLUTION_H

@@ -1,0 +1,134 @@
+//===- concolic/SequenceCatalog.cpp - Byte-code sequences under test ------------===//
+
+#include "concolic/SequenceCatalog.h"
+
+#include "vm/MethodBuilder.h"
+#include "vm/SelectorTable.h"
+
+using namespace igdt;
+
+namespace {
+
+std::vector<SequenceSpec> buildSequences() {
+  std::vector<SequenceSpec> Out;
+  auto Add = [&](const char *Name, const char *Description,
+                 CompiledMethod Method) {
+    Method.Name = Name;
+    Out.push_back({Name, Description, std::move(Method)});
+  };
+
+  {
+    MethodBuilder B("m");
+    B.numTemps(1);
+    std::uint8_t Lit = B.addLiteral(smallIntOop(5));
+    B.pushLocal(0).pushLiteral(Lit).arith(ArithOp::Add).returnTop();
+    Add("seq_local_plus_literal_return",
+        "pushLocal + pushLiteral + add + returnTop: the parse-time stack "
+        "carries a frame value and a constant into the inlined add",
+        B.build());
+  }
+  {
+    MethodBuilder B("m");
+    B.dup().arith(ArithOp::Mul);
+    Add("seq_dup_square",
+        "dup + mul: squaring through a duplicated parse-time entry",
+        B.build());
+  }
+  {
+    MethodBuilder B("m");
+    B.numTemps(1);
+    B.storeLocal(0).pushLocal(0).pushLocal(0).arith(ArithOp::Add);
+    Add("seq_store_reload_add",
+        "storeLocal + two pushLocal + add: store-to-load forwarding "
+        "through the frame",
+        B.build());
+  }
+  {
+    MethodBuilder B("m");
+    B.pushConstant(4).pushConstant(5).arith(ArithOp::Add).returnTop();
+    Add("seq_constant_add",
+        "two constant pushes feeding add: all operands are parse-time "
+        "constants (no memory traffic in the optimising compilers)",
+        B.build());
+  }
+  {
+    // jumpFalse over a pop: a small diamond with a merge point whose two
+    // sides reach it with different stack depths (legal for the dynamic
+    // in-memory stack the compilers flush to).
+    MethodBuilder B("m");
+    B.jumpFalse(1); // over the pop
+    B.pop();
+    B.returnNil();
+    Add("seq_diamond_pop",
+        "jumpFalse over a pop with a control-flow merge before returnNil:"
+        " the parse-time stack must be flushed at the merge",
+        B.build());
+  }
+  {
+    MethodBuilder B("m");
+    B.arith(ArithOp::Less).jumpFalse(1);
+    B.returnTrue();
+    B.returnFalse();
+    Add("seq_compare_branch",
+        "compare + conditional branch + two returns: the boolean flows "
+        "from the inlined comparison into the branch",
+        B.build());
+  }
+  {
+    MethodBuilder B("m");
+    B.pushReceiver().identityEquals().jumpTrue(1);
+    B.returnNil();
+    B.returnReceiver();
+    Add("seq_identity_branch",
+        "identity test against the receiver feeding a branch", B.build());
+  }
+  {
+    MethodBuilder B("m");
+    B.numTemps(2);
+    B.pushLocal(0)
+        .pushLocal(1)
+        .arith(ArithOp::Mul)
+        .storeLocal(0)
+        .pushLocal(0);
+    Add("seq_mul_store_reload",
+        "multiply two locals, store, reload: mixes inlined arithmetic "
+        "with frame traffic",
+        B.build());
+  }
+  {
+    MethodBuilder B("m");
+    std::uint8_t Sel = B.addLiteral(smallIntOop(SelectorAt));
+    B.dup().send(Sel, 1);
+    Add("seq_dup_send",
+        "dup + send: the parse-time stack must be flushed for the "
+        "trampoline with the duplicated value intact",
+        B.build());
+  }
+  {
+    MethodBuilder B("m");
+    B.pushConstant(3) // 0
+        .arith(ArithOp::BitAnd)
+        .pushConstant(4) // 1
+        .arith(ArithOp::BitOr)
+        .returnTop();
+    Add("seq_bitops_chain",
+        "bitAnd with 0 then bitOr with 1, returning the result: chains "
+        "two inlined bit operations",
+        B.build());
+  }
+  return Out;
+}
+
+} // namespace
+
+const std::vector<SequenceSpec> &igdt::allSequences() {
+  static const std::vector<SequenceSpec> Catalog = buildSequences();
+  return Catalog;
+}
+
+const SequenceSpec *igdt::findSequence(const std::string &Name) {
+  for (const SequenceSpec &S : allSequences())
+    if (S.Name == Name)
+      return &S;
+  return nullptr;
+}

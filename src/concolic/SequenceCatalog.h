@@ -1,0 +1,43 @@
+//===- concolic/SequenceCatalog.h - Byte-code sequences under test -------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A catalog of byte-code *sequences* for the sequence-testing extension
+/// (the paper's stated future work: "generate minimal and relevant
+/// byte-code sequences for unit testing the JIT compiler"). Sequences
+/// exercise exactly what single-instruction tests cannot: the parse-time
+/// stack carrying values across instructions, constant folding through
+/// pushes, flushes at control-flow merge points, and register reuse
+/// across byte-codes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_CONCOLIC_SEQUENCECATALOG_H
+#define IGDT_CONCOLIC_SEQUENCECATALOG_H
+
+#include "vm/CompiledMethod.h"
+
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// One byte-code sequence under test.
+struct SequenceSpec {
+  std::string Name;
+  std::string Description;
+  CompiledMethod Method;
+};
+
+/// Returns the built-in sequences.
+const std::vector<SequenceSpec> &allSequences();
+
+/// Finds a sequence by name; nullptr when absent.
+const SequenceSpec *findSequence(const std::string &Name);
+
+} // namespace igdt
+
+#endif // IGDT_CONCOLIC_SEQUENCECATALOG_H

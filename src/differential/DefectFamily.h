@@ -1,0 +1,49 @@
+//===- differential/DefectFamily.h - Defect taxonomy ---------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The six defect families of the paper's Table 3 (§5.3). The classifier
+/// attributes every interpreter/compiler difference to one family from
+/// the exit-condition pattern and the evidence in the recorded path.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_DIFFERENTIAL_DEFECTFAMILY_H
+#define IGDT_DIFFERENTIAL_DEFECTFAMILY_H
+
+#include <cstdint>
+
+namespace igdt {
+
+/// Root-cause families (paper Table 3).
+enum class DefectFamily : std::uint8_t {
+  /// The interpreter executes a path on wrong conditions that the
+  /// compiled code rejects (e.g. primitiveAsFloat's compiled-out assert).
+  MissingInterpreterTypeCheck,
+  /// Compiled code executes on wrong conditions that the interpreter
+  /// rejects — typically ending in a segmentation fault.
+  MissingCompiledTypeCheck,
+  /// Both are correct, but one engine optimises a path the other sends
+  /// (e.g. float arithmetic inlined by the interpreter only).
+  OptimisationDifference,
+  /// Observable behaviour differs while both "work" (e.g. bit-wise
+  /// operations on negative operands).
+  BehaviouralDifference,
+  /// A feature the interpreter supports was never implemented in the
+  /// compiler (fails with not-yet-implemented at run time).
+  MissingFunctionality,
+  /// A defect of the testing/simulation environment itself (missing
+  /// reflective register accessors in fault recovery).
+  SimulationError,
+};
+
+inline constexpr unsigned NumDefectFamilies = 6;
+
+const char *defectFamilyName(DefectFamily Family);
+
+} // namespace igdt
+
+#endif // IGDT_DIFFERENTIAL_DEFECTFAMILY_H

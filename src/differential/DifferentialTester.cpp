@@ -1,0 +1,469 @@
+//===- differential/DifferentialTester.cpp - Interpreter vs JIT oracle ---------===//
+
+#include "differential/DifferentialTester.h"
+
+#include "differential/OutputEvaluator.h"
+#include "jit/BytecodeCogit.h"
+#include "jit/NativeMethodCogit.h"
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+#include "symbolic/FrameMaterializer.h"
+#include "vm/Bytecodes.h"
+
+using namespace igdt;
+
+const char *igdt::defectFamilyName(DefectFamily Family) {
+  switch (Family) {
+  case DefectFamily::MissingInterpreterTypeCheck:
+    return "Missing interpreter type check";
+  case DefectFamily::MissingCompiledTypeCheck:
+    return "Missing compiled type check";
+  case DefectFamily::OptimisationDifference:
+    return "Optimisation difference";
+  case DefectFamily::BehaviouralDifference:
+    return "Behavioural difference";
+  case DefectFamily::MissingFunctionality:
+    return "Missing Functionality";
+  case DefectFamily::SimulationError:
+    return "Simulation Error";
+  }
+  igdt_unreachable("unknown defect family");
+}
+
+const char *igdt::pathTestStatusName(PathTestStatus Status) {
+  switch (Status) {
+  case PathTestStatus::Match:
+    return "match";
+  case PathTestStatus::Difference:
+    return "difference";
+  case PathTestStatus::ExpectedFailure:
+    return "expected-failure";
+  case PathTestStatus::NotReplayable:
+    return "not-replayable";
+  }
+  igdt_unreachable("unknown path test status");
+}
+
+namespace {
+
+bool intTermUsesUnchecked(const IntTerm *T);
+
+bool floatTermUsesUnchecked(const FloatTerm *T) {
+  if (!T)
+    return false;
+  if (T->TermKind == FloatTerm::Kind::UncheckedValueOf)
+    return true;
+  return floatTermUsesUnchecked(T->Lhs) || floatTermUsesUnchecked(T->Rhs) ||
+         intTermUsesUnchecked(T->IntOperand);
+}
+
+bool intTermUsesUnchecked(const IntTerm *T) {
+  if (!T)
+    return false;
+  if (T->TermKind == IntTerm::Kind::UncheckedValueOf)
+    return true;
+  return intTermUsesUnchecked(T->Lhs) || intTermUsesUnchecked(T->Rhs) ||
+         floatTermUsesUnchecked(T->FloatOperand);
+}
+
+bool objTermUsesUnchecked(const ObjTerm *T) {
+  if (!T)
+    return false;
+  switch (T->TermKind) {
+  case ObjTerm::Kind::IntObj:
+    return intTermUsesUnchecked(T->IntPayload);
+  case ObjTerm::Kind::FloatObj:
+    return floatTermUsesUnchecked(T->FloatPayload);
+  default:
+    return false;
+  }
+}
+
+/// True when the interpreter path computed through a blind untag: the
+/// signature of a missing *interpreter* type check.
+bool pathUsesUncheckedData(const PathSolution &P) {
+  if (objTermUsesUnchecked(P.Result.S))
+    return true;
+  for (const ConcolicValue &V : P.Output.Stack)
+    if (objTermUsesUnchecked(V.S))
+      return true;
+  return false;
+}
+
+DefectFamily classifyDifference(ExitKind InterpExit, const MachineExit &ME,
+                                const PathSolution &P) {
+  if (ME.Kind == MachExitKind::SimulationError)
+    return DefectFamily::SimulationError;
+  if (ME.Kind == MachExitKind::Segfault ||
+      ME.Kind == MachExitKind::DivideFault ||
+      ME.Kind == MachExitKind::FuelExhausted)
+    return DefectFamily::MissingCompiledTypeCheck;
+  if (ME.Kind == MachExitKind::Breakpoint &&
+      ME.Marker == MarkerNotImplemented)
+    return DefectFamily::MissingFunctionality;
+  if ((InterpExit == ExitKind::Success ||
+       InterpExit == ExitKind::MethodReturn) &&
+      ME.Kind == MachExitKind::TrampolineCall)
+    // The compiled code sends where the interpreter inlined (in sequence
+    // mode the interpreter may have run on to a return afterwards).
+    return DefectFamily::OptimisationDifference;
+  if (InterpExit == ExitKind::MessageSend &&
+      (ME.Kind == MachExitKind::Breakpoint ||
+       ME.Kind == MachExitKind::Returned))
+    return DefectFamily::BehaviouralDifference;
+  if (InterpExit == ExitKind::Success &&
+      ME.Kind == MachExitKind::Breakpoint &&
+      ME.Marker == MarkerPrimitiveFail)
+    return pathUsesUncheckedData(P)
+               ? DefectFamily::MissingInterpreterTypeCheck
+               : DefectFamily::BehaviouralDifference;
+  return DefectFamily::BehaviouralDifference;
+}
+
+/// Reads the final operand stack through the compiler-reported layout.
+std::vector<Oop> readFinalStack(const CompiledCode &Code, MachineSim &Sim) {
+  std::vector<Oop> Out;
+  auto Memory = Sim.operandStack();
+  if (Code.DynamicStack)
+    return Memory; // control flow flushed everything to memory
+  std::size_t NextMem = 0;
+  for (const ValueLoc &L : Code.FinalStack) {
+    switch (L.K) {
+    case ValueLoc::Kind::OperandStack:
+      Out.push_back(NextMem < Memory.size() ? Memory[NextMem++] : InvalidOop);
+      break;
+    case ValueLoc::Kind::Register:
+      Out.push_back(Sim.reg(L.Reg));
+      break;
+    case ValueLoc::Kind::Constant:
+      Out.push_back(L.Const);
+      break;
+    case ValueLoc::Kind::FrameLocal:
+      Out.push_back(Sim.readLocal(L.Index));
+      break;
+    case ValueLoc::Kind::Receiver:
+      Out.push_back(Sim.readReceiver());
+      break;
+    case ValueLoc::Kind::SpillSlot:
+      Out.push_back(Sim.stackLoad64(Sim.reg(MReg::FP) +
+                                    abi::spillOffset(L.Index))
+                        .value_or(InvalidOop));
+      break;
+    }
+  }
+  return Out;
+}
+
+/// Pre-computed byte expectation of one byte-store effect.
+struct ExpectedBytes {
+  Oop Target = InvalidOop;
+  std::int64_t Offset = 0;
+  std::vector<std::uint8_t> Bytes;
+  bool Valid = false;
+};
+
+} // namespace
+
+PathTestOutcome DifferentialTester::testPath(const ExplorationResult &R,
+                                             std::size_t PathIdx) {
+  const PathSolution &P = R.Paths[PathIdx];
+  const InstructionSpec &Spec = *R.Spec;
+  PathTestOutcome Out;
+  Out.InterpreterExit = P.Exit;
+
+  auto Skip = [&](PathTestStatus S, const char *Why) {
+    Out.Status = S;
+    Out.Details = Why;
+    return Out;
+  };
+
+  if (!P.Curated)
+    return Skip(PathTestStatus::NotReplayable, P.CurationNote.c_str());
+  if (P.Exit == ExitKind::InvalidFrame)
+    return Skip(PathTestStatus::ExpectedFailure,
+                "invalid-frame exits grow the input, they are not tests");
+  if (P.Exit == ExitKind::InvalidMemoryAccess) {
+    if (Spec.Kind == InstructionKind::Bytecode)
+      return Skip(PathTestStatus::ExpectedFailure,
+                  "byte-codes are unsafe by design");
+    // A safe native method must never reach an invalid access.
+    Out.Status = PathTestStatus::Difference;
+    Out.Family = DefectFamily::MissingInterpreterTypeCheck;
+    Out.CauseKey = formatString("%s|%s", defectFamilyName(Out.Family),
+                                Spec.Name.c_str());
+    Out.Details = "interpreter reached an invalid memory access inside a "
+                  "safe native method";
+    return Out;
+  }
+
+  // Step 1: re-create the concrete input frame from the constraints.
+  ObjectMemory Mem(1024 * 1024);
+  FrameMaterializer Materializer(Mem, *R.Builder);
+  MaterializedFrame MF = Materializer.materialize(P.InputModel, *R.Method);
+
+  // Step 2: compile with the compiler under test.
+  CompiledCode Code;
+  unsigned PrimNumArgs = 0;
+  if (Spec.Kind == InstructionKind::NativeMethod) {
+    if (Cfg.Kind != CompilerKind::NativeMethod)
+      return Skip(PathTestStatus::NotReplayable,
+                  "byte-code compilers do not compile native methods");
+    const PrimitiveInfo *Info = primitiveInfo(Spec.PrimitiveIndex);
+    PrimNumArgs = Info->NumArgs;
+    if (MF.Concrete.Stack.size() < PrimNumArgs + 1u)
+      return Skip(PathTestStatus::NotReplayable,
+                  "input stack too shallow for the calling convention");
+    NativeMethodCogit Cogit(Mem, desc(), Cfg.Cogit);
+    Code = Cogit.compile(Spec.PrimitiveIndex);
+  } else {
+    if (Cfg.Kind == CompilerKind::NativeMethod)
+      return Skip(PathTestStatus::NotReplayable,
+                  "the native-method compiler does not compile byte-codes");
+    BytecodeCogit Cogit(Cfg.Kind, Mem, desc(), Cfg.Cogit);
+    auto Compiled = R.IsSequence
+                        ? Cogit.compileMethod(*R.Method, MF.Concrete.Stack)
+                        : Cogit.compile(*R.Method, MF.Concrete.Stack);
+    if (!Compiled)
+      return Skip(PathTestStatus::NotReplayable,
+                  "instruction underflows the replayed operand stack");
+    Code = *Compiled;
+  }
+
+  // Step 3 (prep): predict the outputs BEFORE executing anything.
+  OutputEvaluator Evaluator(P.InputModel, MF.Bindings, Mem, P.SlotStores);
+
+  ExpectedValue ExpectedResult;
+  if (P.Exit == ExitKind::MethodReturn ||
+      (P.Exit == ExitKind::Success &&
+       Spec.Kind == InstructionKind::NativeMethod))
+    ExpectedResult = Evaluator.evalObj(P.Result.S);
+
+  std::vector<ExpectedValue> ExpectedStack;
+  std::vector<ExpectedValue> ExpectedLocals;
+  if (P.Exit == ExitKind::Success &&
+      Spec.Kind == InstructionKind::Bytecode) {
+    for (const ConcolicValue &V : P.Output.Stack)
+      ExpectedStack.push_back(Evaluator.evalObj(V.S));
+    for (const ConcolicValue &V : P.Output.Locals)
+      ExpectedLocals.push_back(Evaluator.evalObj(V.S));
+  }
+
+  std::vector<ExpectedValue> ExpectedSendOperands;
+  if (P.Exit == ExitKind::MessageSend) {
+    std::size_t Count = std::min<std::size_t>(P.SendNumArgs + 1u,
+                                              P.Output.Stack.size());
+    for (std::size_t I = P.Output.Stack.size() - Count;
+         I < P.Output.Stack.size(); ++I)
+      ExpectedSendOperands.push_back(Evaluator.evalObj(P.Output.Stack[I].S));
+  }
+
+  // Predicted side effects on input objects.
+  struct SlotExpectation {
+    Oop Target;
+    std::int64_t Index;
+    ExpectedValue Value;
+  };
+  std::vector<SlotExpectation> ExpectedSlots;
+  for (const SlotStoreEffect &E : P.SlotStores) {
+    if (!E.Object->isVar())
+      continue; // stores into fresh allocations are matched structurally
+    auto Target = Evaluator.oracle().bindingOf(E.Object);
+    if (!Target)
+      continue;
+    ExpectedSlots.push_back({*Target, E.Index, Evaluator.evalObj(E.Value.S)});
+  }
+
+  std::vector<ExpectedBytes> ExpectedByteStores;
+  for (const ByteStoreEffect &E : P.ByteStores) {
+    if (!E.Object->isVar())
+      continue;
+    ExpectedBytes EB;
+    auto Target = Evaluator.oracle().bindingOf(E.Object);
+    if (!Target)
+      continue;
+    EB.Target = *Target;
+    EB.Offset = E.Offset;
+    std::uint64_t Raw = 0;
+    if (E.IsFloat) {
+      auto F = Evaluator.evalFloat(E.FloatValue.S);
+      if (!F)
+        continue;
+      if (E.Width == 4) {
+        auto Narrow = static_cast<float>(*F);
+        std::uint32_t Bits;
+        __builtin_memcpy(&Bits, &Narrow, 4);
+        Raw = Bits;
+      } else {
+        __builtin_memcpy(&Raw, &*F, 8);
+      }
+    } else {
+      auto V = Evaluator.evalInt(E.IntValue.S);
+      if (!V)
+        continue;
+      Raw = static_cast<std::uint64_t>(*V);
+    }
+    for (unsigned I = 0; I < E.Width; ++I)
+      EB.Bytes.push_back(static_cast<std::uint8_t>(Raw >> (8 * I)));
+    EB.Valid = true;
+    ExpectedByteStores.push_back(std::move(EB));
+  }
+
+  // Expected continuation for jump byte-codes: the taken breakpoint when
+  // the interpreter's PC moved beyond the fall-through continuation.
+  std::uint16_t ExpectedMarker = MarkerFragmentEnd;
+  if (!R.IsSequence && Spec.Kind == InstructionKind::Bytecode &&
+      P.Exit == ExitKind::Success) {
+    // Single-instruction mode: a taken branch stops at its own marker.
+    // In sequence mode in-method jumps are real branches and a Success
+    // always means the PC fell off the end (FragmentEnd).
+    auto D = decodeBytecode(R.Method->Bytecodes, 0);
+    if (D && (D->Op == Operation::Jump || D->Op == Operation::JumpTrue ||
+              D->Op == Operation::JumpFalse) &&
+        P.Output.PC != D->Length)
+      ExpectedMarker = MarkerJumpTaken;
+  }
+
+  // Step 3: execute the compiled code on the concrete frame.
+  MachineSim Sim(Mem, Cfg.Sim);
+  std::size_t Watermark = Sim.heapWatermark();
+  if (Spec.Kind == InstructionKind::NativeMethod) {
+    Sim.setReg(abi::ResultReg, MF.Concrete.stackValue(PrimNumArgs));
+    static const MReg ArgRegs[3] = {abi::Arg0Reg, abi::Arg1Reg,
+                                    abi::Arg2Reg};
+    for (unsigned I = 0; I < PrimNumArgs && I < 3; ++I)
+      Sim.setReg(ArgRegs[I], MF.Concrete.stackValue(PrimNumArgs - 1 - I));
+  } else {
+    Sim.setUpFrame(R.Method->numLocals());
+    Sim.writeReceiver(MF.Concrete.Receiver);
+    for (std::size_t I = 0; I < MF.Concrete.Locals.size(); ++I)
+      Sim.writeLocal(static_cast<unsigned>(I), MF.Concrete.Locals[I]);
+    // The operand stack is NOT pre-filled: the compiled preamble pushes
+    // the inputs itself (paper Listing 3).
+  }
+
+  MachineExit ME = Sim.run(Code.Code);
+  Out.MachineExit = ME.Kind;
+
+  auto Difference = [&](std::string Details) {
+    Out.Status = PathTestStatus::Difference;
+    Out.Family = classifyDifference(P.Exit, ME, P);
+    Out.CauseKey = formatString("%s|%s", defectFamilyName(Out.Family),
+                                Spec.Name.c_str());
+    Out.Details = std::move(Details);
+    if (!ME.Note.empty())
+      Out.Details += " [" + ME.Note + "]";
+    return Out;
+  };
+  auto ExitName = [](const MachineExit &E) {
+    std::string N = machExitKindName(E.Kind);
+    if (E.Kind == MachExitKind::Breakpoint)
+      N += formatString("(marker %u)", E.Marker);
+    return N;
+  };
+
+  // Step 4: validate observable behaviour.
+  std::string Why;
+  switch (P.Exit) {
+  case ExitKind::Success: {
+    if (Spec.Kind == InstructionKind::NativeMethod) {
+      if (ME.Kind != MachExitKind::Returned)
+        return Difference(formatString(
+            "interpreter succeeded, compiled code exited %s",
+            ExitName(ME).c_str()));
+      if (!Evaluator.matches(ExpectedResult, Sim.reg(abi::ResultReg), Mem,
+                             Watermark, Why))
+        return Difference("result mismatch: " + Why);
+    } else {
+      if (ME.Kind != MachExitKind::Breakpoint ||
+          (ME.Marker != ExpectedMarker))
+        return Difference(formatString(
+            "interpreter succeeded (continuation %s), compiled code "
+            "exited %s",
+            ExpectedMarker == MarkerJumpTaken ? "taken" : "fall-through",
+            ExitName(ME).c_str()));
+      std::vector<Oop> Observed = readFinalStack(Code, Sim);
+      if (Observed.size() != ExpectedStack.size())
+        return Difference(formatString(
+            "operand stack depth %zu, expected %zu", Observed.size(),
+            ExpectedStack.size()));
+      for (std::size_t I = 0; I < Observed.size(); ++I)
+        if (!Evaluator.matches(ExpectedStack[I], Observed[I], Mem, Watermark,
+                               Why))
+          return Difference(
+              formatString("operand stack entry %zu mismatch: %s", I,
+                           Why.c_str()));
+      for (std::size_t I = 0; I < ExpectedLocals.size(); ++I)
+        if (!Evaluator.matches(ExpectedLocals[I],
+                               Sim.readLocal(static_cast<unsigned>(I)), Mem,
+                               Watermark, Why))
+          return Difference(
+              formatString("local %zu mismatch: %s", I, Why.c_str()));
+    }
+    break;
+  }
+  case ExitKind::PrimitiveFailure:
+    if (ME.Kind != MachExitKind::Breakpoint ||
+        (ME.Marker != MarkerPrimitiveFail &&
+         ME.Marker != MarkerNotImplemented))
+      return Difference(formatString(
+          "interpreter failed the primitive, compiled code exited %s",
+          ExitName(ME).c_str()));
+    break;
+  case ExitKind::MessageSend: {
+    if (ME.Kind != MachExitKind::TrampolineCall)
+      return Difference(formatString(
+          "interpreter sent #%u, compiled code exited %s", P.Selector,
+          ExitName(ME).c_str()));
+    if (ME.Selector != P.Selector || ME.NumArgs != P.SendNumArgs)
+      return Difference(formatString(
+          "send mismatch: interpreter #%u/%u, compiled #%u/%u", P.Selector,
+          P.SendNumArgs, ME.Selector, ME.NumArgs));
+    auto MemStack = Sim.operandStack();
+    if (MemStack.size() < ExpectedSendOperands.size())
+      return Difference("trampoline operands missing from the stack");
+    std::size_t Base = MemStack.size() - ExpectedSendOperands.size();
+    for (std::size_t I = 0; I < ExpectedSendOperands.size(); ++I)
+      if (!Evaluator.matches(ExpectedSendOperands[I], MemStack[Base + I],
+                             Mem, Watermark, Why))
+        return Difference(formatString("send operand %zu mismatch: %s", I,
+                                       Why.c_str()));
+    break;
+  }
+  case ExitKind::MethodReturn:
+    if (ME.Kind != MachExitKind::Returned)
+      return Difference(formatString(
+          "interpreter returned, compiled code exited %s",
+          ExitName(ME).c_str()));
+    if (!Evaluator.matches(ExpectedResult, Sim.reg(abi::ResultReg), Mem,
+                           Watermark, Why))
+      return Difference("returned value mismatch: " + Why);
+    break;
+  case ExitKind::InvalidFrame:
+  case ExitKind::InvalidMemoryAccess:
+    igdt_unreachable("handled above");
+  }
+
+  // Side effects on input objects.
+  for (const SlotExpectation &E : ExpectedSlots) {
+    auto Slot = Mem.fetchPointerSlot(E.Target,
+                                     static_cast<std::uint32_t>(E.Index));
+    if (!Slot)
+      return Difference("stored-into slot vanished");
+    if (!Evaluator.matches(E.Value, *Slot, Mem, Watermark, Why))
+      return Difference(formatString("slot store %lld mismatch: %s",
+                                     (long long)E.Index, Why.c_str()));
+  }
+  for (const ExpectedBytes &E : ExpectedByteStores) {
+    for (std::size_t I = 0; I < E.Bytes.size(); ++I) {
+      auto Byte = Mem.fetchByte(
+          E.Target, static_cast<std::uint32_t>(E.Offset + std::int64_t(I)));
+      if (!Byte || *Byte != E.Bytes[I])
+        return Difference(formatString(
+            "byte store at offset %lld mismatch",
+            (long long)(E.Offset + std::int64_t(I))));
+    }
+  }
+
+  Out.Status = PathTestStatus::Match;
+  return Out;
+}

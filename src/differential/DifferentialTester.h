@@ -1,0 +1,89 @@
+//===- differential/DifferentialTester.h - Interpreter vs JIT oracle -----------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential tester (paper §2.4 and Fig. 1, steps 2-4): for every
+/// concolic path of an instruction it
+///
+///   1. re-creates a concrete VM frame from the path's input constraints
+///      (the frame shape is adapted to the compiler's convention:
+///      registers for native methods, a frame image + operand stack for
+///      byte-code fragments);
+///   2. compiles the instruction with the compiler under test;
+///   3. executes the machine code in the simulator;
+///   4. validates the machine state against the path's output
+///      constraints and exit condition, classifying any difference into
+///      the paper's six defect families.
+///
+/// Invalid-frame and (for byte-codes) invalid-memory-access paths are
+/// expected failures and are not replayed (paper §3.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_DIFFERENTIAL_DIFFERENTIALTESTER_H
+#define IGDT_DIFFERENTIAL_DIFFERENTIALTESTER_H
+
+#include "concolic/ConcolicExplorer.h"
+#include "differential/DefectFamily.h"
+#include "jit/CogitOptions.h"
+#include "jit/MachineSim.h"
+
+#include <string>
+
+namespace igdt {
+
+/// Configuration of one differential run.
+struct DiffTestConfig {
+  CompilerKind Kind = CompilerKind::StackToRegister;
+  /// Target back-end: arm-like when true, x64-like otherwise.
+  bool UseArmBackend = false;
+  CogitOptions Cogit;
+  SimOptions Sim;
+};
+
+/// Per-path verdict.
+enum class PathTestStatus : std::uint8_t {
+  Match,           ///< interpreter and compiled code agree
+  Difference,      ///< a defect was detected and classified
+  ExpectedFailure, ///< invalid-frame / unsafe-access path, not replayed
+  NotReplayable,   ///< curated out (prototype limitation)
+};
+
+const char *pathTestStatusName(PathTestStatus Status);
+
+/// The outcome of testing one path.
+struct PathTestOutcome {
+  PathTestStatus Status = PathTestStatus::Match;
+  DefectFamily Family = DefectFamily::BehaviouralDifference;
+  /// Deduplication key for Table 3 ("we count a defect only once
+  /// regardless of how many execution paths it led to a failure").
+  std::string CauseKey;
+  std::string Details;
+  ExitKind InterpreterExit = ExitKind::Success;
+  MachExitKind MachineExit = MachExitKind::Breakpoint;
+};
+
+/// Replays paths against one compiler/back-end pair.
+class DifferentialTester {
+public:
+  explicit DifferentialTester(DiffTestConfig Config) : Cfg(Config) {}
+
+  /// Tests path \p PathIdx of \p Exploration.
+  PathTestOutcome testPath(const ExplorationResult &Exploration,
+                           std::size_t PathIdx);
+
+  const DiffTestConfig &config() const { return Cfg; }
+  const MachineDesc &desc() const {
+    return Cfg.UseArmBackend ? armDesc() : x64Desc();
+  }
+
+private:
+  DiffTestConfig Cfg;
+};
+
+} // namespace igdt
+
+#endif // IGDT_DIFFERENTIAL_DIFFERENTIALTESTER_H

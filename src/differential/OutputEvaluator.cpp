@@ -1,0 +1,114 @@
+//===- differential/OutputEvaluator.cpp - Predicting instruction outputs -------===//
+
+#include "differential/OutputEvaluator.h"
+
+#include "support/StringUtils.h"
+
+#include <cmath>
+
+using namespace igdt;
+
+ExpectedValue OutputEvaluator::evalObj(const ObjTerm *T) const {
+  switch (T->TermKind) {
+  case ObjTerm::Kind::Var: {
+    auto Bound = Oracle.bindingOf(T);
+    if (!Bound)
+      return ExpectedValue();
+    return ExpectedValue::exact(*Bound);
+  }
+  case ObjTerm::Kind::Const:
+    return ExpectedValue::exact(T->ConstValue);
+  case ObjTerm::Kind::IntObj: {
+    auto V = Eval.evalInt(T->IntPayload);
+    if (!V || !fitsSmallInt(*V))
+      return ExpectedValue();
+    return ExpectedValue::exact(smallIntOop(*V));
+  }
+  case ObjTerm::Kind::FloatObj: {
+    auto V = Eval.evalFloat(T->FloatPayload);
+    if (!V)
+      return ExpectedValue();
+    return ExpectedValue::floatBox(*V);
+  }
+  case ObjTerm::Kind::NewObj:
+    return ExpectedValue::alloc(T);
+  }
+  return ExpectedValue();
+}
+
+bool OutputEvaluator::matches(const ExpectedValue &Expected, Oop Observed,
+                              const ObjectMemory &MachineHeap,
+                              std::size_t Watermark, std::string &Why) const {
+  switch (Expected.K) {
+  case ExpectedValue::Kind::Unknown:
+    Why += "unpredictable expected value; ";
+    return false;
+  case ExpectedValue::Kind::Exact:
+    if (Observed == Expected.Value)
+      return true;
+    Why += formatString("expected %s, got %s; ",
+                        MachineHeap.describe(Expected.Value).c_str(),
+                        MachineHeap.describe(Observed).c_str());
+    return false;
+  case ExpectedValue::Kind::FloatBox: {
+    auto V = MachineHeap.floatValueOf(Observed);
+    if (!V) {
+      Why += formatString("expected a float box %g, got %s; ",
+                          Expected.FloatValue,
+                          MachineHeap.describe(Observed).c_str());
+      return false;
+    }
+    bool Same = (*V == Expected.FloatValue) ||
+                (std::isnan(*V) && std::isnan(Expected.FloatValue));
+    if (!Same)
+      Why += formatString("expected float %g, got %g; ", Expected.FloatValue,
+                          *V);
+    return Same;
+  }
+  case ExpectedValue::Kind::Alloc: {
+    const ObjTerm *T = Expected.AllocTerm;
+    if (!MachineHeap.isHeapObject(Observed)) {
+      Why += "expected a fresh allocation, got a non-object; ";
+      return false;
+    }
+    if (Observed < ObjectMemory::HeapBase + Watermark) {
+      Why += "expected a fresh allocation, got a pre-existing object; ";
+      return false;
+    }
+    if (MachineHeap.classIndexOf(Observed) != T->AllocClass) {
+      Why += formatString("fresh allocation has class %u, expected %u; ",
+                          MachineHeap.classIndexOf(Observed), T->AllocClass);
+      return false;
+    }
+    if (T->AllocSize) {
+      auto Size = Eval.evalInt(T->AllocSize);
+      if (Size && MachineHeap.formatOf(Observed) != ObjectFormat::Pointers &&
+          std::int64_t(MachineHeap.slotCountOf(Observed)) != *Size) {
+        Why += formatString("fresh allocation has %u elements, expected "
+                            "%lld; ",
+                            MachineHeap.slotCountOf(Observed),
+                            (long long)*Size);
+        return false;
+      }
+    }
+    // Slot contents: recorded stores into this allocation, nil elsewhere.
+    std::uint32_t Count = MachineHeap.slotCountOf(Observed);
+    if (MachineHeap.formatOf(Observed) == ObjectFormat::IndexableBytes)
+      return true; // byte allocations compared through byte effects
+    for (std::uint32_t I = 0; I < Count; ++I) {
+      ExpectedValue SlotExpected = ExpectedValue::exact(
+          MachineHeap.nilObject());
+      for (const SlotStoreEffect &E : SlotStores)
+        if (E.Object == T && E.Index == std::int64_t(I))
+          SlotExpected = evalObj(E.Value.S);
+      Oop SlotObserved = *MachineHeap.fetchPointerSlot(Observed, I);
+      if (!matches(SlotExpected, SlotObserved, MachineHeap, Watermark, Why)) {
+        Why += formatString("(in slot %u of a fresh allocation) ", I);
+        return false;
+      }
+    }
+    return true;
+  }
+  }
+  return false;
+}

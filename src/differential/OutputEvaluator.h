@@ -1,0 +1,99 @@
+//===- differential/OutputEvaluator.h - Predicting instruction outputs ---------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates the *output constraints* of a path (paper §2.4, step 4):
+/// each abstract output value becomes an expectation the machine state
+/// must meet — an exact Oop, a float box compared by value, or a fresh
+/// allocation compared structurally.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_DIFFERENTIAL_OUTPUTEVALUATOR_H
+#define IGDT_DIFFERENTIAL_OUTPUTEVALUATOR_H
+
+#include "differential/OutputOracle.h"
+#include "symbolic/Effects.h"
+
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// One predicted value.
+struct ExpectedValue {
+  enum class Kind : std::uint8_t {
+    Exact,    ///< the observed Oop must equal Value
+    FloatBox, ///< the observed Oop must be a BoxedFloat with FloatValue
+    Alloc,    ///< the observed Oop must be a fresh allocation (see below)
+    Unknown,  ///< unpredictable (evaluation failed)
+  };
+  Kind K = Kind::Unknown;
+  Oop Value = InvalidOop;
+  double FloatValue = 0.0;
+  const ObjTerm *AllocTerm = nullptr;
+
+  static ExpectedValue exact(Oop V) {
+    ExpectedValue E;
+    E.K = Kind::Exact;
+    E.Value = V;
+    return E;
+  }
+  static ExpectedValue floatBox(double V) {
+    ExpectedValue E;
+    E.K = Kind::FloatBox;
+    E.FloatValue = V;
+    return E;
+  }
+  static ExpectedValue alloc(const ObjTerm *T) {
+    ExpectedValue E;
+    E.K = Kind::Alloc;
+    E.AllocTerm = T;
+    return E;
+  }
+};
+
+/// Evaluates output terms against a materialisation; predictions are
+/// taken *before* the machine run so side effects cannot contaminate
+/// them.
+class OutputEvaluator {
+public:
+  OutputEvaluator(const Model &M,
+                  const std::map<const ObjTerm *, Oop> &Bindings,
+                  const ObjectMemory &Heap,
+                  const std::vector<SlotStoreEffect> &SlotStores)
+      : Oracle(M, Bindings, Heap), Eval(M, Heap.classTable(), &Oracle),
+        Heap(Heap), SlotStores(SlotStores) {}
+
+  /// Predicts the value an object term denotes.
+  ExpectedValue evalObj(const ObjTerm *T) const;
+
+  /// Checks the machine value \p Observed against \p Expected in
+  /// \p MachineHeap (the heap after the run). \p Watermark separates
+  /// input objects from machine-made allocations. On mismatch a
+  /// diagnostic is appended to \p Why.
+  bool matches(const ExpectedValue &Expected, Oop Observed,
+               const ObjectMemory &MachineHeap, std::size_t Watermark,
+               std::string &Why) const;
+
+  const OutputOracle &oracle() const { return Oracle; }
+  std::optional<std::int64_t> evalInt(const IntTerm *T) const {
+    return Eval.evalInt(T);
+  }
+  std::optional<double> evalFloat(const FloatTerm *T) const {
+    return Eval.evalFloat(T);
+  }
+
+private:
+  mutable OutputOracle Oracle;
+  TermEvaluator Eval;
+  const ObjectMemory &Heap;
+  const std::vector<SlotStoreEffect> &SlotStores;
+};
+
+} // namespace igdt
+
+#endif // IGDT_DIFFERENTIAL_OUTPUTEVALUATOR_H

@@ -1,0 +1,156 @@
+//===- differential/OutputOracle.h - Materialisation-backed leaf oracle --------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Resolves the term leaves whose value depends on the concrete
+/// materialisation: blind untags of pointers (missing-check paths),
+/// identity hashes, and byte contents of materialised objects. Used by
+/// the differential tester to predict instruction outputs *before* the
+/// compiled code runs (side effects must not contaminate predictions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_DIFFERENTIAL_OUTPUTORACLE_H
+#define IGDT_DIFFERENTIAL_OUTPUTORACLE_H
+
+#include "solver/TermEval.h"
+#include "vm/ObjectMemory.h"
+
+#include <map>
+
+namespace igdt {
+
+/// LeafOracle over a variable->Oop binding and the heap it lives in.
+class OutputOracle : public LeafOracle {
+public:
+  OutputOracle(const Model &M, const std::map<const ObjTerm *, Oop> &Bindings,
+               const ObjectMemory &Heap)
+      : M(M), Bindings(Bindings), Heap(Heap) {}
+
+  std::optional<Oop> bindingOf(const ObjTerm *Var) const {
+    auto It = Bindings.find(M.repOf(Var));
+    if (It != Bindings.end())
+      return It->second;
+    // Unconstrained slot variables are not materialised explicitly; their
+    // value is whatever the parent object holds (nil by construction).
+    // Predictions are taken before the machine run, so this read sees the
+    // pristine input state.
+    if (Var->isVar() && Var->Role == VarRole::SlotOf && Var->Parent) {
+      auto Parent = bindingOf(Var->Parent);
+      if (!Parent)
+        return std::nullopt;
+      auto Slot = Heap.fetchPointerSlot(
+          *Parent, static_cast<std::uint32_t>(Var->Index));
+      if (Slot)
+        return *Slot;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<std::int64_t> intLeaf(const IntTerm *Leaf) override {
+    auto Obj = Leaf->Obj ? bindingOf(Leaf->Obj) : std::nullopt;
+    switch (Leaf->TermKind) {
+    case IntTerm::Kind::UncheckedValueOf:
+      if (!Obj)
+        return std::nullopt;
+      return smallIntValueUnchecked(*Obj);
+    case IntTerm::Kind::IdentityHash:
+      if (!Obj)
+        return std::nullopt;
+      return Heap.identityHashOf(*Obj);
+    case IntTerm::Kind::ByteAt: {
+      if (!Obj)
+        return std::nullopt;
+      auto Byte =
+          Heap.fetchByte(*Obj, static_cast<std::uint32_t>(Leaf->Aux));
+      if (!Byte)
+        return std::nullopt;
+      return *Byte;
+    }
+    case IntTerm::Kind::LoadLE: {
+      if (!Obj)
+        return std::nullopt;
+      std::uint64_t Raw = 0;
+      for (unsigned I = 0; I < Leaf->Width; ++I) {
+        auto Byte = Heap.fetchByte(
+            *Obj, static_cast<std::uint32_t>(Leaf->Aux) + I);
+        if (!Byte)
+          return std::nullopt;
+        Raw |= std::uint64_t(*Byte) << (8 * I);
+      }
+      if (Leaf->SignExtend && Leaf->Width < 8) {
+        std::uint64_t SignBit = 1ull << (8 * Leaf->Width - 1);
+        if (Raw & SignBit)
+          Raw |= ~((SignBit << 1) - 1);
+      }
+      return static_cast<std::int64_t>(Raw);
+    }
+    default:
+      return std::nullopt;
+    }
+  }
+
+  std::optional<double> floatLeaf(const FloatTerm *Leaf) override {
+    auto Obj = Leaf->Obj ? bindingOf(Leaf->Obj) : std::nullopt;
+    switch (Leaf->TermKind) {
+    case FloatTerm::Kind::UncheckedValueOf:
+      if (!Obj)
+        return std::nullopt;
+      return Heap.unsafeFloatValueAt(*Obj);
+    case FloatTerm::Kind::LoadF64: {
+      if (!Obj)
+        return std::nullopt;
+      std::uint64_t Raw = 0;
+      for (unsigned I = 0; I < 8; ++I) {
+        auto Byte = Heap.fetchByte(
+            *Obj, static_cast<std::uint32_t>(Leaf->Aux) + I);
+        if (!Byte)
+          return std::nullopt;
+        Raw |= std::uint64_t(*Byte) << (8 * I);
+      }
+      double D;
+      __builtin_memcpy(&D, &Raw, 8);
+      return D;
+    }
+    case FloatTerm::Kind::LoadF32: {
+      if (!Obj)
+        return std::nullopt;
+      std::uint32_t Raw = 0;
+      for (unsigned I = 0; I < 4; ++I) {
+        auto Byte = Heap.fetchByte(
+            *Obj, static_cast<std::uint32_t>(Leaf->Aux) + I);
+        if (!Byte)
+          return std::nullopt;
+        Raw |= std::uint32_t(*Byte) << (8 * I);
+      }
+      float Narrow;
+      __builtin_memcpy(&Narrow, &Raw, 4);
+      return static_cast<double>(Narrow);
+    }
+    case FloatTerm::Kind::ValueOf: {
+      // Prefer the materialised payload over the model (the model may
+      // not constrain this variable at all).
+      if (!Obj)
+        return std::nullopt;
+      auto F = Heap.floatValueOf(*Obj);
+      if (F)
+        return *F;
+      return std::nullopt;
+    }
+    default:
+      return std::nullopt;
+    }
+  }
+
+private:
+  const Model &M;
+  const std::map<const ObjTerm *, Oop> &Bindings;
+  const ObjectMemory &Heap;
+};
+
+} // namespace igdt
+
+#endif // IGDT_DIFFERENTIAL_OUTPUTORACLE_H

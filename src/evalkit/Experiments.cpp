@@ -1,0 +1,285 @@
+//===- evalkit/Experiments.cpp - Evaluation drivers ------------------------------===//
+
+#include "evalkit/Experiments.h"
+
+#include "solver/TermPrinter.h"
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <chrono>
+
+using namespace igdt;
+
+namespace {
+
+double millisSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+EvaluationHarness::EvaluationHarness(HarnessOptions Options)
+    : Opts(std::move(Options)) {}
+
+DiffTestConfig EvaluationHarness::diffConfig(CompilerKind Kind,
+                                             bool Arm) const {
+  DiffTestConfig Cfg;
+  Cfg.Kind = Kind;
+  Cfg.UseArmBackend = Arm;
+  Cfg.Cogit = Opts.Cogit;
+  if (Opts.SeedSimulationErrors && Arm)
+    Cfg.Sim.MissingFPAccessors.insert(std::uint8_t(FReg::F5));
+  return Cfg;
+}
+
+void EvaluationHarness::exploreAll() {
+  if (ExplorationDone)
+    return;
+  unsigned Bytecodes = 0;
+  unsigned Natives = 0;
+  for (const InstructionSpec &Spec : allInstructions()) {
+    if (Spec.Kind == InstructionKind::Bytecode) {
+      if (Opts.MaxBytecodes && Bytecodes >= Opts.MaxBytecodes)
+        continue;
+      ++Bytecodes;
+    } else {
+      if (Opts.MaxNativeMethods && Natives >= Opts.MaxNativeMethods)
+        continue;
+      ++Natives;
+    }
+    ConcolicExplorer Explorer(Opts.VM, Opts.Explorer);
+    // Warm-up run first: Figure 6 reports steady-state exploration time,
+    // not first-touch page faults of a fresh heap.
+    (void)Explorer.explore(Spec);
+    auto Start = std::chrono::steady_clock::now();
+    ExploredInstruction E;
+    E.Result =
+        std::make_unique<ExplorationResult>(Explorer.explore(Spec));
+    E.ExploreMillis = millisSince(Start);
+    Explored.push_back(std::move(E));
+  }
+  ExplorationDone = true;
+}
+
+CompilerEvaluation EvaluationHarness::evaluateCompiler(CompilerKind Kind) {
+  exploreAll();
+  CompilerEvaluation Eval;
+  Eval.Kind = Kind;
+
+  InstructionKind Wanted = Kind == CompilerKind::NativeMethod
+                               ? InstructionKind::NativeMethod
+                               : InstructionKind::Bytecode;
+
+  DifferentialTester X64(diffConfig(Kind, /*Arm=*/false));
+  DifferentialTester Arm(diffConfig(Kind, /*Arm=*/true));
+
+  for (const ExploredInstruction &E : Explored) {
+    const ExplorationResult &R = *E.Result;
+    if (R.Spec->Kind != Wanted)
+      continue;
+    ++Eval.TestedInstructions;
+    Eval.InterpreterPaths += static_cast<unsigned>(R.Paths.size());
+    Eval.CuratedPaths += R.curatedCount();
+
+    auto Start = std::chrono::steady_clock::now();
+    for (std::size_t I = 0; I < R.Paths.size(); ++I) {
+      PathTestOutcome A = X64.testPath(R, I);
+      PathTestOutcome B = Arm.testPath(R, I);
+      bool Differs = A.Status == PathTestStatus::Difference ||
+                     B.Status == PathTestStatus::Difference;
+      if (!Differs)
+        continue;
+      ++Eval.DifferingPaths;
+      if (A.Status == PathTestStatus::Difference)
+        Eval.Causes.emplace(A.CauseKey, A.Family);
+      if (B.Status == PathTestStatus::Difference)
+        Eval.Causes.emplace(B.CauseKey, B.Family);
+    }
+    Eval.TestMillisPerInstruction.push_back(millisSince(Start));
+  }
+  return Eval;
+}
+
+std::vector<CompilerEvaluation> EvaluationHarness::evaluateAllCompilers() {
+  exploreAll();
+  return {evaluateCompiler(CompilerKind::NativeMethod),
+          evaluateCompiler(CompilerKind::SimpleStack),
+          evaluateCompiler(CompilerKind::StackToRegister),
+          evaluateCompiler(CompilerKind::RegisterAllocating)};
+}
+
+std::vector<double>
+EvaluationHarness::pathsPerInstruction(InstructionKind Kind) const {
+  std::vector<double> Out;
+  for (const ExploredInstruction &E : Explored)
+    if (E.Result->Spec->Kind == Kind)
+      Out.push_back(static_cast<double>(E.Result->Paths.size()));
+  return Out;
+}
+
+std::vector<double>
+EvaluationHarness::exploreMillisPerInstruction(InstructionKind Kind) const {
+  std::vector<double> Out;
+  for (const ExploredInstruction &E : Explored)
+    if (E.Result->Spec->Kind == Kind)
+      Out.push_back(E.ExploreMillis);
+  return Out;
+}
+
+std::string EvaluationHarness::renderTable1() {
+  ConcolicExplorer Explorer(Opts.VM, Opts.Explorer);
+  ExplorationResult R =
+      Explorer.explore(*findInstruction("bytecodePrim_add"));
+
+  TablePrinter T({"Argument 0 (top)", "Argument 1", "Exit", "Path"});
+  for (const PathSolution &P : R.Paths) {
+    std::string Arg0 = P.Input.Stack.size() > 1
+                           ? R.Memory->describe(P.Input.Stack[1].C)
+                           : "-";
+    std::string Arg1 = !P.Input.Stack.empty()
+                           ? R.Memory->describe(P.Input.Stack[0].C)
+                           : "-";
+    std::vector<std::string> Conds;
+    for (const BoolTerm *C : P.Constraints)
+      Conds.push_back(printBoolTerm(C));
+    T.addRow({Arg1, Arg0, exitKindName(P.Exit),
+              joinStrings(Conds, ", ")});
+  }
+  return "Table 1: concolic execution paths of bytecodePrimAdd\n" +
+         T.render();
+}
+
+std::string EvaluationHarness::renderFigure2Trace() {
+  ConcolicExplorer Explorer(Opts.VM, Opts.Explorer);
+  ExplorationResult R =
+      Explorer.explore(*findInstruction("bytecodePrim_add"));
+  std::string Out =
+      "Figure 2: constraint tracking across concolic executions of the "
+      "add byte-code\n\n";
+  unsigned Col = 1;
+  for (const PathSolution &P : R.Paths) {
+    Out += formatString("== Concolic Execution #%u ==\n", Col++);
+    Out += "input operand stack:";
+    if (P.Input.Stack.empty())
+      Out += " (empty)";
+    for (const ConcolicValue &V : P.Input.Stack)
+      Out += " " + R.Memory->describe(V.C);
+    Out += formatString("\nexit: %s\n", exitKindName(P.Exit));
+    Out += "recorded constraint path:\n";
+    for (const BoolTerm *C : P.Constraints)
+      Out += "  " + printBoolTerm(C) + "\n";
+    Out += "output operand stack:";
+    if (P.Output.Stack.empty())
+      Out += " (empty)";
+    for (const ConcolicValue &V : P.Output.Stack)
+      Out += " " + printObjTerm(V.S);
+    Out += "\n\n";
+  }
+  return Out;
+}
+
+std::string
+EvaluationHarness::renderTable2(const std::vector<CompilerEvaluation> &Rows) {
+  TablePrinter T({"Compiler", "# Tested Instructions", "# Interpreter Paths",
+                  "# Curated Paths", "# Differences (%)"});
+  unsigned TotalInstr = 0;
+  unsigned TotalPaths = 0;
+  unsigned TotalCurated = 0;
+  unsigned TotalDiffs = 0;
+  for (const CompilerEvaluation &Row : Rows) {
+    double Pct = Row.CuratedPaths
+                     ? double(Row.DifferingPaths) / Row.CuratedPaths
+                     : 0;
+    T.addRow({compilerKindName(Row.Kind),
+              formatString("%u", Row.TestedInstructions),
+              formatString("%u", Row.InterpreterPaths),
+              formatString("%u", Row.CuratedPaths),
+              formatString("%u (%s)", Row.DifferingPaths,
+                           formatPercent(Pct).c_str())});
+    TotalInstr += Row.TestedInstructions;
+    TotalPaths += Row.InterpreterPaths;
+    TotalCurated += Row.CuratedPaths;
+    TotalDiffs += Row.DifferingPaths;
+  }
+  double TotalPct = TotalCurated ? double(TotalDiffs) / TotalCurated : 0;
+  T.addRow({"Total", formatString("%u", TotalInstr),
+            formatString("%u", TotalPaths), formatString("%u", TotalCurated),
+            formatString("%u (%s)", TotalDiffs,
+                         formatPercent(TotalPct).c_str())});
+  return "Table 2: results of running the approach on four compilers\n" +
+         T.render();
+}
+
+std::string
+EvaluationHarness::renderTable3(const std::vector<CompilerEvaluation> &Rows) {
+  // Deduplicate causes across compilers and count per family.
+  std::map<std::string, DefectFamily> AllCauses;
+  for (const CompilerEvaluation &Row : Rows)
+    for (const auto &[Key, Family] : Row.Causes)
+      AllCauses.emplace(Key, Family);
+
+  std::map<DefectFamily, unsigned> PerFamily;
+  for (const auto &[Key, Family] : AllCauses)
+    ++PerFamily[Family];
+
+  TablePrinter T({"Family", "# Cases"});
+  unsigned Total = 0;
+  static const DefectFamily Order[] = {
+      DefectFamily::MissingInterpreterTypeCheck,
+      DefectFamily::MissingCompiledTypeCheck,
+      DefectFamily::OptimisationDifference,
+      DefectFamily::BehaviouralDifference,
+      DefectFamily::MissingFunctionality,
+      DefectFamily::SimulationError,
+  };
+  for (DefectFamily F : Order) {
+    unsigned N = PerFamily.count(F) ? PerFamily[F] : 0;
+    T.addRow({defectFamilyName(F), formatString("%u", N)});
+    Total += N;
+  }
+  T.addRow({"Total", formatString("%u", Total)});
+  return "Table 3: summary of found defects (causes, deduplicated)\n" +
+         T.render();
+}
+
+std::string EvaluationHarness::renderFigure5() {
+  exploreAll();
+  std::vector<double> BC = pathsPerInstruction(InstructionKind::Bytecode);
+  std::vector<double> NM =
+      pathsPerInstruction(InstructionKind::NativeMethod);
+  std::string Out = "Figure 5: paths per instruction (log scale)\n\n";
+  Out += "Byte-codes:      " + describeStats(computeStats(BC), "") + "\n";
+  Out += renderHistogram(BC, 6, "paths");
+  Out += "\nNative methods:  " + describeStats(computeStats(NM), "") + "\n";
+  Out += renderHistogram(NM, 6, "paths");
+  return Out;
+}
+
+std::string EvaluationHarness::renderFigure6() {
+  exploreAll();
+  std::vector<double> BC =
+      exploreMillisPerInstruction(InstructionKind::Bytecode);
+  std::vector<double> NM =
+      exploreMillisPerInstruction(InstructionKind::NativeMethod);
+  std::string Out =
+      "Figure 6: concolic execution time per kind of instruction\n\n";
+  Out += "Byte-codes:      " + describeStats(computeStats(BC), "ms") + "\n";
+  Out += "Native methods:  " + describeStats(computeStats(NM), "ms") + "\n";
+  Out += renderHistogram(NM, 6, "ms");
+  return Out;
+}
+
+std::string
+EvaluationHarness::renderFigure7(const std::vector<CompilerEvaluation> &Rows) {
+  std::string Out =
+      "Figure 7: differential test execution time per compiler\n\n";
+  for (const CompilerEvaluation &Row : Rows) {
+    SampleStats Stats = computeStats(Row.TestMillisPerInstruction);
+    Out += formatString("%-35s %s\n", compilerKindName(Row.Kind),
+                        describeStats(Stats, "ms").c_str());
+  }
+  return Out;
+}

@@ -1,0 +1,37 @@
+//===- evalkit/TestExport.h - Rendering paths as unit tests -----------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders explored paths as self-contained, human-readable unit-test
+/// descriptions — the "more than 4.5K tests" the paper's abstract counts.
+/// Each test names the instruction, the concrete input frame to build,
+/// and the expected observable outcome, so a developer can re-run or port
+/// a single failing scenario without the concolic machinery.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_EVALKIT_TESTEXPORT_H
+#define IGDT_EVALKIT_TESTEXPORT_H
+
+#include "concolic/ConcolicExplorer.h"
+
+#include <string>
+
+namespace igdt {
+
+/// Renders path \p PathIdx of \p R as one test description.
+std::string renderPathAsTest(const ExplorationResult &R,
+                             std::size_t PathIdx);
+
+/// Renders every replayable path of \p R as a test suite.
+std::string renderInstructionTestSuite(const ExplorationResult &R);
+
+/// Number of generated tests (replayable paths) in \p R.
+unsigned generatedTestCount(const ExplorationResult &R);
+
+} // namespace igdt
+
+#endif // IGDT_EVALKIT_TESTEXPORT_H

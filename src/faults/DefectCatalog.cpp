@@ -1,0 +1,109 @@
+//===- faults/DefectCatalog.cpp - The seeded-defect registry ---------------------===//
+
+#include "faults/DefectCatalog.h"
+
+using namespace igdt;
+
+const std::vector<SeededDefect> &igdt::seededDefects() {
+  static const std::vector<SeededDefect> Catalog = {
+      {DefectFamily::MissingInterpreterTypeCheck,
+       "asFloat-assert-compiled-out",
+       "primitiveAsFloat checks its receiver only with an assert that "
+       "production builds remove; a pointer receiver is untagged blindly "
+       "and converted to a garbage float (paper Listing 5)",
+       "VMConfig::SeedAsFloatMissingReceiverCheck",
+       {"primitiveAsFloat"}},
+
+      {DefectFamily::MissingCompiledTypeCheck, "float-receiver-unchecked",
+       "all 13 float arithmetic/comparison/truncation native methods skip "
+       "the receiver type check in compiled code; a SmallInteger receiver "
+       "dereferences an unaligned body address — a segmentation fault",
+       "CogitOptions::SeedFloatReceiverCheckMissing",
+       {"primitiveFloatAdd", "primitiveFloatSubtract",
+        "primitiveFloatMultiply", "primitiveFloatDivide",
+        "primitiveFloatLessThan", "primitiveFloatGreaterThan",
+        "primitiveFloatLessOrEqual", "primitiveFloatGreaterOrEqual",
+        "primitiveFloatEqual", "primitiveFloatNotEqual",
+        "primitiveTruncated", "primitiveRounded",
+        "primitiveFractionalPart"}},
+
+      {DefectFamily::OptimisationDifference, "simple-compiler-no-inlining",
+       "SimpleStackCogit performs no static type prediction: every "
+       "type-predicted byte-code compiles to a send where the interpreter "
+       "inlines integer and float fast paths",
+       "(structural: CompilerKind::SimpleStack)",
+       {"bytecodePrim_add", "bytecodePrim_sub", "bytecodePrim_mul",
+        "bytecodePrim_div", "bytecodePrim_floorDiv", "bytecodePrim_mod",
+        "bytecodePrim_lt", "bytecodePrim_gt", "bytecodePrim_le",
+        "bytecodePrim_ge", "bytecodePrim_eq", "bytecodePrim_ne",
+        "bytecodePrim_bitAnd", "bytecodePrim_bitOr",
+        "bytecodePrim_bitXor", "bytecodePrim_bitShift"}},
+
+      {DefectFamily::OptimisationDifference, "float-arith-not-inlined",
+       "StackToRegister/RegisterAllocating inline integer arithmetic but "
+       "not float arithmetic; the interpreter inlines both",
+       "(structural: byte-code compilers)",
+       {"bytecodePrim_add", "bytecodePrim_sub", "bytecodePrim_mul",
+        "bytecodePrim_div", "bytecodePrim_lt", "bytecodePrim_gt",
+        "bytecodePrim_le", "bytecodePrim_ge", "bytecodePrim_eq",
+        "bytecodePrim_ne"}},
+
+      {DefectFamily::BehaviouralDifference, "bitops-negative-operands",
+       "the interpreter falls back to a send when a bit-wise byte-code "
+       "meets a negative operand; compiled code treats operands as plain "
+       "words and succeeds",
+       "VMConfig::SeedBitOpsFailOnNegative + "
+       "CogitOptions::SeedBitOpsAcceptNegatives",
+       {"bytecodePrim_bitAnd", "bytecodePrim_bitOr", "bytecodePrim_bitXor",
+        "bytecodePrim_bitShift"}},
+
+      {DefectFamily::MissingFunctionality, "ffi-not-implemented",
+       "the FFI accessor native methods are interpreted but were never "
+       "implemented in the JIT; compiled templates are "
+       "not-yet-implemented stubs",
+       "CogitOptions::SeedFFINotImplemented",
+       {"primitiveFFILoadInt8", "primitiveFFILoadInt16",
+        "primitiveFFILoadInt32", "primitiveFFILoadInt64",
+        "primitiveFFIStoreInt8", "primitiveFFIStoreInt16",
+        "primitiveFFIStoreInt32", "primitiveFFIStoreInt64",
+        "primitiveFFILoadUInt8", "primitiveFFILoadUInt16",
+        "primitiveFFILoadUInt32", "primitiveFFILoadFloat64",
+        "primitiveFFIStoreFloat64", "primitiveFFIStoreUInt8",
+        "primitiveFFIStoreUInt16", "primitiveFFIStoreUInt32",
+        "primitiveFFILoadFloat32", "primitiveFFIStoreFloat32"}},
+
+      {DefectFamily::SimulationError, "missing-register-accessors",
+       "the simulator's fault recovery reflectively calls per-register "
+       "accessors; the accessor for F5 is missing, and on the arm-like "
+       "back-end two float templates unbox through F5",
+       "SimOptions::MissingFPAccessors + arm back-end",
+       {"primitiveRounded", "primitiveFractionalPart"}},
+  };
+  return Catalog;
+}
+
+VMConfig igdt::cleanVMConfig() {
+  VMConfig Cfg;
+  Cfg.SeedAsFloatMissingReceiverCheck = false;
+  Cfg.SeedBitOpsFailOnNegative = false;
+  return Cfg;
+}
+
+CogitOptions igdt::cleanCogitOptions() {
+  CogitOptions Opts;
+  Opts.SeedFloatReceiverCheckMissing = false;
+  Opts.SeedFFINotImplemented = false;
+  // The behavioural-difference fix direction: the clean interpreter
+  // accepts negative bit-op operands (SeedBitOpsFailOnNegative=false), so
+  // the clean compiled code must keep accepting them too.
+  Opts.SeedBitOpsAcceptNegatives = true;
+  return Opts;
+}
+
+unsigned igdt::seededCauseCount(DefectFamily Family) {
+  unsigned N = 0;
+  for (const SeededDefect &D : seededDefects())
+    if (D.Family == Family)
+      N += static_cast<unsigned>(D.AffectedInstructions.size());
+  return N;
+}

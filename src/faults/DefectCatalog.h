@@ -1,0 +1,56 @@
+//===- faults/DefectCatalog.h - The seeded-defect registry ----------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The central registry of every defect seeded into QVM and its
+/// compilers, each reproducing one finding family of the paper (§5.3).
+/// Tests use it as ground truth: with all seeds on, the differential
+/// experiments must attribute every listed instruction to the listed
+/// family; with all seeds off, interpreter and compilers must agree on
+/// every path of every instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_FAULTS_DEFECTCATALOG_H
+#define IGDT_FAULTS_DEFECTCATALOG_H
+
+#include "differential/DefectFamily.h"
+#include "jit/CogitOptions.h"
+#include "vm/VMConfig.h"
+
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// One seeded defect.
+struct SeededDefect {
+  DefectFamily Family;
+  /// Short identifier.
+  std::string Name;
+  /// What the paper reported and what the seed reproduces.
+  std::string Description;
+  /// The configuration flag that controls the seed.
+  std::string Flag;
+  /// Catalog instruction names whose paths expose the defect.
+  std::vector<std::string> AffectedInstructions;
+};
+
+/// Every seeded defect, grouped to mirror the paper's Table 3.
+const std::vector<SeededDefect> &seededDefects();
+
+/// VM configuration with every interpreter-side seed disabled.
+VMConfig cleanVMConfig();
+
+/// Compiler options with every compiled-side seed disabled.
+CogitOptions cleanCogitOptions();
+
+/// Number of seeded causes per family (the ground truth for Table 3).
+unsigned seededCauseCount(DefectFamily Family);
+
+} // namespace igdt
+
+#endif // IGDT_FAULTS_DEFECTCATALOG_H

@@ -1,0 +1,70 @@
+//===- jit/ABI.h - Calling convention and frame layout ------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The calling convention shared by all back-ends and the machine
+/// simulator.
+///
+///  - Native methods: receiver in R0, arguments in R1..R3, result in R0,
+///    success returns (Ret), failure falls through to Brk.
+///  - Byte-code fragments: FP points at the VM frame image in machine
+///    memory; [FP+0] holds the receiver, [FP+8+8*i] local i; the operand
+///    stack area starts after the locals and grows upward through SP
+///    (SP points one past the top).
+///  - Spill slots live below FP at [FP - 8*(i+1)].
+///  - Send trampolines take receiver and arguments on the operand stack
+///    (receiver deepest) with the selector in the instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_ABI_H
+#define IGDT_JIT_ABI_H
+
+#include "jit/MachineCode.h"
+
+namespace igdt {
+
+namespace abi {
+
+/// Result / native-method receiver register.
+inline constexpr MReg ResultReg = MReg::R0;
+/// Native-method argument registers.
+inline constexpr MReg Arg0Reg = MReg::R1;
+inline constexpr MReg Arg1Reg = MReg::R2;
+inline constexpr MReg Arg2Reg = MReg::R3;
+
+/// Virtual base address of the machine stack region.
+inline constexpr std::uint64_t StackBase = 0x8000000;
+/// Machine stack bytes.
+inline constexpr std::uint32_t StackBytes = 64 * 1024;
+/// Spill slots reserved below FP.
+inline constexpr std::uint32_t NumSpillSlots = 32;
+
+/// Offset of the receiver inside the frame image.
+inline constexpr std::int64_t ReceiverOffset = 0;
+/// Offset of local \p I.
+inline std::int64_t localOffset(unsigned I) { return 8 + 8 * std::int64_t(I); }
+/// Offset of the operand-stack base for a method with \p NumLocals.
+inline std::int64_t operandBaseOffset(unsigned NumLocals) {
+  return 8 + 8 * std::int64_t(NumLocals);
+}
+/// Address of spill slot \p I relative to FP.
+inline std::int64_t spillOffset(unsigned I) {
+  return -8 * (std::int64_t(I) + 1);
+}
+
+/// Byte offset from an Oop to its body (first slot / float payload).
+inline constexpr std::int64_t BodyOffset = 16;
+/// Byte offset from an Oop to the 64-bit word holding ClassIndex/format.
+inline constexpr std::int64_t Header0Offset = 0;
+/// Byte offset from an Oop to the word holding SlotCount/identity hash.
+inline constexpr std::int64_t Header1Offset = 8;
+
+} // namespace abi
+
+} // namespace igdt
+
+#endif // IGDT_JIT_ABI_H

@@ -1,0 +1,74 @@
+//===- jit/BytecodeCogit.h - Byte-code to machine-code front-ends ---------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The three byte-code compilers of the evaluation (paper §4.1):
+///
+///  - SimpleStackCogit maps push/pop byte-codes 1:1 onto machine
+///    push/pop against the in-memory operand stack and performs no
+///    static type prediction (arithmetic compiles to a send);
+///  - StackToRegisterCogit simulates pushes on a parse-time stack and
+///    only emits stack accesses when a pop consumes an operand; integer
+///    arithmetic is inlined (floats are not — the interpreter inlines
+///    both: the optimisation-difference seeds);
+///  - RegisterAllocatingCogit extends StackToRegister with a linear-scan
+///    register allocator over virtual registers.
+///
+/// Following the paper's §4.2 compilation schema, the unit of
+/// compilation is a one-instruction method: the generated fragment
+/// starts with a preamble pushing the concrete input operand stack
+/// (genPushLiteral), then the instruction, then a fragment-end
+/// breakpoint; branch byte-codes get distinct taken/fall-through
+/// breakpoints.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_BYTECODECOGIT_H
+#define IGDT_JIT_BYTECODECOGIT_H
+
+#include "jit/CogitOptions.h"
+#include "jit/CompiledCode.h"
+#include "vm/CompiledMethod.h"
+#include "vm/ObjectMemory.h"
+#include "vm/VMConfig.h"
+
+namespace igdt {
+
+/// Compiles single byte-code instructions for one of the three byte-code
+/// compiler kinds.
+class BytecodeCogit {
+public:
+  BytecodeCogit(CompilerKind Kind, ObjectMemory &Memory,
+                const MachineDesc &Desc, CogitOptions Options = CogitOptions())
+      : Kind(Kind), Mem(Memory), Desc(Desc), Opts(Options) {}
+
+  /// Compiles the byte-code at PC 0 of \p Method with the given concrete
+  /// input operand stack (bottom first). Returns nullopt when the input
+  /// stack underflows the instruction (such paths are expected failures
+  /// and are not replayed).
+  std::optional<CompiledCode> compile(const CompiledMethod &Method,
+                                      const std::vector<Oop> &InputStack);
+
+  /// Compiles the *whole* method as one fragment (the sequence-testing
+  /// extension): in-method jumps become real branches, the parse-time
+  /// stack is flushed at control-flow merge points, and execution falls
+  /// through to the fragment-end breakpoint after the last byte-code.
+  std::optional<CompiledCode>
+  compileMethod(const CompiledMethod &Method,
+                const std::vector<Oop> &InputStack);
+
+  CompilerKind kind() const { return Kind; }
+
+private:
+  CompilerKind Kind;
+  ObjectMemory &Mem;
+  const MachineDesc &Desc;
+  CogitOptions Opts;
+};
+
+} // namespace igdt
+
+#endif // IGDT_JIT_BYTECODECOGIT_H

@@ -1,0 +1,161 @@
+//===- jit/CodeGenUtil.h - Shared emission helpers ------------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tagging, boxing, type-check and boolean-materialisation emitters
+/// shared by the native-method templates and the byte-code front-ends.
+/// These produce the IR shapes of the paper's Listing 2 (checkSmallInteger,
+/// jumpzero, jumpIfNotOverflow, ...).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_CODEGENUTIL_H
+#define IGDT_JIT_CODEGENUTIL_H
+
+#include "jit/ABI.h"
+#include "jit/IR.h"
+#include "vm/ObjectFormat.h"
+#include "vm/Oop.h"
+
+namespace igdt {
+
+/// Emission helpers over an IRBuilder. Temp registers are caller-chosen
+/// so templates keep explicit control of their register usage.
+class CodeGenUtil {
+public:
+  explicit CodeGenUtil(IRBuilder &B) : B(B) {}
+
+  /// Branches to \p Fail unless \p V holds a tagged SmallInteger.
+  /// Clobbers \p Tmp.
+  void checkSmallInt(VReg V, VReg Tmp, std::int32_t Fail) {
+    B.movRR(Tmp, V);
+    B.andI(Tmp, 1);
+    B.cmpI(Tmp, 1);
+    B.jcc(MCond::Ne, Fail);
+  }
+
+  /// Branches to \p Fail when \p V *is* a tagged SmallInteger.
+  void checkNotSmallInt(VReg V, VReg Tmp, std::int32_t Fail) {
+    B.movRR(Tmp, V);
+    B.andI(Tmp, 1);
+    B.cmpI(Tmp, 1);
+    B.jcc(MCond::Eq, Fail);
+  }
+
+  /// Branches to \p Fail unless the heap object \p V has class
+  /// \p ClassIdx. \p V must already be known to be a heap pointer.
+  void checkClass(VReg V, std::uint32_t ClassIdx, VReg Tmp,
+                  std::int32_t Fail) {
+    B.load(Tmp, V, abi::Header0Offset);
+    B.andI(Tmp, 0xFFFFFFFFll);
+    B.cmpI(Tmp, ClassIdx);
+    B.jcc(MCond::Ne, Fail);
+  }
+
+  /// Branches to \p Fail unless the heap object \p V has storage format
+  /// \p Fmt.
+  void checkFormat(VReg V, ObjectFormat Fmt, VReg Tmp, std::int32_t Fail) {
+    loadFormat(V, Tmp);
+    B.cmpI(Tmp, std::int64_t(Fmt));
+    B.jcc(MCond::Ne, Fail);
+  }
+
+  /// Branches to \p Fail unless the object's format is \p A or \p FmtB.
+  void checkFormat2(VReg V, ObjectFormat FmtA, ObjectFormat FmtB, VReg Tmp,
+                    std::int32_t Fail) {
+    std::int32_t Ok = B.makeLabel();
+    loadFormat(V, Tmp);
+    B.cmpI(Tmp, std::int64_t(FmtA));
+    B.jcc(MCond::Eq, Ok);
+    B.cmpI(Tmp, std::int64_t(FmtB));
+    B.jcc(MCond::Ne, Fail);
+    B.placeLabel(Ok);
+  }
+
+  /// Loads the format byte of heap object \p V into \p Dst.
+  void loadFormat(VReg V, VReg Dst) {
+    B.load(Dst, V, abi::Header0Offset);
+    B.sarI(Dst, 32);
+    B.andI(Dst, 0xFF);
+  }
+
+  /// Loads the slot/byte count of heap object \p V into \p Dst.
+  void loadSlotCount(VReg V, VReg Dst) {
+    B.load(Dst, V, abi::Header1Offset);
+    B.andI(Dst, 0xFFFFFFFFll);
+  }
+
+  /// Untags a SmallInteger in place.
+  void untag(VReg V) { B.sarI(V, 1); }
+
+  /// Tags an integer in place (no range check — callers check first).
+  void tag(VReg V) {
+    B.shlI(V, 1);
+    B.orI(V, 1);
+  }
+
+  /// Branches to \p Fail when \p V is outside the SmallInteger payload
+  /// range — the jumpIfNotOverflow of the paper's Listing 2.
+  void checkSmallIntRange(VReg V, std::int32_t Fail) {
+    B.cmpI(V, MaxSmallInt);
+    B.jcc(MCond::Gt, Fail);
+    B.cmpI(V, MinSmallInt);
+    B.jcc(MCond::Lt, Fail);
+  }
+
+  /// Materialises true/false into \p Dst from the current flags.
+  void boolResult(VReg Dst, MCond Cond, Oop TrueOop, Oop FalseOop) {
+    std::int32_t LTrue = B.makeLabel();
+    std::int32_t LDone = B.makeLabel();
+    B.jcc(Cond, LTrue);
+    B.movRI(Dst, static_cast<std::int64_t>(FalseOop));
+    B.jmp(LDone);
+    B.placeLabel(LTrue);
+    B.movRI(Dst, static_cast<std::int64_t>(TrueOop));
+    B.placeLabel(LDone);
+  }
+
+  /// Emits floored division A//B into \p Quot. Inputs untagged; \p B2
+  /// must be non-zero (checked by the caller). Clobbers T1, T2.
+  void floorDiv(VReg A, VReg B2, VReg Quot, VReg T1, VReg T2) {
+    std::int32_t Done = B.makeLabel();
+    B.movRR(Quot, A);
+    B.quo(Quot, B2);
+    B.movRR(T1, A);
+    B.rem(T1, B2);
+    B.cmpI(T1, 0);
+    B.jcc(MCond::Eq, Done);
+    B.movRR(T2, A);
+    B.xorRR(T2, B2);
+    B.cmpI(T2, 0);
+    B.jcc(MCond::Ge, Done);
+    B.subI(Quot, 1);
+    B.placeLabel(Done);
+  }
+
+  /// Emits floored modulo A\\B into \p Rem. Inputs untagged, B2 != 0.
+  /// Clobbers T1.
+  void floorMod(VReg A, VReg B2, VReg Rem, VReg T1) {
+    std::int32_t Done = B.makeLabel();
+    B.movRR(Rem, A);
+    B.rem(Rem, B2);
+    B.cmpI(Rem, 0);
+    B.jcc(MCond::Eq, Done);
+    B.movRR(T1, A);
+    B.xorRR(T1, B2);
+    B.cmpI(T1, 0);
+    B.jcc(MCond::Ge, Done);
+    B.add(Rem, B2);
+    B.placeLabel(Done);
+  }
+
+private:
+  IRBuilder &B;
+};
+
+} // namespace igdt
+
+#endif // IGDT_JIT_CODEGENUTIL_H

@@ -1,0 +1,57 @@
+//===- jit/CogitOptions.h - Compiler kinds and defect seeds --------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four compilers of the evaluation (paper §4.1) and the compiled-
+/// side defect seeds reproducing the paper's findings (§5.3). All seeds
+/// default to the buggy behaviour the paper reports.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_COGITOPTIONS_H
+#define IGDT_JIT_COGITOPTIONS_H
+
+#include <cstdint>
+
+namespace igdt {
+
+/// The compilers under differential test.
+enum class CompilerKind : std::uint8_t {
+  /// Template-based native-method (primitive) compiler.
+  NativeMethod,
+  /// Push/pop byte-codes map 1:1 onto machine stack operations; no
+  /// static type prediction (its arithmetic is a plain send).
+  SimpleStack,
+  /// Production compiler: parse-time simulation stack, integers inlined
+  /// (floats are not — the interpreter inlines both).
+  StackToRegister,
+  /// StackToRegister plus a linear-scan register allocator.
+  RegisterAllocating,
+};
+
+const char *compilerKindName(CompilerKind Kind);
+
+/// Compiled-side defect seeds.
+struct CogitOptions {
+  /// Paper §5.3 "Missing compiled type check": the 13 float arithmetic /
+  /// comparison / truncation native methods do not check the receiver
+  /// before unboxing it, so a SmallInteger receiver dereferences an
+  /// unaligned address — a segmentation fault at run time.
+  bool SeedFloatReceiverCheckMissing = true;
+
+  /// Paper §5.3 "Missing functionality": the FFI accessor family was
+  /// never implemented in the JIT; compiled versions are fail-stubs.
+  bool SeedFFINotImplemented = true;
+
+  /// Paper §5.3 "Behavioral difference": compiled bit-wise operations
+  /// accept negative operands (treating them as unsigned words) while
+  /// the interpreter falls back to a send.
+  bool SeedBitOpsAcceptNegatives = true;
+};
+
+} // namespace igdt
+
+#endif // IGDT_JIT_COGITOPTIONS_H

@@ -1,0 +1,327 @@
+//===- jit/IR.h - Cogit intermediate representation ----------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linear IR shared by all four front-ends (paper Listing 2: the
+/// "sequence of intermediate representation instructions" the Cogit
+/// creates while abstractly interpreting byte-code). IR instructions
+/// mirror the machine ISA but operate on virtual registers and symbolic
+/// labels; lowering assigns machine registers (identity, pool-based or
+/// linear-scan depending on the front-end) and resolves branch targets.
+///
+/// Virtual registers below FirstVirtualReg are *precolored*: vreg i is
+/// machine register i. The RegisterAllocatingCogit emits registers from
+/// FirstVirtualReg upward and runs the linear-scan allocator.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_IR_H
+#define IGDT_JIT_IR_H
+
+#include "jit/MachineCode.h"
+#include "jit/Trampolines.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// Virtual register id. Values < FirstVirtualReg are precolored.
+using VReg = std::uint16_t;
+
+inline constexpr VReg FirstVirtualReg = 32;
+inline constexpr VReg NoVReg = 0xFFFF;
+
+/// Precolored vreg for machine register \p R.
+inline VReg preg(MReg R) { return static_cast<VReg>(R); }
+
+/// IR opcodes: the machine ops plus a Label pseudo-instruction.
+enum class IROp : std::uint8_t {
+  Label, // Target = label id
+  MovRR,
+  MovRI,
+  Load,
+  Store,
+  Load8,
+  Store8,
+  Add,
+  AddI,
+  Sub,
+  SubI,
+  Mul,
+  And,
+  AndI,
+  Or,
+  OrI,
+  Xor,
+  Shl,
+  ShlI,
+  Sar,
+  SarI,
+  Quo,
+  Rem,
+  Cmp,
+  CmpI,
+  Jmp, // Target = label id
+  Jcc, // Target = label id
+  CallRT,
+  CallTramp,
+  Ret,
+  Brk,
+  FLoad,
+  FMovI,
+  FMovFF,
+  FAdd,
+  FSub,
+  FMul,
+  FDiv,
+  FSqrt,
+  FTruncF,
+  FCvtIF,
+  FTrunc,
+  FCmp,
+  FBitsToF,
+  FBitsFromF,
+  FBits32ToF,
+  FBitsFromF32,
+};
+
+/// One IR instruction.
+struct IRInstr {
+  IROp Op;
+  MCond Cond = MCond::Always;
+  VReg A = NoVReg;
+  VReg B = NoVReg;
+  FReg FA = FReg::NoFReg;
+  FReg FB = FReg::NoFReg;
+  std::int64_t Imm = 0;
+  std::int32_t Target = -1; // label id for Label/Jmp/Jcc
+  std::uint16_t Aux = 0;
+};
+
+/// A linear IR fragment under construction.
+class IRFunction {
+public:
+  /// Creates a new label id (attach with placeLabel).
+  std::int32_t makeLabel() { return NumLabels++; }
+
+  /// Emits a Label pseudo-instruction for \p Id at the current position.
+  void placeLabel(std::int32_t Id) {
+    IRInstr I;
+    I.Op = IROp::Label;
+    I.Target = Id;
+    Code.push_back(I);
+  }
+
+  /// Allocates a fresh virtual register.
+  VReg newVReg() { return NextVReg++; }
+
+  void push(IRInstr I) { Code.push_back(I); }
+
+  std::vector<IRInstr> Code;
+  std::int32_t NumLabels = 0;
+  VReg NextVReg = FirstVirtualReg;
+};
+
+/// Convenience emission helpers over an IRFunction.
+class IRBuilder {
+public:
+  explicit IRBuilder(IRFunction &F) : F(F) {}
+
+  std::int32_t makeLabel() { return F.makeLabel(); }
+  void placeLabel(std::int32_t L) { F.placeLabel(L); }
+  VReg newVReg() { return F.newVReg(); }
+
+  void movRR(VReg A, VReg B) { emitRR(IROp::MovRR, A, B); }
+  void movRI(VReg A, std::int64_t Imm) { emitRI(IROp::MovRI, A, Imm); }
+  void load(VReg A, VReg Base, std::int64_t Off) {
+    IRInstr I;
+    I.Op = IROp::Load;
+    I.A = A;
+    I.B = Base;
+    I.Imm = Off;
+    F.push(I);
+  }
+  void store(VReg A, VReg Base, std::int64_t Off) {
+    IRInstr I;
+    I.Op = IROp::Store;
+    I.A = A;
+    I.B = Base;
+    I.Imm = Off;
+    F.push(I);
+  }
+  void load8(VReg A, VReg Base, std::int64_t Off) {
+    IRInstr I;
+    I.Op = IROp::Load8;
+    I.A = A;
+    I.B = Base;
+    I.Imm = Off;
+    F.push(I);
+  }
+  void store8(VReg A, VReg Base, std::int64_t Off) {
+    IRInstr I;
+    I.Op = IROp::Store8;
+    I.A = A;
+    I.B = Base;
+    I.Imm = Off;
+    F.push(I);
+  }
+  void add(VReg A, VReg B) { emitRR(IROp::Add, A, B); }
+  void addI(VReg A, std::int64_t Imm) { emitRI(IROp::AddI, A, Imm); }
+  void sub(VReg A, VReg B) { emitRR(IROp::Sub, A, B); }
+  void subI(VReg A, std::int64_t Imm) { emitRI(IROp::SubI, A, Imm); }
+  void mul(VReg A, VReg B) { emitRR(IROp::Mul, A, B); }
+  void andRR(VReg A, VReg B) { emitRR(IROp::And, A, B); }
+  void andI(VReg A, std::int64_t Imm) { emitRI(IROp::AndI, A, Imm); }
+  void orRR(VReg A, VReg B) { emitRR(IROp::Or, A, B); }
+  void orI(VReg A, std::int64_t Imm) { emitRI(IROp::OrI, A, Imm); }
+  void xorRR(VReg A, VReg B) { emitRR(IROp::Xor, A, B); }
+  void shl(VReg A, VReg B) { emitRR(IROp::Shl, A, B); }
+  void shlI(VReg A, std::int64_t Imm) { emitRI(IROp::ShlI, A, Imm); }
+  void sar(VReg A, VReg B) { emitRR(IROp::Sar, A, B); }
+  void sarI(VReg A, std::int64_t Imm) { emitRI(IROp::SarI, A, Imm); }
+  void quo(VReg A, VReg B) { emitRR(IROp::Quo, A, B); }
+  void rem(VReg A, VReg B) { emitRR(IROp::Rem, A, B); }
+  void cmp(VReg A, VReg B) { emitRR(IROp::Cmp, A, B); }
+  void cmpI(VReg A, std::int64_t Imm) { emitRI(IROp::CmpI, A, Imm); }
+  void jmp(std::int32_t Label) {
+    IRInstr I;
+    I.Op = IROp::Jmp;
+    I.Target = Label;
+    F.push(I);
+  }
+  void jcc(MCond Cond, std::int32_t Label) {
+    IRInstr I;
+    I.Op = IROp::Jcc;
+    I.Cond = Cond;
+    I.Target = Label;
+    F.push(I);
+  }
+  void callRT(RTFunc Func) {
+    IRInstr I;
+    I.Op = IROp::CallRT;
+    I.Aux = static_cast<std::uint16_t>(Func);
+    F.push(I);
+  }
+  void callTramp(SelectorId Selector, unsigned NumArgs) {
+    IRInstr I;
+    I.Op = IROp::CallTramp;
+    I.Aux = Selector;
+    I.Imm = NumArgs;
+    F.push(I);
+  }
+  void ret() {
+    IRInstr I;
+    I.Op = IROp::Ret;
+    F.push(I);
+  }
+  void brk(std::uint16_t Marker) {
+    IRInstr I;
+    I.Op = IROp::Brk;
+    I.Aux = Marker;
+    F.push(I);
+  }
+  void fload(FReg FA, VReg Base, std::int64_t Off) {
+    IRInstr I;
+    I.Op = IROp::FLoad;
+    I.FA = FA;
+    I.B = Base;
+    I.Imm = Off;
+    F.push(I);
+  }
+  void fmovI(FReg FA, double Value) {
+    IRInstr I;
+    I.Op = IROp::FMovI;
+    I.FA = FA;
+    std::int64_t Bits;
+    __builtin_memcpy(&Bits, &Value, 8);
+    I.Imm = Bits;
+    F.push(I);
+  }
+  void fmov(FReg FA, FReg FB) { emitFF(IROp::FMovFF, FA, FB); }
+  void fadd(FReg FA, FReg FB) { emitFF(IROp::FAdd, FA, FB); }
+  void fsub(FReg FA, FReg FB) { emitFF(IROp::FSub, FA, FB); }
+  void fmul(FReg FA, FReg FB) { emitFF(IROp::FMul, FA, FB); }
+  void fdiv(FReg FA, FReg FB) { emitFF(IROp::FDiv, FA, FB); }
+  void fsqrt(FReg FA) { emitFF(IROp::FSqrt, FA, FReg::NoFReg); }
+  void ftruncF(FReg FA) { emitFF(IROp::FTruncF, FA, FReg::NoFReg); }
+  void fcvtIF(FReg FA, VReg A) {
+    IRInstr I;
+    I.Op = IROp::FCvtIF;
+    I.FA = FA;
+    I.A = A;
+    F.push(I);
+  }
+  void ftrunc(VReg A, FReg FA) {
+    IRInstr I;
+    I.Op = IROp::FTrunc;
+    I.A = A;
+    I.FA = FA;
+    F.push(I);
+  }
+  void fcmp(FReg FA, FReg FB) { emitFF(IROp::FCmp, FA, FB); }
+  void fbitsToF(FReg FA, VReg A) {
+    IRInstr I;
+    I.Op = IROp::FBitsToF;
+    I.FA = FA;
+    I.A = A;
+    F.push(I);
+  }
+  void fbitsFromF(VReg A, FReg FA) {
+    IRInstr I;
+    I.Op = IROp::FBitsFromF;
+    I.A = A;
+    I.FA = FA;
+    F.push(I);
+  }
+  void fbits32ToF(FReg FA, VReg A) {
+    IRInstr I;
+    I.Op = IROp::FBits32ToF;
+    I.FA = FA;
+    I.A = A;
+    F.push(I);
+  }
+  void fbitsFromF32(VReg A, FReg FA) {
+    IRInstr I;
+    I.Op = IROp::FBitsFromF32;
+    I.A = A;
+    I.FA = FA;
+    F.push(I);
+  }
+
+private:
+  void emitRR(IROp Op, VReg A, VReg B) {
+    IRInstr I;
+    I.Op = Op;
+    I.A = A;
+    I.B = B;
+    F.push(I);
+  }
+  void emitRI(IROp Op, VReg A, std::int64_t Imm) {
+    IRInstr I;
+    I.Op = Op;
+    I.A = A;
+    I.Imm = Imm;
+    F.push(I);
+  }
+  void emitFF(IROp Op, FReg FA, FReg FB) {
+    IRInstr I;
+    I.Op = Op;
+    I.FA = FA;
+    I.FB = FB;
+    F.push(I);
+  }
+
+  IRFunction &F;
+};
+
+/// Renders the IR for debugging.
+std::string printIR(const IRFunction &F);
+
+} // namespace igdt
+
+#endif // IGDT_JIT_IR_H

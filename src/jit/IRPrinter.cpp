@@ -1,0 +1,31 @@
+//===- jit/IRPrinter.cpp - IR debugging output ---------------------------------===//
+
+#include "jit/IR.h"
+
+#include "support/StringUtils.h"
+
+using namespace igdt;
+
+std::string igdt::printIR(const IRFunction &F) {
+  auto RegName = [](VReg V) -> std::string {
+    if (V == NoVReg)
+      return "_";
+    if (V < FirstVirtualReg)
+      return formatString("r%u", unsigned(V));
+    return formatString("v%u", unsigned(V));
+  };
+  std::string Out;
+  for (std::size_t Pos = 0; Pos < F.Code.size(); ++Pos) {
+    const IRInstr &I = F.Code[Pos];
+    if (I.Op == IROp::Label) {
+      Out += formatString("L%d:\n", I.Target);
+      continue;
+    }
+    Out += formatString("  %3zu: op=%u cond=%u A=%s B=%s imm=%lld tgt=%d "
+                        "aux=%u\n",
+                        Pos, unsigned(I.Op), unsigned(I.Cond),
+                        RegName(I.A).c_str(), RegName(I.B).c_str(),
+                        (long long)I.Imm, I.Target, I.Aux);
+  }
+  return Out;
+}

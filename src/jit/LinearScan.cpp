@@ -1,0 +1,222 @@
+//===- jit/LinearScan.cpp - Linear-scan register allocation --------------------===//
+
+#include "jit/LinearScan.h"
+
+#include "jit/ABI.h"
+#include "support/Compiler.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+using namespace igdt;
+
+namespace {
+
+bool readsA(IROp Op) {
+  switch (Op) {
+  case IROp::MovRI:
+  case IROp::Load:
+  case IROp::Load8:
+  case IROp::FTrunc:
+  case IROp::FBitsFromF:
+  case IROp::FBitsFromF32:
+    return false; // A is written only
+  default:
+    return true;
+  }
+}
+
+bool writesA(IROp Op) {
+  switch (Op) {
+  case IROp::Store:
+  case IROp::Store8:
+  case IROp::Cmp:
+  case IROp::CmpI:
+  case IROp::FCvtIF:
+  case IROp::FBitsToF:
+  case IROp::FBits32ToF:
+    return false; // A is read only
+  default:
+    return true;
+  }
+}
+
+bool usesB(IROp Op) {
+  switch (Op) {
+  case IROp::Load:
+  case IROp::Store:
+  case IROp::Load8:
+  case IROp::Store8:
+  case IROp::FLoad:
+  case IROp::Add:
+  case IROp::Sub:
+  case IROp::Mul:
+  case IROp::And:
+  case IROp::Or:
+  case IROp::Xor:
+  case IROp::Shl:
+  case IROp::Sar:
+  case IROp::Quo:
+  case IROp::Rem:
+  case IROp::Cmp:
+  case IROp::MovRR:
+    return true;
+  default:
+    return false;
+  }
+}
+
+struct Interval {
+  VReg Reg;
+  std::size_t Start;
+  std::size_t End;
+};
+
+} // namespace
+
+AllocationResult igdt::allocateRegistersLinearScan(IRFunction &F,
+                                                   const MachineDesc &Desc) {
+  AllocationResult Result;
+
+  // Live intervals: first position touching the vreg to the last.
+  std::map<VReg, Interval> Intervals;
+  auto Touch = [&](VReg V, std::size_t Pos) {
+    if (V == NoVReg || V < FirstVirtualReg)
+      return;
+    auto It = Intervals.find(V);
+    if (It == Intervals.end())
+      Intervals.emplace(V, Interval{V, Pos, Pos});
+    else
+      It->second.End = Pos;
+  };
+
+  std::map<std::int32_t, std::size_t> LabelPos;
+  for (std::size_t Pos = 0; Pos < F.Code.size(); ++Pos)
+    if (F.Code[Pos].Op == IROp::Label)
+      LabelPos[F.Code[Pos].Target] = Pos;
+
+  for (std::size_t Pos = 0; Pos < F.Code.size(); ++Pos) {
+    const IRInstr &I = F.Code[Pos];
+    Touch(I.A, Pos);
+    if (usesB(I.Op))
+      Touch(I.B, Pos);
+  }
+
+  // Backward branches: any interval overlapping [target, branch] must
+  // survive the whole loop body.
+  for (std::size_t Pos = 0; Pos < F.Code.size(); ++Pos) {
+    const IRInstr &I = F.Code[Pos];
+    if (I.Op != IROp::Jmp && I.Op != IROp::Jcc)
+      continue;
+    auto It = LabelPos.find(I.Target);
+    if (It == LabelPos.end() || It->second >= Pos)
+      continue;
+    for (auto &[V, Iv] : Intervals)
+      if (Iv.Start <= Pos && Iv.End >= It->second && Iv.End < Pos)
+        Iv.End = Pos;
+  }
+  Result.IntervalCount = static_cast<unsigned>(Intervals.size());
+
+  // Registers the allocator may hand out: allocatable minus any machine
+  // register the fragment already uses explicitly (precolored operands).
+  std::set<MReg> Reserved;
+  for (const IRInstr &I : F.Code) {
+    if (I.A != NoVReg && I.A < FirstVirtualReg)
+      Reserved.insert(static_cast<MReg>(I.A));
+    if (I.B != NoVReg && I.B < FirstVirtualReg)
+      Reserved.insert(static_cast<MReg>(I.B));
+  }
+  std::vector<MReg> Pool;
+  for (unsigned R = 0; R < Desc.NumAllocatableRegs; ++R)
+    if (!Reserved.count(static_cast<MReg>(R)))
+      Pool.push_back(static_cast<MReg>(R));
+
+  // Classic linear scan.
+  std::vector<Interval> Sorted;
+  for (const auto &[V, Iv] : Intervals)
+    Sorted.push_back(Iv);
+  std::sort(Sorted.begin(), Sorted.end(), [](const auto &A, const auto &B) {
+    return A.Start < B.Start;
+  });
+
+  struct Active {
+    Interval Iv;
+    MReg Reg;
+  };
+  std::vector<Active> ActiveList;
+  std::vector<MReg> Free = Pool;
+  std::map<VReg, unsigned> SpillSlots;
+
+  for (const Interval &Iv : Sorted) {
+    // Expire finished intervals.
+    for (auto It = ActiveList.begin(); It != ActiveList.end();) {
+      if (It->Iv.End < Iv.Start) {
+        Free.push_back(It->Reg);
+        It = ActiveList.erase(It);
+      } else {
+        ++It;
+      }
+    }
+    if (!Free.empty()) {
+      MReg R = Free.back();
+      Free.pop_back();
+      Result.Assignment[Iv.Reg] = R;
+      ActiveList.push_back({Iv, R});
+      continue;
+    }
+    // Spill the active interval that ends last (or this one).
+    auto Furthest = std::max_element(
+        ActiveList.begin(), ActiveList.end(),
+        [](const Active &A, const Active &B) { return A.Iv.End < B.Iv.End; });
+    if (Furthest != ActiveList.end() && Furthest->Iv.End > Iv.End) {
+      Result.Assignment[Iv.Reg] = Furthest->Reg;
+      SpillSlots[Furthest->Iv.Reg] =
+          static_cast<unsigned>(SpillSlots.size());
+      Result.Assignment.erase(Furthest->Iv.Reg);
+      ActiveList.erase(Furthest);
+      ActiveList.push_back({Iv, Result.Assignment[Iv.Reg]});
+    } else {
+      SpillSlots[Iv.Reg] = static_cast<unsigned>(SpillSlots.size());
+    }
+  }
+  Result.SpillCount = static_cast<unsigned>(SpillSlots.size());
+  Result.Spilled = SpillSlots;
+
+  if (SpillSlots.empty())
+    return Result;
+
+  // Rewrite spilled uses/defs through the scratch registers. R10 carries
+  // operand A, the target scratch register carries operand B.
+  assert(SpillSlots.size() <= abi::NumSpillSlots && "spill area overflow");
+  IRFunction Rewritten;
+  Rewritten.NumLabels = F.NumLabels;
+  Rewritten.NextVReg = F.NextVReg;
+  IRBuilder RB(Rewritten);
+
+  const VReg ScratchA = preg(MReg::R10);
+  const VReg ScratchB = preg(Desc.ScratchReg);
+
+  for (const IRInstr &I : F.Code) {
+    IRInstr New = I;
+    bool ASpilled = I.A != NoVReg && I.A >= FirstVirtualReg &&
+                    SpillSlots.count(I.A);
+    bool BSpilled = usesB(I.Op) && I.B != NoVReg &&
+                    I.B >= FirstVirtualReg && SpillSlots.count(I.B);
+    if (ASpilled) {
+      if (readsA(I.Op))
+        RB.load(ScratchA, preg(MReg::FP),
+                abi::spillOffset(SpillSlots[I.A]));
+      New.A = ScratchA;
+    }
+    if (BSpilled) {
+      RB.load(ScratchB, preg(MReg::FP), abi::spillOffset(SpillSlots[I.B]));
+      New.B = ScratchB;
+    }
+    Rewritten.push(New);
+    if (ASpilled && writesA(I.Op))
+      RB.store(ScratchA, preg(MReg::FP), abi::spillOffset(SpillSlots[I.A]));
+  }
+  F = std::move(Rewritten);
+  return Result;
+}

@@ -1,0 +1,44 @@
+//===- jit/LinearScan.h - Linear-scan register allocation ----------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The linear-scan register allocator behind the experimental
+/// RegisterAllocatingCogit (paper §4.1): live intervals over the linear
+/// IR, allocation over the target's allocatable registers, and spilling
+/// into the FP-relative spill area when pressure exceeds the register
+/// file. Spilled uses/defs are rewritten through reserved scratch
+/// registers so that lowering only ever sees machine registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_LINEARSCAN_H
+#define IGDT_JIT_LINEARSCAN_H
+
+#include "jit/IR.h"
+
+#include <map>
+
+namespace igdt {
+
+/// Allocation outcome.
+struct AllocationResult {
+  /// Virtual register -> machine register (spilled vregs are rewritten
+  /// away and do not appear here).
+  std::map<VReg, MReg> Assignment;
+  /// Virtual register -> FP-relative spill slot for spilled vregs.
+  std::map<VReg, unsigned> Spilled;
+  unsigned SpillCount = 0;
+  unsigned IntervalCount = 0;
+};
+
+/// Runs linear scan over \p F for \p Desc. May rewrite \p F to insert
+/// spill code. Returns the final assignment for lowerIR.
+AllocationResult allocateRegistersLinearScan(IRFunction &F,
+                                             const MachineDesc &Desc);
+
+} // namespace igdt
+
+#endif // IGDT_JIT_LINEARSCAN_H

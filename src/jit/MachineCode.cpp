@@ -1,0 +1,182 @@
+//===- jit/MachineCode.cpp - The simulated target ISA -------------------------===//
+
+#include "jit/MachineCode.h"
+
+#include "support/StringUtils.h"
+
+using namespace igdt;
+
+const MachineDesc &igdt::x64Desc() {
+  static const MachineDesc Desc = {
+      /*Name=*/"x64",
+      /*NumAllocatableRegs=*/10, // R0..R9 (R10/R11 reserved, FP/SP arch)
+      /*MaxOperandImmediate=*/std::int64_t(1) << 62,
+      /*ScratchReg=*/MReg::R11,
+      /*NumFloatRegs=*/8,
+  };
+  return Desc;
+}
+
+const MachineDesc &igdt::armDesc() {
+  static const MachineDesc Desc = {
+      /*Name=*/"arm",
+      /*NumAllocatableRegs=*/6, // R0..R5
+      /*MaxOperandImmediate=*/0x7FFF, // 16-bit operand immediates
+      /*ScratchReg=*/MReg::R11,
+      /*NumFloatRegs=*/8,
+  };
+  return Desc;
+}
+
+static std::string regName(MReg R) {
+  if (R == MReg::FP)
+    return "fp";
+  if (R == MReg::SP)
+    return "sp";
+  if (R == MReg::NoReg)
+    return "_";
+  return formatString("r%u", unsigned(R));
+}
+
+static std::string fregName(FReg R) {
+  if (R == FReg::NoFReg)
+    return "_";
+  return formatString("f%u", unsigned(R));
+}
+
+static const char *condName(MCond C) {
+  switch (C) {
+  case MCond::Always:
+    return "";
+  case MCond::Eq:
+    return "eq";
+  case MCond::Ne:
+    return "ne";
+  case MCond::Lt:
+    return "lt";
+  case MCond::Le:
+    return "le";
+  case MCond::Gt:
+    return "gt";
+  case MCond::Ge:
+    return "ge";
+  case MCond::Ov:
+    return "ov";
+  case MCond::NoOv:
+    return "noov";
+  }
+  return "?";
+}
+
+std::string igdt::printMInstr(const MInstr &I) {
+  auto R = [&](MReg X) { return regName(X); };
+  auto F = [&](FReg X) { return fregName(X); };
+  switch (I.Op) {
+  case MOp::MovRR:
+    return formatString("mov %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case MOp::MovRI:
+    return formatString("mov %s, #%lld", R(I.A).c_str(), (long long)I.Imm);
+  case MOp::Load:
+    return formatString("ldr %s, [%s + %lld]", R(I.A).c_str(),
+                        R(I.B).c_str(), (long long)I.Imm);
+  case MOp::Store:
+    return formatString("str %s, [%s + %lld]", R(I.A).c_str(),
+                        R(I.B).c_str(), (long long)I.Imm);
+  case MOp::Load8:
+    return formatString("ldrb %s, [%s + %lld]", R(I.A).c_str(),
+                        R(I.B).c_str(), (long long)I.Imm);
+  case MOp::Store8:
+    return formatString("strb %s, [%s + %lld]", R(I.A).c_str(),
+                        R(I.B).c_str(), (long long)I.Imm);
+  case MOp::Add:
+    return formatString("add %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case MOp::AddI:
+    return formatString("add %s, #%lld", R(I.A).c_str(), (long long)I.Imm);
+  case MOp::Sub:
+    return formatString("sub %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case MOp::SubI:
+    return formatString("sub %s, #%lld", R(I.A).c_str(), (long long)I.Imm);
+  case MOp::Mul:
+    return formatString("mul %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case MOp::And:
+    return formatString("and %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case MOp::AndI:
+    return formatString("and %s, #%lld", R(I.A).c_str(), (long long)I.Imm);
+  case MOp::Or:
+    return formatString("orr %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case MOp::OrI:
+    return formatString("orr %s, #%lld", R(I.A).c_str(), (long long)I.Imm);
+  case MOp::Xor:
+    return formatString("eor %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case MOp::Shl:
+    return formatString("lsl %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case MOp::ShlI:
+    return formatString("lsl %s, #%lld", R(I.A).c_str(), (long long)I.Imm);
+  case MOp::Sar:
+    return formatString("asr %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case MOp::SarI:
+    return formatString("asr %s, #%lld", R(I.A).c_str(), (long long)I.Imm);
+  case MOp::Quo:
+    return formatString("sdiv %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case MOp::Rem:
+    return formatString("srem %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case MOp::Cmp:
+    return formatString("cmp %s, %s", R(I.A).c_str(), R(I.B).c_str());
+  case MOp::CmpI:
+    return formatString("cmp %s, #%lld", R(I.A).c_str(), (long long)I.Imm);
+  case MOp::Jmp:
+    return formatString("b %d", I.Target);
+  case MOp::Jcc:
+    return formatString("b.%s %d", condName(I.Cond), I.Target);
+  case MOp::CallRT:
+    return formatString("call rt#%u", I.Aux);
+  case MOp::CallTramp:
+    return formatString("call send#%u nargs=%lld", I.Aux, (long long)I.Imm);
+  case MOp::Ret:
+    return "ret";
+  case MOp::Brk:
+    return formatString("brk #%u", I.Aux);
+  case MOp::FLoad:
+    return formatString("fldr %s, [%s + %lld]", F(I.FA).c_str(),
+                        R(I.B).c_str(), (long long)I.Imm);
+  case MOp::FMovI:
+    return formatString("fmov %s, bits:%llx", F(I.FA).c_str(),
+                        (unsigned long long)I.Imm);
+  case MOp::FMovFF:
+    return formatString("fmov %s, %s", F(I.FA).c_str(), F(I.FB).c_str());
+  case MOp::FAdd:
+    return formatString("fadd %s, %s", F(I.FA).c_str(), F(I.FB).c_str());
+  case MOp::FSub:
+    return formatString("fsub %s, %s", F(I.FA).c_str(), F(I.FB).c_str());
+  case MOp::FMul:
+    return formatString("fmul %s, %s", F(I.FA).c_str(), F(I.FB).c_str());
+  case MOp::FDiv:
+    return formatString("fdiv %s, %s", F(I.FA).c_str(), F(I.FB).c_str());
+  case MOp::FSqrt:
+    return formatString("fsqrt %s", F(I.FA).c_str());
+  case MOp::FTruncF:
+    return formatString("ftruncf %s", F(I.FA).c_str());
+  case MOp::FCvtIF:
+    return formatString("fcvt %s, %s", F(I.FA).c_str(), R(I.A).c_str());
+  case MOp::FTrunc:
+    return formatString("ftrunc %s, %s", R(I.A).c_str(), F(I.FA).c_str());
+  case MOp::FCmp:
+    return formatString("fcmp %s, %s", F(I.FA).c_str(), F(I.FB).c_str());
+  case MOp::FBitsToF:
+    return formatString("fbits %s, %s", F(I.FA).c_str(), R(I.A).c_str());
+  case MOp::FBitsFromF:
+    return formatString("fbits %s, %s", R(I.A).c_str(), F(I.FA).c_str());
+  case MOp::FBits32ToF:
+    return formatString("fbits32 %s, %s", F(I.FA).c_str(), R(I.A).c_str());
+  case MOp::FBitsFromF32:
+    return formatString("fbits32 %s, %s", R(I.A).c_str(), F(I.FA).c_str());
+  }
+  return "?";
+}
+
+std::string igdt::printMachineCode(const std::vector<MInstr> &Code) {
+  std::string Out;
+  for (std::size_t I = 0; I < Code.size(); ++I)
+    Out += formatString("%4zu: %s\n", I, printMInstr(Code[I]).c_str());
+  return Out;
+}

@@ -1,0 +1,162 @@
+//===- jit/MachineCode.h - The simulated target ISA --------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The register-machine ISA the JIT back-ends emit. The paper's Cogit
+/// generates x86/ARM machine code and executes it under Unicorn inside
+/// the simulation environment (paper Fig. 4); IGDT's machine simulator
+/// plays Unicorn's role, so this ISA is "machine code" for all testing
+/// purposes: compiled code performs real loads/stores against the heap,
+/// can segfault, calls send trampolines and runtime helpers, and returns
+/// through a register-based calling convention.
+///
+/// Two machine descriptions (x64-like and arm-like) differ in register
+/// count and immediate encoding, exercising the lowering paths the way
+/// the paper's two back-ends (x86, ARMv5-7) do.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_MACHINECODE_H
+#define IGDT_JIT_MACHINECODE_H
+
+#include "vm/SelectorTable.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// General-purpose registers. FP/SP are architectural and never
+/// allocated. NoReg marks an unused operand slot.
+enum class MReg : std::uint8_t {
+  R0 = 0,
+  R1,
+  R2,
+  R3,
+  R4,
+  R5,
+  R6,
+  R7,
+  R8,
+  R9,
+  R10,
+  R11,
+  FP = 12,
+  SP = 13,
+  NoReg = 15,
+};
+
+/// Float registers.
+enum class FReg : std::uint8_t { F0 = 0, F1, F2, F3, F4, F5, F6, F7, NoFReg = 15 };
+
+/// Branch conditions over the last comparison relation / overflow flag.
+enum class MCond : std::uint8_t {
+  Always,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  Ov,   // last arithmetic overflowed
+  NoOv,
+};
+
+/// Opcodes. Binary register forms compute A = A op B; immediate forms
+/// compute A = A op Imm. Loads/stores address [B + Imm].
+enum class MOp : std::uint8_t {
+  MovRR, // A = B
+  MovRI, // A = Imm
+  Load,  // A = mem64[B + Imm]
+  Store, // mem64[B + Imm] = A
+  Load8, // A = zext mem8[B + Imm]
+  Store8,
+  Add, // sets overflow flag
+  AddI,
+  Sub, // sets overflow flag
+  SubI,
+  Mul, // sets overflow flag
+  And,
+  AndI,
+  Or,
+  OrI,
+  Xor,
+  Shl,
+  ShlI,
+  Sar,
+  SarI,
+  Quo, // A = A / B (truncated; B != 0 or machine fault)
+  Rem, // A = A % B (C semantics)
+  Cmp, // relation(A, B)
+  CmpI,
+  Jmp, // Target
+  Jcc, // Cond, Target
+  CallRT,    // Aux = RTFunc
+  CallTramp, // Aux = selector id, Imm = arg count
+  Ret,
+  Brk, // Aux = marker
+  // Float operations.
+  FLoad,  // FA = double mem[B + Imm]
+  FMovI,  // FA = double with bit pattern Imm
+  FMovFF, // FA = FB
+  FAdd,   // FA = FA op FB
+  FSub,
+  FMul,
+  FDiv,
+  FSqrt,   // FA = sqrt(FA)
+  FTruncF, // FA = trunc(FA) as double
+  FCvtIF,  // FA = (double)A
+  FTrunc,  // A = (int64)trunc(FA); overflow flag on out-of-range
+  FCmp,    // relation(FA, FB); NaN compares unordered
+  FBitsToF,     // FA = bitcast(A)
+  FBitsFromF,   // A = bitcast(FA)
+  FBits32ToF,   // FA = (double)bitcast<float>(low32(A))
+  FBitsFromF32, // A = zext(bitcast<u32>((float)FA))
+};
+
+/// One machine instruction.
+struct MInstr {
+  MOp Op;
+  MCond Cond = MCond::Always;
+  MReg A = MReg::NoReg;
+  MReg B = MReg::NoReg;
+  FReg FA = FReg::NoFReg;
+  FReg FB = FReg::NoFReg;
+  std::int64_t Imm = 0;
+  std::int32_t Target = -1; // resolved instruction index
+  std::uint16_t Aux = 0;
+};
+
+/// Description of one simulated target.
+struct MachineDesc {
+  const char *Name;
+  /// Registers the compilers may allocate (R0..N-1 minus reserved ones).
+  unsigned NumAllocatableRegs;
+  /// Largest immediate reg-op immediates may carry; bigger values are
+  /// legalised through the scratch register.
+  std::int64_t MaxOperandImmediate;
+  /// Scratch register reserved for immediate legalisation.
+  MReg ScratchReg;
+  /// Float registers available.
+  unsigned NumFloatRegs;
+};
+
+/// The x86-64-like target: many registers, 64-bit immediates everywhere.
+const MachineDesc &x64Desc();
+
+/// The ARM32-like target: fewer registers, 16-bit operand immediates.
+const MachineDesc &armDesc();
+
+/// Renders one instruction for debugging and tests.
+std::string printMInstr(const MInstr &I);
+
+/// Renders a code vector with indices.
+std::string printMachineCode(const std::vector<MInstr> &Code);
+
+} // namespace igdt
+
+#endif // IGDT_JIT_MACHINECODE_H

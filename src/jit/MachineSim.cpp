@@ -1,0 +1,527 @@
+//===- jit/MachineSim.cpp - Machine-code simulator -----------------------------===//
+
+#include "jit/MachineSim.h"
+
+#include "support/Compiler.h"
+#include "support/IntMath.h"
+#include "support/StringUtils.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace igdt;
+
+const char *igdt::machExitKindName(MachExitKind Kind) {
+  switch (Kind) {
+  case MachExitKind::Breakpoint:
+    return "breakpoint";
+  case MachExitKind::Returned:
+    return "returned";
+  case MachExitKind::TrampolineCall:
+    return "trampoline-call";
+  case MachExitKind::Segfault:
+    return "segfault";
+  case MachExitKind::SimulationError:
+    return "simulation-error";
+  case MachExitKind::FuelExhausted:
+    return "fuel-exhausted";
+  case MachExitKind::DivideFault:
+    return "divide-fault";
+  }
+  igdt_unreachable("unknown machine exit kind");
+}
+
+MachineSim::MachineSim(ObjectMemory &Heap, SimOptions Options)
+    : Heap(Heap), Opts(std::move(Options)), StackMem(abi::StackBytes, 0),
+      Watermark(Heap.usedBytes()) {
+  setReg(MReg::SP, abi::StackBase + 8 * abi::NumSpillSlots + 16);
+  setReg(MReg::FP, reg(MReg::SP));
+}
+
+std::optional<std::uint64_t> MachineSim::load64(std::uint64_t Address) const {
+  if (Address >= abi::StackBase &&
+      Address + 8 <= abi::StackBase + StackMem.size()) {
+    if ((Address & 7) != 0)
+      return std::nullopt;
+    std::uint64_t V;
+    std::memcpy(&V, &StackMem[Address - abi::StackBase], 8);
+    return V;
+  }
+  return Heap.load64(Address);
+}
+
+bool MachineSim::store64(std::uint64_t Address, std::uint64_t Value) {
+  if (Address >= abi::StackBase &&
+      Address + 8 <= abi::StackBase + StackMem.size()) {
+    if ((Address & 7) != 0)
+      return false;
+    std::memcpy(&StackMem[Address - abi::StackBase], &Value, 8);
+    return true;
+  }
+  return Heap.store64(Address, Value);
+}
+
+std::optional<std::uint8_t> MachineSim::load8(std::uint64_t Address) const {
+  if (Address >= abi::StackBase &&
+      Address + 1 <= abi::StackBase + StackMem.size())
+    return StackMem[Address - abi::StackBase];
+  return Heap.load8(Address);
+}
+
+bool MachineSim::store8(std::uint64_t Address, std::uint8_t Value) {
+  if (Address >= abi::StackBase &&
+      Address + 1 <= abi::StackBase + StackMem.size()) {
+    StackMem[Address - abi::StackBase] = Value;
+    return true;
+  }
+  return Heap.store8(Address, Value);
+}
+
+bool MachineSim::stackStore64(std::uint64_t Address, std::uint64_t Value) {
+  return store64(Address, Value);
+}
+
+std::optional<std::uint64_t>
+MachineSim::stackLoad64(std::uint64_t Address) const {
+  return load64(Address);
+}
+
+std::uint64_t MachineSim::setUpFrame(unsigned NumLocals) {
+  FrameBase = abi::StackBase + 8 * abi::NumSpillSlots + 16;
+  FrameLocals = NumLocals;
+  setReg(MReg::FP, FrameBase);
+  std::uint64_t OperandBase = FrameBase + abi::operandBaseOffset(NumLocals);
+  setReg(MReg::SP, OperandBase);
+  return OperandBase;
+}
+
+void MachineSim::writeReceiver(std::uint64_t Value) {
+  store64(FrameBase + abi::ReceiverOffset, Value);
+}
+
+void MachineSim::writeLocal(unsigned I, std::uint64_t Value) {
+  store64(FrameBase + abi::localOffset(I), Value);
+}
+
+std::uint64_t MachineSim::readLocal(unsigned I) const {
+  return load64(FrameBase + abi::localOffset(I)).value_or(0);
+}
+
+std::uint64_t MachineSim::readReceiver() const {
+  return load64(FrameBase + abi::ReceiverOffset).value_or(0);
+}
+
+void MachineSim::pushOperand(std::uint64_t Value) {
+  std::uint64_t SP = reg(MReg::SP);
+  store64(SP, Value);
+  setReg(MReg::SP, SP + 8);
+}
+
+std::vector<std::uint64_t> MachineSim::operandStack() const {
+  std::vector<std::uint64_t> Out;
+  std::uint64_t Base = FrameBase + abi::operandBaseOffset(FrameLocals);
+  for (std::uint64_t A = Base; A < reg(MReg::SP); A += 8)
+    Out.push_back(load64(A).value_or(0));
+  return Out;
+}
+
+bool MachineSim::condHolds(MCond C) const {
+  switch (C) {
+  case MCond::Always:
+    return true;
+  case MCond::Eq:
+    return Relation == Rel::Equal;
+  case MCond::Ne:
+    return Relation != Rel::Equal; // NaN compares not-equal
+  case MCond::Lt:
+    return Relation == Rel::Less;
+  case MCond::Le:
+    return Relation == Rel::Less || Relation == Rel::Equal;
+  case MCond::Gt:
+    return Relation == Rel::Greater;
+  case MCond::Ge:
+    return Relation == Rel::Greater || Relation == Rel::Equal;
+  case MCond::Ov:
+    return Overflow;
+  case MCond::NoOv:
+    return !Overflow;
+  }
+  igdt_unreachable("unknown condition");
+}
+
+MachineExit MachineSim::fault(const MInstr &I, std::uint64_t Address) {
+  // Fault recovery mirrors the paper's simulation runtime: the simulator
+  // "disassembles the failing instruction and performs a read/write
+  // operation using reflection to call the corresponding register
+  // setter/getters" (§5.3). When an accessor is missing, the recovery
+  // itself errors out — a Simulation Error, not a VM defect.
+  bool IsFloat = I.Op == MOp::FLoad;
+  if (IsFloat) {
+    if (Opts.MissingFPAccessors.count(std::uint8_t(I.FA))) {
+      MachineExit E;
+      E.Kind = MachExitKind::SimulationError;
+      E.Note = formatString("missing simulation accessor for f%u",
+                            unsigned(I.FA));
+      return E;
+    }
+  } else if (Opts.MissingGPAccessors.count(std::uint8_t(I.A))) {
+    MachineExit E;
+    E.Kind = MachExitKind::SimulationError;
+    E.Note =
+        formatString("missing simulation accessor for r%u", unsigned(I.A));
+    return E;
+  }
+  MachineExit E;
+  E.Kind = MachExitKind::Segfault;
+  E.FaultAddress = Address;
+  return E;
+}
+
+bool MachineSim::runtimeCall(RTFunc Func) {
+  switch (Func) {
+  case RTFunc::BoxFloat: {
+    Oop Box = Heap.allocateFloat(freg(FReg::F0));
+    setReg(abi::ResultReg, Box);
+    return true;
+  }
+  case RTFunc::AllocPointers: {
+    auto ClassIdx = static_cast<std::uint32_t>(reg(abi::Arg0Reg));
+    Oop Obj = InvalidOop;
+    if (Heap.classTable().isValidIndex(ClassIdx) &&
+        Heap.classTable().classAt(ClassIdx).Format == ObjectFormat::Pointers)
+      Obj = Heap.allocateInstance(ClassIdx);
+    setReg(abi::ResultReg, Obj);
+    return true;
+  }
+  case RTFunc::AllocIndexable: {
+    auto ClassIdx = static_cast<std::uint32_t>(reg(abi::Arg0Reg));
+    auto Count = static_cast<std::int64_t>(reg(abi::Arg1Reg));
+    Oop Obj = InvalidOop;
+    if (Heap.classTable().isValidIndex(ClassIdx) && Count >= 0 &&
+        Count <= 1024) {
+      ObjectFormat F = Heap.classTable().classAt(ClassIdx).Format;
+      if (F == ObjectFormat::IndexablePointers ||
+          F == ObjectFormat::IndexableBytes)
+        Obj = Heap.allocateInstance(ClassIdx,
+                                    static_cast<std::uint32_t>(Count));
+    }
+    setReg(abi::ResultReg, Obj);
+    return true;
+  }
+  case RTFunc::AllocLike: {
+    Oop Src = reg(abi::Arg0Reg);
+    Oop Obj = InvalidOop;
+    if (Heap.isHeapObject(Src)) {
+      std::uint32_t ClassIdx = Heap.classIndexOf(Src);
+      bool Indexable =
+          Heap.formatOf(Src) == ObjectFormat::IndexablePointers;
+      Obj = Heap.allocateInstance(ClassIdx,
+                                  Indexable ? Heap.slotCountOf(Src) : 0);
+    }
+    setReg(abi::ResultReg, Obj);
+    return true;
+  }
+  case RTFunc::Sin:
+    setFReg(FReg::F0, std::sin(freg(FReg::F0)));
+    return true;
+  case RTFunc::Cos:
+    setFReg(FReg::F0, std::cos(freg(FReg::F0)));
+    return true;
+  case RTFunc::Exp:
+    setFReg(FReg::F0, std::exp(freg(FReg::F0)));
+    return true;
+  case RTFunc::Ln:
+    setFReg(FReg::F0, std::log(freg(FReg::F0)));
+    return true;
+  case RTFunc::ArcTan:
+    setFReg(FReg::F0, std::atan(freg(FReg::F0)));
+    return true;
+  }
+  return false;
+}
+
+MachineExit MachineSim::run(const std::vector<MInstr> &Code) {
+  std::uint64_t Fuel = Opts.Fuel;
+  std::size_t PC = 0;
+
+  auto SetIntFlags = [&](std::int64_t Result, bool Overflowed) {
+    Relation = Result < 0 ? Rel::Less : Result == 0 ? Rel::Equal : Rel::Greater;
+    Overflow = Overflowed;
+  };
+
+  while (PC < Code.size()) {
+    if (Fuel-- == 0) {
+      MachineExit E;
+      E.Kind = MachExitKind::FuelExhausted;
+      return E;
+    }
+    const MInstr &I = Code[PC];
+    std::size_t Next = PC + 1;
+
+    switch (I.Op) {
+    case MOp::MovRR:
+      setReg(I.A, reg(I.B));
+      break;
+    case MOp::MovRI:
+      setReg(I.A, static_cast<std::uint64_t>(I.Imm));
+      break;
+    case MOp::Load: {
+      std::uint64_t Address = reg(I.B) + static_cast<std::uint64_t>(I.Imm);
+      auto V = load64(Address);
+      if (!V)
+        return fault(I, Address);
+      setReg(I.A, *V);
+      break;
+    }
+    case MOp::Store: {
+      std::uint64_t Address = reg(I.B) + static_cast<std::uint64_t>(I.Imm);
+      if (!store64(Address, reg(I.A)))
+        return fault(I, Address);
+      break;
+    }
+    case MOp::Load8: {
+      std::uint64_t Address = reg(I.B) + static_cast<std::uint64_t>(I.Imm);
+      auto V = load8(Address);
+      if (!V)
+        return fault(I, Address);
+      setReg(I.A, *V);
+      break;
+    }
+    case MOp::Store8: {
+      std::uint64_t Address = reg(I.B) + static_cast<std::uint64_t>(I.Imm);
+      if (!store8(Address, static_cast<std::uint8_t>(reg(I.A))))
+        return fault(I, Address);
+      break;
+    }
+    case MOp::Add:
+    case MOp::AddI: {
+      auto A = static_cast<std::int64_t>(reg(I.A));
+      std::int64_t B =
+          I.Op == MOp::Add ? static_cast<std::int64_t>(reg(I.B)) : I.Imm;
+      std::int64_t R;
+      bool Ovf = __builtin_add_overflow(A, B, &R);
+      setReg(I.A, static_cast<std::uint64_t>(R));
+      SetIntFlags(R, Ovf);
+      break;
+    }
+    case MOp::Sub:
+    case MOp::SubI: {
+      auto A = static_cast<std::int64_t>(reg(I.A));
+      std::int64_t B =
+          I.Op == MOp::Sub ? static_cast<std::int64_t>(reg(I.B)) : I.Imm;
+      std::int64_t R;
+      bool Ovf = __builtin_sub_overflow(A, B, &R);
+      setReg(I.A, static_cast<std::uint64_t>(R));
+      SetIntFlags(R, Ovf);
+      break;
+    }
+    case MOp::Mul: {
+      auto A = static_cast<std::int64_t>(reg(I.A));
+      auto B = static_cast<std::int64_t>(reg(I.B));
+      std::int64_t R;
+      bool Ovf = __builtin_mul_overflow(A, B, &R);
+      setReg(I.A, static_cast<std::uint64_t>(R));
+      SetIntFlags(R, Ovf);
+      break;
+    }
+    case MOp::And:
+    case MOp::AndI: {
+      std::uint64_t B = I.Op == MOp::And ? reg(I.B)
+                                         : static_cast<std::uint64_t>(I.Imm);
+      std::uint64_t R = reg(I.A) & B;
+      setReg(I.A, R);
+      SetIntFlags(static_cast<std::int64_t>(R), false);
+      break;
+    }
+    case MOp::Or:
+    case MOp::OrI: {
+      std::uint64_t B = I.Op == MOp::Or ? reg(I.B)
+                                        : static_cast<std::uint64_t>(I.Imm);
+      std::uint64_t R = reg(I.A) | B;
+      setReg(I.A, R);
+      SetIntFlags(static_cast<std::int64_t>(R), false);
+      break;
+    }
+    case MOp::Xor: {
+      std::uint64_t R = reg(I.A) ^ reg(I.B);
+      setReg(I.A, R);
+      SetIntFlags(static_cast<std::int64_t>(R), false);
+      break;
+    }
+    case MOp::Shl:
+    case MOp::ShlI: {
+      std::int64_t Amount =
+          I.Op == MOp::Shl ? static_cast<std::int64_t>(reg(I.B)) : I.Imm;
+      auto A = static_cast<std::int64_t>(reg(I.A));
+      std::int64_t R = Amount >= 0 && Amount < 64
+                           ? static_cast<std::int64_t>(
+                                 static_cast<std::uint64_t>(A) << Amount)
+                           : 0;
+      // Overflow when shifting back does not round-trip.
+      bool Ovf = Amount >= 0 && (Amount >= 64 || asr(R, Amount) != A);
+      setReg(I.A, static_cast<std::uint64_t>(R));
+      SetIntFlags(R, Ovf);
+      break;
+    }
+    case MOp::Sar:
+    case MOp::SarI: {
+      std::int64_t Amount =
+          I.Op == MOp::Sar ? static_cast<std::int64_t>(reg(I.B)) : I.Imm;
+      auto A = static_cast<std::int64_t>(reg(I.A));
+      std::int64_t R = asr(A, std::max<std::int64_t>(Amount, 0));
+      setReg(I.A, static_cast<std::uint64_t>(R));
+      SetIntFlags(R, false);
+      break;
+    }
+    case MOp::Quo:
+    case MOp::Rem: {
+      auto A = static_cast<std::int64_t>(reg(I.A));
+      auto B = static_cast<std::int64_t>(reg(I.B));
+      if (B == 0) {
+        MachineExit E;
+        E.Kind = MachExitKind::DivideFault;
+        return E;
+      }
+      std::int64_t R = I.Op == MOp::Quo ? truncDiv(A, B)
+                                        : (A == SatMin && B == -1 ? 0 : A % B);
+      setReg(I.A, static_cast<std::uint64_t>(R));
+      SetIntFlags(R, false);
+      break;
+    }
+    case MOp::Cmp:
+    case MOp::CmpI: {
+      auto A = static_cast<std::int64_t>(reg(I.A));
+      std::int64_t B =
+          I.Op == MOp::Cmp ? static_cast<std::int64_t>(reg(I.B)) : I.Imm;
+      Relation = A < B ? Rel::Less : A == B ? Rel::Equal : Rel::Greater;
+      Overflow = false;
+      break;
+    }
+    case MOp::Jmp:
+      Next = static_cast<std::size_t>(I.Target);
+      break;
+    case MOp::Jcc:
+      if (condHolds(I.Cond))
+        Next = static_cast<std::size_t>(I.Target);
+      break;
+    case MOp::CallRT:
+      if (!runtimeCall(static_cast<RTFunc>(I.Aux))) {
+        MachineExit E;
+        E.Kind = MachExitKind::SimulationError;
+        E.Note = formatString("unknown runtime function %u", I.Aux);
+        return E;
+      }
+      break;
+    case MOp::CallTramp: {
+      MachineExit E;
+      E.Kind = MachExitKind::TrampolineCall;
+      E.Selector = I.Aux;
+      E.NumArgs = static_cast<std::uint8_t>(I.Imm);
+      return E;
+    }
+    case MOp::Ret: {
+      MachineExit E;
+      E.Kind = MachExitKind::Returned;
+      return E;
+    }
+    case MOp::Brk: {
+      MachineExit E;
+      E.Kind = MachExitKind::Breakpoint;
+      E.Marker = I.Aux;
+      return E;
+    }
+    case MOp::FLoad: {
+      std::uint64_t Address = reg(I.B) + static_cast<std::uint64_t>(I.Imm);
+      auto V = load64(Address);
+      if (!V)
+        return fault(I, Address);
+      double D;
+      std::memcpy(&D, &*V, 8);
+      setFReg(I.FA, D);
+      break;
+    }
+    case MOp::FMovI: {
+      double D;
+      std::memcpy(&D, &I.Imm, 8);
+      setFReg(I.FA, D);
+      break;
+    }
+    case MOp::FMovFF:
+      setFReg(I.FA, freg(I.FB));
+      break;
+    case MOp::FAdd:
+      setFReg(I.FA, freg(I.FA) + freg(I.FB));
+      break;
+    case MOp::FSub:
+      setFReg(I.FA, freg(I.FA) - freg(I.FB));
+      break;
+    case MOp::FMul:
+      setFReg(I.FA, freg(I.FA) * freg(I.FB));
+      break;
+    case MOp::FDiv:
+      setFReg(I.FA, freg(I.FA) / freg(I.FB));
+      break;
+    case MOp::FSqrt:
+      setFReg(I.FA, std::sqrt(freg(I.FA)));
+      break;
+    case MOp::FTruncF:
+      setFReg(I.FA, std::trunc(freg(I.FA)));
+      break;
+    case MOp::FCvtIF:
+      setFReg(I.FA, static_cast<double>(static_cast<std::int64_t>(reg(I.A))));
+      break;
+    case MOp::FTrunc: {
+      double F = freg(I.FA);
+      bool Ovf = !(F > -9.3e18 && F < 9.3e18); // NaN also overflows
+      std::int64_t R = Ovf ? 0 : static_cast<std::int64_t>(std::trunc(F));
+      setReg(I.A, static_cast<std::uint64_t>(R));
+      SetIntFlags(R, Ovf);
+      break;
+    }
+    case MOp::FBitsToF: {
+      double D;
+      std::uint64_t Bits = reg(I.A);
+      std::memcpy(&D, &Bits, 8);
+      setFReg(I.FA, D);
+      break;
+    }
+    case MOp::FBitsFromF: {
+      double D = freg(I.FA);
+      std::uint64_t Bits;
+      std::memcpy(&Bits, &D, 8);
+      setReg(I.A, Bits);
+      break;
+    }
+    case MOp::FBits32ToF: {
+      auto Bits = static_cast<std::uint32_t>(reg(I.A));
+      float Narrow;
+      std::memcpy(&Narrow, &Bits, 4);
+      setFReg(I.FA, static_cast<double>(Narrow));
+      break;
+    }
+    case MOp::FBitsFromF32: {
+      auto Narrow = static_cast<float>(freg(I.FA));
+      std::uint32_t Bits;
+      std::memcpy(&Bits, &Narrow, 4);
+      setReg(I.A, Bits);
+      break;
+    }
+    case MOp::FCmp: {
+      double A = freg(I.FA);
+      double B = freg(I.FB);
+      if (std::isnan(A) || std::isnan(B))
+        Relation = Rel::Unordered;
+      else
+        Relation = A < B ? Rel::Less : A == B ? Rel::Equal : Rel::Greater;
+      Overflow = false;
+      break;
+    }
+    }
+    PC = Next;
+  }
+  // Running off the end is a code-generation bug.
+  MachineExit E;
+  E.Kind = MachExitKind::SimulationError;
+  E.Note = "execution ran past the end of the generated code";
+  return E;
+}

@@ -1,0 +1,137 @@
+//===- jit/MachineSim.h - Machine-code simulator ------------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes generated machine code against the VM heap, playing the role
+/// Unicorn plays in the Pharo simulation environment (paper Fig. 4). The
+/// simulator observes exactly the events the differential oracle needs:
+/// breakpoints, returns, trampoline calls, memory faults.
+///
+/// Faults go through a "recovery" table of per-register accessors,
+/// mirroring the reflective register accessors of the paper's simulation
+/// runtime; entries can be deliberately removed to reproduce the paper's
+/// two *simulation error* findings (§5.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_MACHINESIM_H
+#define IGDT_JIT_MACHINESIM_H
+
+#include "jit/ABI.h"
+#include "jit/MachineCode.h"
+#include "jit/Trampolines.h"
+#include "vm/ObjectMemory.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// Why machine execution stopped.
+enum class MachExitKind : std::uint8_t {
+  Breakpoint,
+  Returned,
+  TrampolineCall,
+  Segfault,
+  SimulationError,
+  FuelExhausted,
+  DivideFault,
+};
+
+const char *machExitKindName(MachExitKind Kind);
+
+/// Terminal state of a simulation run.
+struct MachineExit {
+  MachExitKind Kind = MachExitKind::FuelExhausted;
+  std::uint16_t Marker = 0;      // Breakpoint
+  SelectorId Selector = 0;       // TrampolineCall
+  std::uint8_t NumArgs = 0;      // TrampolineCall
+  std::uint64_t FaultAddress = 0; // Segfault
+  std::string Note;              // SimulationError diagnostics
+};
+
+/// Simulator configuration, including the simulation-error seeds.
+struct SimOptions {
+  /// Registers whose fault-recovery accessor is "missing" (paper §5.3,
+  /// Simulation Error family). A fault whose destination register is in
+  /// this set raises SimulationError instead of a clean Segfault report.
+  std::set<std::uint8_t> MissingGPAccessors;
+  std::set<std::uint8_t> MissingFPAccessors;
+  std::uint64_t Fuel = 100000;
+};
+
+/// Machine register file + stack memory, bound to a VM heap.
+class MachineSim {
+public:
+  MachineSim(ObjectMemory &Heap, SimOptions Options = SimOptions());
+
+  /// \name Register access
+  /// @{
+  std::uint64_t reg(MReg R) const { return Regs[unsigned(R)]; }
+  void setReg(MReg R, std::uint64_t V) { Regs[unsigned(R)] = V; }
+  double freg(FReg R) const { return FRegs[unsigned(R)]; }
+  void setFReg(FReg R, double V) { FRegs[unsigned(R)] = V; }
+  /// @}
+
+  /// \name Machine stack memory
+  /// @{
+  bool stackStore64(std::uint64_t Address, std::uint64_t Value);
+  std::optional<std::uint64_t> stackLoad64(std::uint64_t Address) const;
+  /// @}
+
+  /// Initialises FP/SP for a byte-code fragment frame with \p NumLocals
+  /// locals, returning the operand-stack base address.
+  std::uint64_t setUpFrame(unsigned NumLocals);
+
+  /// Writes \p Value as receiver ([FP+0]) of the current frame.
+  void writeReceiver(std::uint64_t Value);
+  /// Writes local \p I of the current frame.
+  void writeLocal(unsigned I, std::uint64_t Value);
+  std::uint64_t readLocal(unsigned I) const;
+  std::uint64_t readReceiver() const;
+
+  /// Pushes \p Value onto the machine operand stack (adjusts SP).
+  void pushOperand(std::uint64_t Value);
+  /// Operand-stack contents, bottom to top, of the current frame.
+  std::vector<std::uint64_t> operandStack() const;
+
+  /// Executes \p Code from instruction 0 until a terminal event.
+  MachineExit run(const std::vector<MInstr> &Code);
+
+  /// Heap watermark when the simulator was constructed — objects above
+  /// it were allocated by compiled code.
+  std::size_t heapWatermark() const { return Watermark; }
+
+  ObjectMemory &heap() { return Heap; }
+
+private:
+  enum class Rel : std::uint8_t { Less, Equal, Greater, Unordered };
+
+  std::optional<std::uint64_t> load64(std::uint64_t Address) const;
+  bool store64(std::uint64_t Address, std::uint64_t Value);
+  std::optional<std::uint8_t> load8(std::uint64_t Address) const;
+  bool store8(std::uint64_t Address, std::uint8_t Value);
+
+  bool condHolds(MCond C) const;
+  MachineExit fault(const MInstr &I, std::uint64_t Address);
+  bool runtimeCall(RTFunc Func);
+
+  ObjectMemory &Heap;
+  SimOptions Opts;
+  std::uint64_t Regs[16] = {};
+  double FRegs[8] = {};
+  Rel Relation = Rel::Equal;
+  bool Overflow = false;
+  std::vector<std::uint8_t> StackMem;
+  std::uint64_t FrameBase = 0;
+  unsigned FrameLocals = 0;
+  std::size_t Watermark;
+};
+
+} // namespace igdt
+
+#endif // IGDT_JIT_MACHINESIM_H

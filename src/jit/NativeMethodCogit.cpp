@@ -1,0 +1,751 @@
+//===- jit/NativeMethodCogit.cpp - Template-based primitive compiler -----------===//
+
+#include "jit/NativeMethodCogit.h"
+
+#include "jit/CodeGenUtil.h"
+#include "jit/LinearScan.h"
+#include "jit/Lowering.h"
+#include "jit/Trampolines.h"
+#include "vm/PrimitiveTable.h"
+
+#include <cstring>
+
+using namespace igdt;
+
+namespace {
+
+/// Fixed template registers.
+const VReg Rcvr = preg(MReg::R0);
+const VReg Arg0 = preg(MReg::R1);
+const VReg Arg1 = preg(MReg::R2);
+const VReg T0 = preg(MReg::R4);
+const VReg T1 = preg(MReg::R5);
+const VReg T2 = preg(MReg::R6);
+const VReg T3 = preg(MReg::R7);
+const VReg T4 = preg(MReg::R8);
+const VReg T5 = preg(MReg::R9);
+
+struct TemplateEmitter {
+  TemplateEmitter(ObjectMemory &Mem, const MachineDesc &Desc,
+                  const CogitOptions &Opts, IRFunction &F)
+      : Mem(Mem), Desc(Desc), Opts(Opts), B(F), U(B),
+        Fail(B.makeLabel()) {}
+
+  ObjectMemory &Mem;
+  const MachineDesc &Desc;
+  const CogitOptions &Opts;
+  IRBuilder B;
+  CodeGenUtil U;
+  std::int32_t Fail;
+
+  Oop trueOop() const { return Mem.trueObject(); }
+  Oop falseOop() const { return Mem.falseObject(); }
+
+  /// Boxes the untagged integer in \p V into R0 and returns.
+  void answerTaggedInt(VReg V) {
+    U.tag(V);
+    B.movRR(Rcvr, V);
+    B.ret();
+  }
+
+  /// Boxes F0 through the runtime and returns.
+  void answerBoxedFloat() {
+    B.callRT(RTFunc::BoxFloat);
+    B.ret();
+  }
+
+  void answerBool(MCond Cond) {
+    U.boolResult(Rcvr, Cond, trueOop(), falseOop());
+    B.ret();
+  }
+
+  /// Places the shared failure epilogue.
+  void placeFailBlock() {
+    B.placeLabel(Fail);
+    B.brk(MarkerPrimitiveFail);
+  }
+
+  // ---- integer templates ----
+
+  void intBinary(std::int32_t Index) {
+    U.checkSmallInt(Rcvr, T0, Fail);
+    U.checkSmallInt(Arg0, T0, Fail);
+    B.movRR(T0, Rcvr);
+    U.untag(T0);
+    B.movRR(T1, Arg0);
+    U.untag(T1);
+
+    switch (Index) {
+    case PrimIntAdd:
+      B.add(T0, T1);
+      B.jcc(MCond::Ov, Fail);
+      U.checkSmallIntRange(T0, Fail);
+      return answerTaggedInt(T0);
+    case PrimIntSub:
+      B.sub(T0, T1);
+      B.jcc(MCond::Ov, Fail);
+      U.checkSmallIntRange(T0, Fail);
+      return answerTaggedInt(T0);
+    case PrimIntMul:
+      B.mul(T0, T1);
+      B.jcc(MCond::Ov, Fail);
+      U.checkSmallIntRange(T0, Fail);
+      return answerTaggedInt(T0);
+    case PrimIntDiv: {
+      B.cmpI(T1, 0);
+      B.jcc(MCond::Eq, Fail);
+      // Exact division only: remainder must be zero.
+      B.movRR(T2, T0);
+      B.rem(T2, T1);
+      B.cmpI(T2, 0);
+      B.jcc(MCond::Ne, Fail);
+      B.quo(T0, T1);
+      U.checkSmallIntRange(T0, Fail);
+      return answerTaggedInt(T0);
+    }
+    case PrimIntFloorDiv: {
+      B.cmpI(T1, 0);
+      B.jcc(MCond::Eq, Fail);
+      U.floorDiv(T0, T1, T2, T3, T4);
+      U.checkSmallIntRange(T2, Fail);
+      return answerTaggedInt(T2);
+    }
+    case PrimIntMod: {
+      B.cmpI(T1, 0);
+      B.jcc(MCond::Eq, Fail);
+      U.floorMod(T0, T1, T2, T3);
+      return answerTaggedInt(T2);
+    }
+    case PrimIntQuo: {
+      B.cmpI(T1, 0);
+      B.jcc(MCond::Eq, Fail);
+      B.quo(T0, T1);
+      U.checkSmallIntRange(T0, Fail);
+      return answerTaggedInt(T0);
+    }
+    case PrimIntBitAnd:
+      B.andRR(T0, T1);
+      return answerTaggedInt(T0);
+    case PrimIntBitOr:
+      B.orRR(T0, T1);
+      return answerTaggedInt(T0);
+    case PrimIntBitXor:
+      B.xorRR(T0, T1);
+      return answerTaggedInt(T0);
+    case PrimIntBitShift: {
+      std::int32_t RShift = B.makeLabel();
+      B.cmpI(T1, 0);
+      B.jcc(MCond::Lt, RShift);
+      B.cmpI(T1, SmallIntBits);
+      B.jcc(MCond::Gt, Fail);
+      B.shl(T0, T1);
+      B.jcc(MCond::Ov, Fail);
+      U.checkSmallIntRange(T0, Fail);
+      answerTaggedInt(T0);
+      B.placeLabel(RShift);
+      B.movRI(T2, 0);
+      B.sub(T2, T1); // T2 = -amount
+      B.sar(T0, T2);
+      return answerTaggedInt(T0);
+    }
+    case PrimIntLess:
+      B.cmp(T0, T1);
+      return answerBool(MCond::Lt);
+    case PrimIntGreater:
+      B.cmp(T0, T1);
+      return answerBool(MCond::Gt);
+    case PrimIntLessEq:
+      B.cmp(T0, T1);
+      return answerBool(MCond::Le);
+    case PrimIntGreaterEq:
+      B.cmp(T0, T1);
+      return answerBool(MCond::Ge);
+    case PrimIntEqual:
+      B.cmp(T0, T1);
+      return answerBool(MCond::Eq);
+    case PrimIntNotEqual:
+      B.cmp(T0, T1);
+      return answerBool(MCond::Ne);
+    default:
+      B.jmp(Fail);
+      return;
+    }
+  }
+
+  void intUnary(std::int32_t Index) {
+    switch (Index) {
+    case PrimIntAsFloat:
+      // Unlike the seeded interpreter (paper Listing 5), the compiled
+      // template checks its receiver.
+      U.checkSmallInt(Rcvr, T0, Fail);
+      B.movRR(T0, Rcvr);
+      U.untag(T0);
+      B.fcvtIF(FReg::F0, T0);
+      return answerBoxedFloat();
+    case PrimIntNeg:
+      U.checkSmallInt(Rcvr, T0, Fail);
+      B.movRR(T1, Rcvr);
+      U.untag(T1);
+      B.movRI(T0, 0);
+      B.sub(T0, T1);
+      U.checkSmallIntRange(T0, Fail);
+      return answerTaggedInt(T0);
+    case PrimIntHighBit: {
+      U.checkSmallInt(Rcvr, T0, Fail);
+      B.movRR(T0, Rcvr);
+      U.untag(T0);
+      B.cmpI(T0, 0);
+      B.jcc(MCond::Lt, Fail);
+      B.movRI(T1, 0); // bit count
+      std::int32_t Loop = B.makeLabel();
+      std::int32_t Done = B.makeLabel();
+      B.placeLabel(Loop);
+      B.cmpI(T0, 0);
+      B.jcc(MCond::Eq, Done);
+      B.sarI(T0, 1);
+      B.addI(T1, 1);
+      B.jmp(Loop);
+      B.placeLabel(Done);
+      return answerTaggedInt(T1);
+    }
+    default:
+      B.jmp(Fail);
+      return;
+    }
+  }
+
+  // ---- float templates ----
+
+  bool receiverCheckSeeded(std::int32_t Index) const {
+    if (!Opts.SeedFloatReceiverCheckMissing)
+      return false;
+    switch (Index) {
+    case PrimFloatAdd:
+    case PrimFloatSub:
+    case PrimFloatMul:
+    case PrimFloatDiv:
+    case PrimFloatLess:
+    case PrimFloatGreater:
+    case PrimFloatLessEq:
+    case PrimFloatGreaterEq:
+    case PrimFloatEqual:
+    case PrimFloatNotEqual:
+    case PrimFloatTruncated:
+    case PrimFloatRounded:
+    case PrimFloatFractionPart:
+      return true; // the paper's 13 missing compiled type checks
+    default:
+      return false;
+    }
+  }
+
+  /// Receiver-unbox register. On the arm-like back-end two templates
+  /// deliberately route through F5, whose simulation fault-recovery
+  /// accessor is missing — the paper's two Simulation Error findings.
+  FReg receiverFloatReg(std::int32_t Index) const {
+    if (std::strcmp(Desc.Name, "arm") == 0 &&
+        (Index == PrimFloatRounded || Index == PrimFloatFractionPart))
+      return FReg::F5;
+    return FReg::F0;
+  }
+
+  void unboxReceiverFloat(std::int32_t Index, FReg Dst) {
+    if (!receiverCheckSeeded(Index)) {
+      U.checkNotSmallInt(Rcvr, T0, Fail);
+      U.checkClass(Rcvr, BoxedFloatClass, T0, Fail);
+    }
+    // With the seed, a SmallInteger receiver computes an unaligned body
+    // address here: a segmentation fault at run time (paper §5.3).
+    B.fload(Dst, Rcvr, abi::BodyOffset);
+  }
+
+  void unboxArgFloat(FReg Dst) {
+    U.checkNotSmallInt(Arg0, T0, Fail);
+    U.checkClass(Arg0, BoxedFloatClass, T0, Fail);
+    B.fload(Dst, Arg0, abi::BodyOffset);
+  }
+
+  void floatBinary(std::int32_t Index) {
+    FReg RF = receiverFloatReg(Index);
+    unboxReceiverFloat(Index, RF);
+    unboxArgFloat(FReg::F1);
+
+    switch (Index) {
+    case PrimFloatAdd:
+      B.fadd(RF, FReg::F1);
+      break;
+    case PrimFloatSub:
+      B.fsub(RF, FReg::F1);
+      break;
+    case PrimFloatMul:
+      B.fmul(RF, FReg::F1);
+      break;
+    case PrimFloatDiv:
+      B.fmovI(FReg::F2, 0.0);
+      B.fcmp(FReg::F1, FReg::F2);
+      B.jcc(MCond::Eq, Fail);
+      B.fdiv(RF, FReg::F1);
+      break;
+    case PrimFloatLess:
+      B.fcmp(RF, FReg::F1);
+      return answerBool(MCond::Lt);
+    case PrimFloatGreater:
+      B.fcmp(RF, FReg::F1);
+      return answerBool(MCond::Gt);
+    case PrimFloatLessEq:
+      B.fcmp(RF, FReg::F1);
+      return answerBool(MCond::Le);
+    case PrimFloatGreaterEq:
+      B.fcmp(RF, FReg::F1);
+      return answerBool(MCond::Ge);
+    case PrimFloatEqual:
+      B.fcmp(RF, FReg::F1);
+      return answerBool(MCond::Eq);
+    case PrimFloatNotEqual:
+      B.fcmp(RF, FReg::F1);
+      return answerBool(MCond::Ne);
+    default:
+      B.jmp(Fail);
+      return;
+    }
+    if (RF != FReg::F0)
+      B.fmov(FReg::F0, RF);
+    answerBoxedFloat();
+  }
+
+  void floatUnary(std::int32_t Index) {
+    FReg RF = receiverFloatReg(Index);
+    unboxReceiverFloat(Index, RF);
+
+    switch (Index) {
+    case PrimFloatTruncated:
+      B.ftrunc(T0, RF);
+      B.jcc(MCond::Ov, Fail);
+      U.checkSmallIntRange(T0, Fail);
+      return answerTaggedInt(T0);
+    case PrimFloatRounded: {
+      std::int32_t Neg = B.makeLabel();
+      std::int32_t Conv = B.makeLabel();
+      B.fmovI(FReg::F1, 0.0);
+      B.fcmp(RF, FReg::F1);
+      B.jcc(MCond::Lt, Neg);
+      B.fmovI(FReg::F1, 0.5);
+      B.fadd(RF, FReg::F1);
+      B.jmp(Conv);
+      B.placeLabel(Neg);
+      B.fmovI(FReg::F1, 0.5);
+      B.fsub(RF, FReg::F1);
+      B.placeLabel(Conv);
+      B.ftrunc(T0, RF);
+      B.jcc(MCond::Ov, Fail);
+      U.checkSmallIntRange(T0, Fail);
+      return answerTaggedInt(T0);
+    }
+    case PrimFloatFractionPart:
+      B.fmov(FReg::F1, RF);
+      B.ftruncF(FReg::F1);
+      B.fsub(RF, FReg::F1);
+      if (RF != FReg::F0)
+        B.fmov(FReg::F0, RF);
+      return answerBoxedFloat();
+    case PrimFloatSqrt:
+      B.fsqrt(RF);
+      return answerBoxedFloat();
+    case PrimFloatSin:
+      B.callRT(RTFunc::Sin);
+      return answerBoxedFloat();
+    case PrimFloatCos:
+      B.callRT(RTFunc::Cos);
+      return answerBoxedFloat();
+    case PrimFloatExp:
+      B.callRT(RTFunc::Exp);
+      return answerBoxedFloat();
+    case PrimFloatLn:
+      B.fmovI(FReg::F1, 0.0);
+      B.fcmp(RF, FReg::F1);
+      B.jcc(MCond::Le, Fail);
+      B.callRT(RTFunc::Ln);
+      return answerBoxedFloat();
+    case PrimFloatArcTan:
+      B.callRT(RTFunc::ArcTan);
+      return answerBoxedFloat();
+    default:
+      B.jmp(Fail);
+      return;
+    }
+  }
+
+  // ---- object templates ----
+
+  /// Checks a 1-based index in Arg0 against the receiver's slot count;
+  /// leaves the untagged 0-based index in \p IdxOut. Clobbers T2.
+  void checkIndexArg(VReg IdxOut, std::int32_t FailLbl) {
+    U.checkSmallInt(Arg0, T2, FailLbl);
+    B.movRR(IdxOut, Arg0);
+    U.untag(IdxOut);
+    B.cmpI(IdxOut, 1);
+    B.jcc(MCond::Lt, FailLbl);
+    U.loadSlotCount(Rcvr, T2);
+    B.cmp(IdxOut, T2);
+    B.jcc(MCond::Gt, FailLbl);
+    B.subI(IdxOut, 1);
+  }
+
+  void objectFamily(std::int32_t Index) {
+    switch (Index) {
+    case PrimAt: {
+      U.checkNotSmallInt(Rcvr, T0, Fail);
+      U.checkFormat(Rcvr, ObjectFormat::IndexablePointers, T0, Fail);
+      checkIndexArg(T1, Fail);
+      B.shlI(T1, 3);
+      B.add(T1, Rcvr);
+      B.load(Rcvr, T1, abi::BodyOffset);
+      B.ret();
+      return;
+    }
+    case PrimAtPut: {
+      U.checkNotSmallInt(Rcvr, T0, Fail);
+      U.checkFormat(Rcvr, ObjectFormat::IndexablePointers, T0, Fail);
+      checkIndexArg(T1, Fail);
+      B.shlI(T1, 3);
+      B.add(T1, Rcvr);
+      B.store(Arg1, T1, abi::BodyOffset);
+      B.movRR(Rcvr, Arg1);
+      B.ret();
+      return;
+    }
+    case PrimSize: {
+      U.checkNotSmallInt(Rcvr, T0, Fail);
+      U.checkFormat2(Rcvr, ObjectFormat::IndexablePointers,
+                     ObjectFormat::IndexableBytes, T0, Fail);
+      U.loadSlotCount(Rcvr, T0);
+      return answerTaggedInt(T0);
+    }
+    case PrimClass: {
+      std::int32_t HeapCase = B.makeLabel();
+      U.checkSmallInt(Rcvr, T0, HeapCase); // non-immediates take HeapCase
+      B.movRI(Rcvr,
+              static_cast<std::int64_t>(smallIntOop(SmallIntegerClass)));
+      B.ret();
+      B.placeLabel(HeapCase);
+      B.load(T0, Rcvr, abi::Header0Offset);
+      B.andI(T0, 0xFFFFFFFFll);
+      return answerTaggedInt(T0);
+    }
+    case PrimIdentityHash: {
+      std::int32_t HeapCase = B.makeLabel();
+      U.checkSmallInt(Rcvr, T0, HeapCase); // non-immediates take HeapCase
+      B.ret(); // a SmallInteger's identity hash is its own value
+      B.placeLabel(HeapCase);
+      B.load(T0, Rcvr, abi::Header1Offset);
+      B.sarI(T0, 32);
+      B.andI(T0, 0xFFFFFFFFll);
+      return answerTaggedInt(T0);
+    }
+    case PrimIdentityEquals:
+      B.cmp(Rcvr, Arg0);
+      return answerBool(MCond::Eq);
+    case PrimInstVarAt: {
+      U.checkNotSmallInt(Rcvr, T0, Fail);
+      U.checkFormat2(Rcvr, ObjectFormat::Pointers,
+                     ObjectFormat::IndexablePointers, T0, Fail);
+      checkIndexArg(T1, Fail);
+      B.shlI(T1, 3);
+      B.add(T1, Rcvr);
+      B.load(Rcvr, T1, abi::BodyOffset);
+      B.ret();
+      return;
+    }
+    case PrimInstVarAtPut: {
+      U.checkNotSmallInt(Rcvr, T0, Fail);
+      U.checkFormat2(Rcvr, ObjectFormat::Pointers,
+                     ObjectFormat::IndexablePointers, T0, Fail);
+      checkIndexArg(T1, Fail);
+      B.shlI(T1, 3);
+      B.add(T1, Rcvr);
+      B.store(Arg1, T1, abi::BodyOffset);
+      B.movRR(Rcvr, Arg1);
+      B.ret();
+      return;
+    }
+    case PrimByteAt: {
+      U.checkNotSmallInt(Rcvr, T0, Fail);
+      U.checkFormat(Rcvr, ObjectFormat::IndexableBytes, T0, Fail);
+      checkIndexArg(T1, Fail);
+      B.add(T1, Rcvr);
+      B.load8(T0, T1, abi::BodyOffset);
+      return answerTaggedInt(T0);
+    }
+    case PrimByteAtPut: {
+      U.checkNotSmallInt(Rcvr, T0, Fail);
+      U.checkFormat(Rcvr, ObjectFormat::IndexableBytes, T0, Fail);
+      checkIndexArg(T1, Fail);
+      U.checkSmallInt(Arg1, T2, Fail);
+      B.movRR(T3, Arg1);
+      U.untag(T3);
+      B.cmpI(T3, 0);
+      B.jcc(MCond::Lt, Fail);
+      B.cmpI(T3, 255);
+      B.jcc(MCond::Gt, Fail);
+      B.add(T1, Rcvr);
+      B.store8(T3, T1, abi::BodyOffset);
+      B.movRR(Rcvr, Arg1);
+      B.ret();
+      return;
+    }
+    case PrimBasicNew: {
+      U.checkSmallInt(Rcvr, T0, Fail);
+      B.movRR(Arg0, Rcvr);
+      U.untag(Arg0);
+      B.callRT(RTFunc::AllocPointers);
+      B.cmpI(Rcvr, 0);
+      B.jcc(MCond::Eq, Fail);
+      B.ret();
+      return;
+    }
+    case PrimBasicNewSized: {
+      U.checkSmallInt(Rcvr, T0, Fail);
+      U.checkSmallInt(Arg0, T0, Fail);
+      B.movRR(Arg1, Arg0);
+      U.untag(Arg1);
+      B.movRR(Arg0, Rcvr);
+      U.untag(Arg0);
+      B.callRT(RTFunc::AllocIndexable);
+      B.cmpI(Rcvr, 0);
+      B.jcc(MCond::Eq, Fail);
+      B.ret();
+      return;
+    }
+    case PrimShallowCopy: {
+      U.checkNotSmallInt(Rcvr, T0, Fail);
+      U.checkFormat2(Rcvr, ObjectFormat::Pointers,
+                     ObjectFormat::IndexablePointers, T0, Fail);
+      B.movRR(Arg0, Rcvr); // source for AllocLike (and the copy loop)
+      B.callRT(RTFunc::AllocLike);
+      B.cmpI(Rcvr, 0);
+      B.jcc(MCond::Eq, Fail);
+      // Copy loop: T0 = slot count, T1 = index.
+      U.loadSlotCount(Arg0, T0);
+      B.movRI(T1, 0);
+      std::int32_t Loop = B.makeLabel();
+      std::int32_t Done = B.makeLabel();
+      B.placeLabel(Loop);
+      B.cmp(T1, T0);
+      B.jcc(MCond::Ge, Done);
+      B.movRR(T2, T1);
+      B.shlI(T2, 3);
+      B.movRR(T3, Arg0);
+      B.add(T3, T2);
+      B.load(T4, T3, abi::BodyOffset);
+      B.movRR(T3, Rcvr);
+      B.add(T3, T2);
+      B.store(T4, T3, abi::BodyOffset);
+      B.addI(T1, 1);
+      B.jmp(Loop);
+      B.placeLabel(Done);
+      B.ret();
+      return;
+    }
+    default:
+      B.jmp(Fail);
+      return;
+    }
+  }
+
+  // ---- FFI templates (compiled only when the seed is disabled) ----
+
+  void ffiFamily(std::int32_t Index) {
+    struct Access {
+      unsigned Width;
+      bool SignExtend;
+      bool IsStore;
+      bool IsFloat;
+    };
+    Access A;
+    switch (Index) {
+    case PrimFFILoadInt8:
+      A = {1, true, false, false};
+      break;
+    case PrimFFILoadInt16:
+      A = {2, true, false, false};
+      break;
+    case PrimFFILoadInt32:
+      A = {4, true, false, false};
+      break;
+    case PrimFFILoadInt64:
+      A = {8, true, false, false};
+      break;
+    case PrimFFIStoreInt8:
+      A = {1, true, true, false};
+      break;
+    case PrimFFIStoreInt16:
+      A = {2, true, true, false};
+      break;
+    case PrimFFIStoreInt32:
+      A = {4, true, true, false};
+      break;
+    case PrimFFIStoreInt64:
+      A = {8, true, true, false};
+      break;
+    case PrimFFILoadUInt8:
+      A = {1, false, false, false};
+      break;
+    case PrimFFILoadUInt16:
+      A = {2, false, false, false};
+      break;
+    case PrimFFILoadUInt32:
+      A = {4, false, false, false};
+      break;
+    case PrimFFILoadFloat64:
+      A = {8, false, false, true};
+      break;
+    case PrimFFIStoreFloat64:
+      A = {8, false, true, true};
+      break;
+    case PrimFFIStoreUInt8:
+      A = {1, false, true, false};
+      break;
+    case PrimFFIStoreUInt16:
+      A = {2, false, true, false};
+      break;
+    case PrimFFIStoreUInt32:
+      A = {4, false, true, false};
+      break;
+    case PrimFFILoadFloat32:
+      A = {4, false, false, true};
+      break;
+    case PrimFFIStoreFloat32:
+      A = {4, false, true, true};
+      break;
+    default:
+      B.jmp(Fail);
+      return;
+    }
+
+    U.checkNotSmallInt(Rcvr, T0, Fail);
+    U.checkFormat(Rcvr, ObjectFormat::IndexableBytes, T0, Fail);
+    U.checkSmallInt(Arg0, T0, Fail);
+    B.movRR(T1, Arg0); // untagged offset
+    U.untag(T1);
+    B.cmpI(T1, 0);
+    B.jcc(MCond::Lt, Fail);
+    U.loadSlotCount(Rcvr, T2);
+    B.movRR(T3, T1);
+    B.addI(T3, A.Width);
+    B.cmp(T3, T2);
+    B.jcc(MCond::Gt, Fail);
+    // T1 = base address of the access.
+    B.add(T1, Rcvr);
+
+    if (!A.IsStore) {
+      // Assemble the value byte-by-byte (little endian) into T0.
+      B.movRI(T0, 0);
+      for (unsigned I = 0; I < A.Width; ++I) {
+        B.load8(T4, T1, abi::BodyOffset + I);
+        if (I > 0)
+          B.shlI(T4, 8 * I);
+        B.orRR(T0, T4);
+      }
+      if (A.IsFloat) {
+        if (A.Width == 8)
+          B.fbitsToF(FReg::F0, T0);
+        else
+          B.fbits32ToF(FReg::F0, T0);
+        return answerBoxedFloat();
+      }
+      if (A.SignExtend && A.Width < 8) {
+        B.shlI(T0, 64 - 8 * A.Width);
+        B.sarI(T0, 64 - 8 * A.Width);
+      }
+      if (A.Width == 8)
+        U.checkSmallIntRange(T0, Fail);
+      return answerTaggedInt(T0);
+    }
+
+    // Stores: value in Arg1.
+    if (A.IsFloat) {
+      U.checkNotSmallInt(Arg1, T0, Fail);
+      U.checkClass(Arg1, BoxedFloatClass, T0, Fail);
+      B.fload(FReg::F1, Arg1, abi::BodyOffset);
+      if (A.Width == 8)
+        B.fbitsFromF(T0, FReg::F1);
+      else
+        B.fbitsFromF32(T0, FReg::F1);
+    } else {
+      U.checkSmallInt(Arg1, T0, Fail);
+      B.movRR(T0, Arg1);
+      U.untag(T0);
+      if (A.Width < 8) {
+        std::int64_t Lo =
+            A.SignExtend ? -(std::int64_t(1) << (8 * A.Width - 1)) : 0;
+        std::int64_t Hi = A.SignExtend
+                              ? (std::int64_t(1) << (8 * A.Width - 1)) - 1
+                              : (std::int64_t(1) << (8 * A.Width)) - 1;
+        B.cmpI(T0, Lo);
+        B.jcc(MCond::Lt, Fail);
+        B.cmpI(T0, Hi);
+        B.jcc(MCond::Gt, Fail);
+      }
+    }
+    for (unsigned I = 0; I < A.Width; ++I) {
+      B.movRR(T4, T0);
+      if (I > 0)
+        B.sarI(T4, 8 * I);
+      B.store8(T4, T1, abi::BodyOffset + I);
+    }
+    B.movRR(Rcvr, Arg1);
+    B.ret();
+  }
+};
+
+} // namespace
+
+CompiledCode NativeMethodCogit::compile(std::int32_t PrimIndex) {
+  CompiledCode Out;
+  const PrimitiveInfo *Info = primitiveInfo(PrimIndex);
+  if (!Info) {
+    Out.Code = {MInstr{MOp::Brk, MCond::Always, MReg::NoReg, MReg::NoReg,
+                       FReg::NoFReg, FReg::NoFReg, 0, -1,
+                       MarkerPrimitiveFail}};
+    return Out;
+  }
+
+  // The missing-functionality seed: the FFI accessor family was never
+  // implemented in the JIT (paper §5.3); the template is a fail-stub
+  // flagged "not implemented".
+  if (Info->Family == PrimitiveFamily::FFI && Opts.SeedFFINotImplemented) {
+    Out.NotImplemented = true;
+    Out.Code = {MInstr{MOp::Brk, MCond::Always, MReg::NoReg, MReg::NoReg,
+                       FReg::NoFReg, FReg::NoFReg, 0, -1,
+                       MarkerNotImplemented}};
+    return Out;
+  }
+
+  IRFunction F;
+  TemplateEmitter E(Mem, Desc, Opts, F);
+  switch (Info->Family) {
+  case PrimitiveFamily::SmallInteger:
+    if (Info->NumArgs == 1)
+      E.intBinary(PrimIndex);
+    else
+      E.intUnary(PrimIndex);
+    break;
+  case PrimitiveFamily::Float:
+    if (Info->NumArgs == 1)
+      E.floatBinary(PrimIndex);
+    else
+      E.floatUnary(PrimIndex);
+    break;
+  case PrimitiveFamily::Object:
+    E.objectFamily(PrimIndex);
+    break;
+  case PrimitiveFamily::FFI:
+    E.ffiFamily(PrimIndex);
+    break;
+  }
+  E.placeFailBlock();
+
+  Out.IRLength = static_cast<unsigned>(F.Code.size());
+  Out.Code = lowerIR(F, Desc);
+  return Out;
+}

@@ -1,0 +1,48 @@
+//===- jit/NativeMethodCogit.h - Template-based primitive compiler -------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native-method compiler: primitives are translated to machine code
+/// through hand-written templates (paper §4.1: "native methods
+/// implementing primitive operations are translated to IR using a
+/// hand-written template-based approach"). Only the native behaviour is
+/// compiled; a breakpoint after the template detects fall-through
+/// (failure) cases (paper §4.2, Listing 4).
+///
+/// Calling convention: receiver in R0, arguments in R1..R3, result in R0
+/// on a successful Ret; failure falls through to Brk(MarkerPrimitiveFail).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_NATIVEMETHODCOGIT_H
+#define IGDT_JIT_NATIVEMETHODCOGIT_H
+
+#include "jit/CogitOptions.h"
+#include "jit/CompiledCode.h"
+#include "vm/ObjectMemory.h"
+
+namespace igdt {
+
+/// Compiles native methods (primitives) to machine code.
+class NativeMethodCogit {
+public:
+  NativeMethodCogit(ObjectMemory &Memory, const MachineDesc &Desc,
+                    CogitOptions Options = CogitOptions())
+      : Mem(Memory), Desc(Desc), Opts(Options) {}
+
+  /// Compiles primitive \p PrimIndex; NotImplemented stubs are produced
+  /// for the seeded FFI family.
+  CompiledCode compile(std::int32_t PrimIndex);
+
+private:
+  ObjectMemory &Mem;
+  const MachineDesc &Desc;
+  CogitOptions Opts;
+};
+
+} // namespace igdt
+
+#endif // IGDT_JIT_NATIVEMETHODCOGIT_H

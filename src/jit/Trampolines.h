@@ -1,0 +1,57 @@
+//===- jit/Trampolines.h - Runtime calls and breakpoint markers ---------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Identifiers of the runtime helpers compiled code may call (boxing,
+/// allocation, libm) and of the breakpoint markers the differential
+/// tester interprets (paper §4.2: a break instruction after a native
+/// method detects fall-through failure cases).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_TRAMPOLINES_H
+#define IGDT_JIT_TRAMPOLINES_H
+
+#include <cstdint>
+
+namespace igdt {
+
+/// Runtime helper functions reachable via CallRT.
+enum class RTFunc : std::uint16_t {
+  /// F0 -> new BoxedFloat in R0.
+  BoxFloat,
+  /// R1 = class index -> new fixed-slot instance in R0, or 0 on failure.
+  AllocPointers,
+  /// R1 = class index, R2 = element count -> new indexable instance in
+  /// R0, or 0 on failure.
+  AllocIndexable,
+  /// R1 = source object -> fresh instance of the same class and size
+  /// (slots nil) in R0, or 0 on failure.
+  AllocLike,
+  /// F0 -> libm result in F0.
+  Sin,
+  Cos,
+  Exp,
+  Ln,
+  ArcTan,
+};
+
+/// Breakpoint markers (Brk Aux operands).
+enum BrkMarker : std::uint16_t {
+  /// End of a compiled byte-code fragment (fall-through continuation).
+  MarkerFragmentEnd = 1,
+  /// A native method's failure path (fall-through after the native
+  /// behaviour, where the compiled byte-code body would start).
+  MarkerPrimitiveFail = 2,
+  /// A branch byte-code's taken continuation.
+  MarkerJumpTaken = 3,
+  /// "Not yet implemented" stub (the missing-functionality seeds).
+  MarkerNotImplemented = 4,
+};
+
+} // namespace igdt
+
+#endif // IGDT_JIT_TRAMPOLINES_H

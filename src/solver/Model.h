@@ -1,0 +1,82 @@
+//===- solver/Model.h - Satisfying assignments ------------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A model maps abstract-frame variables to concrete value descriptions:
+/// the "list of concrete values that explore such paths" of the paper's
+/// abstract. The frame materialiser interprets a model plus the structural
+/// variable roles to build a concrete VM frame (paper §3.2).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SOLVER_MODEL_H
+#define IGDT_SOLVER_MODEL_H
+
+#include "solver/Term.h"
+#include "vm/ObjectFormat.h"
+
+#include <map>
+
+namespace igdt {
+
+/// Concrete description of one object variable.
+struct ObjAssignment {
+  /// Class-table index; SmallIntegerClass and BoxedFloatClass select the
+  /// immediate/boxed scalar interpretations.
+  std::uint32_t ClassIndex = SmallIntegerClass;
+  /// Payload when ClassIndex == SmallIntegerClass.
+  std::int64_t IntValue = 0;
+  /// Payload when ClassIndex == BoxedFloatClass.
+  double FloatValue = 0.0;
+  /// Slot/byte count for heap objects.
+  std::int64_t SlotCount = 0;
+};
+
+/// A satisfying assignment for one path condition.
+struct Model {
+  /// Per-variable assignments, keyed by the *representative* variable
+  /// (see Reps for union-find aliases introduced by identity equalities).
+  std::map<const ObjTerm *, ObjAssignment> Objects;
+
+  /// Union-find result: variable -> representative. Variables that do not
+  /// appear map to themselves.
+  std::map<const ObjTerm *, const ObjTerm *> Reps;
+
+  /// Assignments of non-variable integer leaves: the operand stack size,
+  /// byte contents (ByteAt / LoadLE) and opaque leaves the solver chose.
+  std::map<const IntTerm *, std::int64_t> IntLeaves;
+
+  /// Assignments of float leaves other than variable payloads.
+  std::map<const FloatTerm *, double> FloatLeaves;
+
+  const ObjTerm *repOf(const ObjTerm *Var) const {
+    auto It = Reps.find(Var);
+    return It == Reps.end() ? Var : It->second;
+  }
+
+  /// Assignment of \p Var (through its representative), or a default
+  /// SmallInteger 0 when the variable is unconstrained.
+  ObjAssignment objectOrDefault(const ObjTerm *Var) const {
+    auto It = Objects.find(repOf(Var));
+    return It == Objects.end() ? ObjAssignment{} : It->second;
+  }
+
+  std::int64_t intLeafOrDefault(const IntTerm *Leaf,
+                                std::int64_t Default = 0) const {
+    auto It = IntLeaves.find(Leaf);
+    return It == IntLeaves.end() ? Default : It->second;
+  }
+
+  double floatLeafOrDefault(const FloatTerm *Leaf,
+                            double Default = 0.0) const {
+    auto It = FloatLeaves.find(Leaf);
+    return It == FloatLeaves.end() ? Default : It->second;
+  }
+};
+
+} // namespace igdt
+
+#endif // IGDT_SOLVER_MODEL_H

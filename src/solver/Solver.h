@@ -1,0 +1,107 @@
+//===- solver/Solver.h - Constraint solver over VM semantics ----------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The constraint solver behind the concolic explorer. The paper used an
+/// off-the-shelf solver (with 56-bit integer precision and no bit-wise
+/// operations, §4.3); none is available offline, so IGDT ships its own:
+///
+///  - path conditions are expanded to a bounded set of conjunctive cases
+///    (negations of compound checks such as overflow ranges produce
+///    disjunctions, see paper Fig. 2);
+///  - object variables get class-table assignments from the type
+///    predicates (isInteger / isFloat / format constraints / identity);
+///  - integer leaves are narrowed by HC4-style interval propagation
+///    through the arithmetic terms, then searched over interval bounds
+///    plus random samples;
+///  - float leaves are solved by candidate/sampling search (sufficient
+///    because VM float paths only compare against constants or test
+///    equality, and transcendental outputs are never constrained).
+///
+/// The IntegerBits option reproduces the paper's solver-precision
+/// limitation: with fewer than 61 bits, paths requiring larger literals
+/// become Unknown and are curated out, exactly as in the paper's Table 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SOLVER_SOLVER_H
+#define IGDT_SOLVER_SOLVER_H
+
+#include "solver/Model.h"
+#include "vm/ClassTable.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace igdt {
+
+/// Outcome of a solver query.
+enum class SolveStatus : std::uint8_t {
+  Sat,     ///< A model was found.
+  Unsat,   ///< Proven unsatisfiable (class conflict or empty interval).
+  Unknown, ///< Search budget exhausted or beyond the solver's theory.
+};
+
+const char *solveStatusName(SolveStatus Status);
+
+/// Result of a query: a status plus the model when Sat.
+struct SolveResult {
+  SolveStatus Status = SolveStatus::Unknown;
+  Model M;
+};
+
+/// Tunables.
+struct SolverOptions {
+  /// Usable signed integer precision. 61 covers the full SmallInteger
+  /// range; smaller values reproduce the paper's 56-bit limitation.
+  int IntegerBits = 61;
+  /// Cap on conjunctive cases expanded from disjunctions.
+  unsigned MaxCases = 64;
+  /// Cap on class-assignment combinations per case.
+  unsigned MaxClassCombos = 256;
+  /// Cap on numeric search nodes per query.
+  unsigned MaxSearchNodes = 50000;
+  /// Random samples per integer/float leaf.
+  unsigned RandomSamples = 12;
+  /// Upper bound of the operand-stack-size variable.
+  std::int64_t MaxStackSize = 12;
+  /// Upper bound of object slot-count variables.
+  std::int64_t MaxSlotCount = 32;
+  /// RNG seed (solving is fully deterministic).
+  std::uint64_t Seed = 0x5EED;
+};
+
+/// Running counters, reported by the evaluation harness.
+struct SolverStats {
+  std::uint64_t Queries = 0;
+  std::uint64_t SatCount = 0;
+  std::uint64_t UnsatCount = 0;
+  std::uint64_t UnknownCount = 0;
+  std::uint64_t CasesExplored = 0;
+  std::uint64_t NodesExplored = 0;
+};
+
+/// The solver. Stateless between queries except for statistics.
+class ConstraintSolver {
+public:
+  explicit ConstraintSolver(const ClassTable &Classes,
+                            SolverOptions Options = SolverOptions());
+
+  /// Solves the conjunction of \p Conjuncts.
+  SolveResult solve(const std::vector<const BoolTerm *> &Conjuncts);
+
+  const SolverStats &stats() const { return Stats; }
+  const SolverOptions &options() const { return Opts; }
+
+private:
+  const ClassTable &Classes;
+  SolverOptions Opts;
+  SolverStats Stats;
+};
+
+} // namespace igdt
+
+#endif // IGDT_SOLVER_SOLVER_H

@@ -1,0 +1,360 @@
+//===- solver/Term.cpp - Term factory --------------------------------------===//
+
+#include "solver/Term.h"
+
+using namespace igdt;
+
+const ObjTerm *TermBuilder::objVar(VarRole Role, std::int32_t Index,
+                                   const ObjTerm *Parent) {
+  auto Key = std::make_tuple(Role, Index, Parent);
+  auto It = VarCache.find(Key);
+  if (It != VarCache.end())
+    return It->second;
+  auto *T = Mem.create<ObjTerm>();
+  T->TermKind = ObjTerm::Kind::Var;
+  T->Role = Role;
+  T->Index = Index;
+  T->Parent = Parent;
+  VarCache.emplace(Key, T);
+  return T;
+}
+
+const ObjTerm *TermBuilder::objConst(Oop Value) {
+  auto It = ConstCache.find(Value);
+  if (It != ConstCache.end())
+    return It->second;
+  auto *T = Mem.create<ObjTerm>();
+  T->TermKind = ObjTerm::Kind::Const;
+  T->ConstValue = Value;
+  ConstCache.emplace(Value, T);
+  return T;
+}
+
+const ObjTerm *TermBuilder::intObj(const IntTerm *Payload) {
+  auto *T = Mem.create<ObjTerm>();
+  T->TermKind = ObjTerm::Kind::IntObj;
+  T->IntPayload = Payload;
+  return T;
+}
+
+const ObjTerm *TermBuilder::floatObj(const FloatTerm *Payload) {
+  auto *T = Mem.create<ObjTerm>();
+  T->TermKind = ObjTerm::Kind::FloatObj;
+  T->FloatPayload = Payload;
+  return T;
+}
+
+const ObjTerm *TermBuilder::newObj(std::uint32_t AllocId,
+                                   std::uint32_t ClassIndex,
+                                   const IntTerm *Size,
+                                   const ObjTerm *CopyOf) {
+  auto *T = Mem.create<ObjTerm>();
+  T->TermKind = ObjTerm::Kind::NewObj;
+  T->AllocId = AllocId;
+  T->AllocClass = ClassIndex;
+  T->AllocSize = Size;
+  T->CopyOf = CopyOf;
+  return T;
+}
+
+const IntTerm *TermBuilder::intConst(std::int64_t Value) {
+  auto It = IntConstCache.find(Value);
+  if (It != IntConstCache.end())
+    return It->second;
+  auto *T = Mem.create<IntTerm>();
+  T->TermKind = IntTerm::Kind::Const;
+  T->ConstValue = Value;
+  IntConstCache.emplace(Value, T);
+  return T;
+}
+
+static const IntTerm *makeIntLeaf(Arena &Mem, IntTerm::Kind Kind,
+                                  const ObjTerm *Var) {
+  auto *T = Mem.create<IntTerm>();
+  T->TermKind = Kind;
+  T->Obj = Var;
+  return T;
+}
+
+const IntTerm *TermBuilder::valueOf(const ObjTerm *Var) {
+  auto Key = std::make_pair(IntTerm::Kind::ValueOf, Var);
+  auto It = IntLeafCache.find(Key);
+  if (It != IntLeafCache.end())
+    return It->second;
+  const IntTerm *T = makeIntLeaf(Mem, IntTerm::Kind::ValueOf, Var);
+  IntLeafCache.emplace(Key, T);
+  return T;
+}
+
+const IntTerm *TermBuilder::uncheckedValueOf(const ObjTerm *Var) {
+  auto Key = std::make_pair(IntTerm::Kind::UncheckedValueOf, Var);
+  auto It = IntLeafCache.find(Key);
+  if (It != IntLeafCache.end())
+    return It->second;
+  const IntTerm *T = makeIntLeaf(Mem, IntTerm::Kind::UncheckedValueOf, Var);
+  IntLeafCache.emplace(Key, T);
+  return T;
+}
+
+const IntTerm *TermBuilder::slotCount(const ObjTerm *Var) {
+  auto Key = std::make_pair(IntTerm::Kind::SlotCount, Var);
+  auto It = IntLeafCache.find(Key);
+  if (It != IntLeafCache.end())
+    return It->second;
+  const IntTerm *T = makeIntLeaf(Mem, IntTerm::Kind::SlotCount, Var);
+  IntLeafCache.emplace(Key, T);
+  return T;
+}
+
+const IntTerm *TermBuilder::stackSize() {
+  if (!StackSizeTerm) {
+    auto *T = Mem.create<IntTerm>();
+    T->TermKind = IntTerm::Kind::StackSize;
+    StackSizeTerm = T;
+  }
+  return StackSizeTerm;
+}
+
+const IntTerm *TermBuilder::byteAt(const ObjTerm *Var, std::int64_t Index) {
+  auto Key = std::make_tuple(Var, Index, -1);
+  auto It = ByteCache.find(Key);
+  if (It != ByteCache.end())
+    return It->second;
+  auto *T = Mem.create<IntTerm>();
+  T->TermKind = IntTerm::Kind::ByteAt;
+  T->Obj = Var;
+  T->Aux = Index;
+  ByteCache.emplace(Key, T);
+  return T;
+}
+
+const IntTerm *TermBuilder::loadLE(const ObjTerm *Var, std::int64_t Offset,
+                                   std::uint8_t Width, bool SignExtend) {
+  auto Key = std::make_tuple(Var, Offset, int(Width) * 2 + (SignExtend ? 1 : 0));
+  auto It = ByteCache.find(Key);
+  if (It != ByteCache.end())
+    return It->second;
+  auto *T = Mem.create<IntTerm>();
+  T->TermKind = IntTerm::Kind::LoadLE;
+  T->Obj = Var;
+  T->Aux = Offset;
+  T->Width = Width;
+  T->SignExtend = SignExtend;
+  ByteCache.emplace(Key, T);
+  return T;
+}
+
+const IntTerm *TermBuilder::classIndexOf(const ObjTerm *Var) {
+  auto Key = std::make_pair(IntTerm::Kind::ClassIndexOf, Var);
+  auto It = IntLeafCache.find(Key);
+  if (It != IntLeafCache.end())
+    return It->second;
+  const IntTerm *T = makeIntLeaf(Mem, IntTerm::Kind::ClassIndexOf, Var);
+  IntLeafCache.emplace(Key, T);
+  return T;
+}
+
+const IntTerm *TermBuilder::identityHash(const ObjTerm *Var) {
+  auto Key = std::make_pair(IntTerm::Kind::IdentityHash, Var);
+  auto It = IntLeafCache.find(Key);
+  if (It != IntLeafCache.end())
+    return It->second;
+  const IntTerm *T = makeIntLeaf(Mem, IntTerm::Kind::IdentityHash, Var);
+  IntLeafCache.emplace(Key, T);
+  return T;
+}
+
+const IntTerm *TermBuilder::binInt(IntTerm::Kind Op, const IntTerm *L,
+                                   const IntTerm *R) {
+  auto *T = Mem.create<IntTerm>();
+  T->TermKind = Op;
+  T->Lhs = L;
+  T->Rhs = R;
+  return T;
+}
+
+const IntTerm *TermBuilder::negInt(const IntTerm *Operand) {
+  auto *T = Mem.create<IntTerm>();
+  T->TermKind = IntTerm::Kind::Neg;
+  T->Lhs = Operand;
+  return T;
+}
+
+const IntTerm *TermBuilder::highBit(const IntTerm *Operand) {
+  auto *T = Mem.create<IntTerm>();
+  T->TermKind = IntTerm::Kind::HighBit;
+  T->Lhs = Operand;
+  return T;
+}
+
+const IntTerm *TermBuilder::truncF(const FloatTerm *Operand) {
+  auto *T = Mem.create<IntTerm>();
+  T->TermKind = IntTerm::Kind::TruncF;
+  T->FloatOperand = Operand;
+  return T;
+}
+
+const FloatTerm *TermBuilder::floatConst(double Value) {
+  auto It = FloatConstCache.find(Value);
+  if (It != FloatConstCache.end())
+    return It->second;
+  auto *T = Mem.create<FloatTerm>();
+  T->TermKind = FloatTerm::Kind::Const;
+  T->ConstValue = Value;
+  FloatConstCache.emplace(Value, T);
+  return T;
+}
+
+const FloatTerm *TermBuilder::floatValueOf(const ObjTerm *Var) {
+  auto Key = std::make_pair(0, Var);
+  auto It = FloatLeafCache.find(Key);
+  if (It != FloatLeafCache.end())
+    return It->second;
+  auto *T = Mem.create<FloatTerm>();
+  T->TermKind = FloatTerm::Kind::ValueOf;
+  T->Obj = Var;
+  FloatLeafCache.emplace(Key, T);
+  return T;
+}
+
+const FloatTerm *TermBuilder::uncheckedFloatValueOf(const ObjTerm *Var) {
+  auto Key = std::make_pair(1, Var);
+  auto It = FloatLeafCache.find(Key);
+  if (It != FloatLeafCache.end())
+    return It->second;
+  auto *T = Mem.create<FloatTerm>();
+  T->TermKind = FloatTerm::Kind::UncheckedValueOf;
+  T->Obj = Var;
+  FloatLeafCache.emplace(Key, T);
+  return T;
+}
+
+const FloatTerm *TermBuilder::loadF64(const ObjTerm *Var,
+                                      std::int64_t Offset) {
+  auto *T = Mem.create<FloatTerm>();
+  T->TermKind = FloatTerm::Kind::LoadF64;
+  T->Obj = Var;
+  T->Aux = Offset;
+  return T;
+}
+
+const FloatTerm *TermBuilder::loadF32(const ObjTerm *Var,
+                                      std::int64_t Offset) {
+  auto *T = Mem.create<FloatTerm>();
+  T->TermKind = FloatTerm::Kind::LoadF32;
+  T->Obj = Var;
+  T->Aux = Offset;
+  return T;
+}
+
+const FloatTerm *TermBuilder::ofInt(const IntTerm *Operand) {
+  auto *T = Mem.create<FloatTerm>();
+  T->TermKind = FloatTerm::Kind::OfInt;
+  T->IntOperand = Operand;
+  return T;
+}
+
+const FloatTerm *TermBuilder::binFloat(FloatTerm::Kind Op, const FloatTerm *L,
+                                       const FloatTerm *R) {
+  auto *T = Mem.create<FloatTerm>();
+  T->TermKind = Op;
+  T->Lhs = L;
+  T->Rhs = R;
+  return T;
+}
+
+const FloatTerm *TermBuilder::unFloat(FloatTerm::Kind Op,
+                                      const FloatTerm *Operand) {
+  auto *T = Mem.create<FloatTerm>();
+  T->TermKind = Op;
+  T->Lhs = Operand;
+  return T;
+}
+
+const BoolTerm *TermBuilder::boolConst(bool Value) {
+  auto *T = Mem.create<BoolTerm>();
+  T->TermKind = BoolTerm::Kind::Const;
+  T->ConstValue = Value;
+  return T;
+}
+
+const BoolTerm *TermBuilder::notB(const BoolTerm *Operand) {
+  // Collapse double negation for readable path conditions.
+  if (Operand->TermKind == BoolTerm::Kind::Not)
+    return Operand->BLhs;
+  auto *T = Mem.create<BoolTerm>();
+  T->TermKind = BoolTerm::Kind::Not;
+  T->BLhs = Operand;
+  return T;
+}
+
+const BoolTerm *TermBuilder::andB(const BoolTerm *L, const BoolTerm *R) {
+  auto *T = Mem.create<BoolTerm>();
+  T->TermKind = BoolTerm::Kind::And;
+  T->BLhs = L;
+  T->BRhs = R;
+  return T;
+}
+
+const BoolTerm *TermBuilder::orB(const BoolTerm *L, const BoolTerm *R) {
+  auto *T = Mem.create<BoolTerm>();
+  T->TermKind = BoolTerm::Kind::Or;
+  T->BLhs = L;
+  T->BRhs = R;
+  return T;
+}
+
+const BoolTerm *TermBuilder::icmp(CmpPred Pred, const IntTerm *L,
+                                  const IntTerm *R) {
+  auto *T = Mem.create<BoolTerm>();
+  T->TermKind = BoolTerm::Kind::ICmp;
+  T->Pred = Pred;
+  T->ILhs = L;
+  T->IRhs = R;
+  return T;
+}
+
+const BoolTerm *TermBuilder::fcmp(CmpPred Pred, const FloatTerm *L,
+                                  const FloatTerm *R) {
+  auto *T = Mem.create<BoolTerm>();
+  T->TermKind = BoolTerm::Kind::FCmp;
+  T->Pred = Pred;
+  T->FLhs = L;
+  T->FRhs = R;
+  return T;
+}
+
+const BoolTerm *TermBuilder::isClass(const ObjTerm *Var,
+                                     std::uint32_t ClassIndex) {
+  auto *T = Mem.create<BoolTerm>();
+  T->TermKind = BoolTerm::Kind::IsClass;
+  T->Obj = Var;
+  T->ClassIndex = ClassIndex;
+  return T;
+}
+
+const BoolTerm *TermBuilder::hasFormat(const ObjTerm *Var,
+                                       std::uint8_t FormatMask) {
+  auto *T = Mem.create<BoolTerm>();
+  T->TermKind = BoolTerm::Kind::HasFormat;
+  T->Obj = Var;
+  T->FormatMask = FormatMask;
+  return T;
+}
+
+const BoolTerm *TermBuilder::objEq(const ObjTerm *L, const ObjTerm *R) {
+  auto *T = Mem.create<BoolTerm>();
+  T->TermKind = BoolTerm::Kind::ObjEq;
+  T->Obj = L;
+  T->ObjRhs = R;
+  return T;
+}
+
+const BoolTerm *TermBuilder::intFormatIs(const IntTerm *ClassIdx,
+                                         std::uint8_t FormatMask) {
+  auto *T = Mem.create<BoolTerm>();
+  T->TermKind = BoolTerm::Kind::IntFormatIs;
+  T->ILhs = ClassIdx;
+  T->FormatMask = FormatMask;
+  return T;
+}

@@ -1,0 +1,302 @@
+//===- solver/TermEval.cpp - Term evaluation under a model -------------------===//
+
+#include "solver/TermEval.h"
+
+#include "support/Compiler.h"
+#include "support/IntMath.h"
+
+#include <cmath>
+#include <cstring>
+
+using namespace igdt;
+
+std::optional<std::int64_t> TermEvaluator::evalInt(const IntTerm *T) const {
+  switch (T->TermKind) {
+  case IntTerm::Kind::Const:
+    return T->ConstValue;
+  case IntTerm::Kind::ValueOf:
+    return M.objectOrDefault(T->Obj).IntValue;
+  case IntTerm::Kind::SlotCount:
+    return M.objectOrDefault(T->Obj).SlotCount;
+  case IntTerm::Kind::ClassIndexOf:
+    return static_cast<std::int64_t>(M.objectOrDefault(T->Obj).ClassIndex);
+  case IntTerm::Kind::StackSize:
+  case IntTerm::Kind::ByteAt:
+  case IntTerm::Kind::LoadLE: {
+    auto It = M.IntLeaves.find(T);
+    if (It != M.IntLeaves.end())
+      return It->second;
+    if (Oracle)
+      if (auto V = Oracle->intLeaf(T))
+        return V;
+    return 0; // unconstrained leaves default to zero
+  }
+  case IntTerm::Kind::UncheckedValueOf:
+  case IntTerm::Kind::IdentityHash: {
+    // Materialisation-dependent: the model may carry a guess (solver
+    // search), the oracle knows the truth (differential replay).
+    if (Oracle)
+      if (auto V = Oracle->intLeaf(T))
+        return V;
+    auto It = M.IntLeaves.find(T);
+    if (It != M.IntLeaves.end())
+      return It->second;
+    return std::nullopt;
+  }
+  case IntTerm::Kind::Neg: {
+    auto A = evalInt(T->Lhs);
+    if (!A)
+      return std::nullopt;
+    return negSat(*A);
+  }
+  case IntTerm::Kind::HighBit: {
+    auto A = evalInt(T->Lhs);
+    if (!A || *A < 0)
+      return std::nullopt;
+    return highBit(*A);
+  }
+  case IntTerm::Kind::TruncF: {
+    auto F = evalFloat(T->FloatOperand);
+    if (!F)
+      return std::nullopt;
+    if (*F >= 9.2e18)
+      return SatMax;
+    if (*F <= -9.2e18)
+      return SatMin;
+    return static_cast<std::int64_t>(std::trunc(*F));
+  }
+  default:
+    break;
+  }
+
+  auto A = evalInt(T->Lhs);
+  auto B = evalInt(T->Rhs);
+  if (!A || !B)
+    return std::nullopt;
+  switch (T->TermKind) {
+  case IntTerm::Kind::Add:
+    return addSat(*A, *B);
+  case IntTerm::Kind::Sub:
+    return subSat(*A, *B);
+  case IntTerm::Kind::Mul:
+    return mulSat(*A, *B);
+  case IntTerm::Kind::Quo:
+    if (*B == 0)
+      return std::nullopt;
+    return truncDiv(*A, *B);
+  case IntTerm::Kind::DivFloor:
+    if (*B == 0)
+      return std::nullopt;
+    return floorDiv(*A, *B);
+  case IntTerm::Kind::ModFloor:
+    if (*B == 0)
+      return std::nullopt;
+    return floorMod(*A, *B);
+  case IntTerm::Kind::BitAnd:
+    return *A & *B;
+  case IntTerm::Kind::BitOr:
+    return *A | *B;
+  case IntTerm::Kind::BitXor:
+    return *A ^ *B;
+  case IntTerm::Kind::Shl:
+    if (*B < 0)
+      return std::nullopt;
+    return shlSat(*A, *B);
+  case IntTerm::Kind::Asr:
+    if (*B < 0)
+      return std::nullopt;
+    return asr(*A, *B);
+  default:
+    igdt_unreachable("unhandled int term kind");
+  }
+}
+
+std::optional<double> TermEvaluator::evalFloat(const FloatTerm *T) const {
+  switch (T->TermKind) {
+  case FloatTerm::Kind::Const:
+    return T->ConstValue;
+  case FloatTerm::Kind::ValueOf:
+    return M.objectOrDefault(T->Obj).FloatValue;
+  case FloatTerm::Kind::UncheckedValueOf:
+  case FloatTerm::Kind::LoadF64:
+  case FloatTerm::Kind::LoadF32: {
+    if (Oracle)
+      if (auto V = Oracle->floatLeaf(T))
+        return V;
+    auto It = M.FloatLeaves.find(T);
+    if (It != M.FloatLeaves.end())
+      return It->second;
+    return T->TermKind == FloatTerm::Kind::UncheckedValueOf
+               ? std::nullopt
+               : std::optional<double>(0.0);
+  }
+  case FloatTerm::Kind::OfInt: {
+    auto A = evalInt(T->IntOperand);
+    if (!A)
+      return std::nullopt;
+    return static_cast<double>(*A);
+  }
+  default:
+    break;
+  }
+
+  auto A = evalFloat(T->Lhs);
+  if (!A)
+    return std::nullopt;
+  switch (T->TermKind) {
+  case FloatTerm::Kind::Sqrt:
+    return std::sqrt(*A);
+  case FloatTerm::Kind::Sin:
+    return std::sin(*A);
+  case FloatTerm::Kind::Cos:
+    return std::cos(*A);
+  case FloatTerm::Kind::Exp:
+    return std::exp(*A);
+  case FloatTerm::Kind::Ln:
+    return std::log(*A);
+  case FloatTerm::Kind::ArcTan:
+    return std::atan(*A);
+  case FloatTerm::Kind::Frac:
+    return *A - std::trunc(*A);
+  default:
+    break;
+  }
+  auto B = evalFloat(T->Rhs);
+  if (!B)
+    return std::nullopt;
+  switch (T->TermKind) {
+  case FloatTerm::Kind::Add:
+    return *A + *B;
+  case FloatTerm::Kind::Sub:
+    return *A - *B;
+  case FloatTerm::Kind::Mul:
+    return *A * *B;
+  case FloatTerm::Kind::Div:
+    return *A / *B;
+  default:
+    igdt_unreachable("unhandled float term kind");
+  }
+}
+
+std::optional<std::uint32_t> TermEvaluator::classOf(const ObjTerm *T) const {
+  switch (T->TermKind) {
+  case ObjTerm::Kind::Var:
+    return M.objectOrDefault(T).ClassIndex;
+  case ObjTerm::Kind::Const:
+    if (isSmallIntOop(T->ConstValue))
+      return SmallIntegerClass;
+    return std::nullopt; // heap constant: class unknown to the solver
+  case ObjTerm::Kind::IntObj:
+    return SmallIntegerClass;
+  case ObjTerm::Kind::FloatObj:
+    return BoxedFloatClass;
+  case ObjTerm::Kind::NewObj:
+    return T->AllocClass;
+  }
+  igdt_unreachable("unhandled obj term kind");
+}
+
+std::optional<bool> TermEvaluator::evalBool(const BoolTerm *T) const {
+  auto Compare = [](CmpPred Pred, auto A, auto B) -> bool {
+    switch (Pred) {
+    case CmpPred::Lt:
+      return A < B;
+    case CmpPred::Le:
+      return A <= B;
+    case CmpPred::Eq:
+      return A == B;
+    }
+    igdt_unreachable("unhandled predicate");
+  };
+
+  switch (T->TermKind) {
+  case BoolTerm::Kind::Const:
+    return T->ConstValue;
+  case BoolTerm::Kind::Not: {
+    auto A = evalBool(T->BLhs);
+    if (!A)
+      return std::nullopt;
+    return !*A;
+  }
+  case BoolTerm::Kind::And: {
+    auto A = evalBool(T->BLhs);
+    auto B = evalBool(T->BRhs);
+    if (A && !*A)
+      return false;
+    if (B && !*B)
+      return false;
+    if (!A || !B)
+      return std::nullopt;
+    return true;
+  }
+  case BoolTerm::Kind::Or: {
+    auto A = evalBool(T->BLhs);
+    auto B = evalBool(T->BRhs);
+    if (A && *A)
+      return true;
+    if (B && *B)
+      return true;
+    if (!A || !B)
+      return std::nullopt;
+    return false;
+  }
+  case BoolTerm::Kind::ICmp: {
+    auto A = evalInt(T->ILhs);
+    auto B = evalInt(T->IRhs);
+    if (!A || !B)
+      return std::nullopt;
+    return Compare(T->Pred, *A, *B);
+  }
+  case BoolTerm::Kind::FCmp: {
+    auto A = evalFloat(T->FLhs);
+    auto B = evalFloat(T->FRhs);
+    if (!A || !B)
+      return std::nullopt;
+    return Compare(T->Pred, *A, *B);
+  }
+  case BoolTerm::Kind::IsClass: {
+    auto C = classOf(T->Obj);
+    if (!C)
+      return std::nullopt;
+    return *C == T->ClassIndex;
+  }
+  case BoolTerm::Kind::HasFormat: {
+    auto C = classOf(T->Obj);
+    if (!C)
+      return std::nullopt;
+    if (*C == SmallIntegerClass)
+      return false; // immediates have no storage format
+    if (!Classes.isValidIndex(*C))
+      return std::nullopt;
+    return (formatBit(Classes.classAt(*C).Format) & T->FormatMask) != 0;
+  }
+  case BoolTerm::Kind::ObjEq: {
+    const ObjTerm *L = T->Obj;
+    const ObjTerm *R = T->ObjRhs;
+    if (L->isVar() && R->isVar()) {
+      if (M.repOf(L) == M.repOf(R))
+        return true;
+      // Distinct representatives: identical only if both are the same
+      // immediate integer.
+      ObjAssignment AL = M.objectOrDefault(L);
+      ObjAssignment AR = M.objectOrDefault(R);
+      if (AL.ClassIndex == SmallIntegerClass &&
+          AR.ClassIndex == SmallIntegerClass)
+        return AL.IntValue == AR.IntValue;
+      return false; // distinct materialised objects
+    }
+    // Non-variable identity is decided at recording time; be conservative.
+    return std::nullopt;
+  }
+  case BoolTerm::Kind::IntFormatIs: {
+    auto C = evalInt(T->ILhs);
+    if (!C)
+      return std::nullopt;
+    if (*C <= 0 || *C >= static_cast<std::int64_t>(Classes.size()))
+      return false;
+    return (formatBit(Classes.classAt(static_cast<std::uint32_t>(*C)).Format) &
+            T->FormatMask) != 0;
+  }
+  }
+  igdt_unreachable("unhandled bool term kind");
+}

@@ -1,0 +1,71 @@
+//===- solver/TermEval.h - Term evaluation under a model ---------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Evaluates Int/Float/Bool terms under a Model. The solver uses this to
+/// check candidate assignments; the differential tester reuses it (with a
+/// LeafOracle that resolves materialisation-dependent leaves such as
+/// unchecked untags and identity hashes) to predict instruction outputs.
+///
+/// Integer semantics are exactly those of support/IntMath.h, so the
+/// evaluator, the interpreter and the machine simulator agree.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SOLVER_TERMEVAL_H
+#define IGDT_SOLVER_TERMEVAL_H
+
+#include "solver/Model.h"
+#include "vm/ClassTable.h"
+
+#include <optional>
+
+namespace igdt {
+
+/// Resolves leaves whose value depends on the concrete materialisation
+/// rather than on the model (unchecked untags, identity hashes, byte
+/// contents of already-built objects).
+class LeafOracle {
+public:
+  virtual ~LeafOracle() = default;
+  virtual std::optional<std::int64_t> intLeaf(const IntTerm *Leaf) {
+    (void)Leaf;
+    return std::nullopt;
+  }
+  virtual std::optional<double> floatLeaf(const FloatTerm *Leaf) {
+    (void)Leaf;
+    return std::nullopt;
+  }
+};
+
+/// Term evaluator over a Model (+ optional oracle + class table).
+class TermEvaluator {
+public:
+  TermEvaluator(const Model &M, const ClassTable &Classes,
+                LeafOracle *Oracle = nullptr)
+      : M(M), Classes(Classes), Oracle(Oracle) {}
+
+  /// Evaluates an integer term; nullopt when a leaf is unresolvable.
+  std::optional<std::int64_t> evalInt(const IntTerm *T) const;
+
+  /// Evaluates a float term.
+  std::optional<double> evalFloat(const FloatTerm *T) const;
+
+  /// Evaluates a boolean term (path-condition node).
+  std::optional<bool> evalBool(const BoolTerm *T) const;
+
+  /// Class index an object term denotes under the model, when decidable.
+  std::optional<std::uint32_t> classOf(const ObjTerm *T) const;
+
+private:
+  const Model &M;
+  const ClassTable &Classes;
+  LeafOracle *Oracle;
+};
+
+} // namespace igdt
+
+#endif // IGDT_SOLVER_TERMEVAL_H

@@ -1,0 +1,220 @@
+//===- solver/TermPrinter.cpp - Human-readable term rendering ----------------===//
+
+#include "solver/TermPrinter.h"
+
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+using namespace igdt;
+
+std::string igdt::printObjTerm(const ObjTerm *T) {
+  switch (T->TermKind) {
+  case ObjTerm::Kind::Var:
+    switch (T->Role) {
+    case VarRole::Receiver:
+      return "receiver";
+    case VarRole::StackSlot:
+      return formatString("s%d", T->Index);
+    case VarRole::Local:
+      return formatString("t%d", T->Index);
+    case VarRole::SlotOf:
+      return formatString("%s.slot%d", printObjTerm(T->Parent).c_str(),
+                          T->Index);
+    }
+    igdt_unreachable("unhandled var role");
+  case ObjTerm::Kind::Const:
+    if (isSmallIntOop(T->ConstValue))
+      return formatString("%lld", (long long)smallIntValue(T->ConstValue));
+    return formatString("const@%llx", (unsigned long long)T->ConstValue);
+  case ObjTerm::Kind::IntObj:
+    return formatString("intObject(%s)", printIntTerm(T->IntPayload).c_str());
+  case ObjTerm::Kind::FloatObj:
+    return formatString("floatObject(%s)",
+                        printFloatTerm(T->FloatPayload).c_str());
+  case ObjTerm::Kind::NewObj:
+    return formatString("new%u(class=%u)", T->AllocId, T->AllocClass);
+  }
+  igdt_unreachable("unhandled obj term kind");
+}
+
+std::string igdt::printIntTerm(const IntTerm *T) {
+  auto Bin = [&](const char *Op) {
+    return formatString("(%s %s %s)", printIntTerm(T->Lhs).c_str(), Op,
+                        printIntTerm(T->Rhs).c_str());
+  };
+  switch (T->TermKind) {
+  case IntTerm::Kind::Const:
+    return formatString("%lld", (long long)T->ConstValue);
+  case IntTerm::Kind::ValueOf:
+    return printObjTerm(T->Obj);
+  case IntTerm::Kind::UncheckedValueOf:
+    return formatString("rawInt(%s)", printObjTerm(T->Obj).c_str());
+  case IntTerm::Kind::SlotCount:
+    return formatString("slotCount(%s)", printObjTerm(T->Obj).c_str());
+  case IntTerm::Kind::StackSize:
+    return "operand_stack_size";
+  case IntTerm::Kind::ByteAt:
+    return formatString("byteAt(%s, %lld)", printObjTerm(T->Obj).c_str(),
+                        (long long)T->Aux);
+  case IntTerm::Kind::LoadLE:
+    return formatString("load%s%u(%s, %lld)", T->SignExtend ? "Int" : "UInt",
+                        T->Width * 8, printObjTerm(T->Obj).c_str(),
+                        (long long)T->Aux);
+  case IntTerm::Kind::ClassIndexOf:
+    return formatString("classIndexOf(%s)", printObjTerm(T->Obj).c_str());
+  case IntTerm::Kind::IdentityHash:
+    return formatString("identityHash(%s)", printObjTerm(T->Obj).c_str());
+  case IntTerm::Kind::Add:
+    return Bin("+");
+  case IntTerm::Kind::Sub:
+    return Bin("-");
+  case IntTerm::Kind::Mul:
+    return Bin("*");
+  case IntTerm::Kind::Quo:
+    return Bin("quo");
+  case IntTerm::Kind::DivFloor:
+    return Bin("//");
+  case IntTerm::Kind::ModFloor:
+    return Bin("\\\\");
+  case IntTerm::Kind::Neg:
+    return formatString("(- %s)", printIntTerm(T->Lhs).c_str());
+  case IntTerm::Kind::BitAnd:
+    return Bin("bitAnd");
+  case IntTerm::Kind::BitOr:
+    return Bin("bitOr");
+  case IntTerm::Kind::BitXor:
+    return Bin("bitXor");
+  case IntTerm::Kind::Shl:
+    return Bin("<<");
+  case IntTerm::Kind::Asr:
+    return Bin(">>");
+  case IntTerm::Kind::HighBit:
+    return formatString("highBit(%s)", printIntTerm(T->Lhs).c_str());
+  case IntTerm::Kind::TruncF:
+    return formatString("truncated(%s)",
+                        printFloatTerm(T->FloatOperand).c_str());
+  }
+  igdt_unreachable("unhandled int term kind");
+}
+
+std::string igdt::printFloatTerm(const FloatTerm *T) {
+  auto Bin = [&](const char *Op) {
+    return formatString("(%s %s %s)", printFloatTerm(T->Lhs).c_str(), Op,
+                        printFloatTerm(T->Rhs).c_str());
+  };
+  auto Un = [&](const char *Fn) {
+    return formatString("%s(%s)", Fn, printFloatTerm(T->Lhs).c_str());
+  };
+  switch (T->TermKind) {
+  case FloatTerm::Kind::Const:
+    return formatString("%g", T->ConstValue);
+  case FloatTerm::Kind::ValueOf:
+    return formatString("floatValue(%s)", printObjTerm(T->Obj).c_str());
+  case FloatTerm::Kind::UncheckedValueOf:
+    return formatString("rawFloat(%s)", printObjTerm(T->Obj).c_str());
+  case FloatTerm::Kind::LoadF64:
+    return formatString("loadFloat64(%s, %lld)", printObjTerm(T->Obj).c_str(),
+                        (long long)T->Aux);
+  case FloatTerm::Kind::LoadF32:
+    return formatString("loadFloat32(%s, %lld)", printObjTerm(T->Obj).c_str(),
+                        (long long)T->Aux);
+  case FloatTerm::Kind::OfInt:
+    return formatString("asFloat(%s)", printIntTerm(T->IntOperand).c_str());
+  case FloatTerm::Kind::Add:
+    return Bin("+");
+  case FloatTerm::Kind::Sub:
+    return Bin("-");
+  case FloatTerm::Kind::Mul:
+    return Bin("*");
+  case FloatTerm::Kind::Div:
+    return Bin("/");
+  case FloatTerm::Kind::Sqrt:
+    return Un("sqrt");
+  case FloatTerm::Kind::Sin:
+    return Un("sin");
+  case FloatTerm::Kind::Cos:
+    return Un("cos");
+  case FloatTerm::Kind::Exp:
+    return Un("exp");
+  case FloatTerm::Kind::Ln:
+    return Un("ln");
+  case FloatTerm::Kind::ArcTan:
+    return Un("arcTan");
+  case FloatTerm::Kind::Frac:
+    return Un("fractionPart");
+  }
+  igdt_unreachable("unhandled float term kind");
+}
+
+std::string igdt::printBoolTerm(const BoolTerm *T) {
+  switch (T->TermKind) {
+  case BoolTerm::Kind::Const:
+    return T->ConstValue ? "true" : "false";
+  case BoolTerm::Kind::Not: {
+    const BoolTerm *Inner = T->BLhs;
+    // Pretty-print negated type predicates the way the paper does:
+    // isNotInteger(v) instead of !(isInteger(v)).
+    if (Inner->TermKind == BoolTerm::Kind::IsClass &&
+        Inner->ClassIndex == SmallIntegerClass)
+      return formatString("isNotInteger(%s)",
+                          printObjTerm(Inner->Obj).c_str());
+    if (Inner->TermKind == BoolTerm::Kind::IsClass &&
+        Inner->ClassIndex == BoxedFloatClass)
+      return formatString("isNotFloat(%s)", printObjTerm(Inner->Obj).c_str());
+    return formatString("!(%s)", printBoolTerm(Inner).c_str());
+  }
+  case BoolTerm::Kind::And:
+    return formatString("(%s AND %s)", printBoolTerm(T->BLhs).c_str(),
+                        printBoolTerm(T->BRhs).c_str());
+  case BoolTerm::Kind::Or:
+    return formatString("(%s OR %s)", printBoolTerm(T->BLhs).c_str(),
+                        printBoolTerm(T->BRhs).c_str());
+  case BoolTerm::Kind::ICmp: {
+    const char *Op = T->Pred == CmpPred::Lt   ? "<"
+                     : T->Pred == CmpPred::Le ? "<="
+                                              : "==";
+    // Overflow range checks print as isInteger(expr).
+    return formatString("%s %s %s", printIntTerm(T->ILhs).c_str(), Op,
+                        printIntTerm(T->IRhs).c_str());
+  }
+  case BoolTerm::Kind::FCmp: {
+    const char *Op = T->Pred == CmpPred::Lt   ? "<"
+                     : T->Pred == CmpPred::Le ? "<="
+                                              : "==";
+    return formatString("%s %s %s", printFloatTerm(T->FLhs).c_str(), Op,
+                        printFloatTerm(T->FRhs).c_str());
+  }
+  case BoolTerm::Kind::IsClass:
+    if (T->ClassIndex == SmallIntegerClass)
+      return formatString("isInteger(%s)", printObjTerm(T->Obj).c_str());
+    if (T->ClassIndex == BoxedFloatClass)
+      return formatString("isFloat(%s)", printObjTerm(T->Obj).c_str());
+    if (T->ClassIndex == TrueClass)
+      return formatString("isTrue(%s)", printObjTerm(T->Obj).c_str());
+    if (T->ClassIndex == FalseClass)
+      return formatString("isFalse(%s)", printObjTerm(T->Obj).c_str());
+    if (T->ClassIndex == UndefinedObjectClass)
+      return formatString("isNil(%s)", printObjTerm(T->Obj).c_str());
+    return formatString("classOf(%s) == %u", printObjTerm(T->Obj).c_str(),
+                        T->ClassIndex);
+  case BoolTerm::Kind::HasFormat:
+    return formatString("formatOf(%s) in 0x%x", printObjTerm(T->Obj).c_str(),
+                        T->FormatMask);
+  case BoolTerm::Kind::ObjEq:
+    return formatString("%s == %s", printObjTerm(T->Obj).c_str(),
+                        printObjTerm(T->ObjRhs).c_str());
+  case BoolTerm::Kind::IntFormatIs:
+    return formatString("formatOfClass(%s) in 0x%x",
+                        printIntTerm(T->ILhs).c_str(), T->FormatMask);
+  }
+  igdt_unreachable("unhandled bool term kind");
+}
+
+std::string igdt::printPathCondition(
+    const std::vector<const BoolTerm *> &Path) {
+  std::vector<std::string> Lines;
+  Lines.reserve(Path.size());
+  for (const BoolTerm *T : Path)
+    Lines.push_back(printBoolTerm(T));
+  return joinStrings(Lines, "\n");
+}

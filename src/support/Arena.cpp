@@ -1,0 +1,35 @@
+//===- support/Arena.cpp - Bump-pointer allocator -------------------------===//
+
+#include "support/Arena.h"
+
+#include <algorithm>
+#include <cstring>
+
+using namespace igdt;
+
+void Arena::newSlab(std::size_t MinSize) {
+  std::size_t Size = std::max(SlabSize, MinSize);
+  Slabs.push_back(std::make_unique<std::uint8_t[]>(Size));
+  Cursor = Slabs.back().get();
+  SlabEnd = Cursor + Size;
+}
+
+void *Arena::allocate(std::size_t Size, std::size_t Align) {
+  auto Addr = reinterpret_cast<std::uintptr_t>(Cursor);
+  std::uintptr_t Aligned = (Addr + Align - 1) & ~(std::uintptr_t(Align) - 1);
+  std::uint8_t *Start = Cursor + (Aligned - Addr);
+  if (Start + Size > SlabEnd) {
+    newSlab(Size + Align);
+    return allocate(Size, Align);
+  }
+  Cursor = Start + Size;
+  BytesAllocated += Size;
+  return Start;
+}
+
+void Arena::reset() {
+  Slabs.clear();
+  Cursor = nullptr;
+  SlabEnd = nullptr;
+  BytesAllocated = 0;
+}

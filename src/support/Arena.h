@@ -1,0 +1,64 @@
+//===- support/Arena.h - Bump-pointer allocator ---------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A simple bump-pointer arena. Symbolic terms (see solver/Term.h) are
+/// immutable and live for the duration of one instruction exploration, so
+/// they are allocated here and freed wholesale when the arena dies.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SUPPORT_ARENA_H
+#define IGDT_SUPPORT_ARENA_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace igdt {
+
+/// Bump-pointer allocator. Objects allocated here must be trivially
+/// destructible: the arena never runs destructors.
+class Arena {
+public:
+  Arena() = default;
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Allocates \p Size bytes aligned to \p Align.
+  void *allocate(std::size_t Size, std::size_t Align);
+
+  /// Allocates and constructs a T from \p Args.
+  template <typename T, typename... Args> T *create(Args &&...ArgValues) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena objects are never destroyed");
+    void *Mem = allocate(sizeof(T), alignof(T));
+    return new (Mem) T(std::forward<Args>(ArgValues)...);
+  }
+
+  /// Returns the total number of bytes handed out so far.
+  std::size_t bytesAllocated() const { return BytesAllocated; }
+
+  /// Releases every slab; all objects created from this arena die.
+  void reset();
+
+private:
+  static constexpr std::size_t SlabSize = 64 * 1024;
+
+  void newSlab(std::size_t MinSize);
+
+  std::vector<std::unique_ptr<std::uint8_t[]>> Slabs;
+  std::uint8_t *Cursor = nullptr;
+  std::uint8_t *SlabEnd = nullptr;
+  std::size_t BytesAllocated = 0;
+};
+
+} // namespace igdt
+
+#endif // IGDT_SUPPORT_ARENA_H

@@ -1,0 +1,40 @@
+//===- support/Compiler.h - Portability and diagnostics macros -----------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small portability macros shared by every IGDT library. The project
+/// follows the LLVM convention of not using exceptions or RTTI; fatal
+/// invariant violations abort through igdt_unreachable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SUPPORT_COMPILER_H
+#define IGDT_SUPPORT_COMPILER_H
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace igdt {
+
+/// Aborts the process after printing \p Msg. Used to mark control flow
+/// that is unconditionally a bug if reached, mirroring llvm_unreachable.
+[[noreturn]] inline void igdt_unreachable(const char *Msg) {
+  std::fprintf(stderr, "igdt fatal: %s\n", Msg);
+  std::abort();
+}
+
+} // namespace igdt
+
+#if defined(__GNUC__) || defined(__clang__)
+#define IGDT_LIKELY(X) __builtin_expect(!!(X), 1)
+#define IGDT_UNLIKELY(X) __builtin_expect(!!(X), 0)
+#else
+#define IGDT_LIKELY(X) (X)
+#define IGDT_UNLIKELY(X) (X)
+#endif
+
+#endif // IGDT_SUPPORT_COMPILER_H

@@ -1,0 +1,105 @@
+//===- support/IntMath.h - Shared integer semantics ------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Integer helpers shared by the interpreter domains, the JIT machine
+/// simulator and the constraint-term evaluator. All three must agree on
+/// arithmetic semantics bit-for-bit, so the definitions live here once.
+///
+/// Products and shifts of 61-bit SmallInteger payloads can exceed 64-bit
+/// range; those operations saturate. Saturation only matters for branch
+/// outcomes of the overflow range check, which it preserves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SUPPORT_INTMATH_H
+#define IGDT_SUPPORT_INTMATH_H
+
+#include <cstdint>
+#include <limits>
+
+namespace igdt {
+
+inline constexpr std::int64_t SatMax = std::numeric_limits<std::int64_t>::max();
+inline constexpr std::int64_t SatMin = std::numeric_limits<std::int64_t>::min();
+
+inline std::int64_t clampI128(__int128 Value) {
+  if (Value > SatMax)
+    return SatMax;
+  if (Value < SatMin)
+    return SatMin;
+  return static_cast<std::int64_t>(Value);
+}
+
+inline std::int64_t addSat(std::int64_t A, std::int64_t B) {
+  return clampI128(static_cast<__int128>(A) + B);
+}
+
+inline std::int64_t subSat(std::int64_t A, std::int64_t B) {
+  return clampI128(static_cast<__int128>(A) - B);
+}
+
+inline std::int64_t mulSat(std::int64_t A, std::int64_t B) {
+  return clampI128(static_cast<__int128>(A) * B);
+}
+
+inline std::int64_t negSat(std::int64_t A) {
+  return A == SatMin ? SatMax : -A;
+}
+
+/// Truncated division (C semantics). Caller guarantees B != 0.
+inline std::int64_t truncDiv(std::int64_t A, std::int64_t B) {
+  if (A == SatMin && B == -1)
+    return SatMax; // saturate instead of UB
+  return A / B;
+}
+
+/// Floored division (Smalltalk // semantics). Caller guarantees B != 0.
+inline std::int64_t floorDiv(std::int64_t A, std::int64_t B) {
+  std::int64_t Quotient = truncDiv(A, B);
+  if ((A % B != 0) && ((A < 0) != (B < 0)))
+    --Quotient;
+  return Quotient;
+}
+
+/// Floored modulo (Smalltalk \\ semantics); result has B's sign.
+inline std::int64_t floorMod(std::int64_t A, std::int64_t B) {
+  std::int64_t Remainder = A % B;
+  if (Remainder != 0 && ((A < 0) != (B < 0)))
+    Remainder += B;
+  return Remainder;
+}
+
+/// Left shift with saturation; \p Amount >= 0.
+inline std::int64_t shlSat(std::int64_t A, std::int64_t Amount) {
+  if (A == 0)
+    return 0;
+  if (Amount >= 63)
+    return A > 0 ? SatMax : SatMin;
+  return clampI128(static_cast<__int128>(A) << Amount);
+}
+
+/// Arithmetic right shift; \p Amount >= 0.
+inline std::int64_t asr(std::int64_t A, std::int64_t Amount) {
+  if (Amount >= 63)
+    return A < 0 ? -1 : 0;
+  return A >> Amount;
+}
+
+/// Index (1-based) of the highest set bit of \p A; 0 when A == 0.
+/// Caller guarantees A >= 0.
+inline std::int64_t highBit(std::int64_t A) {
+  std::int64_t Bit = 0;
+  while (A != 0) {
+    ++Bit;
+    A >>= 1;
+  }
+  return Bit;
+}
+
+} // namespace igdt
+
+#endif // IGDT_SUPPORT_INTMATH_H

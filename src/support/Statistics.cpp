@@ -1,0 +1,75 @@
+//===- support/Statistics.cpp - Descriptive statistics helpers ------------===//
+
+#include "support/Statistics.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace igdt;
+
+SampleStats igdt::computeStats(std::vector<double> Values) {
+  SampleStats Stats;
+  if (Values.empty())
+    return Stats;
+  std::sort(Values.begin(), Values.end());
+  Stats.Count = Values.size();
+  Stats.Min = Values.front();
+  Stats.Max = Values.back();
+  for (double V : Values)
+    Stats.Total += V;
+  Stats.Mean = Stats.Total / static_cast<double>(Stats.Count);
+  Stats.Median = Values[Stats.Count / 2];
+  Stats.P90 = Values[(Stats.Count * 9) / 10 == Stats.Count
+                         ? Stats.Count - 1
+                         : (Stats.Count * 9) / 10];
+  double Var = 0;
+  for (double V : Values)
+    Var += (V - Stats.Mean) * (V - Stats.Mean);
+  Stats.StdDev = std::sqrt(Var / static_cast<double>(Stats.Count));
+  return Stats;
+}
+
+std::string igdt::describeStats(const SampleStats &Stats, const char *Unit) {
+  return formatString(
+      "n=%zu mean=%.2f%s median=%.2f%s p90=%.2f%s min=%.2f%s max=%.2f%s "
+      "total=%.2f%s",
+      Stats.Count, Stats.Mean, Unit, Stats.Median, Unit, Stats.P90, Unit,
+      Stats.Min, Unit, Stats.Max, Unit, Stats.Total, Unit);
+}
+
+std::string igdt::renderHistogram(const std::vector<double> &Values,
+                                  unsigned Buckets, const char *Unit) {
+  if (Values.empty() || Buckets == 0)
+    return "(empty sample)\n";
+  double Lo = *std::min_element(Values.begin(), Values.end());
+  double Hi = *std::max_element(Values.begin(), Values.end());
+  // Log-scale buckets; shift so that the smallest value maps to >= 1.
+  double Shift = Lo <= 0 ? 1.0 - Lo : 0.0;
+  double LogLo = std::log10(Lo + Shift);
+  double LogHi = std::log10(Hi + Shift);
+  if (LogHi <= LogLo)
+    LogHi = LogLo + 1;
+  std::vector<unsigned> Counts(Buckets, 0);
+  for (double V : Values) {
+    double Pos = (std::log10(V + Shift) - LogLo) / (LogHi - LogLo);
+    auto Idx = static_cast<unsigned>(Pos * Buckets);
+    if (Idx >= Buckets)
+      Idx = Buckets - 1;
+    ++Counts[Idx];
+  }
+  unsigned MaxCount = *std::max_element(Counts.begin(), Counts.end());
+  std::string Out;
+  for (unsigned I = 0; I < Buckets; ++I) {
+    double BucketLo =
+        std::pow(10.0, LogLo + (LogHi - LogLo) * I / Buckets) - Shift;
+    double BucketHi =
+        std::pow(10.0, LogLo + (LogHi - LogLo) * (I + 1) / Buckets) - Shift;
+    unsigned BarLen =
+        MaxCount == 0 ? 0 : (Counts[I] * 50 + MaxCount - 1) / MaxCount;
+    Out += formatString("%10.2f-%-10.2f %s |%s %u\n", BucketLo, BucketHi,
+                        Unit, std::string(BarLen, '#').c_str(), Counts[I]);
+  }
+  return Out;
+}

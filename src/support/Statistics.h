@@ -1,0 +1,46 @@
+//===- support/Statistics.h - Descriptive statistics helpers --------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Mean / median / percentile / geomean over a sample, used by the figure
+/// benches (paths per instruction, timing distributions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SUPPORT_STATISTICS_H
+#define IGDT_SUPPORT_STATISTICS_H
+
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// Descriptive statistics of one numeric sample.
+struct SampleStats {
+  std::size_t Count = 0;
+  double Min = 0;
+  double Max = 0;
+  double Mean = 0;
+  double Median = 0;
+  double P90 = 0;
+  double StdDev = 0;
+  double Total = 0;
+};
+
+/// Computes stats over \p Values (the input is copied and sorted).
+SampleStats computeStats(std::vector<double> Values);
+
+/// Renders \p Stats as a single human-readable line.
+std::string describeStats(const SampleStats &Stats, const char *Unit);
+
+/// Renders a log-scale ASCII histogram of \p Values with \p Buckets bars,
+/// used to echo the paper's box plots (Figures 5-7) in terminal output.
+std::string renderHistogram(const std::vector<double> &Values,
+                            unsigned Buckets, const char *Unit);
+
+} // namespace igdt
+
+#endif // IGDT_SUPPORT_STATISTICS_H

@@ -1,0 +1,38 @@
+//===- support/StringUtils.h - Small string helpers -----------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// printf-style formatting into std::string plus a few joining helpers,
+/// used by term printers, reports and the table renderers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SUPPORT_STRINGUTILS_H
+#define IGDT_SUPPORT_STRINGUTILS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// printf-style formatting into a std::string.
+std::string formatString(const char *Fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/// Joins \p Parts with \p Sep between consecutive elements.
+std::string joinStrings(const std::vector<std::string> &Parts,
+                        const std::string &Sep);
+
+/// Renders \p Value as 0x-prefixed hexadecimal.
+std::string toHex(std::uint64_t Value);
+
+/// Renders a percentage with two decimals, e.g. "28.95%".
+std::string formatPercent(double Fraction);
+
+} // namespace igdt
+
+#endif // IGDT_SUPPORT_STRINGUTILS_H

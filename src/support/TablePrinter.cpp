@@ -1,0 +1,46 @@
+//===- support/TablePrinter.cpp - Aligned ASCII tables ---------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <algorithm>
+
+using namespace igdt;
+
+TablePrinter::TablePrinter(std::vector<std::string> HeaderCells)
+    : Header(std::move(HeaderCells)) {}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+std::string TablePrinter::render() const {
+  std::vector<std::size_t> Widths(Header.size(), 0);
+  auto Measure = [&](const std::vector<std::string> &Cells) {
+    for (std::size_t I = 0; I < Cells.size(); ++I) {
+      if (I >= Widths.size())
+        Widths.resize(I + 1, 0);
+      Widths[I] = std::max(Widths[I], Cells[I].size());
+    }
+  };
+  Measure(Header);
+  for (const auto &Row : Rows)
+    Measure(Row);
+
+  auto RenderRow = [&](const std::vector<std::string> &Cells) {
+    std::string Line = "|";
+    for (std::size_t I = 0; I < Widths.size(); ++I) {
+      std::string Cell = I < Cells.size() ? Cells[I] : "";
+      Line += " " + Cell + std::string(Widths[I] - Cell.size(), ' ') + " |";
+    }
+    return Line + "\n";
+  };
+
+  std::string Out = RenderRow(Header);
+  std::string Sep = "|";
+  for (std::size_t W : Widths)
+    Sep += std::string(W + 2, '-') + "|";
+  Out += Sep + "\n";
+  for (const auto &Row : Rows)
+    Out += RenderRow(Row);
+  return Out;
+}

@@ -1,0 +1,40 @@
+//===- support/TablePrinter.h - Aligned ASCII tables -----------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders the evaluation tables (Table 1-3 of the paper) as aligned
+/// ASCII. Benches and examples print through this so that the regenerated
+/// rows look like the paper's tables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SUPPORT_TABLEPRINTER_H
+#define IGDT_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// Accumulates rows of cells and renders them with per-column alignment.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::vector<std::string> Header);
+
+  /// Appends one data row; it may have fewer cells than the header.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders header, separator and rows into a single string.
+  std::string render() const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace igdt
+
+#endif // IGDT_SUPPORT_TABLEPRINTER_H

@@ -1,0 +1,621 @@
+//===- symbolic/ConcolicDomain.h - Instrumented execution domain -------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concolic value domain for InterpreterCore. Every operation runs
+/// concretely (against a real ObjectMemory materialised from the current
+/// model) and symbolically (building terms); every predicate records a
+/// path constraint with the observed outcome (paper §2.3).
+///
+/// Recording is *semantic* (paper §3.3): predicates fold away entirely
+/// when their operand is statically typed (constants, freshly boxed
+/// values, new allocations), so path conditions only mention genuine
+/// input variables.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SYMBOLIC_CONCOLICDOMAIN_H
+#define IGDT_SYMBOLIC_CONCOLICDOMAIN_H
+
+#include "support/Compiler.h"
+#include "support/IntMath.h"
+#include "symbolic/ConcolicValue.h"
+#include "symbolic/Effects.h"
+#include "symbolic/PathRecorder.h"
+#include "vm/ObjectMemory.h"
+#include "vm/VMConfig.h"
+
+#include <cmath>
+#include <cstring>
+#include <map>
+
+namespace igdt {
+
+/// Instrumented domain: ConcreteDomain semantics + constraint recording.
+class ConcolicDomain {
+public:
+  using Value = ConcolicValue;
+  using IntV = ConcolicInt;
+  using FltV = ConcolicFloat;
+
+  ConcolicDomain(ObjectMemory &Memory, const VMConfig &Config,
+                 TermBuilder &Builder, PathRecorder &Recorder)
+      : Mem(Memory), Cfg(Config), B(Builder), Rec(Recorder) {}
+
+  ObjectMemory &memory() { return Mem; }
+  const VMConfig &config() const { return Cfg; }
+  TermBuilder &builder() { return B; }
+
+  /// \name Side-effect records (consumed by the explorer per path)
+  /// @{
+  std::vector<SlotStoreEffect> SlotStores;
+  std::vector<ByteStoreEffect> ByteStores;
+  std::vector<AllocationRecord> Allocations;
+
+  void resetRunState() {
+    SlotStores.clear();
+    ByteStores.clear();
+    Allocations.clear();
+    SlotShadow.clear();
+  }
+  /// @}
+
+  /// \name Constants
+  /// @{
+  Value nilValue() { return {Mem.nilObject(), B.objConst(Mem.nilObject())}; }
+  Value trueValue() {
+    return {Mem.trueObject(), B.objConst(Mem.trueObject())};
+  }
+  Value falseValue() {
+    return {Mem.falseObject(), B.objConst(Mem.falseObject())};
+  }
+  Value booleanValue(bool V) {
+    return {Mem.booleanObject(V), B.objConst(Mem.booleanObject(V))};
+  }
+  Value literalValue(Oop Literal) { return {Literal, B.objConst(Literal)}; }
+  IntV intConst(std::int64_t V) { return {V, B.intConst(V)}; }
+  FltV floatConst(double V) { return {V, B.floatConst(V)}; }
+  /// @}
+
+  /// \name Frame-structural checks
+  /// @{
+
+  /// Operand-stack depth of the materialised *input* frame. The symbolic
+  /// StackSize variable denotes this depth; within a sequence the
+  /// concrete depth drifts by the net pushes/pops executed so far, so a
+  /// depth check is translated back into input terms.
+  std::int64_t InputStackDepth = 0;
+
+  bool checkStackDepth(std::size_t ConcreteSize, std::uint32_t Needed) {
+    bool Taken = ConcreteSize >= Needed;
+    std::int64_t NetChange =
+        static_cast<std::int64_t>(ConcreteSize) - InputStackDepth;
+    std::int64_t RequiredInput = std::int64_t(Needed) - NetChange;
+    if (RequiredInput > 0)
+      Rec.record(B.icmp(CmpPred::Le, B.intConst(RequiredInput),
+                        B.stackSize()),
+                 Taken);
+    return Taken;
+  }
+  /// @}
+
+  /// \name Type predicates
+  /// @{
+  bool isSmallInteger(Value V) {
+    bool Concrete = isSmallIntOop(V.C);
+    recordClassPred(V.S, SmallIntegerClass, Concrete);
+    return Concrete;
+  }
+  bool isBoxedFloat(Value V) {
+    bool Concrete = Mem.isBoxedFloat(V.C);
+    recordClassPred(V.S, BoxedFloatClass, Concrete);
+    return Concrete;
+  }
+  bool isPointersObject(Value V) {
+    bool Concrete = false;
+    if (Mem.isHeapObject(V.C)) {
+      ObjectFormat F = Mem.formatOf(V.C);
+      Concrete = F == ObjectFormat::Pointers ||
+                 F == ObjectFormat::IndexablePointers;
+    }
+    recordFormatPred(V.S,
+                     formatBit(ObjectFormat::Pointers) |
+                         formatBit(ObjectFormat::IndexablePointers),
+                     Concrete);
+    return Concrete;
+  }
+  bool isIndexablePointers(Value V) {
+    bool Concrete = Mem.isHeapObject(V.C) &&
+                    Mem.formatOf(V.C) == ObjectFormat::IndexablePointers;
+    recordFormatPred(V.S, formatBit(ObjectFormat::IndexablePointers),
+                     Concrete);
+    return Concrete;
+  }
+  bool isBytesObject(Value V) {
+    bool Concrete = Mem.isHeapObject(V.C) &&
+                    Mem.formatOf(V.C) == ObjectFormat::IndexableBytes;
+    recordFormatPred(V.S, formatBit(ObjectFormat::IndexableBytes), Concrete);
+    return Concrete;
+  }
+  bool hasClassIndex(Value V, std::uint32_t ClassIdx) {
+    bool Concrete = Mem.classIndexOf(V.C) == ClassIdx;
+    recordClassPred(V.S, ClassIdx, Concrete);
+    return Concrete;
+  }
+  bool isTrueObject(Value V) {
+    bool Concrete = V.C == Mem.trueObject();
+    recordClassPred(V.S, TrueClass, Concrete);
+    return Concrete;
+  }
+  bool isFalseObject(Value V) {
+    bool Concrete = V.C == Mem.falseObject();
+    recordClassPred(V.S, FalseClass, Concrete);
+    return Concrete;
+  }
+  /// @}
+
+  /// \name Small integers
+  /// @{
+  IntV integerValueOf(Value V) {
+    std::int64_t Concrete = smallIntValue(V.C);
+    return {Concrete, intTermOf(V, Concrete)};
+  }
+  IntV uncheckedIntegerValueOf(Value V) {
+    std::int64_t Concrete = smallIntValueUnchecked(V.C);
+    if (V.S->isVar())
+      return {Concrete, B.uncheckedValueOf(V.S)};
+    return {Concrete, B.intConst(Concrete)};
+  }
+  Value integerObjectOf(IntV I) {
+    assert(fitsSmallInt(I.C) && "boxing out-of-range integer");
+    if (I.S->TermKind == IntTerm::Kind::Const)
+      return {smallIntOop(I.C), B.objConst(smallIntOop(I.C))};
+    return {smallIntOop(I.C), B.intObj(I.S)};
+  }
+  bool isIntegerValue(IntV I) {
+    bool Taken = fitsSmallInt(I.C);
+    if (I.S->TermKind != IntTerm::Kind::Const) {
+      const BoolTerm *InRange =
+          B.andB(B.icmp(CmpPred::Le, B.intConst(MinSmallInt), I.S),
+                 B.icmp(CmpPred::Le, I.S, B.intConst(MaxSmallInt)));
+      Rec.record(InRange, Taken);
+    }
+    return Taken;
+  }
+
+  IntV addI(IntV A, IntV Bv) { return binI(IntTerm::Kind::Add, A, Bv, addSat(A.C, Bv.C)); }
+  IntV subI(IntV A, IntV Bv) { return binI(IntTerm::Kind::Sub, A, Bv, subSat(A.C, Bv.C)); }
+  IntV mulI(IntV A, IntV Bv) { return binI(IntTerm::Kind::Mul, A, Bv, mulSat(A.C, Bv.C)); }
+  IntV quoI(IntV A, IntV Bv) { return binI(IntTerm::Kind::Quo, A, Bv, truncDiv(A.C, Bv.C)); }
+  IntV divFloorI(IntV A, IntV Bv) {
+    return binI(IntTerm::Kind::DivFloor, A, Bv, floorDiv(A.C, Bv.C));
+  }
+  IntV modFloorI(IntV A, IntV Bv) {
+    return binI(IntTerm::Kind::ModFloor, A, Bv, floorMod(A.C, Bv.C));
+  }
+  IntV negI(IntV A) {
+    if (A.S->TermKind == IntTerm::Kind::Const)
+      return intConst(negSat(A.C));
+    return {negSat(A.C), B.negInt(A.S)};
+  }
+  IntV bitAndI(IntV A, IntV Bv) { return binI(IntTerm::Kind::BitAnd, A, Bv, A.C & Bv.C); }
+  IntV bitOrI(IntV A, IntV Bv) { return binI(IntTerm::Kind::BitOr, A, Bv, A.C | Bv.C); }
+  IntV bitXorI(IntV A, IntV Bv) { return binI(IntTerm::Kind::BitXor, A, Bv, A.C ^ Bv.C); }
+  IntV shiftLeftI(IntV A, IntV Bv) {
+    return binI(IntTerm::Kind::Shl, A, Bv, shlSat(A.C, Bv.C));
+  }
+  IntV shiftRightI(IntV A, IntV Bv) {
+    return binI(IntTerm::Kind::Asr, A, Bv, asr(A.C, Bv.C));
+  }
+  IntV highBitI(IntV A) {
+    if (A.S->TermKind == IntTerm::Kind::Const)
+      return intConst(highBit(A.C));
+    return {highBit(A.C), B.highBit(A.S)};
+  }
+
+  bool lessI(IntV A, IntV Bv) {
+    bool Taken = A.C < Bv.C;
+    recordCmpI(CmpPred::Lt, A, Bv, Taken);
+    return Taken;
+  }
+  bool lessEqI(IntV A, IntV Bv) {
+    bool Taken = A.C <= Bv.C;
+    recordCmpI(CmpPred::Le, A, Bv, Taken);
+    return Taken;
+  }
+  bool equalI(IntV A, IntV Bv) {
+    bool Taken = A.C == Bv.C;
+    recordCmpI(CmpPred::Eq, A, Bv, Taken);
+    return Taken;
+  }
+
+  std::int64_t pinInt(IntV I) {
+    if (I.S->TermKind != IntTerm::Kind::Const)
+      Rec.record(B.icmp(CmpPred::Eq, I.S, B.intConst(I.C)), true,
+                 /*Negatable=*/false);
+    return I.C;
+  }
+  /// @}
+
+  /// \name Floats
+  /// @{
+  FltV floatValueOf(Value V) {
+    double Concrete = Mem.floatValueOf(V.C).value_or(0.0);
+    if (V.S->isVar())
+      return {Concrete, B.floatValueOf(V.S)};
+    if (V.S->TermKind == ObjTerm::Kind::FloatObj)
+      return {Concrete, V.S->FloatPayload};
+    return {Concrete, B.floatConst(Concrete)};
+  }
+  Value floatObjectOf(FltV F) {
+    Oop Box = Mem.allocateFloat(F.C);
+    if (F.S->TermKind == FloatTerm::Kind::Const)
+      return {Box, B.floatObj(B.floatConst(F.C))};
+    return {Box, B.floatObj(F.S)};
+  }
+  FltV intToFloat(IntV I) {
+    if (I.S->TermKind == IntTerm::Kind::Const)
+      return floatConst(static_cast<double>(I.C));
+    return {static_cast<double>(I.C), B.ofInt(I.S)};
+  }
+  IntV truncToInt(FltV F) {
+    std::int64_t Concrete;
+    if (F.C >= 9.2e18)
+      Concrete = SatMax;
+    else if (F.C <= -9.2e18)
+      Concrete = SatMin;
+    else
+      Concrete = static_cast<std::int64_t>(std::trunc(F.C));
+    if (F.S->TermKind == FloatTerm::Kind::Const)
+      return intConst(Concrete);
+    return {Concrete, B.truncF(F.S)};
+  }
+
+  FltV faddF(FltV A, FltV Bv) { return binF(FloatTerm::Kind::Add, A, Bv, A.C + Bv.C); }
+  FltV fsubF(FltV A, FltV Bv) { return binF(FloatTerm::Kind::Sub, A, Bv, A.C - Bv.C); }
+  FltV fmulF(FltV A, FltV Bv) { return binF(FloatTerm::Kind::Mul, A, Bv, A.C * Bv.C); }
+  FltV fdivF(FltV A, FltV Bv) { return binF(FloatTerm::Kind::Div, A, Bv, A.C / Bv.C); }
+  FltV fsqrtF(FltV A) { return unF(FloatTerm::Kind::Sqrt, A, std::sqrt(A.C)); }
+  FltV fsinF(FltV A) { return unF(FloatTerm::Kind::Sin, A, std::sin(A.C)); }
+  FltV fcosF(FltV A) { return unF(FloatTerm::Kind::Cos, A, std::cos(A.C)); }
+  FltV fexpF(FltV A) { return unF(FloatTerm::Kind::Exp, A, std::exp(A.C)); }
+  FltV flnF(FltV A) { return unF(FloatTerm::Kind::Ln, A, std::log(A.C)); }
+  FltV fatanF(FltV A) { return unF(FloatTerm::Kind::ArcTan, A, std::atan(A.C)); }
+  FltV ffracF(FltV A) {
+    return unF(FloatTerm::Kind::Frac, A, A.C - std::trunc(A.C));
+  }
+
+  bool lessF(FltV A, FltV Bv) {
+    bool Taken = A.C < Bv.C;
+    recordCmpF(CmpPred::Lt, A, Bv, Taken);
+    return Taken;
+  }
+  bool lessEqF(FltV A, FltV Bv) {
+    bool Taken = A.C <= Bv.C;
+    recordCmpF(CmpPred::Le, A, Bv, Taken);
+    return Taken;
+  }
+  bool equalF(FltV A, FltV Bv) {
+    bool Taken = A.C == Bv.C;
+    recordCmpF(CmpPred::Eq, A, Bv, Taken);
+    return Taken;
+  }
+  /// @}
+
+  /// \name Objects
+  /// @{
+  IntV slotCountOf(Value V) {
+    std::int64_t Concrete = Mem.slotCountOf(V.C);
+    if (V.S->isVar())
+      return {Concrete, B.slotCount(V.S)};
+    if (V.S->TermKind == ObjTerm::Kind::NewObj && V.S->AllocSize)
+      return {Concrete, V.S->AllocSize};
+    return {Concrete, B.intConst(Concrete)};
+  }
+
+  Value fetchSlot(Value Obj, IntV Index) {
+    std::int64_t Idx = pinInt(Index);
+    auto Key = std::make_pair(Obj.S, Idx);
+    auto It = SlotShadow.find(Key);
+    if (It != SlotShadow.end())
+      return It->second;
+    Oop Concrete =
+        Mem.fetchPointerSlot(Obj.C, static_cast<std::uint32_t>(Idx))
+            .value_or(Mem.nilObject());
+    Value Result;
+    if (Obj.S->isVar())
+      Result = {Concrete,
+                B.objVar(VarRole::SlotOf, static_cast<std::int32_t>(Idx),
+                         Obj.S)};
+    else
+      Result = {Concrete, B.objConst(Concrete)};
+    SlotShadow.emplace(Key, Result);
+    return Result;
+  }
+
+  void storeSlot(Value Obj, IntV Index, Value V) {
+    std::int64_t Idx = pinInt(Index);
+    Mem.storePointerSlot(Obj.C, static_cast<std::uint32_t>(Idx), V.C);
+    SlotShadow[std::make_pair(Obj.S, Idx)] = V;
+    SlotStores.push_back({Obj.S, Idx, V});
+  }
+
+  IntV fetchByteAt(Value Obj, IntV Index) {
+    std::int64_t Idx = pinInt(Index);
+    std::int64_t Concrete =
+        Mem.fetchByte(Obj.C, static_cast<std::uint32_t>(Idx)).value_or(0);
+    if (Obj.S->isVar())
+      return {Concrete, B.byteAt(Obj.S, Idx)};
+    return {Concrete, B.intConst(Concrete)};
+  }
+
+  void storeByteAt(Value Obj, IntV Index, IntV Byte) {
+    std::int64_t Idx = pinInt(Index);
+    Mem.storeByte(Obj.C, static_cast<std::uint32_t>(Idx),
+                  static_cast<std::uint8_t>(Byte.C));
+    ByteStores.push_back({Obj.S, Idx, 1, false, Byte, {}});
+  }
+
+  IntV loadBytesLE(Value Obj, IntV Offset, unsigned Width, bool SignExtend) {
+    std::int64_t Off = pinInt(Offset);
+    std::uint64_t Raw = 0;
+    for (unsigned I = 0; I < Width; ++I)
+      Raw |= static_cast<std::uint64_t>(
+                 Mem.fetchByte(Obj.C, static_cast<std::uint32_t>(Off) + I)
+                     .value_or(0))
+             << (8 * I);
+    if (SignExtend && Width < 8) {
+      std::uint64_t SignBit = 1ull << (8 * Width - 1);
+      if (Raw & SignBit)
+        Raw |= ~((SignBit << 1) - 1);
+    }
+    auto Concrete = static_cast<std::int64_t>(Raw);
+    if (Obj.S->isVar())
+      return {Concrete,
+              B.loadLE(Obj.S, Off, static_cast<std::uint8_t>(Width),
+                       SignExtend)};
+    return {Concrete, B.intConst(Concrete)};
+  }
+
+  void storeBytesLE(Value Obj, IntV Offset, unsigned Width, IntV V) {
+    std::int64_t Off = pinInt(Offset);
+    auto Raw = static_cast<std::uint64_t>(V.C);
+    for (unsigned I = 0; I < Width; ++I)
+      Mem.storeByte(Obj.C, static_cast<std::uint32_t>(Off) + I,
+                    static_cast<std::uint8_t>(Raw >> (8 * I)));
+    ByteStores.push_back({Obj.S, Off, Width, false, V, {}});
+  }
+
+  FltV loadFloat64LE(Value Obj, IntV Offset) {
+    std::int64_t Off = pinInt(Offset);
+    std::uint64_t Raw = 0;
+    for (unsigned I = 0; I < 8; ++I)
+      Raw |= static_cast<std::uint64_t>(
+                 Mem.fetchByte(Obj.C, static_cast<std::uint32_t>(Off) + I)
+                     .value_or(0))
+             << (8 * I);
+    double Concrete;
+    std::memcpy(&Concrete, &Raw, 8);
+    if (Obj.S->isVar())
+      return {Concrete, B.loadF64(Obj.S, Off)};
+    return {Concrete, B.floatConst(Concrete)};
+  }
+
+  void storeFloat64LE(Value Obj, IntV Offset, FltV F) {
+    std::int64_t Off = pinInt(Offset);
+    std::uint64_t Raw;
+    std::memcpy(&Raw, &F.C, 8);
+    for (unsigned I = 0; I < 8; ++I)
+      Mem.storeByte(Obj.C, static_cast<std::uint32_t>(Off) + I,
+                    static_cast<std::uint8_t>(Raw >> (8 * I)));
+    ByteStores.push_back({Obj.S, Off, 8, true, {}, F});
+  }
+
+  FltV loadFloat32LE(Value Obj, IntV Offset) {
+    std::int64_t Off = pinInt(Offset);
+    std::uint32_t Raw = 0;
+    for (unsigned I = 0; I < 4; ++I)
+      Raw |= std::uint32_t(Mem.fetchByte(Obj.C,
+                                         static_cast<std::uint32_t>(Off) + I)
+                               .value_or(0))
+             << (8 * I);
+    float Narrow;
+    std::memcpy(&Narrow, &Raw, 4);
+    double Concrete = Narrow;
+    if (Obj.S->isVar())
+      return {Concrete, B.loadF32(Obj.S, Off)};
+    return {Concrete, B.floatConst(Concrete)};
+  }
+
+  void storeFloat32LE(Value Obj, IntV Offset, FltV F) {
+    std::int64_t Off = pinInt(Offset);
+    auto Narrow = static_cast<float>(F.C);
+    std::uint32_t Raw;
+    std::memcpy(&Raw, &Narrow, 4);
+    for (unsigned I = 0; I < 4; ++I)
+      Mem.storeByte(Obj.C, static_cast<std::uint32_t>(Off) + I,
+                    static_cast<std::uint8_t>(Raw >> (8 * I)));
+    ByteStores.push_back({Obj.S, Off, 4, true, {}, F});
+  }
+
+  Value allocateInstance(std::uint32_t ClassIdx, IntV IndexableSize) {
+    Oop Concrete = Mem.allocateInstance(
+        ClassIdx, static_cast<std::uint32_t>(IndexableSize.C));
+    const ObjTerm *T = B.newObj(NextAllocId++, ClassIdx, IndexableSize.S);
+    if (Concrete != InvalidOop)
+      Allocations.push_back({T->AllocId, ClassIdx, IndexableSize, T, Concrete});
+    return {Concrete, T};
+  }
+  bool allocationFailed(Value V) { return V.C == InvalidOop; }
+
+  bool classFormatIs(IntV ClassIdx, ObjectFormat Fmt) {
+    bool Concrete = false;
+    if (ClassIdx.C > 0 &&
+        ClassIdx.C < static_cast<std::int64_t>(Mem.classTable().size()))
+      Concrete = Mem.classTable()
+                     .classAt(static_cast<std::uint32_t>(ClassIdx.C))
+                     .Format == Fmt;
+    if (ClassIdx.S->TermKind != IntTerm::Kind::Const)
+      Rec.record(B.intFormatIs(ClassIdx.S, formatBit(Fmt)), Concrete);
+    return Concrete;
+  }
+
+  Value shallowCopyOf(Value Obj) {
+    // The copy loop needs a concrete class and slot count: pin both.
+    std::uint32_t ClassIdx = Mem.classIndexOf(Obj.C);
+    if (Obj.S->isVar())
+      Rec.record(B.isClass(Obj.S, ClassIdx), true, /*Negatable=*/false);
+    IntV Count = slotCountOf(Obj);
+    std::int64_t N = pinInt(Count);
+    bool Indexable = Mem.formatOf(Obj.C) == ObjectFormat::IndexablePointers;
+    Value Copy = allocateInstance(ClassIdx,
+                                  Indexable ? intConst(N) : intConst(0));
+    if (Copy.C == InvalidOop)
+      return Copy;
+    for (std::int64_t I = 0; I < N; ++I)
+      storeSlot(Copy, intConst(I), fetchSlot(Obj, intConst(I)));
+    return Copy;
+  }
+
+  bool sameObjectAs(Value A, Value Bv) {
+    bool Concrete = A.C == Bv.C;
+    recordIdentity(A, Bv, Concrete);
+    return Concrete;
+  }
+
+  IntV classIndexValueOf(Value V) {
+    std::int64_t Concrete = Mem.classIndexOf(V.C);
+    if (V.S->isVar())
+      return {Concrete, B.classIndexOf(V.S)};
+    return {Concrete, B.intConst(Concrete)};
+  }
+
+  IntV identityHashOf(Value V) {
+    if (isSmallInteger(V)) // records the class branch
+      return integerValueOf(V);
+    std::int64_t Concrete = Mem.identityHashOf(V.C);
+    if (V.S->isVar())
+      return {Concrete, B.identityHash(V.S)};
+    return {Concrete, B.intConst(Concrete)};
+  }
+  /// @}
+
+private:
+  /// Integer term of an object value known (or checked) to be a
+  /// SmallInteger.
+  const IntTerm *intTermOf(Value V, std::int64_t Concrete) {
+    if (V.S->isVar())
+      return B.valueOf(V.S);
+    if (V.S->TermKind == ObjTerm::Kind::IntObj)
+      return V.S->IntPayload;
+    return B.intConst(Concrete);
+  }
+
+  /// Records a class predicate unless it is statically decided.
+  void recordClassPred(const ObjTerm *T, std::uint32_t ClassIdx, bool Taken) {
+    if (T->isVar())
+      Rec.record(B.isClass(T, ClassIdx), Taken);
+    // Const / IntObj / FloatObj / NewObj have statically-known classes.
+  }
+
+  void recordFormatPred(const ObjTerm *T, std::uint8_t Mask, bool Taken) {
+    if (T->isVar())
+      Rec.record(B.hasFormat(T, Mask), Taken);
+  }
+
+  void recordCmpI(CmpPred Pred, IntV A, IntV Bv, bool Taken) {
+    if (A.S->TermKind == IntTerm::Kind::Const &&
+        Bv.S->TermKind == IntTerm::Kind::Const)
+      return; // statically decided
+    Rec.record(B.icmp(Pred, A.S, Bv.S), Taken);
+  }
+
+  void recordCmpF(CmpPred Pred, FltV A, FltV Bv, bool Taken) {
+    if (A.S->TermKind == FloatTerm::Kind::Const &&
+        Bv.S->TermKind == FloatTerm::Kind::Const)
+      return;
+    Rec.record(B.fcmp(Pred, A.S, Bv.S), Taken);
+  }
+
+  void recordIdentity(Value A, Value Bv, bool Taken) {
+    const ObjTerm *L = A.S;
+    const ObjTerm *R = Bv.S;
+    if (!L->isVar() && !R->isVar())
+      return; // statically decided
+    if (!L->isVar())
+      std::swap(L, R); // L is a var now
+    if (R->isVar()) {
+      Rec.record(B.objEq(L, R), Taken);
+      return;
+    }
+    switch (R->TermKind) {
+    case ObjTerm::Kind::Const: {
+      Oop C = R->ConstValue;
+      if (isSmallIntOop(C)) {
+        Rec.record(B.andB(B.isClass(L, SmallIntegerClass),
+                          B.icmp(CmpPred::Eq, B.valueOf(L),
+                                 B.intConst(smallIntValue(C)))),
+                   Taken);
+        return;
+      }
+      // nil / true / false singletons are identified by their class.
+      std::uint32_t ClassIdx = Mem.classIndexOf(C);
+      if (ClassIdx == UndefinedObjectClass || ClassIdx == TrueClass ||
+          ClassIdx == FalseClass) {
+        Rec.record(B.isClass(L, ClassIdx), Taken);
+        return;
+      }
+      // Identity against an arbitrary heap constant: record nothing
+      // (the outcome is concrete-only; these do not occur in catalog
+      // methods, whose literals are immediates).
+      return;
+    }
+    case ObjTerm::Kind::IntObj:
+      Rec.record(B.andB(B.isClass(L, SmallIntegerClass),
+                        B.icmp(CmpPred::Eq, B.valueOf(L), R->IntPayload)),
+                 Taken);
+      return;
+    case ObjTerm::Kind::FloatObj:
+    case ObjTerm::Kind::NewObj:
+      // A fresh box/allocation is never identical to an input value.
+      return;
+    case ObjTerm::Kind::Var:
+      igdt_unreachable("handled above");
+    }
+  }
+
+  IntV binI(IntTerm::Kind Op, IntV A, IntV Bv, std::int64_t Concrete) {
+    if (A.S->TermKind == IntTerm::Kind::Const &&
+        Bv.S->TermKind == IntTerm::Kind::Const)
+      return intConst(Concrete);
+    return {Concrete, B.binInt(Op, A.S, Bv.S)};
+  }
+
+  FltV binF(FloatTerm::Kind Op, FltV A, FltV Bv, double Concrete) {
+    if (A.S->TermKind == FloatTerm::Kind::Const &&
+        Bv.S->TermKind == FloatTerm::Kind::Const)
+      return floatConst(Concrete);
+    return {Concrete, B.binFloat(Op, A.S, Bv.S)};
+  }
+
+  FltV unF(FloatTerm::Kind Op, FltV A, double Concrete) {
+    if (A.S->TermKind == FloatTerm::Kind::Const)
+      return floatConst(Concrete);
+    return {Concrete, B.unFloat(Op, A.S)};
+  }
+
+  ObjectMemory &Mem;
+  const VMConfig &Cfg;
+  TermBuilder &B;
+  PathRecorder &Rec;
+
+  std::map<std::pair<const ObjTerm *, std::int64_t>, Value> SlotShadow;
+  std::uint32_t NextAllocId = 1;
+};
+
+} // namespace igdt
+
+#endif // IGDT_SYMBOLIC_CONCOLICDOMAIN_H

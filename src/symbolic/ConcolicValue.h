@@ -1,0 +1,43 @@
+//===- symbolic/ConcolicValue.h - Concrete+symbolic value pairs -------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Concolic execution runs the interpreter on pairs of a concrete value
+/// and a symbolic term (paper §2.3). The concrete half drives control
+/// flow; the symbolic half feeds the recorded path constraints and the
+/// output-frame prediction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SYMBOLIC_CONCOLICVALUE_H
+#define IGDT_SYMBOLIC_CONCOLICVALUE_H
+
+#include "solver/Term.h"
+#include "vm/Oop.h"
+
+namespace igdt {
+
+/// Object-sort concolic value.
+struct ConcolicValue {
+  Oop C = InvalidOop;
+  const ObjTerm *S = nullptr;
+};
+
+/// Integer-sort concolic value.
+struct ConcolicInt {
+  std::int64_t C = 0;
+  const IntTerm *S = nullptr;
+};
+
+/// Float-sort concolic value.
+struct ConcolicFloat {
+  double C = 0.0;
+  const FloatTerm *S = nullptr;
+};
+
+} // namespace igdt
+
+#endif // IGDT_SYMBOLIC_CONCOLICVALUE_H

@@ -1,0 +1,52 @@
+//===- symbolic/Effects.h - Recorded side effects ----------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Side effects a VM instruction performed during concolic execution.
+/// Input and output constraints are stored separately precisely because
+/// instructions have side effects (paper §3.2); the differential tester
+/// replays these effect records to predict the final heap state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SYMBOLIC_EFFECTS_H
+#define IGDT_SYMBOLIC_EFFECTS_H
+
+#include "symbolic/ConcolicValue.h"
+
+#include <vector>
+
+namespace igdt {
+
+/// A pointer-slot store into an input object or a fresh allocation.
+struct SlotStoreEffect {
+  const ObjTerm *Object;
+  std::int64_t Index;
+  ConcolicValue Value;
+};
+
+/// A byte-range store into a bytes object (byteAtPut / FFI stores).
+struct ByteStoreEffect {
+  const ObjTerm *Object;
+  std::int64_t Offset;
+  unsigned Width;
+  bool IsFloat;
+  ConcolicInt IntValue;    // valid when !IsFloat
+  ConcolicFloat FloatValue; // valid when IsFloat
+};
+
+/// An object allocated while executing the instruction.
+struct AllocationRecord {
+  std::uint32_t AllocId;
+  std::uint32_t ClassIndex;
+  ConcolicInt Size;
+  const ObjTerm *Term;
+  Oop ConcreteOop;
+};
+
+} // namespace igdt
+
+#endif // IGDT_SYMBOLIC_EFFECTS_H

@@ -1,0 +1,65 @@
+//===- symbolic/FrameMaterializer.h - Model -> concrete frame ----------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Re-creating a VM input "implies interpreting the results of the
+/// constraint solver using the structural information in the VM object
+/// constraints" (paper §3.2). The materialiser walks a Model and builds a
+/// concrete frame: receiver, locals, operand stack, and the object graph
+/// the variables describe (classes, slot counts, slot contents, byte
+/// contents). Pointer variables without a class constraint get synthetic
+/// fixed-slot classes sized to their solved slot count.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SYMBOLIC_FRAMEMATERIALIZER_H
+#define IGDT_SYMBOLIC_FRAMEMATERIALIZER_H
+
+#include "solver/Model.h"
+#include "symbolic/ConcolicValue.h"
+#include "vm/Frame.h"
+#include "vm/ObjectMemory.h"
+
+#include <map>
+
+namespace igdt {
+
+/// A concrete frame plus the variable->object bindings used to build it.
+struct MaterializedFrame {
+  FrameT<ConcolicValue> Concolic;
+  FrameT<Oop> Concrete;
+  /// Variable representative -> materialised Oop.
+  std::map<const ObjTerm *, Oop> Bindings;
+  std::int64_t StackDepth = 0;
+};
+
+/// Builds concrete frames from models.
+class FrameMaterializer {
+public:
+  FrameMaterializer(ObjectMemory &Memory, TermBuilder &Builder)
+      : Mem(Memory), B(Builder) {}
+
+  /// Materialises the input frame for \p Method under \p M.
+  MaterializedFrame materialize(const Model &M, const CompiledMethod &Method);
+
+  /// Materialises a single variable (exposed for tests and the
+  /// differential tester's argument setup).
+  Oop materializeVar(const Model &M, const ObjTerm *Var,
+                     std::map<const ObjTerm *, Oop> &Bindings);
+
+private:
+  std::uint32_t syntheticClassFor(std::int64_t SlotCount);
+  void fillObjectContents(const Model &M, const ObjTerm *Rep, Oop Object,
+                          std::map<const ObjTerm *, Oop> &Bindings);
+
+  ObjectMemory &Mem;
+  TermBuilder &B;
+  std::map<std::int64_t, std::uint32_t> SyntheticClasses;
+};
+
+} // namespace igdt
+
+#endif // IGDT_SYMBOLIC_FRAMEMATERIALIZER_H

@@ -1,0 +1,179 @@
+//===- vm/Bytecodes.cpp - The QVM byte-code set ----------------------------===//
+
+#include "vm/Bytecodes.h"
+
+#include "support/Compiler.h"
+#include "support/StringUtils.h"
+
+using namespace igdt;
+
+SelectorId igdt::arithSelector(ArithOp Op) {
+  // ArithOp and SpecialSelector are aligned by construction.
+  return static_cast<SelectorId>(Op);
+}
+
+StackEffect igdt::arithStackEffect() { return {2, 1}; }
+
+std::optional<DecodedBytecode>
+igdt::decodeBytecode(const std::vector<std::uint8_t> &Code, std::uint32_t PC) {
+  if (PC >= Code.size())
+    return std::nullopt;
+  std::uint8_t Byte = Code[PC];
+
+  auto Fetch = [&](std::uint32_t Offset) -> std::optional<std::uint8_t> {
+    if (PC + Offset >= Code.size())
+      return std::nullopt;
+    return Code[PC + Offset];
+  };
+  auto OneByte = [](Operation Op, std::int32_t A = 0,
+                    std::int32_t B = 0) -> std::optional<DecodedBytecode> {
+    return DecodedBytecode{Op, A, B, 1};
+  };
+  auto TwoByte = [&](Operation Op, bool SignedOperand = false,
+                     std::int32_t B = 0) -> std::optional<DecodedBytecode> {
+    auto Operand = Fetch(1);
+    if (!Operand)
+      return std::nullopt;
+    std::int32_t A = SignedOperand ? static_cast<std::int8_t>(*Operand)
+                                   : static_cast<std::int32_t>(*Operand);
+    return DecodedBytecode{Op, A, B, 2};
+  };
+
+  if (Byte >= BCPushLocalShort && Byte < BCPushLocalShort + 12)
+    return OneByte(Operation::PushLocal, Byte - BCPushLocalShort);
+  if (Byte >= BCPushLiteralShort && Byte < BCPushLiteralShort + 12)
+    return OneByte(Operation::PushLiteral, Byte - BCPushLiteralShort);
+  if (Byte >= BCPushInstVarShort && Byte < BCPushInstVarShort + 8)
+    return OneByte(Operation::PushInstVar, Byte - BCPushInstVarShort);
+  if (Byte >= BCPushConstant && Byte < BCPushConstant + 7)
+    return OneByte(Operation::PushConstant, Byte - BCPushConstant);
+  if (Byte == BCPushReceiver)
+    return OneByte(Operation::PushReceiver);
+  if (Byte >= BCStoreLocalShort && Byte < BCStoreLocalShort + 8)
+    return OneByte(Operation::StoreLocal, Byte - BCStoreLocalShort);
+  if (Byte >= BCStoreInstVarShort && Byte < BCStoreInstVarShort + 8)
+    return OneByte(Operation::StoreInstVar, Byte - BCStoreInstVarShort);
+  if (Byte == BCPop)
+    return OneByte(Operation::Pop);
+  if (Byte == BCDup)
+    return OneByte(Operation::Dup);
+  if (Byte == BCPushLocalExt)
+    return TwoByte(Operation::PushLocal);
+  if (Byte == BCPushLiteralExt)
+    return TwoByte(Operation::PushLiteral);
+  if (Byte == BCPushInstVarExt)
+    return TwoByte(Operation::PushInstVar);
+  if (Byte == BCStoreLocalExt)
+    return TwoByte(Operation::StoreLocal);
+  if (Byte == BCStoreInstVarExt)
+    return TwoByte(Operation::StoreInstVar);
+  if (Byte >= BCArithmetic && Byte < BCArithmetic + NumArithOps)
+    return OneByte(Operation::Arithmetic, Byte - BCArithmetic);
+  if (Byte == BCIdentityEquals)
+    return OneByte(Operation::IdentityEquals);
+  if (Byte >= BCShortJump && Byte < BCShortJump + 8)
+    return OneByte(Operation::Jump, Byte - BCShortJump + 1);
+  if (Byte >= BCShortJumpFalse && Byte < BCShortJumpFalse + 8)
+    return OneByte(Operation::JumpFalse, Byte - BCShortJumpFalse + 1);
+  if (Byte == BCLongJump)
+    return TwoByte(Operation::Jump, /*SignedOperand=*/true);
+  if (Byte == BCLongJumpTrue)
+    return TwoByte(Operation::JumpTrue, /*SignedOperand=*/true);
+  if (Byte == BCLongJumpFalse)
+    return TwoByte(Operation::JumpFalse, /*SignedOperand=*/true);
+  if (Byte >= BCSend0Short && Byte < BCSend0Short + 4)
+    return OneByte(Operation::Send, Byte - BCSend0Short, 0);
+  if (Byte >= BCSend1Short && Byte < BCSend1Short + 4)
+    return OneByte(Operation::Send, Byte - BCSend1Short, 1);
+  if (Byte >= BCSend2Short && Byte < BCSend2Short + 4)
+    return OneByte(Operation::Send, Byte - BCSend2Short, 2);
+  if (Byte == BCSendExt) {
+    auto Literal = Fetch(1);
+    auto NumArgs = Fetch(2);
+    if (!Literal || !NumArgs)
+      return std::nullopt;
+    return DecodedBytecode{Operation::Send, *Literal, *NumArgs, 3};
+  }
+  if (Byte == BCReturnTop)
+    return OneByte(Operation::ReturnTop);
+  if (Byte == BCReturnReceiver)
+    return OneByte(Operation::ReturnReceiver);
+  if (Byte == BCReturnNil)
+    return OneByte(Operation::ReturnConstant, 0);
+  if (Byte == BCReturnTrue)
+    return OneByte(Operation::ReturnConstant, 1);
+  if (Byte == BCReturnFalse)
+    return OneByte(Operation::ReturnConstant, 2);
+  return std::nullopt;
+}
+
+std::string igdt::bytecodeName(std::uint8_t Byte) {
+  static const char *ArithNames[NumArithOps] = {
+      "add",    "sub",   "mul",   "div",      "floorDiv", "mod",
+      "lt",     "gt",    "le",    "ge",       "eq",       "ne",
+      "bitAnd", "bitOr", "bitXor", "bitShift"};
+  static const char *ConstNames[7] = {"nil", "true", "false", "0",
+                                      "1",   "2",    "-1"};
+
+  if (Byte >= BCPushLocalShort && Byte < BCPushLocalShort + 12)
+    return formatString("pushLocal%u", Byte - BCPushLocalShort);
+  if (Byte >= BCPushLiteralShort && Byte < BCPushLiteralShort + 12)
+    return formatString("pushLiteral%u", Byte - BCPushLiteralShort);
+  if (Byte >= BCPushInstVarShort && Byte < BCPushInstVarShort + 8)
+    return formatString("pushInstVar%u", Byte - BCPushInstVarShort);
+  if (Byte >= BCPushConstant && Byte < BCPushConstant + 7)
+    return formatString("pushConstant_%s", ConstNames[Byte - BCPushConstant]);
+  if (Byte == BCPushReceiver)
+    return "pushReceiver";
+  if (Byte >= BCStoreLocalShort && Byte < BCStoreLocalShort + 8)
+    return formatString("storeLocal%u", Byte - BCStoreLocalShort);
+  if (Byte >= BCStoreInstVarShort && Byte < BCStoreInstVarShort + 8)
+    return formatString("storeInstVar%u", Byte - BCStoreInstVarShort);
+  if (Byte == BCPop)
+    return "pop";
+  if (Byte == BCDup)
+    return "dup";
+  if (Byte == BCPushLocalExt)
+    return "pushLocalExt";
+  if (Byte == BCPushLiteralExt)
+    return "pushLiteralExt";
+  if (Byte == BCPushInstVarExt)
+    return "pushInstVarExt";
+  if (Byte == BCStoreLocalExt)
+    return "storeLocalExt";
+  if (Byte == BCStoreInstVarExt)
+    return "storeInstVarExt";
+  if (Byte >= BCArithmetic && Byte < BCArithmetic + NumArithOps)
+    return formatString("bytecodePrim_%s", ArithNames[Byte - BCArithmetic]);
+  if (Byte == BCIdentityEquals)
+    return "identityEquals";
+  if (Byte >= BCShortJump && Byte < BCShortJump + 8)
+    return formatString("shortJump%u", Byte - BCShortJump + 1);
+  if (Byte >= BCShortJumpFalse && Byte < BCShortJumpFalse + 8)
+    return formatString("shortJumpFalse%u", Byte - BCShortJumpFalse + 1);
+  if (Byte == BCLongJump)
+    return "longJump";
+  if (Byte == BCLongJumpTrue)
+    return "longJumpTrue";
+  if (Byte == BCLongJumpFalse)
+    return "longJumpFalse";
+  if (Byte >= BCSend0Short && Byte < BCSend0Short + 4)
+    return formatString("send0Lit%u", Byte - BCSend0Short);
+  if (Byte >= BCSend1Short && Byte < BCSend1Short + 4)
+    return formatString("send1Lit%u", Byte - BCSend1Short);
+  if (Byte >= BCSend2Short && Byte < BCSend2Short + 4)
+    return formatString("send2Lit%u", Byte - BCSend2Short);
+  if (Byte == BCSendExt)
+    return "sendExt";
+  if (Byte == BCReturnTop)
+    return "returnTop";
+  if (Byte == BCReturnReceiver)
+    return "returnReceiver";
+  if (Byte == BCReturnNil)
+    return "returnNil";
+  if (Byte == BCReturnTrue)
+    return "returnTrue";
+  if (Byte == BCReturnFalse)
+    return "returnFalse";
+  return formatString("unknown_%02x", Byte);
+}

@@ -1,0 +1,142 @@
+//===- vm/Bytecodes.h - The QVM byte-code set ------------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The QVM byte-code set: 117 encodings organised in Pharo-style families
+/// (short forms with the operand folded into the opcode byte, plus
+/// extended forms with explicit operand bytes). Byte-codes are unsafe by
+/// design (paper §3.1): a pop does not validate the operand stack depth.
+///
+/// A raw encoding decodes to a compact (Operation, A, B) triple so that
+/// the interpreter and the JIT front-ends share one semantic vocabulary
+/// while every encoding remains an individually testable instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_BYTECODES_H
+#define IGDT_VM_BYTECODES_H
+
+#include "vm/SelectorTable.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// First byte of each encoding family. Short forms add their operand to
+/// the family base.
+enum BytecodeBase : std::uint8_t {
+  BCPushLocalShort = 0x00,     // +0..11
+  BCPushLiteralShort = 0x0C,   // +0..11
+  BCPushInstVarShort = 0x18,   // +0..7
+  BCPushConstant = 0x20,       // +0..6: nil,true,false,0,1,2,-1
+  BCPushReceiver = 0x27,
+  BCStoreLocalShort = 0x28,    // +0..7 (pops top into local)
+  BCStoreInstVarShort = 0x30,  // +0..7 (pops top into inst var)
+  BCPop = 0x38,
+  BCDup = 0x39,
+  BCPushLocalExt = 0x3A,       // operand byte
+  BCPushLiteralExt = 0x3B,     // operand byte
+  BCPushInstVarExt = 0x3C,     // operand byte
+  BCStoreLocalExt = 0x3D,      // operand byte
+  BCStoreInstVarExt = 0x3E,    // operand byte
+  BCArithmetic = 0x40,         // +0..15, see ArithOp
+  BCIdentityEquals = 0x50,
+  BCShortJump = 0x51,          // +0..7: skip 1..8 bytes
+  BCShortJumpFalse = 0x59,     // +0..7: pop; skip 1..8 if false
+  BCLongJump = 0x61,           // signed offset byte
+  BCLongJumpTrue = 0x62,       // signed offset byte
+  BCLongJumpFalse = 0x63,      // signed offset byte
+  BCSend0Short = 0x64,         // +0..3: send literal 0..3, no args
+  BCSend1Short = 0x68,         // +0..3: send literal 0..3, 1 arg
+  BCSend2Short = 0x6C,         // +0..3: send literal 0..3, 2 args
+  BCSendExt = 0x70,            // literal byte, nargs byte
+  BCReturnTop = 0x78,
+  BCReturnReceiver = 0x79,
+  BCReturnNil = 0x7A,
+  BCReturnTrue = 0x7B,
+  BCReturnFalse = 0x7C,
+};
+
+/// The sixteen type-predicted arithmetic/comparison byte-codes
+/// (BCArithmetic + ArithOp). Their slow path sends the special selector
+/// with the same index (see SpecialSelector).
+enum class ArithOp : std::uint8_t {
+  Add = 0,
+  Sub,
+  Mul,
+  Div,      // "/": exact division only, else slow path
+  FloorDiv, // "//"
+  Mod,      // "\\"
+  Less,
+  Greater,
+  LessEq,
+  GreaterEq,
+  Equal,
+  NotEqual,
+  BitAnd,
+  BitOr,
+  BitXor,
+  BitShift,
+};
+
+inline constexpr unsigned NumArithOps = 16;
+
+/// Semantic operation after decoding; short and extended encodings of the
+/// same family decode to the same Operation.
+enum class Operation : std::uint8_t {
+  PushLocal,   // A = local index
+  PushLiteral, // A = literal index
+  PushInstVar, // A = inst var index
+  PushConstant,// A = constant kind (0 nil,1 true,2 false,3..6 ints 0,1,2,-1)
+  PushReceiver,
+  StoreLocal,  // A = local index (pops)
+  StoreInstVar,// A = inst var index (pops)
+  Pop,
+  Dup,
+  Arithmetic,  // A = ArithOp
+  IdentityEquals,
+  Jump,        // A = signed byte offset from next pc
+  JumpTrue,    // A = signed byte offset
+  JumpFalse,   // A = signed byte offset
+  Send,        // A = literal index of selector, B = num args
+  ReturnTop,
+  ReturnReceiver,
+  ReturnConstant, // A = 0 nil, 1 true, 2 false
+};
+
+/// One decoded byte-code instruction.
+struct DecodedBytecode {
+  Operation Op;
+  std::int32_t A = 0;
+  std::int32_t B = 0;
+  std::uint8_t Length = 1; // encoded bytes consumed
+};
+
+/// Decodes the instruction starting at \p PC within \p Code. Returns
+/// nullopt for an unknown opcode or a truncated encoding.
+std::optional<DecodedBytecode> decodeBytecode(const std::vector<std::uint8_t> &Code,
+                                              std::uint32_t PC);
+
+/// Printable mnemonic of the encoding whose first byte is \p Byte.
+std::string bytecodeName(std::uint8_t Byte);
+
+/// Returns the SpecialSelector sent by \p Op's slow path.
+SelectorId arithSelector(ArithOp Op);
+
+/// Number of values \p Op pops / pushes on its *fast* path. Used by the
+/// JIT front-ends and by the instruction catalog.
+struct StackEffect {
+  std::uint8_t Pops;
+  std::uint8_t Pushes;
+};
+StackEffect arithStackEffect();
+
+} // namespace igdt
+
+#endif // IGDT_VM_BYTECODES_H

@@ -1,0 +1,50 @@
+//===- vm/ClassTable.cpp - VM class descriptors ----------------------------===//
+
+#include "vm/ClassTable.h"
+
+#include "support/Compiler.h"
+
+using namespace igdt;
+
+const char *igdt::formatName(ObjectFormat Format) {
+  switch (Format) {
+  case ObjectFormat::Pointers:
+    return "pointers";
+  case ObjectFormat::IndexablePointers:
+    return "indexable-pointers";
+  case ObjectFormat::IndexableBytes:
+    return "indexable-bytes";
+  case ObjectFormat::Float64:
+    return "float64";
+  }
+  igdt_unreachable("unknown object format");
+}
+
+ClassTable::ClassTable() {
+  Classes.resize(FirstUserClassIndex);
+  Classes[InvalidClassIndex] = {"<invalid>", ObjectFormat::Pointers, 0};
+  Classes[UndefinedObjectClass] = {"UndefinedObject", ObjectFormat::Pointers, 0};
+  Classes[TrueClass] = {"True", ObjectFormat::Pointers, 0};
+  Classes[FalseClass] = {"False", ObjectFormat::Pointers, 0};
+  Classes[SmallIntegerClass] = {"SmallInteger", ObjectFormat::Pointers, 0};
+  Classes[BoxedFloatClass] = {"BoxedFloat", ObjectFormat::Float64, 0};
+  Classes[ArrayClass] = {"Array", ObjectFormat::IndexablePointers, 0};
+  Classes[ByteArrayClass] = {"ByteArray", ObjectFormat::IndexableBytes, 0};
+  Classes[ByteStringClass] = {"ByteString", ObjectFormat::IndexableBytes, 0};
+  Classes[PlainObjectClass] = {"Object", ObjectFormat::Pointers, 0};
+  Classes[PointClass] = {"Point", ObjectFormat::Pointers, 2};
+  Classes[AssociationClass] = {"Association", ObjectFormat::Pointers, 2};
+  Classes[ExternalAddressClass] = {"ExternalAddress",
+                                   ObjectFormat::IndexableBytes, 0};
+}
+
+std::uint32_t ClassTable::addClass(std::string Name, ObjectFormat Format,
+                                   std::uint32_t FixedSlots) {
+  Classes.push_back({std::move(Name), Format, FixedSlots});
+  return static_cast<std::uint32_t>(Classes.size() - 1);
+}
+
+const ClassInfo &ClassTable::classAt(std::uint32_t Index) const {
+  assert(isValidIndex(Index) && "invalid class index");
+  return Classes[Index];
+}

@@ -1,0 +1,60 @@
+//===- vm/ClassTable.h - VM class descriptors ------------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The class table maps class indices (stored in object headers) to class
+/// descriptors. The abstract constraint model refers to classes purely by
+/// class-table id (paper §3.2: "VM classes with their class table id").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_CLASSTABLE_H
+#define IGDT_VM_CLASSTABLE_H
+
+#include "vm/ObjectFormat.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// Descriptor of one VM class.
+struct ClassInfo {
+  std::string Name;
+  ObjectFormat Format = ObjectFormat::Pointers;
+  /// Number of fixed (named) slots for Pointers-format instances.
+  std::uint32_t FixedSlots = 0;
+};
+
+/// The table of all classes known to a VM instance.
+class ClassTable {
+public:
+  /// Builds a table pre-populated with the WellKnownClass entries.
+  ClassTable();
+
+  /// Registers a new class and returns its index.
+  std::uint32_t addClass(std::string Name, ObjectFormat Format,
+                         std::uint32_t FixedSlots);
+
+  /// Returns the descriptor for \p Index; asserts on invalid indices.
+  const ClassInfo &classAt(std::uint32_t Index) const;
+
+  /// Returns true if \p Index denotes a registered class.
+  bool isValidIndex(std::uint32_t Index) const {
+    return Index > 0 && Index < Classes.size();
+  }
+
+  /// Number of registered classes (including the reserved slot 0).
+  std::uint32_t size() const { return static_cast<std::uint32_t>(Classes.size()); }
+
+private:
+  std::vector<ClassInfo> Classes;
+};
+
+} // namespace igdt
+
+#endif // IGDT_VM_CLASSTABLE_H

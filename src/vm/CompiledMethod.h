@@ -1,0 +1,46 @@
+//===- vm/CompiledMethod.h - Method objects --------------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A compiled method: byte-codes plus a literal frame, an argument /
+/// temporary count and an optional native-method (primitive) index,
+/// mirroring the Pharo hybrid method layout (paper §4.2): a method with a
+/// primitive first runs the native behaviour and falls back to its
+/// byte-code on failure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_COMPILEDMETHOD_H
+#define IGDT_VM_COMPILEDMETHOD_H
+
+#include "vm/Oop.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// A QVM method. Held by the host (not on the VM heap); frames reference
+/// methods by pointer.
+struct CompiledMethod {
+  std::string Name;
+  std::uint16_t NumArgs = 0;
+  std::uint16_t NumTemps = 0;
+  /// Native-method index, or -1 for a pure byte-code method.
+  std::int32_t PrimitiveIndex = -1;
+  std::vector<std::uint8_t> Bytecodes;
+  std::vector<Oop> Literals;
+
+  /// Total addressable locals (arguments followed by temporaries).
+  std::uint32_t numLocals() const {
+    return std::uint32_t(NumArgs) + NumTemps;
+  }
+};
+
+} // namespace igdt
+
+#endif // IGDT_VM_COMPILEDMETHOD_H

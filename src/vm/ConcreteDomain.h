@@ -1,0 +1,264 @@
+//===- vm/ConcreteDomain.h - Concrete execution domain ----------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The concrete value domain for InterpreterCore. Values are plain Oops,
+/// integers are int64, floats are double; nothing is recorded. The same
+/// interpreter source instantiated with symbolic::ConcolicDomain performs
+/// the concolic meta-interpretation of the paper; this instantiation is
+/// the plain interpreter used by unit tests, examples and oracles.
+///
+/// The member set of this class *is* the Domain concept: any domain must
+/// provide exactly these operations. Predicates return the concrete truth
+/// of the condition; instrumented domains additionally record a path
+/// constraint for every predicate call (paper §2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_CONCRETEDOMAIN_H
+#define IGDT_VM_CONCRETEDOMAIN_H
+
+#include "support/IntMath.h"
+#include "vm/ObjectMemory.h"
+#include "vm/VMConfig.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace igdt {
+
+/// Concrete domain: direct execution against an ObjectMemory.
+class ConcreteDomain {
+public:
+  using Value = Oop;
+  using IntV = std::int64_t;
+  using FltV = double;
+
+  ConcreteDomain(ObjectMemory &Memory, const VMConfig &Config)
+      : Mem(Memory), Cfg(Config) {}
+
+  ObjectMemory &memory() { return Mem; }
+  const VMConfig &config() const { return Cfg; }
+
+  /// \name Constants
+  /// @{
+  Value nilValue() { return Mem.nilObject(); }
+  Value trueValue() { return Mem.trueObject(); }
+  Value falseValue() { return Mem.falseObject(); }
+  Value booleanValue(bool B) { return Mem.booleanObject(B); }
+  Value literalValue(Oop Literal) { return Literal; }
+  IntV intConst(std::int64_t V) { return V; }
+  FltV floatConst(double V) { return V; }
+  /// @}
+
+  /// \name Frame-structural checks
+  /// @{
+  bool checkStackDepth(std::size_t ConcreteSize, std::uint32_t Needed) {
+    return ConcreteSize >= Needed;
+  }
+  /// @}
+
+  /// \name Type predicates
+  /// @{
+  bool isSmallInteger(Value V) { return isSmallIntOop(V); }
+  bool isBoxedFloat(Value V) { return Mem.isBoxedFloat(V); }
+  bool isPointersObject(Value V) {
+    if (!Mem.isHeapObject(V))
+      return false;
+    ObjectFormat F = Mem.formatOf(V);
+    return F == ObjectFormat::Pointers || F == ObjectFormat::IndexablePointers;
+  }
+  bool isIndexablePointers(Value V) {
+    return Mem.isHeapObject(V) &&
+           Mem.formatOf(V) == ObjectFormat::IndexablePointers;
+  }
+  bool isBytesObject(Value V) {
+    return Mem.isHeapObject(V) &&
+           Mem.formatOf(V) == ObjectFormat::IndexableBytes;
+  }
+  bool hasClassIndex(Value V, std::uint32_t ClassIdx) {
+    return Mem.classIndexOf(V) == ClassIdx;
+  }
+  bool isTrueObject(Value V) { return V == Mem.trueObject(); }
+  bool isFalseObject(Value V) { return V == Mem.falseObject(); }
+  /// @}
+
+  /// \name Small integers
+  /// @{
+  IntV integerValueOf(Value V) { return smallIntValue(V); }
+  IntV uncheckedIntegerValueOf(Value V) { return smallIntValueUnchecked(V); }
+  Value integerObjectOf(IntV I) { return smallIntOop(I); }
+  bool isIntegerValue(IntV I) { return fitsSmallInt(I); }
+
+  IntV addI(IntV A, IntV B) { return addSat(A, B); }
+  IntV subI(IntV A, IntV B) { return subSat(A, B); }
+  IntV mulI(IntV A, IntV B) { return mulSat(A, B); }
+  IntV quoI(IntV A, IntV B) { return truncDiv(A, B); }
+  IntV divFloorI(IntV A, IntV B) { return floorDiv(A, B); }
+  IntV modFloorI(IntV A, IntV B) { return floorMod(A, B); }
+  IntV negI(IntV A) { return negSat(A); }
+  IntV bitAndI(IntV A, IntV B) { return A & B; }
+  IntV bitOrI(IntV A, IntV B) { return A | B; }
+  IntV bitXorI(IntV A, IntV B) { return A ^ B; }
+  IntV shiftLeftI(IntV A, IntV Amount) { return shlSat(A, Amount); }
+  IntV shiftRightI(IntV A, IntV Amount) { return asr(A, Amount); }
+  IntV highBitI(IntV A) { return highBit(A); }
+
+  bool lessI(IntV A, IntV B) { return A < B; }
+  bool lessEqI(IntV A, IntV B) { return A <= B; }
+  bool equalI(IntV A, IntV B) { return A == B; }
+
+  /// Concretization point: in instrumented domains this pins the symbolic
+  /// value to its concrete one; here it is the identity.
+  std::int64_t pinInt(IntV I) { return I; }
+  /// @}
+
+  /// \name Floats
+  /// @{
+  FltV floatValueOf(Value V) { return *Mem.floatValueOf(V); }
+  Value floatObjectOf(FltV F) { return Mem.allocateFloat(F); }
+  FltV intToFloat(IntV I) { return static_cast<double>(I); }
+  IntV truncToInt(FltV F) {
+    if (F >= 9.2e18)
+      return SatMax;
+    if (F <= -9.2e18)
+      return SatMin;
+    return static_cast<std::int64_t>(std::trunc(F));
+  }
+
+  FltV faddF(FltV A, FltV B) { return A + B; }
+  FltV fsubF(FltV A, FltV B) { return A - B; }
+  FltV fmulF(FltV A, FltV B) { return A * B; }
+  FltV fdivF(FltV A, FltV B) { return A / B; }
+  FltV fsqrtF(FltV A) { return std::sqrt(A); }
+  FltV fsinF(FltV A) { return std::sin(A); }
+  FltV fcosF(FltV A) { return std::cos(A); }
+  FltV fexpF(FltV A) { return std::exp(A); }
+  FltV flnF(FltV A) { return std::log(A); }
+  FltV fatanF(FltV A) { return std::atan(A); }
+  FltV ffracF(FltV A) { return A - std::trunc(A); }
+
+  bool lessF(FltV A, FltV B) { return A < B; }
+  bool lessEqF(FltV A, FltV B) { return A <= B; }
+  bool equalF(FltV A, FltV B) { return A == B; }
+  /// @}
+
+  /// \name Objects
+  /// @{
+  IntV slotCountOf(Value V) { return Mem.slotCountOf(V); }
+
+  Value fetchSlot(Value Obj, IntV Index) {
+    auto Slot = Mem.fetchPointerSlot(Obj, static_cast<std::uint32_t>(Index));
+    assert(Slot && "fetchSlot after failed bounds validation");
+    return *Slot;
+  }
+  void storeSlot(Value Obj, IntV Index, Value V) {
+    bool Ok = Mem.storePointerSlot(Obj, static_cast<std::uint32_t>(Index), V);
+    assert(Ok && "storeSlot after failed bounds validation");
+    (void)Ok;
+  }
+  IntV fetchByteAt(Value Obj, IntV Index) {
+    auto Byte = Mem.fetchByte(Obj, static_cast<std::uint32_t>(Index));
+    assert(Byte && "fetchByteAt after failed bounds validation");
+    return *Byte;
+  }
+  void storeByteAt(Value Obj, IntV Index, IntV Byte) {
+    bool Ok = Mem.storeByte(Obj, static_cast<std::uint32_t>(Index),
+                            static_cast<std::uint8_t>(Byte));
+    assert(Ok && "storeByteAt after failed bounds validation");
+    (void)Ok;
+  }
+
+  /// Multi-byte little-endian load from a bytes object (FFI accessors).
+  IntV loadBytesLE(Value Obj, IntV Offset, unsigned Width, bool SignExtend) {
+    std::uint64_t Raw = 0;
+    for (unsigned I = 0; I < Width; ++I)
+      Raw |= static_cast<std::uint64_t>(
+                 *Mem.fetchByte(Obj, static_cast<std::uint32_t>(Offset) + I))
+             << (8 * I);
+    if (SignExtend && Width < 8) {
+      std::uint64_t SignBit = 1ull << (8 * Width - 1);
+      if (Raw & SignBit)
+        Raw |= ~((SignBit << 1) - 1);
+    }
+    return static_cast<std::int64_t>(Raw);
+  }
+  void storeBytesLE(Value Obj, IntV Offset, unsigned Width, IntV V) {
+    auto Raw = static_cast<std::uint64_t>(V);
+    for (unsigned I = 0; I < Width; ++I)
+      Mem.storeByte(Obj, static_cast<std::uint32_t>(Offset) + I,
+                    static_cast<std::uint8_t>(Raw >> (8 * I)));
+  }
+  FltV loadFloat64LE(Value Obj, IntV Offset) {
+    std::int64_t Bits = loadBytesLE(Obj, Offset, 8, false);
+    double F;
+    std::memcpy(&F, &Bits, 8);
+    return F;
+  }
+  void storeFloat64LE(Value Obj, IntV Offset, FltV F) {
+    std::int64_t Bits;
+    std::memcpy(&Bits, &F, 8);
+    storeBytesLE(Obj, Offset, 8, Bits);
+  }
+  FltV loadFloat32LE(Value Obj, IntV Offset) {
+    auto Bits = static_cast<std::uint32_t>(loadBytesLE(Obj, Offset, 4, false));
+    float F;
+    std::memcpy(&F, &Bits, 4);
+    return static_cast<double>(F);
+  }
+  void storeFloat32LE(Value Obj, IntV Offset, FltV F) {
+    auto Narrow = static_cast<float>(F);
+    std::uint32_t Bits;
+    std::memcpy(&Bits, &Narrow, 4);
+    storeBytesLE(Obj, Offset, 4, static_cast<std::int64_t>(Bits));
+  }
+
+  Value allocateInstance(std::uint32_t ClassIdx, IntV IndexableSize) {
+    return Mem.allocateInstance(ClassIdx,
+                                static_cast<std::uint32_t>(IndexableSize));
+  }
+  bool allocationFailed(Value V) { return V == InvalidOop; }
+
+  /// True if class-table entry \p ClassIdx has storage format \p Fmt.
+  /// Instrumented domains record this as a constraint on the class index.
+  bool classFormatIs(IntV ClassIdx, ObjectFormat Fmt) {
+    if (ClassIdx <= 0 || ClassIdx >= Mem.classTable().size())
+      return false;
+    return Mem.classTable()
+               .classAt(static_cast<std::uint32_t>(ClassIdx))
+               .Format == Fmt;
+  }
+
+  /// Allocates a same-class, same-size copy of \p Obj (pointer formats).
+  Value shallowCopyOf(Value Obj) {
+    std::uint32_t ClassIdx = Mem.classIndexOf(Obj);
+    bool Indexable = Mem.formatOf(Obj) == ObjectFormat::IndexablePointers;
+    std::uint32_t Count = Mem.slotCountOf(Obj);
+    Value Copy = Mem.allocateInstance(ClassIdx, Indexable ? Count : 0);
+    if (Copy == InvalidOop)
+      return InvalidOop;
+    for (std::uint32_t I = 0; I < Count; ++I)
+      Mem.storePointerSlot(Copy, I, *Mem.fetchPointerSlot(Obj, I));
+    return Copy;
+  }
+
+  bool sameObjectAs(Value A, Value B) { return A == B; }
+  IntV classIndexValueOf(Value V) { return Mem.classIndexOf(V); }
+  IntV identityHashOf(Value V) {
+    if (isSmallIntOop(V))
+      return smallIntValue(V);
+    return Mem.identityHashOf(V);
+  }
+  /// @}
+
+private:
+  ObjectMemory &Mem;
+  const VMConfig &Cfg;
+};
+
+} // namespace igdt
+
+#endif // IGDT_VM_CONCRETEDOMAIN_H

@@ -1,0 +1,25 @@
+//===- vm/ExitCondition.cpp - Instruction exit conditions -------------------===//
+
+#include "vm/ExitCondition.h"
+
+#include "support/Compiler.h"
+
+using namespace igdt;
+
+const char *igdt::exitKindName(ExitKind Kind) {
+  switch (Kind) {
+  case ExitKind::Success:
+    return "success";
+  case ExitKind::PrimitiveFailure:
+    return "failure";
+  case ExitKind::MessageSend:
+    return "message-send";
+  case ExitKind::MethodReturn:
+    return "method-return";
+  case ExitKind::InvalidFrame:
+    return "invalid-frame";
+  case ExitKind::InvalidMemoryAccess:
+    return "invalid-memory-access";
+  }
+  igdt_unreachable("unknown exit kind");
+}

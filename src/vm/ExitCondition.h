@@ -1,0 +1,97 @@
+//===- vm/ExitCondition.h - Instruction exit conditions ---------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exit conditions tracked by the execution model (paper §3.4). An
+/// instruction's exit status models how its execution finished and is the
+/// first observable the differential tester compares between interpreted
+/// and compiled code.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_EXITCONDITION_H
+#define IGDT_VM_EXITCONDITION_H
+
+#include "vm/SelectorTable.h"
+
+#include <cstdint>
+
+namespace igdt {
+
+/// How a VM instruction execution finished (paper §3.4).
+enum class ExitKind : std::uint8_t {
+  /// Correct execution until the end (byte-codes) or a return to the
+  /// caller (native methods).
+  Success,
+  /// A safe native method rejected its operands; execution falls back to
+  /// the user-defined byte-code body.
+  PrimitiveFailure,
+  /// The instruction attempts to activate a message send (slow paths of
+  /// optimised byte-codes, send byte-codes, mustBeBoolean).
+  MessageSend,
+  /// The instruction attempts to return to the caller.
+  MethodReturn,
+  /// Access to a non-existing operand-stack value. An expected failure
+  /// telling the concolic engine to grow the input frame.
+  InvalidFrame,
+  /// Out-of-bounds or wrongly-typed object access. Expected for unsafe
+  /// byte-codes; an error for safe native methods.
+  InvalidMemoryAccess,
+};
+
+/// Printable name of \p Kind.
+const char *exitKindName(ExitKind Kind);
+
+/// Result of executing one VM instruction in domain \p V.
+template <typename V> struct StepResult {
+  ExitKind Kind = ExitKind::Success;
+  /// Selector of the attempted send (MessageSend exits only).
+  SelectorId Selector = 0;
+  /// Argument count of the attempted send.
+  std::uint8_t SendNumArgs = 0;
+  /// Returned value (MethodReturn) or primitive result (Success exits of
+  /// native methods).
+  V Result{};
+
+  static StepResult success() { return StepResult{}; }
+  static StepResult successWith(V Value) {
+    StepResult R;
+    R.Result = Value;
+    return R;
+  }
+  static StepResult failure() {
+    StepResult R;
+    R.Kind = ExitKind::PrimitiveFailure;
+    return R;
+  }
+  static StepResult send(SelectorId Sel, std::uint8_t NumArgs) {
+    StepResult R;
+    R.Kind = ExitKind::MessageSend;
+    R.Selector = Sel;
+    R.SendNumArgs = NumArgs;
+    return R;
+  }
+  static StepResult methodReturn(V Value) {
+    StepResult R;
+    R.Kind = ExitKind::MethodReturn;
+    R.Result = Value;
+    return R;
+  }
+  static StepResult invalidFrame() {
+    StepResult R;
+    R.Kind = ExitKind::InvalidFrame;
+    return R;
+  }
+  static StepResult invalidMemoryAccess() {
+    StepResult R;
+    R.Kind = ExitKind::InvalidMemoryAccess;
+    return R;
+  }
+};
+
+} // namespace igdt
+
+#endif // IGDT_VM_EXITCONDITION_H

@@ -1,0 +1,57 @@
+//===- vm/Frame.h - VM stack frames -----------------------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A VM stack frame parameterised on the value domain: Oop for concrete
+/// execution, ConcolicValue for concolic execution. This mirrors the
+/// abstract frame model of the paper (Figure 3): receiver, method,
+/// arguments/locals, operand stack.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_FRAME_H
+#define IGDT_VM_FRAME_H
+
+#include "vm/CompiledMethod.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace igdt {
+
+/// One VM frame over values of type \p V.
+template <typename V> struct FrameT {
+  V Receiver{};
+  const CompiledMethod *Method = nullptr;
+  /// Arguments followed by temporaries.
+  std::vector<V> Locals;
+  /// Operand stack; back() is the top.
+  std::vector<V> Stack;
+  std::uint32_t PC = 0;
+
+  /// Value \p Depth entries below the top of the operand stack.
+  /// Precondition: Depth < Stack.size().
+  const V &stackValue(std::uint32_t Depth) const {
+    return Stack[Stack.size() - 1 - Depth];
+  }
+  V &stackValue(std::uint32_t Depth) {
+    return Stack[Stack.size() - 1 - Depth];
+  }
+
+  void push(V Value) { Stack.push_back(Value); }
+
+  V pop() {
+    V Top = Stack.back();
+    Stack.pop_back();
+    return Top;
+  }
+
+  void popN(std::uint32_t N) { Stack.resize(Stack.size() - N); }
+};
+
+} // namespace igdt
+
+#endif // IGDT_VM_FRAME_H

@@ -1,0 +1,192 @@
+//===- vm/InstructionCatalog.cpp - Testable instruction inventory ----------===//
+
+#include "vm/InstructionCatalog.h"
+
+#include "vm/Bytecodes.h"
+#include "vm/SelectorTable.h"
+
+#include <unordered_map>
+
+using namespace igdt;
+
+namespace {
+
+/// Default literal pool for push-literal byte-codes: distinct small
+/// integers so value mismatches are visible in reports.
+Oop defaultLiteral(unsigned Index) { return smallIntOop(101 + Index); }
+
+void addBytecode(std::vector<InstructionSpec> &Out, std::string Family,
+                 std::vector<std::uint8_t> Bytes, std::uint16_t NumLocals = 0,
+                 std::vector<Oop> Literals = {}, std::uint32_t Padding = 0) {
+  InstructionSpec Spec;
+  Spec.Kind = InstructionKind::Bytecode;
+  Spec.Name = bytecodeName(Bytes[0]);
+  Spec.Family = std::move(Family);
+  Spec.Bytes = std::move(Bytes);
+  Spec.NumLocals = NumLocals;
+  Spec.Literals = std::move(Literals);
+  Spec.PaddingBytes = Padding;
+  Out.push_back(std::move(Spec));
+}
+
+std::vector<InstructionSpec> buildCatalog() {
+  std::vector<InstructionSpec> Out;
+
+  // --- push family ---
+  for (std::uint8_t I = 0; I < 12; ++I)
+    addBytecode(Out, "pushLocal", {std::uint8_t(BCPushLocalShort + I)},
+                std::uint16_t(I + 1));
+  addBytecode(Out, "pushLocal", {BCPushLocalExt, 12}, 13);
+
+  for (std::uint8_t I = 0; I < 12; ++I) {
+    std::vector<Oop> Lits;
+    for (unsigned L = 0; L <= I; ++L)
+      Lits.push_back(defaultLiteral(L));
+    addBytecode(Out, "pushLiteral", {std::uint8_t(BCPushLiteralShort + I)}, 0,
+                Lits);
+  }
+  {
+    std::vector<Oop> Lits;
+    for (unsigned L = 0; L <= 12; ++L)
+      Lits.push_back(defaultLiteral(L));
+    addBytecode(Out, "pushLiteral", {BCPushLiteralExt, 12}, 0, Lits);
+  }
+
+  for (std::uint8_t I = 0; I < 8; ++I)
+    addBytecode(Out, "pushInstVar", {std::uint8_t(BCPushInstVarShort + I)});
+  addBytecode(Out, "pushInstVar", {BCPushInstVarExt, 8});
+
+  for (std::uint8_t I = 0; I < 7; ++I)
+    addBytecode(Out, "pushConstant", {std::uint8_t(BCPushConstant + I)});
+  addBytecode(Out, "pushReceiver", {BCPushReceiver});
+
+  // --- store family ---
+  for (std::uint8_t I = 0; I < 8; ++I)
+    addBytecode(Out, "storeLocal", {std::uint8_t(BCStoreLocalShort + I)},
+                std::uint16_t(I + 1));
+  addBytecode(Out, "storeLocal", {BCStoreLocalExt, 8}, 9);
+
+  for (std::uint8_t I = 0; I < 8; ++I)
+    addBytecode(Out, "storeInstVar", {std::uint8_t(BCStoreInstVarShort + I)});
+  addBytecode(Out, "storeInstVar", {BCStoreInstVarExt, 8});
+
+  // --- stack manipulation ---
+  addBytecode(Out, "pop", {BCPop});
+  addBytecode(Out, "dup", {BCDup});
+
+  // --- type-predicted arithmetic (each op is its own family, as in the
+  // Pharo special-selector byte-codes) ---
+  for (std::uint8_t I = 0; I < NumArithOps; ++I)
+    addBytecode(Out, bytecodeName(std::uint8_t(BCArithmetic + I)),
+                {std::uint8_t(BCArithmetic + I)});
+  addBytecode(Out, "identityEquals", {BCIdentityEquals});
+
+  // --- jumps (padding keeps the targets inside the method) ---
+  for (std::uint8_t I = 0; I < 8; ++I)
+    addBytecode(Out, "shortJump", {std::uint8_t(BCShortJump + I)}, 0, {}, 10);
+  for (std::uint8_t I = 0; I < 8; ++I)
+    addBytecode(Out, "shortJumpFalse", {std::uint8_t(BCShortJumpFalse + I)}, 0,
+                {}, 10);
+  addBytecode(Out, "longJump", {BCLongJump, 4}, 0, {}, 8);
+  addBytecode(Out, "longJumpTrue", {BCLongJumpTrue, 4}, 0, {}, 8);
+  addBytecode(Out, "longJumpFalse", {BCLongJumpFalse, 4}, 0, {}, 8);
+
+  // --- sends (literal frame holds selector ids as SmallIntegers) ---
+  const SelectorId ZeroArg[4] = {SelectorSize, SelectorValue,
+                                 SelectorIdentical, SelectorPlus};
+  const SelectorId OneArg[4] = {SelectorPlus, SelectorMinus, SelectorAt,
+                                SelectorLess};
+  const SelectorId TwoArg[4] = {SelectorAtPut, SelectorAtPut, SelectorAtPut,
+                                SelectorAtPut};
+  auto SelectorPool = [](const SelectorId (&Pool)[4]) {
+    std::vector<Oop> Lits;
+    for (SelectorId Sel : Pool)
+      Lits.push_back(smallIntOop(Sel));
+    return Lits;
+  };
+  for (std::uint8_t I = 0; I < 4; ++I)
+    addBytecode(Out, "send", {std::uint8_t(BCSend0Short + I)}, 0,
+                SelectorPool(ZeroArg));
+  for (std::uint8_t I = 0; I < 4; ++I)
+    addBytecode(Out, "send", {std::uint8_t(BCSend1Short + I)}, 0,
+                SelectorPool(OneArg));
+  for (std::uint8_t I = 0; I < 4; ++I)
+    addBytecode(Out, "send", {std::uint8_t(BCSend2Short + I)}, 0,
+                SelectorPool(TwoArg));
+  addBytecode(Out, "send", {BCSendExt, 0, 3}, 0,
+              {smallIntOop(SelectorAtPut)});
+
+  // --- returns ---
+  addBytecode(Out, "return", {BCReturnTop});
+  addBytecode(Out, "return", {BCReturnReceiver});
+  addBytecode(Out, "return", {BCReturnNil});
+  addBytecode(Out, "return", {BCReturnTrue});
+  addBytecode(Out, "return", {BCReturnFalse});
+
+  // --- native methods ---
+  for (const PrimitiveInfo &Info : allPrimitives()) {
+    InstructionSpec Spec;
+    Spec.Kind = InstructionKind::NativeMethod;
+    Spec.Name = Info.Name;
+    Spec.Family = primitiveFamilyName(Info.Family);
+    Spec.PrimitiveIndex = Info.Index;
+    Out.push_back(std::move(Spec));
+  }
+
+  return Out;
+}
+
+} // namespace
+
+const std::vector<InstructionSpec> &igdt::allInstructions() {
+  static const std::vector<InstructionSpec> Catalog = buildCatalog();
+  return Catalog;
+}
+
+std::vector<const InstructionSpec *> igdt::bytecodeInstructions() {
+  std::vector<const InstructionSpec *> Out;
+  for (const InstructionSpec &Spec : allInstructions())
+    if (Spec.Kind == InstructionKind::Bytecode)
+      Out.push_back(&Spec);
+  return Out;
+}
+
+std::vector<const InstructionSpec *> igdt::nativeMethodInstructions() {
+  std::vector<const InstructionSpec *> Out;
+  for (const InstructionSpec &Spec : allInstructions())
+    if (Spec.Kind == InstructionKind::NativeMethod)
+      Out.push_back(&Spec);
+  return Out;
+}
+
+const InstructionSpec *igdt::findInstruction(const std::string &Name) {
+  static const std::unordered_map<std::string, const InstructionSpec *> Index =
+      [] {
+        std::unordered_map<std::string, const InstructionSpec *> Map;
+        for (const InstructionSpec &Spec : allInstructions())
+          Map.emplace(Spec.Name, &Spec);
+        return Map;
+      }();
+  auto It = Index.find(Name);
+  return It == Index.end() ? nullptr : It->second;
+}
+
+CompiledMethod igdt::instantiateMethod(const InstructionSpec &Spec) {
+  CompiledMethod Method;
+  Method.Name = Spec.Name;
+  Method.NumTemps = Spec.NumLocals;
+  Method.Literals = Spec.Literals;
+  if (Spec.Kind == InstructionKind::NativeMethod) {
+    const PrimitiveInfo *Info = primitiveInfo(Spec.PrimitiveIndex);
+    Method.PrimitiveIndex = Spec.PrimitiveIndex;
+    Method.NumArgs = Info ? Info->NumArgs : 0;
+    // Fallback body: plain return of the receiver.
+    Method.Bytecodes = {BCReturnReceiver};
+    return Method;
+  }
+  Method.Bytecodes = Spec.Bytes;
+  // Pad with pushReceiver so forward jump targets stay in the method.
+  for (std::uint32_t I = 0; I < Spec.PaddingBytes; ++I)
+    Method.Bytecodes.push_back(BCPushReceiver);
+  return Method;
+}

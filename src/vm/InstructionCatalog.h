@@ -1,0 +1,65 @@
+//===- vm/InstructionCatalog.h - Testable instruction inventory ------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inventory of individually testable VM instructions: every byte-code
+/// encoding plus every native method. Each entry carries the method shape
+/// the instruction needs (paper §4.2: "the method will have as many
+/// arguments or locals as required by the instruction") so the tester can
+/// instantiate a one-instruction method around it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_INSTRUCTIONCATALOG_H
+#define IGDT_VM_INSTRUCTIONCATALOG_H
+
+#include "vm/CompiledMethod.h"
+#include "vm/PrimitiveTable.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// Whether an instruction is a byte-code or a native method (paper §3.1).
+enum class InstructionKind : std::uint8_t { Bytecode, NativeMethod };
+
+/// One testable VM instruction.
+struct InstructionSpec {
+  InstructionKind Kind = InstructionKind::Bytecode;
+  std::string Name;
+  std::string Family;
+  /// Byte-codes: the encoded instruction.
+  std::vector<std::uint8_t> Bytes;
+  /// Native methods: primitive index.
+  std::int32_t PrimitiveIndex = -1;
+  /// Temporaries the wrapping method must declare.
+  std::uint16_t NumLocals = 0;
+  /// Literal frame of the wrapping method.
+  std::vector<Oop> Literals;
+  /// Filler bytes appended after the instruction so jump targets stay
+  /// inside the method.
+  std::uint32_t PaddingBytes = 0;
+};
+
+/// Returns every testable instruction: all byte-code encodings followed by
+/// all native methods.
+const std::vector<InstructionSpec> &allInstructions();
+
+/// Returns only the byte-code / only the native-method entries.
+std::vector<const InstructionSpec *> bytecodeInstructions();
+std::vector<const InstructionSpec *> nativeMethodInstructions();
+
+/// Finds an instruction by name; nullptr when absent.
+const InstructionSpec *findInstruction(const std::string &Name);
+
+/// Builds the one-instruction method that wraps \p Spec for testing.
+CompiledMethod instantiateMethod(const InstructionSpec &Spec);
+
+} // namespace igdt
+
+#endif // IGDT_VM_INSTRUCTIONCATALOG_H

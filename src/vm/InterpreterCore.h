@@ -1,0 +1,1077 @@
+//===- vm/InterpreterCore.h - The QVM interpreter (executable spec) --------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The QVM byte-code interpreter and native-method implementations,
+/// written once against an abstract value domain \p D (see
+/// vm/ConcreteDomain.h for the concept). Instantiated with ConcreteDomain
+/// this is the plain interpreter; instantiated with ConcolicDomain it is
+/// the concolic meta-interpreter of the paper: every domain predicate
+/// records a path constraint, so executing an instruction yields both its
+/// concrete effect and the symbolic path condition (paper §2.3, §3).
+///
+/// Semantics notes mirroring the Pharo VM the paper studies:
+///  - byte-codes are unsafe: operand-stack underflow exits InvalidFrame,
+///    bad object accesses exit InvalidMemoryAccess (both are *expected*
+///    failures for byte-codes, paper §3.4);
+///  - the sixteen arithmetic byte-codes use static type prediction and
+///    fall back to a message send when the receiver/argument types do not
+///    match (paper Listing 1);
+///  - native methods are safe: they validate operands and exit
+///    PrimitiveFailure, except where a defect seed reproduces a published
+///    Pharo bug (VMConfig).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_INTERPRETERCORE_H
+#define IGDT_VM_INTERPRETERCORE_H
+
+#include "support/Compiler.h"
+#include "vm/Bytecodes.h"
+#include "vm/ExitCondition.h"
+#include "vm/Frame.h"
+#include "vm/ObjectMemory.h"
+#include "vm/PrimitiveTable.h"
+#include "vm/VMConfig.h"
+
+namespace igdt {
+
+/// Maximum element count accepted by the allocation primitives.
+inline constexpr std::int64_t MaxPrimitiveAllocation = 1024;
+
+/// The interpreter engine over domain \p D.
+template <typename D> class InterpreterCore {
+public:
+  using Value = typename D::Value;
+  using IntV = typename D::IntV;
+  using FltV = typename D::FltV;
+  using Frame = FrameT<Value>;
+  using Result = StepResult<Value>;
+
+  InterpreterCore(D &Domain, ObjectMemory &Memory)
+      : Dom(Domain), Mem(Memory), Cfg(Domain.config()) {}
+
+  /// Executes the single VM instruction a frame's method denotes: the
+  /// native method if the method declares one, else the byte-code at PC.
+  Result stepInstruction(Frame &F) {
+    assert(F.Method && "frame without method");
+    if (F.Method->PrimitiveIndex >= 0)
+      return runPrimitive(F.Method->PrimitiveIndex, F);
+    return stepBytecode(F);
+  }
+
+  /// Executes the byte-code at F.PC. On Success the PC has advanced.
+  Result stepBytecode(Frame &F);
+
+  /// Executes native method \p Index against the operand stack of \p F
+  /// (receiver below the arguments). On Success, receiver and arguments
+  /// have been replaced by the result; on PrimitiveFailure the stack is
+  /// untouched so the byte-code fallback may run.
+  Result runPrimitive(std::int32_t Index, Frame &F);
+
+  /// Runs byte-codes until a non-Success exit (demo/test helper). Returns
+  /// that exit; at most \p MaxSteps are executed (then InvalidFrame).
+  Result runToReturn(Frame &F, unsigned MaxSteps = 10000) {
+    for (unsigned I = 0; I < MaxSteps; ++I) {
+      Result R = stepBytecode(F);
+      if (R.Kind != ExitKind::Success)
+        return R;
+    }
+    return Result::invalidFrame();
+  }
+
+  /// Executes a byte-code *sequence*: steps until a non-Success exit or
+  /// until the PC falls off the end of the method (which is a Success —
+  /// the fragment completed). This powers the sequence-testing extension
+  /// the paper lists as future work.
+  Result runFragment(Frame &F, unsigned MaxSteps = 256) {
+    while (F.PC < F.Method->Bytecodes.size()) {
+      if (MaxSteps-- == 0)
+        return Result::invalidFrame(); // runaway loop in the fragment
+      Result R = stepBytecode(F);
+      if (R.Kind != ExitKind::Success)
+        return R;
+    }
+    return Result::success();
+  }
+
+private:
+  /// Records the operand-stack depth check (paper Fig. 2: the
+  /// operand_stack_size constraints).
+  bool ensureStackDepth(Frame &F, std::uint32_t Needed) {
+    return Dom.checkStackDepth(F.Stack.size(), Needed);
+  }
+
+  Result execArithmetic(Frame &F, ArithOp Op);
+  Result execJumpFalse(Frame &F, std::uint32_t Target);
+  Result execJumpTrue(Frame &F, std::uint32_t Target);
+
+  /// Sends \p Op's special selector: the slow path of the type-predicted
+  /// arithmetic byte-codes.
+  Result arithSend(ArithOp Op) {
+    return Result::send(arithSelector(Op), 1);
+  }
+
+  // Native method families.
+  Result primIntegerBinary(std::int32_t Index, Frame &F);
+  Result primIntegerUnary(std::int32_t Index, Frame &F);
+  Result primFloatBinary(std::int32_t Index, Frame &F);
+  Result primFloatUnary(std::int32_t Index, Frame &F);
+  Result primObjectFamily(std::int32_t Index, Frame &F);
+  Result primFFIFamily(std::int32_t Index, Frame &F);
+
+  D &Dom;
+  ObjectMemory &Mem;
+  const VMConfig &Cfg;
+};
+
+//===----------------------------------------------------------------------===//
+// Byte-code execution
+//===----------------------------------------------------------------------===//
+
+template <typename D>
+typename InterpreterCore<D>::Result InterpreterCore<D>::stepBytecode(Frame &F) {
+  const CompiledMethod &M = *F.Method;
+  auto Decoded = decodeBytecode(M.Bytecodes, F.PC);
+  if (!Decoded)
+    return Result::invalidFrame();
+  std::uint32_t NextPC = F.PC + Decoded->Length;
+
+  auto Advance = [&]() -> Result {
+    F.PC = NextPC;
+    return Result::success();
+  };
+
+  switch (Decoded->Op) {
+  case Operation::PushLocal: {
+    if (static_cast<std::uint32_t>(Decoded->A) >= F.Locals.size())
+      return Result::invalidFrame();
+    F.push(F.Locals[Decoded->A]);
+    return Advance();
+  }
+  case Operation::PushLiteral: {
+    if (static_cast<std::size_t>(Decoded->A) >= M.Literals.size())
+      return Result::invalidFrame();
+    F.push(Dom.literalValue(M.Literals[Decoded->A]));
+    return Advance();
+  }
+  case Operation::PushInstVar: {
+    // Unsafe by design: a wrongly-typed receiver or an out-of-bounds slot
+    // is an InvalidMemoryAccess (expected failure for byte-codes).
+    if (!Dom.isPointersObject(F.Receiver))
+      return Result::invalidMemoryAccess();
+    if (!Dom.lessI(Dom.intConst(Decoded->A), Dom.slotCountOf(F.Receiver)))
+      return Result::invalidMemoryAccess();
+    F.push(Dom.fetchSlot(F.Receiver, Dom.intConst(Decoded->A)));
+    return Advance();
+  }
+  case Operation::PushConstant: {
+    switch (Decoded->A) {
+    case 0:
+      F.push(Dom.nilValue());
+      break;
+    case 1:
+      F.push(Dom.trueValue());
+      break;
+    case 2:
+      F.push(Dom.falseValue());
+      break;
+    case 3:
+      F.push(Dom.literalValue(smallIntOop(0)));
+      break;
+    case 4:
+      F.push(Dom.literalValue(smallIntOop(1)));
+      break;
+    case 5:
+      F.push(Dom.literalValue(smallIntOop(2)));
+      break;
+    case 6:
+      F.push(Dom.literalValue(smallIntOop(-1)));
+      break;
+    default:
+      return Result::invalidFrame();
+    }
+    return Advance();
+  }
+  case Operation::PushReceiver:
+    F.push(F.Receiver);
+    return Advance();
+  case Operation::StoreLocal: {
+    if (static_cast<std::uint32_t>(Decoded->A) >= F.Locals.size())
+      return Result::invalidFrame();
+    if (!ensureStackDepth(F, 1))
+      return Result::invalidFrame();
+    F.Locals[Decoded->A] = F.pop();
+    return Advance();
+  }
+  case Operation::StoreInstVar: {
+    if (!ensureStackDepth(F, 1))
+      return Result::invalidFrame();
+    if (!Dom.isPointersObject(F.Receiver))
+      return Result::invalidMemoryAccess();
+    if (!Dom.lessI(Dom.intConst(Decoded->A), Dom.slotCountOf(F.Receiver)))
+      return Result::invalidMemoryAccess();
+    Value V = F.pop();
+    Dom.storeSlot(F.Receiver, Dom.intConst(Decoded->A), V);
+    return Advance();
+  }
+  case Operation::Pop:
+    if (!ensureStackDepth(F, 1))
+      return Result::invalidFrame();
+    F.pop();
+    return Advance();
+  case Operation::Dup:
+    if (!ensureStackDepth(F, 1))
+      return Result::invalidFrame();
+    F.push(F.stackValue(0));
+    return Advance();
+  case Operation::Arithmetic: {
+    Result R = execArithmetic(F, static_cast<ArithOp>(Decoded->A));
+    if (R.Kind == ExitKind::Success)
+      F.PC = NextPC;
+    return R;
+  }
+  case Operation::IdentityEquals: {
+    if (!ensureStackDepth(F, 2))
+      return Result::invalidFrame();
+    Value Arg = F.pop();
+    Value Rcvr = F.pop();
+    F.push(Dom.booleanValue(Dom.sameObjectAs(Rcvr, Arg)));
+    return Advance();
+  }
+  case Operation::Jump: {
+    std::int64_t Target = std::int64_t(NextPC) + Decoded->A;
+    if (Target < 0 || Target > std::int64_t(M.Bytecodes.size()))
+      return Result::invalidFrame();
+    F.PC = static_cast<std::uint32_t>(Target);
+    return Result::success();
+  }
+  case Operation::JumpTrue:
+  case Operation::JumpFalse: {
+    std::int64_t Target = std::int64_t(NextPC) + Decoded->A;
+    if (Target < 0 || Target > std::int64_t(M.Bytecodes.size()))
+      return Result::invalidFrame();
+    if (!ensureStackDepth(F, 1))
+      return Result::invalidFrame();
+    F.PC = NextPC; // conditional jumps advance first, then retarget
+    if (Decoded->Op == Operation::JumpFalse)
+      return execJumpFalse(F, static_cast<std::uint32_t>(Target));
+    return execJumpTrue(F, static_cast<std::uint32_t>(Target));
+  }
+  case Operation::Send: {
+    if (static_cast<std::size_t>(Decoded->A) >= M.Literals.size())
+      return Result::invalidFrame();
+    Oop SelectorLit = M.Literals[Decoded->A];
+    if (!isSmallIntOop(SelectorLit))
+      return Result::invalidFrame();
+    auto NumArgs = static_cast<std::uint8_t>(Decoded->B);
+    if (!ensureStackDepth(F, NumArgs + 1u))
+      return Result::invalidFrame();
+    return Result::send(
+        static_cast<SelectorId>(smallIntValue(SelectorLit)), NumArgs);
+  }
+  case Operation::ReturnTop: {
+    if (!ensureStackDepth(F, 1))
+      return Result::invalidFrame();
+    return Result::methodReturn(F.pop());
+  }
+  case Operation::ReturnReceiver:
+    return Result::methodReturn(F.Receiver);
+  case Operation::ReturnConstant:
+    switch (Decoded->A) {
+    case 0:
+      return Result::methodReturn(Dom.nilValue());
+    case 1:
+      return Result::methodReturn(Dom.trueValue());
+    case 2:
+      return Result::methodReturn(Dom.falseValue());
+    default:
+      return Result::invalidFrame();
+    }
+  }
+  igdt_unreachable("unhandled operation");
+}
+
+template <typename D>
+typename InterpreterCore<D>::Result
+InterpreterCore<D>::execJumpFalse(Frame &F, std::uint32_t Target) {
+  Value Cond = F.pop();
+  if (Dom.isTrueObject(Cond))
+    return Result::success(); // fall through
+  if (Dom.isFalseObject(Cond)) {
+    F.PC = Target;
+    return Result::success();
+  }
+  // Non-boolean condition: the Pharo interpreter re-pushes the value and
+  // sends #mustBeBoolean to it.
+  F.push(Cond);
+  return Result::send(SelectorMustBeBoolean, 0);
+}
+
+template <typename D>
+typename InterpreterCore<D>::Result
+InterpreterCore<D>::execJumpTrue(Frame &F, std::uint32_t Target) {
+  Value Cond = F.pop();
+  if (Dom.isFalseObject(Cond))
+    return Result::success(); // fall through
+  if (Dom.isTrueObject(Cond)) {
+    F.PC = Target;
+    return Result::success();
+  }
+  F.push(Cond);
+  return Result::send(SelectorMustBeBoolean, 0);
+}
+
+template <typename D>
+typename InterpreterCore<D>::Result
+InterpreterCore<D>::execArithmetic(Frame &F, ArithOp Op) {
+  if (!ensureStackDepth(F, 2))
+    return Result::invalidFrame();
+  Value Rcvr = F.stackValue(1);
+  Value Arg = F.stackValue(0);
+
+  auto PushInt = [&](IntV V) -> Result {
+    F.popN(2);
+    F.push(Dom.integerObjectOf(V));
+    return Result::success();
+  };
+  auto PushFloat = [&](FltV V) -> Result {
+    F.popN(2);
+    F.push(Dom.floatObjectOf(V));
+    return Result::success();
+  };
+  auto PushBool = [&](bool B) -> Result {
+    F.popN(2);
+    F.push(Dom.booleanValue(B));
+    return Result::success();
+  };
+
+  // Static type prediction, integer case first (paper Listing 1).
+  if (Dom.isSmallInteger(Rcvr) && Dom.isSmallInteger(Arg)) {
+    IntV R = Dom.integerValueOf(Rcvr);
+    IntV A = Dom.integerValueOf(Arg);
+    switch (Op) {
+    case ArithOp::Add: {
+      IntV Sum = Dom.addI(R, A);
+      if (Dom.isIntegerValue(Sum))
+        return PushInt(Sum);
+      return arithSend(Op); // overflow: slow-path send
+    }
+    case ArithOp::Sub: {
+      IntV Diff = Dom.subI(R, A);
+      if (Dom.isIntegerValue(Diff))
+        return PushInt(Diff);
+      return arithSend(Op);
+    }
+    case ArithOp::Mul: {
+      IntV Product = Dom.mulI(R, A);
+      if (Dom.isIntegerValue(Product))
+        return PushInt(Product);
+      return arithSend(Op);
+    }
+    case ArithOp::Div: {
+      // "/" succeeds only on exact division by a non-zero argument.
+      if (Dom.equalI(A, Dom.intConst(0)))
+        return arithSend(Op);
+      if (!Dom.equalI(Dom.modFloorI(R, A), Dom.intConst(0)))
+        return arithSend(Op);
+      IntV Quotient = Dom.quoI(R, A);
+      if (!Dom.isIntegerValue(Quotient))
+        return arithSend(Op); // MinSmallInt / -1
+      return PushInt(Quotient);
+    }
+    case ArithOp::FloorDiv: {
+      if (Dom.equalI(A, Dom.intConst(0)))
+        return arithSend(Op);
+      IntV Quotient = Dom.divFloorI(R, A);
+      if (!Dom.isIntegerValue(Quotient))
+        return arithSend(Op);
+      return PushInt(Quotient);
+    }
+    case ArithOp::Mod: {
+      if (Dom.equalI(A, Dom.intConst(0)))
+        return arithSend(Op);
+      return PushInt(Dom.modFloorI(R, A));
+    }
+    case ArithOp::Less:
+      return PushBool(Dom.lessI(R, A));
+    case ArithOp::Greater:
+      return PushBool(Dom.lessI(A, R));
+    case ArithOp::LessEq:
+      return PushBool(Dom.lessEqI(R, A));
+    case ArithOp::GreaterEq:
+      return PushBool(Dom.lessEqI(A, R));
+    case ArithOp::Equal:
+      return PushBool(Dom.equalI(R, A));
+    case ArithOp::NotEqual:
+      return PushBool(!Dom.equalI(R, A));
+    case ArithOp::BitAnd:
+    case ArithOp::BitOr:
+    case ArithOp::BitXor: {
+      // Defect seed (paper §5.3 "Behavioral difference"): the interpreter
+      // falls back to library code on negative operands.
+      if (Cfg.SeedBitOpsFailOnNegative) {
+        if (Dom.lessI(R, Dom.intConst(0)) || Dom.lessI(A, Dom.intConst(0)))
+          return arithSend(Op);
+      }
+      if (Op == ArithOp::BitAnd)
+        return PushInt(Dom.bitAndI(R, A));
+      if (Op == ArithOp::BitOr)
+        return PushInt(Dom.bitOrI(R, A));
+      return PushInt(Dom.bitXorI(R, A));
+    }
+    case ArithOp::BitShift: {
+      if (Cfg.SeedBitOpsFailOnNegative &&
+          Dom.lessI(R, Dom.intConst(0)))
+        return arithSend(Op);
+      if (Dom.lessEqI(Dom.intConst(0), A)) {
+        if (!Dom.lessEqI(A, Dom.intConst(SmallIntBits)))
+          return arithSend(Op); // absurdly large shift
+        IntV Shifted = Dom.shiftLeftI(R, A);
+        if (!Dom.isIntegerValue(Shifted))
+          return arithSend(Op);
+        return PushInt(Shifted);
+      }
+      return PushInt(Dom.shiftRightI(R, Dom.negI(A)));
+    }
+    }
+    igdt_unreachable("unhandled integer arith op");
+  }
+
+  // Float case: the interpreter also inlines float arithmetic (paper
+  // §5.3 "Optimization difference" — not all compilers do).
+  if (Dom.isBoxedFloat(Rcvr) && Dom.isBoxedFloat(Arg)) {
+    FltV R = Dom.floatValueOf(Rcvr);
+    FltV A = Dom.floatValueOf(Arg);
+    switch (Op) {
+    case ArithOp::Add:
+      return PushFloat(Dom.faddF(R, A));
+    case ArithOp::Sub:
+      return PushFloat(Dom.fsubF(R, A));
+    case ArithOp::Mul:
+      return PushFloat(Dom.fmulF(R, A));
+    case ArithOp::Div:
+      if (Dom.equalF(A, Dom.floatConst(0.0)))
+        return arithSend(Op);
+      return PushFloat(Dom.fdivF(R, A));
+    case ArithOp::Less:
+      return PushBool(Dom.lessF(R, A));
+    case ArithOp::Greater:
+      return PushBool(Dom.lessF(A, R));
+    case ArithOp::LessEq:
+      return PushBool(Dom.lessEqF(R, A));
+    case ArithOp::GreaterEq:
+      return PushBool(Dom.lessEqF(A, R));
+    case ArithOp::Equal:
+      return PushBool(Dom.equalF(R, A));
+    case ArithOp::NotEqual:
+      return PushBool(!Dom.equalF(R, A));
+    default:
+      return arithSend(Op); // //, \\, bit ops: no float fast path
+    }
+  }
+
+  return arithSend(Op);
+}
+
+//===----------------------------------------------------------------------===//
+// Native methods
+//===----------------------------------------------------------------------===//
+
+template <typename D>
+typename InterpreterCore<D>::Result
+InterpreterCore<D>::runPrimitive(std::int32_t Index, Frame &F) {
+  const PrimitiveInfo *Info = primitiveInfo(Index);
+  if (!Info)
+    return Result::failure();
+  if (!ensureStackDepth(F, Info->NumArgs + 1u))
+    return Result::invalidFrame();
+
+  switch (Info->Family) {
+  case PrimitiveFamily::SmallInteger:
+    if (Info->NumArgs == 1)
+      return primIntegerBinary(Index, F);
+    return primIntegerUnary(Index, F);
+  case PrimitiveFamily::Float:
+    if (Info->NumArgs == 1)
+      return primFloatBinary(Index, F);
+    return primFloatUnary(Index, F);
+  case PrimitiveFamily::Object:
+    return primObjectFamily(Index, F);
+  case PrimitiveFamily::FFI:
+    return primFFIFamily(Index, F);
+  }
+  igdt_unreachable("unhandled primitive family");
+}
+
+template <typename D>
+typename InterpreterCore<D>::Result
+InterpreterCore<D>::primIntegerBinary(std::int32_t Index, Frame &F) {
+  Value Rcvr = F.stackValue(1);
+  Value Arg = F.stackValue(0);
+  if (!Dom.isSmallInteger(Rcvr))
+    return Result::failure();
+  if (!Dom.isSmallInteger(Arg))
+    return Result::failure();
+  IntV R = Dom.integerValueOf(Rcvr);
+  IntV A = Dom.integerValueOf(Arg);
+
+  auto Answer = [&](Value V) -> Result {
+    F.popN(2);
+    F.push(V);
+    return Result::successWith(V);
+  };
+  auto AnswerInt = [&](IntV V) -> Result {
+    return Answer(Dom.integerObjectOf(V));
+  };
+  auto AnswerBool = [&](bool B) -> Result {
+    return Answer(Dom.booleanValue(B));
+  };
+
+  switch (Index) {
+  case PrimIntAdd: {
+    IntV Sum = Dom.addI(R, A);
+    if (!Dom.isIntegerValue(Sum))
+      return Result::failure();
+    return AnswerInt(Sum);
+  }
+  case PrimIntSub: {
+    IntV Diff = Dom.subI(R, A);
+    if (!Dom.isIntegerValue(Diff))
+      return Result::failure();
+    return AnswerInt(Diff);
+  }
+  case PrimIntMul: {
+    IntV Product = Dom.mulI(R, A);
+    if (!Dom.isIntegerValue(Product))
+      return Result::failure();
+    return AnswerInt(Product);
+  }
+  case PrimIntDiv: {
+    if (Dom.equalI(A, Dom.intConst(0)))
+      return Result::failure();
+    if (!Dom.equalI(Dom.modFloorI(R, A), Dom.intConst(0)))
+      return Result::failure();
+    IntV Quotient = Dom.quoI(R, A);
+    if (!Dom.isIntegerValue(Quotient))
+      return Result::failure();
+    return AnswerInt(Quotient);
+  }
+  case PrimIntFloorDiv: {
+    if (Dom.equalI(A, Dom.intConst(0)))
+      return Result::failure();
+    IntV Quotient = Dom.divFloorI(R, A);
+    if (!Dom.isIntegerValue(Quotient))
+      return Result::failure();
+    return AnswerInt(Quotient);
+  }
+  case PrimIntMod: {
+    if (Dom.equalI(A, Dom.intConst(0)))
+      return Result::failure();
+    return AnswerInt(Dom.modFloorI(R, A));
+  }
+  case PrimIntQuo: {
+    if (Dom.equalI(A, Dom.intConst(0)))
+      return Result::failure();
+    IntV Quotient = Dom.quoI(R, A);
+    if (!Dom.isIntegerValue(Quotient))
+      return Result::failure();
+    return AnswerInt(Quotient);
+  }
+  case PrimIntBitAnd:
+    return AnswerInt(Dom.bitAndI(R, A));
+  case PrimIntBitOr:
+    return AnswerInt(Dom.bitOrI(R, A));
+  case PrimIntBitXor:
+    return AnswerInt(Dom.bitXorI(R, A));
+  case PrimIntBitShift: {
+    if (Dom.lessEqI(Dom.intConst(0), A)) {
+      if (!Dom.lessEqI(A, Dom.intConst(SmallIntBits)))
+        return Result::failure();
+      IntV Shifted = Dom.shiftLeftI(R, A);
+      if (!Dom.isIntegerValue(Shifted))
+        return Result::failure();
+      return AnswerInt(Shifted);
+    }
+    return AnswerInt(Dom.shiftRightI(R, Dom.negI(A)));
+  }
+  case PrimIntLess:
+    return AnswerBool(Dom.lessI(R, A));
+  case PrimIntGreater:
+    return AnswerBool(Dom.lessI(A, R));
+  case PrimIntLessEq:
+    return AnswerBool(Dom.lessEqI(R, A));
+  case PrimIntGreaterEq:
+    return AnswerBool(Dom.lessEqI(A, R));
+  case PrimIntEqual:
+    return AnswerBool(Dom.equalI(R, A));
+  case PrimIntNotEqual:
+    return AnswerBool(!Dom.equalI(R, A));
+  default:
+    return Result::failure();
+  }
+}
+
+template <typename D>
+typename InterpreterCore<D>::Result
+InterpreterCore<D>::primIntegerUnary(std::int32_t Index, Frame &F) {
+  Value Rcvr = F.stackValue(0);
+
+  auto Answer = [&](Value V) -> Result {
+    F.popN(1);
+    F.push(V);
+    return Result::successWith(V);
+  };
+
+  switch (Index) {
+  case PrimIntAsFloat: {
+    // The paper's Listing 5 bug: the receiver type is only asserted, and
+    // the assert is compiled out of production builds. The check still
+    // executes (and forks a concolic path), but with the seed enabled a
+    // non-integer receiver falls through to the blind untag, producing a
+    // garbage float ("random numbers", paper §5.3).
+    bool ReceiverIsInt = Dom.isSmallInteger(Rcvr);
+    if (!Cfg.SeedAsFloatMissingReceiverCheck && !ReceiverIsInt)
+      return Result::failure();
+    IntV IV = ReceiverIsInt ? Dom.integerValueOf(Rcvr)
+                            : Dom.uncheckedIntegerValueOf(Rcvr);
+    return Answer(Dom.floatObjectOf(Dom.intToFloat(IV)));
+  }
+  case PrimIntNeg: {
+    if (!Dom.isSmallInteger(Rcvr))
+      return Result::failure();
+    IntV Negated = Dom.negI(Dom.integerValueOf(Rcvr));
+    if (!Dom.isIntegerValue(Negated))
+      return Result::failure(); // -MinSmallInt
+    return Answer(Dom.integerObjectOf(Negated));
+  }
+  case PrimIntHighBit: {
+    if (!Dom.isSmallInteger(Rcvr))
+      return Result::failure();
+    IntV V = Dom.integerValueOf(Rcvr);
+    if (Dom.lessI(V, Dom.intConst(0)))
+      return Result::failure();
+    return Answer(Dom.integerObjectOf(Dom.highBitI(V)));
+  }
+  default:
+    return Result::failure();
+  }
+}
+
+template <typename D>
+typename InterpreterCore<D>::Result
+InterpreterCore<D>::primFloatBinary(std::int32_t Index, Frame &F) {
+  Value Rcvr = F.stackValue(1);
+  Value Arg = F.stackValue(0);
+  // Native methods are safe: the interpreted versions check both operand
+  // types (the *compiled* versions of 13 of these are seeded to skip the
+  // receiver check, paper §5.3 "Missing compiled type check").
+  if (!Dom.isBoxedFloat(Rcvr))
+    return Result::failure();
+  if (!Dom.isBoxedFloat(Arg))
+    return Result::failure();
+  FltV R = Dom.floatValueOf(Rcvr);
+  FltV A = Dom.floatValueOf(Arg);
+
+  auto Answer = [&](Value V) -> Result {
+    F.popN(2);
+    F.push(V);
+    return Result::successWith(V);
+  };
+
+  switch (Index) {
+  case PrimFloatAdd:
+    return Answer(Dom.floatObjectOf(Dom.faddF(R, A)));
+  case PrimFloatSub:
+    return Answer(Dom.floatObjectOf(Dom.fsubF(R, A)));
+  case PrimFloatMul:
+    return Answer(Dom.floatObjectOf(Dom.fmulF(R, A)));
+  case PrimFloatDiv:
+    if (Dom.equalF(A, Dom.floatConst(0.0)))
+      return Result::failure();
+    return Answer(Dom.floatObjectOf(Dom.fdivF(R, A)));
+  case PrimFloatLess:
+    return Answer(Dom.booleanValue(Dom.lessF(R, A)));
+  case PrimFloatGreater:
+    return Answer(Dom.booleanValue(Dom.lessF(A, R)));
+  case PrimFloatLessEq:
+    return Answer(Dom.booleanValue(Dom.lessEqF(R, A)));
+  case PrimFloatGreaterEq:
+    return Answer(Dom.booleanValue(Dom.lessEqF(A, R)));
+  case PrimFloatEqual:
+    return Answer(Dom.booleanValue(Dom.equalF(R, A)));
+  case PrimFloatNotEqual:
+    return Answer(Dom.booleanValue(!Dom.equalF(R, A)));
+  default:
+    return Result::failure();
+  }
+}
+
+template <typename D>
+typename InterpreterCore<D>::Result
+InterpreterCore<D>::primFloatUnary(std::int32_t Index, Frame &F) {
+  Value Rcvr = F.stackValue(0);
+  if (!Dom.isBoxedFloat(Rcvr))
+    return Result::failure();
+  FltV R = Dom.floatValueOf(Rcvr);
+
+  auto Answer = [&](Value V) -> Result {
+    F.popN(1);
+    F.push(V);
+    return Result::successWith(V);
+  };
+  auto AnswerFloat = [&](FltV V) -> Result {
+    return Answer(Dom.floatObjectOf(V));
+  };
+
+  constexpr double MaxExact = 9.0e18; // conservative truncation guard
+
+  switch (Index) {
+  case PrimFloatTruncated: {
+    if (!Dom.lessF(R, Dom.floatConst(MaxExact)))
+      return Result::failure();
+    if (!Dom.lessF(Dom.floatConst(-MaxExact), R))
+      return Result::failure();
+    IntV T = Dom.truncToInt(R);
+    if (!Dom.isIntegerValue(T))
+      return Result::failure();
+    return Answer(Dom.integerObjectOf(T));
+  }
+  case PrimFloatRounded: {
+    if (!Dom.lessF(R, Dom.floatConst(MaxExact)))
+      return Result::failure();
+    if (!Dom.lessF(Dom.floatConst(-MaxExact), R))
+      return Result::failure();
+    // round-half-up via trunc(x + 0.5 * sign)
+    FltV Adjusted = Dom.lessF(R, Dom.floatConst(0.0))
+                        ? Dom.fsubF(R, Dom.floatConst(0.5))
+                        : Dom.faddF(R, Dom.floatConst(0.5));
+    IntV T = Dom.truncToInt(Adjusted);
+    if (!Dom.isIntegerValue(T))
+      return Result::failure();
+    return Answer(Dom.integerObjectOf(T));
+  }
+  case PrimFloatFractionPart:
+    return AnswerFloat(Dom.ffracF(R));
+  case PrimFloatSqrt:
+    return AnswerFloat(Dom.fsqrtF(R));
+  case PrimFloatSin:
+    return AnswerFloat(Dom.fsinF(R));
+  case PrimFloatCos:
+    return AnswerFloat(Dom.fcosF(R));
+  case PrimFloatExp:
+    return AnswerFloat(Dom.fexpF(R));
+  case PrimFloatLn:
+    if (!Dom.lessF(Dom.floatConst(0.0), R))
+      return Result::failure();
+    return AnswerFloat(Dom.flnF(R));
+  case PrimFloatArcTan:
+    return AnswerFloat(Dom.fatanF(R));
+  default:
+    return Result::failure();
+  }
+}
+
+template <typename D>
+typename InterpreterCore<D>::Result
+InterpreterCore<D>::primObjectFamily(std::int32_t Index, Frame &F) {
+  const PrimitiveInfo *Info = primitiveInfo(Index);
+  Value Rcvr = F.stackValue(Info->NumArgs);
+
+  auto Answer = [&](Value V) -> Result {
+    F.popN(Info->NumArgs + 1u);
+    F.push(V);
+    return Result::successWith(V);
+  };
+
+  switch (Index) {
+  case PrimAt: {
+    Value Arg = F.stackValue(0);
+    if (!Dom.isIndexablePointers(Rcvr))
+      return Result::failure();
+    if (!Dom.isSmallInteger(Arg))
+      return Result::failure();
+    IntV I = Dom.integerValueOf(Arg);
+    if (!Dom.lessEqI(Dom.intConst(1), I))
+      return Result::failure();
+    if (!Dom.lessEqI(I, Dom.slotCountOf(Rcvr)))
+      return Result::failure();
+    return Answer(Dom.fetchSlot(Rcvr, Dom.subI(I, Dom.intConst(1))));
+  }
+  case PrimAtPut: {
+    Value IndexArg = F.stackValue(1);
+    Value NewValue = F.stackValue(0);
+    if (!Dom.isIndexablePointers(Rcvr))
+      return Result::failure();
+    if (!Dom.isSmallInteger(IndexArg))
+      return Result::failure();
+    IntV I = Dom.integerValueOf(IndexArg);
+    if (!Dom.lessEqI(Dom.intConst(1), I))
+      return Result::failure();
+    if (!Dom.lessEqI(I, Dom.slotCountOf(Rcvr)))
+      return Result::failure();
+    Dom.storeSlot(Rcvr, Dom.subI(I, Dom.intConst(1)), NewValue);
+    return Answer(NewValue);
+  }
+  case PrimSize: {
+    if (Dom.isIndexablePointers(Rcvr) || Dom.isBytesObject(Rcvr))
+      return Answer(Dom.integerObjectOf(Dom.slotCountOf(Rcvr)));
+    return Result::failure();
+  }
+  case PrimBasicNew:
+  case PrimBasicNewSized: {
+    if (!Dom.isSmallInteger(Rcvr))
+      return Result::failure();
+    IntV ClassIdx = Dom.integerValueOf(Rcvr);
+    if (!Dom.lessEqI(Dom.intConst(1), ClassIdx))
+      return Result::failure();
+    if (!Dom.lessI(ClassIdx,
+                   Dom.intConst(Mem.classTable().size())))
+      return Result::failure();
+    if (Index == PrimBasicNew) {
+      if (!Dom.classFormatIs(ClassIdx, ObjectFormat::Pointers))
+        return Result::failure();
+      auto Pinned = static_cast<std::uint32_t>(Dom.pinInt(ClassIdx));
+      Value New = Dom.allocateInstance(Pinned, Dom.intConst(0));
+      if (Dom.allocationFailed(New))
+        return Result::failure();
+      return Answer(New);
+    }
+    Value SizeArg = F.stackValue(0);
+    if (!Dom.isSmallInteger(SizeArg))
+      return Result::failure();
+    IntV N = Dom.integerValueOf(SizeArg);
+    if (!Dom.lessEqI(Dom.intConst(0), N))
+      return Result::failure();
+    if (!Dom.lessEqI(N, Dom.intConst(MaxPrimitiveAllocation)))
+      return Result::failure();
+    bool IsArray = Dom.classFormatIs(ClassIdx, ObjectFormat::IndexablePointers);
+    if (!IsArray && !Dom.classFormatIs(ClassIdx, ObjectFormat::IndexableBytes))
+      return Result::failure();
+    auto Pinned = static_cast<std::uint32_t>(Dom.pinInt(ClassIdx));
+    Value New = Dom.allocateInstance(Pinned, N);
+    if (Dom.allocationFailed(New))
+      return Result::failure();
+    return Answer(New);
+  }
+  case PrimClass:
+    return Answer(Dom.integerObjectOf(Dom.classIndexValueOf(Rcvr)));
+  case PrimIdentityHash:
+    return Answer(Dom.integerObjectOf(Dom.identityHashOf(Rcvr)));
+  case PrimIdentityEquals:
+    return Answer(Dom.booleanValue(Dom.sameObjectAs(Rcvr, F.stackValue(0))));
+  case PrimInstVarAt: {
+    Value Arg = F.stackValue(0);
+    if (!Dom.isPointersObject(Rcvr))
+      return Result::failure();
+    if (!Dom.isSmallInteger(Arg))
+      return Result::failure();
+    IntV I = Dom.integerValueOf(Arg);
+    if (!Dom.lessEqI(Dom.intConst(1), I))
+      return Result::failure();
+    if (!Dom.lessEqI(I, Dom.slotCountOf(Rcvr)))
+      return Result::failure();
+    return Answer(Dom.fetchSlot(Rcvr, Dom.subI(I, Dom.intConst(1))));
+  }
+  case PrimInstVarAtPut: {
+    Value IndexArg = F.stackValue(1);
+    Value NewValue = F.stackValue(0);
+    if (!Dom.isPointersObject(Rcvr))
+      return Result::failure();
+    if (!Dom.isSmallInteger(IndexArg))
+      return Result::failure();
+    IntV I = Dom.integerValueOf(IndexArg);
+    if (!Dom.lessEqI(Dom.intConst(1), I))
+      return Result::failure();
+    if (!Dom.lessEqI(I, Dom.slotCountOf(Rcvr)))
+      return Result::failure();
+    Dom.storeSlot(Rcvr, Dom.subI(I, Dom.intConst(1)), NewValue);
+    return Answer(NewValue);
+  }
+  case PrimByteAt: {
+    Value Arg = F.stackValue(0);
+    if (!Dom.isBytesObject(Rcvr))
+      return Result::failure();
+    if (!Dom.isSmallInteger(Arg))
+      return Result::failure();
+    IntV I = Dom.integerValueOf(Arg);
+    if (!Dom.lessEqI(Dom.intConst(1), I))
+      return Result::failure();
+    if (!Dom.lessEqI(I, Dom.slotCountOf(Rcvr)))
+      return Result::failure();
+    return Answer(Dom.integerObjectOf(
+        Dom.fetchByteAt(Rcvr, Dom.subI(I, Dom.intConst(1)))));
+  }
+  case PrimByteAtPut: {
+    Value IndexArg = F.stackValue(1);
+    Value ByteArg = F.stackValue(0);
+    if (!Dom.isBytesObject(Rcvr))
+      return Result::failure();
+    if (!Dom.isSmallInteger(IndexArg))
+      return Result::failure();
+    if (!Dom.isSmallInteger(ByteArg))
+      return Result::failure();
+    IntV I = Dom.integerValueOf(IndexArg);
+    IntV B = Dom.integerValueOf(ByteArg);
+    if (!Dom.lessEqI(Dom.intConst(1), I))
+      return Result::failure();
+    if (!Dom.lessEqI(I, Dom.slotCountOf(Rcvr)))
+      return Result::failure();
+    if (!Dom.lessEqI(Dom.intConst(0), B))
+      return Result::failure();
+    if (!Dom.lessEqI(B, Dom.intConst(255)))
+      return Result::failure();
+    Dom.storeByteAt(Rcvr, Dom.subI(I, Dom.intConst(1)), B);
+    return Answer(ByteArg);
+  }
+  case PrimShallowCopy: {
+    if (!Dom.isPointersObject(Rcvr))
+      return Result::failure();
+    Value Copy = Dom.shallowCopyOf(Rcvr);
+    if (Dom.allocationFailed(Copy))
+      return Result::failure();
+    return Answer(Copy);
+  }
+  default:
+    return Result::failure();
+  }
+}
+
+template <typename D>
+typename InterpreterCore<D>::Result
+InterpreterCore<D>::primFFIFamily(std::int32_t Index, Frame &F) {
+  const PrimitiveInfo *Info = primitiveInfo(Index);
+  Value Rcvr = F.stackValue(Info->NumArgs);
+  Value OffsetArg = F.stackValue(Info->NumArgs - 1);
+
+  if (!Dom.isBytesObject(Rcvr))
+    return Result::failure();
+  if (!Dom.isSmallInteger(OffsetArg))
+    return Result::failure();
+  IntV Offset = Dom.integerValueOf(OffsetArg);
+  if (!Dom.lessEqI(Dom.intConst(0), Offset))
+    return Result::failure();
+
+  auto Answer = [&](Value V) -> Result {
+    F.popN(Info->NumArgs + 1u);
+    F.push(V);
+    return Result::successWith(V);
+  };
+
+  struct Access {
+    unsigned Width;
+    bool SignExtend;
+    bool IsStore;
+    bool IsFloat;
+  };
+  Access A;
+  switch (Index) {
+  case PrimFFIStoreUInt8:
+    A = {1, false, true, false};
+    break;
+  case PrimFFIStoreUInt16:
+    A = {2, false, true, false};
+    break;
+  case PrimFFIStoreUInt32:
+    A = {4, false, true, false};
+    break;
+  case PrimFFILoadFloat32:
+    A = {4, false, false, true};
+    break;
+  case PrimFFIStoreFloat32:
+    A = {4, false, true, true};
+    break;
+  case PrimFFILoadInt8:
+    A = {1, true, false, false};
+    break;
+  case PrimFFILoadInt16:
+    A = {2, true, false, false};
+    break;
+  case PrimFFILoadInt32:
+    A = {4, true, false, false};
+    break;
+  case PrimFFILoadInt64:
+    A = {8, true, false, false};
+    break;
+  case PrimFFIStoreInt8:
+    A = {1, true, true, false};
+    break;
+  case PrimFFIStoreInt16:
+    A = {2, true, true, false};
+    break;
+  case PrimFFIStoreInt32:
+    A = {4, true, true, false};
+    break;
+  case PrimFFIStoreInt64:
+    A = {8, true, true, false};
+    break;
+  case PrimFFILoadUInt8:
+    A = {1, false, false, false};
+    break;
+  case PrimFFILoadUInt16:
+    A = {2, false, false, false};
+    break;
+  case PrimFFILoadUInt32:
+    A = {4, false, false, false};
+    break;
+  case PrimFFILoadFloat64:
+    A = {8, false, false, true};
+    break;
+  case PrimFFIStoreFloat64:
+    A = {8, false, true, true};
+    break;
+  default:
+    return Result::failure();
+  }
+
+  // Bounds: offset + width <= byteSize.
+  if (!Dom.lessEqI(Dom.addI(Offset, Dom.intConst(A.Width)),
+                   Dom.slotCountOf(Rcvr)))
+    return Result::failure();
+
+  if (!A.IsStore) {
+    if (A.IsFloat)
+      return Answer(Dom.floatObjectOf(
+          A.Width == 8 ? Dom.loadFloat64LE(Rcvr, Offset)
+                       : Dom.loadFloat32LE(Rcvr, Offset)));
+    IntV Loaded = Dom.loadBytesLE(Rcvr, Offset, A.Width, A.SignExtend);
+    // A 64-bit signed load may not fit the SmallInteger payload.
+    if (A.Width == 8 && !Dom.isIntegerValue(Loaded))
+      return Result::failure();
+    return Answer(Dom.integerObjectOf(Loaded));
+  }
+
+  Value ValueArg = F.stackValue(0);
+  if (A.IsFloat) {
+    if (!Dom.isBoxedFloat(ValueArg))
+      return Result::failure();
+    if (A.Width == 8)
+      Dom.storeFloat64LE(Rcvr, Offset, Dom.floatValueOf(ValueArg));
+    else
+      Dom.storeFloat32LE(Rcvr, Offset, Dom.floatValueOf(ValueArg));
+    return Answer(ValueArg);
+  }
+  if (!Dom.isSmallInteger(ValueArg))
+    return Result::failure();
+  IntV V = Dom.integerValueOf(ValueArg);
+  if (A.Width < 8) {
+    std::int64_t Lo =
+        A.SignExtend ? -(std::int64_t(1) << (8 * A.Width - 1)) : 0;
+    std::int64_t Hi = A.SignExtend
+                          ? (std::int64_t(1) << (8 * A.Width - 1)) - 1
+                          : (std::int64_t(1) << (8 * A.Width)) - 1;
+    if (!Dom.lessEqI(Dom.intConst(Lo), V))
+      return Result::failure();
+    if (!Dom.lessEqI(V, Dom.intConst(Hi)))
+      return Result::failure();
+  }
+  Dom.storeBytesLE(Rcvr, Offset, A.Width, V);
+  return Answer(ValueArg);
+}
+
+} // namespace igdt
+
+#endif // IGDT_VM_INTERPRETERCORE_H

@@ -1,0 +1,107 @@
+//===- vm/MethodBuilder.cpp - Byte-code assembler ---------------------------===//
+
+#include "vm/MethodBuilder.h"
+
+#include <cassert>
+
+using namespace igdt;
+
+std::uint8_t MethodBuilder::addLiteral(Oop Value) {
+  assert(Method.Literals.size() < 256 && "literal frame full");
+  Method.Literals.push_back(Value);
+  return static_cast<std::uint8_t>(Method.Literals.size() - 1);
+}
+
+MethodBuilder &MethodBuilder::pushLocal(unsigned Index) {
+  if (Index < 12)
+    return emit(static_cast<std::uint8_t>(BCPushLocalShort + Index));
+  assert(Index < 256);
+  return emit(BCPushLocalExt).emit(static_cast<std::uint8_t>(Index));
+}
+
+MethodBuilder &MethodBuilder::pushLiteral(unsigned Index) {
+  if (Index < 12)
+    return emit(static_cast<std::uint8_t>(BCPushLiteralShort + Index));
+  assert(Index < 256);
+  return emit(BCPushLiteralExt).emit(static_cast<std::uint8_t>(Index));
+}
+
+MethodBuilder &MethodBuilder::pushInstVar(unsigned Index) {
+  if (Index < 8)
+    return emit(static_cast<std::uint8_t>(BCPushInstVarShort + Index));
+  assert(Index < 256);
+  return emit(BCPushInstVarExt).emit(static_cast<std::uint8_t>(Index));
+}
+
+MethodBuilder &MethodBuilder::pushConstant(unsigned Kind) {
+  assert(Kind < 7 && "constant kind out of range");
+  return emit(static_cast<std::uint8_t>(BCPushConstant + Kind));
+}
+
+MethodBuilder &MethodBuilder::pushReceiver() { return emit(BCPushReceiver); }
+
+MethodBuilder &MethodBuilder::storeLocal(unsigned Index) {
+  if (Index < 8)
+    return emit(static_cast<std::uint8_t>(BCStoreLocalShort + Index));
+  assert(Index < 256);
+  return emit(BCStoreLocalExt).emit(static_cast<std::uint8_t>(Index));
+}
+
+MethodBuilder &MethodBuilder::storeInstVar(unsigned Index) {
+  if (Index < 8)
+    return emit(static_cast<std::uint8_t>(BCStoreInstVarShort + Index));
+  assert(Index < 256);
+  return emit(BCStoreInstVarExt).emit(static_cast<std::uint8_t>(Index));
+}
+
+MethodBuilder &MethodBuilder::pop() { return emit(BCPop); }
+MethodBuilder &MethodBuilder::dup() { return emit(BCDup); }
+
+MethodBuilder &MethodBuilder::arith(ArithOp Op) {
+  return emit(static_cast<std::uint8_t>(BCArithmetic +
+                                        static_cast<std::uint8_t>(Op)));
+}
+
+MethodBuilder &MethodBuilder::identityEquals() {
+  return emit(BCIdentityEquals);
+}
+
+MethodBuilder &MethodBuilder::jump(int Offset) {
+  if (Offset >= 1 && Offset <= 8)
+    return emit(static_cast<std::uint8_t>(BCShortJump + Offset - 1));
+  assert(Offset >= -128 && Offset <= 127);
+  return emit(BCLongJump).emit(static_cast<std::uint8_t>(Offset));
+}
+
+MethodBuilder &MethodBuilder::jumpTrue(int Offset) {
+  assert(Offset >= -128 && Offset <= 127);
+  return emit(BCLongJumpTrue).emit(static_cast<std::uint8_t>(Offset));
+}
+
+MethodBuilder &MethodBuilder::jumpFalse(int Offset) {
+  if (Offset >= 1 && Offset <= 8)
+    return emit(static_cast<std::uint8_t>(BCShortJumpFalse + Offset - 1));
+  assert(Offset >= -128 && Offset <= 127);
+  return emit(BCLongJumpFalse).emit(static_cast<std::uint8_t>(Offset));
+}
+
+MethodBuilder &MethodBuilder::send(unsigned LiteralIndex, unsigned NumArgs) {
+  if (LiteralIndex < 4 && NumArgs <= 2) {
+    std::uint8_t Base = NumArgs == 0   ? BCSend0Short
+                        : NumArgs == 1 ? BCSend1Short
+                                       : BCSend2Short;
+    return emit(static_cast<std::uint8_t>(Base + LiteralIndex));
+  }
+  assert(LiteralIndex < 256 && NumArgs < 256);
+  return emit(BCSendExt)
+      .emit(static_cast<std::uint8_t>(LiteralIndex))
+      .emit(static_cast<std::uint8_t>(NumArgs));
+}
+
+MethodBuilder &MethodBuilder::returnTop() { return emit(BCReturnTop); }
+MethodBuilder &MethodBuilder::returnReceiver() { return emit(BCReturnReceiver); }
+MethodBuilder &MethodBuilder::returnNil() { return emit(BCReturnNil); }
+MethodBuilder &MethodBuilder::returnTrue() { return emit(BCReturnTrue); }
+MethodBuilder &MethodBuilder::returnFalse() { return emit(BCReturnFalse); }
+
+MethodBuilder &MethodBuilder::raw(std::uint8_t Byte) { return emit(Byte); }

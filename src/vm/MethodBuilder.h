@@ -1,0 +1,85 @@
+//===- vm/MethodBuilder.h - Byte-code assembler -----------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small assembler for CompiledMethods. Used by unit tests, examples
+/// and by the instruction catalog to instantiate the one-instruction
+/// methods that the concolic tester explores (paper §4.2: "our
+/// compilation unit is a method").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_METHODBUILDER_H
+#define IGDT_VM_METHODBUILDER_H
+
+#include "vm/Bytecodes.h"
+#include "vm/CompiledMethod.h"
+
+#include <string>
+
+namespace igdt {
+
+/// Fluent builder of CompiledMethods. Short encodings are chosen
+/// automatically when the operand fits.
+class MethodBuilder {
+public:
+  explicit MethodBuilder(std::string Name) { Method.Name = std::move(Name); }
+
+  MethodBuilder &numArgs(std::uint16_t N) {
+    Method.NumArgs = N;
+    return *this;
+  }
+  MethodBuilder &numTemps(std::uint16_t N) {
+    Method.NumTemps = N;
+    return *this;
+  }
+  MethodBuilder &primitive(std::int32_t Index) {
+    Method.PrimitiveIndex = Index;
+    return *this;
+  }
+
+  /// Appends a literal and returns its index.
+  std::uint8_t addLiteral(Oop Value);
+
+  MethodBuilder &pushLocal(unsigned Index);
+  MethodBuilder &pushLiteral(unsigned Index);
+  MethodBuilder &pushInstVar(unsigned Index);
+  /// \p Kind: 0 nil, 1 true, 2 false, 3 zero, 4 one, 5 two, 6 minus one.
+  MethodBuilder &pushConstant(unsigned Kind);
+  MethodBuilder &pushReceiver();
+  MethodBuilder &storeLocal(unsigned Index);
+  MethodBuilder &storeInstVar(unsigned Index);
+  MethodBuilder &pop();
+  MethodBuilder &dup();
+  MethodBuilder &arith(ArithOp Op);
+  MethodBuilder &identityEquals();
+  MethodBuilder &jump(int Offset);
+  MethodBuilder &jumpTrue(int Offset);
+  MethodBuilder &jumpFalse(int Offset);
+  MethodBuilder &send(unsigned LiteralIndex, unsigned NumArgs);
+  MethodBuilder &returnTop();
+  MethodBuilder &returnReceiver();
+  MethodBuilder &returnNil();
+  MethodBuilder &returnTrue();
+  MethodBuilder &returnFalse();
+
+  /// Appends a raw byte (escape hatch for malformed-input tests).
+  MethodBuilder &raw(std::uint8_t Byte);
+
+  CompiledMethod build() { return Method; }
+
+private:
+  MethodBuilder &emit(std::uint8_t Byte) {
+    Method.Bytecodes.push_back(Byte);
+    return *this;
+  }
+
+  CompiledMethod Method;
+};
+
+} // namespace igdt
+
+#endif // IGDT_VM_METHODBUILDER_H

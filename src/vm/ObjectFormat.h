@@ -1,0 +1,57 @@
+//===- vm/ObjectFormat.h - Heap object storage formats ---------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Storage formats of QVM heap objects and the well-known class table
+/// indices. The abstract constraint model (symbolic/AbstractObject.h)
+/// mirrors exactly these formats, as in Figure 3 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_OBJECTFORMAT_H
+#define IGDT_VM_OBJECTFORMAT_H
+
+#include <cstdint>
+
+namespace igdt {
+
+/// How the body of a heap object is laid out.
+enum class ObjectFormat : std::uint8_t {
+  /// Fixed number of Oop slots (regular objects).
+  Pointers,
+  /// Variable number of Oop slots (Array).
+  IndexablePointers,
+  /// Variable number of raw bytes (ByteArray, ByteString).
+  IndexableBytes,
+  /// One 8-byte IEEE double (BoxedFloat).
+  Float64,
+};
+
+/// Class-table indices of the classes every QVM image contains.
+/// Index 0 is reserved/invalid so that a zeroed header is detectable.
+enum WellKnownClass : std::uint32_t {
+  InvalidClassIndex = 0,
+  UndefinedObjectClass = 1, // nil
+  TrueClass = 2,
+  FalseClass = 3,
+  SmallIntegerClass = 4, // immediates; never instantiated on the heap
+  BoxedFloatClass = 5,
+  ArrayClass = 6,
+  ByteArrayClass = 7,
+  ByteStringClass = 8,
+  PlainObjectClass = 9,  // generic 0..N fixed-slot object
+  PointClass = 10,       // 2 fixed slots, used by examples/tests
+  AssociationClass = 11, // 2 fixed slots (key, value)
+  ExternalAddressClass = 12, // byte object wrapping an FFI address
+  FirstUserClassIndex = 13,
+};
+
+/// Returns a printable name for \p Format.
+const char *formatName(ObjectFormat Format);
+
+} // namespace igdt
+
+#endif // IGDT_VM_OBJECTFORMAT_H

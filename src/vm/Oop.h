@@ -1,0 +1,74 @@
+//===- vm/Oop.h - Tagged object pointers ----------------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The QVM value representation. An Oop (ordinary object pointer) is a
+/// 64-bit word: bit 0 set marks an immediate SmallInteger whose signed
+/// value lives in the upper 63 bits; bit 0 clear marks a heap reference
+/// (a virtual address into ObjectMemory, always 8-byte aligned).
+///
+/// The usable SmallInteger range is deliberately narrower than 63 bits:
+/// the paper's constraint solver supported only 56-bit integers (§4.3),
+/// and the Pharo VM itself uses 61-bit SmallIntegers on 64-bit targets.
+/// QVM uses a 61-bit signed payload so overflow checks are observable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_OOP_H
+#define IGDT_VM_OOP_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace igdt {
+
+/// A tagged VM value: SmallInteger immediate or heap reference.
+using Oop = std::uint64_t;
+
+/// Number of signed bits in a SmallInteger payload.
+inline constexpr int SmallIntBits = 61;
+
+/// Largest representable SmallInteger value.
+inline constexpr std::int64_t MaxSmallInt = (std::int64_t(1) << (SmallIntBits - 1)) - 1;
+
+/// Smallest representable SmallInteger value.
+inline constexpr std::int64_t MinSmallInt = -(std::int64_t(1) << (SmallIntBits - 1));
+
+/// The null Oop; never a valid object. Distinct from the nil object.
+inline constexpr Oop InvalidOop = 0;
+
+/// Returns true if \p Value is an immediate SmallInteger.
+inline bool isSmallIntOop(Oop Value) { return (Value & 1) != 0; }
+
+/// Returns true if \p Value is a (potential) heap reference.
+inline bool isPointerOop(Oop Value) { return (Value & 1) == 0 && Value != InvalidOop; }
+
+/// Returns true if \p Value fits the SmallInteger payload.
+inline bool fitsSmallInt(std::int64_t Value) {
+  return Value >= MinSmallInt && Value <= MaxSmallInt;
+}
+
+/// Tags \p Value as a SmallInteger Oop. \p Value must fit.
+inline Oop smallIntOop(std::int64_t Value) {
+  assert(fitsSmallInt(Value) && "small integer out of range");
+  return (static_cast<std::uint64_t>(Value) << 1) | 1;
+}
+
+/// Untags a SmallInteger Oop.
+inline std::int64_t smallIntValue(Oop Value) {
+  assert(isSmallIntOop(Value) && "not a small integer");
+  return static_cast<std::int64_t>(Value) >> 1;
+}
+
+/// Untags without checking the tag; models what unsafe VM code does when
+/// a type check is missing (the paper's primitiveAsFloat bug).
+inline std::int64_t smallIntValueUnchecked(Oop Value) {
+  return static_cast<std::int64_t>(Value) >> 1;
+}
+
+} // namespace igdt
+
+#endif // IGDT_VM_OOP_H

@@ -1,0 +1,124 @@
+//===- vm/PrimitiveTable.cpp - Native method catalog --------------------------===//
+
+#include "vm/PrimitiveTable.h"
+
+#include "support/Compiler.h"
+
+using namespace igdt;
+
+const std::vector<PrimitiveInfo> &igdt::allPrimitives() {
+  static const std::vector<PrimitiveInfo> Table = {
+      {PrimIntAdd, "primitiveAdd", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntSub, "primitiveSubtract", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntMul, "primitiveMultiply", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntDiv, "primitiveDivide", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntFloorDiv, "primitiveDiv", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntMod, "primitiveMod", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntQuo, "primitiveQuo", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntNeg, "primitiveNegate", 0, PrimitiveFamily::SmallInteger},
+      {PrimIntBitAnd, "primitiveBitAnd", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntBitOr, "primitiveBitOr", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntBitXor, "primitiveBitXor", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntBitShift, "primitiveBitShift", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntLess, "primitiveLessThan", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntGreater, "primitiveGreaterThan", 1,
+       PrimitiveFamily::SmallInteger},
+      {PrimIntLessEq, "primitiveLessOrEqual", 1,
+       PrimitiveFamily::SmallInteger},
+      {PrimIntGreaterEq, "primitiveGreaterOrEqual", 1,
+       PrimitiveFamily::SmallInteger},
+      {PrimIntEqual, "primitiveEqual", 1, PrimitiveFamily::SmallInteger},
+      {PrimIntNotEqual, "primitiveNotEqual", 1,
+       PrimitiveFamily::SmallInteger},
+      {PrimIntAsFloat, "primitiveAsFloat", 0, PrimitiveFamily::SmallInteger},
+      {PrimIntHighBit, "primitiveHighBit", 0, PrimitiveFamily::SmallInteger},
+
+      {PrimFloatAdd, "primitiveFloatAdd", 1, PrimitiveFamily::Float},
+      {PrimFloatSub, "primitiveFloatSubtract", 1, PrimitiveFamily::Float},
+      {PrimFloatMul, "primitiveFloatMultiply", 1, PrimitiveFamily::Float},
+      {PrimFloatDiv, "primitiveFloatDivide", 1, PrimitiveFamily::Float},
+      {PrimFloatLess, "primitiveFloatLessThan", 1, PrimitiveFamily::Float},
+      {PrimFloatGreater, "primitiveFloatGreaterThan", 1,
+       PrimitiveFamily::Float},
+      {PrimFloatLessEq, "primitiveFloatLessOrEqual", 1,
+       PrimitiveFamily::Float},
+      {PrimFloatGreaterEq, "primitiveFloatGreaterOrEqual", 1,
+       PrimitiveFamily::Float},
+      {PrimFloatEqual, "primitiveFloatEqual", 1, PrimitiveFamily::Float},
+      {PrimFloatNotEqual, "primitiveFloatNotEqual", 1,
+       PrimitiveFamily::Float},
+      {PrimFloatTruncated, "primitiveTruncated", 0, PrimitiveFamily::Float},
+      {PrimFloatRounded, "primitiveRounded", 0, PrimitiveFamily::Float},
+      {PrimFloatFractionPart, "primitiveFractionalPart", 0,
+       PrimitiveFamily::Float},
+      {PrimFloatSqrt, "primitiveSquareRoot", 0, PrimitiveFamily::Float},
+      {PrimFloatSin, "primitiveSine", 0, PrimitiveFamily::Float},
+      {PrimFloatCos, "primitiveCosine", 0, PrimitiveFamily::Float},
+      {PrimFloatExp, "primitiveExp", 0, PrimitiveFamily::Float},
+      {PrimFloatLn, "primitiveLogN", 0, PrimitiveFamily::Float},
+      {PrimFloatArcTan, "primitiveArcTan", 0, PrimitiveFamily::Float},
+
+      {PrimAt, "primitiveAt", 1, PrimitiveFamily::Object},
+      {PrimAtPut, "primitiveAtPut", 2, PrimitiveFamily::Object},
+      {PrimSize, "primitiveSize", 0, PrimitiveFamily::Object},
+      {PrimBasicNew, "primitiveNew", 0, PrimitiveFamily::Object},
+      {PrimBasicNewSized, "primitiveNewWithArg", 1, PrimitiveFamily::Object},
+      {PrimClass, "primitiveClass", 0, PrimitiveFamily::Object},
+      {PrimIdentityHash, "primitiveIdentityHash", 0,
+       PrimitiveFamily::Object},
+      {PrimIdentityEquals, "primitiveIdentical", 1, PrimitiveFamily::Object},
+      {PrimInstVarAt, "primitiveInstVarAt", 1, PrimitiveFamily::Object},
+      {PrimInstVarAtPut, "primitiveInstVarAtPut", 2,
+       PrimitiveFamily::Object},
+      {PrimByteAt, "primitiveByteAt", 1, PrimitiveFamily::Object},
+      {PrimByteAtPut, "primitiveByteAtPut", 2, PrimitiveFamily::Object},
+      {PrimShallowCopy, "primitiveShallowCopy", 0, PrimitiveFamily::Object},
+
+      {PrimFFILoadInt8, "primitiveFFILoadInt8", 1, PrimitiveFamily::FFI},
+      {PrimFFILoadInt16, "primitiveFFILoadInt16", 1, PrimitiveFamily::FFI},
+      {PrimFFILoadInt32, "primitiveFFILoadInt32", 1, PrimitiveFamily::FFI},
+      {PrimFFILoadInt64, "primitiveFFILoadInt64", 1, PrimitiveFamily::FFI},
+      {PrimFFIStoreInt8, "primitiveFFIStoreInt8", 2, PrimitiveFamily::FFI},
+      {PrimFFIStoreInt16, "primitiveFFIStoreInt16", 2, PrimitiveFamily::FFI},
+      {PrimFFIStoreInt32, "primitiveFFIStoreInt32", 2, PrimitiveFamily::FFI},
+      {PrimFFIStoreInt64, "primitiveFFIStoreInt64", 2, PrimitiveFamily::FFI},
+      {PrimFFILoadUInt8, "primitiveFFILoadUInt8", 1, PrimitiveFamily::FFI},
+      {PrimFFILoadUInt16, "primitiveFFILoadUInt16", 1, PrimitiveFamily::FFI},
+      {PrimFFILoadUInt32, "primitiveFFILoadUInt32", 1, PrimitiveFamily::FFI},
+      {PrimFFILoadFloat64, "primitiveFFILoadFloat64", 1,
+       PrimitiveFamily::FFI},
+      {PrimFFIStoreFloat64, "primitiveFFIStoreFloat64", 2,
+       PrimitiveFamily::FFI},
+      {PrimFFIStoreUInt8, "primitiveFFIStoreUInt8", 2, PrimitiveFamily::FFI},
+      {PrimFFIStoreUInt16, "primitiveFFIStoreUInt16", 2,
+       PrimitiveFamily::FFI},
+      {PrimFFIStoreUInt32, "primitiveFFIStoreUInt32", 2,
+       PrimitiveFamily::FFI},
+      {PrimFFILoadFloat32, "primitiveFFILoadFloat32", 1,
+       PrimitiveFamily::FFI},
+      {PrimFFIStoreFloat32, "primitiveFFIStoreFloat32", 2,
+       PrimitiveFamily::FFI},
+  };
+  return Table;
+}
+
+const PrimitiveInfo *igdt::primitiveInfo(std::int32_t Index) {
+  for (const PrimitiveInfo &Info : allPrimitives())
+    if (Info.Index == Index)
+      return &Info;
+  return nullptr;
+}
+
+const char *igdt::primitiveFamilyName(PrimitiveFamily Family) {
+  switch (Family) {
+  case PrimitiveFamily::SmallInteger:
+    return "small-integer";
+  case PrimitiveFamily::Float:
+    return "float";
+  case PrimitiveFamily::Object:
+    return "object";
+  case PrimitiveFamily::FFI:
+    return "ffi";
+  }
+  igdt_unreachable("unknown primitive family");
+}

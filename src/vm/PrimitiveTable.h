@@ -1,0 +1,138 @@
+//===- vm/PrimitiveTable.h - Native method catalog ---------------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The catalog of QVM native methods (primitives, paper §3.1). Native
+/// methods are safe by design: they validate their operands and fail with
+/// PrimitiveFailure when an operand is unexpected. The table carries the
+/// metadata the concolic tester and the JIT need: argument counts,
+/// families and names.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_PRIMITIVETABLE_H
+#define IGDT_VM_PRIMITIVETABLE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// Primitive indices. Gaps are deliberate: each family occupies a block.
+enum PrimitiveIndex : std::int32_t {
+  // --- SmallInteger family (receiver and args are SmallIntegers) ---
+  PrimIntAdd = 1,
+  PrimIntSub,
+  PrimIntMul,
+  PrimIntDiv,      // exact division
+  PrimIntFloorDiv, // //
+  PrimIntMod,      // \\ (floored)
+  PrimIntQuo,      // truncated division
+  PrimIntNeg,
+  PrimIntBitAnd,
+  PrimIntBitOr,
+  PrimIntBitXor,
+  PrimIntBitShift,
+  PrimIntLess,
+  PrimIntGreater,
+  PrimIntLessEq,
+  PrimIntGreaterEq,
+  PrimIntEqual,
+  PrimIntNotEqual,
+  PrimIntAsFloat, // the paper's missing-interpreter-check seed
+  PrimIntHighBit,
+
+  // --- BoxedFloat family (the 13 missing-compiled-check seeds are the
+  // arithmetic, comparison, truncated, rounded and fractionPart ones) ---
+  PrimFloatAdd = 30,
+  PrimFloatSub,
+  PrimFloatMul,
+  PrimFloatDiv,
+  PrimFloatLess,
+  PrimFloatGreater,
+  PrimFloatLessEq,
+  PrimFloatGreaterEq,
+  PrimFloatEqual,
+  PrimFloatNotEqual,
+  PrimFloatTruncated,
+  PrimFloatRounded,
+  PrimFloatFractionPart,
+  PrimFloatSqrt,
+  PrimFloatSin,
+  PrimFloatCos,
+  PrimFloatExp,
+  PrimFloatLn,
+  PrimFloatArcTan,
+
+  // --- Object / array family ---
+  PrimAt = 60, // 1-based indexable access
+  PrimAtPut,
+  PrimSize,
+  PrimBasicNew,      // receiver: class index as SmallInteger
+  PrimBasicNewSized, // receiver: class index, arg: element count
+  PrimClass,
+  PrimIdentityHash,
+  PrimIdentityEquals,
+  PrimInstVarAt, // 1-based fixed-slot access on any pointer object
+  PrimInstVarAtPut,
+  PrimByteAt, // 1-based byte access
+  PrimByteAtPut,
+  PrimShallowCopy,
+
+  // --- FFI accessor family (paper §5.3 "Missing functionality": these
+  // are interpreted but were never implemented in the 32-bit JIT) ---
+  PrimFFILoadInt8 = 80,
+  PrimFFILoadInt16,
+  PrimFFILoadInt32,
+  PrimFFILoadInt64,
+  PrimFFIStoreInt8,
+  PrimFFIStoreInt16,
+  PrimFFIStoreInt32,
+  PrimFFIStoreInt64,
+  PrimFFILoadUInt8,
+  PrimFFILoadUInt16,
+  PrimFFILoadUInt32,
+  PrimFFILoadFloat64,
+  PrimFFIStoreFloat64,
+  PrimFFIStoreUInt8,
+  PrimFFIStoreUInt16,
+  PrimFFIStoreUInt32,
+  PrimFFILoadFloat32,
+  PrimFFIStoreFloat32,
+
+  NumPrimitiveSlots
+};
+
+/// Coarse primitive families used by the evaluation figures.
+enum class PrimitiveFamily : std::uint8_t {
+  SmallInteger,
+  Float,
+  Object,
+  FFI,
+};
+
+/// Metadata of one native method.
+struct PrimitiveInfo {
+  std::int32_t Index = -1;
+  const char *Name = "";
+  std::uint8_t NumArgs = 0;
+  PrimitiveFamily Family = PrimitiveFamily::SmallInteger;
+};
+
+/// Returns the metadata of every implemented native method, ordered by
+/// index.
+const std::vector<PrimitiveInfo> &allPrimitives();
+
+/// Returns metadata for \p Index or nullptr when unimplemented.
+const PrimitiveInfo *primitiveInfo(std::int32_t Index);
+
+/// Printable family name.
+const char *primitiveFamilyName(PrimitiveFamily Family);
+
+} // namespace igdt
+
+#endif // IGDT_VM_PRIMITIVETABLE_H

@@ -1,0 +1,35 @@
+//===- vm/SelectorTable.cpp - Interned message selectors -------------------===//
+
+#include "vm/SelectorTable.h"
+
+#include <cassert>
+
+using namespace igdt;
+
+SelectorTable::SelectorTable() {
+  static const char *SpecialNames[NumSpecialSelectors] = {
+      "+",       "-",        "*",     "/",    "//",
+      "\\\\",    "<",        ">",     "<=",   ">=",
+      "=",       "~=",       "bitAnd:", "bitOr:", "bitXor:",
+      "bitShift:", "==",     "at:",   "at:put:", "size",
+      "value",   "doesNotUnderstand:", "mustBeBoolean"};
+  for (SelectorId I = 0; I < NumSpecialSelectors; ++I) {
+    Names.emplace_back(SpecialNames[I]);
+    Ids.emplace(SpecialNames[I], I);
+  }
+}
+
+SelectorId SelectorTable::intern(const std::string &Name) {
+  auto It = Ids.find(Name);
+  if (It != Ids.end())
+    return It->second;
+  auto Id = static_cast<SelectorId>(Names.size());
+  Names.push_back(Name);
+  Ids.emplace(Name, Id);
+  return Id;
+}
+
+const std::string &SelectorTable::nameOf(SelectorId Id) const {
+  assert(Id < Names.size() && "unknown selector id");
+  return Names[Id];
+}

@@ -1,0 +1,77 @@
+//===- vm/SelectorTable.h - Interned message selectors ---------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Message selectors are interned into small integer ids so that the
+/// interpreter exit condition "MessageSend #+ ..." and the JIT trampoline
+/// call "send #+" can be compared cheaply by the differential tester.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_SELECTORTABLE_H
+#define IGDT_VM_SELECTORTABLE_H
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace igdt {
+
+/// Identifier of an interned selector.
+using SelectorId = std::uint16_t;
+
+/// The special selectors with fixed ids; these back the type-predicted
+/// arithmetic byte-codes (their slow path sends exactly these).
+enum SpecialSelector : SelectorId {
+  SelectorPlus = 0,     // +
+  SelectorMinus,        // -
+  SelectorTimes,        // *
+  SelectorDivide,       // /
+  SelectorFloorDivide,  // //
+  SelectorModulo,       // "\\" (floored modulo)
+  SelectorLess,         // <
+  SelectorGreater,      // >
+  SelectorLessEq,       // <=
+  SelectorGreaterEq,    // >=
+  SelectorEqual,        // =
+  SelectorNotEqual,     // ~=
+  SelectorBitAnd,       // bitAnd:
+  SelectorBitOr,        // bitOr:
+  SelectorBitXor,       // bitXor:
+  SelectorBitShift,     // bitShift:
+  SelectorIdentical,    // ==
+  SelectorAt,           // at:
+  SelectorAtPut,        // at:put:
+  SelectorSize,         // size
+  SelectorValue,        // value
+  SelectorDoesNotUnderstand, // doesNotUnderstand:
+  SelectorMustBeBoolean,     // mustBeBoolean
+  NumSpecialSelectors
+};
+
+/// Bidirectional selector <-> id mapping with fixed special selectors.
+class SelectorTable {
+public:
+  SelectorTable();
+
+  /// Returns the id of \p Name, interning it if new.
+  SelectorId intern(const std::string &Name);
+
+  /// Returns the printable name of \p Id.
+  const std::string &nameOf(SelectorId Id) const;
+
+  /// Number of interned selectors.
+  std::size_t size() const { return Names.size(); }
+
+private:
+  std::vector<std::string> Names;
+  std::unordered_map<std::string, SelectorId> Ids;
+};
+
+} // namespace igdt
+
+#endif // IGDT_VM_SELECTORTABLE_H

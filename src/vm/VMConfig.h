@@ -1,0 +1,46 @@
+//===- vm/VMConfig.h - Interpreter configuration and defect seeds -----------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Configuration of the QVM interpreter, including the seeded defects that
+/// reproduce the interpreter-side findings of the paper (§5.3). Every seed
+/// defaults to the buggy behaviour found in the real Pharo VM so that the
+/// differential experiments detect them; tests flip them off to verify the
+/// clean baseline agrees everywhere.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_VM_VMCONFIG_H
+#define IGDT_VM_VMCONFIG_H
+
+#include <cstdint>
+
+namespace igdt {
+
+/// Tunables and defect seeds of the interpreter.
+struct VMConfig {
+  /// Maximum operand-stack depth a frame may declare. Bounds the
+  /// StackSize constraint variable during concolic exploration.
+  std::uint32_t MaxOperandStack = 12;
+
+  /// Maximum slot count the solver may assign to an input object.
+  std::uint32_t MaxObjectSlots = 32;
+
+  /// Paper §5.3 "Missing interpreter type check": primitiveAsFloat checks
+  /// its receiver only with an assert that production builds compile out,
+  /// so a pointer receiver is untagged as if it were an integer and
+  /// converted to a garbage float (Listing 5 of the paper).
+  bool SeedAsFloatMissingReceiverCheck = true;
+
+  /// Paper §5.3 "Behavioral difference": interpreter bit-wise operations
+  /// fail (fall back to the slow message send) on negative operands,
+  /// while compiled code handles them by treating them as unsigned.
+  bool SeedBitOpsFailOnNegative = true;
+};
+
+} // namespace igdt
+
+#endif // IGDT_VM_VMCONFIG_H

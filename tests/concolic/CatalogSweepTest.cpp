@@ -1,0 +1,77 @@
+//===- tests/concolic/CatalogSweepTest.cpp -------------------------------------------===//
+//
+// Catalog-wide exploration invariants, TEST_P over every instruction:
+// every curated path's model verifies its own constraints, snapshots are
+// structurally sound, and exploration terminates within budget.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concolic/ConcolicExplorer.h"
+
+#include "solver/TermEval.h"
+#include "solver/TermPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+class CatalogSweepTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(CatalogSweepTest, ExplorationInvariantsHold) {
+  const InstructionSpec *Spec = findInstruction(GetParam());
+  ASSERT_NE(Spec, nullptr);
+  VMConfig VM;
+  ConcolicExplorer Explorer(VM);
+  ExplorationResult R = Explorer.explore(*Spec);
+
+  EXPECT_GE(R.Paths.size(), 1u) << Spec->Name;
+  EXPECT_LT(R.Iterations, Explorer.options().MaxIterations) << Spec->Name;
+
+  for (std::size_t I = 0; I < R.Paths.size(); ++I) {
+    const PathSolution &P = R.Paths[I];
+    SCOPED_TRACE(::testing::Message() << Spec->Name << " path " << I);
+
+    // Input snapshot matches the model's stack size.
+    std::int64_t ModelDepth =
+        P.InputModel.intLeafOrDefault(R.Builder->stackSize());
+    EXPECT_EQ(std::int64_t(P.Input.Stack.size()),
+              std::max<std::int64_t>(ModelDepth, 0));
+
+    // Every value in the snapshots carries a symbolic half.
+    for (const ConcolicValue &V : P.Input.Stack)
+      EXPECT_NE(V.S, nullptr);
+    for (const ConcolicValue &V : P.Output.Stack)
+      EXPECT_NE(V.S, nullptr);
+
+    // Curated paths verify their own constraints under their model.
+    if (!P.Curated)
+      continue;
+    TermEvaluator Eval(P.InputModel, R.Memory->classTable());
+    for (const BoolTerm *C : P.Constraints) {
+      auto V = Eval.evalBool(C);
+      ASSERT_TRUE(V.has_value()) << printBoolTerm(C);
+      EXPECT_TRUE(*V) << printBoolTerm(C);
+    }
+  }
+}
+
+std::vector<const char *> allInstructionNames() {
+  std::vector<const char *> Out;
+  for (const InstructionSpec &Spec : allInstructions())
+    Out.push_back(Spec.Name.c_str());
+  return Out;
+}
+
+INSTANTIATE_TEST_SUITE_P(WholeCatalog, CatalogSweepTest,
+                         ::testing::ValuesIn(allInstructionNames()),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           std::string Name = I.param;
+                           for (char &C : Name)
+                             if (!isalnum(static_cast<unsigned char>(C)))
+                               C = '_';
+                           return Name;
+                         });
+
+} // namespace

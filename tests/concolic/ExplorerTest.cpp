@@ -1,0 +1,292 @@
+//===- tests/concolic/ExplorerTest.cpp -----------------------------------------===//
+//
+// End-to-end concolic exploration of catalog instructions: the Table 1 /
+// Figure 2 behaviour of the paper.
+//
+//===----------------------------------------------------------------------===//
+
+#include "concolic/ConcolicExplorer.h"
+
+#include "solver/TermPrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace igdt;
+
+namespace {
+
+class ExplorerTest : public ::testing::Test {
+protected:
+  ExplorationResult explore(const std::string &Name) {
+    const InstructionSpec *Spec = findInstruction(Name);
+    EXPECT_NE(Spec, nullptr) << Name;
+    ConcolicExplorer Explorer(Config);
+    return Explorer.explore(*Spec);
+  }
+
+  static unsigned countExit(const ExplorationResult &R, ExitKind K) {
+    unsigned N = 0;
+    for (const PathSolution &P : R.Paths)
+      N += P.Exit == K ? 1 : 0;
+    return N;
+  }
+
+  VMConfig Config;
+};
+
+TEST_F(ExplorerTest, AddBytecodeFindsThePaperTable1Paths) {
+  ExplorationResult R = explore("bytecodePrim_add");
+
+  // Figure 2 column 1: the first execution starts with an empty operand
+  // stack and exits invalid-frame.
+  ASSERT_FALSE(R.Paths.empty());
+  EXPECT_EQ(R.Paths[0].Exit, ExitKind::InvalidFrame);
+  EXPECT_EQ(R.Paths[0].Input.Stack.size(), 0u);
+
+  // Paths from Table 1: int+int in range (success), int+int overflow
+  // (send), int+nonint (send), nonint (send) ... plus the float paths our
+  // interpreter also inlines.
+  EXPECT_GE(countExit(R, ExitKind::Success), 2u);     // int and float adds
+  EXPECT_GE(countExit(R, ExitKind::MessageSend), 3u); // overflow + mixes
+  EXPECT_GE(R.Paths.size(), 6u);
+  EXPECT_LE(R.Paths.size(), 20u);
+
+  // The overflow path exists: a success + a send path whose condition
+  // mentions the sum bound.
+  bool SawOverflow = false;
+  for (const PathSolution &P : R.Paths) {
+    if (P.Exit != ExitKind::MessageSend)
+      continue;
+    std::string Text = printPathCondition(P.Constraints);
+    if (Text.find("s1 + s0") != std::string::npos ||
+        Text.find("s0 + s1") != std::string::npos)
+      SawOverflow = true;
+  }
+  EXPECT_TRUE(SawOverflow);
+}
+
+TEST_F(ExplorerTest, AddOverflowModelActuallyOverflows) {
+  ExplorationResult R = explore("bytecodePrim_add");
+  bool Checked = false;
+  for (const PathSolution &P : R.Paths) {
+    if (P.Exit != ExitKind::MessageSend || P.Input.Stack.size() != 2)
+      continue;
+    // Pick the path where both operands are small integers (overflow).
+    if (!isSmallIntOop(P.Input.Stack[0].C) ||
+        !isSmallIntOop(P.Input.Stack[1].C))
+      continue;
+    __int128 Sum = (__int128)smallIntValue(P.Input.Stack[0].C) +
+                   smallIntValue(P.Input.Stack[1].C);
+    EXPECT_TRUE(Sum > MaxSmallInt || Sum < MinSmallInt);
+    Checked = true;
+  }
+  EXPECT_TRUE(Checked);
+}
+
+TEST_F(ExplorerTest, SuccessPathPushesSymbolicSum) {
+  ExplorationResult R = explore("bytecodePrim_add");
+  for (const PathSolution &P : R.Paths) {
+    if (P.Exit != ExitKind::Success)
+      continue;
+    ASSERT_EQ(P.Output.Stack.size(), 1u);
+    // Concretely, the output top equals the sum of the materialised
+    // inputs when both are integers.
+    if (P.Input.Stack.size() == 2 && isSmallIntOop(P.Input.Stack[0].C) &&
+        isSmallIntOop(P.Input.Stack[1].C)) {
+      EXPECT_EQ(smallIntValue(P.Output.Stack[0].C),
+                smallIntValue(P.Input.Stack[0].C) +
+                    smallIntValue(P.Input.Stack[1].C));
+    }
+  }
+}
+
+TEST_F(ExplorerTest, PopDiscoversInvalidFrameThenSuccess) {
+  ExplorationResult R = explore("pop");
+  EXPECT_EQ(R.Paths.size(), 2u);
+  EXPECT_EQ(countExit(R, ExitKind::InvalidFrame), 1u);
+  EXPECT_EQ(countExit(R, ExitKind::Success), 1u);
+}
+
+TEST_F(ExplorerTest, PushReceiverHasSinglePath) {
+  ExplorationResult R = explore("pushReceiver");
+  EXPECT_EQ(R.Paths.size(), 1u);
+  EXPECT_EQ(R.Paths[0].Exit, ExitKind::Success);
+  ASSERT_EQ(R.Paths[0].Output.Stack.size(), 1u);
+  EXPECT_TRUE(R.Paths[0].Output.Stack[0].S->isVar());
+}
+
+TEST_F(ExplorerTest, PushInstVarGrowsTheReceiver) {
+  // pushInstVar2 needs a pointer receiver with at least 3 slots; the
+  // explorer must discover this through invalid-memory-access exits.
+  ExplorationResult R = explore("pushInstVar2");
+  EXPECT_GE(countExit(R, ExitKind::InvalidMemoryAccess), 1u);
+  bool SawSuccess = false;
+  for (const PathSolution &P : R.Paths) {
+    if (P.Exit != ExitKind::Success)
+      continue;
+    SawSuccess = true;
+    // The materialised receiver is a pointer object with > 2 slots.
+    EXPECT_GE(P.InputModel.objectOrDefault(P.Input.Receiver.S).SlotCount, 3);
+  }
+  EXPECT_TRUE(SawSuccess);
+}
+
+TEST_F(ExplorerTest, JumpFalseHasThreeInterestingPaths) {
+  ExplorationResult R = explore("shortJumpFalse2");
+  // invalid frame, taken (false), fall-through (true), mustBeBoolean.
+  EXPECT_EQ(countExit(R, ExitKind::InvalidFrame), 1u);
+  EXPECT_EQ(countExit(R, ExitKind::MessageSend), 1u);
+  EXPECT_EQ(countExit(R, ExitKind::Success), 2u);
+  for (const PathSolution &P : R.Paths) {
+    if (P.Exit == ExitKind::MessageSend) {
+      EXPECT_EQ(P.Selector, SelectorMustBeBoolean);
+    }
+  }
+}
+
+TEST_F(ExplorerTest, SendBytecodeExitsMessageSend) {
+  ExplorationResult R = explore("send1Lit0");
+  EXPECT_GE(countExit(R, ExitKind::MessageSend), 1u);
+  for (const PathSolution &P : R.Paths)
+    if (P.Exit == ExitKind::MessageSend) {
+      EXPECT_EQ(P.Selector, SelectorPlus);
+      EXPECT_EQ(P.SendNumArgs, 1);
+    }
+}
+
+TEST_F(ExplorerTest, ReturnTopPath) {
+  const InstructionSpec *Spec = findInstruction("returnTop");
+  ASSERT_NE(Spec, nullptr);
+  ConcolicExplorer Explorer(Config);
+  ExplorationResult R = Explorer.explore(*Spec);
+  EXPECT_EQ(countExit(R, ExitKind::MethodReturn), 1u);
+  EXPECT_EQ(countExit(R, ExitKind::InvalidFrame), 1u);
+}
+
+TEST_F(ExplorerTest, NativeAddHasFailurePaths) {
+  ExplorationResult R = explore("primitiveAdd");
+  // Safe native method: type-check failures are Failure exits, not sends.
+  EXPECT_GE(countExit(R, ExitKind::PrimitiveFailure), 3u);
+  EXPECT_GE(countExit(R, ExitKind::Success), 1u);
+  EXPECT_EQ(countExit(R, ExitKind::MessageSend), 0u);
+}
+
+TEST_F(ExplorerTest, AsFloatSeededBugProducesGarbageSuccessPath) {
+  ExplorationResult R = explore("primitiveAsFloat");
+  // With the seed on (default), the non-integer-receiver path still
+  // succeeds (garbage float) — the missing-interpreter-type-check bug.
+  bool SawGarbageSuccess = false;
+  for (const PathSolution &P : R.Paths) {
+    if (P.Exit != ExitKind::Success || P.Input.Stack.empty())
+      continue;
+    // Native methods read the receiver from the operand stack.
+    if (!isSmallIntOop(P.Input.Stack[0].C))
+      SawGarbageSuccess = true;
+  }
+  EXPECT_TRUE(SawGarbageSuccess);
+}
+
+TEST_F(ExplorerTest, AsFloatWithoutSeedFailsOnPointerReceiver) {
+  Config.SeedAsFloatMissingReceiverCheck = false;
+  ExplorationResult R = explore("primitiveAsFloat");
+  for (const PathSolution &P : R.Paths) {
+    if (P.Exit == ExitKind::Success) {
+      EXPECT_TRUE(isSmallIntOop(P.Input.Stack[0].C));
+    }
+  }
+  EXPECT_GE(countExit(R, ExitKind::PrimitiveFailure), 1u);
+}
+
+TEST_F(ExplorerTest, NativeMethodsHaveMorePathsThanBytecodes) {
+  // The shape behind the paper's Figure 5.
+  ExplorationResult Pop = explore("pop");
+  ExplorationResult At = explore("primitiveAt");
+  EXPECT_GT(At.Paths.size(), Pop.Paths.size());
+  EXPECT_GE(At.Paths.size(), 6u);
+}
+
+TEST_F(ExplorerTest, AtSuccessPathMaterializesArray) {
+  ExplorationResult R = explore("primitiveAt");
+  bool SawSuccess = false;
+  for (const PathSolution &P : R.Paths) {
+    if (P.Exit != ExitKind::Success)
+      continue;
+    SawSuccess = true;
+    ASSERT_EQ(P.Input.Stack.size(), 2u); // [receiver, index]
+    ObjAssignment Rcvr = P.InputModel.objectOrDefault(P.Input.Stack[0].S);
+    EXPECT_EQ(Rcvr.ClassIndex, ArrayClass);
+    EXPECT_GE(Rcvr.SlotCount, 1);
+  }
+  EXPECT_TRUE(SawSuccess);
+}
+
+TEST_F(ExplorerTest, AtPutRecordsStoreEffect) {
+  ExplorationResult R = explore("primitiveAtPut");
+  bool SawStore = false;
+  for (const PathSolution &P : R.Paths)
+    if (P.Exit == ExitKind::Success && !P.SlotStores.empty())
+      SawStore = true;
+  EXPECT_TRUE(SawStore);
+}
+
+TEST_F(ExplorerTest, BasicNewRecordsAllocation) {
+  ExplorationResult R = explore("primitiveNew");
+  bool SawAlloc = false;
+  for (const PathSolution &P : R.Paths)
+    if (P.Exit == ExitKind::Success) {
+      EXPECT_FALSE(P.Allocations.empty());
+      SawAlloc = true;
+    }
+  EXPECT_TRUE(SawAlloc);
+}
+
+TEST_F(ExplorerTest, FFILoadBoundsPathsExist) {
+  ExplorationResult R = explore("primitiveFFILoadInt16");
+  EXPECT_GE(countExit(R, ExitKind::PrimitiveFailure), 3u);
+  bool SawSuccess = false;
+  for (const PathSolution &P : R.Paths)
+    if (P.Exit == ExitKind::Success) {
+      SawSuccess = true;
+      ObjAssignment Rcvr = P.InputModel.objectOrDefault(P.Input.Stack[0].S);
+      EXPECT_GE(Rcvr.SlotCount, 2); // at least two bytes
+    }
+  EXPECT_TRUE(SawSuccess);
+}
+
+TEST_F(ExplorerTest, PathsAreDeterministic) {
+  ExplorationResult A = explore("bytecodePrim_sub");
+  ExplorationResult B = explore("bytecodePrim_sub");
+  ASSERT_EQ(A.Paths.size(), B.Paths.size());
+  for (std::size_t I = 0; I < A.Paths.size(); ++I) {
+    EXPECT_EQ(A.Paths[I].Exit, B.Paths[I].Exit);
+    EXPECT_EQ(printPathCondition(A.Paths[I].Constraints),
+              printPathCondition(B.Paths[I].Constraints));
+  }
+}
+
+TEST_F(ExplorerTest, InputAndOutputSnapshotsAreIndependent) {
+  // Side effects must not leak into the input snapshot (paper §3.2).
+  ExplorationResult R = explore("bytecodePrim_add");
+  for (const PathSolution &P : R.Paths) {
+    if (P.Exit != ExitKind::Success)
+      continue;
+    EXPECT_EQ(P.Input.Stack.size(), 2u);
+    EXPECT_EQ(P.Output.Stack.size(), 1u);
+  }
+}
+
+TEST_F(ExplorerTest, FloatComparisonPathsSolved) {
+  ExplorationResult R = explore("primitiveFloatLessThan");
+  unsigned SuccessPaths = countExit(R, ExitKind::Success);
+  // Both boolean outcomes must be discovered.
+  EXPECT_GE(SuccessPaths, 2u);
+}
+
+TEST_F(ExplorerTest, MostPathsAreCurated) {
+  ExplorationResult R = explore("primitiveAdd");
+  EXPECT_GE(R.curatedCount() * 2, (unsigned)R.Paths.size());
+}
+
+} // namespace

@@ -1,0 +1,152 @@
+//===- tests/differential/OutputEvaluatorTest.cpp ----------------------------------===//
+//
+// Output-constraint evaluation and matching: exact values, float boxes,
+// fresh allocations and materialisation-dependent oracle leaves.
+//
+//===----------------------------------------------------------------------===//
+
+#include "differential/OutputEvaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace igdt;
+
+namespace {
+
+class OutputEvaluatorTest : public ::testing::Test {
+protected:
+  OutputEvaluatorTest() {
+    Rcvr = B.objVar(VarRole::Receiver, 0);
+  }
+
+  /// Builds an evaluator over the current model/bindings.
+  OutputEvaluator makeEval() {
+    return OutputEvaluator(M, Bindings, Mem, SlotStores);
+  }
+
+  ObjectMemory Mem{256 * 1024};
+  TermBuilder B;
+  Model M;
+  std::map<const ObjTerm *, Oop> Bindings;
+  std::vector<SlotStoreEffect> SlotStores;
+  const ObjTerm *Rcvr;
+};
+
+TEST_F(OutputEvaluatorTest, VariablePredictsItsBinding) {
+  Oop Obj = Mem.allocateInstance(PointClass);
+  Bindings[Rcvr] = Obj;
+  OutputEvaluator E = makeEval();
+  ExpectedValue V = E.evalObj(Rcvr);
+  ASSERT_EQ(V.K, ExpectedValue::Kind::Exact);
+  EXPECT_EQ(V.Value, Obj);
+
+  std::string Why;
+  EXPECT_TRUE(E.matches(V, Obj, Mem, 0, Why));
+  EXPECT_FALSE(E.matches(V, smallIntOop(1), Mem, 0, Why));
+  EXPECT_FALSE(Why.empty());
+}
+
+TEST_F(OutputEvaluatorTest, IntObjEvaluatesPayload) {
+  M.Objects[Rcvr] = {SmallIntegerClass, 20, 0, 0};
+  Bindings[Rcvr] = smallIntOop(20);
+  OutputEvaluator E = makeEval();
+  const ObjTerm *Sum = B.intObj(
+      B.binInt(IntTerm::Kind::Add, B.valueOf(Rcvr), B.intConst(22)));
+  ExpectedValue V = E.evalObj(Sum);
+  ASSERT_EQ(V.K, ExpectedValue::Kind::Exact);
+  EXPECT_EQ(V.Value, smallIntOop(42));
+}
+
+TEST_F(OutputEvaluatorTest, FloatBoxComparesByValue) {
+  OutputEvaluator E = makeEval();
+  ExpectedValue V = E.evalObj(B.floatObj(B.floatConst(2.5)));
+  ASSERT_EQ(V.K, ExpectedValue::Kind::FloatBox);
+  std::string Why;
+  // Two different boxes with the same payload match.
+  EXPECT_TRUE(E.matches(V, Mem.allocateFloat(2.5), Mem, 0, Why));
+  EXPECT_FALSE(E.matches(V, Mem.allocateFloat(2.6), Mem, 0, Why));
+  EXPECT_FALSE(E.matches(V, smallIntOop(2), Mem, 0, Why));
+}
+
+TEST_F(OutputEvaluatorTest, NaNBoxesMatchEachOther) {
+  OutputEvaluator E = makeEval();
+  ExpectedValue V = E.evalObj(B.floatObj(B.floatConst(std::nan(""))));
+  std::string Why;
+  EXPECT_TRUE(E.matches(V, Mem.allocateFloat(std::nan("1")), Mem, 0, Why));
+}
+
+TEST_F(OutputEvaluatorTest, UncheckedUntagResolvesThroughOracle) {
+  Oop Obj = Mem.allocateInstance(PointClass);
+  Bindings[Rcvr] = Obj;
+  OutputEvaluator E = makeEval();
+  // The garbage float of the asFloat bug: double(blind untag of a
+  // pointer).
+  const ObjTerm *Garbage =
+      B.floatObj(B.ofInt(B.uncheckedValueOf(Rcvr)));
+  ExpectedValue V = E.evalObj(Garbage);
+  ASSERT_EQ(V.K, ExpectedValue::Kind::FloatBox);
+  EXPECT_EQ(V.FloatValue, double(smallIntValueUnchecked(Obj)));
+}
+
+TEST_F(OutputEvaluatorTest, AllocMatchingChecksFreshness) {
+  OutputEvaluator E = makeEval();
+  const ObjTerm *New = B.newObj(1, PointClass, B.intConst(0));
+  ExpectedValue V = E.evalObj(New);
+  ASSERT_EQ(V.K, ExpectedValue::Kind::Alloc);
+
+  // A pre-existing object is rejected even with the right class.
+  Oop Old = Mem.allocateInstance(PointClass);
+  std::size_t Watermark = Mem.usedBytes();
+  std::string Why;
+  EXPECT_FALSE(E.matches(V, Old, Mem, Watermark, Why));
+
+  // A fresh one of the right class passes.
+  Oop Fresh = Mem.allocateInstance(PointClass);
+  Why.clear();
+  EXPECT_TRUE(E.matches(V, Fresh, Mem, Watermark, Why)) << Why;
+
+  // Wrong class fails.
+  Oop WrongClass = Mem.allocateInstance(AssociationClass);
+  EXPECT_FALSE(E.matches(V, WrongClass, Mem, Watermark, Why));
+}
+
+TEST_F(OutputEvaluatorTest, AllocMatchingChecksRecordedSlotStores) {
+  const ObjTerm *New = B.newObj(1, PointClass, B.intConst(0));
+  SlotStores.push_back(
+      {New, 0, ConcolicValue{smallIntOop(7), B.objConst(smallIntOop(7))}});
+  OutputEvaluator E = makeEval();
+  ExpectedValue V = E.evalObj(New);
+
+  std::size_t Watermark = Mem.usedBytes();
+  Oop Fresh = Mem.allocateInstance(PointClass);
+  std::string Why;
+  // Slot 0 must hold 7 (the recorded store), slot 1 nil.
+  EXPECT_FALSE(E.matches(V, Fresh, Mem, Watermark, Why));
+  Mem.storePointerSlot(Fresh, 0, smallIntOop(7));
+  Why.clear();
+  EXPECT_TRUE(E.matches(V, Fresh, Mem, Watermark, Why)) << Why;
+}
+
+TEST_F(OutputEvaluatorTest, UnknownExpectationsNeverMatch) {
+  OutputEvaluator E = makeEval();
+  // Unbound variable -> unknown.
+  ExpectedValue V = E.evalObj(B.objVar(VarRole::Local, 3));
+  EXPECT_EQ(V.K, ExpectedValue::Kind::Unknown);
+  std::string Why;
+  EXPECT_FALSE(E.matches(V, smallIntOop(0), Mem, 0, Why));
+}
+
+TEST_F(OutputEvaluatorTest, SlotVariableDerivesFromParentBinding) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 2);
+  Mem.storePointerSlot(Arr, 1, smallIntOop(9));
+  Bindings[Rcvr] = Arr;
+  OutputEvaluator E = makeEval();
+  const ObjTerm *Slot1 = B.objVar(VarRole::SlotOf, 1, Rcvr);
+  ExpectedValue V = E.evalObj(Slot1);
+  ASSERT_EQ(V.K, ExpectedValue::Kind::Exact);
+  EXPECT_EQ(V.Value, smallIntOop(9));
+}
+
+} // namespace

@@ -1,0 +1,185 @@
+//===- tests/differential/RandomCrossValidationTest.cpp ---------------------------===//
+//
+// Property-based cross-validation, complementary to the concolic tests:
+// for randomly drawn concrete inputs (plus adversarial edge values), the
+// interpreter and every compiler/back-end must observe identical
+// behaviour in the defect-free configuration. TEST_P sweeps the sixteen
+// type-predicted arithmetic byte-codes and the integer native methods.
+//
+//===----------------------------------------------------------------------===//
+
+#include "faults/DefectCatalog.h"
+#include "jit/BytecodeCogit.h"
+#include "jit/MachineSim.h"
+#include "jit/NativeMethodCogit.h"
+#include "support/RNG.h"
+#include "vm/ConcreteDomain.h"
+#include "vm/InterpreterCore.h"
+#include "vm/MethodBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+/// Interesting integers: boundaries, zero crossings, random fill.
+std::vector<std::int64_t> sampleValues(RNG &Rand, unsigned Count) {
+  std::vector<std::int64_t> Out = {0,  1,  -1, 2,  -2, 61, -61,
+                                   MaxSmallInt, MinSmallInt,
+                                   MaxSmallInt - 1, MinSmallInt + 1};
+  while (Out.size() < Count)
+    Out.push_back(Rand.nextInRange(MinSmallInt, MaxSmallInt));
+  return Out;
+}
+
+class ArithCrossValidation : public ::testing::TestWithParam<ArithOp> {};
+
+TEST_P(ArithCrossValidation, CompilersAgreeWithInterpreterOnRandomInts) {
+  ArithOp Op = GetParam();
+  VMConfig VM = cleanVMConfig();
+  CogitOptions Cogit = cleanCogitOptions();
+  RNG Rand(0xC0FFEE + unsigned(Op));
+
+  CompiledMethod Method = MethodBuilder("m").arith(Op).build();
+  std::vector<std::int64_t> Values = sampleValues(Rand, 24);
+
+  for (std::int64_t A : Values) {
+    for (std::int64_t B : Values) {
+      ObjectMemory Mem(256 * 1024);
+      ConcreteDomain Dom(Mem, VM);
+      InterpreterCore<ConcreteDomain> Interp(Dom, Mem);
+      FrameT<Oop> Frame;
+      Frame.Method = &Method;
+      Frame.Receiver = Mem.nilObject();
+      Frame.Stack = {smallIntOop(A), smallIntOop(B)};
+      StepResult<Oop> IR = Interp.stepBytecode(Frame);
+
+      for (CompilerKind Kind : {CompilerKind::StackToRegister,
+                                CompilerKind::RegisterAllocating}) {
+        for (const MachineDesc *Desc : {&x64Desc(), &armDesc()}) {
+          BytecodeCogit Compiler(Kind, Mem, *Desc, Cogit);
+          auto Code =
+              Compiler.compile(Method, {smallIntOop(A), smallIntOop(B)});
+          ASSERT_TRUE(Code.has_value());
+          MachineSim Sim(Mem);
+          Sim.setUpFrame(0);
+          Sim.writeReceiver(Mem.nilObject());
+          MachineExit ME = Sim.run(Code->Code);
+
+          SCOPED_TRACE(::testing::Message()
+                       << "op=" << int(Op) << " a=" << A << " b=" << B
+                       << " compiler=" << compilerKindName(Kind) << "/"
+                       << Desc->Name);
+          if (IR.Kind == ExitKind::Success) {
+            ASSERT_EQ(ME.Kind, MachExitKind::Breakpoint);
+            ASSERT_EQ(Code->FinalStack.size(), 1u);
+            // The single result lives in a register or is a constant.
+            Oop Observed = InvalidOop;
+            const ValueLoc &L = Code->FinalStack[0];
+            if (L.K == ValueLoc::Kind::Register)
+              Observed = Sim.reg(L.Reg);
+            else if (L.K == ValueLoc::Kind::Constant)
+              Observed = L.Const;
+            else if (L.K == ValueLoc::Kind::SpillSlot)
+              Observed = Sim.stackLoad64(Sim.reg(MReg::FP) +
+                                         igdt::abi::spillOffset(L.Index))
+                             .value_or(InvalidOop);
+            EXPECT_EQ(Observed, Frame.Stack.back());
+          } else {
+            ASSERT_EQ(IR.Kind, ExitKind::MessageSend);
+            ASSERT_EQ(ME.Kind, MachExitKind::TrampolineCall);
+            EXPECT_EQ(ME.Selector, IR.Selector);
+          }
+        }
+      }
+    }
+  }
+}
+
+std::string arithOpTestName(const ::testing::TestParamInfo<ArithOp> &Info) {
+  static const char *Names[] = {
+      "Add",    "Sub",     "Mul",    "Div",       "FloorDiv", "Mod",
+      "Less",   "Greater", "LessEq", "GreaterEq", "Equal",    "NotEqual",
+      "BitAnd", "BitOr",   "BitXor", "BitShift"};
+  return Names[unsigned(Info.param)];
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllArithOps, ArithCrossValidation,
+    ::testing::Values(ArithOp::Add, ArithOp::Sub, ArithOp::Mul,
+                      ArithOp::Div, ArithOp::FloorDiv, ArithOp::Mod,
+                      ArithOp::Less, ArithOp::Greater, ArithOp::LessEq,
+                      ArithOp::GreaterEq, ArithOp::Equal, ArithOp::NotEqual,
+                      ArithOp::BitAnd, ArithOp::BitOr, ArithOp::BitXor,
+                      ArithOp::BitShift),
+    arithOpTestName);
+
+class IntPrimCrossValidation
+    : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(IntPrimCrossValidation, TemplatesAgreeWithInterpreterOnRandomInts) {
+  std::int32_t Prim = GetParam();
+  VMConfig VM = cleanVMConfig();
+  CogitOptions Cogit = cleanCogitOptions();
+  RNG Rand(0xBEEF + unsigned(Prim));
+  const PrimitiveInfo *Info = primitiveInfo(Prim);
+  ASSERT_NE(Info, nullptr);
+
+  CompiledMethod Method = MethodBuilder("m").primitive(Prim).build();
+  std::vector<std::int64_t> Values = sampleValues(Rand, 16);
+
+  for (std::int64_t A : Values) {
+    for (std::int64_t B : Values) {
+      ObjectMemory Mem(256 * 1024);
+      ConcreteDomain Dom(Mem, VM);
+      InterpreterCore<ConcreteDomain> Interp(Dom, Mem);
+      FrameT<Oop> Frame;
+      Frame.Method = &Method;
+      Frame.Receiver = Mem.nilObject();
+      Frame.Stack = {smallIntOop(A)};
+      if (Info->NumArgs == 1)
+        Frame.Stack.push_back(smallIntOop(B));
+      StepResult<Oop> IR = Interp.stepInstruction(Frame);
+
+      NativeMethodCogit Compiler(Mem, x64Desc(), Cogit);
+      CompiledCode Code = Compiler.compile(Prim);
+      MachineSim Sim(Mem);
+      Sim.setReg(igdt::abi::ResultReg, smallIntOop(A));
+      Sim.setReg(igdt::abi::Arg0Reg, smallIntOop(B));
+      MachineExit ME = Sim.run(Code.Code);
+
+      SCOPED_TRACE(::testing::Message() << Info->Name << " a=" << A
+                                        << " b=" << B);
+      if (IR.Kind == ExitKind::Success) {
+        ASSERT_EQ(ME.Kind, MachExitKind::Returned);
+        if (isSmallIntOop(IR.Result) || Mem.isHeapObject(IR.Result)) {
+          EXPECT_EQ(Sim.reg(igdt::abi::ResultReg), IR.Result);
+        }
+      } else {
+        ASSERT_EQ(IR.Kind, ExitKind::PrimitiveFailure);
+        ASSERT_EQ(ME.Kind, MachExitKind::Breakpoint);
+        EXPECT_EQ(ME.Marker, MarkerPrimitiveFail);
+      }
+      if (Info->NumArgs == 0)
+        break; // unary: inner loop is redundant
+    }
+  }
+}
+
+std::string
+primTestName(const ::testing::TestParamInfo<std::int32_t> &Info) {
+  return std::string(primitiveInfo(Info.param)->Name);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    IntegerPrimitives, IntPrimCrossValidation,
+    ::testing::Values(PrimIntAdd, PrimIntSub, PrimIntMul, PrimIntDiv,
+                      PrimIntFloorDiv, PrimIntMod, PrimIntQuo,
+                      PrimIntBitAnd, PrimIntBitOr, PrimIntBitXor,
+                      PrimIntBitShift, PrimIntLess, PrimIntGreater,
+                      PrimIntLessEq, PrimIntGreaterEq, PrimIntEqual,
+                      PrimIntNotEqual, PrimIntNeg, PrimIntHighBit),
+    primTestName);
+
+} // namespace

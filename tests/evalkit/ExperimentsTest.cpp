@@ -1,0 +1,129 @@
+//===- tests/evalkit/ExperimentsTest.cpp ------------------------------------------===//
+//
+// The evaluation harness: the tables/figures render, and the paper's
+// shape claims hold on the full catalog.
+//
+//===----------------------------------------------------------------------===//
+
+#include "evalkit/Experiments.h"
+
+#include "support/Statistics.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+class ExperimentsTest : public ::testing::Test {
+protected:
+  static EvaluationHarness &sharedHarness() {
+    static EvaluationHarness Harness = [] {
+      EvaluationHarness H;
+      H.exploreAll();
+      return H;
+    }();
+    return Harness;
+  }
+  static const std::vector<CompilerEvaluation> &sharedRows() {
+    static std::vector<CompilerEvaluation> Rows =
+        sharedHarness().evaluateAllCompilers();
+    return Rows;
+  }
+};
+
+TEST_F(ExperimentsTest, ExploresTheWholeCatalog) {
+  EXPECT_EQ(sharedHarness().explored().size(), allInstructions().size());
+}
+
+TEST_F(ExperimentsTest, Table1MentionsTheCanonicalPaths) {
+  std::string T = sharedHarness().renderTable1();
+  EXPECT_NE(T.find("isInteger(s0)"), std::string::npos);
+  EXPECT_NE(T.find("isNotInteger"), std::string::npos);
+  EXPECT_NE(T.find("message-send"), std::string::npos);
+  EXPECT_NE(T.find("success"), std::string::npos);
+}
+
+TEST_F(ExperimentsTest, Figure2TraceShowsInputAndOutputFrames) {
+  std::string T = sharedHarness().renderFigure2Trace();
+  EXPECT_NE(T.find("Concolic Execution #1"), std::string::npos);
+  EXPECT_NE(T.find("input operand stack: (empty)"), std::string::npos);
+  EXPECT_NE(T.find("exit: invalid-frame"), std::string::npos);
+  EXPECT_NE(T.find("intObject((s1 + s0))"), std::string::npos);
+}
+
+TEST_F(ExperimentsTest, Table2HasFourCompilerRowsPlusTotal) {
+  std::string T = sharedHarness().renderTable2(sharedRows());
+  EXPECT_NE(T.find("Native Methods (primitives)"), std::string::npos);
+  EXPECT_NE(T.find("Simple Stack BC Compiler"), std::string::npos);
+  EXPECT_NE(T.find("Stack-to-Register BC Compiler"), std::string::npos);
+  EXPECT_NE(T.find("Linear-Scan Allocator BC Compiler"),
+            std::string::npos);
+  EXPECT_NE(T.find("Total"), std::string::npos);
+}
+
+TEST_F(ExperimentsTest, Table2ShapeMatchesThePaper) {
+  const auto &Rows = sharedRows();
+  ASSERT_EQ(Rows.size(), 4u);
+  const CompilerEvaluation &Native = Rows[0];
+  const CompilerEvaluation &Simple = Rows[1];
+  const CompilerEvaluation &StackToReg = Rows[2];
+  const CompilerEvaluation &LinearScan = Rows[3];
+
+  // All compilers find differences.
+  EXPECT_GT(Native.DifferingPaths, 0u);
+  EXPECT_GT(Simple.DifferingPaths, 0u);
+  // The two production-shaped compilers find the same differences
+  // (paper: 10 and 10), and fewer than the simple compiler (paper: 18).
+  EXPECT_EQ(StackToReg.DifferingPaths, LinearScan.DifferingPaths);
+  EXPECT_LT(StackToReg.DifferingPaths, Simple.DifferingPaths);
+  // Native methods contribute the most defect causes.
+  EXPECT_GT(Native.Causes.size(), StackToReg.Causes.size());
+}
+
+TEST_F(ExperimentsTest, Figure5NativeMethodsHaveMorePaths) {
+  SampleStats BC = computeStats(
+      sharedHarness().pathsPerInstruction(InstructionKind::Bytecode));
+  SampleStats NM = computeStats(
+      sharedHarness().pathsPerInstruction(InstructionKind::NativeMethod));
+  // Paper: byte-codes average a few more than 2 paths, native methods
+  // approach 10; the ratio (several times more) is the shape claim.
+  EXPECT_GT(BC.Mean, 1.5);
+  EXPECT_LT(BC.Mean, 5.0);
+  EXPECT_GT(NM.Mean, BC.Mean * 1.5);
+}
+
+TEST_F(ExperimentsTest, Figure6NativeMethodsTakeLongerToExplore) {
+  SampleStats BC = computeStats(sharedHarness().exploreMillisPerInstruction(
+      InstructionKind::Bytecode));
+  SampleStats NM = computeStats(sharedHarness().exploreMillisPerInstruction(
+      InstructionKind::NativeMethod));
+  EXPECT_GT(NM.Mean, BC.Mean);
+}
+
+TEST_F(ExperimentsTest, Table3ListsAllSixFamilies) {
+  std::string T = sharedHarness().renderTable3(sharedRows());
+  EXPECT_NE(T.find("Missing interpreter type check"), std::string::npos);
+  EXPECT_NE(T.find("Missing compiled type check"), std::string::npos);
+  EXPECT_NE(T.find("Optimisation difference"), std::string::npos);
+  EXPECT_NE(T.find("Behavioural difference"), std::string::npos);
+  EXPECT_NE(T.find("Missing Functionality"), std::string::npos);
+  EXPECT_NE(T.find("Simulation Error"), std::string::npos);
+}
+
+TEST_F(ExperimentsTest, Figure7ReportsPerCompilerTimes) {
+  std::string T = sharedHarness().renderFigure7(sharedRows());
+  EXPECT_NE(T.find("Native Methods"), std::string::npos);
+  EXPECT_NE(T.find("ms"), std::string::npos);
+}
+
+TEST_F(ExperimentsTest, LimitedHarnessRespectsCaps) {
+  HarnessOptions Opts;
+  Opts.MaxBytecodes = 3;
+  Opts.MaxNativeMethods = 2;
+  EvaluationHarness Small(Opts);
+  Small.exploreAll();
+  EXPECT_EQ(Small.explored().size(), 5u);
+}
+
+} // namespace

@@ -1,0 +1,68 @@
+//===- tests/evalkit/TestExportTest.cpp ----------------------------------------------===//
+//
+// Rendering explored paths as self-contained test descriptions.
+//
+//===----------------------------------------------------------------------===//
+
+#include "evalkit/TestExport.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+class TestExportTest : public ::testing::Test {
+protected:
+  ExplorationResult explore(const char *Name) {
+    VMConfig VM;
+    ConcolicExplorer Explorer(VM);
+    return Explorer.explore(*findInstruction(Name));
+  }
+};
+
+TEST_F(TestExportTest, AddSuiteDescribesEveryPath) {
+  ExplorationResult R = explore("bytecodePrim_add");
+  std::string Suite = renderInstructionTestSuite(R);
+  EXPECT_NE(Suite.find("suite \"bytecodePrim_add\""), std::string::npos);
+  EXPECT_NE(Suite.find("exit = success"), std::string::npos);
+  EXPECT_NE(Suite.find("exit = message-send"), std::string::npos);
+  EXPECT_NE(Suite.find("isInteger(s0)"), std::string::npos);
+  EXPECT_NE(Suite.find("intObject((s1 + s0))"), std::string::npos);
+  // The invalid-frame discovery path is marked as an expected failure.
+  EXPECT_NE(Suite.find("expected failure"), std::string::npos);
+}
+
+TEST_F(TestExportTest, GeneratedTestCountExcludesExpectedFailures) {
+  ExplorationResult R = explore("bytecodePrim_add");
+  unsigned Count = generatedTestCount(R);
+  EXPECT_GT(Count, 0u);
+  EXPECT_LT(Count, R.Paths.size()); // the invalid-frame path is excluded
+}
+
+TEST_F(TestExportTest, PrimitiveTestsShowConcreteInputs) {
+  ExplorationResult R = explore("primitiveAt");
+  std::string Suite = renderInstructionTestSuite(R);
+  EXPECT_NE(Suite.find("operand stack (bottom to top)"), std::string::npos);
+  EXPECT_NE(Suite.find("Array"), std::string::npos);
+  EXPECT_NE(Suite.find("exit = failure"), std::string::npos);
+}
+
+TEST_F(TestExportTest, StoreEffectsAreListed) {
+  ExplorationResult R = explore("primitiveAtPut");
+  std::string Suite = renderInstructionTestSuite(R);
+  EXPECT_NE(Suite.find(".slot"), std::string::npos);
+}
+
+TEST_F(TestExportTest, EveryCatalogPathRenders) {
+  // Smoke: rendering never crashes and always names the instruction.
+  for (const char *Name :
+       {"pop", "shortJumpFalse2", "send1Lit0", "returnTop",
+        "primitiveAsFloat", "primitiveFFIStoreInt16"}) {
+    ExplorationResult R = explore(Name);
+    std::string Suite = renderInstructionTestSuite(R);
+    EXPECT_NE(Suite.find(Name), std::string::npos);
+  }
+}
+
+} // namespace

@@ -1,0 +1,311 @@
+//===- tests/jit/NativeMethodCogitTest.cpp -------------------------------------===//
+//
+// The template-based native-method compiler, executed in the simulator:
+// success returns, failure breakpoints, the seeded missing receiver
+// checks (segfaults) and the not-implemented FFI stubs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/NativeMethodCogit.h"
+
+#include "jit/MachineSim.h"
+#include "vm/PrimitiveTable.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+class NativeCogitTest : public ::testing::Test {
+protected:
+  /// Compiles and runs a primitive with the given receiver/args.
+  MachineExit run(std::int32_t Prim, Oop Receiver, std::vector<Oop> Args = {},
+                  const MachineDesc &Desc = x64Desc()) {
+    NativeMethodCogit Cogit(Mem, Desc, Opts);
+    CompiledCode Code = Cogit.compile(Prim);
+    LastSim = std::make_unique<MachineSim>(Mem, SimOpts);
+    LastSim->setReg(igdt::abi::ResultReg, Receiver);
+    if (Args.size() > 0)
+      LastSim->setReg(igdt::abi::Arg0Reg, Args[0]);
+    if (Args.size() > 1)
+      LastSim->setReg(igdt::abi::Arg1Reg, Args[1]);
+    return LastSim->run(Code.Code);
+  }
+
+  Oop result() { return LastSim->reg(igdt::abi::ResultReg); }
+
+  void expectIntResult(MachineExit E, std::int64_t V) {
+    ASSERT_EQ(E.Kind, MachExitKind::Returned);
+    EXPECT_EQ(result(), smallIntOop(V));
+  }
+
+  void expectFail(MachineExit E) {
+    ASSERT_EQ(E.Kind, MachExitKind::Breakpoint);
+    EXPECT_EQ(E.Marker, MarkerPrimitiveFail);
+  }
+
+  ObjectMemory Mem{256 * 1024};
+  CogitOptions Opts;
+  SimOptions SimOpts;
+  std::unique_ptr<MachineSim> LastSim;
+};
+
+TEST_F(NativeCogitTest, IntAdd) {
+  expectIntResult(run(PrimIntAdd, smallIntOop(2), {smallIntOop(3)}), 5);
+}
+
+TEST_F(NativeCogitTest, IntAddOverflowFails) {
+  expectFail(run(PrimIntAdd, smallIntOop(MaxSmallInt), {smallIntOop(1)}));
+}
+
+TEST_F(NativeCogitTest, IntAddTypeChecks) {
+  expectFail(run(PrimIntAdd, Mem.nilObject(), {smallIntOop(1)}));
+  expectFail(run(PrimIntAdd, smallIntOop(1), {Mem.nilObject()}));
+}
+
+TEST_F(NativeCogitTest, IntSubMul) {
+  expectIntResult(run(PrimIntSub, smallIntOop(10), {smallIntOop(4)}), 6);
+  expectIntResult(run(PrimIntMul, smallIntOop(-6), {smallIntOop(7)}), -42);
+  expectFail(run(PrimIntMul, smallIntOop(std::int64_t(1) << 40),
+                 {smallIntOop(std::int64_t(1) << 40)}));
+}
+
+TEST_F(NativeCogitTest, IntDivisionFamily) {
+  expectIntResult(run(PrimIntDiv, smallIntOop(42), {smallIntOop(7)}), 6);
+  expectFail(run(PrimIntDiv, smallIntOop(43), {smallIntOop(7)}));
+  expectFail(run(PrimIntDiv, smallIntOop(1), {smallIntOop(0)}));
+  expectIntResult(run(PrimIntFloorDiv, smallIntOop(-7), {smallIntOop(2)}),
+                  -4);
+  expectIntResult(run(PrimIntMod, smallIntOop(-7), {smallIntOop(2)}), 1);
+  expectIntResult(run(PrimIntQuo, smallIntOop(-7), {smallIntOop(2)}), -3);
+}
+
+TEST_F(NativeCogitTest, IntBitOps) {
+  expectIntResult(run(PrimIntBitAnd, smallIntOop(0b1100), {smallIntOop(0b1010)}),
+                  0b1000);
+  expectIntResult(run(PrimIntBitOr, smallIntOop(-4), {smallIntOop(1)}), -3);
+  expectIntResult(run(PrimIntBitShift, smallIntOop(5), {smallIntOop(3)}), 40);
+  expectIntResult(run(PrimIntBitShift, smallIntOop(40), {smallIntOop(-3)}),
+                  5);
+  expectFail(
+      run(PrimIntBitShift, smallIntOop(MaxSmallInt), {smallIntOop(2)}));
+}
+
+TEST_F(NativeCogitTest, IntComparisons) {
+  MachineExit E = run(PrimIntLess, smallIntOop(1), {smallIntOop(2)});
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  EXPECT_EQ(result(), Mem.trueObject());
+  run(PrimIntGreaterEq, smallIntOop(1), {smallIntOop(2)});
+  EXPECT_EQ(result(), Mem.falseObject());
+}
+
+TEST_F(NativeCogitTest, IntNegHighBitAsFloat) {
+  expectIntResult(run(PrimIntNeg, smallIntOop(-9)), 9);
+  expectFail(run(PrimIntNeg, smallIntOop(MinSmallInt)));
+  expectIntResult(run(PrimIntHighBit, smallIntOop(1024)), 11);
+  expectFail(run(PrimIntHighBit, smallIntOop(-1)));
+
+  MachineExit E = run(PrimIntAsFloat, smallIntOop(7));
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  EXPECT_EQ(*Mem.floatValueOf(result()), 7.0);
+  // The compiled template checks the receiver (the interpreter's seeded
+  // bug is interpreter-only).
+  expectFail(run(PrimIntAsFloat, Mem.nilObject()));
+}
+
+TEST_F(NativeCogitTest, FloatAdd) {
+  Oop A = Mem.allocateFloat(1.5);
+  Oop B = Mem.allocateFloat(2.25);
+  MachineExit E = run(PrimFloatAdd, A, {B});
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  EXPECT_EQ(*Mem.floatValueOf(result()), 3.75);
+}
+
+TEST_F(NativeCogitTest, SeededFloatAddSegfaultsOnIntReceiver) {
+  // Paper §5.3 "Missing compiled type check": the compiled float
+  // primitives skip the receiver check, so a SmallInteger receiver
+  // dereferences an unaligned address — a segmentation fault.
+  Oop B = Mem.allocateFloat(1.0);
+  MachineExit E = run(PrimFloatAdd, smallIntOop(3), {B});
+  EXPECT_EQ(E.Kind, MachExitKind::Segfault);
+}
+
+TEST_F(NativeCogitTest, FixedFloatAddFailsCleanlyOnIntReceiver) {
+  Opts.SeedFloatReceiverCheckMissing = false;
+  Oop B = Mem.allocateFloat(1.0);
+  expectFail(run(PrimFloatAdd, smallIntOop(3), {B}));
+}
+
+TEST_F(NativeCogitTest, FloatArgumentAlwaysChecked) {
+  Oop A = Mem.allocateFloat(1.0);
+  expectFail(run(PrimFloatAdd, A, {smallIntOop(3)}));
+}
+
+TEST_F(NativeCogitTest, FloatComparisonsAndDivide) {
+  Oop A = Mem.allocateFloat(1.0);
+  Oop B = Mem.allocateFloat(2.0);
+  run(PrimFloatLess, A, {B});
+  EXPECT_EQ(result(), Mem.trueObject());
+  Oop Z = Mem.allocateFloat(0.0);
+  expectFail(run(PrimFloatDiv, A, {Z}));
+}
+
+TEST_F(NativeCogitTest, FloatTruncatedAndRounded) {
+  expectIntResult(run(PrimFloatTruncated, Mem.allocateFloat(3.9)), 3);
+  expectIntResult(run(PrimFloatTruncated, Mem.allocateFloat(-3.9)), -3);
+  expectFail(run(PrimFloatTruncated, Mem.allocateFloat(1e19)));
+  expectIntResult(run(PrimFloatRounded, Mem.allocateFloat(3.5)), 4);
+  expectIntResult(run(PrimFloatRounded, Mem.allocateFloat(-3.5)), -4);
+}
+
+TEST_F(NativeCogitTest, FloatTranscendentals) {
+  MachineExit E = run(PrimFloatSqrt, Mem.allocateFloat(9.0));
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  EXPECT_EQ(*Mem.floatValueOf(result()), 3.0);
+  expectFail(run(PrimFloatLn, Mem.allocateFloat(-1.0)));
+  // sqrt keeps its receiver check even with the seed on.
+  expectFail(run(PrimFloatSqrt, smallIntOop(9)));
+}
+
+TEST_F(NativeCogitTest, SimulationErrorSeedOnArm) {
+  // On the arm-like back-end, rounded/fractionPart unbox through F5; a
+  // segfaulting unbox there trips the missing-accessor recovery (the
+  // paper's Simulation Error family).
+  SimOpts.MissingFPAccessors.insert(std::uint8_t(FReg::F5));
+  MachineExit E =
+      run(PrimFloatRounded, smallIntOop(3), {}, armDesc());
+  EXPECT_EQ(E.Kind, MachExitKind::SimulationError);
+  // On x64 the same defect is a plain segfault.
+  MachineExit E2 = run(PrimFloatRounded, smallIntOop(3), {}, x64Desc());
+  EXPECT_EQ(E2.Kind, MachExitKind::Segfault);
+}
+
+TEST_F(NativeCogitTest, ArrayAt) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 3);
+  Mem.storePointerSlot(Arr, 1, smallIntOop(22));
+  MachineExit E = run(PrimAt, Arr, {smallIntOop(2)});
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  EXPECT_EQ(result(), smallIntOop(22));
+  expectFail(run(PrimAt, Arr, {smallIntOop(0)}));
+  expectFail(run(PrimAt, Arr, {smallIntOop(4)}));
+  expectFail(run(PrimAt, smallIntOop(1), {smallIntOop(1)}));
+  Oop P = Mem.allocateInstance(PointClass);
+  expectFail(run(PrimAt, P, {smallIntOop(1)}));
+}
+
+TEST_F(NativeCogitTest, ArrayAtPut) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 2);
+  MachineExit E = run(PrimAtPut, Arr, {smallIntOop(1), smallIntOop(9)});
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  EXPECT_EQ(result(), smallIntOop(9));
+  EXPECT_EQ(*Mem.fetchPointerSlot(Arr, 0), smallIntOop(9));
+}
+
+TEST_F(NativeCogitTest, SizeClassHashIdentity) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 5);
+  expectIntResult(run(PrimSize, Arr), 5);
+  expectFail(run(PrimSize, smallIntOop(1)));
+  expectIntResult(run(PrimClass, smallIntOop(3)), SmallIntegerClass);
+  expectIntResult(run(PrimClass, Arr), ArrayClass);
+  expectIntResult(run(PrimIdentityHash, smallIntOop(77)), 77);
+  MachineExit E = run(PrimIdentityHash, Arr);
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  EXPECT_EQ(result(), smallIntOop(Mem.identityHashOf(Arr)));
+  run(PrimIdentityEquals, Arr, {Arr});
+  EXPECT_EQ(result(), Mem.trueObject());
+}
+
+TEST_F(NativeCogitTest, InstVarAndByteAccess) {
+  Oop P = Mem.allocateInstance(PointClass);
+  Mem.storePointerSlot(P, 0, smallIntOop(5));
+  MachineExit E = run(PrimInstVarAt, P, {smallIntOop(1)});
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  EXPECT_EQ(result(), smallIntOop(5));
+  run(PrimInstVarAtPut, P, {smallIntOop(2), smallIntOop(8)});
+  EXPECT_EQ(*Mem.fetchPointerSlot(P, 1), smallIntOop(8));
+
+  Oop Bytes = Mem.allocateInstance(ByteArrayClass, 4);
+  run(PrimByteAtPut, Bytes, {smallIntOop(3), smallIntOop(200)});
+  EXPECT_EQ(*Mem.fetchByte(Bytes, 2), 200);
+  expectIntResult(run(PrimByteAt, Bytes, {smallIntOop(3)}), 200);
+  expectFail(run(PrimByteAtPut, Bytes, {smallIntOop(1), smallIntOop(256)}));
+}
+
+TEST_F(NativeCogitTest, BasicNew) {
+  MachineExit E = run(PrimBasicNew, smallIntOop(PointClass));
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  EXPECT_EQ(Mem.classIndexOf(result()), PointClass);
+  expectFail(run(PrimBasicNew, smallIntOop(ArrayClass))); // indexable
+  expectFail(run(PrimBasicNew, smallIntOop(9999)));
+
+  MachineExit E2 =
+      run(PrimBasicNewSized, smallIntOop(ArrayClass), {smallIntOop(4)});
+  ASSERT_EQ(E2.Kind, MachExitKind::Returned);
+  EXPECT_EQ(Mem.slotCountOf(result()), 4u);
+  expectFail(
+      run(PrimBasicNewSized, smallIntOop(ArrayClass), {smallIntOop(-1)}));
+}
+
+TEST_F(NativeCogitTest, ShallowCopyLoop) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 3);
+  Mem.storePointerSlot(Arr, 0, smallIntOop(1));
+  Mem.storePointerSlot(Arr, 2, smallIntOop(3));
+  MachineExit E = run(PrimShallowCopy, Arr);
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  Oop Copy = result();
+  EXPECT_NE(Copy, Arr);
+  EXPECT_EQ(Mem.slotCountOf(Copy), 3u);
+  EXPECT_EQ(*Mem.fetchPointerSlot(Copy, 0), smallIntOop(1));
+  EXPECT_EQ(*Mem.fetchPointerSlot(Copy, 2), smallIntOop(3));
+}
+
+TEST_F(NativeCogitTest, FFIStubsWhenSeeded) {
+  Oop Bytes = Mem.allocateInstance(ByteArrayClass, 8);
+  MachineExit E = run(PrimFFILoadInt8, Bytes, {smallIntOop(0)});
+  EXPECT_EQ(E.Kind, MachExitKind::Breakpoint);
+  EXPECT_EQ(E.Marker, MarkerNotImplemented);
+}
+
+TEST_F(NativeCogitTest, FFIImplementedWhenSeedDisabled) {
+  Opts.SeedFFINotImplemented = false;
+  Oop Bytes = Mem.allocateInstance(ByteArrayClass, 4);
+  Mem.storeByte(Bytes, 0, 0x34);
+  Mem.storeByte(Bytes, 1, 0x12);
+  expectIntResult(run(PrimFFILoadInt16, Bytes, {smallIntOop(0)}), 0x1234);
+  Mem.storeByte(Bytes, 2, 0xFF);
+  expectIntResult(run(PrimFFILoadInt8, Bytes, {smallIntOop(2)}), -1);
+  expectIntResult(run(PrimFFILoadUInt8, Bytes, {smallIntOop(2)}), 255);
+  expectFail(run(PrimFFILoadInt32, Bytes, {smallIntOop(2)})); // bounds
+
+  MachineExit E =
+      run(PrimFFIStoreInt16, Bytes, {smallIntOop(0), smallIntOop(-2)});
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  EXPECT_EQ(*Mem.fetchByte(Bytes, 0), 0xFE);
+  EXPECT_EQ(*Mem.fetchByte(Bytes, 1), 0xFF);
+}
+
+TEST_F(NativeCogitTest, FFIFloatRoundTripWhenSeedDisabled) {
+  Opts.SeedFFINotImplemented = false;
+  Oop Bytes = Mem.allocateInstance(ByteArrayClass, 8);
+  Oop F = Mem.allocateFloat(2.5);
+  MachineExit E = run(PrimFFIStoreFloat64, Bytes, {smallIntOop(0), F});
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  MachineExit E2 = run(PrimFFILoadFloat64, Bytes, {smallIntOop(0)});
+  ASSERT_EQ(E2.Kind, MachExitKind::Returned);
+  EXPECT_EQ(*Mem.floatValueOf(result()), 2.5);
+}
+
+TEST_F(NativeCogitTest, ArmBackendProducesSameResults) {
+  expectIntResult(
+      run(PrimIntAdd, smallIntOop(2), {smallIntOop(3)}, armDesc()), 5);
+  expectFail(run(PrimIntAdd, smallIntOop(MaxSmallInt), {smallIntOop(1)},
+                 armDesc()));
+  Oop Arr = Mem.allocateInstance(ArrayClass, 3);
+  Mem.storePointerSlot(Arr, 1, smallIntOop(22));
+  MachineExit E = run(PrimAt, Arr, {smallIntOop(2)}, armDesc());
+  ASSERT_EQ(E.Kind, MachExitKind::Returned);
+  EXPECT_EQ(result(), smallIntOop(22));
+}
+
+} // namespace

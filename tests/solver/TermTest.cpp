@@ -1,0 +1,150 @@
+//===- tests/solver/TermTest.cpp ----------------------------------------------===//
+//
+// Term construction, hash-consing, evaluation and printing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/Term.h"
+
+#include "solver/TermEval.h"
+#include "solver/TermPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+class TermTest : public ::testing::Test {
+protected:
+  ClassTable Classes;
+  TermBuilder B;
+};
+
+TEST_F(TermTest, VariablesAreHashConsed) {
+  EXPECT_EQ(B.objVar(VarRole::StackSlot, 0), B.objVar(VarRole::StackSlot, 0));
+  EXPECT_NE(B.objVar(VarRole::StackSlot, 0), B.objVar(VarRole::StackSlot, 1));
+  EXPECT_NE(B.objVar(VarRole::StackSlot, 0), B.objVar(VarRole::Local, 0));
+  const ObjTerm *P = B.objVar(VarRole::Receiver, 0);
+  EXPECT_EQ(B.objVar(VarRole::SlotOf, 2, P), B.objVar(VarRole::SlotOf, 2, P));
+}
+
+TEST_F(TermTest, LeavesAreHashConsed) {
+  const ObjTerm *V = B.objVar(VarRole::StackSlot, 0);
+  EXPECT_EQ(B.valueOf(V), B.valueOf(V));
+  EXPECT_EQ(B.slotCount(V), B.slotCount(V));
+  EXPECT_EQ(B.stackSize(), B.stackSize());
+  EXPECT_EQ(B.byteAt(V, 3), B.byteAt(V, 3));
+  EXPECT_NE(B.byteAt(V, 3), B.byteAt(V, 4));
+  EXPECT_EQ(B.loadLE(V, 0, 4, true), B.loadLE(V, 0, 4, true));
+  EXPECT_NE(B.loadLE(V, 0, 4, true), B.loadLE(V, 0, 4, false));
+  EXPECT_EQ(B.intConst(5), B.intConst(5));
+}
+
+TEST_F(TermTest, EvaluatesArithmetic) {
+  Model M;
+  const ObjTerm *V = B.objVar(VarRole::StackSlot, 0);
+  M.Objects[V].ClassIndex = SmallIntegerClass;
+  M.Objects[V].IntValue = 10;
+  TermEvaluator Eval(M, Classes);
+
+  const IntTerm *Expr = B.binInt(
+      IntTerm::Kind::Mul,
+      B.binInt(IntTerm::Kind::Add, B.valueOf(V), B.intConst(5)),
+      B.intConst(2));
+  EXPECT_EQ(*Eval.evalInt(Expr), 30);
+
+  const IntTerm *Mod = B.binInt(IntTerm::Kind::ModFloor, B.valueOf(V),
+                                B.intConst(-3));
+  EXPECT_EQ(*Eval.evalInt(Mod), -2); // floored modulo
+
+  EXPECT_FALSE(Eval.evalInt(B.binInt(IntTerm::Kind::Quo, B.intConst(1),
+                                     B.intConst(0)))
+                   .has_value());
+}
+
+TEST_F(TermTest, EvaluatesFloats) {
+  Model M;
+  const ObjTerm *V = B.objVar(VarRole::StackSlot, 0);
+  M.Objects[V].ClassIndex = BoxedFloatClass;
+  M.Objects[V].FloatValue = 2.25;
+  TermEvaluator Eval(M, Classes);
+
+  EXPECT_EQ(*Eval.evalFloat(B.binFloat(FloatTerm::Kind::Add,
+                                       B.floatValueOf(V), B.floatConst(1.0))),
+            3.25);
+  EXPECT_EQ(*Eval.evalFloat(B.ofInt(B.intConst(4))), 4.0);
+  EXPECT_EQ(*Eval.evalInt(B.truncF(B.floatValueOf(V))), 2);
+  EXPECT_EQ(*Eval.evalFloat(B.unFloat(FloatTerm::Kind::Frac,
+                                      B.floatValueOf(V))),
+            0.25);
+}
+
+TEST_F(TermTest, EvaluatesBooleans) {
+  Model M;
+  const ObjTerm *V = B.objVar(VarRole::StackSlot, 0);
+  M.Objects[V].ClassIndex = SmallIntegerClass;
+  M.Objects[V].IntValue = 5;
+  TermEvaluator Eval(M, Classes);
+
+  EXPECT_TRUE(*Eval.evalBool(B.isClass(V, SmallIntegerClass)));
+  EXPECT_FALSE(*Eval.evalBool(B.isClass(V, BoxedFloatClass)));
+  EXPECT_TRUE(*Eval.evalBool(
+      B.icmp(CmpPred::Lt, B.valueOf(V), B.intConst(6))));
+  EXPECT_FALSE(*Eval.evalBool(
+      B.notB(B.icmp(CmpPred::Lt, B.valueOf(V), B.intConst(6)))));
+  // Immediates have no storage format.
+  EXPECT_FALSE(*Eval.evalBool(
+      B.hasFormat(V, formatBit(ObjectFormat::Pointers))));
+}
+
+TEST_F(TermTest, OracleResolvesOpaqueLeaves) {
+  struct Oracle : LeafOracle {
+    std::optional<std::int64_t> intLeaf(const IntTerm *T) override {
+      if (T->TermKind == IntTerm::Kind::UncheckedValueOf)
+        return 42;
+      return std::nullopt;
+    }
+  };
+  Model M;
+  Oracle O;
+  TermEvaluator Eval(M, Classes, &O);
+  const ObjTerm *V = B.objVar(VarRole::Receiver, 0);
+  EXPECT_EQ(*Eval.evalInt(B.uncheckedValueOf(V)), 42);
+  // Without an oracle the leaf is unresolvable.
+  TermEvaluator NoOracle(M, Classes);
+  EXPECT_FALSE(NoOracle.evalInt(B.uncheckedValueOf(V)).has_value());
+}
+
+TEST_F(TermTest, PrintsPaperNotation) {
+  const ObjTerm *S0 = B.objVar(VarRole::StackSlot, 0);
+  const ObjTerm *S1 = B.objVar(VarRole::StackSlot, 1);
+  EXPECT_EQ(printBoolTerm(B.isClass(S0, SmallIntegerClass)),
+            "isInteger(s0)");
+  EXPECT_EQ(printBoolTerm(B.notB(B.isClass(S0, SmallIntegerClass))),
+            "isNotInteger(s0)");
+  EXPECT_EQ(printBoolTerm(B.isClass(S0, BoxedFloatClass)), "isFloat(s0)");
+  const IntTerm *Sum =
+      B.binInt(IntTerm::Kind::Add, B.valueOf(S1), B.valueOf(S0));
+  EXPECT_EQ(printIntTerm(Sum), "(s1 + s0)");
+  EXPECT_EQ(printIntTerm(B.stackSize()), "operand_stack_size");
+  const ObjTerm *Slot = B.objVar(VarRole::SlotOf, 1, S0);
+  EXPECT_EQ(printObjTerm(Slot), "s0.slot1");
+}
+
+TEST_F(TermTest, PrintsPathConditions) {
+  const ObjTerm *S0 = B.objVar(VarRole::StackSlot, 0);
+  std::string Text = printPathCondition(
+      {B.isClass(S0, SmallIntegerClass),
+       B.icmp(CmpPred::Lt, B.valueOf(S0), B.intConst(10))});
+  EXPECT_NE(Text.find("isInteger(s0)"), std::string::npos);
+  EXPECT_NE(Text.find("s0 < 10"), std::string::npos);
+}
+
+TEST_F(TermTest, DoubleNegationCollapses) {
+  const ObjTerm *S0 = B.objVar(VarRole::StackSlot, 0);
+  const BoolTerm *A = B.isClass(S0, SmallIntegerClass);
+  EXPECT_EQ(B.notB(B.notB(A)), A);
+}
+
+} // namespace

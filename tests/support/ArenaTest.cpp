@@ -1,0 +1,64 @@
+//===- tests/support/ArenaTest.cpp ------------------------------------------===//
+
+#include "support/Arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+using namespace igdt;
+
+TEST(ArenaTest, AllocatesAlignedMemory) {
+  Arena A;
+  void *P1 = A.allocate(1, 1);
+  void *P8 = A.allocate(8, 8);
+  void *P16 = A.allocate(16, 16);
+  EXPECT_NE(P1, nullptr);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P8) % 8, 0u);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(P16) % 16, 0u);
+}
+
+TEST(ArenaTest, CreateConstructsObject) {
+  struct Pair {
+    int A;
+    int B;
+  };
+  Arena Arena;
+  Pair *P = Arena.create<Pair>(3, 4);
+  EXPECT_EQ(P->A, 3);
+  EXPECT_EQ(P->B, 4);
+}
+
+TEST(ArenaTest, TracksBytesAllocated) {
+  Arena A;
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  A.allocate(100, 8);
+  EXPECT_EQ(A.bytesAllocated(), 100u);
+}
+
+TEST(ArenaTest, GrowsBeyondOneSlab) {
+  Arena A;
+  // Allocate more than one 64 KiB slab in small pieces.
+  for (int I = 0; I < 10000; ++I) {
+    void *P = A.allocate(16, 8);
+    ASSERT_NE(P, nullptr);
+  }
+  EXPECT_GE(A.bytesAllocated(), 160000u);
+}
+
+TEST(ArenaTest, HandlesOversizedAllocation) {
+  Arena A;
+  void *Big = A.allocate(1024 * 1024, 8);
+  ASSERT_NE(Big, nullptr);
+  // The arena stays usable afterwards.
+  void *Small = A.allocate(8, 8);
+  EXPECT_NE(Small, nullptr);
+}
+
+TEST(ArenaTest, ResetReleasesEverything) {
+  Arena A;
+  A.allocate(1000, 8);
+  A.reset();
+  EXPECT_EQ(A.bytesAllocated(), 0u);
+  EXPECT_NE(A.allocate(8, 8), nullptr);
+}

@@ -1,0 +1,85 @@
+//===- tests/support/IntMathTest.cpp ----------------------------------------===//
+
+#include "support/IntMath.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+TEST(IntMathTest, AddSaturates) {
+  EXPECT_EQ(addSat(1, 2), 3);
+  EXPECT_EQ(addSat(SatMax, 1), SatMax);
+  EXPECT_EQ(addSat(SatMin, -1), SatMin);
+}
+
+TEST(IntMathTest, SubSaturates) {
+  EXPECT_EQ(subSat(5, 7), -2);
+  EXPECT_EQ(subSat(SatMin, 1), SatMin);
+  EXPECT_EQ(subSat(SatMax, -1), SatMax);
+}
+
+TEST(IntMathTest, MulSaturates) {
+  EXPECT_EQ(mulSat(6, 7), 42);
+  EXPECT_EQ(mulSat(std::int64_t(1) << 40, std::int64_t(1) << 40), SatMax);
+  EXPECT_EQ(mulSat(std::int64_t(1) << 40, -(std::int64_t(1) << 40)), SatMin);
+}
+
+TEST(IntMathTest, NegSaturates) {
+  EXPECT_EQ(negSat(5), -5);
+  EXPECT_EQ(negSat(SatMin), SatMax);
+}
+
+TEST(IntMathTest, TruncDivMatchesC) {
+  EXPECT_EQ(truncDiv(7, 2), 3);
+  EXPECT_EQ(truncDiv(-7, 2), -3);
+  EXPECT_EQ(truncDiv(7, -2), -3);
+  EXPECT_EQ(truncDiv(SatMin, -1), SatMax);
+}
+
+TEST(IntMathTest, FloorDivRoundsTowardNegativeInfinity) {
+  EXPECT_EQ(floorDiv(7, 2), 3);
+  EXPECT_EQ(floorDiv(-7, 2), -4);
+  EXPECT_EQ(floorDiv(7, -2), -4);
+  EXPECT_EQ(floorDiv(-7, -2), 3);
+  EXPECT_EQ(floorDiv(-8, 2), -4);
+}
+
+TEST(IntMathTest, FloorModHasDivisorSign) {
+  EXPECT_EQ(floorMod(7, 2), 1);
+  EXPECT_EQ(floorMod(-7, 2), 1);
+  EXPECT_EQ(floorMod(7, -2), -1);
+  EXPECT_EQ(floorMod(-7, -2), -1);
+  EXPECT_EQ(floorMod(-8, 2), 0);
+}
+
+TEST(IntMathTest, FloorDivModIdentity) {
+  // a == (a // b) * b + (a \\ b) for many operand sign combinations.
+  const std::int64_t Values[] = {-17, -5, -1, 1, 3, 8, 23};
+  for (std::int64_t A : Values)
+    for (std::int64_t B : Values)
+      EXPECT_EQ(floorDiv(A, B) * B + floorMod(A, B), A)
+          << "a=" << A << " b=" << B;
+}
+
+TEST(IntMathTest, ShlSaturates) {
+  EXPECT_EQ(shlSat(1, 3), 8);
+  EXPECT_EQ(shlSat(0, 100), 0);
+  EXPECT_EQ(shlSat(1, 63), SatMax);
+  EXPECT_EQ(shlSat(-1, 63), SatMin);
+  EXPECT_EQ(shlSat(3, 62), SatMax);
+}
+
+TEST(IntMathTest, AsrShiftsArithmetically) {
+  EXPECT_EQ(asr(-8, 1), -4);
+  EXPECT_EQ(asr(8, 2), 2);
+  EXPECT_EQ(asr(-1, 100), -1);
+  EXPECT_EQ(asr(5, 100), 0);
+}
+
+TEST(IntMathTest, HighBit) {
+  EXPECT_EQ(highBit(0), 0);
+  EXPECT_EQ(highBit(1), 1);
+  EXPECT_EQ(highBit(2), 2);
+  EXPECT_EQ(highBit(3), 2);
+  EXPECT_EQ(highBit(1024), 11);
+}

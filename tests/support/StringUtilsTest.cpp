@@ -1,0 +1,35 @@
+//===- tests/support/StringUtilsTest.cpp ------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+TEST(StringUtilsTest, FormatString) {
+  EXPECT_EQ(formatString("x=%d y=%s", 3, "abc"), "x=3 y=abc");
+  EXPECT_EQ(formatString("%s", ""), "");
+}
+
+TEST(StringUtilsTest, FormatLongString) {
+  std::string Long(500, 'a');
+  EXPECT_EQ(formatString("%s", Long.c_str()).size(), 500u);
+}
+
+TEST(StringUtilsTest, JoinStrings) {
+  EXPECT_EQ(joinStrings({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(joinStrings({"solo"}, ", "), "solo");
+  EXPECT_EQ(joinStrings({}, ", "), "");
+}
+
+TEST(StringUtilsTest, ToHex) {
+  EXPECT_EQ(toHex(0), "0x0");
+  EXPECT_EQ(toHex(255), "0xff");
+  EXPECT_EQ(toHex(0xDEADBEEFull), "0xdeadbeef");
+}
+
+TEST(StringUtilsTest, FormatPercent) {
+  EXPECT_EQ(formatPercent(0.2895), "28.95%");
+  EXPECT_EQ(formatPercent(0.0), "0.00%");
+  EXPECT_EQ(formatPercent(1.0), "100.00%");
+}

@@ -1,0 +1,41 @@
+//===- tests/support/TablePrinterTest.cpp -----------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+TEST(TablePrinterTest, RendersHeaderAndRows) {
+  TablePrinter T({"Compiler", "Paths"});
+  T.addRow({"Simple", "1308"});
+  T.addRow({"StackToRegister", "1308"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("Compiler"), std::string::npos);
+  EXPECT_NE(Out.find("StackToRegister"), std::string::npos);
+  // Header separator exists.
+  EXPECT_NE(Out.find("---"), std::string::npos);
+}
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter T({"A", "B"});
+  T.addRow({"x", "y"});
+  T.addRow({"longer", "z"});
+  std::string Out = T.render();
+  // Every line has the same length because cells are padded.
+  std::size_t FirstLine = Out.find('\n');
+  std::size_t Len = FirstLine;
+  std::size_t Pos = 0;
+  while (Pos < Out.size()) {
+    std::size_t Next = Out.find('\n', Pos);
+    EXPECT_EQ(Next - Pos, Len);
+    Pos = Next + 1;
+  }
+}
+
+TEST(TablePrinterTest, ShortRowsArePadded) {
+  TablePrinter T({"A", "B", "C"});
+  T.addRow({"only-a"});
+  std::string Out = T.render();
+  EXPECT_NE(Out.find("only-a"), std::string::npos);
+}

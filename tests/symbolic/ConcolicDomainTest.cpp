@@ -1,0 +1,165 @@
+//===- tests/symbolic/ConcolicDomainTest.cpp ----------------------------------------===//
+//
+// The instrumented domain: constraint recording, constant folding,
+// concretisation pins and side-effect records.
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/ConcolicDomain.h"
+
+#include "solver/TermPrinter.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+class ConcolicDomainTest : public ::testing::Test {
+protected:
+  ConcolicDomainTest() : Dom(Mem, Cfg, B, Rec) {}
+
+  ConcolicValue var(VarRole Role, int Index, Oop Concrete) {
+    return {Concrete, B.objVar(Role, Index)};
+  }
+
+  ObjectMemory Mem{256 * 1024};
+  VMConfig Cfg;
+  TermBuilder B;
+  PathRecorder Rec;
+  ConcolicDomain Dom;
+};
+
+TEST_F(ConcolicDomainTest, TypePredicatesRecordOnVariables) {
+  ConcolicValue V = var(VarRole::StackSlot, 0, smallIntOop(5));
+  EXPECT_TRUE(Dom.isSmallInteger(V));
+  ASSERT_EQ(Rec.entries().size(), 1u);
+  EXPECT_TRUE(Rec.entries()[0].Taken);
+  EXPECT_EQ(printBoolTerm(Rec.entries()[0].Condition), "isInteger(s0)");
+}
+
+TEST_F(ConcolicDomainTest, TypePredicatesFoldOnConstants) {
+  ConcolicValue C = Dom.literalValue(smallIntOop(5));
+  EXPECT_TRUE(Dom.isSmallInteger(C));
+  ConcolicValue N = Dom.nilValue();
+  EXPECT_FALSE(Dom.isSmallInteger(N));
+  EXPECT_TRUE(Rec.entries().empty()) << "constants must not fork paths";
+}
+
+TEST_F(ConcolicDomainTest, ArithmeticFoldsConstants) {
+  ConcolicInt A = Dom.intConst(2);
+  ConcolicInt C = Dom.addI(A, Dom.intConst(3));
+  EXPECT_EQ(C.C, 5);
+  EXPECT_EQ(C.S->TermKind, IntTerm::Kind::Const);
+  EXPECT_FALSE(Dom.lessI(C, Dom.intConst(4)));
+  EXPECT_TRUE(Rec.entries().empty());
+}
+
+TEST_F(ConcolicDomainTest, ArithmeticBuildsTermsOverVariables) {
+  ConcolicValue V = var(VarRole::StackSlot, 0, smallIntOop(5));
+  ConcolicInt I = Dom.integerValueOf(V);
+  ConcolicInt Sum = Dom.addI(I, Dom.intConst(1));
+  EXPECT_EQ(Sum.C, 6);
+  EXPECT_EQ(printIntTerm(Sum.S), "(s0 + 1)");
+}
+
+TEST_F(ConcolicDomainTest, OverflowCheckRecordsCompoundCondition) {
+  ConcolicValue V = var(VarRole::StackSlot, 0, smallIntOop(5));
+  ConcolicInt I = Dom.integerValueOf(V);
+  EXPECT_TRUE(Dom.isIntegerValue(I));
+  ASSERT_EQ(Rec.entries().size(), 1u);
+  EXPECT_EQ(Rec.entries()[0].Condition->TermKind, BoolTerm::Kind::And);
+}
+
+TEST_F(ConcolicDomainTest, PinsAreNotNegatable) {
+  ConcolicValue V = var(VarRole::StackSlot, 0, smallIntOop(7));
+  ConcolicInt I = Dom.integerValueOf(V);
+  EXPECT_EQ(Dom.pinInt(I), 7);
+  ASSERT_EQ(Rec.entries().size(), 1u);
+  EXPECT_FALSE(Rec.entries()[0].Negatable);
+  // Pinning a constant records nothing.
+  Dom.pinInt(Dom.intConst(3));
+  EXPECT_EQ(Rec.entries().size(), 1u);
+}
+
+TEST_F(ConcolicDomainTest, StackDepthChecksTranslateToInputTerms) {
+  Dom.InputStackDepth = 1;
+  // Two pushes happened since entry: concrete depth 3, needing 2 is
+  // statically satisfied in input terms (2 - 2 <= 0): nothing recorded.
+  EXPECT_TRUE(Dom.checkStackDepth(3, 2));
+  EXPECT_TRUE(Rec.entries().empty());
+  // Needing 4 requires two *input* entries.
+  EXPECT_FALSE(Dom.checkStackDepth(3, 4));
+  ASSERT_EQ(Rec.entries().size(), 1u);
+  EXPECT_EQ(printBoolTerm(Rec.entries()[0].Condition),
+            "2 <= operand_stack_size");
+  EXPECT_FALSE(Rec.entries()[0].Taken);
+}
+
+TEST_F(ConcolicDomainTest, SlotAccessCreatesChildVariablesAndShadows) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 2);
+  Mem.storePointerSlot(Arr, 1, smallIntOop(9));
+  ConcolicValue V = var(VarRole::Receiver, 0, Arr);
+
+  ConcolicValue Slot = Dom.fetchSlot(V, Dom.intConst(1));
+  EXPECT_EQ(Slot.C, smallIntOop(9));
+  ASSERT_TRUE(Slot.S->isVar());
+  EXPECT_EQ(printObjTerm(Slot.S), "receiver.slot1");
+
+  // A store shadows subsequent fetches.
+  ConcolicValue New = Dom.literalValue(smallIntOop(4));
+  Dom.storeSlot(V, Dom.intConst(1), New);
+  ConcolicValue Again = Dom.fetchSlot(V, Dom.intConst(1));
+  EXPECT_EQ(Again.C, smallIntOop(4));
+  EXPECT_EQ(Again.S, New.S);
+  ASSERT_EQ(Dom.SlotStores.size(), 1u);
+  EXPECT_EQ(Dom.SlotStores[0].Index, 1);
+}
+
+TEST_F(ConcolicDomainTest, AllocationsAreRecorded) {
+  ConcolicValue New = Dom.allocateInstance(PointClass, Dom.intConst(0));
+  EXPECT_TRUE(Mem.isHeapObject(New.C));
+  EXPECT_EQ(New.S->TermKind, ObjTerm::Kind::NewObj);
+  ASSERT_EQ(Dom.Allocations.size(), 1u);
+  EXPECT_EQ(Dom.Allocations[0].ClassIndex, PointClass);
+}
+
+TEST_F(ConcolicDomainTest, IdentityAgainstSingletonsRecordsClassAtoms) {
+  ConcolicValue V = var(VarRole::StackSlot, 0, Mem.trueObject());
+  EXPECT_TRUE(Dom.isTrueObject(V));
+  ASSERT_EQ(Rec.entries().size(), 1u);
+  EXPECT_EQ(printBoolTerm(Rec.entries()[0].Condition), "isTrue(s0)");
+}
+
+TEST_F(ConcolicDomainTest, IdentityBetweenVariablesRecordsObjEq) {
+  ConcolicValue A = var(VarRole::StackSlot, 0, smallIntOop(1));
+  ConcolicValue C = var(VarRole::StackSlot, 1, smallIntOop(1));
+  EXPECT_TRUE(Dom.sameObjectAs(A, C));
+  ASSERT_EQ(Rec.entries().size(), 1u);
+  EXPECT_EQ(Rec.entries()[0].Condition->TermKind, BoolTerm::Kind::ObjEq);
+}
+
+TEST_F(ConcolicDomainTest, IdentityAgainstFreshBoxesIsStatic) {
+  ConcolicValue V = var(VarRole::StackSlot, 0, smallIntOop(1));
+  ConcolicValue Box = Dom.floatObjectOf(Dom.floatConst(1.5));
+  EXPECT_FALSE(Dom.sameObjectAs(V, Box));
+  EXPECT_TRUE(Rec.entries().empty());
+}
+
+TEST_F(ConcolicDomainTest, ByteStoresRecordEffects) {
+  Oop Bytes = Mem.allocateInstance(ByteArrayClass, 4);
+  ConcolicValue V = var(VarRole::Receiver, 0, Bytes);
+  Dom.storeBytesLE(V, Dom.intConst(1), 2, Dom.intConst(-2));
+  EXPECT_EQ(*Mem.fetchByte(Bytes, 1), 0xFE);
+  ASSERT_EQ(Dom.ByteStores.size(), 1u);
+  EXPECT_EQ(Dom.ByteStores[0].Width, 2u);
+  EXPECT_EQ(Dom.ByteStores[0].Offset, 1);
+}
+
+TEST_F(ConcolicDomainTest, BooleanResultsAreSingletonConstants) {
+  ConcolicValue V = Dom.booleanValue(true);
+  EXPECT_EQ(V.C, Mem.trueObject());
+  EXPECT_EQ(V.S->TermKind, ObjTerm::Kind::Const);
+}
+
+} // namespace

@@ -1,0 +1,139 @@
+//===- tests/symbolic/FrameMaterializerTest.cpp -----------------------------------===//
+//
+// Model -> concrete frame materialisation (paper §3.2).
+//
+//===----------------------------------------------------------------------===//
+
+#include "symbolic/FrameMaterializer.h"
+
+#include "vm/MethodBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+class MaterializerTest : public ::testing::Test {
+protected:
+  MaterializerTest() : Mat(Mem, B) {
+    Method = MethodBuilder("m").numTemps(2).pop().build();
+  }
+
+  ObjectMemory Mem{256 * 1024};
+  TermBuilder B;
+  FrameMaterializer Mat;
+  CompiledMethod Method;
+};
+
+TEST_F(MaterializerTest, EmptyModelGivesEmptyStackAndDefaults) {
+  Model M;
+  MaterializedFrame F = Mat.materialize(M, Method);
+  EXPECT_EQ(F.StackDepth, 0);
+  EXPECT_TRUE(F.Concrete.Stack.empty());
+  EXPECT_EQ(F.Concrete.Locals.size(), 2u);
+  // Unconstrained variables default to SmallInteger 0.
+  EXPECT_EQ(F.Concrete.Receiver, smallIntOop(0));
+  EXPECT_EQ(F.Concrete.Locals[0], smallIntOop(0));
+}
+
+TEST_F(MaterializerTest, StackSizeFromModel) {
+  Model M;
+  M.IntLeaves[B.stackSize()] = 3;
+  MaterializedFrame F = Mat.materialize(M, Method);
+  EXPECT_EQ(F.Concrete.Stack.size(), 3u);
+  // Symbolic halves carry the structural variables, indexed from the
+  // TOP of the stack (paper Fig. 2): s0 is the top entry.
+  EXPECT_EQ(F.Concolic.Stack[2].S, B.objVar(VarRole::StackSlot, 0));
+  EXPECT_EQ(F.Concolic.Stack[0].S, B.objVar(VarRole::StackSlot, 2));
+}
+
+TEST_F(MaterializerTest, SmallIntAndFloatAssignments) {
+  const ObjTerm *S0 = B.objVar(VarRole::StackSlot, 0);
+  const ObjTerm *S1 = B.objVar(VarRole::StackSlot, 1);
+  Model M;
+  M.IntLeaves[B.stackSize()] = 2;
+  M.Objects[S0] = {SmallIntegerClass, -42, 0, 0};
+  M.Objects[S1] = {BoxedFloatClass, 0, 2.5, 1};
+  MaterializedFrame F = Mat.materialize(M, Method);
+  // s0 names the TOP of the stack, s1 the slot below it.
+  EXPECT_EQ(F.Concrete.Stack[1], smallIntOop(-42));
+  EXPECT_EQ(*Mem.floatValueOf(F.Concrete.Stack[0]), 2.5);
+}
+
+TEST_F(MaterializerTest, WellKnownSingletons) {
+  const ObjTerm *R = B.objVar(VarRole::Receiver, 0);
+  Model M;
+  M.Objects[R] = {TrueClass, 0, 0, 0};
+  MaterializedFrame F = Mat.materialize(M, Method);
+  EXPECT_EQ(F.Concrete.Receiver, Mem.trueObject());
+}
+
+TEST_F(MaterializerTest, SyntheticClassForPlainObjectWithSlots) {
+  const ObjTerm *R = B.objVar(VarRole::Receiver, 0);
+  Model M;
+  M.Objects[R] = {PlainObjectClass, 0, 0, 5};
+  MaterializedFrame F = Mat.materialize(M, Method);
+  ASSERT_TRUE(Mem.isHeapObject(F.Concrete.Receiver));
+  EXPECT_EQ(Mem.slotCountOf(F.Concrete.Receiver), 5u);
+  EXPECT_EQ(Mem.formatOf(F.Concrete.Receiver), ObjectFormat::Pointers);
+}
+
+TEST_F(MaterializerTest, ArrayWithConstrainedSlotContents) {
+  const ObjTerm *R = B.objVar(VarRole::Receiver, 0);
+  const ObjTerm *Slot1 = B.objVar(VarRole::SlotOf, 1, R);
+  Model M;
+  M.Objects[R] = {ArrayClass, 0, 0, 3};
+  M.Objects[Slot1] = {SmallIntegerClass, 99, 0, 0};
+  MaterializedFrame F = Mat.materialize(M, Method);
+  EXPECT_EQ(*Mem.fetchPointerSlot(F.Concrete.Receiver, 1), smallIntOop(99));
+  // Unconstrained slots default to nil.
+  EXPECT_EQ(*Mem.fetchPointerSlot(F.Concrete.Receiver, 0), Mem.nilObject());
+}
+
+TEST_F(MaterializerTest, ByteContentsFromLeaves) {
+  const ObjTerm *R = B.objVar(VarRole::Receiver, 0);
+  Model M;
+  M.Objects[R] = {ByteArrayClass, 0, 0, 4};
+  M.IntLeaves[B.byteAt(R, 2)] = 0xAB;
+  M.IntLeaves[B.loadLE(R, 0, 2, true)] = -2; // 0xFFFE little endian
+  MaterializedFrame F = Mat.materialize(M, Method);
+  EXPECT_EQ(*Mem.fetchByte(F.Concrete.Receiver, 2), 0xAB);
+  EXPECT_EQ(*Mem.fetchByte(F.Concrete.Receiver, 0), 0xFE);
+  EXPECT_EQ(*Mem.fetchByte(F.Concrete.Receiver, 1), 0xFF);
+}
+
+TEST_F(MaterializerTest, UnifiedVariablesShareOneObject) {
+  const ObjTerm *S0 = B.objVar(VarRole::StackSlot, 0);
+  const ObjTerm *S1 = B.objVar(VarRole::StackSlot, 1);
+  Model M;
+  M.IntLeaves[B.stackSize()] = 2;
+  M.Reps[S0] = S1;
+  M.Reps[S1] = S1;
+  M.Objects[S1] = {ArrayClass, 0, 0, 1};
+  MaterializedFrame F = Mat.materialize(M, Method);
+  EXPECT_EQ(F.Concrete.Stack[0], F.Concrete.Stack[1]);
+}
+
+TEST_F(MaterializerTest, BindingsRecordEveryMaterialisedVariable) {
+  const ObjTerm *S0 = B.objVar(VarRole::StackSlot, 0);
+  Model M;
+  M.IntLeaves[B.stackSize()] = 1;
+  M.Objects[S0] = {ArrayClass, 0, 0, 2};
+  MaterializedFrame F = Mat.materialize(M, Method);
+  ASSERT_TRUE(F.Bindings.count(S0));
+  EXPECT_EQ(F.Bindings.at(S0), F.Concrete.Stack[0]);
+}
+
+TEST_F(MaterializerTest, ValueClampedToSmallIntRange) {
+  const ObjTerm *R = B.objVar(VarRole::Receiver, 0);
+  Model M;
+  ObjAssignment A;
+  A.ClassIndex = SmallIntegerClass;
+  A.IntValue = std::numeric_limits<std::int64_t>::max();
+  M.Objects[R] = A;
+  MaterializedFrame F = Mat.materialize(M, Method);
+  EXPECT_EQ(F.Concrete.Receiver, smallIntOop(MaxSmallInt));
+}
+
+} // namespace

@@ -1,0 +1,149 @@
+//===- tests/vm/BytecodesTest.cpp -------------------------------------------===//
+
+#include "vm/Bytecodes.h"
+#include "vm/MethodBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+TEST(BytecodesTest, DecodeShortForms) {
+  std::vector<std::uint8_t> Code = {BCPushLocalShort + 3,
+                                    BCPushLiteralShort + 5,
+                                    BCPushInstVarShort + 1, BCPop};
+  auto D0 = decodeBytecode(Code, 0);
+  ASSERT_TRUE(D0);
+  EXPECT_EQ(D0->Op, Operation::PushLocal);
+  EXPECT_EQ(D0->A, 3);
+  EXPECT_EQ(D0->Length, 1);
+
+  auto D1 = decodeBytecode(Code, 1);
+  EXPECT_EQ(D1->Op, Operation::PushLiteral);
+  EXPECT_EQ(D1->A, 5);
+
+  auto D2 = decodeBytecode(Code, 2);
+  EXPECT_EQ(D2->Op, Operation::PushInstVar);
+  EXPECT_EQ(D2->A, 1);
+
+  auto D3 = decodeBytecode(Code, 3);
+  EXPECT_EQ(D3->Op, Operation::Pop);
+}
+
+TEST(BytecodesTest, DecodeExtendedForms) {
+  std::vector<std::uint8_t> Code = {BCPushLocalExt, 200};
+  auto D = decodeBytecode(Code, 0);
+  ASSERT_TRUE(D);
+  EXPECT_EQ(D->Op, Operation::PushLocal);
+  EXPECT_EQ(D->A, 200);
+  EXPECT_EQ(D->Length, 2);
+}
+
+TEST(BytecodesTest, DecodeTruncatedExtendedFormFails) {
+  std::vector<std::uint8_t> Code = {BCPushLocalExt};
+  EXPECT_FALSE(decodeBytecode(Code, 0).has_value());
+}
+
+TEST(BytecodesTest, DecodePastEndFails) {
+  std::vector<std::uint8_t> Code = {BCPop};
+  EXPECT_FALSE(decodeBytecode(Code, 1).has_value());
+}
+
+TEST(BytecodesTest, DecodeUnknownOpcodeFails) {
+  std::vector<std::uint8_t> Code = {0xFF};
+  EXPECT_FALSE(decodeBytecode(Code, 0).has_value());
+}
+
+TEST(BytecodesTest, DecodeArithmetic) {
+  for (unsigned I = 0; I < NumArithOps; ++I) {
+    std::vector<std::uint8_t> Code = {std::uint8_t(BCArithmetic + I)};
+    auto D = decodeBytecode(Code, 0);
+    ASSERT_TRUE(D);
+    EXPECT_EQ(D->Op, Operation::Arithmetic);
+    EXPECT_EQ(D->A, std::int32_t(I));
+  }
+}
+
+TEST(BytecodesTest, DecodeJumps) {
+  std::vector<std::uint8_t> Code = {BCShortJump + 2, BCLongJump,
+                                    std::uint8_t(-3)};
+  auto Short = decodeBytecode(Code, 0);
+  EXPECT_EQ(Short->Op, Operation::Jump);
+  EXPECT_EQ(Short->A, 3); // shortJump encodes skip 1..8
+
+  auto Long = decodeBytecode(Code, 1);
+  EXPECT_EQ(Long->Op, Operation::Jump);
+  EXPECT_EQ(Long->A, -3); // signed operand
+}
+
+TEST(BytecodesTest, DecodeSends) {
+  std::vector<std::uint8_t> Code = {BCSend1Short + 2, BCSendExt, 7, 4};
+  auto Short = decodeBytecode(Code, 0);
+  EXPECT_EQ(Short->Op, Operation::Send);
+  EXPECT_EQ(Short->A, 2);
+  EXPECT_EQ(Short->B, 1);
+
+  auto Ext = decodeBytecode(Code, 1);
+  EXPECT_EQ(Ext->Op, Operation::Send);
+  EXPECT_EQ(Ext->A, 7);
+  EXPECT_EQ(Ext->B, 4);
+  EXPECT_EQ(Ext->Length, 3);
+}
+
+TEST(BytecodesTest, ArithSelectorAlignment) {
+  EXPECT_EQ(arithSelector(ArithOp::Add), SelectorPlus);
+  EXPECT_EQ(arithSelector(ArithOp::BitShift), SelectorBitShift);
+  EXPECT_EQ(arithSelector(ArithOp::NotEqual), SelectorNotEqual);
+}
+
+TEST(BytecodesTest, NamesAreUniquePerOpcode) {
+  // Each valid first byte must have a distinct printable name.
+  std::vector<std::string> Names;
+  for (unsigned Byte = 0; Byte <= 0x7C; ++Byte) {
+    std::vector<std::uint8_t> Code = {std::uint8_t(Byte), 0, 0};
+    if (decodeBytecode(Code, 0))
+      Names.push_back(bytecodeName(std::uint8_t(Byte)));
+  }
+  std::sort(Names.begin(), Names.end());
+  EXPECT_EQ(std::adjacent_find(Names.begin(), Names.end()), Names.end());
+  EXPECT_GT(Names.size(), 100u) << "expected >100 byte-code encodings";
+}
+
+TEST(BytecodesTest, MethodBuilderRoundTrip) {
+  MethodBuilder B("roundtrip");
+  B.numTemps(2);
+  std::uint8_t Lit = B.addLiteral(smallIntOop(5));
+  B.pushLocal(1).pushLiteral(Lit).arith(ArithOp::Add).storeLocal(0);
+  B.returnTop();
+  CompiledMethod M = B.build();
+
+  auto D0 = decodeBytecode(M.Bytecodes, 0);
+  EXPECT_EQ(D0->Op, Operation::PushLocal);
+  auto D1 = decodeBytecode(M.Bytecodes, 1);
+  EXPECT_EQ(D1->Op, Operation::PushLiteral);
+  auto D2 = decodeBytecode(M.Bytecodes, 2);
+  EXPECT_EQ(D2->Op, Operation::Arithmetic);
+  auto D3 = decodeBytecode(M.Bytecodes, 3);
+  EXPECT_EQ(D3->Op, Operation::StoreLocal);
+  auto D4 = decodeBytecode(M.Bytecodes, 4);
+  EXPECT_EQ(D4->Op, Operation::ReturnTop);
+}
+
+TEST(BytecodesTest, MethodBuilderSelectsExtendedForms) {
+  MethodBuilder B("ext");
+  B.pushLocal(50);
+  CompiledMethod M = B.build();
+  EXPECT_EQ(M.Bytecodes.size(), 2u);
+  auto D = decodeBytecode(M.Bytecodes, 0);
+  EXPECT_EQ(D->A, 50);
+}
+
+TEST(BytecodesTest, SelectorTableSpecials) {
+  SelectorTable T;
+  EXPECT_EQ(T.nameOf(SelectorPlus), "+");
+  EXPECT_EQ(T.nameOf(SelectorAtPut), "at:put:");
+  EXPECT_EQ(T.nameOf(SelectorMustBeBoolean), "mustBeBoolean");
+  EXPECT_EQ(T.intern("+"), SelectorPlus);
+  SelectorId Custom = T.intern("fooBar");
+  EXPECT_EQ(T.nameOf(Custom), "fooBar");
+  EXPECT_EQ(T.intern("fooBar"), Custom);
+}

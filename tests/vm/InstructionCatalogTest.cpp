@@ -1,0 +1,100 @@
+//===- tests/vm/InstructionCatalogTest.cpp -----------------------------------===//
+
+#include "vm/InstructionCatalog.h"
+
+#include "vm/Bytecodes.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace igdt;
+
+TEST(InstructionCatalogTest, HasExpectedScale) {
+  // The Pharo VM the paper studies has 255 byte-codes and ~340 native
+  // methods; QVM is smaller but must stay in the same shape: many
+  // byte-code encodings, dozens of native methods.
+  EXPECT_GT(bytecodeInstructions().size(), 100u);
+  EXPECT_GT(nativeMethodInstructions().size(), 60u);
+}
+
+TEST(InstructionCatalogTest, NamesAreUnique) {
+  std::set<std::string> Names;
+  for (const InstructionSpec &Spec : allInstructions())
+    EXPECT_TRUE(Names.insert(Spec.Name).second)
+        << "duplicate instruction name: " << Spec.Name;
+}
+
+TEST(InstructionCatalogTest, EveryBytecodeEntryDecodes) {
+  for (const InstructionSpec *Spec : bytecodeInstructions()) {
+    CompiledMethod M = instantiateMethod(*Spec);
+    auto D = decodeBytecode(M.Bytecodes, 0);
+    EXPECT_TRUE(D.has_value()) << Spec->Name;
+  }
+}
+
+TEST(InstructionCatalogTest, JumpTargetsStayInsideMethod) {
+  for (const InstructionSpec *Spec : bytecodeInstructions()) {
+    CompiledMethod M = instantiateMethod(*Spec);
+    auto D = decodeBytecode(M.Bytecodes, 0);
+    ASSERT_TRUE(D.has_value());
+    if (D->Op != Operation::Jump && D->Op != Operation::JumpTrue &&
+        D->Op != Operation::JumpFalse)
+      continue;
+    std::int64_t Target = D->Length + D->A;
+    EXPECT_GE(Target, 0) << Spec->Name;
+    EXPECT_LE(Target, std::int64_t(M.Bytecodes.size())) << Spec->Name;
+  }
+}
+
+TEST(InstructionCatalogTest, NativeMethodsCoverEveryPrimitive) {
+  std::set<std::int32_t> Indices;
+  for (const InstructionSpec *Spec : nativeMethodInstructions())
+    Indices.insert(Spec->PrimitiveIndex);
+  for (const PrimitiveInfo &Info : allPrimitives())
+    EXPECT_TRUE(Indices.count(Info.Index)) << Info.Name;
+}
+
+TEST(InstructionCatalogTest, NativeMethodsInstantiateWithPrimitiveIndex) {
+  const InstructionSpec *Spec = findInstruction("primitiveAdd");
+  ASSERT_NE(Spec, nullptr);
+  CompiledMethod M = instantiateMethod(*Spec);
+  EXPECT_EQ(M.PrimitiveIndex, PrimIntAdd);
+  EXPECT_EQ(M.NumArgs, 1);
+}
+
+TEST(InstructionCatalogTest, FindByName) {
+  EXPECT_NE(findInstruction("bytecodePrim_add"), nullptr);
+  EXPECT_NE(findInstruction("pushLocal0"), nullptr);
+  EXPECT_EQ(findInstruction("nonexistent"), nullptr);
+}
+
+TEST(InstructionCatalogTest, LocalsDeclaredForLocalInstructions) {
+  const InstructionSpec *Spec = findInstruction("pushLocal7");
+  ASSERT_NE(Spec, nullptr);
+  EXPECT_GE(Spec->NumLocals, 8);
+  CompiledMethod M = instantiateMethod(*Spec);
+  EXPECT_GE(M.numLocals(), 8u);
+}
+
+TEST(InstructionCatalogTest, LiteralsDeclaredForLiteralInstructions) {
+  const InstructionSpec *Spec = findInstruction("pushLiteral11");
+  ASSERT_NE(Spec, nullptr);
+  EXPECT_GE(Spec->Literals.size(), 12u);
+}
+
+TEST(InstructionCatalogTest, SendInstructionsCarrySelectorLiterals) {
+  const InstructionSpec *Spec = findInstruction("send1Lit0");
+  ASSERT_NE(Spec, nullptr);
+  ASSERT_FALSE(Spec->Literals.empty());
+  EXPECT_TRUE(isSmallIntOop(Spec->Literals[0]));
+}
+
+TEST(InstructionCatalogTest, FamiliesArePopulated) {
+  std::set<std::string> Families;
+  for (const InstructionSpec &Spec : allInstructions())
+    Families.insert(Spec.Family);
+  // Pharo organises 255 byte-codes into 77 families; QVM should have a
+  // couple of dozen.
+  EXPECT_GT(Families.size(), 20u);
+}

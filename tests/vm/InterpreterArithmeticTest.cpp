@@ -1,0 +1,200 @@
+//===- tests/vm/InterpreterArithmeticTest.cpp --------------------------------===//
+//
+// The sixteen type-predicted arithmetic byte-codes: integer fast path,
+// float fast path, overflow and slow-path sends (paper Listing 1).
+//
+//===----------------------------------------------------------------------===//
+
+#include "InterpreterTestFixture.h"
+
+using namespace igdt;
+
+namespace {
+
+class ArithmeticTest : public ConcreteInterpreterTest {
+protected:
+  /// Runs one arithmetic byte-code on [Rcvr, Arg].
+  Result runArith(ArithOp Op, Oop Rcvr, Oop Arg) {
+    Method = MethodBuilder("m").arith(Op).build();
+    CurrentFrame = makeFrame(Method, {Rcvr, Arg});
+    return Interp.stepBytecode(CurrentFrame);
+  }
+
+  Oop top() { return CurrentFrame.Stack.back(); }
+
+  CompiledMethod Method;
+  Frame CurrentFrame;
+};
+
+TEST_F(ArithmeticTest, IntegerAdd) {
+  Result R = runArith(ArithOp::Add, smallInt(2), smallInt(3));
+  EXPECT_EQ(R.Kind, ExitKind::Success);
+  EXPECT_EQ(top(), smallInt(5));
+  EXPECT_EQ(CurrentFrame.Stack.size(), 1u);
+}
+
+TEST_F(ArithmeticTest, IntegerAddOverflowSends) {
+  Result R = runArith(ArithOp::Add, smallInt(MaxSmallInt), smallInt(1));
+  EXPECT_EQ(R.Kind, ExitKind::MessageSend);
+  EXPECT_EQ(R.Selector, SelectorPlus);
+  EXPECT_EQ(R.SendNumArgs, 1);
+  // Slow path leaves operands for the send.
+  EXPECT_EQ(CurrentFrame.Stack.size(), 2u);
+}
+
+TEST_F(ArithmeticTest, MixedTypesSend) {
+  Result R = runArith(ArithOp::Add, smallInt(1), Mem.nilObject());
+  EXPECT_EQ(R.Kind, ExitKind::MessageSend);
+  EXPECT_EQ(R.Selector, SelectorPlus);
+}
+
+TEST_F(ArithmeticTest, IntFloatMixSends) {
+  Result R = runArith(ArithOp::Add, smallInt(1), boxedFloat(1.5));
+  EXPECT_EQ(R.Kind, ExitKind::MessageSend);
+}
+
+TEST_F(ArithmeticTest, FloatAddInlined) {
+  Result R = runArith(ArithOp::Add, boxedFloat(1.5), boxedFloat(2.25));
+  EXPECT_EQ(R.Kind, ExitKind::Success);
+  EXPECT_EQ(*Mem.floatValueOf(top()), 3.75);
+}
+
+TEST_F(ArithmeticTest, IntegerSubUnderflowSends) {
+  Result R = runArith(ArithOp::Sub, smallInt(MinSmallInt), smallInt(1));
+  EXPECT_EQ(R.Kind, ExitKind::MessageSend);
+  EXPECT_EQ(R.Selector, SelectorMinus);
+}
+
+TEST_F(ArithmeticTest, IntegerMul) {
+  EXPECT_EQ(runArith(ArithOp::Mul, smallInt(-6), smallInt(7)).Kind,
+            ExitKind::Success);
+  EXPECT_EQ(top(), smallInt(-42));
+}
+
+TEST_F(ArithmeticTest, IntegerMulOverflowSends) {
+  Result R = runArith(ArithOp::Mul, smallInt(std::int64_t(1) << 40),
+                      smallInt(std::int64_t(1) << 40));
+  EXPECT_EQ(R.Kind, ExitKind::MessageSend);
+}
+
+TEST_F(ArithmeticTest, ExactDivision) {
+  EXPECT_EQ(runArith(ArithOp::Div, smallInt(42), smallInt(7)).Kind,
+            ExitKind::Success);
+  EXPECT_EQ(top(), smallInt(6));
+}
+
+TEST_F(ArithmeticTest, InexactDivisionSends) {
+  EXPECT_EQ(runArith(ArithOp::Div, smallInt(7), smallInt(2)).Kind,
+            ExitKind::MessageSend);
+}
+
+TEST_F(ArithmeticTest, DivisionByZeroSends) {
+  EXPECT_EQ(runArith(ArithOp::Div, smallInt(7), smallInt(0)).Kind,
+            ExitKind::MessageSend);
+}
+
+TEST_F(ArithmeticTest, DivOverflowCornerSends) {
+  EXPECT_EQ(runArith(ArithOp::Div, smallInt(MinSmallInt), smallInt(-1)).Kind,
+            ExitKind::MessageSend);
+}
+
+TEST_F(ArithmeticTest, FloorDivAndMod) {
+  EXPECT_EQ(runArith(ArithOp::FloorDiv, smallInt(-7), smallInt(2)).Kind,
+            ExitKind::Success);
+  EXPECT_EQ(top(), smallInt(-4));
+  EXPECT_EQ(runArith(ArithOp::Mod, smallInt(-7), smallInt(2)).Kind,
+            ExitKind::Success);
+  EXPECT_EQ(top(), smallInt(1));
+}
+
+TEST_F(ArithmeticTest, Comparisons) {
+  struct Case {
+    ArithOp Op;
+    std::int64_t A;
+    std::int64_t B;
+    bool Expected;
+  };
+  const Case Cases[] = {
+      {ArithOp::Less, 1, 2, true},       {ArithOp::Less, 2, 1, false},
+      {ArithOp::Greater, 2, 1, true},    {ArithOp::Greater, 1, 2, false},
+      {ArithOp::LessEq, 2, 2, true},     {ArithOp::LessEq, 3, 2, false},
+      {ArithOp::GreaterEq, 2, 2, true},  {ArithOp::GreaterEq, 1, 2, false},
+      {ArithOp::Equal, 5, 5, true},      {ArithOp::Equal, 5, 6, false},
+      {ArithOp::NotEqual, 5, 6, true},   {ArithOp::NotEqual, 5, 5, false},
+  };
+  for (const Case &C : Cases) {
+    Result R = runArith(C.Op, smallInt(C.A), smallInt(C.B));
+    ASSERT_EQ(R.Kind, ExitKind::Success);
+    EXPECT_EQ(top(), Mem.booleanObject(C.Expected))
+        << "op=" << int(C.Op) << " a=" << C.A << " b=" << C.B;
+  }
+}
+
+TEST_F(ArithmeticTest, FloatComparisons) {
+  EXPECT_EQ(runArith(ArithOp::Less, boxedFloat(1.0), boxedFloat(2.0)).Kind,
+            ExitKind::Success);
+  EXPECT_EQ(top(), Mem.trueObject());
+  runArith(ArithOp::GreaterEq, boxedFloat(1.0), boxedFloat(2.0));
+  EXPECT_EQ(top(), Mem.falseObject());
+}
+
+TEST_F(ArithmeticTest, FloatFloorDivHasNoFastPath) {
+  EXPECT_EQ(
+      runArith(ArithOp::FloorDiv, boxedFloat(1.0), boxedFloat(2.0)).Kind,
+      ExitKind::MessageSend);
+}
+
+TEST_F(ArithmeticTest, FloatDivideByZeroSends) {
+  EXPECT_EQ(runArith(ArithOp::Div, boxedFloat(1.0), boxedFloat(0.0)).Kind,
+            ExitKind::MessageSend);
+}
+
+TEST_F(ArithmeticTest, BitOpsOnPositives) {
+  runArith(ArithOp::BitAnd, smallInt(0b1100), smallInt(0b1010));
+  EXPECT_EQ(top(), smallInt(0b1000));
+  runArith(ArithOp::BitOr, smallInt(0b1100), smallInt(0b1010));
+  EXPECT_EQ(top(), smallInt(0b1110));
+  runArith(ArithOp::BitXor, smallInt(0b1100), smallInt(0b1010));
+  EXPECT_EQ(top(), smallInt(0b0110));
+}
+
+TEST_F(ArithmeticTest, BitOpsOnNegativesSendWhenSeeded) {
+  // Defect seed on by default (paper §5.3 behavioural difference).
+  EXPECT_EQ(runArith(ArithOp::BitAnd, smallInt(-4), smallInt(3)).Kind,
+            ExitKind::MessageSend);
+  EXPECT_EQ(runArith(ArithOp::BitOr, smallInt(4), smallInt(-3)).Kind,
+            ExitKind::MessageSend);
+}
+
+TEST_F(ArithmeticTest, BitOpsOnNegativesSucceedWhenSeedDisabled) {
+  Config.SeedBitOpsFailOnNegative = false;
+  EXPECT_EQ(runArith(ArithOp::BitAnd, smallInt(-4), smallInt(7)).Kind,
+            ExitKind::Success);
+  EXPECT_EQ(top(), smallInt(4));
+}
+
+TEST_F(ArithmeticTest, BitShiftLeft) {
+  runArith(ArithOp::BitShift, smallInt(3), smallInt(4));
+  EXPECT_EQ(top(), smallInt(48));
+}
+
+TEST_F(ArithmeticTest, BitShiftRightViaNegativeAmount) {
+  runArith(ArithOp::BitShift, smallInt(48), smallInt(-4));
+  EXPECT_EQ(top(), smallInt(3));
+}
+
+TEST_F(ArithmeticTest, BitShiftOverflowSends) {
+  EXPECT_EQ(
+      runArith(ArithOp::BitShift, smallInt(MaxSmallInt), smallInt(2)).Kind,
+      ExitKind::MessageSend);
+  EXPECT_EQ(runArith(ArithOp::BitShift, smallInt(1), smallInt(100)).Kind,
+            ExitKind::MessageSend);
+}
+
+TEST_F(ArithmeticTest, UnderflowingStackIsInvalidFrame) {
+  Method = MethodBuilder("m").arith(ArithOp::Add).build();
+  CurrentFrame = makeFrame(Method, {smallInt(1)});
+  EXPECT_EQ(Interp.stepBytecode(CurrentFrame).Kind, ExitKind::InvalidFrame);
+}
+
+} // namespace

@@ -1,0 +1,306 @@
+//===- tests/vm/InterpreterBytecodeTest.cpp ---------------------------------===//
+//
+// Stack, push, store, jump, send and return byte-code semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "InterpreterTestFixture.h"
+
+using namespace igdt;
+
+namespace {
+
+using BytecodeTest = ConcreteInterpreterTest;
+
+TEST_F(BytecodeTest, PushLocal) {
+  CompiledMethod M = MethodBuilder("m").numTemps(3).pushLocal(2).build();
+  Frame F = makeFrame(M);
+  F.Locals[2] = smallInt(77);
+  Result R = Interp.stepBytecode(F);
+  EXPECT_EQ(R.Kind, ExitKind::Success);
+  ASSERT_EQ(F.Stack.size(), 1u);
+  EXPECT_EQ(F.Stack[0], smallInt(77));
+  EXPECT_EQ(F.PC, 1u);
+}
+
+TEST_F(BytecodeTest, PushLocalOutOfRangeIsInvalidFrame) {
+  CompiledMethod M = MethodBuilder("m").numTemps(1).pushLocal(5).build();
+  Frame F = makeFrame(M);
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::InvalidFrame);
+}
+
+TEST_F(BytecodeTest, PushLiteral) {
+  MethodBuilder B("m");
+  std::uint8_t Lit = B.addLiteral(smallInt(123));
+  CompiledMethod M = B.pushLiteral(Lit).build();
+  Frame F = makeFrame(M);
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::Success);
+  EXPECT_EQ(F.Stack[0], smallInt(123));
+}
+
+TEST_F(BytecodeTest, PushLiteralOutOfRangeIsInvalidFrame) {
+  CompiledMethod M = MethodBuilder("m").pushLiteral(3).build();
+  Frame F = makeFrame(M);
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::InvalidFrame);
+}
+
+TEST_F(BytecodeTest, PushConstants) {
+  for (unsigned Kind = 0; Kind < 7; ++Kind) {
+    CompiledMethod M = MethodBuilder("m").pushConstant(Kind).build();
+    Frame F = makeFrame(M);
+    ASSERT_EQ(Interp.stepBytecode(F).Kind, ExitKind::Success);
+    static const std::int64_t Ints[] = {0, 0, 0, 0, 1, 2, -1};
+    switch (Kind) {
+    case 0:
+      EXPECT_EQ(F.Stack[0], Mem.nilObject());
+      break;
+    case 1:
+      EXPECT_EQ(F.Stack[0], Mem.trueObject());
+      break;
+    case 2:
+      EXPECT_EQ(F.Stack[0], Mem.falseObject());
+      break;
+    default:
+      EXPECT_EQ(F.Stack[0], smallInt(Ints[Kind]));
+    }
+  }
+}
+
+TEST_F(BytecodeTest, PushReceiver) {
+  CompiledMethod M = MethodBuilder("m").pushReceiver().build();
+  Oop Rcvr = Mem.allocateInstance(PointClass);
+  Frame F = makeFrame(M, {}, Rcvr);
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::Success);
+  EXPECT_EQ(F.Stack[0], Rcvr);
+}
+
+TEST_F(BytecodeTest, PushInstVar) {
+  CompiledMethod M = MethodBuilder("m").pushInstVar(1).build();
+  Oop Rcvr = Mem.allocateInstance(PointClass);
+  Mem.storePointerSlot(Rcvr, 1, smallInt(5));
+  Frame F = makeFrame(M, {}, Rcvr);
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::Success);
+  EXPECT_EQ(F.Stack[0], smallInt(5));
+}
+
+TEST_F(BytecodeTest, PushInstVarOnSmallIntIsInvalidMemoryAccess) {
+  CompiledMethod M = MethodBuilder("m").pushInstVar(0).build();
+  Frame F = makeFrame(M, {}, smallInt(3));
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::InvalidMemoryAccess);
+}
+
+TEST_F(BytecodeTest, PushInstVarOutOfBoundsIsInvalidMemoryAccess) {
+  CompiledMethod M = MethodBuilder("m").pushInstVar(7).build();
+  Oop Rcvr = Mem.allocateInstance(PointClass); // 2 slots
+  Frame F = makeFrame(M, {}, Rcvr);
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::InvalidMemoryAccess);
+}
+
+TEST_F(BytecodeTest, StoreLocalPops) {
+  CompiledMethod M = MethodBuilder("m").numTemps(2).storeLocal(1).build();
+  Frame F = makeFrame(M, {smallInt(9)});
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::Success);
+  EXPECT_TRUE(F.Stack.empty());
+  EXPECT_EQ(F.Locals[1], smallInt(9));
+}
+
+TEST_F(BytecodeTest, StoreLocalOnEmptyStackIsInvalidFrame) {
+  CompiledMethod M = MethodBuilder("m").numTemps(1).storeLocal(0).build();
+  Frame F = makeFrame(M);
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::InvalidFrame);
+}
+
+TEST_F(BytecodeTest, StoreInstVar) {
+  CompiledMethod M = MethodBuilder("m").storeInstVar(0).build();
+  Oop Rcvr = Mem.allocateInstance(PointClass);
+  Frame F = makeFrame(M, {smallInt(11)}, Rcvr);
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::Success);
+  EXPECT_EQ(*Mem.fetchPointerSlot(Rcvr, 0), smallInt(11));
+  EXPECT_TRUE(F.Stack.empty());
+}
+
+TEST_F(BytecodeTest, PopAndDup) {
+  CompiledMethod MPop = MethodBuilder("m").pop().build();
+  Frame F = makeFrame(MPop, {smallInt(1), smallInt(2)});
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::Success);
+  EXPECT_EQ(F.Stack.size(), 1u);
+
+  CompiledMethod MDup = MethodBuilder("m").dup().build();
+  Frame G = makeFrame(MDup, {smallInt(4)});
+  EXPECT_EQ(Interp.stepBytecode(G).Kind, ExitKind::Success);
+  ASSERT_EQ(G.Stack.size(), 2u);
+  EXPECT_EQ(G.Stack[0], G.Stack[1]);
+}
+
+TEST_F(BytecodeTest, PopOnEmptyStackIsInvalidFrame) {
+  CompiledMethod M = MethodBuilder("m").pop().build();
+  Frame F = makeFrame(M);
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::InvalidFrame);
+}
+
+TEST_F(BytecodeTest, IdentityEquals) {
+  CompiledMethod M = MethodBuilder("m").identityEquals().build();
+  Oop A = Mem.allocateInstance(PointClass);
+  Frame F = makeFrame(M, {A, A});
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::Success);
+  EXPECT_EQ(F.Stack[0], Mem.trueObject());
+
+  Oop B = Mem.allocateInstance(PointClass);
+  Frame G = makeFrame(M, {A, B});
+  Interp.stepBytecode(G);
+  EXPECT_EQ(G.Stack[0], Mem.falseObject());
+}
+
+TEST_F(BytecodeTest, UnconditionalJump) {
+  CompiledMethod M = MethodBuilder("m")
+                         .jump(2)
+                         .pushReceiver()
+                         .pushReceiver()
+                         .pushReceiver()
+                         .build();
+  Frame F = makeFrame(M);
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::Success);
+  EXPECT_EQ(F.PC, 3u); // 1 (len) + 2 (offset)
+}
+
+TEST_F(BytecodeTest, JumpOutOfMethodIsInvalidFrame) {
+  CompiledMethod M = MethodBuilder("m").jump(8).build();
+  Frame F = makeFrame(M);
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::InvalidFrame);
+}
+
+TEST_F(BytecodeTest, JumpFalseTakesOnFalse) {
+  CompiledMethod M = MethodBuilder("m")
+                         .jumpFalse(2)
+                         .pushReceiver()
+                         .pushReceiver()
+                         .pushReceiver()
+                         .build();
+  Frame F = makeFrame(M, {Mem.falseObject()});
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::Success);
+  EXPECT_EQ(F.PC, 3u);
+  EXPECT_TRUE(F.Stack.empty());
+
+  Frame G = makeFrame(M, {Mem.trueObject()});
+  EXPECT_EQ(Interp.stepBytecode(G).Kind, ExitKind::Success);
+  EXPECT_EQ(G.PC, 1u);
+}
+
+TEST_F(BytecodeTest, JumpFalseOnNonBooleanSendsMustBeBoolean) {
+  CompiledMethod M =
+      MethodBuilder("m").jumpFalse(1).pushReceiver().pushReceiver().build();
+  Frame F = makeFrame(M, {smallInt(1)});
+  Result R = Interp.stepBytecode(F);
+  EXPECT_EQ(R.Kind, ExitKind::MessageSend);
+  EXPECT_EQ(R.Selector, SelectorMustBeBoolean);
+  EXPECT_EQ(R.SendNumArgs, 0);
+  // The non-boolean was re-pushed for the send.
+  EXPECT_EQ(F.Stack.size(), 1u);
+}
+
+TEST_F(BytecodeTest, JumpTrueTakesOnTrue) {
+  CompiledMethod M = MethodBuilder("m")
+                         .jumpTrue(2)
+                         .pushReceiver()
+                         .pushReceiver()
+                         .pushReceiver()
+                         .build();
+  Frame F = makeFrame(M, {Mem.trueObject()});
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::Success);
+  EXPECT_EQ(F.PC, 4u); // len 2 + offset 2
+}
+
+TEST_F(BytecodeTest, SendExitsWithSelectorAndArgs) {
+  MethodBuilder B("m");
+  std::uint8_t Lit = B.addLiteral(smallIntOop(SelectorPlus));
+  CompiledMethod M = B.send(Lit, 1).build();
+  Frame F = makeFrame(M, {smallInt(1), smallInt(2)});
+  Result R = Interp.stepBytecode(F);
+  EXPECT_EQ(R.Kind, ExitKind::MessageSend);
+  EXPECT_EQ(R.Selector, SelectorPlus);
+  EXPECT_EQ(R.SendNumArgs, 1);
+  // Receiver and argument stay on the stack for the callee.
+  EXPECT_EQ(F.Stack.size(), 2u);
+}
+
+TEST_F(BytecodeTest, SendWithTooFewStackValuesIsInvalidFrame) {
+  MethodBuilder B("m");
+  std::uint8_t Lit = B.addLiteral(smallIntOop(SelectorPlus));
+  CompiledMethod M = B.send(Lit, 1).build();
+  Frame F = makeFrame(M, {smallInt(1)}); // needs receiver + 1 arg
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::InvalidFrame);
+}
+
+TEST_F(BytecodeTest, Returns) {
+  CompiledMethod MTop = MethodBuilder("m").returnTop().build();
+  Frame F = makeFrame(MTop, {smallInt(5)});
+  Result R = Interp.stepBytecode(F);
+  EXPECT_EQ(R.Kind, ExitKind::MethodReturn);
+  EXPECT_EQ(R.Result, smallInt(5));
+
+  CompiledMethod MRcvr = MethodBuilder("m").returnReceiver().build();
+  Oop Rcvr = Mem.allocateInstance(PointClass);
+  Frame G = makeFrame(MRcvr, {}, Rcvr);
+  EXPECT_EQ(Interp.stepBytecode(G).Result, Rcvr);
+
+  CompiledMethod MNil = MethodBuilder("m").returnNil().build();
+  Frame H = makeFrame(MNil);
+  EXPECT_EQ(Interp.stepBytecode(H).Result, Mem.nilObject());
+
+  CompiledMethod MTrue = MethodBuilder("m").returnTrue().build();
+  Frame I = makeFrame(MTrue);
+  EXPECT_EQ(Interp.stepBytecode(I).Result, Mem.trueObject());
+
+  CompiledMethod MFalse = MethodBuilder("m").returnFalse().build();
+  Frame J = makeFrame(MFalse);
+  EXPECT_EQ(Interp.stepBytecode(J).Result, Mem.falseObject());
+}
+
+TEST_F(BytecodeTest, ReturnTopOnEmptyStackIsInvalidFrame) {
+  CompiledMethod M = MethodBuilder("m").returnTop().build();
+  Frame F = makeFrame(M);
+  EXPECT_EQ(Interp.stepBytecode(F).Kind, ExitKind::InvalidFrame);
+}
+
+TEST_F(BytecodeTest, RunToReturnExecutesStraightLineCode) {
+  // local0 := 2 + 3; return local0 * local0.
+  MethodBuilder B("m");
+  B.numTemps(1);
+  B.pushConstant(5)   // 2
+      .pushConstant(4) // 1
+      .arith(ArithOp::Add)
+      .storeLocal(0)
+      .pushLocal(0)
+      .pushLocal(0)
+      .arith(ArithOp::Mul)
+      .returnTop();
+  CompiledMethod M = B.build();
+  Frame F = makeFrame(M);
+  Result R = Interp.runToReturn(F);
+  EXPECT_EQ(R.Kind, ExitKind::MethodReturn);
+  EXPECT_EQ(R.Result, smallInt(9));
+}
+
+TEST_F(BytecodeTest, RunToReturnWithLoop) {
+  // Sum 1..5 with a backward jump:
+  //   temp0 := 0 (sum); temp1 := 5 (counter)
+  // loop: temp0 := temp0 + temp1; temp1 := temp1 - 1;
+  //   temp1 > 0 jumpTrue loop; return temp0
+  MethodBuilder B("m");
+  B.numTemps(2);
+  B.pushConstant(3).storeLocal(0); // sum := 0      pc 0..1
+  B.pushConstant(5).storeLocal(1); // counter := 2  pc 2..3
+  // loop (pc 4):
+  B.pushLocal(0).pushLocal(1).arith(ArithOp::Add).storeLocal(0); // pc 4..7
+  B.pushLocal(1).pushConstant(4).arith(ArithOp::Sub).storeLocal(1); // 8..11
+  B.pushLocal(1).pushConstant(3).arith(ArithOp::Greater);           // 12..14
+  B.jumpTrue(-13); // back to pc 4 (next pc is 17, 17-13=4)
+  B.pushLocal(0).returnTop();
+  CompiledMethod M = B.build();
+  Frame F = makeFrame(M);
+  Result R = Interp.runToReturn(F);
+  ASSERT_EQ(R.Kind, ExitKind::MethodReturn);
+  EXPECT_EQ(R.Result, smallInt(2 + 1)); // 2+1: counter 2 then 1
+}
+
+} // namespace

@@ -1,0 +1,60 @@
+//===- tests/vm/InterpreterTestFixture.h ------------------------------------===//
+//
+// Shared fixture for concrete-interpreter unit tests.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_TESTS_VM_INTERPRETERTESTFIXTURE_H
+#define IGDT_TESTS_VM_INTERPRETERTESTFIXTURE_H
+
+#include "vm/ConcreteDomain.h"
+#include "vm/InterpreterCore.h"
+#include "vm/MethodBuilder.h"
+
+#include <gtest/gtest.h>
+
+namespace igdt {
+
+/// Fixture owning a heap, a config, a concrete domain and an interpreter.
+class ConcreteInterpreterTest : public ::testing::Test {
+protected:
+  ConcreteInterpreterTest()
+      : Dom(Mem, Config), Interp(Dom, Mem) {}
+
+  using Frame = FrameT<Oop>;
+  using Result = StepResult<Oop>;
+
+  /// Builds a frame on \p Method with \p Stack as operand stack
+  /// (first element deepest).
+  Frame makeFrame(const CompiledMethod &Method, std::vector<Oop> Stack = {},
+                  Oop Receiver = InvalidOop) {
+    Frame F;
+    F.Method = &Method;
+    F.Receiver = Receiver == InvalidOop ? Mem.nilObject() : Receiver;
+    F.Locals.assign(Method.numLocals(), Mem.nilObject());
+    F.Stack = std::move(Stack);
+    return F;
+  }
+
+  /// Runs a single-primitive method against \p Stack.
+  Result runPrim(std::int32_t Index, std::vector<Oop> Stack) {
+    PrimMethod = MethodBuilder("prim").primitive(Index).build();
+    PrimFrame = makeFrame(PrimMethod, std::move(Stack));
+    return Interp.stepInstruction(PrimFrame);
+  }
+
+  Oop smallInt(std::int64_t V) { return smallIntOop(V); }
+  Oop boxedFloat(double V) { return Mem.allocateFloat(V); }
+
+  ObjectMemory Mem{512 * 1024};
+  VMConfig Config;
+  ConcreteDomain Dom;
+  InterpreterCore<ConcreteDomain> Interp;
+
+  CompiledMethod PrimMethod;
+  Frame PrimFrame;
+};
+
+} // namespace igdt
+
+#endif // IGDT_TESTS_VM_INTERPRETERTESTFIXTURE_H

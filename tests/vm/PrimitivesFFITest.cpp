@@ -1,0 +1,126 @@
+//===- tests/vm/PrimitivesFFITest.cpp -----------------------------------------===//
+//
+// FFI accessor native methods (the missing-functionality seed family):
+// these are fully implemented in the interpreter.
+//
+//===----------------------------------------------------------------------===//
+
+#include "InterpreterTestFixture.h"
+
+using namespace igdt;
+
+namespace {
+
+class FFIPrimTest : public ConcreteInterpreterTest {
+protected:
+  Oop makeBuffer(std::initializer_list<std::uint8_t> Bytes) {
+    Oop Buf = Mem.allocateInstance(
+        ByteArrayClass, static_cast<std::uint32_t>(Bytes.size()));
+    std::uint32_t I = 0;
+    for (std::uint8_t B : Bytes)
+      Mem.storeByte(Buf, I++, B);
+    return Buf;
+  }
+};
+
+TEST_F(FFIPrimTest, LoadInt8SignExtends) {
+  Oop Buf = makeBuffer({0xFF, 0x7F});
+  EXPECT_EQ(runPrim(PrimFFILoadInt8, {Buf, smallInt(0)}).Result,
+            smallInt(-1));
+  EXPECT_EQ(runPrim(PrimFFILoadInt8, {Buf, smallInt(1)}).Result,
+            smallInt(127));
+}
+
+TEST_F(FFIPrimTest, LoadUInt8ZeroExtends) {
+  Oop Buf = makeBuffer({0xFF});
+  EXPECT_EQ(runPrim(PrimFFILoadUInt8, {Buf, smallInt(0)}).Result,
+            smallInt(255));
+}
+
+TEST_F(FFIPrimTest, LoadInt16LittleEndian) {
+  Oop Buf = makeBuffer({0x34, 0x12, 0xFF, 0xFF});
+  EXPECT_EQ(runPrim(PrimFFILoadInt16, {Buf, smallInt(0)}).Result,
+            smallInt(0x1234));
+  EXPECT_EQ(runPrim(PrimFFILoadInt16, {Buf, smallInt(2)}).Result,
+            smallInt(-1));
+  EXPECT_EQ(runPrim(PrimFFILoadUInt16, {Buf, smallInt(2)}).Result,
+            smallInt(0xFFFF));
+}
+
+TEST_F(FFIPrimTest, LoadInt32And64) {
+  Oop Buf = makeBuffer({0x78, 0x56, 0x34, 0x12, 0, 0, 0, 0});
+  EXPECT_EQ(runPrim(PrimFFILoadInt32, {Buf, smallInt(0)}).Result,
+            smallInt(0x12345678));
+  EXPECT_EQ(runPrim(PrimFFILoadUInt32, {Buf, smallInt(0)}).Result,
+            smallInt(0x12345678));
+  EXPECT_EQ(runPrim(PrimFFILoadInt64, {Buf, smallInt(0)}).Result,
+            smallInt(0x12345678));
+}
+
+TEST_F(FFIPrimTest, LoadInt64OutOfSmallIntRangeFails) {
+  Oop Buf = makeBuffer({0, 0, 0, 0, 0, 0, 0, 0x7F}); // ~2^62
+  EXPECT_EQ(runPrim(PrimFFILoadInt64, {Buf, smallInt(0)}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(FFIPrimTest, BoundsChecked) {
+  Oop Buf = makeBuffer({1, 2, 3});
+  EXPECT_EQ(runPrim(PrimFFILoadInt32, {Buf, smallInt(0)}).Kind,
+            ExitKind::PrimitiveFailure); // needs 4 bytes
+  EXPECT_EQ(runPrim(PrimFFILoadInt8, {Buf, smallInt(3)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimFFILoadInt8, {Buf, smallInt(-1)}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(FFIPrimTest, TypeChecked) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 4);
+  EXPECT_EQ(runPrim(PrimFFILoadInt8, {Arr, smallInt(0)}).Kind,
+            ExitKind::PrimitiveFailure);
+  Oop Buf = makeBuffer({1});
+  EXPECT_EQ(runPrim(PrimFFILoadInt8, {Buf, Mem.nilObject()}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(FFIPrimTest, StoreInt8) {
+  Oop Buf = makeBuffer({0, 0});
+  Result R = runPrim(PrimFFIStoreInt8, {Buf, smallInt(1), smallInt(-2)});
+  ASSERT_EQ(R.Kind, ExitKind::Success);
+  EXPECT_EQ(*Mem.fetchByte(Buf, 1), 0xFE);
+}
+
+TEST_F(FFIPrimTest, StoreRejectsOutOfRangeValues) {
+  Oop Buf = makeBuffer({0, 0});
+  EXPECT_EQ(
+      runPrim(PrimFFIStoreInt8, {Buf, smallInt(0), smallInt(200)}).Kind,
+      ExitKind::PrimitiveFailure); // int8 max 127
+  EXPECT_EQ(
+      runPrim(PrimFFIStoreInt16, {Buf, smallInt(0), smallInt(40000)}).Kind,
+      ExitKind::PrimitiveFailure);
+}
+
+TEST_F(FFIPrimTest, StoreInt32RoundTrip) {
+  Oop Buf = makeBuffer({0, 0, 0, 0});
+  runPrim(PrimFFIStoreInt32, {Buf, smallInt(0), smallInt(-123456)});
+  EXPECT_EQ(runPrim(PrimFFILoadInt32, {Buf, smallInt(0)}).Result,
+            smallInt(-123456));
+}
+
+TEST_F(FFIPrimTest, Float64RoundTrip) {
+  Oop Buf = makeBuffer({0, 0, 0, 0, 0, 0, 0, 0});
+  Result Store =
+      runPrim(PrimFFIStoreFloat64, {Buf, smallInt(0), boxedFloat(2.5)});
+  ASSERT_EQ(Store.Kind, ExitKind::Success);
+  Result Load = runPrim(PrimFFILoadFloat64, {Buf, smallInt(0)});
+  ASSERT_EQ(Load.Kind, ExitKind::Success);
+  EXPECT_EQ(*Mem.floatValueOf(Load.Result), 2.5);
+}
+
+TEST_F(FFIPrimTest, StoreFloatRejectsNonFloatValue) {
+  Oop Buf = makeBuffer({0, 0, 0, 0, 0, 0, 0, 0});
+  EXPECT_EQ(
+      runPrim(PrimFFIStoreFloat64, {Buf, smallInt(0), smallInt(1)}).Kind,
+      ExitKind::PrimitiveFailure);
+}
+
+} // namespace

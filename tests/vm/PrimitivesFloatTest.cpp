@@ -1,0 +1,152 @@
+//===- tests/vm/PrimitivesFloatTest.cpp --------------------------------------===//
+//
+// BoxedFloat native methods: these are safe in the interpreter (both
+// operands type-checked); their compiled counterparts are the paper's
+// missing-compiled-type-check seeds.
+//
+//===----------------------------------------------------------------------===//
+
+#include "InterpreterTestFixture.h"
+
+#include <cmath>
+
+using namespace igdt;
+
+namespace {
+
+using FloatPrimTest = ConcreteInterpreterTest;
+
+TEST_F(FloatPrimTest, Arithmetic) {
+  EXPECT_EQ(*Mem.floatValueOf(
+                runPrim(PrimFloatAdd, {boxedFloat(1.5), boxedFloat(2.0)})
+                    .Result),
+            3.5);
+  EXPECT_EQ(*Mem.floatValueOf(
+                runPrim(PrimFloatSub, {boxedFloat(1.5), boxedFloat(2.0)})
+                    .Result),
+            -0.5);
+  EXPECT_EQ(*Mem.floatValueOf(
+                runPrim(PrimFloatMul, {boxedFloat(1.5), boxedFloat(2.0)})
+                    .Result),
+            3.0);
+  EXPECT_EQ(*Mem.floatValueOf(
+                runPrim(PrimFloatDiv, {boxedFloat(1.5), boxedFloat(2.0)})
+                    .Result),
+            0.75);
+}
+
+TEST_F(FloatPrimTest, DivideByZeroFails) {
+  EXPECT_EQ(
+      runPrim(PrimFloatDiv, {boxedFloat(1.0), boxedFloat(0.0)}).Kind,
+      ExitKind::PrimitiveFailure);
+}
+
+TEST_F(FloatPrimTest, ReceiverTypeChecked) {
+  // Interpreter-side float primitives check the receiver...
+  EXPECT_EQ(runPrim(PrimFloatAdd, {smallInt(1), boxedFloat(1.0)}).Kind,
+            ExitKind::PrimitiveFailure);
+  // ...and the argument.
+  EXPECT_EQ(runPrim(PrimFloatAdd, {boxedFloat(1.0), smallInt(1)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimFloatAdd, {Mem.nilObject(), Mem.nilObject()}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(FloatPrimTest, Comparisons) {
+  EXPECT_EQ(
+      runPrim(PrimFloatLess, {boxedFloat(1.0), boxedFloat(2.0)}).Result,
+      Mem.trueObject());
+  EXPECT_EQ(
+      runPrim(PrimFloatGreater, {boxedFloat(1.0), boxedFloat(2.0)}).Result,
+      Mem.falseObject());
+  EXPECT_EQ(
+      runPrim(PrimFloatEqual, {boxedFloat(2.0), boxedFloat(2.0)}).Result,
+      Mem.trueObject());
+  EXPECT_EQ(
+      runPrim(PrimFloatNotEqual, {boxedFloat(2.0), boxedFloat(2.0)}).Result,
+      Mem.falseObject());
+  EXPECT_EQ(
+      runPrim(PrimFloatLessEq, {boxedFloat(2.0), boxedFloat(2.0)}).Result,
+      Mem.trueObject());
+  EXPECT_EQ(
+      runPrim(PrimFloatGreaterEq, {boxedFloat(1.0), boxedFloat(2.0)}).Result,
+      Mem.falseObject());
+}
+
+TEST_F(FloatPrimTest, NaNComparesUnequal) {
+  Oop NaN = boxedFloat(std::nan(""));
+  EXPECT_EQ(runPrim(PrimFloatEqual, {NaN, NaN}).Result, Mem.falseObject());
+  EXPECT_EQ(runPrim(PrimFloatLess, {NaN, boxedFloat(1.0)}).Result,
+            Mem.falseObject());
+}
+
+TEST_F(FloatPrimTest, Truncated) {
+  EXPECT_EQ(runPrim(PrimFloatTruncated, {boxedFloat(3.9)}).Result,
+            smallInt(3));
+  EXPECT_EQ(runPrim(PrimFloatTruncated, {boxedFloat(-3.9)}).Result,
+            smallInt(-3));
+  // Out of SmallInteger range fails.
+  EXPECT_EQ(runPrim(PrimFloatTruncated, {boxedFloat(1e19)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimFloatTruncated, {boxedFloat(-1e19)}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(FloatPrimTest, Rounded) {
+  EXPECT_EQ(runPrim(PrimFloatRounded, {boxedFloat(3.5)}).Result,
+            smallInt(4));
+  EXPECT_EQ(runPrim(PrimFloatRounded, {boxedFloat(-3.5)}).Result,
+            smallInt(-4));
+  EXPECT_EQ(runPrim(PrimFloatRounded, {boxedFloat(3.4)}).Result,
+            smallInt(3));
+}
+
+TEST_F(FloatPrimTest, FractionPart) {
+  EXPECT_DOUBLE_EQ(
+      *Mem.floatValueOf(
+          runPrim(PrimFloatFractionPart, {boxedFloat(3.25)}).Result),
+      0.25);
+}
+
+TEST_F(FloatPrimTest, Transcendentals) {
+  EXPECT_DOUBLE_EQ(
+      *Mem.floatValueOf(runPrim(PrimFloatSqrt, {boxedFloat(9.0)}).Result),
+      3.0);
+  EXPECT_DOUBLE_EQ(
+      *Mem.floatValueOf(runPrim(PrimFloatSin, {boxedFloat(0.0)}).Result),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      *Mem.floatValueOf(runPrim(PrimFloatCos, {boxedFloat(0.0)}).Result),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      *Mem.floatValueOf(runPrim(PrimFloatExp, {boxedFloat(0.0)}).Result),
+      1.0);
+  EXPECT_DOUBLE_EQ(
+      *Mem.floatValueOf(runPrim(PrimFloatLn, {boxedFloat(1.0)}).Result),
+      0.0);
+  EXPECT_DOUBLE_EQ(
+      *Mem.floatValueOf(runPrim(PrimFloatArcTan, {boxedFloat(0.0)}).Result),
+      0.0);
+}
+
+TEST_F(FloatPrimTest, LnRequiresPositiveReceiver) {
+  EXPECT_EQ(runPrim(PrimFloatLn, {boxedFloat(0.0)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimFloatLn, {boxedFloat(-1.0)}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(FloatPrimTest, SqrtOfNegativeIsNaN) {
+  Result R = runPrim(PrimFloatSqrt, {boxedFloat(-1.0)});
+  ASSERT_EQ(R.Kind, ExitKind::Success);
+  EXPECT_TRUE(std::isnan(*Mem.floatValueOf(R.Result)));
+}
+
+TEST_F(FloatPrimTest, UnaryRejectsNonFloat) {
+  EXPECT_EQ(runPrim(PrimFloatSqrt, {smallInt(9)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimFloatTruncated, {Mem.nilObject()}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+} // namespace

@@ -1,0 +1,142 @@
+//===- tests/vm/PrimitivesIntegerTest.cpp ------------------------------------===//
+//
+// SmallInteger native methods: safe checks, overflow failures, and the
+// seeded primitiveAsFloat missing-receiver-check bug.
+//
+//===----------------------------------------------------------------------===//
+
+#include "InterpreterTestFixture.h"
+
+using namespace igdt;
+
+namespace {
+
+using IntPrimTest = ConcreteInterpreterTest;
+
+TEST_F(IntPrimTest, AddSucceeds) {
+  Result R = runPrim(PrimIntAdd, {smallInt(2), smallInt(3)});
+  EXPECT_EQ(R.Kind, ExitKind::Success);
+  EXPECT_EQ(R.Result, smallInt(5));
+  // Receiver and argument replaced by the result.
+  ASSERT_EQ(PrimFrame.Stack.size(), 1u);
+  EXPECT_EQ(PrimFrame.Stack[0], smallInt(5));
+}
+
+TEST_F(IntPrimTest, AddOverflowFails) {
+  Result R = runPrim(PrimIntAdd, {smallInt(MaxSmallInt), smallInt(1)});
+  EXPECT_EQ(R.Kind, ExitKind::PrimitiveFailure);
+  // Failure leaves the operand stack untouched for the fallback code.
+  EXPECT_EQ(PrimFrame.Stack.size(), 2u);
+}
+
+TEST_F(IntPrimTest, AddRejectsNonIntegerReceiver) {
+  EXPECT_EQ(runPrim(PrimIntAdd, {Mem.nilObject(), smallInt(1)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimIntAdd, {boxedFloat(1.0), smallInt(1)}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(IntPrimTest, AddRejectsNonIntegerArgument) {
+  EXPECT_EQ(runPrim(PrimIntAdd, {smallInt(1), Mem.nilObject()}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(IntPrimTest, EmptyStackIsInvalidFrame) {
+  EXPECT_EQ(runPrim(PrimIntAdd, {smallInt(1)}).Kind, ExitKind::InvalidFrame);
+}
+
+TEST_F(IntPrimTest, SubMulWork) {
+  EXPECT_EQ(runPrim(PrimIntSub, {smallInt(10), smallInt(4)}).Result,
+            smallInt(6));
+  EXPECT_EQ(runPrim(PrimIntMul, {smallInt(-3), smallInt(9)}).Result,
+            smallInt(-27));
+}
+
+TEST_F(IntPrimTest, DivFamilies) {
+  EXPECT_EQ(runPrim(PrimIntDiv, {smallInt(42), smallInt(6)}).Result,
+            smallInt(7));
+  EXPECT_EQ(runPrim(PrimIntDiv, {smallInt(43), smallInt(6)}).Kind,
+            ExitKind::PrimitiveFailure); // inexact
+  EXPECT_EQ(runPrim(PrimIntFloorDiv, {smallInt(-7), smallInt(2)}).Result,
+            smallInt(-4));
+  EXPECT_EQ(runPrim(PrimIntMod, {smallInt(-7), smallInt(2)}).Result,
+            smallInt(1));
+  EXPECT_EQ(runPrim(PrimIntQuo, {smallInt(-7), smallInt(2)}).Result,
+            smallInt(-3));
+  EXPECT_EQ(runPrim(PrimIntMod, {smallInt(7), smallInt(0)}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(IntPrimTest, BitOpsAcceptNegativesUnlikeTheBytecode) {
+  // Native methods have no negative-operand seed: they are the library
+  // code the byte-code falls back to.
+  EXPECT_EQ(runPrim(PrimIntBitAnd, {smallInt(-4), smallInt(7)}).Result,
+            smallInt(4));
+  EXPECT_EQ(runPrim(PrimIntBitOr, {smallInt(-4), smallInt(1)}).Result,
+            smallInt(-3));
+  EXPECT_EQ(runPrim(PrimIntBitXor, {smallInt(-1), smallInt(1)}).Result,
+            smallInt(-2));
+}
+
+TEST_F(IntPrimTest, BitShift) {
+  EXPECT_EQ(runPrim(PrimIntBitShift, {smallInt(5), smallInt(3)}).Result,
+            smallInt(40));
+  EXPECT_EQ(runPrim(PrimIntBitShift, {smallInt(40), smallInt(-3)}).Result,
+            smallInt(5));
+  EXPECT_EQ(
+      runPrim(PrimIntBitShift, {smallInt(MaxSmallInt), smallInt(5)}).Kind,
+      ExitKind::PrimitiveFailure);
+}
+
+TEST_F(IntPrimTest, Comparisons) {
+  EXPECT_EQ(runPrim(PrimIntLess, {smallInt(1), smallInt(2)}).Result,
+            Mem.trueObject());
+  EXPECT_EQ(runPrim(PrimIntGreaterEq, {smallInt(1), smallInt(2)}).Result,
+            Mem.falseObject());
+  EXPECT_EQ(runPrim(PrimIntEqual, {smallInt(3), smallInt(3)}).Result,
+            Mem.trueObject());
+  EXPECT_EQ(runPrim(PrimIntNotEqual, {smallInt(3), smallInt(3)}).Result,
+            Mem.falseObject());
+}
+
+TEST_F(IntPrimTest, Negate) {
+  EXPECT_EQ(runPrim(PrimIntNeg, {smallInt(-9)}).Result, smallInt(9));
+  EXPECT_EQ(runPrim(PrimIntNeg, {smallInt(MinSmallInt)}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(IntPrimTest, HighBit) {
+  EXPECT_EQ(runPrim(PrimIntHighBit, {smallInt(1024)}).Result, smallInt(11));
+  EXPECT_EQ(runPrim(PrimIntHighBit, {smallInt(0)}).Result, smallInt(0));
+  EXPECT_EQ(runPrim(PrimIntHighBit, {smallInt(-1)}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(IntPrimTest, AsFloatOnInteger) {
+  Result R = runPrim(PrimIntAsFloat, {smallInt(7)});
+  ASSERT_EQ(R.Kind, ExitKind::Success);
+  EXPECT_EQ(*Mem.floatValueOf(R.Result), 7.0);
+}
+
+TEST_F(IntPrimTest, AsFloatSeededBugSucceedsWithGarbageOnPointer) {
+  // Paper Listing 5: with the assert compiled out, a pointer receiver is
+  // blindly untagged and converted — "producing random numbers".
+  Oop Rcvr = Mem.allocateInstance(PointClass);
+  Result R = runPrim(PrimIntAsFloat, {Rcvr});
+  ASSERT_EQ(R.Kind, ExitKind::Success);
+  double Garbage = *Mem.floatValueOf(R.Result);
+  EXPECT_EQ(Garbage, double(smallIntValueUnchecked(Rcvr)));
+}
+
+TEST_F(IntPrimTest, AsFloatFailsOnPointerWhenSeedDisabled) {
+  Config.SeedAsFloatMissingReceiverCheck = false;
+  Oop Rcvr = Mem.allocateInstance(PointClass);
+  EXPECT_EQ(runPrim(PrimIntAsFloat, {Rcvr}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(IntPrimTest, UnknownPrimitiveFails) {
+  EXPECT_EQ(runPrim(999, {smallInt(1)}).Kind, ExitKind::PrimitiveFailure);
+}
+
+} // namespace

@@ -1,0 +1,191 @@
+//===- tests/vm/PrimitivesObjectTest.cpp --------------------------------------===//
+//
+// Object/array native methods: indexed access, allocation, identity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "InterpreterTestFixture.h"
+
+using namespace igdt;
+
+namespace {
+
+using ObjectPrimTest = ConcreteInterpreterTest;
+
+TEST_F(ObjectPrimTest, AtReads1Based) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 3);
+  Mem.storePointerSlot(Arr, 0, smallInt(10));
+  Mem.storePointerSlot(Arr, 2, smallInt(30));
+  EXPECT_EQ(runPrim(PrimAt, {Arr, smallInt(1)}).Result, smallInt(10));
+  EXPECT_EQ(runPrim(PrimAt, {Arr, smallInt(3)}).Result, smallInt(30));
+}
+
+TEST_F(ObjectPrimTest, AtBoundsChecked) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 3);
+  EXPECT_EQ(runPrim(PrimAt, {Arr, smallInt(0)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimAt, {Arr, smallInt(4)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimAt, {Arr, smallInt(-1)}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(ObjectPrimTest, AtRejectsWrongTypes) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 3);
+  EXPECT_EQ(runPrim(PrimAt, {smallInt(5), smallInt(1)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimAt, {Arr, Mem.nilObject()}).Kind,
+            ExitKind::PrimitiveFailure);
+  // Fixed-slot objects are not indexable via at:.
+  Oop P = Mem.allocateInstance(PointClass);
+  EXPECT_EQ(runPrim(PrimAt, {P, smallInt(1)}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(ObjectPrimTest, AtPutStoresAndAnswersValue) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 2);
+  Result R = runPrim(PrimAtPut, {Arr, smallInt(2), smallInt(99)});
+  ASSERT_EQ(R.Kind, ExitKind::Success);
+  EXPECT_EQ(R.Result, smallInt(99));
+  EXPECT_EQ(*Mem.fetchPointerSlot(Arr, 1), smallInt(99));
+}
+
+TEST_F(ObjectPrimTest, Size) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 7);
+  EXPECT_EQ(runPrim(PrimSize, {Arr}).Result, smallInt(7));
+  Oop Bytes = Mem.allocateInstance(ByteArrayClass, 5);
+  EXPECT_EQ(runPrim(PrimSize, {Bytes}).Result, smallInt(5));
+  EXPECT_EQ(runPrim(PrimSize, {smallInt(1)}).Kind,
+            ExitKind::PrimitiveFailure);
+  Oop P = Mem.allocateInstance(PointClass);
+  EXPECT_EQ(runPrim(PrimSize, {P}).Kind, ExitKind::PrimitiveFailure);
+}
+
+TEST_F(ObjectPrimTest, BasicNew) {
+  Result R = runPrim(PrimBasicNew, {smallInt(PointClass)});
+  ASSERT_EQ(R.Kind, ExitKind::Success);
+  EXPECT_EQ(Mem.classIndexOf(R.Result), PointClass);
+  EXPECT_EQ(Mem.slotCountOf(R.Result), 2u);
+}
+
+TEST_F(ObjectPrimTest, BasicNewRejectsBadClasses) {
+  EXPECT_EQ(runPrim(PrimBasicNew, {smallInt(0)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimBasicNew, {smallInt(9999)}).Kind,
+            ExitKind::PrimitiveFailure);
+  // Indexable classes need basicNew:.
+  EXPECT_EQ(runPrim(PrimBasicNew, {smallInt(ArrayClass)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimBasicNew, {Mem.nilObject()}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(ObjectPrimTest, BasicNewSized) {
+  Result R = runPrim(PrimBasicNewSized, {smallInt(ArrayClass), smallInt(4)});
+  ASSERT_EQ(R.Kind, ExitKind::Success);
+  EXPECT_EQ(Mem.slotCountOf(R.Result), 4u);
+  Result RB =
+      runPrim(PrimBasicNewSized, {smallInt(ByteArrayClass), smallInt(3)});
+  EXPECT_EQ(Mem.formatOf(RB.Result), ObjectFormat::IndexableBytes);
+}
+
+TEST_F(ObjectPrimTest, BasicNewSizedRejectsBadSizes) {
+  EXPECT_EQ(
+      runPrim(PrimBasicNewSized, {smallInt(ArrayClass), smallInt(-1)}).Kind,
+      ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimBasicNewSized,
+                    {smallInt(ArrayClass), smallInt(1 << 20)})
+                .Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(
+      runPrim(PrimBasicNewSized, {smallInt(PointClass), smallInt(2)}).Kind,
+      ExitKind::PrimitiveFailure); // fixed-format class
+}
+
+TEST_F(ObjectPrimTest, ClassPrimitive) {
+  EXPECT_EQ(runPrim(PrimClass, {smallInt(3)}).Result,
+            smallInt(SmallIntegerClass));
+  EXPECT_EQ(runPrim(PrimClass, {Mem.nilObject()}).Result,
+            smallInt(UndefinedObjectClass));
+  EXPECT_EQ(runPrim(PrimClass, {boxedFloat(1.0)}).Result,
+            smallInt(BoxedFloatClass));
+}
+
+TEST_F(ObjectPrimTest, IdentityHash) {
+  Oop A = Mem.allocateInstance(PointClass);
+  Result R1 = runPrim(PrimIdentityHash, {A});
+  Result R2 = runPrim(PrimIdentityHash, {A});
+  EXPECT_EQ(R1.Result, R2.Result);
+  EXPECT_EQ(runPrim(PrimIdentityHash, {smallInt(42)}).Result, smallInt(42));
+}
+
+TEST_F(ObjectPrimTest, IdentityEquals) {
+  Oop A = Mem.allocateInstance(PointClass);
+  Oop B = Mem.allocateInstance(PointClass);
+  EXPECT_EQ(runPrim(PrimIdentityEquals, {A, A}).Result, Mem.trueObject());
+  EXPECT_EQ(runPrim(PrimIdentityEquals, {A, B}).Result, Mem.falseObject());
+  EXPECT_EQ(runPrim(PrimIdentityEquals, {smallInt(1), smallInt(1)}).Result,
+            Mem.trueObject());
+}
+
+TEST_F(ObjectPrimTest, InstVarAt) {
+  Oop P = Mem.allocateInstance(PointClass);
+  Mem.storePointerSlot(P, 1, smallInt(22));
+  EXPECT_EQ(runPrim(PrimInstVarAt, {P, smallInt(2)}).Result, smallInt(22));
+  EXPECT_EQ(runPrim(PrimInstVarAt, {P, smallInt(3)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimInstVarAt, {smallInt(1), smallInt(1)}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(ObjectPrimTest, InstVarAtPut) {
+  Oop P = Mem.allocateInstance(PointClass);
+  Result R = runPrim(PrimInstVarAtPut, {P, smallInt(1), smallInt(7)});
+  ASSERT_EQ(R.Kind, ExitKind::Success);
+  EXPECT_EQ(*Mem.fetchPointerSlot(P, 0), smallInt(7));
+}
+
+TEST_F(ObjectPrimTest, ByteAtAndPut) {
+  Oop Bytes = Mem.allocateInstance(ByteArrayClass, 4);
+  EXPECT_EQ(runPrim(PrimByteAtPut, {Bytes, smallInt(2), smallInt(200)}).Kind,
+            ExitKind::Success);
+  EXPECT_EQ(runPrim(PrimByteAt, {Bytes, smallInt(2)}).Result, smallInt(200));
+  EXPECT_EQ(
+      runPrim(PrimByteAtPut, {Bytes, smallInt(1), smallInt(256)}).Kind,
+      ExitKind::PrimitiveFailure); // byte range
+  EXPECT_EQ(runPrim(PrimByteAtPut, {Bytes, smallInt(1), smallInt(-1)}).Kind,
+            ExitKind::PrimitiveFailure);
+  EXPECT_EQ(runPrim(PrimByteAt, {Bytes, smallInt(5)}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+TEST_F(ObjectPrimTest, ShallowCopy) {
+  Oop P = Mem.allocateInstance(PointClass);
+  Mem.storePointerSlot(P, 0, smallInt(1));
+  Mem.storePointerSlot(P, 1, smallInt(2));
+  Result R = runPrim(PrimShallowCopy, {P});
+  ASSERT_EQ(R.Kind, ExitKind::Success);
+  EXPECT_NE(R.Result, P);
+  EXPECT_EQ(Mem.classIndexOf(R.Result), PointClass);
+  EXPECT_EQ(*Mem.fetchPointerSlot(R.Result, 0), smallInt(1));
+  EXPECT_EQ(*Mem.fetchPointerSlot(R.Result, 1), smallInt(2));
+}
+
+TEST_F(ObjectPrimTest, ShallowCopyOfArray) {
+  Oop Arr = Mem.allocateInstance(ArrayClass, 2);
+  Mem.storePointerSlot(Arr, 1, smallInt(5));
+  Result R = runPrim(PrimShallowCopy, {Arr});
+  ASSERT_EQ(R.Kind, ExitKind::Success);
+  EXPECT_EQ(Mem.slotCountOf(R.Result), 2u);
+  EXPECT_EQ(*Mem.fetchPointerSlot(R.Result, 1), smallInt(5));
+}
+
+TEST_F(ObjectPrimTest, ShallowCopyRejectsImmediatesAndBytes) {
+  EXPECT_EQ(runPrim(PrimShallowCopy, {smallInt(1)}).Kind,
+            ExitKind::PrimitiveFailure);
+  Oop Bytes = Mem.allocateInstance(ByteArrayClass, 2);
+  EXPECT_EQ(runPrim(PrimShallowCopy, {Bytes}).Kind,
+            ExitKind::PrimitiveFailure);
+}
+
+} // namespace
