@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_sequences.dir/ext_sequences.cpp.o"
+  "CMakeFiles/ext_sequences.dir/ext_sequences.cpp.o.d"
+  "ext_sequences"
+  "ext_sequences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_sequences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

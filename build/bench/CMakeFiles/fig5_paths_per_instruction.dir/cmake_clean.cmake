@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_paths_per_instruction.dir/fig5_paths_per_instruction.cpp.o"
+  "CMakeFiles/fig5_paths_per_instruction.dir/fig5_paths_per_instruction.cpp.o.d"
+  "fig5_paths_per_instruction"
+  "fig5_paths_per_instruction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_paths_per_instruction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_test_time.dir/fig7_test_time.cpp.o"
+  "CMakeFiles/fig7_test_time.dir/fig7_test_time.cpp.o.d"
+  "fig7_test_time"
+  "fig7_test_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_test_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

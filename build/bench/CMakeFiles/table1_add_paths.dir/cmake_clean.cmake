@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_add_paths.dir/table1_add_paths.cpp.o"
+  "CMakeFiles/table1_add_paths.dir/table1_add_paths.cpp.o.d"
+  "table1_add_paths"
+  "table1_add_paths.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_add_paths.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_differences.dir/table2_differences.cpp.o"
+  "CMakeFiles/table2_differences.dir/table2_differences.cpp.o.d"
+  "table2_differences"
+  "table2_differences.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_differences.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

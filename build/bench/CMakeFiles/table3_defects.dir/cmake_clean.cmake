@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_defects.dir/table3_defects.cpp.o"
+  "CMakeFiles/table3_defects.dir/table3_defects.cpp.o.d"
+  "table3_defects"
+  "table3_defects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_defects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosscompiler_audit.dir/crosscompiler_audit.cpp.o"
+  "CMakeFiles/crosscompiler_audit.dir/crosscompiler_audit.cpp.o.d"
+  "crosscompiler_audit"
+  "crosscompiler_audit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosscompiler_audit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/float_bug_hunt.dir/float_bug_hunt.cpp.o"
+  "CMakeFiles/float_bug_hunt.dir/float_bug_hunt.cpp.o.d"
+  "float_bug_hunt"
+  "float_bug_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/float_bug_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

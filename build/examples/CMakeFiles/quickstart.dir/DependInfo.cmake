@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evalkit/CMakeFiles/igdt_evalkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/igdt_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/differential/CMakeFiles/igdt_differential.dir/DependInfo.cmake"
+  "/root/repo/build/src/concolic/CMakeFiles/igdt_concolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/igdt_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/igdt_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/igdt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/igdt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("vm")
+subdirs("solver")
+subdirs("symbolic")
+subdirs("concolic")
+subdirs("jit")
+subdirs("differential")
+subdirs("faults")
+subdirs("evalkit")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igdt_concolic.dir/ConcolicExplorer.cpp.o"
+  "CMakeFiles/igdt_concolic.dir/ConcolicExplorer.cpp.o.d"
+  "CMakeFiles/igdt_concolic.dir/SequenceCatalog.cpp.o"
+  "CMakeFiles/igdt_concolic.dir/SequenceCatalog.cpp.o.d"
+  "libigdt_concolic.a"
+  "libigdt_concolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igdt_concolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

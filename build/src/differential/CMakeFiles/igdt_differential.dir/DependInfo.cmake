@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/differential/DifferentialTester.cpp" "src/differential/CMakeFiles/igdt_differential.dir/DifferentialTester.cpp.o" "gcc" "src/differential/CMakeFiles/igdt_differential.dir/DifferentialTester.cpp.o.d"
+  "/root/repo/src/differential/OutputEvaluator.cpp" "src/differential/CMakeFiles/igdt_differential.dir/OutputEvaluator.cpp.o" "gcc" "src/differential/CMakeFiles/igdt_differential.dir/OutputEvaluator.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/concolic/CMakeFiles/igdt_concolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/igdt_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/igdt_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/igdt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/igdt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igdt_differential.dir/DifferentialTester.cpp.o"
+  "CMakeFiles/igdt_differential.dir/DifferentialTester.cpp.o.d"
+  "CMakeFiles/igdt_differential.dir/OutputEvaluator.cpp.o"
+  "CMakeFiles/igdt_differential.dir/OutputEvaluator.cpp.o.d"
+  "libigdt_differential.a"
+  "libigdt_differential.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igdt_differential.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igdt_evalkit.dir/Experiments.cpp.o"
+  "CMakeFiles/igdt_evalkit.dir/Experiments.cpp.o.d"
+  "CMakeFiles/igdt_evalkit.dir/TestExport.cpp.o"
+  "CMakeFiles/igdt_evalkit.dir/TestExport.cpp.o.d"
+  "libigdt_evalkit.a"
+  "libigdt_evalkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igdt_evalkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

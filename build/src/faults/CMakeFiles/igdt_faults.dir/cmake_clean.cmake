@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igdt_faults.dir/DefectCatalog.cpp.o"
+  "CMakeFiles/igdt_faults.dir/DefectCatalog.cpp.o.d"
+  "libigdt_faults.a"
+  "libigdt_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igdt_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

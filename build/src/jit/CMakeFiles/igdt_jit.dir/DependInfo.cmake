@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jit/BytecodeCogit.cpp" "src/jit/CMakeFiles/igdt_jit.dir/BytecodeCogit.cpp.o" "gcc" "src/jit/CMakeFiles/igdt_jit.dir/BytecodeCogit.cpp.o.d"
+  "/root/repo/src/jit/IRPrinter.cpp" "src/jit/CMakeFiles/igdt_jit.dir/IRPrinter.cpp.o" "gcc" "src/jit/CMakeFiles/igdt_jit.dir/IRPrinter.cpp.o.d"
+  "/root/repo/src/jit/LinearScan.cpp" "src/jit/CMakeFiles/igdt_jit.dir/LinearScan.cpp.o" "gcc" "src/jit/CMakeFiles/igdt_jit.dir/LinearScan.cpp.o.d"
+  "/root/repo/src/jit/Lowering.cpp" "src/jit/CMakeFiles/igdt_jit.dir/Lowering.cpp.o" "gcc" "src/jit/CMakeFiles/igdt_jit.dir/Lowering.cpp.o.d"
+  "/root/repo/src/jit/MachineCode.cpp" "src/jit/CMakeFiles/igdt_jit.dir/MachineCode.cpp.o" "gcc" "src/jit/CMakeFiles/igdt_jit.dir/MachineCode.cpp.o.d"
+  "/root/repo/src/jit/MachineSim.cpp" "src/jit/CMakeFiles/igdt_jit.dir/MachineSim.cpp.o" "gcc" "src/jit/CMakeFiles/igdt_jit.dir/MachineSim.cpp.o.d"
+  "/root/repo/src/jit/NativeMethodCogit.cpp" "src/jit/CMakeFiles/igdt_jit.dir/NativeMethodCogit.cpp.o" "gcc" "src/jit/CMakeFiles/igdt_jit.dir/NativeMethodCogit.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/igdt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igdt_jit.dir/BytecodeCogit.cpp.o"
+  "CMakeFiles/igdt_jit.dir/BytecodeCogit.cpp.o.d"
+  "CMakeFiles/igdt_jit.dir/IRPrinter.cpp.o"
+  "CMakeFiles/igdt_jit.dir/IRPrinter.cpp.o.d"
+  "CMakeFiles/igdt_jit.dir/LinearScan.cpp.o"
+  "CMakeFiles/igdt_jit.dir/LinearScan.cpp.o.d"
+  "CMakeFiles/igdt_jit.dir/Lowering.cpp.o"
+  "CMakeFiles/igdt_jit.dir/Lowering.cpp.o.d"
+  "CMakeFiles/igdt_jit.dir/MachineCode.cpp.o"
+  "CMakeFiles/igdt_jit.dir/MachineCode.cpp.o.d"
+  "CMakeFiles/igdt_jit.dir/MachineSim.cpp.o"
+  "CMakeFiles/igdt_jit.dir/MachineSim.cpp.o.d"
+  "CMakeFiles/igdt_jit.dir/NativeMethodCogit.cpp.o"
+  "CMakeFiles/igdt_jit.dir/NativeMethodCogit.cpp.o.d"
+  "libigdt_jit.a"
+  "libigdt_jit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igdt_jit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

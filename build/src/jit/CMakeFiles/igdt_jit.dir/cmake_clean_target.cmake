@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libigdt_jit.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/solver/Solver.cpp" "src/solver/CMakeFiles/igdt_solver.dir/Solver.cpp.o" "gcc" "src/solver/CMakeFiles/igdt_solver.dir/Solver.cpp.o.d"
+  "/root/repo/src/solver/Term.cpp" "src/solver/CMakeFiles/igdt_solver.dir/Term.cpp.o" "gcc" "src/solver/CMakeFiles/igdt_solver.dir/Term.cpp.o.d"
+  "/root/repo/src/solver/TermEval.cpp" "src/solver/CMakeFiles/igdt_solver.dir/TermEval.cpp.o" "gcc" "src/solver/CMakeFiles/igdt_solver.dir/TermEval.cpp.o.d"
+  "/root/repo/src/solver/TermPrinter.cpp" "src/solver/CMakeFiles/igdt_solver.dir/TermPrinter.cpp.o" "gcc" "src/solver/CMakeFiles/igdt_solver.dir/TermPrinter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/igdt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igdt_solver.dir/Solver.cpp.o"
+  "CMakeFiles/igdt_solver.dir/Solver.cpp.o.d"
+  "CMakeFiles/igdt_solver.dir/Term.cpp.o"
+  "CMakeFiles/igdt_solver.dir/Term.cpp.o.d"
+  "CMakeFiles/igdt_solver.dir/TermEval.cpp.o"
+  "CMakeFiles/igdt_solver.dir/TermEval.cpp.o.d"
+  "CMakeFiles/igdt_solver.dir/TermPrinter.cpp.o"
+  "CMakeFiles/igdt_solver.dir/TermPrinter.cpp.o.d"
+  "libigdt_solver.a"
+  "libigdt_solver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igdt_solver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igdt_support.dir/Arena.cpp.o"
+  "CMakeFiles/igdt_support.dir/Arena.cpp.o.d"
+  "CMakeFiles/igdt_support.dir/Statistics.cpp.o"
+  "CMakeFiles/igdt_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/igdt_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/igdt_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/igdt_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/igdt_support.dir/TablePrinter.cpp.o.d"
+  "libigdt_support.a"
+  "libigdt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igdt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

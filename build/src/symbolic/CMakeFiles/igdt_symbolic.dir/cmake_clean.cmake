@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igdt_symbolic.dir/FrameMaterializer.cpp.o"
+  "CMakeFiles/igdt_symbolic.dir/FrameMaterializer.cpp.o.d"
+  "libigdt_symbolic.a"
+  "libigdt_symbolic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igdt_symbolic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/Bytecodes.cpp" "src/vm/CMakeFiles/igdt_vm.dir/Bytecodes.cpp.o" "gcc" "src/vm/CMakeFiles/igdt_vm.dir/Bytecodes.cpp.o.d"
+  "/root/repo/src/vm/ClassTable.cpp" "src/vm/CMakeFiles/igdt_vm.dir/ClassTable.cpp.o" "gcc" "src/vm/CMakeFiles/igdt_vm.dir/ClassTable.cpp.o.d"
+  "/root/repo/src/vm/ExitCondition.cpp" "src/vm/CMakeFiles/igdt_vm.dir/ExitCondition.cpp.o" "gcc" "src/vm/CMakeFiles/igdt_vm.dir/ExitCondition.cpp.o.d"
+  "/root/repo/src/vm/InstructionCatalog.cpp" "src/vm/CMakeFiles/igdt_vm.dir/InstructionCatalog.cpp.o" "gcc" "src/vm/CMakeFiles/igdt_vm.dir/InstructionCatalog.cpp.o.d"
+  "/root/repo/src/vm/MethodBuilder.cpp" "src/vm/CMakeFiles/igdt_vm.dir/MethodBuilder.cpp.o" "gcc" "src/vm/CMakeFiles/igdt_vm.dir/MethodBuilder.cpp.o.d"
+  "/root/repo/src/vm/ObjectMemory.cpp" "src/vm/CMakeFiles/igdt_vm.dir/ObjectMemory.cpp.o" "gcc" "src/vm/CMakeFiles/igdt_vm.dir/ObjectMemory.cpp.o.d"
+  "/root/repo/src/vm/PrimitiveTable.cpp" "src/vm/CMakeFiles/igdt_vm.dir/PrimitiveTable.cpp.o" "gcc" "src/vm/CMakeFiles/igdt_vm.dir/PrimitiveTable.cpp.o.d"
+  "/root/repo/src/vm/SelectorTable.cpp" "src/vm/CMakeFiles/igdt_vm.dir/SelectorTable.cpp.o" "gcc" "src/vm/CMakeFiles/igdt_vm.dir/SelectorTable.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/igdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

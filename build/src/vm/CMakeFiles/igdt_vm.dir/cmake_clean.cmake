@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/igdt_vm.dir/Bytecodes.cpp.o"
+  "CMakeFiles/igdt_vm.dir/Bytecodes.cpp.o.d"
+  "CMakeFiles/igdt_vm.dir/ClassTable.cpp.o"
+  "CMakeFiles/igdt_vm.dir/ClassTable.cpp.o.d"
+  "CMakeFiles/igdt_vm.dir/ExitCondition.cpp.o"
+  "CMakeFiles/igdt_vm.dir/ExitCondition.cpp.o.d"
+  "CMakeFiles/igdt_vm.dir/InstructionCatalog.cpp.o"
+  "CMakeFiles/igdt_vm.dir/InstructionCatalog.cpp.o.d"
+  "CMakeFiles/igdt_vm.dir/MethodBuilder.cpp.o"
+  "CMakeFiles/igdt_vm.dir/MethodBuilder.cpp.o.d"
+  "CMakeFiles/igdt_vm.dir/ObjectMemory.cpp.o"
+  "CMakeFiles/igdt_vm.dir/ObjectMemory.cpp.o.d"
+  "CMakeFiles/igdt_vm.dir/PrimitiveTable.cpp.o"
+  "CMakeFiles/igdt_vm.dir/PrimitiveTable.cpp.o.d"
+  "CMakeFiles/igdt_vm.dir/SelectorTable.cpp.o"
+  "CMakeFiles/igdt_vm.dir/SelectorTable.cpp.o.d"
+  "libigdt_vm.a"
+  "libigdt_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/igdt_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/concolic/CatalogSweepTest.cpp" "tests/CMakeFiles/igdt_tests.dir/concolic/CatalogSweepTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/concolic/CatalogSweepTest.cpp.o.d"
+  "/root/repo/tests/concolic/ExplorerTest.cpp" "tests/CMakeFiles/igdt_tests.dir/concolic/ExplorerTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/concolic/ExplorerTest.cpp.o.d"
+  "/root/repo/tests/concolic/SequenceTest.cpp" "tests/CMakeFiles/igdt_tests.dir/concolic/SequenceTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/concolic/SequenceTest.cpp.o.d"
+  "/root/repo/tests/differential/DifferentialTest.cpp" "tests/CMakeFiles/igdt_tests.dir/differential/DifferentialTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/differential/DifferentialTest.cpp.o.d"
+  "/root/repo/tests/differential/OutputEvaluatorTest.cpp" "tests/CMakeFiles/igdt_tests.dir/differential/OutputEvaluatorTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/differential/OutputEvaluatorTest.cpp.o.d"
+  "/root/repo/tests/differential/RandomCrossValidationTest.cpp" "tests/CMakeFiles/igdt_tests.dir/differential/RandomCrossValidationTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/differential/RandomCrossValidationTest.cpp.o.d"
+  "/root/repo/tests/evalkit/ExperimentsTest.cpp" "tests/CMakeFiles/igdt_tests.dir/evalkit/ExperimentsTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/evalkit/ExperimentsTest.cpp.o.d"
+  "/root/repo/tests/evalkit/TestExportTest.cpp" "tests/CMakeFiles/igdt_tests.dir/evalkit/TestExportTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/evalkit/TestExportTest.cpp.o.d"
+  "/root/repo/tests/faults/SoundnessTest.cpp" "tests/CMakeFiles/igdt_tests.dir/faults/SoundnessTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/faults/SoundnessTest.cpp.o.d"
+  "/root/repo/tests/jit/BytecodeCogitTest.cpp" "tests/CMakeFiles/igdt_tests.dir/jit/BytecodeCogitTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/jit/BytecodeCogitTest.cpp.o.d"
+  "/root/repo/tests/jit/LinearScanTest.cpp" "tests/CMakeFiles/igdt_tests.dir/jit/LinearScanTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/jit/LinearScanTest.cpp.o.d"
+  "/root/repo/tests/jit/LoweringTest.cpp" "tests/CMakeFiles/igdt_tests.dir/jit/LoweringTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/jit/LoweringTest.cpp.o.d"
+  "/root/repo/tests/jit/MachineSimTest.cpp" "tests/CMakeFiles/igdt_tests.dir/jit/MachineSimTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/jit/MachineSimTest.cpp.o.d"
+  "/root/repo/tests/jit/NativeMethodCogitTest.cpp" "tests/CMakeFiles/igdt_tests.dir/jit/NativeMethodCogitTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/jit/NativeMethodCogitTest.cpp.o.d"
+  "/root/repo/tests/solver/SolverTest.cpp" "tests/CMakeFiles/igdt_tests.dir/solver/SolverTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/solver/SolverTest.cpp.o.d"
+  "/root/repo/tests/solver/TermTest.cpp" "tests/CMakeFiles/igdt_tests.dir/solver/TermTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/solver/TermTest.cpp.o.d"
+  "/root/repo/tests/support/ArenaTest.cpp" "tests/CMakeFiles/igdt_tests.dir/support/ArenaTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/support/ArenaTest.cpp.o.d"
+  "/root/repo/tests/support/IntMathTest.cpp" "tests/CMakeFiles/igdt_tests.dir/support/IntMathTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/support/IntMathTest.cpp.o.d"
+  "/root/repo/tests/support/RNGTest.cpp" "tests/CMakeFiles/igdt_tests.dir/support/RNGTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/support/RNGTest.cpp.o.d"
+  "/root/repo/tests/support/StatisticsTest.cpp" "tests/CMakeFiles/igdt_tests.dir/support/StatisticsTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/support/StatisticsTest.cpp.o.d"
+  "/root/repo/tests/support/StringUtilsTest.cpp" "tests/CMakeFiles/igdt_tests.dir/support/StringUtilsTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/support/StringUtilsTest.cpp.o.d"
+  "/root/repo/tests/support/TablePrinterTest.cpp" "tests/CMakeFiles/igdt_tests.dir/support/TablePrinterTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/support/TablePrinterTest.cpp.o.d"
+  "/root/repo/tests/symbolic/ConcolicDomainTest.cpp" "tests/CMakeFiles/igdt_tests.dir/symbolic/ConcolicDomainTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/symbolic/ConcolicDomainTest.cpp.o.d"
+  "/root/repo/tests/symbolic/FrameMaterializerTest.cpp" "tests/CMakeFiles/igdt_tests.dir/symbolic/FrameMaterializerTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/symbolic/FrameMaterializerTest.cpp.o.d"
+  "/root/repo/tests/vm/BytecodesTest.cpp" "tests/CMakeFiles/igdt_tests.dir/vm/BytecodesTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/vm/BytecodesTest.cpp.o.d"
+  "/root/repo/tests/vm/InstructionCatalogTest.cpp" "tests/CMakeFiles/igdt_tests.dir/vm/InstructionCatalogTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/vm/InstructionCatalogTest.cpp.o.d"
+  "/root/repo/tests/vm/InterpreterArithmeticTest.cpp" "tests/CMakeFiles/igdt_tests.dir/vm/InterpreterArithmeticTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/vm/InterpreterArithmeticTest.cpp.o.d"
+  "/root/repo/tests/vm/InterpreterBytecodeTest.cpp" "tests/CMakeFiles/igdt_tests.dir/vm/InterpreterBytecodeTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/vm/InterpreterBytecodeTest.cpp.o.d"
+  "/root/repo/tests/vm/ObjectMemoryTest.cpp" "tests/CMakeFiles/igdt_tests.dir/vm/ObjectMemoryTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/vm/ObjectMemoryTest.cpp.o.d"
+  "/root/repo/tests/vm/PrimitivesFFITest.cpp" "tests/CMakeFiles/igdt_tests.dir/vm/PrimitivesFFITest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/vm/PrimitivesFFITest.cpp.o.d"
+  "/root/repo/tests/vm/PrimitivesFloatTest.cpp" "tests/CMakeFiles/igdt_tests.dir/vm/PrimitivesFloatTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/vm/PrimitivesFloatTest.cpp.o.d"
+  "/root/repo/tests/vm/PrimitivesIntegerTest.cpp" "tests/CMakeFiles/igdt_tests.dir/vm/PrimitivesIntegerTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/vm/PrimitivesIntegerTest.cpp.o.d"
+  "/root/repo/tests/vm/PrimitivesObjectTest.cpp" "tests/CMakeFiles/igdt_tests.dir/vm/PrimitivesObjectTest.cpp.o" "gcc" "tests/CMakeFiles/igdt_tests.dir/vm/PrimitivesObjectTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/evalkit/CMakeFiles/igdt_evalkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/faults/CMakeFiles/igdt_faults.dir/DependInfo.cmake"
+  "/root/repo/build/src/differential/CMakeFiles/igdt_differential.dir/DependInfo.cmake"
+  "/root/repo/build/src/jit/CMakeFiles/igdt_jit.dir/DependInfo.cmake"
+  "/root/repo/build/src/concolic/CMakeFiles/igdt_concolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/symbolic/CMakeFiles/igdt_symbolic.dir/DependInfo.cmake"
+  "/root/repo/build/src/solver/CMakeFiles/igdt_solver.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/igdt_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/igdt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty dependencies file for igdt_tests.
+# This may be replaced when dependencies are built.
