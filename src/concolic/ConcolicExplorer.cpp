@@ -8,6 +8,7 @@
 #include "symbolic/FrameMaterializer.h"
 #include "vm/InterpreterCore.h"
 
+#include <algorithm>
 #include <deque>
 #include <set>
 
@@ -63,6 +64,39 @@ bool boolTermIsOpaque(const BoolTerm *T) {
   }
 }
 
+/// Rung \p Level of the degradation ladder: the same query with the
+/// branching caps (cases, class combos, random samples) cut to a
+/// quarter per rung, trading model coverage for the ability to answer
+/// at all. Floors keep the cheapest rung meaningful; the min() keeps a
+/// rung from exceeding an already-small base configuration. The node
+/// cap is the one knob a rung may *raise*: it is floored at a small
+/// constant so the narrowed tree can be visited at least once even
+/// when the base search was node-starved — with the branching caps
+/// cut, that floor still bounds the rung far below the cost of a
+/// full-width search.
+SolverOptions ladderRung(const SolverOptions &Base, unsigned Level) {
+  SolverOptions Rung = Base;
+  unsigned Shift = 2 * Level;
+  auto Cut = [Shift](unsigned Value, unsigned Floor) {
+    return std::min(Value, std::max(Floor, Value >> Shift));
+  };
+  Rung.MaxCases = Cut(Base.MaxCases, 4);
+  Rung.MaxClassCombos = Cut(Base.MaxClassCombos, 8);
+  Rung.RandomSamples = Cut(Base.RandomSamples, 1);
+  Rung.MaxSearchNodes = std::max<unsigned>(Base.MaxSearchNodes, 256);
+  return Rung;
+}
+
+void addSolverStats(SolverStats &To, const SolverStats &From) {
+  To.Queries += From.Queries;
+  To.SatCount += From.SatCount;
+  To.UnsatCount += From.UnsatCount;
+  To.UnknownCount += From.UnknownCount;
+  To.CasesExplored += From.CasesExplored;
+  To.NodesExplored += From.NodesExplored;
+  To.BudgetStops += From.BudgetStops;
+}
+
 } // namespace
 
 ExplorationResult ConcolicExplorer::explore(const InstructionSpec &Spec) {
@@ -96,7 +130,16 @@ ExplorationResult ConcolicExplorer::run(ExplorationResult Seed) {
   // per-instruction setup cost low (Figure 6 measures this).
   Result.Memory = std::make_unique<ObjectMemory>(256 * 1024);
 
-  ConstraintSolver Solver(Result.Memory->classTable(), Opts.Solver);
+  if (Opts.InjectHeapCorruption)
+    Result.Memory->poison("injected corruption before exploration");
+
+  Budget LocalBudget(Opts.InstructionBudget);
+  Budget &Bud = Opts.ExternalBudget ? *Opts.ExternalBudget : LocalBudget;
+
+  SolverOptions PrimaryOpts = Opts.Solver;
+  PrimaryOpts.SharedBudget = &Bud;
+  ConstraintSolver Solver(Result.Memory->classTable(), PrimaryOpts);
+  SolverStats LadderStats;
   FrameMaterializer Materializer(*Result.Memory, *Result.Builder);
   TermBuilder &B = *Result.Builder;
 
@@ -110,6 +153,14 @@ ExplorationResult ConcolicExplorer::run(ExplorationResult Seed) {
 
   while (!Queue.empty() && Result.Iterations < Opts.MaxIterations &&
          Result.Paths.size() < Opts.MaxPaths) {
+    // One work unit per concolic execution. The charge also polls the
+    // wall clock, so an expired deadline stops the frontier between
+    // solver calls; the paths retained so far stay valid.
+    if (!Bud.charge()) {
+      Result.BudgetExhausted = true;
+      break;
+    }
+
     Pending Item = std::move(Queue.front());
     Queue.pop_front();
     ++Result.Iterations;
@@ -186,6 +237,25 @@ ExplorationResult ConcolicExplorer::run(ExplorationResult Seed) {
       Prefix.push_back(Entries[I].Taken ? B.notB(Entries[I].Condition)
                                         : Entries[I].Condition);
       SolveResult SR = Solver.solve(Prefix);
+
+      // Degradation ladder: before giving the negation up as Unknown,
+      // retry with progressively cheaper solver configurations. A small
+      // cap often answers a query whose full-size search space blew the
+      // node budget, at the price of missing some models.
+      for (unsigned Rung = 1;
+           SR.Status == SolveStatus::Unknown && Rung <= Opts.LadderRungs &&
+           !Bud.expired();
+           ++Rung) {
+        ++Result.LadderRetries;
+        SolverOptions RungOpts = ladderRung(PrimaryOpts, Rung);
+        RungOpts.SharedBudget = &Bud;
+        ConstraintSolver Cheap(Result.Memory->classTable(), RungOpts);
+        SR = Cheap.solve(Prefix);
+        addSolverStats(LadderStats, Cheap.stats());
+        if (SR.Status != SolveStatus::Unknown)
+          ++Result.LadderRescues;
+      }
+
       if (SR.Status == SolveStatus::Sat)
         Queue.push_back({std::move(SR.M), I + 1});
       else if (SR.Status == SolveStatus::Unknown)
@@ -196,5 +266,9 @@ ExplorationResult ConcolicExplorer::run(ExplorationResult Seed) {
   }
 
   Result.Solver = Solver.stats();
+  addSolverStats(Result.Solver, LadderStats);
+  if (Bud.expired())
+    Result.BudgetExhausted = true;
+  Result.BudgetNote = Bud.describe();
   return Result;
 }

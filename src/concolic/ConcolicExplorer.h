@@ -41,6 +41,22 @@ struct ExplorerOptions {
   /// are curated out (paper §5.2).
   std::int64_t MaxReplayStackDepth = 8;
   SolverOptions Solver;
+  /// Per-instruction exploration budget (a zero field is unlimited).
+  /// One work unit is one solver search node; the explorer and solver
+  /// poll it cooperatively and stop with a partial result on expiry.
+  BudgetOptions InstructionBudget;
+  /// External budget used instead of InstructionBudget when non-null
+  /// (non-owning), so a campaign layer can read the budget state after
+  /// a fault unwound the exploration.
+  Budget *ExternalBudget = nullptr;
+  /// Degradation-ladder depth: how many progressively cheaper solver
+  /// configurations to retry an Unknown negation with before recording
+  /// an UnknownNegation. 0 disables the ladder.
+  unsigned LadderRungs = 2;
+  /// Harness-fault injection (campaign self-tests): poison the
+  /// exploration heap so the first materialisation trips the integrity
+  /// check.
+  bool InjectHeapCorruption = false;
 };
 
 /// Everything produced by exploring one instruction. Owns the term arena,
@@ -61,6 +77,16 @@ struct ExplorationResult {
   unsigned UnknownNegations = 0; // solver gave up on a negated prefix
   unsigned UnsatNegations = 0;
   SolverStats Solver;
+
+  /// The instruction budget expired before the frontier emptied; the
+  /// retained paths are still valid (just incomplete coverage).
+  bool BudgetExhausted = false;
+  /// Budget state when exploration stopped (for incident reports).
+  std::string BudgetNote;
+  /// Degradation-ladder activity: cheaper-rung retries attempted, and
+  /// how many turned an Unknown negation into a definite answer.
+  unsigned LadderRetries = 0;
+  unsigned LadderRescues = 0;
 
   /// Paths the differential harness can replay.
   unsigned curatedCount() const {

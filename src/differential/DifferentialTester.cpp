@@ -40,6 +40,8 @@ const char *igdt::pathTestStatusName(PathTestStatus Status) {
     return "expected-failure";
   case PathTestStatus::NotReplayable:
     return "not-replayable";
+  case PathTestStatus::BudgetSkipped:
+    return "budget-skipped";
   }
   igdt_unreachable("unknown path test status");
 }
@@ -176,6 +178,12 @@ PathTestOutcome DifferentialTester::testPath(const ExplorationResult &R,
     Out.Details = Why;
     return Out;
   };
+
+  // One work unit per path; once the shared budget expires the rest of
+  // the instruction's paths are skipped rather than half-tested.
+  if (Cfg.ReplayBudget && !Cfg.ReplayBudget->charge())
+    return Skip(PathTestStatus::BudgetSkipped,
+                "replay budget expired before this path ran");
 
   if (!P.Curated)
     return Skip(PathTestStatus::NotReplayable, P.CurationNote.c_str());
@@ -343,6 +351,15 @@ PathTestOutcome DifferentialTester::testPath(const ExplorationResult &R,
 
   MachineExit ME = Sim.run(Code.Code);
   Out.MachineExit = ME.Kind;
+
+  if (ME.Kind == MachExitKind::FuelExhausted &&
+      Cfg.FuelExhaustionIsHarnessFault)
+    // Scarce fuel is a harness condition, not evidence about the
+    // compiler; surface it to the campaign's containment boundary.
+    throw HarnessFault("simulate",
+                       "simulator fuel exhausted while replaying '" +
+                           Spec.Name + "'" +
+                           (ME.Note.empty() ? "" : ": " + ME.Note));
 
   auto Difference = [&](std::string Details) {
     Out.Status = PathTestStatus::Difference;

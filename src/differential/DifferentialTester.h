@@ -42,6 +42,15 @@ struct DiffTestConfig {
   bool UseArmBackend = false;
   CogitOptions Cogit;
   SimOptions Sim;
+  /// Cooperative replay budget (non-owning, may be null): one work unit
+  /// is charged per tested path, and once the budget expires remaining
+  /// paths come back BudgetSkipped instead of running.
+  Budget *ReplayBudget = nullptr;
+  /// Campaign mode: report simulator fuel exhaustion as a harness fault
+  /// (a thrown HarnessFault) rather than as a compiled-code defect.
+  /// When fuel is deliberately scarce, exhaustion says nothing about
+  /// the compiler under test.
+  bool FuelExhaustionIsHarnessFault = false;
 };
 
 /// Per-path verdict.
@@ -50,6 +59,7 @@ enum class PathTestStatus : std::uint8_t {
   Difference,      ///< a defect was detected and classified
   ExpectedFailure, ///< invalid-frame / unsafe-access path, not replayed
   NotReplayable,   ///< curated out (prototype limitation)
+  BudgetSkipped,   ///< replay budget expired before this path ran
 };
 
 const char *pathTestStatusName(PathTestStatus Status);

@@ -1,0 +1,394 @@
+//===- evalkit/CampaignRunner.cpp - Resilient evaluation campaigns -------------===//
+
+#include "evalkit/CampaignRunner.h"
+
+#include "support/Json.h"
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+
+using namespace igdt;
+
+namespace {
+
+double millisSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+const char *instructionKindLabel(InstructionKind Kind) {
+  return Kind == InstructionKind::Bytecode ? "bytecode" : "native-method";
+}
+
+constexpr CompilerKind AllCompilers[] = {
+    CompilerKind::NativeMethod, CompilerKind::SimpleStack,
+    CompilerKind::StackToRegister, CompilerKind::RegisterAllocating};
+
+constexpr DefectFamily AllFamilies[] = {
+    DefectFamily::MissingInterpreterTypeCheck,
+    DefectFamily::MissingCompiledTypeCheck,
+    DefectFamily::OptimisationDifference,
+    DefectFamily::BehaviouralDifference,
+    DefectFamily::MissingFunctionality,
+    DefectFamily::SimulationError};
+
+bool parseCompilerKind(const std::string &Name, CompilerKind &Out) {
+  for (CompilerKind Kind : AllCompilers)
+    if (Name == compilerKindName(Kind)) {
+      Out = Kind;
+      return true;
+    }
+  return false;
+}
+
+bool parseDefectFamily(const std::string &Name, DefectFamily &Out) {
+  for (DefectFamily Family : AllFamilies)
+    if (Name == defectFamilyName(Family)) {
+      Out = Family;
+      return true;
+    }
+  return false;
+}
+
+} // namespace
+
+std::string CampaignIncident::toJson() const {
+  JsonValue V = JsonValue::object();
+  V.set("instruction", JsonValue::string(Instruction))
+      .set("stage", JsonValue::string(Stage))
+      .set("error_class", JsonValue::string(ErrorClass))
+      .set("error", JsonValue::string(Error))
+      .set("attempt", JsonValue::number(Attempt))
+      .set("explore_budget", JsonValue::string(ExploreBudget))
+      .set("replay_budget", JsonValue::string(ReplayBudget))
+      .set("quarantined", JsonValue::boolean(Quarantined));
+  return V.dump();
+}
+
+std::string InstructionRecord::toJson() const {
+  JsonValue V = JsonValue::object();
+  V.set("instruction", JsonValue::string(Instruction))
+      .set("kind", JsonValue::string(instructionKindLabel(Kind)))
+      .set("quarantined", JsonValue::boolean(Quarantined))
+      .set("attempts", JsonValue::number(Attempts))
+      .set("paths", JsonValue::number(Paths))
+      .set("curated", JsonValue::number(CuratedPaths))
+      .set("unknown_negations", JsonValue::number(UnknownNegations))
+      .set("ladder_retries", JsonValue::number(LadderRetries))
+      .set("ladder_rescues", JsonValue::number(LadderRescues))
+      .set("budget_exhausted", JsonValue::boolean(BudgetExhausted));
+  JsonValue Comps = JsonValue::array();
+  for (const CompilerOutcome &C : Compilers) {
+    JsonValue O = JsonValue::object();
+    O.set("kind", JsonValue::string(compilerKindName(C.Kind)))
+        .set("differing", JsonValue::number(C.DifferingPaths))
+        .set("budget_skipped", JsonValue::number(C.BudgetSkipped))
+        .set("millis", JsonValue::number(C.TestMillis));
+    JsonValue Causes = JsonValue::array();
+    for (const auto &[Key, Family] : C.Causes) {
+      JsonValue Cause = JsonValue::object();
+      Cause.set("key", JsonValue::string(Key))
+          .set("family", JsonValue::string(defectFamilyName(Family)));
+      Causes.push(std::move(Cause));
+    }
+    O.set("causes", std::move(Causes));
+    Comps.push(std::move(O));
+  }
+  V.set("compilers", std::move(Comps));
+  return V.dump();
+}
+
+bool InstructionRecord::fromJson(const std::string &Line,
+                                 InstructionRecord &Out) {
+  auto V = JsonValue::parse(Line);
+  if (!V || V->K != JsonValue::Kind::Object)
+    return false;
+  Out = InstructionRecord();
+  Out.Instruction = V->stringOr("instruction", "");
+  if (Out.Instruction.empty())
+    return false;
+  Out.Kind = V->stringOr("kind", "bytecode") == "native-method"
+                 ? InstructionKind::NativeMethod
+                 : InstructionKind::Bytecode;
+  Out.Quarantined = V->boolOr("quarantined", false);
+  Out.Attempts = static_cast<unsigned>(V->numberOr("attempts", 1));
+  Out.Paths = static_cast<unsigned>(V->numberOr("paths", 0));
+  Out.CuratedPaths = static_cast<unsigned>(V->numberOr("curated", 0));
+  Out.UnknownNegations =
+      static_cast<unsigned>(V->numberOr("unknown_negations", 0));
+  Out.LadderRetries = static_cast<unsigned>(V->numberOr("ladder_retries", 0));
+  Out.LadderRescues = static_cast<unsigned>(V->numberOr("ladder_rescues", 0));
+  Out.BudgetExhausted = V->boolOr("budget_exhausted", false);
+  if (const JsonValue *Comps = V->find("compilers")) {
+    for (const JsonValue &O : Comps->Arr) {
+      CompilerOutcome C;
+      if (!parseCompilerKind(O.stringOr("kind", ""), C.Kind))
+        return false;
+      C.DifferingPaths = static_cast<unsigned>(O.numberOr("differing", 0));
+      C.BudgetSkipped = static_cast<unsigned>(O.numberOr("budget_skipped", 0));
+      C.TestMillis = O.numberOr("millis", 0);
+      if (const JsonValue *Causes = O.find("causes")) {
+        for (const JsonValue &Cause : Causes->Arr) {
+          DefectFamily Family;
+          if (!parseDefectFamily(Cause.stringOr("family", ""), Family))
+            return false;
+          C.Causes.emplace(Cause.stringOr("key", ""), Family);
+        }
+      }
+      Out.Compilers.push_back(std::move(C));
+    }
+  }
+  return true;
+}
+
+int CampaignSummary::exitCode() const {
+  // Optimisation differences are the one family the paper classifies
+  // as "arguably correct in both" — they are structural (the simple
+  // compiler never inlines) and present even with every defect seed
+  // disabled, so they must not fail a campaign.
+  for (const CompilerEvaluation &Row : Rows)
+    for (const auto &[Key, Family] : Row.Causes) {
+      (void)Key;
+      if (Family != DefectFamily::OptimisationDifference)
+        return 1;
+    }
+  return 0;
+}
+
+std::vector<CompilerEvaluation>
+igdt::aggregateCampaignRows(const std::vector<InstructionRecord> &Records) {
+  std::vector<CompilerEvaluation> Rows;
+  for (CompilerKind Kind : AllCompilers) {
+    CompilerEvaluation Row;
+    Row.Kind = Kind;
+    InstructionKind Wanted = Kind == CompilerKind::NativeMethod
+                                 ? InstructionKind::NativeMethod
+                                 : InstructionKind::Bytecode;
+    for (const InstructionRecord &Rec : Records) {
+      if (Rec.Quarantined || Rec.Kind != Wanted)
+        continue;
+      ++Row.TestedInstructions;
+      Row.InterpreterPaths += Rec.Paths;
+      Row.CuratedPaths += Rec.CuratedPaths;
+      for (const CompilerOutcome &C : Rec.Compilers) {
+        if (C.Kind != Kind)
+          continue;
+        Row.DifferingPaths += C.DifferingPaths;
+        for (const auto &[Key, Family] : C.Causes)
+          Row.Causes.emplace(Key, Family);
+        Row.TestMillisPerInstruction.push_back(C.TestMillis);
+      }
+    }
+    Rows.push_back(std::move(Row));
+  }
+  return Rows;
+}
+
+CampaignRunner::CampaignRunner(CampaignOptions Options)
+    : Opts(std::move(Options)) {}
+
+void CampaignRunner::appendLine(const std::string &Path,
+                                const std::string &Line) const {
+  if (Path.empty())
+    return;
+  std::ofstream Out(Path, std::ios::app);
+  Out << Line << '\n';
+}
+
+InstructionRecord
+CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
+                                   unsigned Attempt, Budget &ExploreBud,
+                                   Budget &ReplayBud) {
+  InstructionRecord Rec;
+  Rec.Instruction = Spec.Name;
+  Rec.Kind = Spec.Kind;
+  Rec.Attempts = Attempt;
+
+  ExplorerOptions EOpts = Opts.Harness.Explorer;
+  EOpts.ExternalBudget = &ExploreBud;
+  if (Opts.Faults.armedFor(HarnessFaultKind::SolverHang, Spec.Name, Attempt))
+    EOpts.Solver.InjectSolverHang = true;
+  if (Opts.Faults.armedFor(HarnessFaultKind::HeapCorruption, Spec.Name,
+                           Attempt))
+    EOpts.InjectHeapCorruption = true;
+
+  ConcolicExplorer Explorer(Opts.Harness.VM, EOpts);
+  ExplorationResult R = Explorer.explore(Spec);
+  Rec.Paths = static_cast<unsigned>(R.Paths.size());
+  Rec.CuratedPaths = R.curatedCount();
+  Rec.UnknownNegations = R.UnknownNegations;
+  Rec.LadderRetries = R.LadderRetries;
+  Rec.LadderRescues = R.LadderRescues;
+  Rec.BudgetExhausted = R.BudgetExhausted;
+
+  for (CompilerKind Kind : AllCompilers) {
+    InstructionKind Wanted = Kind == CompilerKind::NativeMethod
+                                 ? InstructionKind::NativeMethod
+                                 : InstructionKind::Bytecode;
+    if (Spec.Kind != Wanted)
+      continue;
+
+    auto MakeConfig = [&](bool Arm) {
+      DiffTestConfig Cfg;
+      Cfg.Kind = Kind;
+      Cfg.UseArmBackend = Arm;
+      Cfg.Cogit = Opts.Harness.Cogit;
+      if (Opts.Harness.SeedSimulationErrors && Arm)
+        Cfg.Sim.MissingFPAccessors.insert(std::uint8_t(FReg::F5));
+      Cfg.ReplayBudget = &ReplayBud;
+      if (Opts.Faults.armedFor(HarnessFaultKind::FrontEndThrow, Spec.Name,
+                               Attempt))
+        Cfg.Cogit.InjectFrontEndThrow = true;
+      if (Opts.Faults.armedFor(HarnessFaultKind::SimFuelExhaustion, Spec.Name,
+                               Attempt)) {
+        Cfg.Sim.Fuel = 1;
+        Cfg.FuelExhaustionIsHarnessFault = true;
+      }
+      return Cfg;
+    };
+
+    CompilerOutcome Outcome;
+    Outcome.Kind = Kind;
+    DifferentialTester X64(MakeConfig(/*Arm=*/false));
+    DifferentialTester Arm(MakeConfig(/*Arm=*/true));
+
+    auto Start = std::chrono::steady_clock::now();
+    for (std::size_t I = 0; I < R.Paths.size(); ++I) {
+      PathTestOutcome A = X64.testPath(R, I);
+      PathTestOutcome B = Arm.testPath(R, I);
+      if (A.Status == PathTestStatus::BudgetSkipped ||
+          B.Status == PathTestStatus::BudgetSkipped)
+        ++Outcome.BudgetSkipped;
+      bool Differs = A.Status == PathTestStatus::Difference ||
+                     B.Status == PathTestStatus::Difference;
+      if (!Differs)
+        continue;
+      ++Outcome.DifferingPaths;
+      if (A.Status == PathTestStatus::Difference)
+        Outcome.Causes.emplace(A.CauseKey, A.Family);
+      if (B.Status == PathTestStatus::Difference)
+        Outcome.Causes.emplace(B.CauseKey, B.Family);
+    }
+    Outcome.TestMillis = millisSince(Start);
+    Rec.Compilers.push_back(std::move(Outcome));
+  }
+  return Rec;
+}
+
+InstructionRecord CampaignRunner::testInstruction(const InstructionSpec &Spec,
+                                                  CampaignSummary &Summary) {
+  unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
+  std::vector<CampaignIncident> Local;
+  InstructionRecord Rec;
+  bool Succeeded = false;
+
+  for (unsigned Attempt = 1; Attempt <= MaxAttempts && !Succeeded; ++Attempt) {
+    // Fresh budgets AND a fresh exploration heap per attempt: a fault
+    // must not leak state into the retry.
+    Budget ExploreBud(Opts.ExploreBudget);
+    Budget ReplayBud(Opts.ReplayBudget);
+    try {
+      Rec = attemptInstruction(Spec, Attempt, ExploreBud, ReplayBud);
+      Succeeded = true;
+    } catch (const HarnessFault &F) {
+      CampaignIncident I;
+      I.Instruction = Spec.Name;
+      I.Stage = F.stage();
+      I.ErrorClass = "harness-fault";
+      I.Error = F.what();
+      I.ExploreBudget = ExploreBud.describe();
+      I.ReplayBudget = ReplayBud.describe();
+      I.Attempt = Attempt;
+      Local.push_back(std::move(I));
+    } catch (const std::exception &E) {
+      CampaignIncident I;
+      I.Instruction = Spec.Name;
+      I.Stage = "explore";
+      I.ErrorClass = "exception";
+      I.Error = E.what();
+      I.ExploreBudget = ExploreBud.describe();
+      I.ReplayBudget = ReplayBud.describe();
+      I.Attempt = Attempt;
+      Local.push_back(std::move(I));
+    }
+  }
+
+  if (!Succeeded) {
+    Rec = InstructionRecord();
+    Rec.Instruction = Spec.Name;
+    Rec.Kind = Spec.Kind;
+    Rec.Attempts = MaxAttempts;
+    Rec.Quarantined = true;
+  }
+
+  for (CampaignIncident &I : Local) {
+    I.Quarantined = Rec.Quarantined;
+    appendLine(Opts.IncidentLogPath, I.toJson());
+    Summary.Incidents.push_back(std::move(I));
+  }
+  return Rec;
+}
+
+CampaignSummary CampaignRunner::run() {
+  CampaignSummary Summary;
+
+  // Resume: later checkpoint lines win, so a record rewritten after a
+  // retry supersedes the earlier one.
+  std::map<std::string, InstructionRecord> Done;
+  if (!Opts.CheckpointPath.empty()) {
+    std::ifstream In(Opts.CheckpointPath);
+    std::string Line;
+    while (std::getline(In, Line)) {
+      InstructionRecord Rec;
+      if (InstructionRecord::fromJson(Line, Rec))
+        Done[Rec.Instruction] = std::move(Rec);
+    }
+  }
+
+  unsigned Bytecodes = 0;
+  unsigned Natives = 0;
+  unsigned NewProcessed = 0;
+  for (const InstructionSpec &Spec : allInstructions()) {
+    if (!Opts.OnlyInstructions.empty() &&
+        std::find(Opts.OnlyInstructions.begin(), Opts.OnlyInstructions.end(),
+                  Spec.Name) == Opts.OnlyInstructions.end())
+      continue;
+    if (Spec.Kind == InstructionKind::Bytecode) {
+      if (Opts.Harness.MaxBytecodes && Bytecodes >= Opts.Harness.MaxBytecodes)
+        continue;
+      ++Bytecodes;
+    } else {
+      if (Opts.Harness.MaxNativeMethods &&
+          Natives >= Opts.Harness.MaxNativeMethods)
+        continue;
+      ++Natives;
+    }
+
+    auto It = Done.find(Spec.Name);
+    if (It != Done.end()) {
+      if (It->second.Quarantined)
+        Summary.Quarantined.push_back(Spec.Name);
+      Summary.Records.push_back(It->second);
+      ++Summary.ResumedInstructions;
+      continue;
+    }
+
+    if (Opts.StopAfter && NewProcessed >= Opts.StopAfter) {
+      Summary.Stopped = true;
+      break;
+    }
+
+    InstructionRecord Rec = testInstruction(Spec, Summary);
+    ++NewProcessed;
+    ++Summary.CompletedInstructions;
+    if (Rec.Quarantined)
+      Summary.Quarantined.push_back(Spec.Name);
+    appendLine(Opts.CheckpointPath, Rec.toJson());
+    Summary.Records.push_back(std::move(Rec));
+  }
+
+  Summary.Rows = aggregateCampaignRows(Summary.Records);
+  return Summary;
+}

@@ -1,0 +1,175 @@
+//===- evalkit/CampaignRunner.h - Resilient evaluation campaigns ---------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The resilient campaign runner: wraps the per-instruction pipeline
+/// (explore -> compile -> simulate -> validate) of the evaluation
+/// harness in fault containment so a full-catalog run survives harness
+/// malfunctions.
+///
+///  - Every stage runs under a cooperative Budget (wall clock + work
+///    units), so a pathological instruction degrades into a partial
+///    result instead of stalling the campaign.
+///  - A HarnessFault (or any std::exception) thrown while processing an
+///    instruction is contained: the instruction is retried once with a
+///    fresh heap, and quarantined — never fatal — if it fails again.
+///  - Every containment event is appended to a JSONL incident report
+///    (instruction, stage, error class, budget state).
+///  - The campaign checkpoints each finished instruction to a JSONL
+///    file and can resume from it, reproducing the same Table 2 counts
+///    as an uninterrupted run (exploration is deterministic).
+///  - The exit code reports genuine differential defects only; harness
+///    faults never fail the run.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_EVALKIT_CAMPAIGNRUNNER_H
+#define IGDT_EVALKIT_CAMPAIGNRUNNER_H
+
+#include "evalkit/Experiments.h"
+#include "faults/HarnessFaults.h"
+#include "support/Budget.h"
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+/// Campaign configuration.
+struct CampaignOptions {
+  /// Exploration / compiler configuration, shared with the plain
+  /// evaluation harness so campaign counts are comparable.
+  HarnessOptions Harness;
+  /// Per-instruction exploration budget (solver nodes + wall clock).
+  BudgetOptions ExploreBudget;
+  /// Per-instruction replay budget (tested paths + wall clock).
+  BudgetOptions ReplayBudget;
+  /// Attempts per instruction: 1 initial + (MaxAttempts-1) fresh-heap
+  /// retries before quarantine.
+  unsigned MaxAttempts = 2;
+  /// Restrict the campaign to these catalog instructions (empty = all,
+  /// subject to the harness Max* limits). Unknown names are ignored.
+  std::vector<std::string> OnlyInstructions;
+  /// JSONL checkpoint file: one record per finished instruction,
+  /// appended as the campaign progresses and loaded on start to resume.
+  /// Empty disables checkpointing.
+  std::string CheckpointPath;
+  /// JSONL incident report. Empty keeps incidents in memory only.
+  std::string IncidentLogPath;
+  /// Harness faults to inject (self-tests).
+  HarnessFaultPlan Faults;
+  /// Stop (checkpointing as usual) after processing this many NEW
+  /// instructions; 0 runs to completion. Simulates a killed campaign
+  /// for resume tests.
+  unsigned StopAfter = 0;
+};
+
+/// One contained failure.
+struct CampaignIncident {
+  std::string Instruction;
+  /// Harness stage that failed ("solve", "compile", "simulate", "heap",
+  /// "explore" for faults without a finer stage).
+  std::string Stage;
+  /// "harness-fault" for HarnessFault, "exception" otherwise.
+  std::string ErrorClass;
+  std::string Error;
+  /// Budget state of the failing attempt, from Budget::describe().
+  std::string ExploreBudget;
+  std::string ReplayBudget;
+  /// 1-based attempt the failure happened on.
+  unsigned Attempt = 1;
+  /// Final disposition of the instruction after all attempts.
+  bool Quarantined = false;
+
+  std::string toJson() const;
+};
+
+/// Per-compiler outcome of one instruction (both back-ends unioned,
+/// mirroring EvaluationHarness::evaluateCompiler).
+struct CompilerOutcome {
+  CompilerKind Kind = CompilerKind::NativeMethod;
+  unsigned DifferingPaths = 0;
+  /// Paths skipped because the replay budget expired.
+  unsigned BudgetSkipped = 0;
+  double TestMillis = 0;
+  std::map<std::string, DefectFamily> Causes;
+};
+
+/// Checkpoint unit: everything the campaign keeps about one instruction.
+struct InstructionRecord {
+  std::string Instruction;
+  InstructionKind Kind = InstructionKind::Bytecode;
+  bool Quarantined = false;
+  unsigned Attempts = 1;
+  unsigned Paths = 0;
+  unsigned CuratedPaths = 0;
+  unsigned UnknownNegations = 0;
+  unsigned LadderRetries = 0;
+  unsigned LadderRescues = 0;
+  bool BudgetExhausted = false;
+  std::vector<CompilerOutcome> Compilers;
+
+  std::string toJson() const;
+  static bool fromJson(const std::string &Line, InstructionRecord &Out);
+};
+
+/// The campaign result.
+struct CampaignSummary {
+  /// Table 2 rows aggregated over all non-quarantined instructions,
+  /// comparable with EvaluationHarness::evaluateAllCompilers().
+  std::vector<CompilerEvaluation> Rows;
+  std::vector<InstructionRecord> Records;
+  std::vector<CampaignIncident> Incidents;
+  /// Instructions quarantined after exhausting their attempts.
+  std::vector<std::string> Quarantined;
+  /// Instructions processed by this run (quarantined ones included).
+  unsigned CompletedInstructions = 0;
+  /// Instructions restored from the checkpoint instead of re-run.
+  unsigned ResumedInstructions = 0;
+  /// True when StopAfter ended the run before the worklist emptied.
+  bool Stopped = false;
+
+  /// Nonzero only for genuine differential defects — never for harness
+  /// faults, quarantines, or the structural optimisation differences
+  /// that exist even in a fully fixed configuration.
+  int exitCode() const;
+};
+
+/// Runs resilient evaluation campaigns.
+class CampaignRunner {
+public:
+  explicit CampaignRunner(CampaignOptions Options);
+
+  CampaignSummary run();
+
+  const CampaignOptions &options() const { return Opts; }
+
+private:
+  /// Processes one instruction with retry + containment. Appends any
+  /// incidents to \p Summary and returns the (possibly quarantined)
+  /// record.
+  InstructionRecord testInstruction(const InstructionSpec &Spec,
+                                    CampaignSummary &Summary);
+
+  /// One attempt of the full pipeline; throws on harness faults.
+  InstructionRecord attemptInstruction(const InstructionSpec &Spec,
+                                       unsigned Attempt, Budget &ExploreBud,
+                                       Budget &ReplayBud);
+
+  void appendLine(const std::string &Path, const std::string &Line) const;
+
+  CampaignOptions Opts;
+};
+
+/// Aggregates per-instruction records into Table 2 rows (exposed for
+/// tests that compare checkpointed and uninterrupted campaigns).
+std::vector<CompilerEvaluation>
+aggregateCampaignRows(const std::vector<InstructionRecord> &Records);
+
+} // namespace igdt
+
+#endif // IGDT_EVALKIT_CAMPAIGNRUNNER_H

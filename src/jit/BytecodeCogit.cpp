@@ -6,6 +6,7 @@
 #include "jit/LinearScan.h"
 #include "jit/Lowering.h"
 #include "jit/Trampolines.h"
+#include "support/Budget.h"
 #include "support/Compiler.h"
 #include "vm/Bytecodes.h"
 
@@ -920,6 +921,9 @@ SimStackEmitter::emitMethod(const CompiledMethod &Method,
 std::optional<CompiledCode>
 BytecodeCogit::compile(const CompiledMethod &Method,
                        const std::vector<Oop> &InputStack) {
+  if (Opts.InjectFrontEndThrow)
+    throw HarnessFault("compile",
+                       "injected front-end crash while decoding bytecode");
   auto D = decodeBytecode(Method.Bytecodes, 0);
   if (!D)
     return std::nullopt;
@@ -973,6 +977,9 @@ BytecodeCogit::compile(const CompiledMethod &Method,
 std::optional<CompiledCode>
 BytecodeCogit::compileMethod(const CompiledMethod &Method,
                              const std::vector<Oop> &InputStack) {
+  if (Opts.InjectFrontEndThrow)
+    throw HarnessFault("compile",
+                       "injected front-end crash while decoding bytecode");
   IRFunction F;
   std::optional<CompiledCode> Out;
 

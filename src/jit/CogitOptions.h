@@ -50,6 +50,12 @@ struct CogitOptions {
   /// accept negative operands (treating them as unsigned words) while
   /// the interpreter falls back to a send.
   bool SeedBitOpsAcceptNegatives = true;
+
+  /// Harness-fault injection (campaign self-tests): throw HarnessFault
+  /// at compile entry, simulating a front-end crash on pathological
+  /// input. Unlike the defect seeds above this is not a finding — it is
+  /// a malfunction the campaign layer must contain.
+  bool InjectFrontEndThrow = false;
 };
 
 } // namespace igdt

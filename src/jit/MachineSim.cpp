@@ -241,7 +241,18 @@ bool MachineSim::runtimeCall(RTFunc Func) {
 }
 
 MachineExit MachineSim::run(const std::vector<MInstr> &Code) {
-  std::uint64_t Fuel = Opts.Fuel;
+  FuelRemaining = Opts.Fuel;
+  MachineExit E = runLoop(Code);
+  // Stamp the fuel state onto every exit so callers can report it; a
+  // FuelExhausted exit additionally explains itself.
+  E.FuelLeft = FuelRemaining;
+  if (E.Kind == MachExitKind::FuelExhausted && E.Note.empty())
+    E.Note = formatString("fuel exhausted after %llu instructions",
+                          (unsigned long long)Opts.Fuel);
+  return E;
+}
+
+MachineExit MachineSim::runLoop(const std::vector<MInstr> &Code) {
   std::size_t PC = 0;
 
   auto SetIntFlags = [&](std::int64_t Result, bool Overflowed) {
@@ -250,11 +261,12 @@ MachineExit MachineSim::run(const std::vector<MInstr> &Code) {
   };
 
   while (PC < Code.size()) {
-    if (Fuel-- == 0) {
+    if (FuelRemaining == 0) {
       MachineExit E;
       E.Kind = MachExitKind::FuelExhausted;
       return E;
     }
+    --FuelRemaining;
     const MInstr &I = Code[PC];
     std::size_t Next = PC + 1;
 

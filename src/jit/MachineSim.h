@@ -51,7 +51,11 @@ struct MachineExit {
   SelectorId Selector = 0;       // TrampolineCall
   std::uint8_t NumArgs = 0;      // TrampolineCall
   std::uint64_t FaultAddress = 0; // Segfault
-  std::string Note;              // SimulationError diagnostics
+  std::string Note;              // SimulationError / FuelExhausted detail
+  /// Fuel remaining when execution stopped (0 on FuelExhausted);
+  /// incident reports use it to tell a genuine runaway from a run that
+  /// stopped one instruction short of its allowance.
+  std::uint64_t FuelLeft = 0;
 };
 
 /// Simulator configuration, including the simulation-error seeds.
@@ -119,9 +123,11 @@ private:
   bool condHolds(MCond C) const;
   MachineExit fault(const MInstr &I, std::uint64_t Address);
   bool runtimeCall(RTFunc Func);
+  MachineExit runLoop(const std::vector<MInstr> &Code);
 
   ObjectMemory &Heap;
   SimOptions Opts;
+  std::uint64_t FuelRemaining = 0;
   std::uint64_t Regs[16] = {};
   double FRegs[8] = {};
   Rel Relation = Rel::Equal;

@@ -6,6 +6,7 @@
 #include "jit/LinearScan.h"
 #include "jit/Lowering.h"
 #include "jit/Trampolines.h"
+#include "support/Budget.h"
 #include "vm/PrimitiveTable.h"
 
 #include <cstring>
@@ -701,6 +702,10 @@ struct TemplateEmitter {
 } // namespace
 
 CompiledCode NativeMethodCogit::compile(std::int32_t PrimIndex) {
+  if (Opts.InjectFrontEndThrow)
+    throw HarnessFault("compile",
+                       "injected front-end crash while selecting the "
+                       "primitive template");
   CompiledCode Out;
   const PrimitiveInfo *Info = primitiveInfo(PrimIndex);
   if (!Info) {

@@ -141,6 +141,8 @@ public:
 
   CaseStatus solve(const Case &Lits, Model &Out);
 
+  bool budgetStopped() const { return BudgetStopped; }
+
 private:
   // --- union-find ---
   const ObjTerm *findRep(const ObjTerm *V) {
@@ -230,6 +232,7 @@ private:
   unsigned Nodes = 0;
   bool PrecisionClamped = false;
   bool SawClampedEmpty = false;
+  bool BudgetStopped = false;
 };
 
 void CaseSolver::collectObj(const ObjTerm *T) {
@@ -644,6 +647,10 @@ bool CaseSolver::searchInt(
     const std::vector<std::pair<LeafKey, Interval>> &Order) {
   if (Nodes++ > Opts.MaxSearchNodes)
     return false;
+  if (Opts.SharedBudget && !Opts.SharedBudget->charge()) {
+    BudgetStopped = true;
+    return false;
+  }
   if (Index == Order.size()) {
     // All integer leaves fixed: check int-only literals then floats.
     for (const auto &[Lit, Deps] : LiteralDeps) {
@@ -709,6 +716,10 @@ bool CaseSolver::searchFloat(std::size_t Index, Model &M,
     return finalCheck(M);
   if (Nodes++ > Opts.MaxSearchNodes)
     return false;
+  if (Opts.SharedBudget && !Opts.SharedBudget->charge()) {
+    BudgetStopped = true;
+    return false;
+  }
 
   // Candidate pool: structural constants from float comparisons plus
   // generic values and random samples.
@@ -863,6 +874,11 @@ CaseSolver::CaseStatus CaseSolver::solve(const Case &Lits, Model &Out) {
       AnyUnknown = true;
       break;
     }
+    if (Opts.SharedBudget && Opts.SharedBudget->expired()) {
+      BudgetStopped = true;
+      AnyUnknown = true;
+      break;
+    }
     Stats.CasesExplored++;
     ClassAssignment.clear();
     Model M;
@@ -981,7 +997,7 @@ CaseSolver::CaseStatus CaseSolver::numericSolve(Model &M) {
   if (searchInt(0, M, Order))
     return CaseStatus::Sat;
   Stats.NodesExplored += Nodes - StartNodes;
-  if (Nodes > Opts.MaxSearchNodes)
+  if (Nodes > Opts.MaxSearchNodes || BudgetStopped)
     return CaseStatus::Unknown;
   // Search exhausted its candidate pool without covering the whole space:
   // sampling incompleteness, not an unsat proof.
@@ -998,6 +1014,18 @@ ConstraintSolver::ConstraintSolver(const ClassTable &Classes,
 SolveResult ConstraintSolver::solve(
     const std::vector<const BoolTerm *> &Conjuncts) {
   Stats.Queries++;
+  if (Opts.InjectSolverHang)
+    throw HarnessFault("solve", "injected solver hang: query exceeded "
+                                "every search cap without converging");
+  if (Opts.SharedBudget && Opts.SharedBudget->expired()) {
+    // The instruction's budget is already gone: answer Unknown without
+    // burning more wall time.
+    Stats.UnknownCount++;
+    Stats.BudgetStops++;
+    SolveResult Result;
+    Result.Status = SolveStatus::Unknown;
+    return Result;
+  }
   RNG Rand(Opts.Seed + Stats.Queries);
 
   CaseExpander Expander(Opts.MaxCases);
@@ -1015,6 +1043,7 @@ SolveResult ConstraintSolver::solve(
   }
 
   bool AnyUnknown = false;
+  bool AnyBudgetStop = false;
   for (const Case &C : *Cases) {
     CaseSolver CS(Classes, Opts, Stats, Rand);
     Model M;
@@ -1027,7 +1056,13 @@ SolveResult ConstraintSolver::solve(
     }
     if (S == CaseSolver::CaseStatus::Unknown)
       AnyUnknown = true;
+    if (CS.budgetStopped()) {
+      AnyBudgetStop = true;
+      break; // remaining cases would stop the same way
+    }
   }
+  if (AnyBudgetStop)
+    Stats.BudgetStops++;
   Result.Status = AnyUnknown ? SolveStatus::Unknown : SolveStatus::Unsat;
   if (AnyUnknown)
     Stats.UnknownCount++;

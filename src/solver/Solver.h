@@ -31,6 +31,7 @@
 #define IGDT_SOLVER_SOLVER_H
 
 #include "solver/Model.h"
+#include "support/Budget.h"
 #include "vm/ClassTable.h"
 
 #include <cstdint>
@@ -72,6 +73,14 @@ struct SolverOptions {
   std::int64_t MaxSlotCount = 32;
   /// RNG seed (solving is fully deterministic).
   std::uint64_t Seed = 0x5EED;
+  /// Cooperative budget shared across queries (non-owning, may be
+  /// null). The numeric search charges one work unit per node; an
+  /// exhausted budget turns the running and all later queries Unknown
+  /// instead of letting a pathological instruction stall the campaign.
+  Budget *SharedBudget = nullptr;
+  /// Harness-fault injection (campaign self-tests): throw HarnessFault
+  /// at query entry, simulating a solver blow-up no search cap contains.
+  bool InjectSolverHang = false;
 };
 
 /// Running counters, reported by the evaluation harness.
@@ -82,6 +91,8 @@ struct SolverStats {
   std::uint64_t UnknownCount = 0;
   std::uint64_t CasesExplored = 0;
   std::uint64_t NodesExplored = 0;
+  /// Queries cut short (turned Unknown) by an exhausted shared budget.
+  std::uint64_t BudgetStops = 0;
 };
 
 /// The solver. Stateless between queries except for statistics.

@@ -1,0 +1,109 @@
+//===- support/Budget.h - Wall-clock/work budgets and harness faults ----------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cooperative budgets for the long-running campaign stages. A Budget
+/// combines a wall-clock deadline with a work-unit allowance (solver
+/// search nodes, replayed paths); the stage under budget polls charge()
+/// or expired() at its loop heads instead of running open-loop, so a
+/// pathological instruction degrades into a partial result rather than
+/// stalling the whole campaign.
+///
+/// HarnessFault is the exception class thrown by harness-fault injection
+/// sites (and by genuine harness malfunctions such as a poisoned heap):
+/// it marks a failure of the *testing machinery*, which the campaign
+/// layer contains and quarantines, as opposed to a differential defect
+/// in the system under test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SUPPORT_BUDGET_H
+#define IGDT_SUPPORT_BUDGET_H
+
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace igdt {
+
+/// A harness malfunction: solver blow-up, runaway simulator, compiler
+/// front-end crash, heap corruption. Carries the stage that failed.
+class HarnessFault : public std::runtime_error {
+public:
+  HarnessFault(std::string StageName, const std::string &What)
+      : std::runtime_error(What), Stage(std::move(StageName)) {}
+
+  /// The harness stage that malfunctioned ("solve", "materialize",
+  /// "compile", "simulate", ...).
+  const std::string &stage() const { return Stage; }
+
+private:
+  std::string Stage;
+};
+
+/// Budget limits. A zero field means unlimited.
+struct BudgetOptions {
+  /// Wall-clock allowance in milliseconds.
+  double WallMillis = 0;
+  /// Work-unit allowance; the meaning of one unit is the charging
+  /// stage's (solver search nodes, replayed paths, ...).
+  std::uint64_t WorkUnits = 0;
+};
+
+/// Why a budget stopped being Active.
+enum class BudgetState : std::uint8_t {
+  Active,
+  WallExpired,
+  WorkExpired,
+  Cancelled,
+};
+
+const char *budgetStateName(BudgetState State);
+
+/// A running budget. Not thread-safe; one budget per campaign stage.
+class Budget {
+public:
+  /// An unlimited budget.
+  Budget() : Budget(BudgetOptions{}) {}
+  explicit Budget(BudgetOptions Options);
+
+  /// Charges \p Units of work and polls the deadline. Returns true while
+  /// the budget is still active; callers stop (cooperatively) on false.
+  bool charge(std::uint64_t Units = 1);
+
+  /// Polls the deadline without charging work.
+  bool expired();
+
+  BudgetState state() const { return State; }
+
+  /// External cancellation (operator interrupt, campaign shutdown).
+  void cancel() { State = BudgetState::Cancelled; }
+
+  /// Expires the budget immediately (tests, fault injection).
+  void forceExpire(BudgetState Why = BudgetState::WallExpired);
+
+  double spentMillis() const;
+  std::uint64_t spentUnits() const { return Spent; }
+  const BudgetOptions &options() const { return Opts; }
+
+  /// One-line state description for incident reports, e.g.
+  /// "state=work-expired units=1201/1200 wall=3.2ms/unlimited".
+  std::string describe() const;
+
+private:
+  void checkWall();
+
+  BudgetOptions Opts;
+  std::chrono::steady_clock::time_point Start;
+  std::uint64_t Spent = 0;
+  std::uint64_t PollTick = 0;
+  BudgetState State = BudgetState::Active;
+};
+
+} // namespace igdt
+
+#endif // IGDT_SUPPORT_BUDGET_H

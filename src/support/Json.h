@@ -1,0 +1,71 @@
+//===- support/Json.h - Minimal JSON values for reports and checkpoints -------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small JSON reader/writer used by the campaign layer
+/// for its JSONL incident reports and checkpoint files. Values keep
+/// object keys in insertion order so emitted lines are deterministic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SUPPORT_JSON_H
+#define IGDT_SUPPORT_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace igdt {
+
+/// Escapes \p Text for embedding inside a JSON string literal.
+std::string jsonEscape(const std::string &Text);
+
+/// A JSON value (null, bool, number, string, array, object).
+struct JsonValue {
+  enum class Kind : std::uint8_t { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool Value);
+  static JsonValue number(double Value);
+  static JsonValue string(std::string Value);
+  static JsonValue array();
+  static JsonValue object();
+
+  /// Appends \p Value under \p Key (object values only).
+  JsonValue &set(const std::string &Key, JsonValue Value);
+  /// Appends \p Value (array values only).
+  JsonValue &push(JsonValue Value);
+
+  /// Looks \p Key up in an object; nullptr when absent or not an object.
+  const JsonValue *find(const std::string &Key) const;
+
+  /// \name Typed accessors with defaults (for tolerant checkpoint reads)
+  /// @{
+  double numberOr(const std::string &Key, double Default) const;
+  std::string stringOr(const std::string &Key,
+                       const std::string &Default) const;
+  bool boolOr(const std::string &Key, bool Default) const;
+  /// @}
+
+  /// Serialises to compact single-line JSON.
+  std::string dump() const;
+
+  /// Parses \p Text; nullopt on malformed input.
+  static std::optional<JsonValue> parse(const std::string &Text);
+};
+
+} // namespace igdt
+
+#endif // IGDT_SUPPORT_JSON_H

@@ -122,6 +122,8 @@ void FrameMaterializer::fillObjectContents(
 
 MaterializedFrame FrameMaterializer::materialize(const Model &M,
                                                  const CompiledMethod &Method) {
+  // A corrupted heap must be caught before any frame is built on it.
+  Mem.checkIntegrity();
   MaterializedFrame Out;
   Out.Concolic.Method = &Method;
   Out.Concrete.Method = &Method;

@@ -2,6 +2,7 @@
 
 #include "vm/ObjectMemory.h"
 
+#include "support/Budget.h"
 #include "support/Compiler.h"
 #include "support/StringUtils.h"
 
@@ -33,8 +34,19 @@ std::size_t ObjectMemory::bodyBytes(const ObjectHeader &Header) const {
   igdt_unreachable("unknown object format");
 }
 
+void ObjectMemory::poison(const std::string &Why) {
+  Poisoned = true;
+  PoisonNote = Why;
+}
+
+void ObjectMemory::checkIntegrity() const {
+  if (Poisoned)
+    throw HarnessFault("heap", "heap integrity check failed: " + PoisonNote);
+}
+
 Oop ObjectMemory::allocateInstance(std::uint32_t ClassIndex,
                                    std::uint32_t IndexableSize) {
+  checkIntegrity();
   assert(Classes.isValidIndex(ClassIndex) && "allocating unknown class");
   const ClassInfo &Info = Classes.classAt(ClassIndex);
 

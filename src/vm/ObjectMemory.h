@@ -124,6 +124,18 @@ public:
 
   /// @}
 
+  /// \name Fault injection (campaign self-tests)
+  /// @{
+
+  /// Marks the heap as corrupted; the next integrity check throws.
+  void poison(const std::string &Why);
+
+  /// Throws HarnessFault when the heap has been poisoned. Polled on
+  /// every allocation — the campaign layer's containment boundary.
+  void checkIntegrity() const;
+
+  /// @}
+
   /// \name Raw memory interface (used by the machine simulator)
   /// @{
 
@@ -164,6 +176,9 @@ private:
   std::vector<std::uint8_t> Heap;
   std::size_t NextFree = 0;
   std::uint32_t NextHash = 0x1000;
+
+  bool Poisoned = false;
+  std::string PoisonNote;
 
   Oop NilOop = InvalidOop;
   Oop TrueOop = InvalidOop;

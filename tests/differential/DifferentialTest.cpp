@@ -52,6 +52,7 @@ protected:
         ++S.Expected;
         break;
       case PathTestStatus::NotReplayable:
+      case PathTestStatus::BudgetSkipped:
         ++S.NotReplayable;
         break;
       }

@@ -1,0 +1,275 @@
+//===- tests/evalkit/CampaignRunnerTest.cpp ------------------------------------===//
+//
+// Campaign resilience self-tests: every injectable harness fault is
+// contained (quarantine, incident report, zero exit), transient faults
+// are recovered by the fresh-heap retry, checkpoint/resume reproduces
+// the uninterrupted counts, and campaign rows agree with the plain
+// evaluation harness on the same instruction subset.
+//
+//===----------------------------------------------------------------------===//
+
+#include "evalkit/CampaignRunner.h"
+
+#include "faults/DefectCatalog.h"
+#include "support/Json.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  std::string Path = ::testing::TempDir() + "igdt_campaign_" + Name;
+  std::remove(Path.c_str());
+  return Path;
+}
+
+std::vector<std::string> readLines(const std::string &Path) {
+  std::ifstream In(Path);
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (std::getline(In, Line))
+    if (!Line.empty())
+      Lines.push_back(Line);
+  return Lines;
+}
+
+/// First \p N catalog instructions of \p Kind, in catalog order —
+/// matches what HarnessOptions::Max* limits select.
+std::vector<std::string> firstNames(InstructionKind Kind, unsigned N) {
+  std::vector<std::string> Names;
+  for (const InstructionSpec &S : allInstructions())
+    if (S.Kind == Kind && Names.size() < N)
+      Names.push_back(S.Name);
+  return Names;
+}
+
+CampaignOptions cleanOptions() {
+  CampaignOptions Opts;
+  Opts.Harness.VM = cleanVMConfig();
+  Opts.Harness.Cogit = cleanCogitOptions();
+  Opts.Harness.SeedSimulationErrors = false;
+  return Opts;
+}
+
+const InstructionRecord *findRecord(const CampaignSummary &S,
+                                    const std::string &Name) {
+  for (const InstructionRecord &R : S.Records)
+    if (R.Instruction == Name)
+      return &R;
+  return nullptr;
+}
+
+void expectRowsEqual(const std::vector<CompilerEvaluation> &A,
+                     const std::vector<CompilerEvaluation> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Kind, B[I].Kind);
+    EXPECT_EQ(A[I].TestedInstructions, B[I].TestedInstructions)
+        << compilerKindName(A[I].Kind);
+    EXPECT_EQ(A[I].InterpreterPaths, B[I].InterpreterPaths)
+        << compilerKindName(A[I].Kind);
+    EXPECT_EQ(A[I].CuratedPaths, B[I].CuratedPaths)
+        << compilerKindName(A[I].Kind);
+    EXPECT_EQ(A[I].DifferingPaths, B[I].DifferingPaths)
+        << compilerKindName(A[I].Kind);
+    EXPECT_EQ(A[I].Causes, B[I].Causes) << compilerKindName(A[I].Kind);
+  }
+}
+
+TEST(CampaignRunnerTest, AllFourFaultsAreContainedAndTheCampaignFinishes) {
+  CampaignOptions Opts = cleanOptions();
+  Opts.OnlyInstructions = {"bytecodePrim_add", "bytecodePrim_sub",
+                           "bytecodePrim_mul", "bytecodePrim_div",
+                           "primitiveAdd",     "primitiveFloatAdd"};
+  Opts.Faults.Faults = {
+      {HarnessFaultKind::SolverHang, "bytecodePrim_add", false},
+      {HarnessFaultKind::FrontEndThrow, "bytecodePrim_sub", false},
+      {HarnessFaultKind::HeapCorruption, "bytecodePrim_mul", false},
+      {HarnessFaultKind::SimFuelExhaustion, "primitiveAdd", false},
+  };
+  Opts.IncidentLogPath = tempPath("incidents.jsonl");
+
+  CampaignSummary S = CampaignRunner(Opts).run();
+
+  // The campaign survives every malfunction and processes everything.
+  EXPECT_EQ(S.CompletedInstructions, 6u);
+  EXPECT_FALSE(S.Stopped);
+
+  // Exactly the faulted instructions are quarantined.
+  std::vector<std::string> Expected = Opts.Faults.targets();
+  std::vector<std::string> Actual = S.Quarantined;
+  std::sort(Expected.begin(), Expected.end());
+  std::sort(Actual.begin(), Actual.end());
+  EXPECT_EQ(Actual, Expected);
+
+  // Sticky fault + one retry = two incidents per faulted instruction,
+  // each attributed to the right stage.
+  EXPECT_EQ(S.Incidents.size(), 8u);
+  std::map<std::string, std::string> StageOf = {
+      {"bytecodePrim_add", "solve"},
+      {"bytecodePrim_sub", "compile"},
+      {"bytecodePrim_mul", "heap"},
+      {"primitiveAdd", "simulate"},
+  };
+  for (const CampaignIncident &I : S.Incidents) {
+    EXPECT_EQ(I.Stage, StageOf[I.Instruction]) << I.Instruction;
+    EXPECT_EQ(I.ErrorClass, "harness-fault");
+    EXPECT_TRUE(I.Quarantined);
+    EXPECT_NE(I.ExploreBudget.find("state="), std::string::npos);
+  }
+
+  // The incident report on disk is one parseable JSON object per line.
+  std::vector<std::string> Lines = readLines(Opts.IncidentLogPath);
+  ASSERT_EQ(Lines.size(), 8u);
+  for (const std::string &Line : Lines) {
+    auto V = JsonValue::parse(Line);
+    ASSERT_TRUE(V.has_value()) << Line;
+    EXPECT_NE(StageOf.find(V->stringOr("instruction", "")), StageOf.end());
+    EXPECT_EQ(V->stringOr("error_class", ""), "harness-fault");
+    EXPECT_FALSE(V->stringOr("error", "").empty());
+  }
+
+  // Unfaulted instructions are unaffected...
+  for (const char *Name :
+       {"bytecodePrim_div", "primitiveFloatAdd"}) {
+    const InstructionRecord *R = findRecord(S, Name);
+    ASSERT_NE(R, nullptr) << Name;
+    EXPECT_FALSE(R->Quarantined) << Name;
+    EXPECT_GT(R->Paths, 0u) << Name;
+    EXPECT_EQ(R->Attempts, 1u) << Name;
+  }
+
+  // ...and with clean configurations no genuine defect exists, so the
+  // faults alone must not fail the run.
+  EXPECT_EQ(S.exitCode(), 0);
+  std::remove(Opts.IncidentLogPath.c_str());
+}
+
+TEST(CampaignRunnerTest, TransientFaultIsRecoveredByTheFreshHeapRetry) {
+  CampaignOptions Opts = cleanOptions();
+  Opts.OnlyInstructions = {"bytecodePrim_add"};
+  Opts.Faults.Faults = {
+      {HarnessFaultKind::HeapCorruption, "bytecodePrim_add",
+       /*Transient=*/true}};
+
+  CampaignSummary S = CampaignRunner(Opts).run();
+
+  EXPECT_TRUE(S.Quarantined.empty());
+  const InstructionRecord *R = findRecord(S, "bytecodePrim_add");
+  ASSERT_NE(R, nullptr);
+  EXPECT_FALSE(R->Quarantined);
+  EXPECT_EQ(R->Attempts, 2u) << "recovered on the fresh-heap retry";
+  EXPECT_GT(R->Paths, 0u);
+
+  // The first attempt's failure is still on the record, but marked as
+  // not leading to quarantine.
+  ASSERT_EQ(S.Incidents.size(), 1u);
+  EXPECT_EQ(S.Incidents[0].Stage, "heap");
+  EXPECT_EQ(S.Incidents[0].Attempt, 1u);
+  EXPECT_FALSE(S.Incidents[0].Quarantined);
+  EXPECT_EQ(S.exitCode(), 0);
+}
+
+TEST(CampaignRunnerTest, CheckpointResumeReproducesTheUninterruptedCounts) {
+  // Seeded defects on, so the counts being compared are non-trivial.
+  CampaignOptions Base;
+  Base.OnlyInstructions = {"bytecodePrim_add", "bytecodePrim_bitAnd",
+                           "primitiveFloatAdd", "primitiveFFILoadInt8"};
+
+  CampaignSummary Uninterrupted = CampaignRunner(Base).run();
+  EXPECT_EQ(Uninterrupted.CompletedInstructions, 4u);
+
+  // Same campaign, but killed after two new instructions...
+  CampaignOptions Interrupted = Base;
+  Interrupted.CheckpointPath = tempPath("checkpoint.jsonl");
+  Interrupted.StopAfter = 2;
+  CampaignSummary FirstHalf = CampaignRunner(Interrupted).run();
+  EXPECT_TRUE(FirstHalf.Stopped);
+  EXPECT_EQ(FirstHalf.CompletedInstructions, 2u);
+  EXPECT_EQ(readLines(Interrupted.CheckpointPath).size(), 2u);
+
+  // ...and restarted over the same checkpoint file.
+  CampaignOptions Resumed = Interrupted;
+  Resumed.StopAfter = 0;
+  CampaignSummary Second = CampaignRunner(Resumed).run();
+  EXPECT_FALSE(Second.Stopped);
+  EXPECT_EQ(Second.ResumedInstructions, 2u);
+  EXPECT_EQ(Second.CompletedInstructions, 2u);
+  EXPECT_EQ(Second.Records.size(), 4u);
+
+  // Exploration is deterministic, so the resumed campaign's Table 2
+  // must be byte-for-byte the uninterrupted one's.
+  expectRowsEqual(Second.Rows, Uninterrupted.Rows);
+  EXPECT_EQ(Second.exitCode(), Uninterrupted.exitCode());
+  std::remove(Interrupted.CheckpointPath.c_str());
+}
+
+TEST(CampaignRunnerTest, ExitCodeFlagsGenuineDefectsNotHarnessFaults) {
+  // Seeded defects: bytecodePrim_bitAnd exposes the behavioural
+  // bit-ops difference, so the campaign must fail the build.
+  CampaignOptions Seeded;
+  Seeded.OnlyInstructions = {"bytecodePrim_bitAnd"};
+  CampaignSummary Bad = CampaignRunner(Seeded).run();
+  EXPECT_GT(Bad.Rows[1].DifferingPaths, 0u); // the SimpleStack row
+  EXPECT_EQ(Bad.exitCode(), 1);
+
+  // The same instruction with clean configurations and a sticky fault:
+  // quarantine, but no defect — exit zero.
+  CampaignOptions Clean = cleanOptions();
+  Clean.OnlyInstructions = {"bytecodePrim_bitAnd", "bytecodePrim_add"};
+  Clean.Faults.Faults = {
+      {HarnessFaultKind::SolverHang, "bytecodePrim_add", false}};
+  CampaignSummary Good = CampaignRunner(Clean).run();
+  EXPECT_EQ(Good.Quarantined, std::vector<std::string>{"bytecodePrim_add"});
+  EXPECT_EQ(Good.exitCode(), 0);
+}
+
+TEST(CampaignRunnerTest, CampaignRowsMatchTheEvaluationHarness) {
+  // The campaign must report the exact counts the plain harness reports
+  // for the same subset — containment must not perturb a healthy run.
+  std::vector<std::string> Bytecodes =
+      firstNames(InstructionKind::Bytecode, 3);
+  std::vector<std::string> Natives =
+      firstNames(InstructionKind::NativeMethod, 2);
+
+  CampaignOptions Opts;
+  Opts.OnlyInstructions = Bytecodes;
+  Opts.OnlyInstructions.insert(Opts.OnlyInstructions.end(), Natives.begin(),
+                               Natives.end());
+  CampaignSummary S = CampaignRunner(Opts).run();
+
+  HarnessOptions HOpts;
+  HOpts.MaxBytecodes = 3;
+  HOpts.MaxNativeMethods = 2;
+  EvaluationHarness Harness(HOpts);
+  std::vector<CompilerEvaluation> Expected = Harness.evaluateAllCompilers();
+
+  expectRowsEqual(S.Rows, Expected);
+}
+
+TEST(CampaignRunnerTest, RecordsRoundTripThroughTheCheckpointFormat) {
+  CampaignOptions Opts;
+  Opts.OnlyInstructions = {"bytecodePrim_add", "primitiveFloatAdd"};
+  CampaignSummary S = CampaignRunner(Opts).run();
+  ASSERT_EQ(S.Records.size(), 2u);
+
+  std::vector<InstructionRecord> Reloaded;
+  for (const InstructionRecord &R : S.Records) {
+    InstructionRecord Out;
+    ASSERT_TRUE(InstructionRecord::fromJson(R.toJson(), Out))
+        << R.toJson();
+    EXPECT_EQ(Out.toJson(), R.toJson());
+    Reloaded.push_back(std::move(Out));
+  }
+  // Aggregation over reloaded records gives identical rows: the
+  // checkpoint loses nothing Table 2 needs.
+  expectRowsEqual(aggregateCampaignRows(Reloaded),
+                  aggregateCampaignRows(S.Records));
+}
+
+} // namespace

@@ -246,6 +246,38 @@ TEST_F(MachineSimTest, FuelLimitStopsInfiniteLoops) {
             MachExitKind::FuelExhausted);
 }
 
+TEST_F(MachineSimTest, FuelExhaustionIsAFirstClassExit) {
+  IRFunction F;
+  IRBuilder B(F);
+  std::int32_t Loop = B.makeLabel();
+  B.placeLabel(Loop);
+  B.jmp(Loop);
+  SimOptions Opts;
+  Opts.Fuel = 7;
+  MachineSim Bounded(Mem, Opts);
+  MachineExit E = Bounded.run(lowerIR(F, x64Desc()));
+  EXPECT_EQ(E.Kind, MachExitKind::FuelExhausted);
+  EXPECT_EQ(E.FuelLeft, 0u);
+  // The exit explains itself for incident reports.
+  EXPECT_NE(E.Note.find("fuel exhausted"), std::string::npos) << E.Note;
+  EXPECT_NE(E.Note.find("7"), std::string::npos) << E.Note;
+}
+
+TEST_F(MachineSimTest, RemainingFuelIsReportedOnNormalExits) {
+  IRFunction F;
+  IRBuilder B(F);
+  B.movRI(preg(MReg::R0), 1);
+  B.movRI(preg(MReg::R1), 2);
+  B.ret();
+  SimOptions Opts;
+  Opts.Fuel = 100;
+  MachineSim Bounded(Mem, Opts);
+  MachineExit E = Bounded.run(lowerIR(F, x64Desc()));
+  EXPECT_EQ(E.Kind, MachExitKind::Returned);
+  EXPECT_EQ(E.FuelLeft, 100u - 3u) << "three instructions executed";
+  EXPECT_TRUE(E.Note.empty());
+}
+
 TEST_F(MachineSimTest, FrameAndOperandStack) {
   Sim.setUpFrame(2);
   Sim.writeReceiver(smallIntOop(1));

@@ -1,0 +1,86 @@
+//===- tests/support/BudgetTest.cpp - Budget and HarnessFault tests -----------===//
+
+#include "support/Budget.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+TEST(BudgetTest, UnlimitedBudgetNeverExpires) {
+  Budget B;
+  for (int I = 0; I < 100000; ++I)
+    ASSERT_TRUE(B.charge());
+  EXPECT_FALSE(B.expired());
+  EXPECT_EQ(B.state(), BudgetState::Active);
+  EXPECT_EQ(B.spentUnits(), 100000u);
+}
+
+TEST(BudgetTest, WorkUnitsExpireExactlyAtTheAllowance) {
+  Budget B(BudgetOptions{0, 10});
+  for (int I = 0; I < 10; ++I)
+    EXPECT_TRUE(B.charge()) << "charge " << I;
+  EXPECT_FALSE(B.charge());
+  EXPECT_EQ(B.state(), BudgetState::WorkExpired);
+  EXPECT_TRUE(B.expired());
+  // Further charges stay rejected but keep counting spend.
+  EXPECT_FALSE(B.charge(5));
+  EXPECT_EQ(B.spentUnits(), 16u);
+}
+
+TEST(BudgetTest, BulkChargeCanOvershootTheAllowance) {
+  Budget B(BudgetOptions{0, 10});
+  EXPECT_FALSE(B.charge(100));
+  EXPECT_EQ(B.state(), BudgetState::WorkExpired);
+}
+
+TEST(BudgetTest, WallClockDeadlineExpires) {
+  Budget B(BudgetOptions{0.01, 0});
+  // expired() polls the clock directly (no amortisation), so this
+  // terminates as soon as 0.01ms have elapsed.
+  while (!B.expired()) {
+  }
+  EXPECT_EQ(B.state(), BudgetState::WallExpired);
+  EXPECT_FALSE(B.charge());
+}
+
+TEST(BudgetTest, CancellationWinsOverCharges) {
+  Budget B(BudgetOptions{0, 1000});
+  EXPECT_TRUE(B.charge());
+  B.cancel();
+  EXPECT_TRUE(B.expired());
+  EXPECT_FALSE(B.charge());
+  EXPECT_EQ(B.state(), BudgetState::Cancelled);
+}
+
+TEST(BudgetTest, ForceExpireOnlyDowngradesActiveBudgets) {
+  Budget B;
+  B.forceExpire(BudgetState::WorkExpired);
+  EXPECT_EQ(B.state(), BudgetState::WorkExpired);
+  B.forceExpire(BudgetState::Cancelled);
+  EXPECT_EQ(B.state(), BudgetState::WorkExpired) << "first expiry sticks";
+}
+
+TEST(BudgetTest, DescribeReportsStateUnitsAndWall) {
+  Budget B(BudgetOptions{0, 3});
+  B.charge(4);
+  std::string D = B.describe();
+  EXPECT_NE(D.find("state=work-expired"), std::string::npos) << D;
+  EXPECT_NE(D.find("units=4/3"), std::string::npos) << D;
+  EXPECT_NE(D.find("wall="), std::string::npos) << D;
+
+  Budget Unlimited;
+  EXPECT_NE(Unlimited.describe().find("unlimited"), std::string::npos);
+}
+
+TEST(BudgetTest, HarnessFaultCarriesStageAndMessage) {
+  HarnessFault F("solve", "injected solver hang");
+  EXPECT_EQ(F.stage(), "solve");
+  EXPECT_STREQ(F.what(), "injected solver hang");
+  // HarnessFault must be catchable as std::runtime_error so generic
+  // containment code does not need to know about it.
+  try {
+    throw HarnessFault("compile", "boom");
+  } catch (const std::runtime_error &E) {
+    EXPECT_STREQ(E.what(), "boom");
+  }
+}
