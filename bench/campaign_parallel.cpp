@@ -1,0 +1,185 @@
+//===- bench/campaign_parallel.cpp - Parallel campaign timing ------------------===//
+//
+// Times a full-catalog campaign serially and with a worker pool,
+// verifies the two produce identical Table 2 rows (the determinism
+// contract of CampaignOptions::Jobs), and reports the solver query
+// cache's hit rate. Emits BENCH_campaign.json so the perf trajectory
+// is tracked from run to run; CI uploads it as an artifact.
+//
+// Usage: campaign_parallel [--jobs N] [--reps N] [--max-bytecodes N]
+//                          [--max-native-methods N] [--smoke]
+//                          [--out PATH]
+//
+// --jobs 0 (the default) asks the hardware. --smoke shrinks the
+// catalog and arms all four harness faults: a fast TSan target that
+// still drives the sharded execution, containment and merge paths.
+//
+//===----------------------------------------------------------------------===//
+
+#include "evalkit/CampaignRunner.h"
+
+#include "faults/DefectCatalog.h"
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+using namespace igdt;
+
+namespace {
+
+double millisSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+bool rowsEqual(const std::vector<CompilerEvaluation> &A,
+               const std::vector<CompilerEvaluation> &B) {
+  if (A.size() != B.size())
+    return false;
+  for (std::size_t I = 0; I < A.size(); ++I) {
+    const CompilerEvaluation &X = A[I];
+    const CompilerEvaluation &Y = B[I];
+    if (X.Kind != Y.Kind || X.TestedInstructions != Y.TestedInstructions ||
+        X.InterpreterPaths != Y.InterpreterPaths ||
+        X.CuratedPaths != Y.CuratedPaths ||
+        X.DifferingPaths != Y.DifferingPaths || X.Causes != Y.Causes)
+      return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  unsigned Jobs = 0;
+  unsigned Reps = 3;
+  unsigned MaxBytecodes = 0;
+  unsigned MaxNativeMethods = 0;
+  bool Smoke = false;
+  std::string OutPath = "BENCH_campaign.json";
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      return I + 1 < Argc ? Argv[++I] : "0";
+    };
+    if (Arg == "--jobs")
+      Jobs = static_cast<unsigned>(std::atoi(Next()));
+    else if (Arg == "--reps")
+      Reps = static_cast<unsigned>(std::atoi(Next()));
+    else if (Arg == "--max-bytecodes")
+      MaxBytecodes = static_cast<unsigned>(std::atoi(Next()));
+    else if (Arg == "--max-native-methods")
+      MaxNativeMethods = static_cast<unsigned>(std::atoi(Next()));
+    else if (Arg == "--smoke")
+      Smoke = true;
+    else if (Arg == "--out")
+      OutPath = Next();
+    else {
+      std::printf("unknown argument: %s\n", Arg.c_str());
+      return 2;
+    }
+  }
+
+  unsigned Hardware = std::thread::hardware_concurrency();
+  if (Jobs == 0)
+    Jobs = Hardware ? Hardware : 1;
+  if (Reps == 0)
+    Reps = 1;
+
+  CampaignOptions Base;
+  Base.Harness.VM = cleanVMConfig();
+  Base.Harness.Cogit = cleanCogitOptions();
+  Base.Harness.SeedSimulationErrors = false;
+  Base.Harness.MaxBytecodes = MaxBytecodes;
+  Base.Harness.MaxNativeMethods = MaxNativeMethods;
+  Base.RecordTimings = false;
+  if (Smoke) {
+    // Small catalog slice with every fault kind armed: exercises the
+    // sharded dispatch, containment, quarantine and in-order merge
+    // under ThreadSanitizer in seconds.
+    Base.Harness.MaxBytecodes = MaxBytecodes ? MaxBytecodes : 12;
+    Base.Harness.MaxNativeMethods = MaxNativeMethods ? MaxNativeMethods : 6;
+    Base.Faults.Faults = {
+        {HarnessFaultKind::SolverHang, "bytecodePrim_add", false},
+        {HarnessFaultKind::FrontEndThrow, "bytecodePrim_sub", false},
+        {HarnessFaultKind::HeapCorruption, "bytecodePrim_mul", false},
+        {HarnessFaultKind::SimFuelExhaustion, "bytecodePrim_div", false},
+    };
+    Reps = 1;
+  }
+
+  double SerialMillis = 0;
+  double ParallelMillis = 0;
+  CampaignSummary Serial;
+  CampaignSummary Parallel;
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    CampaignOptions SOpts = Base;
+    SOpts.Jobs = 1;
+    auto T0 = std::chrono::steady_clock::now();
+    Serial = CampaignRunner(SOpts).run();
+    SerialMillis += millisSince(T0);
+
+    CampaignOptions POpts = Base;
+    POpts.Jobs = Jobs;
+    auto T1 = std::chrono::steady_clock::now();
+    Parallel = CampaignRunner(POpts).run();
+    ParallelMillis += millisSince(T1);
+  }
+  SerialMillis /= Reps;
+  ParallelMillis /= Reps;
+
+  if (!rowsEqual(Serial.Rows, Parallel.Rows)) {
+    std::printf("FAIL: parallel rows differ from serial rows\n");
+    return 2;
+  }
+  if (Serial.exitCode() != Parallel.exitCode()) {
+    std::printf("FAIL: parallel exit code differs from serial\n");
+    return 2;
+  }
+
+  // Cache stats from the serial run: hit counts there are fully
+  // deterministic (catalog order), while parallel hit counts vary with
+  // worker scheduling even though results are identical.
+  const SolverStats &Cache = Serial.Solver;
+  std::uint64_t Consulted =
+      Cache.CacheHits + Cache.CacheMisses + Cache.CacheUnsatSubsumed;
+  double HitRate =
+      Consulted ? double(Cache.CacheHits + Cache.CacheUnsatSubsumed) /
+                      double(Consulted)
+                : 0;
+  double Speedup = ParallelMillis > 0 ? SerialMillis / ParallelMillis : 0;
+
+  JsonValue V = JsonValue::object();
+  V.set("jobs", JsonValue::number(Jobs))
+      .set("hardware_concurrency", JsonValue::number(Hardware))
+      .set("reps", JsonValue::number(Reps))
+      .set("smoke", JsonValue::boolean(Smoke))
+      .set("instructions", JsonValue::number(Serial.CompletedInstructions))
+      .set("serial_millis", JsonValue::number(SerialMillis))
+      .set("parallel_millis", JsonValue::number(ParallelMillis))
+      .set("speedup", JsonValue::number(Speedup))
+      .set("solver_queries", JsonValue::number(double(Cache.Queries)))
+      .set("cache_hits", JsonValue::number(double(Cache.CacheHits)))
+      .set("cache_misses", JsonValue::number(double(Cache.CacheMisses)))
+      .set("cache_unsat_subsumed",
+           JsonValue::number(double(Cache.CacheUnsatSubsumed)))
+      .set("cache_hit_rate", JsonValue::number(HitRate));
+  std::string Report = V.dump();
+  if (!OutPath.empty()) {
+    std::ofstream Out(OutPath);
+    Out << Report << '\n';
+  }
+  std::printf("%s\n", Report.c_str());
+  std::printf("campaign_parallel: %u instructions, serial %.1f ms, "
+              "jobs=%u %.1f ms (%.2fx), cache hit rate %.1f%%\n",
+              Serial.CompletedInstructions, SerialMillis, Jobs,
+              ParallelMillis, Speedup, HitRate * 100);
+  return Serial.exitCode();
+}

@@ -4,6 +4,7 @@
 
 #include "solver/TermEval.h"
 #include "solver/TermPrinter.h"
+#include "support/StringUtils.h"
 #include "symbolic/ConcolicDomain.h"
 #include "symbolic/FrameMaterializer.h"
 #include "vm/InterpreterCore.h"
@@ -87,16 +88,6 @@ SolverOptions ladderRung(const SolverOptions &Base, unsigned Level) {
   return Rung;
 }
 
-void addSolverStats(SolverStats &To, const SolverStats &From) {
-  To.Queries += From.Queries;
-  To.SatCount += From.SatCount;
-  To.UnsatCount += From.UnsatCount;
-  To.UnknownCount += From.UnknownCount;
-  To.CasesExplored += From.CasesExplored;
-  To.NodesExplored += From.NodesExplored;
-  To.BudgetStops += From.BudgetStops;
-}
-
 } // namespace
 
 ExplorationResult ConcolicExplorer::explore(const InstructionSpec &Spec) {
@@ -138,6 +129,20 @@ ExplorationResult ConcolicExplorer::run(ExplorationResult Seed) {
 
   SolverOptions PrimaryOpts = Opts.Solver;
   PrimaryOpts.SharedBudget = &Bud;
+  // Mix a stable hash of the instruction name into the seed so each
+  // instruction's exploration is a pure function of (name, base seed) —
+  // independent of catalog position or worker assignment (see the
+  // ownership comment in ConcolicExplorer.h).
+  PrimaryOpts.Seed =
+      hashCombine64(Opts.Solver.Seed, stableHash64(Result.Spec->Name));
+  // One query cache per exploration, worker-local by construction; the
+  // primary solver and every ladder rung share it (definite answers
+  // from a cheaper rung are sound at any strength).
+  SolverQueryCache Cache;
+  if (Opts.EnableSolverCache) {
+    PrimaryOpts.Cache = &Cache;
+    PrimaryOpts.Shared = Opts.SharedUnsat;
+  }
   ConstraintSolver Solver(Result.Memory->classTable(), PrimaryOpts);
   SolverStats LadderStats;
   FrameMaterializer Materializer(*Result.Memory, *Result.Builder);
@@ -251,7 +256,7 @@ ExplorationResult ConcolicExplorer::run(ExplorationResult Seed) {
         RungOpts.SharedBudget = &Bud;
         ConstraintSolver Cheap(Result.Memory->classTable(), RungOpts);
         SR = Cheap.solve(Prefix);
-        addSolverStats(LadderStats, Cheap.stats());
+        LadderStats.add(Cheap.stats());
         if (SR.Status != SolveStatus::Unknown)
           ++Result.LadderRescues;
       }
@@ -266,7 +271,7 @@ ExplorationResult ConcolicExplorer::run(ExplorationResult Seed) {
   }
 
   Result.Solver = Solver.stats();
-  addSolverStats(Result.Solver, LadderStats);
+  Result.Solver.add(LadderStats);
   if (Bud.expired())
     Result.BudgetExhausted = true;
   Result.BudgetNote = Bud.describe();

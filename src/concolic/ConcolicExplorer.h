@@ -53,6 +53,17 @@ struct ExplorerOptions {
   /// configurations to retry an Unknown negation with before recording
   /// an UnknownNegation. 0 disables the ladder.
   unsigned LadderRungs = 2;
+  /// Memoize solver queries within one exploration (exact answers plus
+  /// Unsat-core subsumption). Purely an optimisation: results are
+  /// bit-identical with the cache on or off because the solver RNG is
+  /// seeded from query content, not query order.
+  bool EnableSolverCache = true;
+  /// Optional campaign-scope index of proven-Unsat cases, shared
+  /// across explorations and worker threads (non-owning; see
+  /// SolverCache.h for why sharing Unsat — and only Unsat — is sound
+  /// and scheduling-transparent). Consulted only when EnableSolverCache
+  /// is on, so "cache off" disables every memo tier at once.
+  SharedUnsatIndex *SharedUnsat = nullptr;
   /// Harness-fault injection (campaign self-tests): poison the
   /// exploration heap so the first materialisation trips the integrity
   /// check.
@@ -98,6 +109,20 @@ struct ExplorationResult {
 };
 
 /// Drives concolic exploration of catalog instructions.
+///
+/// Ownership rule for parallel campaigns: *everything mutable is
+/// worker-local*. Each exploration constructs its own TermBuilder
+/// (arena + leaf/const/negation consing caches), ObjectMemory (heap +
+/// class table), solvers, query cache, RNGs and Budget; nothing of that
+/// is ever shared across explorations, let alone threads, so the hot
+/// path takes no locks. The only state a campaign may share between
+/// concurrently-running explorations is immutable or pure: the
+/// VMConfig, the InstructionSpec catalog (const magic statics), and the
+/// fault plan (const queries). Determinism across thread counts then
+/// follows from seeding: the solver RNG is derived from the query's
+/// structural hash mixed with a stable hash of the instruction name, so
+/// an instruction explores the same paths no matter which worker runs
+/// it, in what order, or alongside what else.
 class ConcolicExplorer {
 public:
   ConcolicExplorer(const VMConfig &Config,

@@ -5,8 +5,11 @@
 #include "support/Json.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <fstream>
+#include <thread>
 
 using namespace igdt;
 
@@ -79,6 +82,18 @@ std::string InstructionRecord::toJson() const {
       .set("ladder_retries", JsonValue::number(LadderRetries))
       .set("ladder_rescues", JsonValue::number(LadderRescues))
       .set("budget_exhausted", JsonValue::boolean(BudgetExhausted));
+  JsonValue Sol = JsonValue::object();
+  // Cache hit/miss counters are deliberately absent: they depend on
+  // worker scheduling, and checkpoint files must be byte-identical at
+  // any Jobs value.
+  Sol.set("queries", JsonValue::number(Solver.Queries))
+      .set("sat", JsonValue::number(Solver.SatCount))
+      .set("unsat", JsonValue::number(Solver.UnsatCount))
+      .set("unknown", JsonValue::number(Solver.UnknownCount))
+      .set("cases", JsonValue::number(Solver.CasesExplored))
+      .set("nodes", JsonValue::number(Solver.NodesExplored))
+      .set("budget_stops", JsonValue::number(Solver.BudgetStops));
+  V.set("solver", std::move(Sol));
   JsonValue Comps = JsonValue::array();
   for (const CompilerOutcome &C : Compilers) {
     JsonValue O = JsonValue::object();
@@ -121,6 +136,20 @@ bool InstructionRecord::fromJson(const std::string &Line,
   Out.LadderRetries = static_cast<unsigned>(V->numberOr("ladder_retries", 0));
   Out.LadderRescues = static_cast<unsigned>(V->numberOr("ladder_rescues", 0));
   Out.BudgetExhausted = V->boolOr("budget_exhausted", false);
+  if (const JsonValue *Sol = V->find("solver")) {
+    Out.Solver.Queries = static_cast<std::uint64_t>(Sol->numberOr("queries", 0));
+    Out.Solver.SatCount = static_cast<std::uint64_t>(Sol->numberOr("sat", 0));
+    Out.Solver.UnsatCount =
+        static_cast<std::uint64_t>(Sol->numberOr("unsat", 0));
+    Out.Solver.UnknownCount =
+        static_cast<std::uint64_t>(Sol->numberOr("unknown", 0));
+    Out.Solver.CasesExplored =
+        static_cast<std::uint64_t>(Sol->numberOr("cases", 0));
+    Out.Solver.NodesExplored =
+        static_cast<std::uint64_t>(Sol->numberOr("nodes", 0));
+    Out.Solver.BudgetStops =
+        static_cast<std::uint64_t>(Sol->numberOr("budget_stops", 0));
+  }
   if (const JsonValue *Comps = V->find("compilers")) {
     for (const JsonValue &O : Comps->Arr) {
       CompilerOutcome C;
@@ -193,6 +222,7 @@ void CampaignRunner::appendLine(const std::string &Path,
                                 const std::string &Line) const {
   if (Path.empty())
     return;
+  std::lock_guard<std::mutex> Lock(IoMutex);
   std::ofstream Out(Path, std::ios::app);
   Out << Line << '\n';
 }
@@ -200,7 +230,7 @@ void CampaignRunner::appendLine(const std::string &Path,
 InstructionRecord
 CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
                                    unsigned Attempt, Budget &ExploreBud,
-                                   Budget &ReplayBud) {
+                                   Budget &ReplayBud) const {
   InstructionRecord Rec;
   Rec.Instruction = Spec.Name;
   Rec.Kind = Spec.Kind;
@@ -208,6 +238,7 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
 
   ExplorerOptions EOpts = Opts.Harness.Explorer;
   EOpts.ExternalBudget = &ExploreBud;
+  EOpts.SharedUnsat = &SolverIndex;
   if (Opts.Faults.armedFor(HarnessFaultKind::SolverHang, Spec.Name, Attempt))
     EOpts.Solver.InjectSolverHang = true;
   if (Opts.Faults.armedFor(HarnessFaultKind::HeapCorruption, Spec.Name,
@@ -222,6 +253,7 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
   Rec.LadderRetries = R.LadderRetries;
   Rec.LadderRescues = R.LadderRescues;
   Rec.BudgetExhausted = R.BudgetExhausted;
+  Rec.Solver = R.Solver;
 
   for (CompilerKind Kind : AllCompilers) {
     InstructionKind Wanted = Kind == CompilerKind::NativeMethod
@@ -271,14 +303,15 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
       if (B.Status == PathTestStatus::Difference)
         Outcome.Causes.emplace(B.CauseKey, B.Family);
     }
-    Outcome.TestMillis = millisSince(Start);
+    Outcome.TestMillis = Opts.RecordTimings ? millisSince(Start) : 0;
     Rec.Compilers.push_back(std::move(Outcome));
   }
   return Rec;
 }
 
-InstructionRecord CampaignRunner::testInstruction(const InstructionSpec &Spec,
-                                                  CampaignSummary &Summary) {
+InstructionRecord CampaignRunner::testInstruction(
+    const InstructionSpec &Spec,
+    std::vector<CampaignIncident> &Incidents) const {
   unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
   std::vector<CampaignIncident> Local;
   InstructionRecord Rec;
@@ -325,8 +358,7 @@ InstructionRecord CampaignRunner::testInstruction(const InstructionSpec &Spec,
 
   for (CampaignIncident &I : Local) {
     I.Quarantined = Rec.Quarantined;
-    appendLine(Opts.IncidentLogPath, I.toJson());
-    Summary.Incidents.push_back(std::move(I));
+    Incidents.push_back(std::move(I));
   }
   return Rec;
 }
@@ -347,9 +379,19 @@ CampaignSummary CampaignRunner::run() {
     }
   }
 
+  // Phase 1: plan the whole worklist up-front, in catalog order,
+  // reproducing the serial loop's quota counting (Max* limits count
+  // resumed instructions too) and StopAfter truncation (which drops
+  // everything after the limit, resumed records included). Sharding
+  // then cannot change *what* runs, only *where*.
+  struct WorkItem {
+    const InstructionSpec *Spec = nullptr;
+    const InstructionRecord *Resumed = nullptr;
+  };
+  std::vector<WorkItem> Work;
   unsigned Bytecodes = 0;
   unsigned Natives = 0;
-  unsigned NewProcessed = 0;
+  unsigned NewPlanned = 0;
   for (const InstructionSpec &Spec : allInstructions()) {
     if (!Opts.OnlyInstructions.empty() &&
         std::find(Opts.OnlyInstructions.begin(), Opts.OnlyInstructions.end(),
@@ -368,27 +410,132 @@ CampaignSummary CampaignRunner::run() {
 
     auto It = Done.find(Spec.Name);
     if (It != Done.end()) {
-      if (It->second.Quarantined)
-        Summary.Quarantined.push_back(Spec.Name);
-      Summary.Records.push_back(It->second);
+      Work.push_back({&Spec, &It->second});
+      continue;
+    }
+    if (Opts.StopAfter && NewPlanned >= Opts.StopAfter) {
+      Summary.Stopped = true;
+      break;
+    }
+    Work.push_back({&Spec, nullptr});
+    ++NewPlanned;
+  }
+
+  // Phase 2: execute. Workers claim unprocessed items from an atomic
+  // cursor and fill per-item slots; every exploration runs on a
+  // worker-local heap/arena/solver (see ConcolicExplorer.h), so
+  // workers share nothing mutable but the slot handoff below.
+  struct Slot {
+    InstructionRecord Rec;
+    std::vector<CampaignIncident> Incidents;
+    bool Skipped = false; // wall clock expired before this item ran
+    bool Ready = false;
+  };
+  std::vector<Slot> Slots(Work.size());
+
+  unsigned Jobs = Opts.Jobs ? Opts.Jobs : std::thread::hardware_concurrency();
+  if (Jobs == 0)
+    Jobs = 1;
+
+  const bool HasDeadline = Opts.CampaignWallMillis > 0;
+  const auto Deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double, std::milli>(
+              HasDeadline ? Opts.CampaignWallMillis : 0));
+  // Stateless check on purpose: Budget mutates state in expired() and
+  // is not safe to share across threads.
+  auto WallExpired = [&] {
+    return HasDeadline && std::chrono::steady_clock::now() >= Deadline;
+  };
+
+  std::atomic<std::size_t> Next{0};
+  std::atomic<bool> Cancelled{false};
+  std::mutex SlotMutex;
+  std::condition_variable SlotReady;
+
+  auto RunOne = [&](std::size_t I) {
+    Slot S;
+    if (Cancelled.load(std::memory_order_relaxed) || WallExpired())
+      S.Skipped = true;
+    else
+      S.Rec = testInstruction(*Work[I].Spec, S.Incidents);
+    {
+      std::lock_guard<std::mutex> Lock(SlotMutex);
+      Slots[I] = std::move(S);
+      Slots[I].Ready = true;
+    }
+    SlotReady.notify_all();
+  };
+
+  auto NextUnresumed = [&]() -> std::size_t {
+    for (;;) {
+      std::size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+      if (I >= Work.size())
+        return Work.size();
+      if (!Work[I].Resumed)
+        return I;
+    }
+  };
+
+  std::vector<std::thread> Pool;
+  if (Jobs > 1) {
+    std::size_t Workers = std::min<std::size_t>(Jobs, Work.size());
+    Pool.reserve(Workers);
+    for (std::size_t W = 0; W < Workers; ++W)
+      Pool.emplace_back([&] {
+        for (std::size_t I = NextUnresumed(); I < Work.size();
+             I = NextUnresumed())
+          RunOne(I);
+      });
+  }
+
+  // Phase 3: merge in catalog order on this thread. All file appends
+  // happen here, in exactly the serial order; workers only hand over
+  // finished slots.
+  for (std::size_t I = 0; I < Work.size(); ++I) {
+    if (const InstructionRecord *Resumed = Work[I].Resumed) {
+      if (Resumed->Quarantined)
+        Summary.Quarantined.push_back(Resumed->Instruction);
+      Summary.Records.push_back(*Resumed);
       ++Summary.ResumedInstructions;
       continue;
     }
 
-    if (Opts.StopAfter && NewProcessed >= Opts.StopAfter) {
+    if (Pool.empty()) {
+      RunOne(I);
+    } else {
+      std::unique_lock<std::mutex> Lock(SlotMutex);
+      SlotReady.wait(Lock, [&] { return Slots[I].Ready; });
+    }
+    Slot &S = Slots[I];
+    if (S.Skipped) {
+      // The shared wall clock ran out: stop merging, drop the tail
+      // (mirroring the serial StopAfter break) and let the workers
+      // wind down.
       Summary.Stopped = true;
+      Cancelled.store(true, std::memory_order_relaxed);
       break;
     }
-
-    InstructionRecord Rec = testInstruction(Spec, Summary);
-    ++NewProcessed;
+    for (CampaignIncident &Inc : S.Incidents) {
+      appendLine(Opts.IncidentLogPath, Inc.toJson());
+      Summary.Incidents.push_back(std::move(Inc));
+    }
     ++Summary.CompletedInstructions;
-    if (Rec.Quarantined)
-      Summary.Quarantined.push_back(Spec.Name);
-    appendLine(Opts.CheckpointPath, Rec.toJson());
-    Summary.Records.push_back(std::move(Rec));
+    if (S.Rec.Quarantined)
+      Summary.Quarantined.push_back(S.Rec.Instruction);
+    appendLine(Opts.CheckpointPath, S.Rec.toJson());
+    Summary.Records.push_back(std::move(S.Rec));
   }
 
+  Cancelled.store(true, std::memory_order_relaxed);
+  for (std::thread &T : Pool)
+    T.join();
+
+  // Deterministic reduction: catalog order, independent of which
+  // worker produced which record.
+  for (const InstructionRecord &Rec : Summary.Records)
+    Summary.Solver.add(Rec.Solver);
   Summary.Rows = aggregateCampaignRows(Summary.Records);
   return Summary;
 }

@@ -34,6 +34,7 @@
 #include "support/Budget.h"
 
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -66,6 +67,25 @@ struct CampaignOptions {
   /// instructions; 0 runs to completion. Simulates a killed campaign
   /// for resume tests.
   unsigned StopAfter = 0;
+  /// Worker threads exploring instructions concurrently. 1 runs the
+  /// classic serial loop on the calling thread; 0 asks the hardware
+  /// (std::thread::hardware_concurrency). Any value produces the same
+  /// Table 2 rows, checkpoint bytes, incident records and exit code:
+  /// work is sharded, but results are merged in catalog order and each
+  /// instruction's exploration is independent of its worker (see the
+  /// ownership comment in ConcolicExplorer.h).
+  unsigned Jobs = 1;
+  /// Campaign-wide wall-clock ceiling in milliseconds, shared by all
+  /// workers; 0 is unlimited. When it expires the campaign stops
+  /// accepting new instructions (checkpointing what finished, like
+  /// StopAfter), so a stuck fleet degrades into a resumable partial
+  /// run. Inherently non-deterministic — leave it 0 when comparing
+  /// runs byte-for-byte.
+  double CampaignWallMillis = 0;
+  /// Record per-compiler wall-clock timings in checkpoint records.
+  /// Disable to make checkpoint files byte-comparable across runs
+  /// (timings are the one nondeterministic field).
+  bool RecordTimings = true;
 };
 
 /// One contained failure.
@@ -111,6 +131,12 @@ struct InstructionRecord {
   unsigned LadderRetries = 0;
   unsigned LadderRescues = 0;
   bool BudgetExhausted = false;
+  /// Solver activity of the successful attempt. Everything but the
+  /// cache hit/miss counters is deterministic at any Jobs value; the
+  /// cache counters depend on worker scheduling (which exploration
+  /// populated the shared Unsat index first) and are therefore kept
+  /// in memory only — never checkpointed.
+  SolverStats Solver;
   std::vector<CompilerOutcome> Compilers;
 
   std::string toJson() const;
@@ -130,8 +156,14 @@ struct CampaignSummary {
   unsigned CompletedInstructions = 0;
   /// Instructions restored from the checkpoint instead of re-run.
   unsigned ResumedInstructions = 0;
-  /// True when StopAfter ended the run before the worklist emptied.
+  /// True when StopAfter or the campaign wall clock ended the run
+  /// before the worklist emptied.
   bool Stopped = false;
+  /// Solver counters aggregated over all records in catalog order (a
+  /// deterministic reduction). Identical at any Jobs value except for
+  /// the cache hit/miss counters, which depend on worker scheduling
+  /// and are reported as diagnostics only.
+  SolverStats Solver;
 
   /// Nonzero only for genuine differential defects — never for harness
   /// faults, quarantines, or the structural optimisation differences
@@ -149,20 +181,33 @@ public:
   const CampaignOptions &options() const { return Opts; }
 
 private:
-  /// Processes one instruction with retry + containment. Appends any
-  /// incidents to \p Summary and returns the (possibly quarantined)
-  /// record.
+  /// Processes one instruction with retry + containment. Collects any
+  /// incidents into \p Incidents and returns the (possibly quarantined)
+  /// record. Const and worker-local by construction: safe to call from
+  /// several worker threads at once.
   InstructionRecord testInstruction(const InstructionSpec &Spec,
-                                    CampaignSummary &Summary);
+                                    std::vector<CampaignIncident> &Incidents)
+      const;
 
   /// One attempt of the full pipeline; throws on harness faults.
   InstructionRecord attemptInstruction(const InstructionSpec &Spec,
                                        unsigned Attempt, Budget &ExploreBud,
-                                       Budget &ReplayBud);
+                                       Budget &ReplayBud) const;
 
   void appendLine(const std::string &Path, const std::string &Line) const;
 
   CampaignOptions Opts;
+  /// Serialises JSONL appends. The merge loop is the only writer today,
+  /// but the guarantee is cheap and keeps appendLine safe to call from
+  /// any thread.
+  mutable std::mutex IoMutex;
+  /// Campaign-scope solver index of proven-Unsat cases, shared by every
+  /// worker's explorations (thread-safe; see SolverCache.h). Catalog
+  /// instructions of one family pose structurally identical type-check
+  /// cases, so Unsat proofs recur campaign-wide. Valid for the lifetime
+  /// of this runner because the harness configuration — which the
+  /// entries' caps fingerprint covers — is fixed at construction.
+  mutable SharedUnsatIndex SolverIndex;
 };
 
 /// Aggregates per-instruction records into Table 2 rows (exposed for

@@ -6,6 +6,7 @@
 #include "support/Compiler.h"
 #include "support/IntMath.h"
 #include "support/RNG.h"
+#include "support/StringUtils.h"
 
 #include <algorithm>
 #include <map>
@@ -1007,6 +1008,19 @@ CaseSolver::CaseStatus CaseSolver::numericSolve(Model &M) {
 
 } // namespace
 
+void SolverStats::add(const SolverStats &Other) {
+  Queries += Other.Queries;
+  SatCount += Other.SatCount;
+  UnsatCount += Other.UnsatCount;
+  UnknownCount += Other.UnknownCount;
+  CasesExplored += Other.CasesExplored;
+  NodesExplored += Other.NodesExplored;
+  BudgetStops += Other.BudgetStops;
+  CacheHits += Other.CacheHits;
+  CacheMisses += Other.CacheMisses;
+  CacheUnsatSubsumed += Other.CacheUnsatSubsumed;
+}
+
 ConstraintSolver::ConstraintSolver(const ClassTable &Classes,
                                    SolverOptions Options)
     : Classes(Classes), Opts(Options) {}
@@ -1019,14 +1033,44 @@ SolveResult ConstraintSolver::solve(
                                 "every search cap without converging");
   if (Opts.SharedBudget && Opts.SharedBudget->expired()) {
     // The instruction's budget is already gone: answer Unknown without
-    // burning more wall time.
+    // burning more wall time. Deliberately before any cache lookup so
+    // budget-expired campaigns behave identically with or without one.
     Stats.UnknownCount++;
     Stats.BudgetStops++;
     SolveResult Result;
     Result.Status = SolveStatus::Unknown;
     return Result;
   }
-  RNG Rand(Opts.Seed + Stats.Queries);
+
+  // Content-derived signatures: all randomness below is seeded from
+  // structural hashes of what is being solved, so the same query (or
+  // the same expanded case) samples the same candidates whether it is
+  // posed for the first time, replayed after a cache-enabled run, or
+  // solved on a different worker.
+  TermHasher &Hasher = Opts.Cache ? Opts.Cache->hasher() : OwnHasher;
+  TermHasher::QuerySignature Sig = Hasher.signQuery(Conjuncts);
+  std::uint64_t QuerySeed = hashCombine64(Opts.Seed, Sig.Fold);
+
+  if (Opts.Cache) {
+    // Whole-query memo: pays off when model imprecision re-executes an
+    // already-seen path and re-poses its exact negation queries.
+    if (const SolveResult *Hit = Opts.Cache->lookup(Sig.SortedConjuncts)) {
+      Stats.CacheHits++;
+      if (Hit->Status == SolveStatus::Sat)
+        Stats.SatCount++;
+      else
+        Stats.UnsatCount++;
+      return *Hit;
+    }
+    if (Opts.Cache->subsumedUnsat(Sig.SortedConjuncts)) {
+      // Superset of a proven-Unsat core: Unsat without any search.
+      Stats.CacheUnsatSubsumed++;
+      Stats.UnsatCount++;
+      SolveResult Result;
+      Result.Status = SolveStatus::Unsat;
+      return Result;
+    }
+  }
 
   CaseExpander Expander(Opts.MaxCases);
   auto Cases = Expander.expand(Conjuncts);
@@ -1039,27 +1083,113 @@ SolveResult ConstraintSolver::solve(
   if (Cases->empty()) {
     Result.Status = SolveStatus::Unsat;
     Stats.UnsatCount++;
+    if (Opts.Cache)
+      Opts.Cache->store(Sig.SortedConjuncts, Result);
     return Result;
   }
+
+  // Fingerprint of every cap that can influence whether a case is
+  // *provably* Unsat (as opposed to Sat or Unknown): shared-index
+  // entries only serve solvers whose proof would be identical.
+  // RandomSamples and MaxSearchNodes are included out of caution even
+  // though Unsat proofs never reach the seeded search.
+  std::uint64_t CapsFp = hashCombine64(0xF1A6ull, std::uint64_t(Opts.IntegerBits));
+  CapsFp = hashCombine64(CapsFp, Opts.MaxClassCombos);
+  CapsFp = hashCombine64(CapsFp, Opts.MaxSearchNodes);
+  CapsFp = hashCombine64(CapsFp, Opts.RandomSamples);
+  CapsFp = hashCombine64(CapsFp, std::uint64_t(Opts.MaxStackSize));
+  CapsFp = hashCombine64(CapsFp, std::uint64_t(Opts.MaxSlotCount));
 
   bool AnyUnknown = false;
   bool AnyBudgetStop = false;
   for (const Case &C : *Cases) {
-    CaseSolver CS(Classes, Opts, Stats, Rand);
+    // Per-case signature, in the literal domain (atom hash mixed with
+    // polarity) so case keys can never collide with whole-query keys.
+    // This is the memo level that actually repeats: a degradation-
+    // ladder rung re-expands the identical case set, and every case
+    // the stronger configuration already settled is definite at any
+    // strength — only the genuinely Unknown cases deserve re-search.
+    SolverQueryCache::QueryKey CaseKey;
+    CaseKey.reserve(C.size());
+    for (const Literal &L : C)
+      CaseKey.push_back(hashCombine64(Hasher.hashBool(L.Atom),
+                                      L.Positive ? 0xA11ull : 0xB22ull));
+    std::sort(CaseKey.begin(), CaseKey.end());
+    std::uint64_t CaseFold = 0xCA5Eull;
+    for (std::uint64_t H : CaseKey)
+      CaseFold = hashCombine64(CaseFold, H);
+
+    CaseSolver::CaseStatus S = CaseSolver::CaseStatus::Unknown;
     Model M;
-    CaseSolver::CaseStatus S = CS.solve(C, M);
+    bool FromCache = false;
+    SharedUnsatIndex::Proof Proof;
+    const SolveResult *Hit = Opts.Cache ? Opts.Cache->lookup(CaseKey) : nullptr;
+    if (Hit) {
+      Stats.CacheHits++;
+      FromCache = true;
+      if (Hit->Status == SolveStatus::Sat) {
+        S = CaseSolver::CaseStatus::Sat;
+        M = Hit->M;
+      } else {
+        S = CaseSolver::CaseStatus::ProvenUnsat;
+      }
+    } else if (Opts.Cache && Opts.Cache->subsumedUnsat(CaseKey)) {
+      Stats.CacheUnsatSubsumed++;
+      FromCache = true;
+      S = CaseSolver::CaseStatus::ProvenUnsat;
+    } else if (Opts.Shared && Opts.Shared->lookup(CapsFp, CaseKey, Proof)) {
+      // Another exploration (possibly on another worker) already proved
+      // this case Unsat under identical caps. Charge the proof's
+      // deterministic cost so the per-instruction cases/nodes counters
+      // are the same as if we had re-proved it here.
+      Stats.CacheHits++;
+      Stats.CasesExplored += Proof.CasesExplored;
+      Stats.NodesExplored += Proof.NodesExplored;
+      FromCache = true;
+      S = CaseSolver::CaseStatus::ProvenUnsat;
+    } else if (Opts.Cache || Opts.Shared) {
+      Stats.CacheMisses++;
+    }
+    if (!FromCache) {
+      // The case RNG is seeded from the case's own content, not from a
+      // stream shared across cases: skipping a cached case must not
+      // shift the samples of its neighbours.
+      RNG CaseRand(hashCombine64(QuerySeed, CaseFold));
+      std::uint64_t CasesBefore = Stats.CasesExplored;
+      std::uint64_t NodesBefore = Stats.NodesExplored;
+      CaseSolver CS(Classes, Opts, Stats, CaseRand);
+      S = CS.solve(C, M);
+      if (Opts.Cache && S != CaseSolver::CaseStatus::Unknown) {
+        SolveResult Entry;
+        Entry.Status = S == CaseSolver::CaseStatus::Sat ? SolveStatus::Sat
+                                                        : SolveStatus::Unsat;
+        if (S == CaseSolver::CaseStatus::Sat)
+          Entry.M = M;
+        Opts.Cache->store(CaseKey, Entry);
+      }
+      if (Opts.Shared && S == CaseSolver::CaseStatus::ProvenUnsat &&
+          !CS.budgetStopped())
+        Opts.Shared->store(CapsFp, CaseKey,
+                           {Stats.CasesExplored - CasesBefore,
+                            Stats.NodesExplored - NodesBefore});
+      if (CS.budgetStopped()) {
+        AnyBudgetStop = true;
+        if (S != CaseSolver::CaseStatus::Sat) {
+          AnyUnknown = true;
+          break; // remaining cases would stop the same way
+        }
+      }
+    }
     if (S == CaseSolver::CaseStatus::Sat) {
       Result.Status = SolveStatus::Sat;
       Result.M = std::move(M);
       Stats.SatCount++;
+      if (Opts.Cache)
+        Opts.Cache->store(Sig.SortedConjuncts, Result);
       return Result;
     }
     if (S == CaseSolver::CaseStatus::Unknown)
       AnyUnknown = true;
-    if (CS.budgetStopped()) {
-      AnyBudgetStop = true;
-      break; // remaining cases would stop the same way
-    }
   }
   if (AnyBudgetStop)
     Stats.BudgetStops++;
@@ -1068,5 +1198,8 @@ SolveResult ConstraintSolver::solve(
     Stats.UnknownCount++;
   else
     Stats.UnsatCount++;
+  // store() rejects Unknown, so only the proven-Unsat outcome is kept.
+  if (Opts.Cache)
+    Opts.Cache->store(Sig.SortedConjuncts, Result);
   return Result;
 }

@@ -31,6 +31,7 @@
 #define IGDT_SOLVER_SOLVER_H
 
 #include "solver/Model.h"
+#include "solver/SolverCache.h"
 #include "support/Budget.h"
 #include "vm/ClassTable.h"
 
@@ -71,13 +72,31 @@ struct SolverOptions {
   std::int64_t MaxStackSize = 12;
   /// Upper bound of object slot-count variables.
   std::int64_t MaxSlotCount = 32;
-  /// RNG seed (solving is fully deterministic).
+  /// RNG seed material (solving is fully deterministic). The per-query
+  /// generator is seeded from this value mixed with the *structural
+  /// hash of the query's conjuncts*, so identical queries sample
+  /// identically no matter when — or on which worker — they are posed.
+  /// The explorer further mixes in a stable hash of the instruction
+  /// name, making every instruction's exploration independent of
+  /// catalog order and shard assignment.
   std::uint64_t Seed = 0x5EED;
   /// Cooperative budget shared across queries (non-owning, may be
   /// null). The numeric search charges one work unit per node; an
   /// exhausted budget turns the running and all later queries Unknown
   /// instead of letting a pathological instruction stall the campaign.
   Budget *SharedBudget = nullptr;
+  /// Per-exploration query cache (non-owning, may be null). Memoizes
+  /// definite answers and rejects supersets of known-Unsat cores
+  /// without search. Must never be shared across threads; the owning
+  /// explorer keeps it worker-local (see ConcolicExplorer.h).
+  SolverQueryCache *Cache = nullptr;
+  /// Campaign-scope index of proven-Unsat cases (non-owning, may be
+  /// null). Unlike Cache it IS shared across explorations and threads:
+  /// Unsat proofs are pointer-free and seed-independent, so a hit is
+  /// byte-identical to re-proving (see SolverCache.h). Entries are
+  /// segregated by a fingerprint of the caps that influence Unsat
+  /// provability, so ladder rungs never serve full-strength queries.
+  SharedUnsatIndex *Shared = nullptr;
   /// Harness-fault injection (campaign self-tests): throw HarnessFault
   /// at query entry, simulating a solver blow-up no search cap contains.
   bool InjectSolverHang = false;
@@ -93,6 +112,21 @@ struct SolverStats {
   std::uint64_t NodesExplored = 0;
   /// Queries cut short (turned Unknown) by an exhausted shared budget.
   std::uint64_t BudgetStops = 0;
+  /// Lookups answered from a cache: an exact match in the
+  /// per-exploration tier or a proof in the shared Unsat index. Unlike
+  /// every other counter, the three cache counters depend on worker
+  /// scheduling (which exploration populated the shared index first),
+  /// so they are diagnostics only: excluded from campaign checkpoints
+  /// and from byte-identity guarantees.
+  std::uint64_t CacheHits = 0;
+  /// Lookups that consulted a cache and had to search.
+  std::uint64_t CacheMisses = 0;
+  /// Lookups rejected as supersets of a known proven-Unsat core.
+  std::uint64_t CacheUnsatSubsumed = 0;
+
+  /// Accumulates \p Other into this (deterministic reduction used when
+  /// merging per-worker statistics).
+  void add(const SolverStats &Other);
 };
 
 /// The solver. Stateless between queries except for statistics.
@@ -111,6 +145,9 @@ private:
   const ClassTable &Classes;
   SolverOptions Opts;
   SolverStats Stats;
+  /// Fallback hasher for content-seeding the per-query RNG when no
+  /// cache (with its shared hasher) is configured.
+  TermHasher OwnHasher;
 };
 
 } // namespace igdt

@@ -1,0 +1,190 @@
+//===- solver/SolverCache.cpp - Per-exploration solver query caching ---------===//
+
+#include "solver/SolverCache.h"
+
+#include "solver/Solver.h"
+#include "solver/Term.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+
+using namespace igdt;
+
+namespace {
+
+std::uint64_t mix(std::uint64_t Seed, std::uint64_t Value) {
+  return hashCombine64(Seed, Value);
+}
+
+} // namespace
+
+std::uint64_t TermHasher::hashObj(const ObjTerm *T) {
+  if (!T)
+    return 0x9E3779B97F4A7C15ull;
+  auto It = Memo.find(T);
+  if (It != Memo.end())
+    return It->second;
+  std::uint64_t H = mix(0x0B57ull, std::uint64_t(T->TermKind));
+  switch (T->TermKind) {
+  case ObjTerm::Kind::Var:
+    H = mix(H, std::uint64_t(T->Role));
+    H = mix(H, std::uint64_t(std::uint32_t(T->Index)));
+    H = mix(H, hashObj(T->Parent));
+    break;
+  case ObjTerm::Kind::Const:
+    H = mix(H, T->ConstValue);
+    break;
+  case ObjTerm::Kind::IntObj:
+    H = mix(H, hashInt(T->IntPayload));
+    break;
+  case ObjTerm::Kind::FloatObj:
+    H = mix(H, hashFloat(T->FloatPayload));
+    break;
+  case ObjTerm::Kind::NewObj:
+    H = mix(H, T->AllocId);
+    H = mix(H, T->AllocClass);
+    H = mix(H, hashInt(T->AllocSize));
+    H = mix(H, hashObj(T->CopyOf));
+    break;
+  }
+  Memo.emplace(T, H);
+  return H;
+}
+
+std::uint64_t TermHasher::hashInt(const IntTerm *T) {
+  if (!T)
+    return 0x9E3779B97F4A7C15ull;
+  auto It = Memo.find(T);
+  if (It != Memo.end())
+    return It->second;
+  std::uint64_t H = mix(0x117ull, std::uint64_t(T->TermKind));
+  H = mix(H, std::uint64_t(T->ConstValue));
+  H = mix(H, std::uint64_t(T->Aux));
+  H = mix(H, std::uint64_t(T->Width) * 2 + (T->SignExtend ? 1 : 0));
+  if (T->Obj)
+    H = mix(H, hashObj(T->Obj));
+  if (T->Lhs)
+    H = mix(H, hashInt(T->Lhs));
+  if (T->Rhs)
+    H = mix(H, hashInt(T->Rhs));
+  if (T->FloatOperand)
+    H = mix(H, hashFloat(T->FloatOperand));
+  Memo.emplace(T, H);
+  return H;
+}
+
+std::uint64_t TermHasher::hashFloat(const FloatTerm *T) {
+  if (!T)
+    return 0x9E3779B97F4A7C15ull;
+  auto It = Memo.find(T);
+  if (It != Memo.end())
+    return It->second;
+  std::uint64_t H = mix(0xF107ull, std::uint64_t(T->TermKind));
+  std::uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(T->ConstValue));
+  __builtin_memcpy(&Bits, &T->ConstValue, sizeof(Bits));
+  H = mix(H, Bits);
+  H = mix(H, std::uint64_t(T->Aux));
+  if (T->Obj)
+    H = mix(H, hashObj(T->Obj));
+  if (T->Lhs)
+    H = mix(H, hashFloat(T->Lhs));
+  if (T->Rhs)
+    H = mix(H, hashFloat(T->Rhs));
+  if (T->IntOperand)
+    H = mix(H, hashInt(T->IntOperand));
+  Memo.emplace(T, H);
+  return H;
+}
+
+std::uint64_t TermHasher::hashBool(const BoolTerm *T) {
+  if (!T)
+    return 0x9E3779B97F4A7C15ull;
+  auto It = Memo.find(T);
+  if (It != Memo.end())
+    return It->second;
+  std::uint64_t H = mix(0xB001ull, std::uint64_t(T->TermKind));
+  H = mix(H, T->ConstValue ? 1 : 0);
+  H = mix(H, std::uint64_t(T->Pred));
+  H = mix(H, T->ClassIndex);
+  H = mix(H, T->FormatMask);
+  if (T->BLhs)
+    H = mix(H, hashBool(T->BLhs));
+  if (T->BRhs)
+    H = mix(H, hashBool(T->BRhs));
+  if (T->ILhs)
+    H = mix(H, hashInt(T->ILhs));
+  if (T->IRhs)
+    H = mix(H, hashInt(T->IRhs));
+  if (T->FLhs)
+    H = mix(H, hashFloat(T->FLhs));
+  if (T->FRhs)
+    H = mix(H, hashFloat(T->FRhs));
+  if (T->Obj)
+    H = mix(H, hashObj(T->Obj));
+  if (T->ObjRhs)
+    H = mix(H, hashObj(T->ObjRhs));
+  Memo.emplace(T, H);
+  return H;
+}
+
+TermHasher::QuerySignature
+TermHasher::signQuery(const std::vector<const BoolTerm *> &Conjuncts) {
+  QuerySignature Sig;
+  Sig.SortedConjuncts.reserve(Conjuncts.size());
+  for (const BoolTerm *C : Conjuncts)
+    Sig.SortedConjuncts.push_back(hashBool(C));
+  std::sort(Sig.SortedConjuncts.begin(), Sig.SortedConjuncts.end());
+  Sig.Fold = 0x51D;
+  for (std::uint64_t H : Sig.SortedConjuncts)
+    Sig.Fold = mix(Sig.Fold, H);
+  return Sig;
+}
+
+const SolveResult *SolverQueryCache::lookup(const QueryKey &Key) const {
+  auto It = Exact.find(Key);
+  return It == Exact.end() ? nullptr : &It->second;
+}
+
+bool SolverQueryCache::subsumedUnsat(const QueryKey &Key) const {
+  for (const QueryKey &Core : Cores)
+    if (Core.size() <= Key.size() &&
+        std::includes(Key.begin(), Key.end(), Core.begin(), Core.end()))
+      return true;
+  return false;
+}
+
+void SolverQueryCache::store(const QueryKey &Key, const SolveResult &Result) {
+  if (Result.Status == SolveStatus::Unknown)
+    return;
+  Exact.emplace(Key, Result);
+  if (Result.Status == SolveStatus::Unsat && Cores.size() < MaxUnsatCores &&
+      !subsumedUnsat(Key))
+    Cores.push_back(Key);
+}
+
+bool SharedUnsatIndex::lookup(std::uint64_t CapsFingerprint,
+                              const QueryKey &Key, Proof &Out) const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  auto It = Entries.find({CapsFingerprint, Key});
+  if (It == Entries.end())
+    return false;
+  Out = It->second;
+  return true;
+}
+
+void SharedUnsatIndex::store(std::uint64_t CapsFingerprint,
+                             const QueryKey &Key, const Proof &P) {
+  std::lock_guard<std::mutex> Guard(Lock);
+  if (Entries.size() >= MaxEntries)
+    return;
+  // A concurrent worker may have proved the same case first; both
+  // proofs are identical (the proof is deterministic), so emplace's
+  // keep-first semantics are fine.
+  Entries.emplace(std::make_pair(CapsFingerprint, Key), P);
+}
+
+std::size_t SharedUnsatIndex::size() const {
+  std::lock_guard<std::mutex> Guard(Lock);
+  return Entries.size();
+}

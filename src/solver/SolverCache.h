@@ -1,0 +1,162 @@
+//===- solver/SolverCache.h - Per-exploration solver query caching ----------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Incremental solving support for the concolic exploration loop,
+/// organised as two tiers with different sharing scopes:
+///
+///  - TermHasher assigns every term a *structural* 64-bit hash,
+///    memoized per pointer (terms are immutable and arena-allocated, so
+///    a pointer's hash never changes). Structural hashing makes cache
+///    keys independent of allocation addresses and of the order terms
+///    were built in — the property that lets a cached run reproduce an
+///    uncached one bit for bit, and that lets hashes computed in one
+///    exploration's arena match those of another.
+///
+///  - SolverQueryCache (tier 1, per exploration) memoizes definite
+///    answers — Sat with its model, proven Unsat — at two
+///    granularities: whole queries and the individual conjunctive
+///    *cases* they expand into (the level at which the degradation
+///    ladder re-poses work). It also keeps proven-Unsat conjunct sets
+///    as *cores*: a later key that is a superset of a known core is
+///    Unsat by subsumption, with no search. Unknown results are never
+///    cached so the ladder can still retry them. Models hold pointers
+///    into the exploration's term arena, so this tier must die with the
+///    exploration and is never shared across threads — lookups take no
+///    locks.
+///
+///  - SharedUnsatIndex (tier 2, campaign scope) records proven-Unsat
+///    cases across explorations. Catalog instructions of one family
+///    pose structurally identical type-check cases, so Unsat proofs
+///    recur campaign-wide even though they never recur within one
+///    exploration. Only Unsat entries are shared: they carry no model
+///    (nothing points into a foreign arena), and an Unsat proof is
+///    derived purely from class conflicts, empty candidate sets and
+///    interval propagation — never from the seeded numeric search — so
+///    any worker with the same caps and class table would reprove it
+///    identically. A hit is therefore transparent: results are
+///    byte-identical whether or not it fires, which keeps campaign rows
+///    independent of worker scheduling. Entries are keyed by a caps
+///    fingerprint so ladder rungs and ablation configurations never
+///    serve each other. The index takes one mutex per case lookup /
+///    store — off the hot search path, which runs lock-free.
+///
+/// Definite answers from a cheaper ladder rung are sound at any
+/// strength: caps only ever widen results toward Unknown.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_SOLVER_SOLVERCACHE_H
+#define IGDT_SOLVER_SOLVERCACHE_H
+
+#include "solver/Model.h"
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+namespace igdt {
+
+struct BoolTerm;
+enum class SolveStatus : std::uint8_t;
+struct SolveResult;
+
+/// Memoized structural hashing of solver terms. Pointer-keyed memo:
+/// terms are immutable, so the first computed hash is final.
+class TermHasher {
+public:
+  std::uint64_t hashBool(const BoolTerm *T);
+
+  /// Signature of a conjunctive query: the sorted multiset of conjunct
+  /// hashes (the cache key) plus an order-insensitive fold of them
+  /// (the per-query RNG seed material).
+  struct QuerySignature {
+    std::vector<std::uint64_t> SortedConjuncts;
+    std::uint64_t Fold = 0;
+  };
+  QuerySignature signQuery(const std::vector<const BoolTerm *> &Conjuncts);
+
+private:
+  std::uint64_t hashObj(const ObjTerm *T);
+  std::uint64_t hashInt(const IntTerm *T);
+  std::uint64_t hashFloat(const FloatTerm *T);
+
+  std::unordered_map<const void *, std::uint64_t> Memo;
+};
+
+/// Per-exploration memo of definite solver answers. See file comment
+/// for the soundness and ownership rules.
+class SolverQueryCache {
+public:
+  using QueryKey = std::vector<std::uint64_t>;
+
+  /// The shared hasher (shared so the pointer->hash memo is reused by
+  /// every solver of the exploration).
+  TermHasher &hasher() { return Hasher; }
+
+  /// Exact-match lookup; null on miss.
+  const SolveResult *lookup(const QueryKey &Key) const;
+
+  /// True when \p Key is a superset of a known proven-Unsat core.
+  bool subsumedUnsat(const QueryKey &Key) const;
+
+  /// Stores a definite result. Unknown results are rejected (they are
+  /// retryable — caching them would freeze the degradation ladder).
+  void store(const QueryKey &Key, const SolveResult &Result);
+
+  std::size_t exactEntries() const { return Exact.size(); }
+  std::size_t unsatCores() const { return Cores.size(); }
+
+private:
+  TermHasher Hasher;
+  std::map<QueryKey, SolveResult> Exact;
+  /// Sorted conjunct-hash sets of proven-Unsat queries, capped so the
+  /// subsumption scan stays O(cores * |query|).
+  std::vector<QueryKey> Cores;
+  static constexpr std::size_t MaxUnsatCores = 256;
+};
+
+/// Campaign-scope index of proven-Unsat cases (tier 2; see file
+/// comment for why only Unsat may cross exploration and thread
+/// boundaries). Thread-safe: workers of a parallel campaign consult and
+/// populate one instance concurrently.
+class SharedUnsatIndex {
+public:
+  using QueryKey = SolverQueryCache::QueryKey;
+
+  /// The deterministic cost of the original Unsat proof. Charged to the
+  /// hitting solver's statistics in place of re-running the proof, so
+  /// per-instruction counters (cases, nodes) stay identical whether the
+  /// hit fires or not — only the hit/miss counters themselves depend on
+  /// scheduling.
+  struct Proof {
+    std::uint64_t CasesExplored = 0;
+    std::uint64_t NodesExplored = 0;
+  };
+
+  /// Looks up a case proven Unsat under the same caps fingerprint.
+  bool lookup(std::uint64_t CapsFingerprint, const QueryKey &Key,
+              Proof &Out) const;
+
+  /// Records an Unsat proof. No-op once the entry cap is reached (the
+  /// index is an accelerator, not ground truth).
+  void store(std::uint64_t CapsFingerprint, const QueryKey &Key,
+             const Proof &P);
+
+  std::size_t size() const;
+
+private:
+  mutable std::mutex Lock;
+  std::map<std::pair<std::uint64_t, QueryKey>, Proof> Entries;
+  static constexpr std::size_t MaxEntries = 1u << 16;
+};
+
+} // namespace igdt
+
+#endif // IGDT_SOLVER_SOLVERCACHE_H

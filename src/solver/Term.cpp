@@ -282,9 +282,17 @@ const BoolTerm *TermBuilder::notB(const BoolTerm *Operand) {
   // Collapse double negation for readable path conditions.
   if (Operand->TermKind == BoolTerm::Kind::Not)
     return Operand->BLhs;
+  // Consed so repeated negations of the same branch condition (every
+  // generational re-negation of a prefix) share one node — pointer
+  // identity then implies structural identity for the query cache's
+  // memoized hashing.
+  auto It = NotCache.find(Operand);
+  if (It != NotCache.end())
+    return It->second;
   auto *T = Mem.create<BoolTerm>();
   T->TermKind = BoolTerm::Kind::Not;
   T->BLhs = Operand;
+  NotCache.emplace(Operand, T);
   return T;
 }
 

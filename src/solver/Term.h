@@ -291,6 +291,7 @@ private:
   const IntTerm *StackSizeTerm = nullptr;
   std::map<double, const FloatTerm *> FloatConstCache;
   std::map<std::pair<int, const ObjTerm *>, const FloatTerm *> FloatLeafCache;
+  std::map<const BoolTerm *, const BoolTerm *> NotCache;
   std::uint32_t NextAllocId = 1;
 };
 

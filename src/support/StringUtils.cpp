@@ -41,3 +41,12 @@ std::string igdt::toHex(std::uint64_t Value) {
 std::string igdt::formatPercent(double Fraction) {
   return formatString("%.2f%%", Fraction * 100.0);
 }
+
+std::uint64_t igdt::stableHash64(const std::string &Text) {
+  std::uint64_t H = 0xCBF29CE484222325ull; // FNV offset basis
+  for (unsigned char C : Text) {
+    H ^= C;
+    H *= 0x100000001B3ull; // FNV prime
+  }
+  return H;
+}

@@ -33,6 +33,16 @@ std::string toHex(std::uint64_t Value);
 /// Renders a percentage with two decimals, e.g. "28.95%".
 std::string formatPercent(double Fraction);
 
+/// FNV-1a over the bytes of \p Text. Stable across processes and
+/// platforms (unlike std::hash), so it can derive reproducible solver
+/// seeds from instruction names.
+std::uint64_t stableHash64(const std::string &Text);
+
+/// Boost-style order-sensitive 64-bit hash combiner.
+inline std::uint64_t hashCombine64(std::uint64_t Seed, std::uint64_t Value) {
+  return Seed ^ (Value + 0x9E3779B97F4A7C15ull + (Seed << 6) + (Seed >> 2));
+}
+
 } // namespace igdt
 
 #endif // IGDT_SUPPORT_STRINGUTILS_H

@@ -252,6 +252,112 @@ TEST(CampaignRunnerTest, CampaignRowsMatchTheEvaluationHarness) {
   expectRowsEqual(S.Rows, Expected);
 }
 
+TEST(CampaignRunnerTest, ParallelCampaignIsByteIdenticalToSerial) {
+  // The Jobs determinism contract, under the worst conditions we can
+  // arrange: all four harness faults armed (quarantines + retries),
+  // a mixed bytecode/primitive subset, and checkpoint files compared
+  // byte for byte (RecordTimings off zeroes the one nondeterministic
+  // field).
+  CampaignOptions Base = cleanOptions();
+  Base.Harness.MaxBytecodes = 10;
+  Base.Harness.MaxNativeMethods = 6;
+  Base.RecordTimings = false;
+  Base.Faults.Faults = {
+      {HarnessFaultKind::SolverHang, "bytecodePrim_add", false},
+      {HarnessFaultKind::FrontEndThrow, "bytecodePrim_sub", false},
+      {HarnessFaultKind::HeapCorruption, "bytecodePrim_mul", false},
+      {HarnessFaultKind::SimFuelExhaustion, "primitiveAdd", false},
+  };
+
+  CampaignOptions SerialOpts = Base;
+  SerialOpts.Jobs = 1;
+  SerialOpts.CheckpointPath = tempPath("serial_ckpt.jsonl");
+  CampaignSummary Serial = CampaignRunner(SerialOpts).run();
+
+  CampaignOptions ParallelOpts = Base;
+  ParallelOpts.Jobs = 4;
+  ParallelOpts.CheckpointPath = tempPath("parallel_ckpt.jsonl");
+  CampaignSummary Parallel = CampaignRunner(ParallelOpts).run();
+
+  expectRowsEqual(Serial.Rows, Parallel.Rows);
+  EXPECT_EQ(Serial.Quarantined, Parallel.Quarantined);
+  EXPECT_EQ(Serial.exitCode(), Parallel.exitCode());
+  EXPECT_EQ(Serial.CompletedInstructions, Parallel.CompletedInstructions);
+
+  // Incidents merge in catalog order, so the sequences agree field by
+  // field (budget descriptions embed wall-clock millis, so records are
+  // compared structurally, not as raw bytes).
+  ASSERT_EQ(Serial.Incidents.size(), Parallel.Incidents.size());
+  for (std::size_t I = 0; I < Serial.Incidents.size(); ++I) {
+    EXPECT_EQ(Serial.Incidents[I].Instruction, Parallel.Incidents[I].Instruction);
+    EXPECT_EQ(Serial.Incidents[I].Stage, Parallel.Incidents[I].Stage);
+    EXPECT_EQ(Serial.Incidents[I].ErrorClass, Parallel.Incidents[I].ErrorClass);
+    EXPECT_EQ(Serial.Incidents[I].Attempt, Parallel.Incidents[I].Attempt);
+    EXPECT_EQ(Serial.Incidents[I].Quarantined, Parallel.Incidents[I].Quarantined);
+  }
+
+  // Per-instruction path counts are identical at any Jobs value: each
+  // exploration is a pure function of (instruction name, base seed),
+  // never of which worker ran it or what ran before it.
+  ASSERT_EQ(Serial.Records.size(), Parallel.Records.size());
+  for (std::size_t I = 0; I < Serial.Records.size(); ++I) {
+    EXPECT_EQ(Serial.Records[I].Instruction, Parallel.Records[I].Instruction);
+    EXPECT_EQ(Serial.Records[I].Paths, Parallel.Records[I].Paths)
+        << Serial.Records[I].Instruction;
+    EXPECT_EQ(Serial.Records[I].CuratedPaths, Parallel.Records[I].CuratedPaths)
+        << Serial.Records[I].Instruction;
+  }
+
+  // The checkpoint files are byte-identical.
+  EXPECT_EQ(readLines(SerialOpts.CheckpointPath),
+            readLines(ParallelOpts.CheckpointPath));
+
+  // The deterministic part of the solver reduction agrees too (the
+  // cache hit/miss counters are scheduling-dependent by design).
+  EXPECT_EQ(Serial.Solver.Queries, Parallel.Solver.Queries);
+  EXPECT_EQ(Serial.Solver.SatCount, Parallel.Solver.SatCount);
+  EXPECT_EQ(Serial.Solver.UnsatCount, Parallel.Solver.UnsatCount);
+  EXPECT_EQ(Serial.Solver.UnknownCount, Parallel.Solver.UnknownCount);
+  EXPECT_EQ(Serial.Solver.CasesExplored, Parallel.Solver.CasesExplored);
+  EXPECT_EQ(Serial.Solver.NodesExplored, Parallel.Solver.NodesExplored);
+
+  std::remove(SerialOpts.CheckpointPath.c_str());
+  std::remove(ParallelOpts.CheckpointPath.c_str());
+}
+
+TEST(CampaignRunnerTest, ParallelResumeAfterStopAfterMatchesSerial) {
+  // A parallel campaign killed by StopAfter and resumed in parallel
+  // must reproduce an uninterrupted serial run byte for byte.
+  CampaignOptions Base;
+  Base.OnlyInstructions = {"bytecodePrim_add", "bytecodePrim_bitAnd",
+                           "primitiveFloatAdd", "primitiveFFILoadInt8"};
+  Base.RecordTimings = false;
+
+  CampaignOptions SerialOpts = Base;
+  SerialOpts.Jobs = 1;
+  CampaignSummary Uninterrupted = CampaignRunner(SerialOpts).run();
+
+  CampaignOptions Interrupted = Base;
+  Interrupted.Jobs = 4;
+  Interrupted.CheckpointPath = tempPath("parallel_resume.jsonl");
+  Interrupted.StopAfter = 2;
+  CampaignSummary FirstHalf = CampaignRunner(Interrupted).run();
+  EXPECT_TRUE(FirstHalf.Stopped);
+  EXPECT_EQ(FirstHalf.CompletedInstructions, 2u);
+  EXPECT_EQ(readLines(Interrupted.CheckpointPath).size(), 2u);
+
+  CampaignOptions Resumed = Interrupted;
+  Resumed.StopAfter = 0;
+  CampaignSummary Second = CampaignRunner(Resumed).run();
+  EXPECT_FALSE(Second.Stopped);
+  EXPECT_EQ(Second.ResumedInstructions, 2u);
+  EXPECT_EQ(Second.Records.size(), 4u);
+
+  expectRowsEqual(Second.Rows, Uninterrupted.Rows);
+  EXPECT_EQ(Second.exitCode(), Uninterrupted.exitCode());
+  std::remove(Interrupted.CheckpointPath.c_str());
+}
+
 TEST(CampaignRunnerTest, RecordsRoundTripThroughTheCheckpointFormat) {
   CampaignOptions Opts;
   Opts.OnlyInstructions = {"bytecodePrim_add", "primitiveFloatAdd"};

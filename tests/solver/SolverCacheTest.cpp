@@ -1,0 +1,167 @@
+//===- tests/solver/SolverCacheTest.cpp ----------------------------------------===//
+//
+// Solver query caching: structural hashing is allocation-independent,
+// the per-exploration tier memoizes exact answers and subsumes Unsat
+// supersets, the campaign-scope Unsat index is caps-segregated, and —
+// the property everything rests on — caching never changes what an
+// exploration produces, only how fast it produces it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "solver/SolverCache.h"
+
+#include "concolic/ConcolicExplorer.h"
+#include "faults/DefectCatalog.h"
+#include "solver/Solver.h"
+#include "solver/Term.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+/// A small conjunction built from scratch in \p B: the add-style
+/// type-check prefix "stack0 is SmallInteger and value(stack0) < 7".
+std::vector<const BoolTerm *> buildConjuncts(TermBuilder &B) {
+  const ObjTerm *V = B.objVar(VarRole::StackSlot, 0);
+  return {B.isClass(V, 1),
+          B.icmp(CmpPred::Lt, B.valueOf(V), B.intConst(7))};
+}
+
+TEST(SolverCacheTest, StructurallyEqualTermsHashEqualAcrossArenas) {
+  // Two independent arenas allocate the "same" terms at different
+  // addresses; the structural hashes must agree anyway — this is what
+  // lets one exploration's Unsat proofs serve another's lookups.
+  TermBuilder B1;
+  TermBuilder B2;
+  TermHasher H1;
+  TermHasher H2;
+  TermHasher::QuerySignature S1 = H1.signQuery(buildConjuncts(B1));
+  TermHasher::QuerySignature S2 = H2.signQuery(buildConjuncts(B2));
+  EXPECT_EQ(S1.SortedConjuncts, S2.SortedConjuncts);
+  EXPECT_EQ(S1.Fold, S2.Fold);
+
+  // And polarity matters: the negation hashes differently.
+  TermBuilder B3;
+  TermHasher H3;
+  std::vector<const BoolTerm *> Negated = buildConjuncts(B3);
+  Negated[1] = B3.notB(Negated[1]);
+  EXPECT_NE(H3.signQuery(Negated).Fold, S1.Fold);
+}
+
+TEST(SolverCacheTest, ExactMemoAndUnsatSubsumption) {
+  SolverQueryCache Cache;
+  SolverQueryCache::QueryKey Core = {10, 20};
+  SolveResult Unsat;
+  Unsat.Status = SolveStatus::Unsat;
+  Cache.store(Core, Unsat);
+
+  ASSERT_NE(Cache.lookup(Core), nullptr);
+  EXPECT_EQ(Cache.lookup(Core)->Status, SolveStatus::Unsat);
+
+  // A superset of the proven-Unsat core is rejected without search.
+  EXPECT_TRUE(Cache.subsumedUnsat({5, 10, 20, 30}));
+  EXPECT_FALSE(Cache.subsumedUnsat({5, 10, 30}));
+
+  // Unknown is never memoized: the degradation ladder must retry it.
+  SolveResult Unknown;
+  Unknown.Status = SolveStatus::Unknown;
+  Cache.store({7}, Unknown);
+  EXPECT_EQ(Cache.lookup({7}), nullptr);
+  EXPECT_EQ(Cache.exactEntries(), 1u);
+}
+
+TEST(SolverCacheTest, SharedUnsatIndexIsCapsSegregated) {
+  SharedUnsatIndex Index;
+  SharedUnsatIndex::QueryKey Key = {1, 2, 3};
+  Index.store(/*CapsFingerprint=*/0xAA, Key, {4, 9});
+
+  SharedUnsatIndex::Proof P;
+  ASSERT_TRUE(Index.lookup(0xAA, Key, P));
+  EXPECT_EQ(P.CasesExplored, 4u);
+  EXPECT_EQ(P.NodesExplored, 9u);
+
+  // A ladder rung (different caps fingerprint) must not be served a
+  // full-strength proof, nor vice versa.
+  EXPECT_FALSE(Index.lookup(0xBB, Key, P));
+  EXPECT_FALSE(Index.lookup(0xAA, {1, 2}, P));
+  EXPECT_EQ(Index.size(), 1u);
+}
+
+/// Everything about a path that the differential harness consumes.
+struct PathFingerprint {
+  std::size_t Entries;
+  ExitKind Exit;
+  bool Curated;
+  bool operator==(const PathFingerprint &) const = default;
+};
+
+std::vector<PathFingerprint> fingerprints(const ExplorationResult &R) {
+  std::vector<PathFingerprint> Out;
+  for (const PathSolution &P : R.Paths)
+    Out.push_back({P.Entries.size(), P.Exit, P.Curated});
+  return Out;
+}
+
+TEST(SolverCacheTest, CachedAndUncachedExplorationsAreIdentical) {
+  const InstructionSpec *Spec = findInstruction("bytecodePrim_add");
+  ASSERT_NE(Spec, nullptr);
+
+  ExplorerOptions Cached;
+  Cached.EnableSolverCache = true;
+  ConcolicExplorer E1(cleanVMConfig(), Cached);
+  ExplorationResult R1 = E1.explore(*Spec);
+
+  ExplorerOptions Uncached;
+  Uncached.EnableSolverCache = false;
+  ConcolicExplorer E2(cleanVMConfig(), Uncached);
+  ExplorationResult R2 = E2.explore(*Spec);
+
+  // Identical path sets and statuses: the cache is an accelerator,
+  // never an oracle the uncached solver would disagree with.
+  EXPECT_EQ(fingerprints(R1), fingerprints(R2));
+  EXPECT_EQ(R1.curatedCount(), R2.curatedCount());
+  EXPECT_EQ(R1.UnknownNegations, R2.UnknownNegations);
+  EXPECT_EQ(R1.Solver.Queries, R2.Solver.Queries);
+  EXPECT_EQ(R1.Solver.SatCount, R2.Solver.SatCount);
+  EXPECT_EQ(R1.Solver.UnsatCount, R2.Solver.UnsatCount);
+  EXPECT_EQ(R1.Solver.UnknownCount, R2.Solver.UnknownCount);
+  EXPECT_EQ(R2.Solver.CacheHits + R2.Solver.CacheMisses, 0u)
+      << "uncached run must not touch any cache tier";
+}
+
+TEST(SolverCacheTest, SharedIndexHitsAreNonzeroOnAMultiPathInstruction) {
+  // bytecodePrim_add explores several paths and proves one negation
+  // case Unsat; a second exploration sharing the index answers that
+  // case from the proof instead of re-deriving it.
+  const InstructionSpec *Spec = findInstruction("bytecodePrim_add");
+  ASSERT_NE(Spec, nullptr);
+
+  SharedUnsatIndex Index;
+  ExplorerOptions Opts;
+  Opts.SharedUnsat = &Index;
+
+  ConcolicExplorer E1(cleanVMConfig(), Opts);
+  ExplorationResult R1 = E1.explore(*Spec);
+  ASSERT_GT(R1.Paths.size(), 1u) << "need a multi-path instruction";
+  ASSERT_GT(Index.size(), 0u) << "exploration must publish Unsat proofs";
+  EXPECT_EQ(R1.Solver.CacheHits, 0u) << "nothing to hit on first contact";
+
+  ConcolicExplorer E2(cleanVMConfig(), Opts);
+  ExplorationResult R2 = E2.explore(*Spec);
+  EXPECT_GT(R2.Solver.CacheHits, 0u);
+
+  // The hit is transparent: paths, statuses, and even the cases/nodes
+  // counters (the proof's deterministic cost is charged on a hit) are
+  // those of the from-scratch exploration.
+  EXPECT_EQ(fingerprints(R1), fingerprints(R2));
+  EXPECT_EQ(R1.Solver.Queries, R2.Solver.Queries);
+  EXPECT_EQ(R1.Solver.SatCount, R2.Solver.SatCount);
+  EXPECT_EQ(R1.Solver.UnsatCount, R2.Solver.UnsatCount);
+  EXPECT_EQ(R1.Solver.UnknownCount, R2.Solver.UnknownCount);
+  EXPECT_EQ(R1.Solver.CasesExplored, R2.Solver.CasesExplored);
+  EXPECT_EQ(R1.Solver.NodesExplored, R2.Solver.NodesExplored);
+}
+
+} // namespace
