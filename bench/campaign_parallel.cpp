@@ -8,23 +8,29 @@
 //
 // Usage: campaign_parallel [--jobs N] [--reps N] [--max-bytecodes N]
 //                          [--max-native-methods N] [--smoke]
-//                          [--out PATH]
+//                          [--trace PATH] [--profile] [--out PATH]
 //
 // --jobs 0 (the default) asks the hardware. --smoke shrinks the
 // catalog and arms all four harness faults: a fast TSan target that
 // still drives the sharded execution, containment and merge paths.
+// --trace runs an extra traced campaign pair (serial vs parallel) and
+// fails unless the two JSONL traces are byte-identical; the timed reps
+// stay untraced so the timing numbers measure the disabled path.
+// --profile runs one timed campaign with metrics on and embeds the
+// per-stage report into the JSON output.
 //
 //===----------------------------------------------------------------------===//
 
-#include "evalkit/CampaignRunner.h"
+#include "api/Session.h"
 
 #include "faults/DefectCatalog.h"
+#include "support/Flags.h"
 #include "support/Json.h"
 
 #include <chrono>
 #include <cstdio>
-#include <cstdlib>
 #include <fstream>
+#include <sstream>
 #include <string>
 #include <thread>
 
@@ -54,59 +60,51 @@ bool rowsEqual(const std::vector<CompilerEvaluation> &A,
   return true;
 }
 
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
-  unsigned Jobs = 0;
   unsigned Reps = 3;
-  unsigned MaxBytecodes = 0;
-  unsigned MaxNativeMethods = 0;
   bool Smoke = false;
   std::string OutPath = "BENCH_campaign.json";
 
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    auto Next = [&]() -> const char * {
-      return I + 1 < Argc ? Argv[++I] : "0";
-    };
-    if (Arg == "--jobs")
-      Jobs = static_cast<unsigned>(std::atoi(Next()));
-    else if (Arg == "--reps")
-      Reps = static_cast<unsigned>(std::atoi(Next()));
-    else if (Arg == "--max-bytecodes")
-      MaxBytecodes = static_cast<unsigned>(std::atoi(Next()));
-    else if (Arg == "--max-native-methods")
-      MaxNativeMethods = static_cast<unsigned>(std::atoi(Next()));
-    else if (Arg == "--smoke")
-      Smoke = true;
-    else if (Arg == "--out")
-      OutPath = Next();
-    else {
-      std::printf("unknown argument: %s\n", Arg.c_str());
-      return 2;
-    }
-  }
+  SessionConfig Base;
+  Base.Campaign.Jobs = 0; // hardware
+  FlagParser Flags("campaign_parallel",
+                   "Serial-vs-parallel campaign timing + determinism check.");
+  addSessionFlags(Flags, Base);
+  Flags.add("reps", &Reps, "timed repetitions per configuration");
+  Flags.add("smoke", &Smoke, "small catalog slice with all faults armed");
+  Flags.add("out", &OutPath, "JSON report path");
+  if (!Flags.parse(Argc, Argv))
+    return Flags.helpRequested() ? 0 : 2;
 
   unsigned Hardware = std::thread::hardware_concurrency();
+  unsigned Jobs = Base.Campaign.Jobs;
   if (Jobs == 0)
     Jobs = Hardware ? Hardware : 1;
   if (Reps == 0)
     Reps = 1;
 
-  CampaignOptions Base;
-  Base.Harness.VM = cleanVMConfig();
-  Base.Harness.Cogit = cleanCogitOptions();
-  Base.Harness.SeedSimulationErrors = false;
-  Base.Harness.MaxBytecodes = MaxBytecodes;
-  Base.Harness.MaxNativeMethods = MaxNativeMethods;
-  Base.RecordTimings = false;
+  Base.harness().VM = cleanVMConfig();
+  Base.harness().Cogit = cleanCogitOptions();
+  Base.harness().SeedSimulationErrors = false;
+  Base.Campaign.RecordTimings = false;
   if (Smoke) {
     // Small catalog slice with every fault kind armed: exercises the
     // sharded dispatch, containment, quarantine and in-order merge
     // under ThreadSanitizer in seconds.
-    Base.Harness.MaxBytecodes = MaxBytecodes ? MaxBytecodes : 12;
-    Base.Harness.MaxNativeMethods = MaxNativeMethods ? MaxNativeMethods : 6;
-    Base.Faults.Faults = {
+    if (!Base.harness().MaxBytecodes)
+      Base.harness().MaxBytecodes = 12;
+    if (!Base.harness().MaxNativeMethods)
+      Base.harness().MaxNativeMethods = 6;
+    Base.Campaign.Faults.Faults = {
         {HarnessFaultKind::SolverHang, "bytecodePrim_add", false},
         {HarnessFaultKind::FrontEndThrow, "bytecodePrim_sub", false},
         {HarnessFaultKind::HeapCorruption, "bytecodePrim_mul", false},
@@ -115,21 +113,28 @@ int main(int Argc, char **Argv) {
     Reps = 1;
   }
 
+  // The --trace and --profile passes run separately below; the timed
+  // reps measure the disabled-observability path.
+  const std::string TracePath = Base.Campaign.TracePath;
+  const bool Profile = Base.Profile;
+  Base.Campaign.TracePath.clear();
+  Base.Profile = false;
+
   double SerialMillis = 0;
   double ParallelMillis = 0;
   CampaignSummary Serial;
   CampaignSummary Parallel;
   for (unsigned Rep = 0; Rep < Reps; ++Rep) {
-    CampaignOptions SOpts = Base;
-    SOpts.Jobs = 1;
+    SessionConfig SCfg = Base;
+    SCfg.Campaign.Jobs = 1;
     auto T0 = std::chrono::steady_clock::now();
-    Serial = CampaignRunner(SOpts).run();
+    Serial = Session(SCfg).runCampaign();
     SerialMillis += millisSince(T0);
 
-    CampaignOptions POpts = Base;
-    POpts.Jobs = Jobs;
+    SessionConfig PCfg = Base;
+    PCfg.Campaign.Jobs = Jobs;
     auto T1 = std::chrono::steady_clock::now();
-    Parallel = CampaignRunner(POpts).run();
+    Parallel = Session(PCfg).runCampaign();
     ParallelMillis += millisSince(T1);
   }
   SerialMillis /= Reps;
@@ -142,6 +147,45 @@ int main(int Argc, char **Argv) {
   if (Serial.exitCode() != Parallel.exitCode()) {
     std::printf("FAIL: parallel exit code differs from serial\n");
     return 2;
+  }
+
+  // Trace determinism: the merged JSONL stream must be byte-identical
+  // at any Jobs value (RecordTimings is already off above).
+  bool TraceChecked = false;
+  if (!TracePath.empty()) {
+    SessionConfig SCfg = Base;
+    SCfg.Campaign.Jobs = 1;
+    SCfg.Campaign.TracePath = TracePath + ".j1";
+    Session(SCfg).runCampaign();
+
+    SessionConfig PCfg = Base;
+    PCfg.Campaign.Jobs = Jobs;
+    PCfg.Campaign.TracePath = TracePath;
+    Session(PCfg).runCampaign();
+
+    std::string SerialTrace = slurp(SCfg.Campaign.TracePath);
+    if (SerialTrace.empty() || SerialTrace != slurp(TracePath)) {
+      std::printf("FAIL: trace at jobs=%u differs from the serial trace\n",
+                  Jobs);
+      return 2;
+    }
+    TraceChecked = true;
+  }
+
+  // Profile pass: one timed campaign with metrics on; the report is
+  // printed and embedded in the JSON output.
+  JsonValue ProfileJson;
+  if (Profile) {
+    SessionConfig PCfg = Base;
+    PCfg.Campaign.Jobs = Jobs;
+    PCfg.Campaign.RecordTimings = true;
+    PCfg.Profile = true;
+    Session S(PCfg);
+    S.runCampaign();
+    if (const ProfileReport *Report = S.profile()) {
+      std::printf("%s\n", Report->render().c_str());
+      ProfileJson = Report->toJson();
+    }
   }
 
   // Cache stats from the serial run: hit counts there are fully
@@ -170,7 +214,10 @@ int main(int Argc, char **Argv) {
       .set("cache_misses", JsonValue::number(double(Cache.CacheMisses)))
       .set("cache_unsat_subsumed",
            JsonValue::number(double(Cache.CacheUnsatSubsumed)))
-      .set("cache_hit_rate", JsonValue::number(HitRate));
+      .set("cache_hit_rate", JsonValue::number(HitRate))
+      .set("trace_deterministic", JsonValue::boolean(TraceChecked));
+  if (Profile)
+    V.set("profile", ProfileJson);
   std::string Report = V.dump();
   if (!OutPath.empty()) {
     std::ofstream Out(OutPath);

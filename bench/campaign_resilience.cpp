@@ -8,11 +8,16 @@
 // or a genuine defect in the fixed configuration). CI runs this after
 // the unit suite.
 //
+// Positional arguments name a single fault kind to arm instead of the
+// default all-four plan (CI variants); session flags (--trace,
+// --incidents, ...) are available as everywhere else.
+//
 //===----------------------------------------------------------------------===//
 
-#include "evalkit/CampaignRunner.h"
+#include "api/Session.h"
 
 #include "faults/DefectCatalog.h"
+#include "support/Flags.h"
 
 #include <algorithm>
 #include <cstdio>
@@ -21,30 +26,35 @@
 using namespace igdt;
 
 int main(int Argc, char **Argv) {
-  CampaignOptions Opts;
-  Opts.Harness.VM = cleanVMConfig();
-  Opts.Harness.Cogit = cleanCogitOptions();
-  Opts.Harness.SeedSimulationErrors = false;
-  Opts.OnlyInstructions = {"bytecodePrim_add", "bytecodePrim_sub",
-                           "bytecodePrim_mul", "bytecodePrim_div",
-                           "primitiveAdd",     "primitiveFloatAdd"};
-  Opts.Faults.Faults = {
+  SessionConfig Config;
+  FlagParser Flags("campaign_resilience",
+                   "Containment smoke: all harness faults armed.");
+  addSessionFlags(Flags, Config);
+  if (!Flags.parse(Argc, Argv))
+    return Flags.helpRequested() ? 0 : 2;
+
+  Config.harness().VM = cleanVMConfig();
+  Config.harness().Cogit = cleanCogitOptions();
+  Config.harness().SeedSimulationErrors = false;
+  Config.Campaign.OnlyInstructions = {"bytecodePrim_add", "bytecodePrim_sub",
+                                      "bytecodePrim_mul", "bytecodePrim_div",
+                                      "primitiveAdd",     "primitiveFloatAdd"};
+  Config.Campaign.Faults.Faults = {
       {HarnessFaultKind::SolverHang, "bytecodePrim_add", false},
       {HarnessFaultKind::FrontEndThrow, "bytecodePrim_sub", false},
       {HarnessFaultKind::HeapCorruption, "bytecodePrim_mul", false},
       {HarnessFaultKind::SimFuelExhaustion, "primitiveAdd", false},
   };
-  // CLI override for CI variants: arm only the named fault kind.
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
+  // Positional override for CI variants: arm only the named fault kind.
+  for (const std::string &Arg : Flags.positional())
     for (HarnessFaultKind Kind :
          {HarnessFaultKind::SolverHang, HarnessFaultKind::SimFuelExhaustion,
           HarnessFaultKind::FrontEndThrow, HarnessFaultKind::HeapCorruption})
       if (Arg == harnessFaultKindName(Kind))
-        Opts.Faults.Faults = {{Kind, "bytecodePrim_add", false}};
-  }
+        Config.Campaign.Faults.Faults = {{Kind, "bytecodePrim_add", false}};
 
-  CampaignSummary S = CampaignRunner(Opts).run();
+  Session Sess(Config);
+  CampaignSummary S = Sess.runCampaign();
 
   std::printf("campaign: %u instructions, %zu incidents, %zu quarantined\n",
               S.CompletedInstructions, S.Incidents.size(),
@@ -52,7 +62,7 @@ int main(int Argc, char **Argv) {
   for (const CampaignIncident &I : S.Incidents)
     std::printf("incident: %s\n", I.toJson().c_str());
 
-  std::vector<std::string> Expected = Opts.Faults.targets();
+  std::vector<std::string> Expected = Config.Campaign.Faults.targets();
   std::vector<std::string> Actual = S.Quarantined;
   std::sort(Expected.begin(), Expected.end());
   std::sort(Actual.begin(), Actual.end());
@@ -64,7 +74,7 @@ int main(int Argc, char **Argv) {
     std::printf("FAIL: contained faults produced no incidents\n");
     return 2;
   }
-  if (S.CompletedInstructions != Opts.OnlyInstructions.size()) {
+  if (S.CompletedInstructions != Config.Campaign.OnlyInstructions.size()) {
     std::printf("FAIL: campaign did not process the whole worklist\n");
     return 2;
   }

@@ -1,18 +1,21 @@
 //===- examples/quickstart.cpp - IGDT in five minutes ----------------------------===//
 //
-// The smallest end-to-end tour of the library:
+// The smallest end-to-end tour of the library, through the Session
+// façade (one object, one configuration, the whole pipeline):
 //
 //   1. pick a VM instruction (the integer-addition byte-code of the
 //      paper's Listing 1);
 //   2. concolically explore the interpreter to enumerate its execution
 //      paths (paper Table 1);
-//   3. replay every path against a JIT compiler and report agreement.
+//   3. replay every path against a JIT compiler and report agreement;
+//   4. read the session metrics the two steps produced.
 //
 // Build & run:   ./build/examples/quickstart
 //
 //===----------------------------------------------------------------------===//
 
-#include "differential/DifferentialTester.h"
+#include "api/Session.h"
+
 #include "evalkit/TestExport.h"
 #include "solver/TermPrinter.h"
 
@@ -21,15 +24,14 @@
 using namespace igdt;
 
 int main() {
-  // --- 1. the instruction under test -----------------------------------
+  // --- 1. a session and the instruction under test ---------------------
+  Session S;
   const InstructionSpec *Add = findInstruction("bytecodePrim_add");
   std::printf("Instruction under test: %s (family %s)\n\n", Add->Name.c_str(),
               Add->Family.c_str());
 
   // --- 2. concolic exploration of the interpreter ----------------------
-  VMConfig VM;
-  ConcolicExplorer Explorer(VM);
-  ExplorationResult Paths = Explorer.explore(*Add);
+  ExplorationResult Paths = S.explore(*Add);
 
   std::printf("Concolic exploration found %zu paths in %u executions "
               "(%llu solver queries):\n\n",
@@ -48,16 +50,13 @@ int main() {
   }
 
   // --- 3. differential replay against the production compiler ----------
-  DiffTestConfig Cfg;
-  Cfg.Kind = CompilerKind::StackToRegister;
-  DifferentialTester Tester(Cfg);
-
-  std::printf("\nReplaying against %s on %s:\n",
-              compilerKindName(Cfg.Kind), Tester.desc().Name);
+  CompilerKind Kind = CompilerKind::StackToRegister;
+  std::printf("\nReplaying against %s on %s:\n", compilerKindName(Kind),
+              x64Desc().Name);
   unsigned Matches = 0;
   unsigned Diffs = 0;
   for (std::size_t I = 0; I < Paths.Paths.size(); ++I) {
-    PathTestOutcome O = Tester.testPath(Paths, I);
+    PathTestOutcome O = S.testPath(Paths, I, Kind);
     std::printf("  path %zu: %-16s", I, pathTestStatusName(O.Status));
     if (O.Status == PathTestStatus::Difference) {
       ++Diffs;
@@ -73,7 +72,11 @@ int main() {
               "float arithmetic,\nthe compiler sends — the paper's "
               "'optimisation difference' family.)\n");
 
-  // --- 4. exporting one path as a standalone test -----------------------
+  // --- 4. the observability the session collected on the way -----------
+  std::printf("\nSession metrics (every verb feeds the registry):\n\n%s",
+              S.metrics().render().c_str());
+
+  // --- 5. exporting one path as a standalone test -----------------------
   std::printf("\nOne generated test, exported:\n\n%s",
               renderPathAsTest(Paths, 1).c_str());
   return 0;

@@ -1,0 +1,124 @@
+//===- api/Session.cpp - The unified IGDT entry point -------------------------===//
+
+#include "api/Session.h"
+
+#include "support/Flags.h"
+
+#include <stdexcept>
+#include <utility>
+
+using namespace igdt;
+
+void igdt::addSessionFlags(FlagParser &Flags, SessionConfig &Config) {
+  Flags.add("jobs", &Config.Campaign.Jobs,
+            "campaign worker threads (0 = hardware)");
+  Flags.add("max-bytecodes", &Config.Campaign.Harness.MaxBytecodes,
+            "limit byte-code instructions (0 = all)");
+  Flags.add("max-native-methods", &Config.Campaign.Harness.MaxNativeMethods,
+            "limit native methods (0 = all)");
+  Flags.add("only", &Config.Campaign.OnlyInstructions,
+            "restrict to this instruction (repeatable)");
+  Flags.add("checkpoint", &Config.Campaign.CheckpointPath,
+            "JSONL checkpoint file (resume + append)");
+  Flags.add("incidents", &Config.Campaign.IncidentLogPath,
+            "JSONL incident report file");
+  Flags.add("trace", &Config.Campaign.TracePath,
+            "JSONL trace file (merge-deterministic event stream)");
+  Flags.add("profile", &Config.Profile,
+            "collect metrics and print the end-of-run profile");
+  Flags.add("stop-after", &Config.Campaign.StopAfter,
+            "stop after N new instructions (0 = run to completion)");
+  Flags.add("max-attempts", &Config.Campaign.MaxAttempts,
+            "attempts per instruction before quarantine");
+  Flags.add("campaign-wall-millis", &Config.Campaign.CampaignWallMillis,
+            "campaign wall-clock ceiling in ms (0 = unlimited)");
+  Flags.add("explore-wall-millis", &Config.Campaign.ExploreBudget.WallMillis,
+            "per-instruction exploration wall budget in ms");
+  Flags.add("explore-work-units", &Config.Campaign.ExploreBudget.WorkUnits,
+            "per-instruction exploration work budget (solver nodes)");
+  Flags.add("replay-wall-millis", &Config.Campaign.ReplayBudget.WallMillis,
+            "per-instruction replay wall budget in ms");
+  Flags.add("replay-work-units", &Config.Campaign.ReplayBudget.WorkUnits,
+            "per-instruction replay work budget (tested paths)");
+}
+
+Session::Session(SessionConfig Config) : Cfg(std::move(Config)) {}
+
+JsonlTraceSink *Session::writer() {
+  if (!TraceWriter && !Cfg.Campaign.TracePath.empty()) {
+    TraceOut.open(Cfg.Campaign.TracePath, std::ios::trunc);
+    TraceWriter = std::make_unique<JsonlTraceSink>(TraceOut);
+  }
+  return TraceWriter.get();
+}
+
+void Session::publish(std::vector<TraceEvent> Events) {
+  MetricsSink Sink(Metrics);
+  JsonlTraceSink *Out = writer();
+  for (TraceEvent &Event : Events) {
+    Sink.emit(Event);
+    if (Out)
+      Out->emit(std::move(Event));
+  }
+}
+
+ExplorationResult Session::explore(const InstructionSpec &Spec) {
+  ExplorerOptions EOpts = Cfg.Campaign.Harness.Explorer;
+  TraceBuffer Buffer;
+  TraceScope Scope(&Buffer, Spec.Name, /*Attempt=*/1,
+                   Cfg.Campaign.RecordTimings);
+  EOpts.Trace = &Scope;
+  ConcolicExplorer Explorer(Cfg.Campaign.Harness.VM, EOpts);
+  ExplorationResult Result = Explorer.explore(Spec);
+  foldSolverStats(Metrics, Result.Solver);
+  publish(Buffer.take());
+  return Result;
+}
+
+ExplorationResult Session::explore(const std::string &InstructionName) {
+  const InstructionSpec *Spec = findInstruction(InstructionName);
+  if (!Spec)
+    throw std::invalid_argument("unknown catalog instruction: " +
+                                InstructionName);
+  return explore(*Spec);
+}
+
+DiffTestConfig Session::diffConfig(CompilerKind Kind, bool Arm) const {
+  // Delegate to the harness so the façade and the evaluation drivers
+  // derive byte-identical configurations from the same HarnessOptions.
+  return EvaluationHarness(Cfg.Campaign.Harness).diffConfig(Kind, Arm);
+}
+
+PathTestOutcome Session::testPath(const ExplorationResult &Exploration,
+                                  std::size_t PathIdx, CompilerKind Kind,
+                                  bool Arm) {
+  DiffTestConfig DCfg = diffConfig(Kind, Arm);
+  TraceBuffer Buffer;
+  TraceScope Scope(&Buffer, Exploration.Spec ? Exploration.Spec->Name : "",
+                   /*Attempt=*/1, Cfg.Campaign.RecordTimings);
+  DCfg.Trace = &Scope;
+  DifferentialTester Tester(DCfg);
+  PathTestOutcome Out = Tester.testPath(Exploration, PathIdx);
+  publish(Buffer.take());
+  return Out;
+}
+
+CampaignSummary Session::runCampaign() {
+  CampaignOptions Opts = Cfg.Campaign;
+  if (Cfg.Profile)
+    Opts.CollectMetrics = true;
+  if (TraceWriter) {
+    // The session writer is already appending (a direct explore or
+    // testPath opened it): route the campaign's merged stream into the
+    // same file instead of letting the runner truncate it.
+    Opts.TracePath.clear();
+    Opts.ExtraTraceSink = TraceWriter.get();
+  }
+  CampaignSummary Summary = CampaignRunner(Opts).run();
+  Metrics.merge(Summary.Metrics);
+  LastProfile.reset();
+  if (Cfg.Profile)
+    LastProfile = std::make_unique<ProfileReport>(
+        buildCampaignProfile(Summary, Cfg.TopInstructions));
+  return Summary;
+}

@@ -2,6 +2,7 @@
 
 #include "concolic/ConcolicExplorer.h"
 
+#include "observe/TraceBus.h"
 #include "solver/TermEval.h"
 #include "solver/TermPrinter.h"
 #include "support/StringUtils.h"
@@ -10,6 +11,7 @@
 #include "vm/InterpreterCore.h"
 
 #include <algorithm>
+#include <chrono>
 #include <deque>
 #include <set>
 
@@ -127,8 +129,12 @@ ExplorationResult ConcolicExplorer::run(ExplorationResult Seed) {
   Budget LocalBudget(Opts.InstructionBudget);
   Budget &Bud = Opts.ExternalBudget ? *Opts.ExternalBudget : LocalBudget;
 
+  auto ExploreStart = std::chrono::steady_clock::now();
+
   SolverOptions PrimaryOpts = Opts.Solver;
   PrimaryOpts.SharedBudget = &Bud;
+  // Ladder rungs copy PrimaryOpts, so they inherit the sink too.
+  PrimaryOpts.Trace = Opts.Trace;
   // Mix a stable hash of the instruction name into the seed so each
   // instruction's exploration is a pure function of (name, base seed) —
   // independent of catalog position or worker assignment (see the
@@ -225,6 +231,14 @@ ExplorationResult ConcolicExplorer::run(ExplorationResult Seed) {
           }
         }
       }
+      if (Opts.Trace) {
+        TraceEvent E;
+        E.Kind = TraceEventKind::PathExplored;
+        E.Detail = exitKindName(Sol.Exit);
+        E.Value = Result.Paths.size();
+        E.Extra = Sol.Curated ? 1 : 0;
+        Opts.Trace->emit(std::move(E));
+      }
       Result.Paths.push_back(std::move(Sol));
     }
 
@@ -259,6 +273,13 @@ ExplorationResult ConcolicExplorer::run(ExplorationResult Seed) {
         LadderStats.add(Cheap.stats());
         if (SR.Status != SolveStatus::Unknown)
           ++Result.LadderRescues;
+        if (Opts.Trace) {
+          TraceEvent E;
+          E.Kind = TraceEventKind::LadderRung;
+          E.Detail = solveStatusName(SR.Status);
+          E.Value = Rung;
+          Opts.Trace->emit(std::move(E));
+        }
       }
 
       if (SR.Status == SolveStatus::Sat)
@@ -275,5 +296,18 @@ ExplorationResult ConcolicExplorer::run(ExplorationResult Seed) {
   if (Bud.expired())
     Result.BudgetExhausted = true;
   Result.BudgetNote = Bud.describe();
+  if (Opts.Trace) {
+    // TraceScope zeroes Millis when the campaign runs untimed, so this
+    // span never breaks trace byte-identity.
+    TraceEvent E;
+    E.Kind = TraceEventKind::ExploreDone;
+    E.Detail = Result.BudgetExhausted ? "budget-exhausted" : "complete";
+    E.Value = Result.Paths.size();
+    E.Extra = Result.Iterations;
+    E.Millis = std::chrono::duration<double, std::milli>(
+                   std::chrono::steady_clock::now() - ExploreStart)
+                   .count();
+    Opts.Trace->emit(std::move(E));
+  }
   return Result;
 }

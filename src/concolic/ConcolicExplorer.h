@@ -68,6 +68,11 @@ struct ExplorerOptions {
   /// exploration heap so the first materialisation trips the integrity
   /// check.
   bool InjectHeapCorruption = false;
+  /// Observability sink (non-owning, may be null). Propagated into the
+  /// primary solver and every ladder rung; the explorer itself emits
+  /// PathExplored per retained path, LadderRung per retry, and one
+  /// ExploreDone span when the frontier empties.
+  TraceSink *Trace = nullptr;
 };
 
 /// Everything produced by exploring one instruction. Owns the term arena,

@@ -5,6 +5,7 @@
 #include "differential/OutputEvaluator.h"
 #include "jit/BytecodeCogit.h"
 #include "jit/NativeMethodCogit.h"
+#include "observe/TraceBus.h"
 #include "support/Compiler.h"
 #include "support/StringUtils.h"
 #include "symbolic/FrameMaterializer.h"
@@ -168,6 +169,23 @@ struct ExpectedBytes {
 
 PathTestOutcome DifferentialTester::testPath(const ExplorationResult &R,
                                              std::size_t PathIdx) {
+  // HarnessFaults (fuel exhaustion in campaign mode, injected crashes)
+  // unwind past this point without a verdict; the campaign's
+  // Containment event covers those paths instead.
+  PathTestOutcome Out = testPathImpl(R, PathIdx);
+  if (Cfg.Trace) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::PathVerdict;
+    E.Detail = pathTestStatusName(Out.Status);
+    E.Aux = formatString("%s/%s", compilerKindName(Cfg.Kind), desc().Name);
+    E.Value = PathIdx;
+    Cfg.Trace->emit(std::move(E));
+  }
+  return Out;
+}
+
+PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
+                                                 std::size_t PathIdx) {
   const PathSolution &P = R.Paths[PathIdx];
   const InstructionSpec &Spec = *R.Spec;
   PathTestOutcome Out;

@@ -51,6 +51,11 @@ struct DiffTestConfig {
   /// When fuel is deliberately scarce, exhaustion says nothing about
   /// the compiler under test.
   bool FuelExhaustionIsHarnessFault = false;
+  /// Observability sink (non-owning, may be null). The tester emits one
+  /// PathVerdict event per tested path and propagates the sink into the
+  /// nested Cogit and Sim options, so one assignment wires the whole
+  /// replay stage.
+  TraceSink *Trace = nullptr;
 };
 
 /// Per-path verdict.
@@ -79,7 +84,12 @@ struct PathTestOutcome {
 /// Replays paths against one compiler/back-end pair.
 class DifferentialTester {
 public:
-  explicit DifferentialTester(DiffTestConfig Config) : Cfg(Config) {}
+  explicit DifferentialTester(DiffTestConfig Config) : Cfg(Config) {
+    if (Cfg.Trace) {
+      Cfg.Cogit.Trace = Cfg.Trace;
+      Cfg.Sim.Trace = Cfg.Trace;
+    }
+  }
 
   /// Tests path \p PathIdx of \p Exploration.
   PathTestOutcome testPath(const ExplorationResult &Exploration,
@@ -91,6 +101,10 @@ public:
   }
 
 private:
+  /// The actual replay; testPath wraps it with PathVerdict emission.
+  PathTestOutcome testPathImpl(const ExplorationResult &Exploration,
+                               std::size_t PathIdx);
+
   DiffTestConfig Cfg;
 };
 

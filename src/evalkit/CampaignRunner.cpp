@@ -3,12 +3,14 @@
 #include "evalkit/CampaignRunner.h"
 
 #include "support/Json.h"
+#include "support/StringUtils.h"
 
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <fstream>
+#include <memory>
 #include <thread>
 
 using namespace igdt;
@@ -81,7 +83,8 @@ std::string InstructionRecord::toJson() const {
       .set("unknown_negations", JsonValue::number(UnknownNegations))
       .set("ladder_retries", JsonValue::number(LadderRetries))
       .set("ladder_rescues", JsonValue::number(LadderRescues))
-      .set("budget_exhausted", JsonValue::boolean(BudgetExhausted));
+      .set("budget_exhausted", JsonValue::boolean(BudgetExhausted))
+      .set("explore_millis", JsonValue::number(ExploreMillis));
   JsonValue Sol = JsonValue::object();
   // Cache hit/miss counters are deliberately absent: they depend on
   // worker scheduling, and checkpoint files must be byte-identical at
@@ -136,6 +139,7 @@ bool InstructionRecord::fromJson(const std::string &Line,
   Out.LadderRetries = static_cast<unsigned>(V->numberOr("ladder_retries", 0));
   Out.LadderRescues = static_cast<unsigned>(V->numberOr("ladder_rescues", 0));
   Out.BudgetExhausted = V->boolOr("budget_exhausted", false);
+  Out.ExploreMillis = V->numberOr("explore_millis", 0);
   if (const JsonValue *Sol = V->find("solver")) {
     Out.Solver.Queries = static_cast<std::uint64_t>(Sol->numberOr("queries", 0));
     Out.Solver.SatCount = static_cast<std::uint64_t>(Sol->numberOr("sat", 0));
@@ -230,7 +234,8 @@ void CampaignRunner::appendLine(const std::string &Path,
 InstructionRecord
 CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
                                    unsigned Attempt, Budget &ExploreBud,
-                                   Budget &ReplayBud) const {
+                                   Budget &ReplayBud,
+                                   TraceSink *Trace) const {
   InstructionRecord Rec;
   Rec.Instruction = Spec.Name;
   Rec.Kind = Spec.Kind;
@@ -239,14 +244,17 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
   ExplorerOptions EOpts = Opts.Harness.Explorer;
   EOpts.ExternalBudget = &ExploreBud;
   EOpts.SharedUnsat = &SolverIndex;
+  EOpts.Trace = Trace;
   if (Opts.Faults.armedFor(HarnessFaultKind::SolverHang, Spec.Name, Attempt))
     EOpts.Solver.InjectSolverHang = true;
   if (Opts.Faults.armedFor(HarnessFaultKind::HeapCorruption, Spec.Name,
                            Attempt))
     EOpts.InjectHeapCorruption = true;
 
+  auto ExploreStart = std::chrono::steady_clock::now();
   ConcolicExplorer Explorer(Opts.Harness.VM, EOpts);
   ExplorationResult R = Explorer.explore(Spec);
+  Rec.ExploreMillis = Opts.RecordTimings ? millisSince(ExploreStart) : 0;
   Rec.Paths = static_cast<unsigned>(R.Paths.size());
   Rec.CuratedPaths = R.curatedCount();
   Rec.UnknownNegations = R.UnknownNegations;
@@ -267,6 +275,8 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
       Cfg.Kind = Kind;
       Cfg.UseArmBackend = Arm;
       Cfg.Cogit = Opts.Harness.Cogit;
+      Cfg.Sim = Opts.Harness.Sim;
+      Cfg.Trace = Trace;
       if (Opts.Harness.SeedSimulationErrors && Arm)
         Cfg.Sim.MissingFPAccessors.insert(std::uint8_t(FReg::F5));
       Cfg.ReplayBudget = &ReplayBud;
@@ -311,7 +321,7 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
 
 InstructionRecord CampaignRunner::testInstruction(
     const InstructionSpec &Spec,
-    std::vector<CampaignIncident> &Incidents) const {
+    std::vector<CampaignIncident> &Incidents, TraceSink *Trace) const {
   unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
   std::vector<CampaignIncident> Local;
   InstructionRecord Rec;
@@ -322,8 +332,13 @@ InstructionRecord CampaignRunner::testInstruction(
     // must not leak state into the retry.
     Budget ExploreBud(Opts.ExploreBudget);
     Budget ReplayBud(Opts.ReplayBudget);
+    // Events of a failed attempt stay in the buffer: fault injection is
+    // deterministic, so the partial prefix is too, and the attempt
+    // stamp tells it apart from the retry.
+    TraceScope Scope(Trace, Spec.Name, Attempt, Opts.RecordTimings);
     try {
-      Rec = attemptInstruction(Spec, Attempt, ExploreBud, ReplayBud);
+      Rec = attemptInstruction(Spec, Attempt, ExploreBud, ReplayBud,
+                               Trace ? &Scope : nullptr);
       Succeeded = true;
     } catch (const HarnessFault &F) {
       CampaignIncident I;
@@ -428,10 +443,14 @@ CampaignSummary CampaignRunner::run() {
   struct Slot {
     InstructionRecord Rec;
     std::vector<CampaignIncident> Incidents;
+    std::vector<TraceEvent> Events;
     bool Skipped = false; // wall clock expired before this item ran
     bool Ready = false;
   };
   std::vector<Slot> Slots(Work.size());
+
+  const bool Observing = !Opts.TracePath.empty() || Opts.ExtraTraceSink ||
+                         Opts.CollectMetrics;
 
   unsigned Jobs = Opts.Jobs ? Opts.Jobs : std::thread::hardware_concurrency();
   if (Jobs == 0)
@@ -456,10 +475,16 @@ CampaignSummary CampaignRunner::run() {
 
   auto RunOne = [&](std::size_t I) {
     Slot S;
-    if (Cancelled.load(std::memory_order_relaxed) || WallExpired())
+    if (Cancelled.load(std::memory_order_relaxed) || WallExpired()) {
       S.Skipped = true;
-    else
-      S.Rec = testInstruction(*Work[I].Spec, S.Incidents);
+    } else {
+      // Per-worker buffering: events never cross threads until the
+      // merge loop drains the slot in catalog order.
+      TraceBuffer Buffer;
+      S.Rec = testInstruction(*Work[I].Spec, S.Incidents,
+                              Observing ? &Buffer : nullptr);
+      S.Events = Buffer.take();
+    }
     {
       std::lock_guard<std::mutex> Lock(SlotMutex);
       Slots[I] = std::move(S);
@@ -492,7 +517,24 @@ CampaignSummary CampaignRunner::run() {
 
   // Phase 3: merge in catalog order on this thread. All file appends
   // happen here, in exactly the serial order; workers only hand over
-  // finished slots.
+  // finished slots. The trace follows the checkpoint discipline: one
+  // writer, catalog order, so the JSONL bytes are Jobs-independent.
+  std::ofstream TraceOut;
+  std::unique_ptr<JsonlTraceSink> TraceWriter;
+  if (!Opts.TracePath.empty()) {
+    TraceOut.open(Opts.TracePath, std::ios::trunc);
+    TraceWriter = std::make_unique<JsonlTraceSink>(TraceOut);
+  }
+  MetricsSink EventMetrics(Summary.Metrics);
+  auto Publish = [&](TraceEvent Event) {
+    if (Opts.ExtraTraceSink)
+      Opts.ExtraTraceSink->emit(Event);
+    if (Observing)
+      EventMetrics.emit(Event);
+    if (TraceWriter)
+      TraceWriter->emit(std::move(Event));
+  };
+
   for (std::size_t I = 0; I < Work.size(); ++I) {
     if (const InstructionRecord *Resumed = Work[I].Resumed) {
       if (Resumed->Quarantined)
@@ -517,9 +559,32 @@ CampaignSummary CampaignRunner::run() {
       Cancelled.store(true, std::memory_order_relaxed);
       break;
     }
+    // Publish the slot's event stream before its containment summary
+    // events so a reader sees attempt events, then incidents, then the
+    // quarantine verdict — the order the serial run experienced them.
+    for (TraceEvent &Event : S.Events)
+      Publish(std::move(Event));
     for (CampaignIncident &Inc : S.Incidents) {
+      if (Observing) {
+        TraceEvent Event;
+        Event.Kind = TraceEventKind::Containment;
+        Event.Instruction = Inc.Instruction;
+        Event.Attempt = Inc.Attempt;
+        Event.Detail = Inc.Stage;
+        Event.Aux = Inc.ErrorClass;
+        Event.Value = Inc.Attempt;
+        Publish(std::move(Event));
+      }
       appendLine(Opts.IncidentLogPath, Inc.toJson());
       Summary.Incidents.push_back(std::move(Inc));
+    }
+    if (S.Rec.Quarantined && Observing) {
+      TraceEvent Event;
+      Event.Kind = TraceEventKind::Quarantine;
+      Event.Instruction = S.Rec.Instruction;
+      Event.Attempt = S.Rec.Attempts;
+      Event.Value = S.Rec.Attempts;
+      Publish(std::move(Event));
     }
     ++Summary.CompletedInstructions;
     if (S.Rec.Quarantined)
@@ -537,5 +602,65 @@ CampaignSummary CampaignRunner::run() {
   for (const InstructionRecord &Rec : Summary.Records)
     Summary.Solver.add(Rec.Solver);
   Summary.Rows = aggregateCampaignRows(Summary.Records);
+  foldSolverStats(Summary.Metrics, Summary.Solver);
+  Summary.Metrics.add("campaign.instructions", Summary.CompletedInstructions);
+  Summary.Metrics.add("campaign.resumed", Summary.ResumedInstructions);
+  Summary.Metrics.add("campaign.quarantined", Summary.Quarantined.size());
+  Summary.Metrics.add("campaign.incidents", Summary.Incidents.size());
   return Summary;
+}
+
+ProfileReport igdt::buildCampaignProfile(const CampaignSummary &Summary,
+                                         unsigned TopN) {
+  ProfileReport Report;
+
+  // Stage wall times come straight from the records (not the metrics
+  // histograms, which only fill when tracing is on): explore, then one
+  // replay stage per compiler in the fixed AllCompilers order.
+  ProfileReport::Stage Explore;
+  Explore.Name = "explore";
+  std::map<std::string, double> PerInstruction;
+  for (const InstructionRecord &Rec : Summary.Records) {
+    if (Rec.Quarantined)
+      continue;
+    Explore.TotalMillis += Rec.ExploreMillis;
+    Explore.Count += 1;
+    PerInstruction[Rec.Instruction] += Rec.ExploreMillis;
+  }
+  Report.Stages.push_back(Explore);
+  for (CompilerKind Kind : AllCompilers) {
+    ProfileReport::Stage Test;
+    Test.Name = formatString("test.%s", compilerKindName(Kind));
+    for (const InstructionRecord &Rec : Summary.Records)
+      for (const CompilerOutcome &Out : Rec.Compilers)
+        if (Out.Kind == Kind) {
+          Test.TotalMillis += Out.TestMillis;
+          Test.Count += 1;
+          PerInstruction[Rec.Instruction] += Out.TestMillis;
+        }
+    Report.Stages.push_back(Test);
+  }
+
+  // Top-N most expensive instructions, name-tie-broken so the report is
+  // stable when timings are off (everything ties at zero).
+  std::vector<ProfileReport::Item> Costs;
+  Costs.reserve(PerInstruction.size());
+  for (const auto &Entry : PerInstruction)
+    Costs.push_back({Entry.first, Entry.second});
+  std::sort(Costs.begin(), Costs.end(),
+            [](const ProfileReport::Item &A, const ProfileReport::Item &B) {
+              if (A.Millis != B.Millis)
+                return A.Millis > B.Millis;
+              return A.Name < B.Name;
+            });
+  if (Costs.size() > TopN)
+    Costs.resize(TopN);
+  Report.TopInstructions = std::move(Costs);
+
+  Report.SolverQueries = Summary.Solver.Queries;
+  Report.CacheHits = Summary.Solver.CacheHits;
+  Report.CacheMisses = Summary.Solver.CacheMisses;
+  Report.CacheUnsatSubsumed = Summary.Solver.CacheUnsatSubsumed;
+  Report.Metrics = Summary.Metrics;
+  return Report;
 }

@@ -31,6 +31,8 @@
 
 #include "evalkit/Experiments.h"
 #include "faults/HarnessFaults.h"
+#include "observe/MetricsRegistry.h"
+#include "observe/Profile.h"
 #include "support/Budget.h"
 
 #include <map>
@@ -84,8 +86,21 @@ struct CampaignOptions {
   double CampaignWallMillis = 0;
   /// Record per-compiler wall-clock timings in checkpoint records.
   /// Disable to make checkpoint files byte-comparable across runs
-  /// (timings are the one nondeterministic field).
+  /// (timings are the one nondeterministic field; with it off, trace
+  /// files are byte-comparable too because TraceScope zeroes Millis).
   bool RecordTimings = true;
+  /// JSONL trace file, truncated at campaign start and written by the
+  /// merge thread in catalog order (checkpoint discipline), so the file
+  /// is byte-identical at any Jobs value when RecordTimings is off.
+  /// Scheduling-dependent events (CacheLookup) are filtered out; they
+  /// surface in CampaignSummary::Metrics instead. Empty disables.
+  std::string TracePath;
+  /// Extra in-process sink receiving the merged event stream in the
+  /// same deterministic order (non-owning; tests and Session use it).
+  TraceSink *ExtraTraceSink = nullptr;
+  /// Fold trace events into CampaignSummary::Metrics even without a
+  /// trace file or extra sink (what --profile turns on).
+  bool CollectMetrics = false;
 };
 
 /// One contained failure.
@@ -131,6 +146,10 @@ struct InstructionRecord {
   unsigned LadderRetries = 0;
   unsigned LadderRescues = 0;
   bool BudgetExhausted = false;
+  /// Exploration wall time of the successful attempt; 0 when
+  /// CampaignOptions::RecordTimings is off (the same contract as
+  /// CompilerOutcome::TestMillis). Feeds the --profile per-stage table.
+  double ExploreMillis = 0;
   /// Solver activity of the successful attempt. Everything but the
   /// cache hit/miss counters is deterministic at any Jobs value; the
   /// cache counters depend on worker scheduling (which exploration
@@ -164,6 +183,13 @@ struct CampaignSummary {
   /// the cache hit/miss counters, which depend on worker scheduling
   /// and are reported as diagnostics only.
   SolverStats Solver;
+  /// Merged campaign metrics: solver counters folded under "solver.*"
+  /// (always, in catalog order — the deterministic per-shard/merged
+  /// routing of SolverStats), trace-event counters under "events.*"
+  /// (only when tracing/CollectMetrics is on; the "events.solver.cache.*"
+  /// subtree is scheduling-dependent, like the SolverStats cache
+  /// counters it mirrors).
+  MetricsRegistry Metrics;
 
   /// Nonzero only for genuine differential defects — never for harness
   /// faults, quarantines, or the structural optimisation differences
@@ -184,15 +210,19 @@ private:
   /// Processes one instruction with retry + containment. Collects any
   /// incidents into \p Incidents and returns the (possibly quarantined)
   /// record. Const and worker-local by construction: safe to call from
-  /// several worker threads at once.
+  /// several worker threads at once. \p Trace (may be null) receives
+  /// the attempt's events through a stamping TraceScope; workers pass a
+  /// worker-local TraceBuffer the merge thread later drains in catalog
+  /// order.
   InstructionRecord testInstruction(const InstructionSpec &Spec,
-                                    std::vector<CampaignIncident> &Incidents)
-      const;
+                                    std::vector<CampaignIncident> &Incidents,
+                                    TraceSink *Trace) const;
 
   /// One attempt of the full pipeline; throws on harness faults.
   InstructionRecord attemptInstruction(const InstructionSpec &Spec,
                                        unsigned Attempt, Budget &ExploreBud,
-                                       Budget &ReplayBud) const;
+                                       Budget &ReplayBud,
+                                       TraceSink *Trace) const;
 
   void appendLine(const std::string &Path, const std::string &Line) const;
 
@@ -214,6 +244,14 @@ private:
 /// tests that compare checkpointed and uninterrupted campaigns).
 std::vector<CompilerEvaluation>
 aggregateCampaignRows(const std::vector<InstructionRecord> &Records);
+
+/// Builds the --profile report from a finished campaign: per-stage wall
+/// time (explore + one test stage per compiler), the \p TopN most
+/// expensive instructions, solver-cache effectiveness and the merged
+/// metrics. Stage times are all zero when the campaign ran with
+/// RecordTimings off.
+ProfileReport buildCampaignProfile(const CampaignSummary &Summary,
+                                   unsigned TopN = 10);
 
 } // namespace igdt
 

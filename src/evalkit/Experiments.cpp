@@ -30,6 +30,7 @@ DiffTestConfig EvaluationHarness::diffConfig(CompilerKind Kind,
   Cfg.Kind = Kind;
   Cfg.UseArmBackend = Arm;
   Cfg.Cogit = Opts.Cogit;
+  Cfg.Sim = Opts.Sim;
   if (Opts.SeedSimulationErrors && Arm)
     Cfg.Sim.MissingFPAccessors.insert(std::uint8_t(FReg::F5));
   return Cfg;

@@ -61,6 +61,11 @@ struct HarnessOptions {
   VMConfig VM;
   ExplorerOptions Explorer;
   CogitOptions Cogit;
+  /// Base simulator knobs for every replay. diffConfig (and the
+  /// campaign runner) start from this instead of a default-constructed
+  /// SimOptions, so fuel/trace settings need only one assignment — the
+  /// per-arm F5 seeding still layers on top.
+  SimOptions Sim;
   /// Arm the two simulation-error seeds (missing F5 accessor).
   bool SeedSimulationErrors = true;
   /// Limit instructions per kind (0 = all); used by quick tests.

@@ -6,6 +6,7 @@
 #include "jit/LinearScan.h"
 #include "jit/Lowering.h"
 #include "jit/Trampolines.h"
+#include "observe/TraceBus.h"
 #include "support/Budget.h"
 #include "support/Compiler.h"
 #include "vm/Bytecodes.h"
@@ -921,6 +922,36 @@ SimStackEmitter::emitMethod(const CompiledMethod &Method,
 std::optional<CompiledCode>
 BytecodeCogit::compile(const CompiledMethod &Method,
                        const std::vector<Oop> &InputStack) {
+  std::optional<CompiledCode> Out = compileImpl(Method, InputStack);
+  if (Opts.Trace && Out) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::Compile;
+    E.Detail = compilerKindName(Kind);
+    E.Aux = "bytecode";
+    E.Value = Out->Code.size();
+    Opts.Trace->emit(std::move(E));
+  }
+  return Out;
+}
+
+std::optional<CompiledCode>
+BytecodeCogit::compileMethod(const CompiledMethod &Method,
+                             const std::vector<Oop> &InputStack) {
+  std::optional<CompiledCode> Out = compileMethodImpl(Method, InputStack);
+  if (Opts.Trace && Out) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::Compile;
+    E.Detail = compilerKindName(Kind);
+    E.Aux = "method";
+    E.Value = Out->Code.size();
+    Opts.Trace->emit(std::move(E));
+  }
+  return Out;
+}
+
+std::optional<CompiledCode>
+BytecodeCogit::compileImpl(const CompiledMethod &Method,
+                           const std::vector<Oop> &InputStack) {
   if (Opts.InjectFrontEndThrow)
     throw HarnessFault("compile",
                        "injected front-end crash while decoding bytecode");
@@ -975,8 +1006,8 @@ BytecodeCogit::compile(const CompiledMethod &Method,
 }
 
 std::optional<CompiledCode>
-BytecodeCogit::compileMethod(const CompiledMethod &Method,
-                             const std::vector<Oop> &InputStack) {
+BytecodeCogit::compileMethodImpl(const CompiledMethod &Method,
+                                 const std::vector<Oop> &InputStack) {
   if (Opts.InjectFrontEndThrow)
     throw HarnessFault("compile",
                        "injected front-end crash while decoding bytecode");

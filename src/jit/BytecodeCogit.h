@@ -63,6 +63,14 @@ public:
   CompilerKind kind() const { return Kind; }
 
 private:
+  /// The actual front-ends; the public entries wrap them with Compile
+  /// trace emission.
+  std::optional<CompiledCode> compileImpl(const CompiledMethod &Method,
+                                          const std::vector<Oop> &InputStack);
+  std::optional<CompiledCode>
+  compileMethodImpl(const CompiledMethod &Method,
+                    const std::vector<Oop> &InputStack);
+
   CompilerKind Kind;
   ObjectMemory &Mem;
   const MachineDesc &Desc;

@@ -18,6 +18,8 @@
 
 namespace igdt {
 
+class TraceSink;
+
 /// The compilers under differential test.
 enum class CompilerKind : std::uint8_t {
   /// Template-based native-method (primitive) compiler.
@@ -56,6 +58,10 @@ struct CogitOptions {
   /// input. Unlike the defect seeds above this is not a finding — it is
   /// a malfunction the campaign layer must contain.
   bool InjectFrontEndThrow = false;
+
+  /// Observability sink (non-owning, may be null). Each successful
+  /// compile emits one Compile event (compiler kind, unit, code bytes).
+  TraceSink *Trace = nullptr;
 };
 
 } // namespace igdt

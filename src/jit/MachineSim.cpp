@@ -2,6 +2,7 @@
 
 #include "jit/MachineSim.h"
 
+#include "observe/TraceBus.h"
 #include "support/Compiler.h"
 #include "support/IntMath.h"
 #include "support/StringUtils.h"
@@ -249,6 +250,13 @@ MachineExit MachineSim::run(const std::vector<MInstr> &Code) {
   if (E.Kind == MachExitKind::FuelExhausted && E.Note.empty())
     E.Note = formatString("fuel exhausted after %llu instructions",
                           (unsigned long long)Opts.Fuel);
+  if (Opts.Trace) {
+    TraceEvent T;
+    T.Kind = TraceEventKind::SimRun;
+    T.Detail = machExitKindName(E.Kind);
+    T.Value = Opts.Fuel - FuelRemaining;
+    Opts.Trace->emit(std::move(T));
+  }
   return E;
 }
 

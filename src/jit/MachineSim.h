@@ -31,6 +31,8 @@
 
 namespace igdt {
 
+class TraceSink;
+
 /// Why machine execution stopped.
 enum class MachExitKind : std::uint8_t {
   Breakpoint,
@@ -66,6 +68,9 @@ struct SimOptions {
   std::set<std::uint8_t> MissingGPAccessors;
   std::set<std::uint8_t> MissingFPAccessors;
   std::uint64_t Fuel = 100000;
+  /// Observability sink (non-owning, may be null). Each run emits one
+  /// SimRun event (exit kind, fuel consumed).
+  TraceSink *Trace = nullptr;
 };
 
 /// Machine register file + stack memory, bound to a VM heap.

@@ -6,6 +6,7 @@
 #include "jit/LinearScan.h"
 #include "jit/Lowering.h"
 #include "jit/Trampolines.h"
+#include "observe/TraceBus.h"
 #include "support/Budget.h"
 #include "vm/PrimitiveTable.h"
 
@@ -702,6 +703,19 @@ struct TemplateEmitter {
 } // namespace
 
 CompiledCode NativeMethodCogit::compile(std::int32_t PrimIndex) {
+  CompiledCode Out = compileImpl(PrimIndex);
+  if (Opts.Trace) {
+    TraceEvent E;
+    E.Kind = TraceEventKind::Compile;
+    E.Detail = compilerKindName(CompilerKind::NativeMethod);
+    E.Aux = "native-method";
+    E.Value = Out.Code.size();
+    Opts.Trace->emit(std::move(E));
+  }
+  return Out;
+}
+
+CompiledCode NativeMethodCogit::compileImpl(std::int32_t PrimIndex) {
   if (Opts.InjectFrontEndThrow)
     throw HarnessFault("compile",
                        "injected front-end crash while selecting the "

@@ -38,6 +38,10 @@ public:
   CompiledCode compile(std::int32_t PrimIndex);
 
 private:
+  /// The actual template selection; compile() wraps it with Compile
+  /// trace emission.
+  CompiledCode compileImpl(std::int32_t PrimIndex);
+
   ObjectMemory &Mem;
   const MachineDesc &Desc;
   CogitOptions Opts;

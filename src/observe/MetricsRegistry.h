@@ -1,0 +1,97 @@
+//===- observe/MetricsRegistry.h - Named counters and histograms -----------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An in-process registry of named counters and duration histograms.
+/// This is the single home for pipeline statistics: SolverStats counters
+/// are folded in per-shard under "solver.*" (the campaign merge does the
+/// fold in catalog order, so per-shard and merged numbers are both
+/// correct), and trace events fold in through MetricsSink under
+/// "events.*". Names are kept in a sorted map so renderings and JSON
+/// dumps are deterministic.
+///
+/// Not thread-safe by design: campaign workers fold into worker-local
+/// registries (or not at all) and the merge thread combines them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_OBSERVE_METRICSREGISTRY_H
+#define IGDT_OBSERVE_METRICSREGISTRY_H
+
+#include "observe/TraceBus.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace igdt {
+
+struct JsonValue;
+
+/// Sorted-name registry of counters and min/mean/max histograms.
+class MetricsRegistry {
+public:
+  /// Aggregate of sampled values (durations, sizes).
+  struct Histogram {
+    std::uint64_t Count = 0;
+    double Total = 0;
+    double Min = 0;
+    double Max = 0;
+
+    void sample(double Value);
+    void merge(const Histogram &Other);
+    double mean() const { return Count ? Total / double(Count) : 0; }
+  };
+
+  /// Adds \p Delta to the named counter, creating it at zero.
+  void add(const std::string &Name, std::uint64_t Delta = 1);
+  /// Records one sample into the named histogram.
+  void sample(const std::string &Name, double Value);
+
+  /// Current value of a counter; 0 when absent.
+  std::uint64_t counter(const std::string &Name) const;
+
+  const std::map<std::string, std::uint64_t> &counters() const {
+    return Counters;
+  }
+  const std::map<std::string, Histogram> &histograms() const {
+    return Histograms;
+  }
+
+  /// Adds every counter and histogram of \p Other into this registry.
+  void merge(const MetricsRegistry &Other);
+
+  void reset();
+  bool empty() const { return Counters.empty() && Histograms.empty(); }
+
+  /// Renders counters and histograms as two aligned tables.
+  std::string render() const;
+
+  /// {"counters": {...}, "histograms": {name: {count,total,min,max}}}.
+  JsonValue toJson() const;
+
+private:
+  std::map<std::string, std::uint64_t> Counters;
+  std::map<std::string, Histogram> Histograms;
+};
+
+/// Folds trace events into a registry under "events.*" names, e.g.
+/// "events.solver.status.Sat" or "events.verdict.Difference". The
+/// campaign merge thread runs one of these over the merged stream;
+/// Session runs one over its own bus.
+class MetricsSink final : public TraceSink {
+public:
+  explicit MetricsSink(MetricsRegistry &Registry) : Registry(Registry) {}
+
+  void emit(TraceEvent Event) override;
+
+private:
+  MetricsRegistry &Registry;
+};
+
+} // namespace igdt
+
+#endif // IGDT_OBSERVE_METRICSREGISTRY_H

@@ -1,0 +1,88 @@
+//===- observe/Profile.cpp - End-of-run --profile report -------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+
+#include "observe/Profile.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+namespace igdt {
+
+double ProfileReport::cacheHitRate() const {
+  std::uint64_t Lookups = CacheHits + CacheMisses;
+  return Lookups ? double(CacheHits) / double(Lookups) : 0;
+}
+
+std::string ProfileReport::render() const {
+  std::string Out = "== profile ==\n";
+  {
+    TablePrinter T({"stage", "total ms", "count", "mean ms"});
+    for (const Stage &S : Stages)
+      T.addRow({S.Name, formatString("%.2f", S.TotalMillis),
+                formatString("%llu", (unsigned long long)S.Count),
+                formatString("%.3f",
+                             S.Count ? S.TotalMillis / double(S.Count) : 0)});
+    Out += T.render();
+  }
+  if (!TopInstructions.empty()) {
+    Out += "\n";
+    TablePrinter T({"instruction", "total ms"});
+    for (const Item &I : TopInstructions)
+      T.addRow({I.Name, formatString("%.2f", I.Millis)});
+    Out += T.render();
+  }
+  {
+    Out += "\n";
+    TablePrinter T({"solver cache", "value"});
+    T.addRow({"queries",
+              formatString("%llu", (unsigned long long)SolverQueries)});
+    T.addRow({"hits", formatString("%llu", (unsigned long long)CacheHits)});
+    T.addRow({"misses", formatString("%llu", (unsigned long long)CacheMisses)});
+    T.addRow({"unsat subsumed",
+              formatString("%llu", (unsigned long long)CacheUnsatSubsumed)});
+    T.addRow({"hit rate", formatPercent(cacheHitRate())});
+    Out += T.render();
+  }
+  if (!Metrics.empty()) {
+    Out += "\n";
+    Out += Metrics.render();
+  }
+  return Out;
+}
+
+JsonValue ProfileReport::toJson() const {
+  JsonValue V = JsonValue::object();
+  JsonValue StagesJson = JsonValue::array();
+  for (const Stage &S : Stages) {
+    JsonValue One = JsonValue::object();
+    One.set("stage", JsonValue::string(S.Name));
+    One.set("total_millis", JsonValue::number(S.TotalMillis));
+    One.set("count", JsonValue::number(static_cast<double>(S.Count)));
+    StagesJson.push(std::move(One));
+  }
+  V.set("stages", std::move(StagesJson));
+  JsonValue TopJson = JsonValue::array();
+  for (const Item &I : TopInstructions) {
+    JsonValue One = JsonValue::object();
+    One.set("instruction", JsonValue::string(I.Name));
+    One.set("total_millis", JsonValue::number(I.Millis));
+    TopJson.push(std::move(One));
+  }
+  V.set("top_instructions", std::move(TopJson));
+  JsonValue Cache = JsonValue::object();
+  Cache.set("queries", JsonValue::number(static_cast<double>(SolverQueries)));
+  Cache.set("hits", JsonValue::number(static_cast<double>(CacheHits)));
+  Cache.set("misses", JsonValue::number(static_cast<double>(CacheMisses)));
+  Cache.set("unsat_subsumed",
+            JsonValue::number(static_cast<double>(CacheUnsatSubsumed)));
+  Cache.set("hit_rate", JsonValue::number(cacheHitRate()));
+  V.set("solver_cache", std::move(Cache));
+  V.set("metrics", Metrics.toJson());
+  return V;
+}
+
+} // namespace igdt

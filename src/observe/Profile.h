@@ -1,0 +1,69 @@
+//===- observe/Profile.h - End-of-run --profile report ---------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The `--profile` end-of-run report: per-stage wall time, the top-N
+/// most expensive instructions, solver-cache effectiveness, and the
+/// merged metrics registry. Rendered via TablePrinter for terminals and
+/// serialised into BENCH_campaign.json for CI. Built from a
+/// CampaignSummary by evalkit's buildCampaignProfile (this header stays
+/// free of evalkit types to keep the library graph acyclic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_OBSERVE_PROFILE_H
+#define IGDT_OBSERVE_PROFILE_H
+
+#include "observe/MetricsRegistry.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace igdt {
+
+struct JsonValue;
+
+/// Aggregated end-of-run profile.
+struct ProfileReport {
+  /// One pipeline stage ("explore", "test:SimpleStack", ...).
+  struct Stage {
+    std::string Name;
+    double TotalMillis = 0;
+    std::uint64_t Count = 0;
+  };
+
+  /// One expensive instruction for the top-N table.
+  struct Item {
+    std::string Name;
+    double Millis = 0;
+  };
+
+  std::vector<Stage> Stages;
+  std::vector<Item> TopInstructions;
+
+  /// Solver-cache effectiveness (whole-process totals).
+  std::uint64_t SolverQueries = 0;
+  std::uint64_t CacheHits = 0;
+  std::uint64_t CacheMisses = 0;
+  std::uint64_t CacheUnsatSubsumed = 0;
+
+  /// The merged campaign metrics (counters + histograms).
+  MetricsRegistry Metrics;
+
+  /// Hit fraction over all lookups; 0 when no lookups happened.
+  double cacheHitRate() const;
+
+  /// Aligned tables: stages, top instructions, cache, metrics.
+  std::string render() const;
+
+  /// JSON for embedding into BENCH_campaign.json.
+  JsonValue toJson() const;
+};
+
+} // namespace igdt
+
+#endif // IGDT_OBSERVE_PROFILE_H

@@ -2,6 +2,8 @@
 
 #include "solver/Solver.h"
 
+#include "observe/MetricsRegistry.h"
+#include "observe/TraceBus.h"
 #include "solver/TermEval.h"
 #include "support/Compiler.h"
 #include "support/IntMath.h"
@@ -1021,12 +1023,53 @@ void SolverStats::add(const SolverStats &Other) {
   CacheUnsatSubsumed += Other.CacheUnsatSubsumed;
 }
 
+void igdt::foldSolverStats(MetricsRegistry &Registry,
+                           const SolverStats &Stats) {
+  Registry.add("solver.queries", Stats.Queries);
+  Registry.add("solver.sat", Stats.SatCount);
+  Registry.add("solver.unsat", Stats.UnsatCount);
+  Registry.add("solver.unknown", Stats.UnknownCount);
+  Registry.add("solver.cases", Stats.CasesExplored);
+  Registry.add("solver.nodes", Stats.NodesExplored);
+  Registry.add("solver.budget_stops", Stats.BudgetStops);
+  Registry.add("solver.cache.hits", Stats.CacheHits);
+  Registry.add("solver.cache.misses", Stats.CacheMisses);
+  Registry.add("solver.cache.unsat_subsumed", Stats.CacheUnsatSubsumed);
+}
+
 ConstraintSolver::ConstraintSolver(const ClassTable &Classes,
                                    SolverOptions Options)
     : Classes(Classes), Opts(Options) {}
 
 SolveResult ConstraintSolver::solve(
     const std::vector<const BoolTerm *> &Conjuncts) {
+  if (!Opts.Trace)
+    return solveImpl(Conjuncts);
+  // The nodes/cases deltas are cost-compensated on shared-index hits
+  // (see below), so the emitted numbers match a cache-less run and the
+  // event is safe for deterministic traces.
+  std::uint64_t NodesBefore = Stats.NodesExplored;
+  std::uint64_t CasesBefore = Stats.CasesExplored;
+  SolveResult Result = solveImpl(Conjuncts);
+  TraceEvent E;
+  E.Kind = TraceEventKind::SolverQuery;
+  E.Detail = solveStatusName(Result.Status);
+  E.Value = Stats.NodesExplored - NodesBefore;
+  E.Extra = Stats.CasesExplored - CasesBefore;
+  Opts.Trace->emit(std::move(E));
+  return Result;
+}
+
+SolveResult ConstraintSolver::solveImpl(
+    const std::vector<const BoolTerm *> &Conjuncts) {
+  auto EmitCache = [this](const char *What) {
+    if (!Opts.Trace)
+      return;
+    TraceEvent E;
+    E.Kind = TraceEventKind::CacheLookup;
+    E.Detail = What;
+    Opts.Trace->emit(std::move(E));
+  };
   Stats.Queries++;
   if (Opts.InjectSolverHang)
     throw HarnessFault("solve", "injected solver hang: query exceeded "
@@ -1056,6 +1099,7 @@ SolveResult ConstraintSolver::solve(
     // already-seen path and re-poses its exact negation queries.
     if (const SolveResult *Hit = Opts.Cache->lookup(Sig.SortedConjuncts)) {
       Stats.CacheHits++;
+      EmitCache("hit");
       if (Hit->Status == SolveStatus::Sat)
         Stats.SatCount++;
       else
@@ -1065,6 +1109,7 @@ SolveResult ConstraintSolver::solve(
     if (Opts.Cache->subsumedUnsat(Sig.SortedConjuncts)) {
       // Superset of a proven-Unsat core: Unsat without any search.
       Stats.CacheUnsatSubsumed++;
+      EmitCache("unsat-subsumed");
       Stats.UnsatCount++;
       SolveResult Result;
       Result.Status = SolveStatus::Unsat;
@@ -1126,6 +1171,7 @@ SolveResult ConstraintSolver::solve(
     const SolveResult *Hit = Opts.Cache ? Opts.Cache->lookup(CaseKey) : nullptr;
     if (Hit) {
       Stats.CacheHits++;
+      EmitCache("hit");
       FromCache = true;
       if (Hit->Status == SolveStatus::Sat) {
         S = CaseSolver::CaseStatus::Sat;
@@ -1135,6 +1181,7 @@ SolveResult ConstraintSolver::solve(
       }
     } else if (Opts.Cache && Opts.Cache->subsumedUnsat(CaseKey)) {
       Stats.CacheUnsatSubsumed++;
+      EmitCache("unsat-subsumed");
       FromCache = true;
       S = CaseSolver::CaseStatus::ProvenUnsat;
     } else if (Opts.Shared && Opts.Shared->lookup(CapsFp, CaseKey, Proof)) {
@@ -1143,12 +1190,14 @@ SolveResult ConstraintSolver::solve(
       // deterministic cost so the per-instruction cases/nodes counters
       // are the same as if we had re-proved it here.
       Stats.CacheHits++;
+      EmitCache("shared-hit");
       Stats.CasesExplored += Proof.CasesExplored;
       Stats.NodesExplored += Proof.NodesExplored;
       FromCache = true;
       S = CaseSolver::CaseStatus::ProvenUnsat;
     } else if (Opts.Cache || Opts.Shared) {
       Stats.CacheMisses++;
+      EmitCache("miss");
     }
     if (!FromCache) {
       // The case RNG is seeded from the case's own content, not from a

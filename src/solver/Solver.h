@@ -40,6 +40,9 @@
 
 namespace igdt {
 
+class TraceSink;
+class MetricsRegistry;
+
 /// Outcome of a solver query.
 enum class SolveStatus : std::uint8_t {
   Sat,     ///< A model was found.
@@ -100,6 +103,12 @@ struct SolverOptions {
   /// Harness-fault injection (campaign self-tests): throw HarnessFault
   /// at query entry, simulating a solver blow-up no search cap contains.
   bool InjectSolverHang = false;
+  /// Observability sink (non-owning, may be null). When set, every
+  /// query emits one SolverQuery event (status + nodes/cases deltas,
+  /// cost-compensated on cache hits so they are deterministic) and
+  /// cache lookups emit CacheLookup diagnostics. Disabled-path cost is
+  /// this one null check.
+  TraceSink *Trace = nullptr;
 };
 
 /// Running counters, reported by the evaluation harness.
@@ -129,6 +138,14 @@ struct SolverStats {
   void add(const SolverStats &Other);
 };
 
+/// Folds \p Stats into \p Registry under "solver.*" counter names
+/// (queries, sat, unsat, unknown, cases, nodes, budget_stops) and
+/// "solver.cache.*" for the scheduling-dependent diagnostics (hits,
+/// misses, unsat_subsumed). This is how SolverStats surfaces in the
+/// metrics layer: per-shard stats fold per-record, and the campaign's
+/// catalog-order merge makes the combined numbers deterministic.
+void foldSolverStats(MetricsRegistry &Registry, const SolverStats &Stats);
+
 /// The solver. Stateless between queries except for statistics.
 class ConstraintSolver {
 public:
@@ -142,6 +159,9 @@ public:
   const SolverOptions &options() const { return Opts; }
 
 private:
+  /// The actual solve; the public entry wraps it with trace emission.
+  SolveResult solveImpl(const std::vector<const BoolTerm *> &Conjuncts);
+
   const ClassTable &Classes;
   SolverOptions Opts;
   SolverStats Stats;

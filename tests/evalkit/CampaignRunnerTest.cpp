@@ -150,6 +150,58 @@ TEST(CampaignRunnerTest, AllFourFaultsAreContainedAndTheCampaignFinishes) {
   std::remove(Opts.IncidentLogPath.c_str());
 }
 
+TEST(CampaignRunnerTest, ContainmentAndQuarantineSurfaceInTheTrace) {
+  CampaignOptions Opts = cleanOptions();
+  Opts.OnlyInstructions = {"bytecodePrim_add", "bytecodePrim_sub",
+                           "primitiveAdd"};
+  Opts.Faults.Faults = {
+      {HarnessFaultKind::SolverHang, "bytecodePrim_add", false},
+      {HarnessFaultKind::SimFuelExhaustion, "primitiveAdd", false},
+  };
+  TraceBuffer Events;
+  Opts.ExtraTraceSink = &Events;
+
+  CampaignSummary S = CampaignRunner(Opts).run();
+
+  // One containment event per incident, carrying the incident's
+  // instruction, stage and attempt; one quarantine event per
+  // quarantined instruction.
+  std::vector<const TraceEvent *> Containments;
+  std::vector<std::string> QuarantinedInTrace;
+  for (const TraceEvent &Event : Events.events()) {
+    if (Event.Kind == TraceEventKind::Containment)
+      Containments.push_back(&Event);
+    else if (Event.Kind == TraceEventKind::Quarantine)
+      QuarantinedInTrace.push_back(Event.Instruction);
+  }
+  ASSERT_EQ(Containments.size(), S.Incidents.size());
+  for (std::size_t I = 0; I < Containments.size(); ++I) {
+    EXPECT_EQ(Containments[I]->Instruction, S.Incidents[I].Instruction);
+    EXPECT_EQ(Containments[I]->Detail, S.Incidents[I].Stage);
+    EXPECT_EQ(Containments[I]->Aux, S.Incidents[I].ErrorClass);
+    EXPECT_EQ(Containments[I]->Attempt, S.Incidents[I].Attempt);
+  }
+  std::vector<std::string> Quarantined = S.Quarantined;
+  std::sort(Quarantined.begin(), Quarantined.end());
+  std::sort(QuarantinedInTrace.begin(), QuarantinedInTrace.end());
+  EXPECT_EQ(QuarantinedInTrace, Quarantined);
+
+  // Events from the faulted attempts are still attributed correctly:
+  // every event of the stream names a worklist instruction.
+  for (const TraceEvent &Event : Events.events())
+    EXPECT_NE(std::find(Opts.OnlyInstructions.begin(),
+                        Opts.OnlyInstructions.end(), Event.Instruction),
+              Opts.OnlyInstructions.end())
+        << traceEventKindName(Event.Kind);
+
+  // Metrics were folded as part of observing: solver counters always,
+  // event counters because a sink was attached.
+  EXPECT_EQ(S.Metrics.counter("campaign.quarantined"), S.Quarantined.size());
+  EXPECT_EQ(S.Metrics.counter("campaign.incidents"), S.Incidents.size());
+  EXPECT_EQ(S.Metrics.counter("solver.queries"), S.Solver.Queries);
+  EXPECT_GT(S.Metrics.counter("events.path-verdict"), 0u);
+}
+
 TEST(CampaignRunnerTest, TransientFaultIsRecoveredByTheFreshHeapRetry) {
   CampaignOptions Opts = cleanOptions();
   Opts.OnlyInstructions = {"bytecodePrim_add"};

@@ -1,0 +1,92 @@
+//===- tests/support/FlagsTest.cpp ---------------------------------------------===//
+//
+// FlagParser contracts: every binding kind parses both `--name value`
+// and `--name=value`, switches take no value, repeatable flags append,
+// non-flags land in positional(), and bad input fails the parse.
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Flags.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+/// argv adapter: gtest-friendly wrapper over the C signature.
+bool parse(FlagParser &Flags, std::vector<std::string> Args) {
+  std::vector<char *> Argv;
+  std::string Program = "test";
+  Argv.push_back(Program.data());
+  for (std::string &Arg : Args)
+    Argv.push_back(Arg.data());
+  return Flags.parse(int(Argv.size()), Argv.data());
+}
+
+TEST(FlagsTest, EveryBindingKindParses) {
+  bool Switch = false;
+  unsigned U = 0;
+  std::uint64_t U64 = 0;
+  double D = 0;
+  std::string Str;
+  std::vector<std::string> List;
+
+  FlagParser Flags("test");
+  Flags.add("switch", &Switch, "a switch");
+  Flags.add("unsigned", &U, "an unsigned");
+  Flags.add("u64", &U64, "a 64-bit unsigned");
+  Flags.add("double", &D, "a double");
+  Flags.add("string", &Str, "a string");
+  Flags.add("list", &List, "repeatable");
+
+  ASSERT_TRUE(parse(Flags, {"--switch", "--unsigned", "7", "--u64=123456789012",
+                            "--double", "1.5", "--string=hello", "--list", "a",
+                            "--list=b", "positional"}));
+  EXPECT_TRUE(Switch);
+  EXPECT_EQ(U, 7u);
+  EXPECT_EQ(U64, 123456789012ull);
+  EXPECT_EQ(D, 1.5);
+  EXPECT_EQ(Str, "hello");
+  EXPECT_EQ(List, (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(Flags.positional(), std::vector<std::string>{"positional"});
+  EXPECT_FALSE(Flags.helpRequested());
+}
+
+TEST(FlagsTest, BadInputFailsTheParse) {
+  unsigned U = 0;
+  bool Switch = false;
+  {
+    FlagParser Flags("test");
+    EXPECT_FALSE(parse(Flags, {"--nope"}));
+  }
+  {
+    FlagParser Flags("test");
+    Flags.add("n", &U, "");
+    EXPECT_FALSE(parse(Flags, {"--n", "xyz"}));
+  }
+  {
+    FlagParser Flags("test");
+    Flags.add("n", &U, "");
+    EXPECT_FALSE(parse(Flags, {"--n"})); // missing value
+  }
+  {
+    FlagParser Flags("test");
+    Flags.add("s", &Switch, "");
+    EXPECT_FALSE(parse(Flags, {"--s=1"})); // switch with value
+  }
+}
+
+TEST(FlagsTest, HelpStopsParsingAndPrintsEveryFlag) {
+  unsigned U = 0;
+  FlagParser Flags("test", "summary line");
+  Flags.add("knob", &U, "turns the knob");
+  EXPECT_FALSE(parse(Flags, {"--help"}));
+  EXPECT_TRUE(Flags.helpRequested());
+  std::string Usage = Flags.usage();
+  EXPECT_NE(Usage.find("--knob"), std::string::npos);
+  EXPECT_NE(Usage.find("turns the knob"), std::string::npos);
+  EXPECT_NE(Usage.find("summary line"), std::string::npos);
+}
+
+} // namespace
