@@ -97,8 +97,19 @@ PathTestOutcome Session::testPath(const ExplorationResult &Exploration,
   TraceScope Scope(&Buffer, Exploration.Spec ? Exploration.Spec->Name : "",
                    /*Attempt=*/1, Cfg.Campaign.RecordTimings);
   DCfg.Trace = &Scope;
+  // The façade's compile-once cache spans testPath calls: replaying the
+  // paths of one exploration re-compiles each distinct unit only once
+  // per session. "jit.*" metrics report the running totals.
+  JitCacheStats Before = JitStats;
+  DCfg.JitStats = &JitStats;
+  if (Cfg.Campaign.Harness.EnableCodeCache)
+    DCfg.CodeCache = &CodeCache;
   DifferentialTester Tester(DCfg);
   PathTestOutcome Out = Tester.testPath(Exploration, PathIdx);
+  JitCacheStats Delta;
+  Delta.Compiles = JitStats.Compiles - Before.Compiles;
+  Delta.CodeCacheHits = JitStats.CodeCacheHits - Before.CodeCacheHits;
+  foldJitStats(Metrics, Delta);
   publish(Buffer.take());
   return Out;
 }

@@ -126,6 +126,14 @@ private:
   std::ofstream TraceOut;
   std::unique_ptr<JsonlTraceSink> TraceWriter;
   std::unique_ptr<ProfileReport> LastProfile;
+  /// Session-lifetime compile-once cache for testPath calls (keys are
+  /// fully qualified by compiler kind, back-end and options, so one
+  /// cache serves every combination). runCampaign uses the runner's
+  /// own per-attempt caches instead.
+  JitCodeCache CodeCache;
+  /// Compile counters accumulated across testPath calls; folded into
+  /// the session metrics as "jit.*" after each call.
+  JitCacheStats JitStats;
 };
 
 } // namespace igdt

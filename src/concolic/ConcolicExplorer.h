@@ -64,6 +64,24 @@ struct ExplorerOptions {
   /// and scheduling-transparent). Consulted only when EnableSolverCache
   /// is on, so "cache off" disables every memo tier at once.
   SharedUnsatIndex *SharedUnsat = nullptr;
+  /// Whether a tier-0 model-bank hit may *skip* the full solve. The bank
+  /// itself is always consulted and always fed — it is part of the
+  /// defined exploration algorithm, since which model answers a query
+  /// shapes the frontier — so turning this off does not remove the bank;
+  /// it makes every hit also run the full search in a throwaway shadow
+  /// solver and discard it (see SolverOptions::ModelCacheSkips). On and
+  /// off are byte-identical in every output; off exists to A/B the
+  /// claimed savings honestly.
+  bool EnableModelCache = true;
+  /// How many recent satisfying models the per-exploration bank keeps.
+  std::size_t ModelBankCapacity = 8;
+  /// Mirror the path stack onto the solver's assertion stack and solve
+  /// negations with solveStack(), reusing each prefix's cumulative case
+  /// expansion, instead of re-posing every negation as a from-scratch
+  /// conjunct vector. Bit-identical either way (the solver guarantees
+  /// solveStack() ≡ solve() on the same conjuncts); off exists for the
+  /// same honest-A/B reason as EnableModelCache.
+  bool EnableIncrementalSolver = true;
   /// Harness-fault injection (campaign self-tests): poison the
   /// exploration heap so the first materialisation trips the integrity
   /// check.

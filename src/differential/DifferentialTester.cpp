@@ -227,7 +227,34 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
   FrameMaterializer Materializer(Mem, *R.Builder);
   MaterializedFrame MF = Materializer.materialize(P.InputModel, *R.Method);
 
-  // Step 2: compile with the compiler under test.
+  // Step 2: compile with the compiler under test, through the
+  // compile-once cache when one is wired. An armed front-end fault
+  // bypasses the cache entirely so the injected throw fires on every
+  // path, not only the first uncached one.
+  JitCodeCache *CodeCache =
+      Cfg.Cogit.InjectFrontEndThrow ? nullptr : Cfg.CodeCache;
+  auto EmitCacheLookup = [&](const char *What) {
+    if (!Cfg.Trace)
+      return;
+    TraceEvent E;
+    E.Kind = TraceEventKind::CacheLookup;
+    E.Detail = What;
+    Cfg.Trace->emit(std::move(E));
+  };
+  // Replays the cogit's Compile event for a cache-served compile, with
+  // identical fields, so deterministic traces cannot tell a hit from a
+  // fresh compile (CacheLookup diagnostics are filtered from them).
+  auto EmitCompile = [&](const char *Unit, std::size_t Bytes) {
+    if (!Cfg.Trace)
+      return;
+    TraceEvent E;
+    E.Kind = TraceEventKind::Compile;
+    E.Detail = compilerKindName(Cfg.Kind);
+    E.Aux = Unit;
+    E.Value = Bytes;
+    Cfg.Trace->emit(std::move(E));
+  };
+
   CompiledCode Code;
   unsigned PrimNumArgs = 0;
   if (Spec.Kind == InstructionKind::NativeMethod) {
@@ -239,20 +266,58 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
     if (MF.Concrete.Stack.size() < PrimNumArgs + 1u)
       return Skip(PathTestStatus::NotReplayable,
                   "input stack too shallow for the calling convention");
-    NativeMethodCogit Cogit(Mem, desc(), Cfg.Cogit);
-    Code = Cogit.compile(Spec.PrimitiveIndex);
+    JitCodeCache::Key Key;
+    const CompiledCode *Hit = nullptr;
+    if (CodeCache) {
+      Key = codeCacheKey(Cfg.Kind, Cfg.UseArmBackend, Cfg.Cogit,
+                         Spec.PrimitiveIndex);
+      Hit = CodeCache->lookup(Key);
+      EmitCacheLookup(Hit ? "code-hit" : "code-miss");
+    }
+    if (Hit) {
+      if (Cfg.JitStats)
+        ++Cfg.JitStats->CodeCacheHits;
+      Code = *Hit;
+      EmitCompile("native-method", Code.Code.size());
+    } else {
+      if (Cfg.JitStats)
+        ++Cfg.JitStats->Compiles;
+      NativeMethodCogit Cogit(Mem, desc(), Cfg.Cogit);
+      Code = Cogit.compile(Spec.PrimitiveIndex);
+      if (CodeCache)
+        CodeCache->store(Key, Code);
+    }
   } else {
     if (Cfg.Kind == CompilerKind::NativeMethod)
       return Skip(PathTestStatus::NotReplayable,
                   "the native-method compiler does not compile byte-codes");
-    BytecodeCogit Cogit(Cfg.Kind, Mem, desc(), Cfg.Cogit);
-    auto Compiled = R.IsSequence
-                        ? Cogit.compileMethod(*R.Method, MF.Concrete.Stack)
-                        : Cogit.compile(*R.Method, MF.Concrete.Stack);
-    if (!Compiled)
-      return Skip(PathTestStatus::NotReplayable,
-                  "instruction underflows the replayed operand stack");
-    Code = *Compiled;
+    JitCodeCache::Key Key;
+    const CompiledCode *Hit = nullptr;
+    if (CodeCache) {
+      Key = codeCacheKey(Cfg.Kind, Cfg.UseArmBackend, Cfg.Cogit, *R.Method,
+                         MF.Concrete.Stack, R.IsSequence);
+      Hit = CodeCache->lookup(Key);
+      EmitCacheLookup(Hit ? "code-hit" : "code-miss");
+    }
+    if (Hit) {
+      if (Cfg.JitStats)
+        ++Cfg.JitStats->CodeCacheHits;
+      Code = *Hit;
+      EmitCompile(R.IsSequence ? "method" : "bytecode", Code.Code.size());
+    } else {
+      if (Cfg.JitStats)
+        ++Cfg.JitStats->Compiles;
+      BytecodeCogit Cogit(Cfg.Kind, Mem, desc(), Cfg.Cogit);
+      auto Compiled = R.IsSequence
+                          ? Cogit.compileMethod(*R.Method, MF.Concrete.Stack)
+                          : Cogit.compile(*R.Method, MF.Concrete.Stack);
+      if (!Compiled)
+        return Skip(PathTestStatus::NotReplayable,
+                    "instruction underflows the replayed operand stack");
+      Code = *Compiled;
+      if (CodeCache)
+        CodeCache->store(Key, Code);
+    }
   }
 
   // Step 3 (prep): predict the outputs BEFORE executing anything.

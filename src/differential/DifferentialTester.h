@@ -28,6 +28,7 @@
 
 #include "concolic/ConcolicExplorer.h"
 #include "differential/DefectFamily.h"
+#include "jit/CodeCache.h"
 #include "jit/CogitOptions.h"
 #include "jit/MachineSim.h"
 
@@ -56,6 +57,18 @@ struct DiffTestConfig {
   /// nested Cogit and Sim options, so one assignment wires the whole
   /// replay stage.
   TraceSink *Trace = nullptr;
+  /// Compile-once code cache (non-owning, may be null). Compilation is
+  /// a pure function of the cached key (see jit/CodeCache.h), so a hit
+  /// replays the stored CompiledCode — and the cogit's Compile trace
+  /// event — instead of re-running the front end. Bypassed while
+  /// InjectFrontEndThrow is armed so the injected crash fires on every
+  /// path. Not thread-safe; owners keep it worker-local.
+  JitCodeCache *CodeCache = nullptr;
+  /// Compile counters (non-owning, may be null): Compiles is charged on
+  /// every front-end run — with or without a cache — and CodeCacheHits
+  /// on cache-served replays, so "issued vs avoided" reads directly off
+  /// one struct.
+  JitCacheStats *JitStats = nullptr;
 };
 
 /// Per-path verdict.

@@ -263,6 +263,9 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
   Rec.BudgetExhausted = R.BudgetExhausted;
   Rec.Solver = R.Solver;
 
+  // One compile-once cache per attempt, shared by every compiler kind
+  // and both back-ends (keys carry both); worker-local by construction.
+  JitCodeCache CodeCache;
   for (CompilerKind Kind : AllCompilers) {
     InstructionKind Wanted = Kind == CompilerKind::NativeMethod
                                  ? InstructionKind::NativeMethod
@@ -280,6 +283,9 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
       if (Opts.Harness.SeedSimulationErrors && Arm)
         Cfg.Sim.MissingFPAccessors.insert(std::uint8_t(FReg::F5));
       Cfg.ReplayBudget = &ReplayBud;
+      Cfg.JitStats = &Rec.Jit;
+      if (Opts.Harness.EnableCodeCache)
+        Cfg.CodeCache = &CodeCache;
       if (Opts.Faults.armedFor(HarnessFaultKind::FrontEndThrow, Spec.Name,
                                Attempt))
         Cfg.Cogit.InjectFrontEndThrow = true;
@@ -599,10 +605,13 @@ CampaignSummary CampaignRunner::run() {
 
   // Deterministic reduction: catalog order, independent of which
   // worker produced which record.
-  for (const InstructionRecord &Rec : Summary.Records)
+  for (const InstructionRecord &Rec : Summary.Records) {
     Summary.Solver.add(Rec.Solver);
+    Summary.Jit.add(Rec.Jit);
+  }
   Summary.Rows = aggregateCampaignRows(Summary.Records);
   foldSolverStats(Summary.Metrics, Summary.Solver);
+  foldJitStats(Summary.Metrics, Summary.Jit);
   Summary.Metrics.add("campaign.instructions", Summary.CompletedInstructions);
   Summary.Metrics.add("campaign.resumed", Summary.ResumedInstructions);
   Summary.Metrics.add("campaign.quarantined", Summary.Quarantined.size());
@@ -661,6 +670,11 @@ ProfileReport igdt::buildCampaignProfile(const CampaignSummary &Summary,
   Report.CacheHits = Summary.Solver.CacheHits;
   Report.CacheMisses = Summary.Solver.CacheMisses;
   Report.CacheUnsatSubsumed = Summary.Solver.CacheUnsatSubsumed;
+  Report.ModelCacheHits = Summary.Solver.ModelCacheHits;
+  Report.PrefixReuseSolves = Summary.Solver.PrefixReuseSolves;
+  Report.FullSolves = Summary.Solver.FullSolves;
+  Report.JitCompiles = Summary.Jit.Compiles;
+  Report.JitCodeCacheHits = Summary.Jit.CodeCacheHits;
   Report.Metrics = Summary.Metrics;
   return Report;
 }

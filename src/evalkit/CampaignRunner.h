@@ -156,6 +156,11 @@ struct InstructionRecord {
   /// populated the shared Unsat index first) and are therefore kept
   /// in memory only — never checkpointed.
   SolverStats Solver;
+  /// Compile-once activity of the successful attempt. Deterministic at
+  /// any Jobs value (the code cache is attempt-local), but kept out of
+  /// checkpoints like the solver reuse counters: a resumed campaign
+  /// skips the compiles a fresh one performs.
+  JitCacheStats Jit;
   std::vector<CompilerOutcome> Compilers;
 
   std::string toJson() const;
@@ -183,6 +188,10 @@ struct CampaignSummary {
   /// the cache hit/miss counters, which depend on worker scheduling
   /// and are reported as diagnostics only.
   SolverStats Solver;
+  /// Compile-once counters aggregated over all records in catalog
+  /// order; surfaces in Metrics as "jit.*" and in the profile's
+  /// cache-effectiveness table.
+  JitCacheStats Jit;
   /// Merged campaign metrics: solver counters folded under "solver.*"
   /// (always, in catalog order — the deterministic per-shard/merged
   /// routing of SolverStats), trace-event counters under "events.*"

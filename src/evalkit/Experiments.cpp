@@ -74,8 +74,17 @@ CompilerEvaluation EvaluationHarness::evaluateCompiler(CompilerKind Kind) {
                                ? InstructionKind::NativeMethod
                                : InstructionKind::Bytecode;
 
-  DifferentialTester X64(diffConfig(Kind, /*Arm=*/false));
-  DifferentialTester Arm(diffConfig(Kind, /*Arm=*/true));
+  // One compile-once cache for both back-ends (keys carry the back-end,
+  // so the arms never serve each other).
+  JitCodeCache CodeCache;
+  JitCacheStats JStats;
+  DiffTestConfig CfgX64 = diffConfig(Kind, /*Arm=*/false);
+  DiffTestConfig CfgArm = diffConfig(Kind, /*Arm=*/true);
+  CfgX64.JitStats = CfgArm.JitStats = &JStats;
+  if (Opts.EnableCodeCache)
+    CfgX64.CodeCache = CfgArm.CodeCache = &CodeCache;
+  DifferentialTester X64(CfgX64);
+  DifferentialTester Arm(CfgArm);
 
   for (const ExploredInstruction &E : Explored) {
     const ExplorationResult &R = *E.Result;

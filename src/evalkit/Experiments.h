@@ -68,6 +68,12 @@ struct HarnessOptions {
   SimOptions Sim;
   /// Arm the two simulation-error seeds (missing F5 accessor).
   bool SeedSimulationErrors = true;
+  /// Compile each distinct compilation unit once per instruction and
+  /// replay the cached code for the remaining paths (jit/CodeCache.h).
+  /// Purely an optimisation: compilation is a pure function of the
+  /// cache key, and a hit replays the Compile trace event, so every
+  /// output is byte-identical with the cache on or off.
+  bool EnableCodeCache = true;
   /// Limit instructions per kind (0 = all); used by quick tests.
   unsigned MaxBytecodes = 0;
   unsigned MaxNativeMethods = 0;

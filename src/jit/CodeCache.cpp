@@ -1,0 +1,74 @@
+//===- jit/CodeCache.cpp - Compile-once code caching ----------------------===//
+
+#include "jit/CodeCache.h"
+
+#include "observe/MetricsRegistry.h"
+
+using namespace igdt;
+
+void igdt::foldJitStats(MetricsRegistry &Registry,
+                        const JitCacheStats &Stats) {
+  Registry.add("jit.compiles", Stats.Compiles);
+  Registry.add("jit.code_cache.hits", Stats.CodeCacheHits);
+}
+
+namespace {
+
+/// The CogitOptions fields a compile's output depends on. Trace is
+/// excluded (pure observation) and InjectFrontEndThrow never reaches a
+/// key (the tester bypasses the cache while it is armed).
+std::uint64_t optionBits(const CogitOptions &Opts) {
+  return (Opts.SeedFloatReceiverCheckMissing ? 1u : 0u) |
+         (Opts.SeedFFINotImplemented ? 2u : 0u) |
+         (Opts.SeedBitOpsAcceptNegatives ? 4u : 0u);
+}
+
+/// Shared prefix of both key shapes. The leading tag keeps the two
+/// shapes disjoint regardless of what follows.
+JitCodeCache::Key keyPrefix(std::uint64_t Tag, CompilerKind Kind,
+                            bool ArmBackend, const CogitOptions &Opts) {
+  return {Tag, static_cast<std::uint64_t>(Kind), ArmBackend ? 1u : 0u,
+          optionBits(Opts)};
+}
+
+} // namespace
+
+const CompiledCode *JitCodeCache::lookup(const Key &K) const {
+  auto It = Entries.find(K);
+  return It == Entries.end() ? nullptr : &It->second;
+}
+
+void JitCodeCache::store(const Key &K, const CompiledCode &Code) {
+  Entries.emplace(K, Code);
+}
+
+JitCodeCache::Key igdt::codeCacheKey(CompilerKind Kind, bool ArmBackend,
+                                     const CogitOptions &Opts,
+                                     std::int32_t PrimitiveIndex) {
+  JitCodeCache::Key K = keyPrefix(0, Kind, ArmBackend, Opts);
+  K.push_back(static_cast<std::uint64_t>(PrimitiveIndex));
+  return K;
+}
+
+JitCodeCache::Key igdt::codeCacheKey(CompilerKind Kind, bool ArmBackend,
+                                     const CogitOptions &Opts,
+                                     const CompiledMethod &Method,
+                                     const std::vector<Oop> &InputStack,
+                                     bool IsSequence) {
+  JitCodeCache::Key K = keyPrefix(1, Kind, ArmBackend, Opts);
+  K.push_back(IsSequence ? 1u : 0u);
+  K.push_back(Method.NumArgs);
+  K.push_back(Method.NumTemps);
+  // Each variable-length section is preceded by its length, keeping the
+  // whole encoding injective.
+  K.push_back(Method.Bytecodes.size());
+  for (std::uint8_t B : Method.Bytecodes)
+    K.push_back(B);
+  K.push_back(Method.Literals.size());
+  for (Oop L : Method.Literals)
+    K.push_back(L);
+  K.push_back(InputStack.size());
+  for (Oop V : InputStack)
+    K.push_back(V);
+  return K;
+}

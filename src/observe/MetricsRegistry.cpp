@@ -110,7 +110,12 @@ void MetricsSink::emit(TraceEvent Event) {
     Registry.add("events.solver.cases", Event.Extra);
     break;
   case TraceEventKind::CacheLookup:
-    Registry.add("events.solver.cache." + Event.Detail);
+    // "code-*" details come from the JIT code cache; everything else
+    // from the solver's memo tiers.
+    Registry.add((Event.Detail.rfind("code-", 0) == 0
+                      ? "events.jit.cache."
+                      : "events.solver.cache.") +
+                 Event.Detail);
     break;
   case TraceEventKind::LadderRung:
     Registry.add("events.ladder.retries");

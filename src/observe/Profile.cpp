@@ -17,6 +17,15 @@ double ProfileReport::cacheHitRate() const {
   return Lookups ? double(CacheHits) / double(Lookups) : 0;
 }
 
+double ProfileReport::modelCacheAvoidRate() const {
+  return SolverQueries ? double(ModelCacheHits) / double(SolverQueries) : 0;
+}
+
+double ProfileReport::codeCacheHitRate() const {
+  std::uint64_t Requests = JitCompiles + JitCodeCacheHits;
+  return Requests ? double(JitCodeCacheHits) / double(Requests) : 0;
+}
+
 std::string ProfileReport::render() const {
   std::string Out = "== profile ==\n";
   {
@@ -45,6 +54,23 @@ std::string ProfileReport::render() const {
     T.addRow({"unsat subsumed",
               formatString("%llu", (unsigned long long)CacheUnsatSubsumed)});
     T.addRow({"hit rate", formatPercent(cacheHitRate())});
+    T.addRow({"model-bank hits",
+              formatString("%llu", (unsigned long long)ModelCacheHits)});
+    T.addRow({"model-bank avoid rate", formatPercent(modelCacheAvoidRate())});
+    T.addRow({"prefix-reuse solves",
+              formatString("%llu", (unsigned long long)PrefixReuseSolves)});
+    T.addRow({"full solves",
+              formatString("%llu", (unsigned long long)FullSolves)});
+    Out += T.render();
+  }
+  {
+    Out += "\n";
+    TablePrinter T({"code cache", "value"});
+    T.addRow({"compiles",
+              formatString("%llu", (unsigned long long)JitCompiles)});
+    T.addRow({"hits",
+              formatString("%llu", (unsigned long long)JitCodeCacheHits)});
+    T.addRow({"hit rate", formatPercent(codeCacheHitRate())});
     Out += T.render();
   }
   if (!Metrics.empty()) {
@@ -80,7 +106,21 @@ JsonValue ProfileReport::toJson() const {
   Cache.set("unsat_subsumed",
             JsonValue::number(static_cast<double>(CacheUnsatSubsumed)));
   Cache.set("hit_rate", JsonValue::number(cacheHitRate()));
+  Cache.set("model_hits",
+            JsonValue::number(static_cast<double>(ModelCacheHits)));
+  Cache.set("model_avoid_rate", JsonValue::number(modelCacheAvoidRate()));
+  Cache.set("prefix_reuse_solves",
+            JsonValue::number(static_cast<double>(PrefixReuseSolves)));
+  Cache.set("full_solves",
+            JsonValue::number(static_cast<double>(FullSolves)));
   V.set("solver_cache", std::move(Cache));
+  JsonValue CodeCache = JsonValue::object();
+  CodeCache.set("compiles",
+                JsonValue::number(static_cast<double>(JitCompiles)));
+  CodeCache.set("hits",
+                JsonValue::number(static_cast<double>(JitCodeCacheHits)));
+  CodeCache.set("hit_rate", JsonValue::number(codeCacheHitRate()));
+  V.set("code_cache", std::move(CodeCache));
   V.set("metrics", Metrics.toJson());
   return V;
 }

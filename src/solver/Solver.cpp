@@ -30,13 +30,11 @@ const char *igdt::solveStatusName(SolveStatus Status) {
 
 namespace {
 
-/// An atom with polarity, after negation-normal-form expansion.
-struct Literal {
-  const BoolTerm *Atom;
-  bool Positive;
-};
-
-using Case = std::vector<Literal>;
+// Literal/Case live in the header now (SolverLiteral/SolverCase) so the
+// assertion stack can cache expansions across queries; the local names
+// are kept for the search code below.
+using Literal = SolverLiteral;
+using Case = SolverCase;
 
 /// Expands a boolean term into disjunctive cases of literals.
 class CaseExpander {
@@ -63,6 +61,12 @@ public:
         return Cases; // definitely unsatisfiable (false conjunct)
     }
     return Cases;
+  }
+
+  /// NNF cases of one conjunct, as used per expand() iteration. Public
+  /// for the assertion stack's per-conjunct memo.
+  std::vector<Case> conjunctCases(const BoolTerm *T) {
+    return casesOf(T, /*Positive=*/true);
   }
 
 private:
@@ -1021,6 +1025,9 @@ void SolverStats::add(const SolverStats &Other) {
   CacheHits += Other.CacheHits;
   CacheMisses += Other.CacheMisses;
   CacheUnsatSubsumed += Other.CacheUnsatSubsumed;
+  ModelCacheHits += Other.ModelCacheHits;
+  PrefixReuseSolves += Other.PrefixReuseSolves;
+  FullSolves += Other.FullSolves;
 }
 
 void igdt::foldSolverStats(MetricsRegistry &Registry,
@@ -1035,6 +1042,9 @@ void igdt::foldSolverStats(MetricsRegistry &Registry,
   Registry.add("solver.cache.hits", Stats.CacheHits);
   Registry.add("solver.cache.misses", Stats.CacheMisses);
   Registry.add("solver.cache.unsat_subsumed", Stats.CacheUnsatSubsumed);
+  Registry.add("solver.cache.model_hits", Stats.ModelCacheHits);
+  Registry.add("solver.prefix_reuse_solves", Stats.PrefixReuseSolves);
+  Registry.add("solver.full_solves", Stats.FullSolves);
 }
 
 ConstraintSolver::ConstraintSolver(const ClassTable &Classes,
@@ -1043,25 +1053,105 @@ ConstraintSolver::ConstraintSolver(const ClassTable &Classes,
 
 SolveResult ConstraintSolver::solve(
     const std::vector<const BoolTerm *> &Conjuncts) {
-  if (!Opts.Trace)
-    return solveImpl(Conjuncts);
-  // The nodes/cases deltas are cost-compensated on shared-index hits
-  // (see below), so the emitted numbers match a cache-less run and the
-  // event is safe for deterministic traces.
-  std::uint64_t NodesBefore = Stats.NodesExplored;
-  std::uint64_t CasesBefore = Stats.CasesExplored;
-  SolveResult Result = solveImpl(Conjuncts);
-  TraceEvent E;
-  E.Kind = TraceEventKind::SolverQuery;
-  E.Detail = solveStatusName(Result.Status);
-  E.Value = Stats.NodesExplored - NodesBefore;
-  E.Extra = Stats.CasesExplored - CasesBefore;
-  Opts.Trace->emit(std::move(E));
+  return solveEntry(Conjuncts, nullptr);
+}
+
+void ConstraintSolver::pushAssertion(const BoolTerm *Conjunct) {
+  ExpandedCases Next;
+  const ExpandedCases *Prev =
+      PrefixLevels.empty() ? nullptr : &PrefixLevels.back();
+  if (Prev && Prev->Burst) {
+    // An overflowed prefix product stays overflowed: expand() returns
+    // nullopt as soon as any intermediate product exceeds MaxCases,
+    // regardless of later conjuncts.
+    Next.Burst = true;
+  } else if (Prev && Prev->Cases.empty()) {
+    // A proven-unsat prefix stays empty (product with the empty set);
+    // expand() likewise early-returns without visiting later conjuncts.
+  } else {
+    auto MIt = ConjunctCaseMemo.find(Conjunct);
+    if (MIt == ConjunctCaseMemo.end()) {
+      CaseExpander Expander(Opts.MaxCases);
+      MIt = ConjunctCaseMemo.emplace(Conjunct,
+                                     Expander.conjunctCases(Conjunct))
+                .first;
+    }
+    const std::vector<Case> &Sub = MIt->second;
+    static const std::vector<Case> Root = {Case{}};
+    const std::vector<Case> &Base = Prev ? Prev->Cases : Root;
+    bool Overflow = false;
+    for (const Case &Left : Base) {
+      for (const Case &Right : Sub) {
+        Case Merged = Left;
+        Merged.insert(Merged.end(), Right.begin(), Right.end());
+        Next.Cases.push_back(std::move(Merged));
+        if (Next.Cases.size() > Opts.MaxCases) {
+          Overflow = true;
+          break;
+        }
+      }
+      if (Overflow)
+        break;
+    }
+    if (Overflow) {
+      Next.Burst = true;
+      Next.Cases.clear();
+    }
+  }
+  AssertionStack.push_back(Conjunct);
+  PrefixLevels.push_back(std::move(Next));
+}
+
+void ConstraintSolver::popAssertion() {
+  AssertionStack.pop_back();
+  PrefixLevels.pop_back();
+}
+
+void ConstraintSolver::clearAssertions() {
+  AssertionStack.clear();
+  PrefixLevels.clear();
+  // ConjunctCaseMemo survives: conjuncts are interned and immutable,
+  // so their NNF expansion never changes within an exploration.
+}
+
+SolveResult ConstraintSolver::solveStack() {
+  if (PrefixLevels.empty()) {
+    ExpandedCases Root;
+    Root.Cases = {Case{}};
+    return solveEntry(AssertionStack, &Root);
+  }
+  return solveEntry(AssertionStack, &PrefixLevels.back());
+}
+
+SolveResult ConstraintSolver::solveEntry(
+    const std::vector<const BoolTerm *> &Conjuncts, const ExpandedCases *Pre) {
+  SolveResult Result;
+  if (!Opts.Trace) {
+    Result = solveImpl(Conjuncts, Pre);
+  } else {
+    // The nodes/cases deltas are cost-compensated on shared-index hits
+    // (see below), so the emitted numbers match a cache-less run and
+    // the event is safe for deterministic traces.
+    std::uint64_t NodesBefore = Stats.NodesExplored;
+    std::uint64_t CasesBefore = Stats.CasesExplored;
+    Result = solveImpl(Conjuncts, Pre);
+    TraceEvent E;
+    E.Kind = TraceEventKind::SolverQuery;
+    E.Detail = solveStatusName(Result.Status);
+    E.Value = Stats.NodesExplored - NodesBefore;
+    E.Extra = Stats.CasesExplored - CasesBefore;
+    Opts.Trace->emit(std::move(E));
+  }
+  // Feed the model bank on *every* Sat result — fresh searches and
+  // cache hits alike — so its content is a pure function of the result
+  // sequence and thus identical across cache configurations.
+  if (Opts.Bank && Result.Status == SolveStatus::Sat)
+    Opts.Bank->record(Result.M);
   return Result;
 }
 
 SolveResult ConstraintSolver::solveImpl(
-    const std::vector<const BoolTerm *> &Conjuncts) {
+    const std::vector<const BoolTerm *> &Conjuncts, const ExpandedCases *Pre) {
   auto EmitCache = [this](const char *What) {
     if (!Opts.Trace)
       return;
@@ -1090,9 +1180,42 @@ SolveResult ConstraintSolver::solveImpl(
   // the same expanded case) samples the same candidates whether it is
   // posed for the first time, replayed after a cache-enabled run, or
   // solved on a different worker.
-  TermHasher &Hasher = Opts.Cache ? Opts.Cache->hasher() : OwnHasher;
   TermHasher::QuerySignature Sig = Hasher.signQuery(Conjuncts);
-  std::uint64_t QuerySeed = hashCombine64(Opts.Seed, Sig.Fold);
+
+  // Tier 0: evaluate the query under recently found models. Consulted
+  // *before* the exact-match cache, and its answers are never stored
+  // there: a bank answer must depend only on bank content (which is fed
+  // identically in every cache configuration), never on whether an
+  // earlier run left an exact entry behind — otherwise cached and
+  // uncached explorations could return different models for the same
+  // query and diverge.
+  if (Opts.Bank) {
+    if (const Model *Banked = Opts.Bank->findSatisfying(Conjuncts, Classes)) {
+      Stats.ModelCacheHits++;
+      EmitCache("model-hit");
+      if (!Opts.ModelCacheSkips) {
+        // Layer disabled: still answer with the banked model (the
+        // returned model shapes the whole deterministic exploration
+        // frontier, so it must not change with the toggle) but run the
+        // full expansion + search anyway, with throwaway statistics
+        // and no cache, budget or trace interaction. This makes
+        // enabled vs. disabled differ only in wall time.
+        SolverOptions Stripped = Opts;
+        Stripped.Cache = nullptr;
+        Stripped.Shared = nullptr;
+        Stripped.Bank = nullptr;
+        Stripped.SharedBudget = nullptr;
+        Stripped.Trace = nullptr;
+        ConstraintSolver Shadow(Classes, Stripped);
+        (void)Shadow.solve(Conjuncts);
+      }
+      SolveResult Result;
+      Result.Status = SolveStatus::Sat;
+      Result.M = *Banked;
+      Stats.SatCount++;
+      return Result;
+    }
+  }
 
   if (Opts.Cache) {
     // Whole-query memo: pays off when model imprecision re-executes an
@@ -1117,15 +1240,36 @@ SolveResult ConstraintSolver::solveImpl(
     }
   }
 
-  CaseExpander Expander(Opts.MaxCases);
-  auto Cases = Expander.expand(Conjuncts);
+  // Case expansion: taken from the assertion stack's cumulative memo
+  // when posed incrementally, recomputed from scratch otherwise. The
+  // two are constructed to agree exactly — same case order, same
+  // overflow and empty semantics — so either entry point produces the
+  // same result for the same conjunct sequence.
+  std::optional<std::vector<Case>> Expanded;
+  const std::vector<Case> *CaseList = nullptr;
+  bool Burst = false;
+  if (Pre) {
+    // This query is served by the assertion stack's cumulative
+    // expansion: only the last-pushed conjunct was expanded against
+    // the cached prefix product, so it is not a "full" solve.
+    Stats.PrefixReuseSolves++;
+    Burst = Pre->Burst;
+    CaseList = &Pre->Cases;
+  } else {
+    Stats.FullSolves++;
+    CaseExpander Expander(Opts.MaxCases);
+    Expanded = Expander.expand(Conjuncts);
+    Burst = !Expanded.has_value();
+    if (Expanded)
+      CaseList = &*Expanded;
+  }
   SolveResult Result;
-  if (!Cases) {
+  if (Burst) {
     Result.Status = SolveStatus::Unknown;
     Stats.UnknownCount++;
     return Result;
   }
-  if (Cases->empty()) {
+  if (CaseList->empty()) {
     Result.Status = SolveStatus::Unsat;
     Stats.UnsatCount++;
     if (Opts.Cache)
@@ -1147,7 +1291,7 @@ SolveResult ConstraintSolver::solveImpl(
 
   bool AnyUnknown = false;
   bool AnyBudgetStop = false;
-  for (const Case &C : *Cases) {
+  for (const Case &C : *CaseList) {
     // Per-case signature, in the literal domain (atom hash mixed with
     // polarity) so case keys can never collide with whole-query keys.
     // This is the memo level that actually repeats: a degradation-
@@ -1200,10 +1344,13 @@ SolveResult ConstraintSolver::solveImpl(
       EmitCache("miss");
     }
     if (!FromCache) {
-      // The case RNG is seeded from the case's own content, not from a
-      // stream shared across cases: skipping a cached case must not
-      // shift the samples of its neighbours.
-      RNG CaseRand(hashCombine64(QuerySeed, CaseFold));
+      // The case RNG is seeded from the exploration seed and the
+      // case's own content only — deliberately NOT from any per-query
+      // signature: the same case posed by different queries (a prefix
+      // replayed through the assertion stack, a ladder rung, a
+      // subsumed superset) must sample bit-identically, and skipping a
+      // cached case must not shift the samples of its neighbours.
+      RNG CaseRand(hashCombine64(Opts.Seed, CaseFold));
       std::uint64_t CasesBefore = Stats.CasesExplored;
       std::uint64_t NodesBefore = Stats.NodesExplored;
       CaseSolver CS(Classes, Opts, Stats, CaseRand);

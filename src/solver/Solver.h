@@ -36,6 +36,7 @@
 #include "vm/ClassTable.h"
 
 #include <cstdint>
+#include <map>
 #include <vector>
 
 namespace igdt {
@@ -75,13 +76,16 @@ struct SolverOptions {
   std::int64_t MaxStackSize = 12;
   /// Upper bound of object slot-count variables.
   std::int64_t MaxSlotCount = 32;
-  /// RNG seed material (solving is fully deterministic). The per-query
-  /// generator is seeded from this value mixed with the *structural
-  /// hash of the query's conjuncts*, so identical queries sample
-  /// identically no matter when — or on which worker — they are posed.
-  /// The explorer further mixes in a stable hash of the instruction
-  /// name, making every instruction's exploration independent of
-  /// catalog order and shard assignment.
+  /// RNG seed material (solving is fully deterministic). Seeded once
+  /// per exploration: each expanded case's generator mixes this value
+  /// with the *structural hash of the case's own literals* — not with
+  /// any per-query signature — so the identical case samples the
+  /// identical candidates no matter which query posed it, when, or on
+  /// which worker. That bit-stability is what lets the incremental
+  /// assertion stack replay a prefix's cases after push/pop without
+  /// disturbing results. The explorer further mixes in a stable hash of
+  /// the instruction name, making every instruction's exploration
+  /// independent of catalog order and shard assignment.
   std::uint64_t Seed = 0x5EED;
   /// Cooperative budget shared across queries (non-owning, may be
   /// null). The numeric search charges one work unit per node; an
@@ -100,6 +104,24 @@ struct SolverOptions {
   /// segregated by a fingerprint of the caps that influence Unsat
   /// provability, so ladder rungs never serve full-strength queries.
   SharedUnsatIndex *Shared = nullptr;
+  /// Tier-0 model cache (non-owning, may be null). When set, every
+  /// query is first evaluated under the banked models via TermEval and
+  /// a satisfying one answers Sat without expansion or search. The bank
+  /// is consulted *before* the exact-match cache so its answers are
+  /// independent of whether Cache is configured, and it is fed on every
+  /// Sat result; both rules keep exploration results byte-identical
+  /// across cache configurations (see SolverCache.h). Worker-local,
+  /// like Cache.
+  SolverModelBank *Bank = nullptr;
+  /// Whether a model-bank hit skips the search (true, the perf win) or
+  /// merely verifies it (false): a hit still answers with the banked
+  /// model, but the full expansion + search also runs with throwaway
+  /// statistics and no cache interaction. Skip and verify are therefore
+  /// byte-identical in every observable output — this is the only sound
+  /// on/off A/B for a counterexample cache, because a bank hit may
+  /// return a *different* model than the search would, and the whole
+  /// exploration frontier is deterministic in the returned model.
+  bool ModelCacheSkips = true;
   /// Harness-fault injection (campaign self-tests): throw HarnessFault
   /// at query entry, simulating a solver blow-up no search cap contains.
   bool InjectSolverHang = false;
@@ -132,6 +154,27 @@ struct SolverStats {
   std::uint64_t CacheMisses = 0;
   /// Lookups rejected as supersets of a known proven-Unsat core.
   std::uint64_t CacheUnsatSubsumed = 0;
+  /// Queries answered by the tier-0 model bank (a banked model already
+  /// satisfied the query, so expansion and search were skipped). Unlike
+  /// the other cache counters this one is deterministic — the bank is
+  /// worker-local and always consulted — but it follows the same
+  /// precedent of being excluded from campaign checkpoints: it counts
+  /// reuse, not exploration work.
+  std::uint64_t ModelCacheHits = 0;
+  /// Queries solved through the assertion stack's cumulative case
+  /// expansion: only the newly pushed conjunct was expanded, the rest
+  /// of the product was reused from the prefix. The complement —
+  /// Queries minus every avoided/reused tier — is the "full solve"
+  /// count the explore bench guards. Deterministic (worker-local, like
+  /// ModelCacheHits) but a reuse diagnostic, so also never
+  /// checkpointed.
+  std::uint64_t PrefixReuseSolves = 0;
+  /// Queries that case-expanded their whole conjunct vector from
+  /// scratch — the only kind of solve a pre-memo engine issues, and
+  /// the count the explore bench's regression guard watches. Counted
+  /// directly (not derived by subtraction) because tier-2 shared-proof
+  /// hits are per-case and can co-occur with either solve shape.
+  std::uint64_t FullSolves = 0;
 
   /// Accumulates \p Other into this (deterministic reduction used when
   /// merging per-worker statistics).
@@ -146,7 +189,26 @@ struct SolverStats {
 /// catalog-order merge makes the combined numbers deterministic.
 void foldSolverStats(MetricsRegistry &Registry, const SolverStats &Stats);
 
-/// The solver. Stateless between queries except for statistics.
+/// An atom with polarity, produced by negation-normal-form expansion.
+struct SolverLiteral {
+  const BoolTerm *Atom;
+  bool Positive;
+};
+
+/// One conjunctive case of an expanded query.
+using SolverCase = std::vector<SolverLiteral>;
+
+/// Cumulative case expansion of an assertion-stack prefix. Burst means
+/// the ordered cross product exceeded MaxCases (the whole query is
+/// Unknown, matching a from-scratch expansion overflow); an empty case
+/// list without Burst is proven Unsat.
+struct ExpandedCases {
+  bool Burst = false;
+  std::vector<SolverCase> Cases;
+};
+
+/// The solver. Stateless between queries except for statistics and the
+/// optional assertion stack.
 class ConstraintSolver {
 public:
   explicit ConstraintSolver(const ClassTable &Classes,
@@ -155,19 +217,51 @@ public:
   /// Solves the conjunction of \p Conjuncts.
   SolveResult solve(const std::vector<const BoolTerm *> &Conjuncts);
 
+  /// \name Incremental prefix interface
+  /// The explorer mirrors its path stack onto the solver: push the
+  /// taken condition of each branch in path order, push a negation,
+  /// solveStack(), pop, push the next prefix entry. Each level caches
+  /// the *cumulative case expansion* of the prefix so far (plus a
+  /// per-conjunct NNF memo shared across levels), so negating the k-th
+  /// branch re-expands only the one pushed negation against the cached
+  /// prefix product instead of re-walking all k conjuncts. Results are
+  /// bit-identical to solve() on the same conjunct sequence: expansion
+  /// order, case order, case RNG seeds and every cache interaction are
+  /// reproduced exactly.
+  /// @{
+  void pushAssertion(const BoolTerm *Conjunct);
+  void popAssertion();
+  void clearAssertions();
+  const std::vector<const BoolTerm *> &assertions() const {
+    return AssertionStack;
+  }
+  /// Solves the conjunction of the asserted stack.
+  SolveResult solveStack();
+  /// @}
+
   const SolverStats &stats() const { return Stats; }
   const SolverOptions &options() const { return Opts; }
 
 private:
-  /// The actual solve; the public entry wraps it with trace emission.
-  SolveResult solveImpl(const std::vector<const BoolTerm *> &Conjuncts);
+  /// The actual solve; the public entries wrap it with trace emission
+  /// and model-bank feeding. \p Pre carries the assertion stack's
+  /// precomputed cumulative expansion (null for from-scratch solves).
+  SolveResult solveImpl(const std::vector<const BoolTerm *> &Conjuncts,
+                        const ExpandedCases *Pre);
+  SolveResult solveEntry(const std::vector<const BoolTerm *> &Conjuncts,
+                         const ExpandedCases *Pre);
 
   const ClassTable &Classes;
   SolverOptions Opts;
   SolverStats Stats;
-  /// Fallback hasher for content-seeding the per-query RNG when no
-  /// cache (with its shared hasher) is configured.
-  TermHasher OwnHasher;
+  /// Hasher for query signatures (a plain field read since terms carry
+  /// precomputed hashes).
+  TermHasher Hasher;
+  /// Incremental prefix state: the asserted conjuncts, one cumulative
+  /// expansion per level, and the NNF memo of individual conjuncts.
+  std::vector<const BoolTerm *> AssertionStack;
+  std::vector<ExpandedCases> PrefixLevels;
+  std::map<const BoolTerm *, std::vector<SolverCase>> ConjunctCaseMemo;
 };
 
 } // namespace igdt

@@ -4,6 +4,7 @@
 
 #include "solver/Solver.h"
 #include "solver/Term.h"
+#include "solver/TermEval.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
@@ -16,116 +17,68 @@ std::uint64_t mix(std::uint64_t Seed, std::uint64_t Value) {
   return hashCombine64(Seed, Value);
 }
 
+// Structural model equality for the bank's duplicate check. Doubles are
+// compared bitwise: the bank must never fold two models the evaluator
+// could distinguish (e.g. 0.0 vs -0.0 boxed payloads).
+
+bool bitsEqual(double A, double B) {
+  std::uint64_t BA, BB;
+  __builtin_memcpy(&BA, &A, sizeof(BA));
+  __builtin_memcpy(&BB, &B, sizeof(BB));
+  return BA == BB;
+}
+
+bool assignmentEquals(const ObjAssignment &A, const ObjAssignment &B) {
+  return A.ClassIndex == B.ClassIndex && A.IntValue == B.IntValue &&
+         bitsEqual(A.FloatValue, B.FloatValue) && A.SlotCount == B.SlotCount;
+}
+
+bool modelEquals(const Model &A, const Model &B) {
+  if (A.Objects.size() != B.Objects.size() || A.Reps != B.Reps ||
+      A.IntLeaves != B.IntLeaves)
+    return false;
+  for (auto ItA = A.Objects.begin(), ItB = B.Objects.begin();
+       ItA != A.Objects.end(); ++ItA, ++ItB)
+    if (ItA->first != ItB->first ||
+        !assignmentEquals(ItA->second, ItB->second))
+      return false;
+  if (A.FloatLeaves.size() != B.FloatLeaves.size())
+    return false;
+  for (auto ItA = A.FloatLeaves.begin(), ItB = B.FloatLeaves.begin();
+       ItA != A.FloatLeaves.end(); ++ItA, ++ItB)
+    if (ItA->first != ItB->first || !bitsEqual(ItA->second, ItB->second))
+      return false;
+  return true;
+}
+
 } // namespace
 
-std::uint64_t TermHasher::hashObj(const ObjTerm *T) {
-  if (!T)
-    return 0x9E3779B97F4A7C15ull;
-  auto It = Memo.find(T);
-  if (It != Memo.end())
-    return It->second;
-  std::uint64_t H = mix(0x0B57ull, std::uint64_t(T->TermKind));
-  switch (T->TermKind) {
-  case ObjTerm::Kind::Var:
-    H = mix(H, std::uint64_t(T->Role));
-    H = mix(H, std::uint64_t(std::uint32_t(T->Index)));
-    H = mix(H, hashObj(T->Parent));
-    break;
-  case ObjTerm::Kind::Const:
-    H = mix(H, T->ConstValue);
-    break;
-  case ObjTerm::Kind::IntObj:
-    H = mix(H, hashInt(T->IntPayload));
-    break;
-  case ObjTerm::Kind::FloatObj:
-    H = mix(H, hashFloat(T->FloatPayload));
-    break;
-  case ObjTerm::Kind::NewObj:
-    H = mix(H, T->AllocId);
-    H = mix(H, T->AllocClass);
-    H = mix(H, hashInt(T->AllocSize));
-    H = mix(H, hashObj(T->CopyOf));
-    break;
+void SolverModelBank::record(const Model &M) {
+  for (const Model &Existing : Models)
+    if (modelEquals(Existing, M))
+      return;
+  Models.push_back(M);
+  if (Models.size() > Capacity)
+    Models.pop_front();
+}
+
+const Model *SolverModelBank::findSatisfying(
+    const std::vector<const BoolTerm *> &Conjuncts,
+    const ClassTable &Classes) const {
+  for (auto It = Models.rbegin(); It != Models.rend(); ++It) {
+    TermEvaluator Eval(*It, Classes);
+    bool All = true;
+    for (const BoolTerm *C : Conjuncts) {
+      auto V = Eval.evalBool(C);
+      if (!V || !*V) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return &*It;
   }
-  Memo.emplace(T, H);
-  return H;
-}
-
-std::uint64_t TermHasher::hashInt(const IntTerm *T) {
-  if (!T)
-    return 0x9E3779B97F4A7C15ull;
-  auto It = Memo.find(T);
-  if (It != Memo.end())
-    return It->second;
-  std::uint64_t H = mix(0x117ull, std::uint64_t(T->TermKind));
-  H = mix(H, std::uint64_t(T->ConstValue));
-  H = mix(H, std::uint64_t(T->Aux));
-  H = mix(H, std::uint64_t(T->Width) * 2 + (T->SignExtend ? 1 : 0));
-  if (T->Obj)
-    H = mix(H, hashObj(T->Obj));
-  if (T->Lhs)
-    H = mix(H, hashInt(T->Lhs));
-  if (T->Rhs)
-    H = mix(H, hashInt(T->Rhs));
-  if (T->FloatOperand)
-    H = mix(H, hashFloat(T->FloatOperand));
-  Memo.emplace(T, H);
-  return H;
-}
-
-std::uint64_t TermHasher::hashFloat(const FloatTerm *T) {
-  if (!T)
-    return 0x9E3779B97F4A7C15ull;
-  auto It = Memo.find(T);
-  if (It != Memo.end())
-    return It->second;
-  std::uint64_t H = mix(0xF107ull, std::uint64_t(T->TermKind));
-  std::uint64_t Bits;
-  static_assert(sizeof(Bits) == sizeof(T->ConstValue));
-  __builtin_memcpy(&Bits, &T->ConstValue, sizeof(Bits));
-  H = mix(H, Bits);
-  H = mix(H, std::uint64_t(T->Aux));
-  if (T->Obj)
-    H = mix(H, hashObj(T->Obj));
-  if (T->Lhs)
-    H = mix(H, hashFloat(T->Lhs));
-  if (T->Rhs)
-    H = mix(H, hashFloat(T->Rhs));
-  if (T->IntOperand)
-    H = mix(H, hashInt(T->IntOperand));
-  Memo.emplace(T, H);
-  return H;
-}
-
-std::uint64_t TermHasher::hashBool(const BoolTerm *T) {
-  if (!T)
-    return 0x9E3779B97F4A7C15ull;
-  auto It = Memo.find(T);
-  if (It != Memo.end())
-    return It->second;
-  std::uint64_t H = mix(0xB001ull, std::uint64_t(T->TermKind));
-  H = mix(H, T->ConstValue ? 1 : 0);
-  H = mix(H, std::uint64_t(T->Pred));
-  H = mix(H, T->ClassIndex);
-  H = mix(H, T->FormatMask);
-  if (T->BLhs)
-    H = mix(H, hashBool(T->BLhs));
-  if (T->BRhs)
-    H = mix(H, hashBool(T->BRhs));
-  if (T->ILhs)
-    H = mix(H, hashInt(T->ILhs));
-  if (T->IRhs)
-    H = mix(H, hashInt(T->IRhs));
-  if (T->FLhs)
-    H = mix(H, hashFloat(T->FLhs));
-  if (T->FRhs)
-    H = mix(H, hashFloat(T->FRhs));
-  if (T->Obj)
-    H = mix(H, hashObj(T->Obj));
-  if (T->ObjRhs)
-    H = mix(H, hashObj(T->ObjRhs));
-  Memo.emplace(T, H);
-  return H;
+  return nullptr;
 }
 
 TermHasher::QuerySignature

@@ -8,13 +8,31 @@
 /// Incremental solving support for the concolic exploration loop,
 /// organised as two tiers with different sharing scopes:
 ///
-///  - TermHasher assigns every term a *structural* 64-bit hash,
-///    memoized per pointer (terms are immutable and arena-allocated, so
-///    a pointer's hash never changes). Structural hashing makes cache
-///    keys independent of allocation addresses and of the order terms
-///    were built in — the property that lets a cached run reproduce an
-///    uncached one bit for bit, and that lets hashes computed in one
-///    exploration's arena match those of another.
+///  - TermHasher reads every term's *structural* 64-bit hash. Since the
+///    hash-consing arena (solver/Term.h) precomputes each node's hash at
+///    intern time with the identical mixing scheme, hashing is now an
+///    O(1) field read rather than a full-tree walk. Structural hashing
+///    makes cache keys independent of allocation addresses and of the
+///    order terms were built in — the property that lets a cached run
+///    reproduce an uncached one bit for bit, and that lets hashes
+///    computed in one exploration's arena match those of another.
+///
+///  - SolverModelBank (tier 0, per exploration) keeps the most recent
+///    satisfying models. Before any search, the solver evaluates the new
+///    query under each banked model via TermEval (the counterexample-
+///    cache trick): sibling negation queries of one path prefix are very
+///    often satisfied by a model found two queries ago, and a hit skips
+///    expansion and search entirely. Unlike the exact-match tiers the
+///    bank is *part of the defined exploration algorithm*, not a
+///    transparent accelerator: a bank hit may return a different (older)
+///    model than the seeded search would find, and concolic execution is
+///    deterministic in the model, so which model comes back shapes the
+///    path frontier. The bank is therefore always consulted — the
+///    EnableModelCache toggle only decides whether a hit *skips* the
+///    search or merely *verifies* it (see SolverOptions::ModelCacheSkips)
+///    — and its content is fed identically on every Sat result, keeping
+///    it byte-reproducible across cache configurations, workers and
+///    Jobs values.
 ///
 ///  - SolverQueryCache (tier 1, per exploration) memoizes definite
 ///    answers — Sat with its model, proven Unsat — at two
@@ -53,41 +71,68 @@
 #define IGDT_SOLVER_SOLVERCACHE_H
 
 #include "solver/Model.h"
+#include "solver/Term.h"
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <mutex>
-#include <unordered_map>
 #include <utility>
 #include <vector>
 
 namespace igdt {
 
-struct BoolTerm;
+class ClassTable;
 enum class SolveStatus : std::uint8_t;
 struct SolveResult;
 
-/// Memoized structural hashing of solver terms. Pointer-keyed memo:
-/// terms are immutable, so the first computed hash is final.
+/// Structural hashing of solver terms. Since every term carries its
+/// hash precomputed by the interning TermBuilder, this is a plain field
+/// read — the class survives as the home of query signatures and of the
+/// null-term convention.
 class TermHasher {
 public:
-  std::uint64_t hashBool(const BoolTerm *T);
+  std::uint64_t hashBool(const BoolTerm *T) {
+    return T ? T->Hash : NullTermHash;
+  }
 
   /// Signature of a conjunctive query: the sorted multiset of conjunct
   /// hashes (the cache key) plus an order-insensitive fold of them
-  /// (the per-query RNG seed material).
+  /// (RNG seed material).
   struct QuerySignature {
     std::vector<std::uint64_t> SortedConjuncts;
     std::uint64_t Fold = 0;
   };
   QuerySignature signQuery(const std::vector<const BoolTerm *> &Conjuncts);
+};
+
+/// Tier-0 model cache: a FIFO of the most recent satisfying models of
+/// one exploration. See the file comment for why this tier is part of
+/// the defined algorithm rather than a transparent accelerator. Models
+/// hold pointers into the exploration's term arena, so the bank is
+/// strictly worker-local and dies with the exploration.
+class SolverModelBank {
+public:
+  explicit SolverModelBank(std::size_t Capacity = 8) : Capacity(Capacity) {}
+
+  /// Records a Sat result's model. Called for *every* Sat result —
+  /// fresh searches and cache hits alike — so the bank's content is a
+  /// pure function of the result sequence, which is itself identical
+  /// across cache configurations. Structural duplicates of a model
+  /// already banked are skipped to keep the FIFO slots diverse.
+  void record(const Model &M);
+
+  /// Scans newest-first for a banked model satisfying all \p Conjuncts
+  /// under TermEval; null when none does. Deterministic: content and
+  /// scan order depend only on the recorded sequence.
+  const Model *findSatisfying(const std::vector<const BoolTerm *> &Conjuncts,
+                              const ClassTable &Classes) const;
+
+  std::size_t size() const { return Models.size(); }
 
 private:
-  std::uint64_t hashObj(const ObjTerm *T);
-  std::uint64_t hashInt(const IntTerm *T);
-  std::uint64_t hashFloat(const FloatTerm *T);
-
-  std::unordered_map<const void *, std::uint64_t> Memo;
+  std::deque<Model> Models; // newest at the back
+  std::size_t Capacity;
 };
 
 /// Per-exploration memo of definite solver answers. See file comment
@@ -95,10 +140,6 @@ private:
 class SolverQueryCache {
 public:
   using QueryKey = std::vector<std::uint64_t>;
-
-  /// The shared hasher (shared so the pointer->hash memo is reused by
-  /// every solver of the exploration).
-  TermHasher &hasher() { return Hasher; }
 
   /// Exact-match lookup; null on miss.
   const SolveResult *lookup(const QueryKey &Key) const;
@@ -114,7 +155,6 @@ public:
   std::size_t unsatCores() const { return Cores.size(); }
 
 private:
-  TermHasher Hasher;
   std::map<QueryKey, SolveResult> Exact;
   /// Sorted conjunct-hash sets of proven-Unsat queries, capped so the
   /// subsumption scan stays O(cores * |query|).

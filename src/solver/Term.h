@@ -20,7 +20,12 @@
 ///  - Bool terms denote path conditions.
 ///
 /// All terms are immutable, arena-allocated and hash-consed by
-/// TermBuilder, so pointer equality is term identity for leaves.
+/// TermBuilder, so pointer equality is term identity for *every* node,
+/// not just leaves: two structurally equal terms built through the same
+/// builder are the same pointer. Each node also carries its structural
+/// hash, precomputed at intern time with the same mixing scheme
+/// TermHasher used to compute recursively — solver cache keys are now
+/// O(1) field reads, and hashes still agree across arenas.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -35,6 +40,7 @@
 #include <map>
 #include <string>
 #include <tuple>
+#include <unordered_map>
 #include <vector>
 
 namespace igdt {
@@ -51,6 +57,13 @@ enum class VarRole : std::uint8_t {
   Local,
   SlotOf, // slot Index of Parent
 };
+
+/// Neutral hash of an absent child term; also the seed constant of
+/// hashCombine64. Kept identical to the value the recursive TermHasher
+/// historically produced for null children, so precomputed hashes equal
+/// the old full-tree-walk hashes bit for bit (cache keys and RNG seed
+/// material derived from them are unchanged).
+constexpr std::uint64_t NullTermHash = 0x9E3779B97F4A7C15ull;
 
 /// Object-sort term.
 struct ObjTerm {
@@ -77,6 +90,8 @@ struct ObjTerm {
   std::uint32_t AllocClass = 0;
   const IntTerm *AllocSize = nullptr;
   const ObjTerm *CopyOf = nullptr; // shallowCopy source, else nullptr
+  /// Structural hash, precomputed at intern time.
+  std::uint64_t Hash = 0;
 
   bool isVar() const { return TermKind == Kind::Var; }
 };
@@ -119,6 +134,8 @@ struct IntTerm {
   const IntTerm *Lhs = nullptr;
   const IntTerm *Rhs = nullptr;
   const FloatTerm *FloatOperand = nullptr; // TruncF
+  /// Structural hash, precomputed at intern time.
+  std::uint64_t Hash = 0;
 
   bool isLeaf() const {
     switch (TermKind) {
@@ -166,6 +183,8 @@ struct FloatTerm {
   const FloatTerm *Lhs = nullptr;
   const FloatTerm *Rhs = nullptr;
   const IntTerm *IntOperand = nullptr; // OfInt
+  /// Structural hash, precomputed at intern time.
+  std::uint64_t Hash = 0;
 
   bool isLeaf() const {
     return TermKind == Kind::ValueOf || TermKind == Kind::UncheckedValueOf ||
@@ -204,6 +223,8 @@ struct BoolTerm {
   const ObjTerm *ObjRhs = nullptr;
   std::uint32_t ClassIndex = 0;
   std::uint8_t FormatMask = 0; // bit per ObjectFormat value
+  /// Structural hash, precomputed at intern time.
+  std::uint64_t Hash = 0;
 };
 
 /// Bit for \p Format within BoolTerm::FormatMask.
@@ -211,9 +232,20 @@ inline std::uint8_t formatBit(ObjectFormat Format) {
   return static_cast<std::uint8_t>(1u << static_cast<unsigned>(Format));
 }
 
-/// Arena-backed factory with hash-consing of variables and leaves, so
-/// that structural identity implies pointer identity where the solver
-/// needs it.
+/// Arena-backed factory that hash-conses *every* term, so structural
+/// identity is pointer identity across the whole vocabulary and each
+/// node carries its precomputed structural hash.
+///
+/// Arena ownership is unchanged: the builder owns the arena, terms die
+/// with the builder, and nothing interned here may outlive the
+/// exploration that built it. Interning happens through two kinds of
+/// table. Leaves and variables keep their original field-keyed caches
+/// (their equivalence semantics — e.g. std::map<double> folding of
+/// float constants — predate this layer and are load-bearing for
+/// reproducibility). Interior nodes go through per-sort hash-bucket
+/// tables: the candidate's hash selects a bucket and a full structural
+/// field compare picks the existing node, where child comparison is by
+/// pointer because children are already interned.
 class TermBuilder {
 public:
   TermBuilder() = default;
@@ -278,7 +310,21 @@ public:
 
   Arena &arena() { return Mem; }
 
+  /// Number of distinct interned nodes (all sorts). Exposed for tests
+  /// and the explore bench: interning effectiveness is #calls - #nodes.
+  std::size_t internedNodes() const { return InternedNodes; }
+
 private:
+  /// Per-sort hash-bucket intern table. Collisions chain into a small
+  /// vector resolved by full structural comparison.
+  template <typename T>
+  using InternTable = std::unordered_map<std::uint64_t, std::vector<const T *>>;
+
+  const ObjTerm *internObj(ObjTerm Proto);
+  const IntTerm *internInt(IntTerm Proto);
+  const FloatTerm *internFloat(FloatTerm Proto);
+  const BoolTerm *internBool(BoolTerm Proto);
+
   Arena Mem;
   std::map<std::tuple<VarRole, std::int32_t, const ObjTerm *>, const ObjTerm *>
       VarCache;
@@ -292,6 +338,11 @@ private:
   std::map<double, const FloatTerm *> FloatConstCache;
   std::map<std::pair<int, const ObjTerm *>, const FloatTerm *> FloatLeafCache;
   std::map<const BoolTerm *, const BoolTerm *> NotCache;
+  InternTable<ObjTerm> ObjIntern;
+  InternTable<IntTerm> IntIntern;
+  InternTable<FloatTerm> FloatIntern;
+  InternTable<BoolTerm> BoolIntern;
+  std::size_t InternedNodes = 0;
   std::uint32_t NextAllocId = 1;
 };
 

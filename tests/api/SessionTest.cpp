@@ -96,6 +96,61 @@ TEST(SessionTest, RunCampaignMatchesTheRunnerAndBuildsTheProfile) {
   EXPECT_FALSE(Report->render().empty());
 }
 
+TEST(SessionTest, CacheEffectivenessSurfacesInProfileAndMetrics) {
+  SessionConfig Config = cleanConfig();
+  Config.Campaign.OnlyInstructions = {"bytecodePrim_add", "bytecodePrim_sub",
+                                      "primitiveAdd"};
+  Config.Profile = true;
+  Session S(Config);
+  CampaignSummary Summary = S.runCampaign();
+
+  // The reuse tiers surface in the profile report, bit-equal to the
+  // campaign's own counters...
+  const ProfileReport *Report = S.profile();
+  ASSERT_NE(Report, nullptr);
+  EXPECT_EQ(Report->ModelCacheHits, Summary.Solver.ModelCacheHits);
+  EXPECT_EQ(Report->JitCompiles, Summary.Jit.Compiles);
+  EXPECT_EQ(Report->JitCodeCacheHits, Summary.Jit.CodeCacheHits);
+  EXPECT_GT(Report->JitCompiles, 0u);
+  EXPECT_GT(Report->JitCodeCacheHits, 0u)
+      << "replaying several paths of one instruction must reuse code";
+  EXPECT_NE(Report->render().find("code cache"), std::string::npos);
+  EXPECT_NE(Report->render().find("model-bank"), std::string::npos);
+
+  // ...and in the session metrics registry under the stable names.
+  EXPECT_EQ(S.metrics().counter("jit.compiles"), Summary.Jit.Compiles);
+  EXPECT_EQ(S.metrics().counter("jit.code_cache.hits"),
+            Summary.Jit.CodeCacheHits);
+  EXPECT_EQ(S.metrics().counter("solver.cache.model_hits"),
+            Summary.Solver.ModelCacheHits);
+}
+
+TEST(SessionTest, TestPathReusesCompilesAcrossCallsViaTheSessionCache) {
+  Session S(cleanConfig());
+  ExplorationResult Paths = S.explore("bytecodePrim_add");
+  ASSERT_FALSE(Paths.Paths.empty());
+
+  // The first sweep over the paths compiles each distinct unit once
+  // (paths whose models materialise identical input frames already
+  // share a compile); an identical second sweep adds no compiles at
+  // all — every replayed unit is served from the session cache.
+  for (std::size_t I = 0; I < Paths.Paths.size(); ++I)
+    S.testPath(Paths, I, CompilerKind::StackToRegister);
+  std::uint64_t Compiles = S.metrics().counter("jit.compiles");
+  std::uint64_t FirstSweepHits = S.metrics().counter("jit.code_cache.hits");
+  EXPECT_GT(Compiles, 0u);
+
+  for (std::size_t I = 0; I < Paths.Paths.size(); ++I)
+    S.testPath(Paths, I, CompilerKind::StackToRegister);
+  EXPECT_EQ(S.metrics().counter("jit.compiles"), Compiles);
+  // Every lookup of the second sweep hits: one per path that reaches
+  // the compile step, i.e. the first sweep's compiles + hits again.
+  EXPECT_EQ(S.metrics().counter("jit.code_cache.hits"),
+            2 * FirstSweepHits + Compiles);
+  // The cache-lookup diagnostics flow through the metrics sink too.
+  EXPECT_GT(S.metrics().counter("events.jit.cache.code-hit"), 0u);
+}
+
 TEST(SessionTest, SessionTraceFileCapturesExploreAndCampaignEvents) {
   SessionConfig Config = cleanConfig();
   Config.Campaign.TracePath = tempPath("trace.jsonl");

@@ -11,6 +11,7 @@
 #include "solver/SolverCache.h"
 
 #include "concolic/ConcolicExplorer.h"
+#include "evalkit/CampaignRunner.h"
 #include "faults/DefectCatalog.h"
 #include "solver/Solver.h"
 #include "solver/Term.h"
@@ -129,6 +130,137 @@ TEST(SolverCacheTest, CachedAndUncachedExplorationsAreIdentical) {
   EXPECT_EQ(R1.Solver.UnknownCount, R2.Solver.UnknownCount);
   EXPECT_EQ(R2.Solver.CacheHits + R2.Solver.CacheMisses, 0u)
       << "uncached run must not touch any cache tier";
+}
+
+/// Everything deterministic an exploration reports, for the memo-layer
+/// A/B tests: path set, verdict counters, and the full solver-stat
+/// block including search effort. The scheduling-dependent shared-index
+/// counters are deliberately excluded (these tests run worker-local
+/// configurations where even they match, but the contract is about the
+/// deterministic set).
+void expectExplorationsIdentical(const ExplorationResult &A,
+                                 const ExplorationResult &B) {
+  EXPECT_EQ(fingerprints(A), fingerprints(B));
+  EXPECT_EQ(A.curatedCount(), B.curatedCount());
+  EXPECT_EQ(A.Iterations, B.Iterations);
+  EXPECT_EQ(A.UnknownNegations, B.UnknownNegations);
+  EXPECT_EQ(A.UnsatNegations, B.UnsatNegations);
+  EXPECT_EQ(A.Solver.Queries, B.Solver.Queries);
+  EXPECT_EQ(A.Solver.SatCount, B.Solver.SatCount);
+  EXPECT_EQ(A.Solver.UnsatCount, B.Solver.UnsatCount);
+  EXPECT_EQ(A.Solver.UnknownCount, B.Solver.UnknownCount);
+  EXPECT_EQ(A.Solver.ModelCacheHits, B.Solver.ModelCacheHits);
+}
+
+TEST(SolverCacheTest, ModelBankSkipAndVerifyModesAreByteIdentical) {
+  // EnableModelCache does not switch the bank on or off — the bank is
+  // part of the defined algorithm, because which model answers a query
+  // shapes the whole frontier. It switches a hit between *skipping*
+  // the full search (the perf win) and *verifying* it in a throwaway
+  // shadow solver. Every observable output must agree; only the search
+  // effort differs, and even that is hidden from public statistics.
+  const InstructionSpec *Spec = findInstruction("bytecodePrim_add");
+  ASSERT_NE(Spec, nullptr);
+
+  ExplorerOptions Skip;
+  Skip.EnableModelCache = true;
+  ConcolicExplorer E1(cleanVMConfig(), Skip);
+  ExplorationResult R1 = E1.explore(*Spec);
+
+  ExplorerOptions Verify;
+  Verify.EnableModelCache = false;
+  ConcolicExplorer E2(cleanVMConfig(), Verify);
+  ExplorationResult R2 = E2.explore(*Spec);
+
+  expectExplorationsIdentical(R1, R2);
+  // The bank counts hits identically in both modes — that is what
+  // makes the A/B honest: the same lookups hit, only their cost moves.
+  EXPECT_EQ(R1.Solver.CasesExplored, R2.Solver.CasesExplored);
+  EXPECT_EQ(R1.Solver.NodesExplored, R2.Solver.NodesExplored);
+}
+
+TEST(SolverCacheTest, IncrementalAndFromScratchNegationsAreIdentical) {
+  // The assertion-stack path reuses each prefix's cumulative case
+  // expansion; the legacy path re-poses every negation from scratch.
+  // The solver guarantees solveStack() ≡ solve() on the same conjunct
+  // sequence, so the two explorations agree on everything — including
+  // the search-effort counters, since reusing an *expansion* changes
+  // no case content and no RNG seed.
+  const InstructionSpec *Spec = findInstruction("bytecodePrim_add");
+  ASSERT_NE(Spec, nullptr);
+
+  ExplorerOptions Inc;
+  Inc.EnableIncrementalSolver = true;
+  ConcolicExplorer E1(cleanVMConfig(), Inc);
+  ExplorationResult R1 = E1.explore(*Spec);
+
+  ExplorerOptions Scratch;
+  Scratch.EnableIncrementalSolver = false;
+  ConcolicExplorer E2(cleanVMConfig(), Scratch);
+  ExplorationResult R2 = E2.explore(*Spec);
+
+  expectExplorationsIdentical(R1, R2);
+  EXPECT_EQ(R1.Solver.NodesExplored, R2.Solver.NodesExplored);
+  // The A/B is not vacuous: the stack actually served the negations.
+  EXPECT_GT(R1.Solver.PrefixReuseSolves, 0u);
+  EXPECT_EQ(R2.Solver.PrefixReuseSolves, 0u);
+  EXPECT_LT(R1.Solver.FullSolves, R2.Solver.FullSolves);
+  EXPECT_EQ(R1.Solver.FullSolves + R1.Solver.PrefixReuseSolves,
+            R2.Solver.FullSolves + R2.Solver.PrefixReuseSolves);
+}
+
+TEST(SolverCacheTest, MemoLayersPreserveFaultedCampaignRecords) {
+  // Campaign-level byte-identity: every memo layer on vs every layer
+  // off, with all four harness faults armed. Containment, quarantine,
+  // retry and verdict filing must not be able to observe the caches.
+  CampaignOptions Base;
+  Base.Harness.VM = cleanVMConfig();
+  Base.Harness.Cogit = cleanCogitOptions();
+  Base.Harness.SeedSimulationErrors = false;
+  // Timings vary run to run; everything else in a record must not.
+  Base.RecordTimings = false;
+  Base.OnlyInstructions = {"bytecodePrim_add", "bytecodePrim_sub",
+                           "bytecodePrim_mul", "primitiveAdd",
+                           "primitiveFloatAdd"};
+  Base.Faults.Faults = {
+      {HarnessFaultKind::SolverHang, "bytecodePrim_add", false},
+      {HarnessFaultKind::FrontEndThrow, "bytecodePrim_sub", false},
+      {HarnessFaultKind::HeapCorruption, "bytecodePrim_mul", false},
+      {HarnessFaultKind::SimFuelExhaustion, "primitiveAdd", false},
+  };
+
+  CampaignOptions AllOn = Base;
+  AllOn.Harness.Explorer.EnableSolverCache = true;
+  AllOn.Harness.Explorer.EnableModelCache = true;
+  AllOn.Harness.Explorer.EnableIncrementalSolver = true;
+  AllOn.Harness.EnableCodeCache = true;
+  CampaignSummary On = CampaignRunner(AllOn).run();
+
+  CampaignOptions AllOff = Base;
+  AllOff.Harness.Explorer.EnableSolverCache = false;
+  AllOff.Harness.Explorer.EnableModelCache = false;
+  AllOff.Harness.Explorer.EnableIncrementalSolver = false;
+  AllOff.Harness.EnableCodeCache = false;
+  CampaignSummary Off = CampaignRunner(AllOff).run();
+
+  // Checkpoint rows serialise everything deterministic about a record
+  // (the reuse counters are deliberately not checkpointed), so string
+  // equality is the byte-identity claim.
+  ASSERT_EQ(On.Records.size(), Off.Records.size());
+  for (std::size_t I = 0; I < On.Records.size(); ++I)
+    EXPECT_EQ(On.Records[I].toJson(), Off.Records[I].toJson());
+  ASSERT_EQ(On.Rows.size(), Off.Rows.size());
+  for (std::size_t I = 0; I < On.Rows.size(); ++I) {
+    EXPECT_EQ(On.Rows[I].DifferingPaths, Off.Rows[I].DifferingPaths);
+    EXPECT_EQ(On.Rows[I].Causes, Off.Rows[I].Causes);
+  }
+  EXPECT_EQ(On.Quarantined, Off.Quarantined);
+  EXPECT_EQ(On.exitCode(), Off.exitCode());
+
+  // The A/B is not vacuous: the on-configuration actually reused work.
+  EXPECT_GT(On.Jit.CodeCacheHits, 0u);
+  EXPECT_EQ(Off.Jit.CodeCacheHits, 0u);
+  EXPECT_LT(On.Jit.Compiles, Off.Jit.Compiles);
 }
 
 TEST(SolverCacheTest, SharedIndexHitsAreNonzeroOnAMultiPathInstruction) {

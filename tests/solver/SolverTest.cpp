@@ -303,6 +303,88 @@ TEST_F(SolverTest, StatsAreTracked) {
   EXPECT_GE(Solver.stats().SatCount, 1u);
 }
 
+/// Bit-equality of two satisfying assignments (same arena, so keys are
+/// comparable pointers).
+void expectModelsEqual(const Model &A, const Model &B) {
+  ASSERT_EQ(A.Objects.size(), B.Objects.size());
+  for (const auto &[Var, Assign] : A.Objects) {
+    auto It = B.Objects.find(Var);
+    ASSERT_NE(It, B.Objects.end());
+    EXPECT_EQ(Assign.ClassIndex, It->second.ClassIndex);
+    EXPECT_EQ(Assign.IntValue, It->second.IntValue);
+    EXPECT_EQ(Assign.FloatValue, It->second.FloatValue);
+    EXPECT_EQ(Assign.SlotCount, It->second.SlotCount);
+  }
+  EXPECT_EQ(A.Reps, B.Reps);
+  EXPECT_EQ(A.IntLeaves, B.IntLeaves);
+  EXPECT_EQ(A.FloatLeaves, B.FloatLeaves);
+}
+
+TEST_F(SolverTest, CaseRngIsSeededByCaseContentNotQueryShape) {
+  // A constraint whose satisfying value can only come from the random
+  // samples: every deterministic candidate (interval bounds, 0/1/2/-1,
+  // midpoint) of [8, 10^6] is even, but the query wants an odd value.
+  const ObjTerm *S0 = stackVar(0);
+  const IntTerm *V = B.valueOf(S0);
+  const BoolTerm *Odd =
+      B.icmp(CmpPred::Eq, B.binInt(IntTerm::Kind::ModFloor, V, B.intConst(2)),
+             B.intConst(1));
+  std::vector<const BoolTerm *> Direct = {
+      B.isClass(S0, SmallIntegerClass),
+      B.icmp(CmpPred::Lt, B.intConst(7), V),
+      B.icmp(CmpPred::Lt, V, B.intConst(1000001)),
+      Odd,
+  };
+  SolveResult R1 = Solver.solve(Direct);
+  ASSERT_EQ(R1.Status, SolveStatus::Sat);
+  std::int64_t Picked = R1.M.objectOrDefault(S0).IntValue;
+  EXPECT_EQ(Picked % 2, 1);
+  EXPECT_GT(Picked, 7);
+
+  // The same case posed by a *different query*: the last conjunct is a
+  // disjunction whose first case expands to exactly the literals above.
+  // The case RNG is seeded from the case's own literal hashes — not
+  // from the query signature — so the sample sequence, and therefore
+  // the returned model, is bit-identical. (The historical per-query
+  // seeding made these two queries sample different values.)
+  std::vector<const BoolTerm *> ViaDisjunction = Direct;
+  ViaDisjunction[3] =
+      B.orB(Odd, B.icmp(CmpPred::Lt, B.intConst(1), B.intConst(0)));
+  SolveResult R2 = Solver.solve(ViaDisjunction);
+  ASSERT_EQ(R2.Status, SolveStatus::Sat);
+  expectModelsEqual(R1.M, R2.M);
+}
+
+TEST_F(SolverTest, SolveStackMatchesSolveBitForBit) {
+  const ObjTerm *S0 = stackVar(0);
+  const IntTerm *V = B.valueOf(S0);
+  std::vector<const BoolTerm *> C = {
+      B.isClass(S0, SmallIntegerClass),
+      B.icmp(CmpPred::Lt, B.intConst(7), V),
+      B.icmp(CmpPred::Eq, B.binInt(IntTerm::Kind::ModFloor, V, B.intConst(2)),
+             B.intConst(1)),
+  };
+  SolveResult Flat = Solver.solve(C);
+  ASSERT_EQ(Flat.Status, SolveStatus::Sat);
+
+  // Incrementally: push the prefix, solve, then check push/pop leaves
+  // the stack reusable for a sibling query without disturbing results.
+  for (const BoolTerm *Conjunct : C)
+    Solver.pushAssertion(Conjunct);
+  SolveResult Stacked = Solver.solveStack();
+  ASSERT_EQ(Stacked.Status, SolveStatus::Sat);
+  expectModelsEqual(Flat.M, Stacked.M);
+
+  Solver.popAssertion();
+  Solver.pushAssertion(B.notB(C[2]));
+  SolveResult Sibling = Solver.solveStack();
+  ASSERT_EQ(Sibling.Status, SolveStatus::Sat);
+  std::vector<const BoolTerm *> SiblingFlat = {C[0], C[1], B.notB(C[2])};
+  expectModelsEqual(Solver.solve(SiblingFlat).M, Sibling.M);
+  Solver.clearAssertions();
+  EXPECT_TRUE(Solver.assertions().empty());
+}
+
 TEST_F(SolverTest, SlotCountHonoursFixedClasses) {
   const ObjTerm *Rcvr = B.objVar(VarRole::Receiver, 0);
   std::vector<const BoolTerm *> C = {
