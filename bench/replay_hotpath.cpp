@@ -1,0 +1,240 @@
+//===- bench/replay_hotpath.cpp - Replay-engine hot path ----------------------===//
+//
+// Measures the hot path the pre-decoded threaded dispatch and the
+// pooled replay arenas optimise: a serial full-catalog campaign run
+// twice — once with both layers on (the defaults), once with both
+// forced off — reporting replay wall time, simulated paths per second,
+// and the speedup between the two. Verdict-level output must be
+// byte-identical across the runs ("records_identical"); the layers are
+// accelerators, never oracles. Emits BENCH_replay.json; CI uploads it
+// next to BENCH_explore.json.
+//
+// Usage: replay_hotpath [--max-bytecodes N] [--max-native-methods N]
+//                       [--smoke] [--out PATH] [--baseline PATH]
+//                       [--min-speedup X]
+//
+// --baseline points at a JSON file recording "sim_runs" and
+// "predecode_builds" from a blessed run; the bench fails (exit 2) when
+// the current counts drift more than 5% — serial campaigns are
+// deterministic, so these are exact counts, not timings. Speedup is a
+// timing and therefore machine-dependent: it is only enforced when
+// --min-speedup is set above its default of 0 (the blessed baseline is
+// generated with --min-speedup 3).
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Session.h"
+
+#include "faults/DefectCatalog.h"
+#include "support/Flags.h"
+#include "support/Json.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+using namespace igdt;
+
+namespace {
+
+std::optional<JsonValue> readJsonFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return JsonValue::parse(Buf.str());
+}
+
+/// Replay wall time: the differential-test stage only, summed over
+/// every record and compiler (exploration is untouched by the replay
+/// layers and would dilute the comparison).
+double replayMillis(const CampaignSummary &Summary) {
+  double Millis = 0;
+  for (const InstructionRecord &R : Summary.Records)
+    for (const CompilerOutcome &C : R.Compilers)
+      Millis += C.TestMillis;
+  return Millis;
+}
+
+/// The byte-identity claim, modulo wall clocks: records with every
+/// timing field zeroed must serialise identically whether the replay
+/// layers ran or not.
+bool recordsIdentical(const CampaignSummary &A, const CampaignSummary &B) {
+  if (A.Records.size() != B.Records.size())
+    return false;
+  auto Stripped = [](const InstructionRecord &R) {
+    InstructionRecord Copy = R;
+    Copy.ExploreMillis = 0;
+    for (CompilerOutcome &C : Copy.Compilers)
+      C.TestMillis = 0;
+    return Copy.toJson();
+  };
+  for (std::size_t I = 0; I < A.Records.size(); ++I)
+    if (Stripped(A.Records[I]) != Stripped(B.Records[I]))
+      return false;
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  std::string OutPath = "BENCH_replay.json";
+  std::string BaselinePath;
+  double MinSpeedup = 0;
+
+  SessionConfig Cfg;
+  FlagParser Flags("replay_hotpath",
+                   "Replay throughput with the threaded-dispatch and "
+                   "arena layers on vs off.");
+  addSessionFlags(Flags, Cfg);
+  Flags.add("smoke", &Smoke, "small catalog slice");
+  Flags.add("out", &OutPath, "JSON report path");
+  Flags.add("baseline", &BaselinePath,
+            "blessed sim_runs/predecode_builds JSON; fail on >5% drift");
+  Flags.add("min-speedup", &MinSpeedup,
+            "fail when on/off speedup falls below this (0 = report only)");
+  if (!Flags.parse(Argc, Argv))
+    return Flags.helpRequested() ? 0 : 2;
+
+  Cfg.harness().VM = cleanVMConfig();
+  Cfg.harness().Cogit = cleanCogitOptions();
+  Cfg.harness().SeedSimulationErrors = false;
+  // Serial and timed: every counter below is deterministic, so the
+  // JSON diffs cleanly between runs and the baseline guard is exact.
+  Cfg.Campaign.Jobs = 1;
+  Cfg.Campaign.RecordTimings = true;
+  if (Smoke) {
+    if (!Cfg.harness().MaxBytecodes)
+      Cfg.harness().MaxBytecodes = 12;
+    if (!Cfg.harness().MaxNativeMethods)
+      Cfg.harness().MaxNativeMethods = 6;
+  }
+
+  SessionConfig OnCfg = Cfg;
+  OnCfg.sim().EnablePredecode = true;
+  OnCfg.harness().EnableReplayArena = true;
+  CampaignSummary On = Session(OnCfg).runCampaign();
+
+  SessionConfig OffCfg = Cfg;
+  OffCfg.sim().EnablePredecode = false;
+  OffCfg.harness().EnableReplayArena = false;
+  CampaignSummary Off = Session(OffCfg).runCampaign();
+
+  std::uint64_t Paths = 0;
+  for (const InstructionRecord &R : On.Records)
+    Paths += R.Paths;
+  double OnMillis = replayMillis(On);
+  double OffMillis = replayMillis(Off);
+  // One sim run = one path replayed against one compiler/back-end: the
+  // unit of work both configurations perform in identical number.
+  std::uint64_t SimRuns = On.Sim.Runs;
+  double OnPathsPerSec = OnMillis > 0 ? SimRuns / (OnMillis / 1000.0) : 0;
+  double OffPathsPerSec = OffMillis > 0 ? SimRuns / (OffMillis / 1000.0) : 0;
+  double Speedup = OnMillis > 0 ? OffMillis / OnMillis : 0;
+
+  std::uint64_t PredecodeRequests =
+      On.Sim.PredecodeBuilds + On.Sim.PredecodeHits;
+  double PredecodeHitRate =
+      PredecodeRequests ? double(On.Sim.PredecodeHits) /
+                              double(PredecodeRequests)
+                        : 0;
+  bool Identical = recordsIdentical(On, Off) && On.Sim.Runs == Off.Sim.Runs;
+
+  JsonValue V = JsonValue::object();
+  V.set("smoke", JsonValue::boolean(Smoke))
+      .set("instructions", JsonValue::number(double(On.CompletedInstructions)))
+      .set("paths", JsonValue::number(double(Paths)))
+      .set("sim_runs", JsonValue::number(double(SimRuns)))
+      .set("replay_millis_layers_on", JsonValue::number(OnMillis))
+      .set("replay_millis_layers_off", JsonValue::number(OffMillis))
+      .set("paths_per_sec_layers_on", JsonValue::number(OnPathsPerSec))
+      .set("paths_per_sec_layers_off", JsonValue::number(OffPathsPerSec))
+      .set("speedup", JsonValue::number(Speedup))
+      .set("heap_resets", JsonValue::number(double(On.Replay.HeapResets)))
+      .set("heap_bytes_reset",
+           JsonValue::number(double(On.Replay.HeapBytesReset)))
+      .set("heap_fresh_builds",
+           JsonValue::number(double(Off.Replay.HeapFreshBuilds)))
+      .set("heap_bytes_rebuilt",
+           JsonValue::number(double(Off.Replay.HeapBytesRebuilt)))
+      .set("undo_stores",
+           JsonValue::number(double(On.Replay.UndoStoresReplayed)))
+      .set("stack_bytes_reset",
+           JsonValue::number(double(On.Replay.StackBytesReset)))
+      .set("predecode_builds",
+           JsonValue::number(double(On.Sim.PredecodeBuilds)))
+      .set("predecode_hits", JsonValue::number(double(On.Sim.PredecodeHits)))
+      .set("predecode_hit_rate", JsonValue::number(PredecodeHitRate))
+      .set("records_identical", JsonValue::boolean(Identical));
+
+  std::string Report = V.dump();
+  if (!OutPath.empty()) {
+    std::ofstream Out(OutPath);
+    Out << Report << '\n';
+  }
+  std::printf("%s\n", Report.c_str());
+  std::printf("replay_hotpath: %llu sim runs over %llu paths; layers on "
+              "%.0f ms (%.0f paths/s) vs off %.0f ms (%.0f paths/s) = "
+              "%.2fx; predecode hit rate %.1f%%; records %s\n",
+              (unsigned long long)SimRuns, (unsigned long long)Paths,
+              OnMillis, OnPathsPerSec, OffMillis, OffPathsPerSec, Speedup,
+              PredecodeHitRate * 100,
+              Identical ? "identical" : "DIFFER");
+
+  int Exit = On.exitCode();
+
+  // The layers must be invisible in every verdict-level byte. This is
+  // the bench's hard gate: a speedup that changes answers is a bug, not
+  // a win.
+  if (!Identical) {
+    std::printf("FAIL: campaign records differ between layers on and off\n");
+    return 2;
+  }
+
+  // The work-count regression guard: serial sim runs and predecode
+  // builds are exact, deterministic counts. Drift means lost replay
+  // coverage or a broken predecode cache (or an intentional catalog
+  // change — refresh the baseline in the same commit).
+  if (!BaselinePath.empty()) {
+    std::optional<JsonValue> Baseline = readJsonFile(BaselinePath);
+    if (!Baseline) {
+      std::printf("FAIL: cannot read baseline %s\n", BaselinePath.c_str());
+      return 2;
+    }
+    double BlessedRuns = Baseline->numberOr("sim_runs", -1);
+    if (BlessedRuns < 0) {
+      std::printf("FAIL: baseline %s lacks \"sim_runs\"\n",
+                  BaselinePath.c_str());
+      return 2;
+    }
+    if (double(SimRuns) > BlessedRuns * 1.05 ||
+        double(SimRuns) < BlessedRuns * 0.95) {
+      std::printf("FAIL: %llu sim runs drifts more than 5%% from baseline "
+                  "%.0f\n",
+                  (unsigned long long)SimRuns, BlessedRuns);
+      return 2;
+    }
+    double BlessedBuilds = Baseline->numberOr("predecode_builds", -1);
+    if (BlessedBuilds >= 0 &&
+        double(On.Sim.PredecodeBuilds) > BlessedBuilds * 1.05) {
+      std::printf("FAIL: %llu predecode builds exceeds baseline %.0f by "
+                  "more than 5%% (cache sharing regressed)\n",
+                  (unsigned long long)On.Sim.PredecodeBuilds, BlessedBuilds);
+      return 2;
+    }
+    std::printf("baseline check: %llu sim runs within 5%% of %.0f, %llu "
+                "predecode builds <= %.0f +5%%\n",
+                (unsigned long long)SimRuns, BlessedRuns,
+                (unsigned long long)On.Sim.PredecodeBuilds, BlessedBuilds);
+  }
+
+  if (MinSpeedup > 0 && Speedup < MinSpeedup) {
+    std::printf("FAIL: speedup %.2fx below required %.2fx\n", Speedup,
+                MinSpeedup);
+    return 2;
+  }
+
+  return Exit;
+}

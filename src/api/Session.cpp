@@ -104,12 +104,22 @@ PathTestOutcome Session::testPath(const ExplorationResult &Exploration,
   DCfg.JitStats = &JitStats;
   if (Cfg.Campaign.Harness.EnableCodeCache)
     DCfg.CodeCache = &CodeCache;
+  // Per-call engine/arena counters fold straight into the session
+  // metrics (no running totals to subtract, unlike the jit cache).
+  SimStats SimCounters;
+  ReplayStats ReplayCounters;
+  DCfg.SimCounters = &SimCounters;
+  DCfg.Replay = &ReplayCounters;
+  if (Cfg.Campaign.Harness.EnableReplayArena)
+    DCfg.Arena = &Arena;
   DifferentialTester Tester(DCfg);
   PathTestOutcome Out = Tester.testPath(Exploration, PathIdx);
   JitCacheStats Delta;
   Delta.Compiles = JitStats.Compiles - Before.Compiles;
   Delta.CodeCacheHits = JitStats.CodeCacheHits - Before.CodeCacheHits;
   foldJitStats(Metrics, Delta);
+  foldSimStats(Metrics, SimCounters);
+  foldReplayStats(Metrics, ReplayCounters);
   publish(Buffer.take());
   return Out;
 }

@@ -134,6 +134,10 @@ private:
   /// Compile counters accumulated across testPath calls; folded into
   /// the session metrics as "jit.*" after each call.
   JitCacheStats JitStats;
+  /// Session-lifetime replay arena for testPath calls, reused across
+  /// explorations like the code cache. runCampaign uses the runner's
+  /// own worker-local arenas instead.
+  ReplayArena Arena;
 };
 
 } // namespace igdt

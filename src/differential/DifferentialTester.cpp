@@ -5,11 +5,14 @@
 #include "differential/OutputEvaluator.h"
 #include "jit/BytecodeCogit.h"
 #include "jit/NativeMethodCogit.h"
+#include "jit/PredecodedCode.h"
 #include "observe/TraceBus.h"
 #include "support/Compiler.h"
 #include "support/StringUtils.h"
 #include "symbolic/FrameMaterializer.h"
 #include "vm/Bytecodes.h"
+
+#include <optional>
 
 using namespace igdt;
 
@@ -126,9 +129,14 @@ DefectFamily classifyDifference(ExitKind InterpExit, const MachineExit &ME,
 /// Reads the final operand stack through the compiler-reported layout.
 std::vector<Oop> readFinalStack(const CompiledCode &Code, MachineSim &Sim) {
   std::vector<Oop> Out;
-  auto Memory = Sim.operandStack();
-  if (Code.DynamicStack)
-    return Memory; // control flow flushed everything to memory
+  OperandStackView Memory = Sim.operandStackView();
+  if (Code.DynamicStack) {
+    // Control flow flushed everything to memory.
+    Out.reserve(Memory.size());
+    for (std::size_t I = 0; I < Memory.size(); ++I)
+      Out.push_back(Memory[I]);
+    return Out;
+  }
   std::size_t NextMem = 0;
   for (const ValueLoc &L : Code.FinalStack) {
     switch (L.K) {
@@ -223,7 +231,22 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
   }
 
   // Step 1: re-create the concrete input frame from the constraints.
-  ObjectMemory Mem(1024 * 1024);
+  // Pooled mode reuses the arena's heap, rolled back to pristine;
+  // otherwise a throwaway heap is built — and zero-filled — for this
+  // path alone.
+  std::optional<ObjectMemory> FreshMem;
+  ObjectMemory *MemPtr;
+  if (Cfg.Arena) {
+    MemPtr = &Cfg.Arena->acquireHeap(Cfg.Replay);
+  } else {
+    FreshMem.emplace(ReplayArena::HeapBytes);
+    if (Cfg.Replay) {
+      ++Cfg.Replay->HeapFreshBuilds;
+      Cfg.Replay->HeapBytesRebuilt += ReplayArena::HeapBytes;
+    }
+    MemPtr = &*FreshMem;
+  }
+  ObjectMemory &Mem = *MemPtr;
   FrameMaterializer Materializer(Mem, *R.Builder);
   MaterializedFrame MF = Materializer.materialize(P.InputModel, *R.Method);
 
@@ -284,6 +307,10 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
         ++Cfg.JitStats->Compiles;
       NativeMethodCogit Cogit(Mem, desc(), Cfg.Cogit);
       Code = Cogit.compile(Spec.PrimitiveIndex);
+      // Predecode before storing so cache-served copies share the
+      // ready-built form (build-once per compilation unit).
+      if (Cfg.Sim.EnablePredecode)
+        (void)predecodedFor(Code, Cfg.Sim.Stats);
       if (CodeCache)
         CodeCache->store(Key, Code);
     }
@@ -315,6 +342,8 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
         return Skip(PathTestStatus::NotReplayable,
                     "instruction underflows the replayed operand stack");
       Code = *Compiled;
+      if (Cfg.Sim.EnablePredecode)
+        (void)predecodedFor(Code, Cfg.Sim.Stats);
       if (CodeCache)
         CodeCache->store(Key, Code);
     }
@@ -415,7 +444,12 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
   }
 
   // Step 3: execute the compiled code on the concrete frame.
+  std::uint64_t StackResetBefore =
+      Cfg.Arena ? Cfg.Arena->stackPool().bytesReset() : 0;
   MachineSim Sim(Mem, Cfg.Sim);
+  if (Cfg.Arena && Cfg.Replay)
+    Cfg.Replay->StackBytesReset +=
+        Cfg.Arena->stackPool().bytesReset() - StackResetBefore;
   std::size_t Watermark = Sim.heapWatermark();
   if (Spec.Kind == InstructionKind::NativeMethod) {
     Sim.setReg(abi::ResultReg, MF.Concrete.stackValue(PrimNumArgs));
@@ -432,7 +466,7 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
     // the inputs itself (paper Listing 3).
   }
 
-  MachineExit ME = Sim.run(Code.Code);
+  MachineExit ME = Sim.run(Code);
   Out.MachineExit = ME.Kind;
 
   if (ME.Kind == MachExitKind::FuelExhausted &&
@@ -442,7 +476,7 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
     throw HarnessFault("simulate",
                        "simulator fuel exhausted while replaying '" +
                            Spec.Name + "'" +
-                           (ME.Note.empty() ? "" : ": " + ME.Note));
+                           (ME.Note.empty() ? "" : ": " + ME.Note.str()));
 
   auto Difference = [&](std::string Details) {
     Out.Status = PathTestStatus::Difference;
@@ -451,7 +485,7 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
                                 Spec.Name.c_str());
     Out.Details = std::move(Details);
     if (!ME.Note.empty())
-      Out.Details += " [" + ME.Note + "]";
+      Out.Details += " [" + ME.Note.str() + "]";
     return Out;
   };
   auto ExitName = [](const MachineExit &E) {
@@ -518,7 +552,7 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
       return Difference(formatString(
           "send mismatch: interpreter #%u/%u, compiled #%u/%u", P.Selector,
           P.SendNumArgs, ME.Selector, ME.NumArgs));
-    auto MemStack = Sim.operandStack();
+    OperandStackView MemStack = Sim.operandStackView();
     if (MemStack.size() < ExpectedSendOperands.size())
       return Difference("trampoline operands missing from the stack");
     std::size_t Base = MemStack.size() - ExpectedSendOperands.size();

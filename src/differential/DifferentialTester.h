@@ -28,6 +28,7 @@
 
 #include "concolic/ConcolicExplorer.h"
 #include "differential/DefectFamily.h"
+#include "differential/ReplayArena.h"
 #include "jit/CodeCache.h"
 #include "jit/CogitOptions.h"
 #include "jit/MachineSim.h"
@@ -69,6 +70,20 @@ struct DiffTestConfig {
   /// on cache-served replays, so "issued vs avoided" reads directly off
   /// one struct.
   JitCacheStats *JitStats = nullptr;
+  /// Pooled replay state (non-owning, may be null). When set, the path's
+  /// heap and simulator stack come from the arena instead of being
+  /// built fresh; the arena's reset contract keeps outcomes
+  /// byte-identical either way. Not thread-safe; owners keep it
+  /// worker-local like the code cache.
+  ReplayArena *Arena = nullptr;
+  /// Arena/reset counters (non-owning, may be null). Fresh-heap builds
+  /// are charged here too when no arena is wired, so an on/off A-B run
+  /// reads "reset vs rebuilt" off one struct.
+  ReplayStats *Replay = nullptr;
+  /// Dispatch-engine counters (non-owning, may be null); the
+  /// constructor propagates them into Sim.Stats the way Trace is
+  /// propagated into the nested options.
+  SimStats *SimCounters = nullptr;
 };
 
 /// Per-path verdict.
@@ -102,6 +117,10 @@ public:
       Cfg.Cogit.Trace = Cfg.Trace;
       Cfg.Sim.Trace = Cfg.Trace;
     }
+    if (Cfg.SimCounters)
+      Cfg.Sim.Stats = Cfg.SimCounters;
+    if (Cfg.Arena)
+      Cfg.Sim.StackPool = &Cfg.Arena->stackPool();
   }
 
   /// Tests path \p PathIdx of \p Exploration.

@@ -234,8 +234,8 @@ void CampaignRunner::appendLine(const std::string &Path,
 InstructionRecord
 CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
                                    unsigned Attempt, Budget &ExploreBud,
-                                   Budget &ReplayBud,
-                                   TraceSink *Trace) const {
+                                   Budget &ReplayBud, TraceSink *Trace,
+                                   ReplayArena &Arena) const {
   InstructionRecord Rec;
   Rec.Instruction = Spec.Name;
   Rec.Kind = Spec.Kind;
@@ -284,8 +284,12 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
         Cfg.Sim.MissingFPAccessors.insert(std::uint8_t(FReg::F5));
       Cfg.ReplayBudget = &ReplayBud;
       Cfg.JitStats = &Rec.Jit;
+      Cfg.SimCounters = &Rec.Sim;
+      Cfg.Replay = &Rec.Replay;
       if (Opts.Harness.EnableCodeCache)
         Cfg.CodeCache = &CodeCache;
+      if (Opts.Harness.EnableReplayArena)
+        Cfg.Arena = &Arena;
       if (Opts.Faults.armedFor(HarnessFaultKind::FrontEndThrow, Spec.Name,
                                Attempt))
         Cfg.Cogit.InjectFrontEndThrow = true;
@@ -326,8 +330,8 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
 }
 
 InstructionRecord CampaignRunner::testInstruction(
-    const InstructionSpec &Spec,
-    std::vector<CampaignIncident> &Incidents, TraceSink *Trace) const {
+    const InstructionSpec &Spec, std::vector<CampaignIncident> &Incidents,
+    TraceSink *Trace, ReplayArena &Arena) const {
   unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
   std::vector<CampaignIncident> Local;
   InstructionRecord Rec;
@@ -335,7 +339,9 @@ InstructionRecord CampaignRunner::testInstruction(
 
   for (unsigned Attempt = 1; Attempt <= MaxAttempts && !Succeeded; ++Attempt) {
     // Fresh budgets AND a fresh exploration heap per attempt: a fault
-    // must not leak state into the retry.
+    // must not leak state into the retry. The replay arena is reused,
+    // but its reset contract makes the next acquire observably fresh
+    // (poison included), so the guarantee carries over.
     Budget ExploreBud(Opts.ExploreBudget);
     Budget ReplayBud(Opts.ReplayBudget);
     // Events of a failed attempt stay in the buffer: fault injection is
@@ -344,7 +350,7 @@ InstructionRecord CampaignRunner::testInstruction(
     TraceScope Scope(Trace, Spec.Name, Attempt, Opts.RecordTimings);
     try {
       Rec = attemptInstruction(Spec, Attempt, ExploreBud, ReplayBud,
-                               Trace ? &Scope : nullptr);
+                               Trace ? &Scope : nullptr, Arena);
       Succeeded = true;
     } catch (const HarnessFault &F) {
       CampaignIncident I;
@@ -479,7 +485,7 @@ CampaignSummary CampaignRunner::run() {
   std::mutex SlotMutex;
   std::condition_variable SlotReady;
 
-  auto RunOne = [&](std::size_t I) {
+  auto RunOne = [&](std::size_t I, ReplayArena &Arena) {
     Slot S;
     if (Cancelled.load(std::memory_order_relaxed) || WallExpired()) {
       S.Skipped = true;
@@ -488,7 +494,7 @@ CampaignSummary CampaignRunner::run() {
       // merge loop drains the slot in catalog order.
       TraceBuffer Buffer;
       S.Rec = testInstruction(*Work[I].Spec, S.Incidents,
-                              Observing ? &Buffer : nullptr);
+                              Observing ? &Buffer : nullptr, Arena);
       S.Events = Buffer.take();
     }
     {
@@ -515,9 +521,12 @@ CampaignSummary CampaignRunner::run() {
     Pool.reserve(Workers);
     for (std::size_t W = 0; W < Workers; ++W)
       Pool.emplace_back([&] {
+        // One replay arena per worker thread, like the per-attempt code
+        // cache: strictly worker-local mutable state.
+        ReplayArena Arena;
         for (std::size_t I = NextUnresumed(); I < Work.size();
              I = NextUnresumed())
-          RunOne(I);
+          RunOne(I, Arena);
       });
   }
 
@@ -533,6 +542,16 @@ CampaignSummary CampaignRunner::run() {
   }
   MetricsSink EventMetrics(Summary.Metrics);
   auto Publish = [&](TraceEvent Event) {
+    // SimRun diagnostics (Aux = dispatch engine, Extra = predecode
+    // cache hit) describe how the harness replayed, not what the code
+    // under test did, and they change with the predecode/arena toggles.
+    // Blank them here so campaign trace files and metrics stay
+    // byte-identical across configurations; Session-level traces keep
+    // the fields.
+    if (Event.Kind == TraceEventKind::SimRun) {
+      Event.Aux.clear();
+      Event.Extra = 0;
+    }
     if (Opts.ExtraTraceSink)
       Opts.ExtraTraceSink->emit(Event);
     if (Observing)
@@ -541,6 +560,9 @@ CampaignSummary CampaignRunner::run() {
       TraceWriter->emit(std::move(Event));
   };
 
+  // Serial path: the merge thread doubles as the single worker and
+  // keeps one arena for the whole campaign.
+  ReplayArena SerialArena;
   for (std::size_t I = 0; I < Work.size(); ++I) {
     if (const InstructionRecord *Resumed = Work[I].Resumed) {
       if (Resumed->Quarantined)
@@ -551,7 +573,7 @@ CampaignSummary CampaignRunner::run() {
     }
 
     if (Pool.empty()) {
-      RunOne(I);
+      RunOne(I, SerialArena);
     } else {
       std::unique_lock<std::mutex> Lock(SlotMutex);
       SlotReady.wait(Lock, [&] { return Slots[I].Ready; });
@@ -608,10 +630,14 @@ CampaignSummary CampaignRunner::run() {
   for (const InstructionRecord &Rec : Summary.Records) {
     Summary.Solver.add(Rec.Solver);
     Summary.Jit.add(Rec.Jit);
+    Summary.Sim.add(Rec.Sim);
+    Summary.Replay.add(Rec.Replay);
   }
   Summary.Rows = aggregateCampaignRows(Summary.Records);
   foldSolverStats(Summary.Metrics, Summary.Solver);
   foldJitStats(Summary.Metrics, Summary.Jit);
+  foldSimStats(Summary.Metrics, Summary.Sim);
+  foldReplayStats(Summary.Metrics, Summary.Replay);
   Summary.Metrics.add("campaign.instructions", Summary.CompletedInstructions);
   Summary.Metrics.add("campaign.resumed", Summary.ResumedInstructions);
   Summary.Metrics.add("campaign.quarantined", Summary.Quarantined.size());

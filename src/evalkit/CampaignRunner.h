@@ -161,6 +161,12 @@ struct InstructionRecord {
   /// checkpoints like the solver reuse counters: a resumed campaign
   /// skips the compiles a fresh one performs.
   JitCacheStats Jit;
+  /// Dispatch-engine and arena counters of the successful attempt.
+  /// Deterministic for a fixed configuration but config-dependent (they
+  /// say which replay engine ran, not what the code under test did), so
+  /// like JitCacheStats they never enter toJson()/checkpoints.
+  SimStats Sim;
+  ReplayStats Replay;
   std::vector<CompilerOutcome> Compilers;
 
   std::string toJson() const;
@@ -192,6 +198,10 @@ struct CampaignSummary {
   /// order; surfaces in Metrics as "jit.*" and in the profile's
   /// cache-effectiveness table.
   JitCacheStats Jit;
+  /// Replay-engine counters aggregated the same way; surface in Metrics
+  /// as "sim.*" and "replay.*".
+  SimStats Sim;
+  ReplayStats Replay;
   /// Merged campaign metrics: solver counters folded under "solver.*"
   /// (always, in catalog order — the deterministic per-shard/merged
   /// routing of SolverStats), trace-event counters under "events.*"
@@ -222,16 +232,20 @@ private:
   /// several worker threads at once. \p Trace (may be null) receives
   /// the attempt's events through a stamping TraceScope; workers pass a
   /// worker-local TraceBuffer the merge thread later drains in catalog
-  /// order.
+  /// order. \p Arena is the caller's worker-local replay arena; its
+  /// reset contract keeps faulted attempts from leaking state into the
+  /// retry, the same guarantee the historical fresh-heap-per-path
+  /// construction gave.
   InstructionRecord testInstruction(const InstructionSpec &Spec,
                                     std::vector<CampaignIncident> &Incidents,
-                                    TraceSink *Trace) const;
+                                    TraceSink *Trace,
+                                    ReplayArena &Arena) const;
 
   /// One attempt of the full pipeline; throws on harness faults.
   InstructionRecord attemptInstruction(const InstructionSpec &Spec,
                                        unsigned Attempt, Budget &ExploreBud,
-                                       Budget &ReplayBud,
-                                       TraceSink *Trace) const;
+                                       Budget &ReplayBud, TraceSink *Trace,
+                                       ReplayArena &Arena) const;
 
   void appendLine(const std::string &Path, const std::string &Line) const;
 

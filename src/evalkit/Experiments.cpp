@@ -75,14 +75,19 @@ CompilerEvaluation EvaluationHarness::evaluateCompiler(CompilerKind Kind) {
                                : InstructionKind::Bytecode;
 
   // One compile-once cache for both back-ends (keys carry the back-end,
-  // so the arms never serve each other).
+  // so the arms never serve each other), and one replay arena shared
+  // the same way — this call runs both arms serially, so worker-local
+  // means call-local here.
   JitCodeCache CodeCache;
   JitCacheStats JStats;
+  ReplayArena Arena;
   DiffTestConfig CfgX64 = diffConfig(Kind, /*Arm=*/false);
   DiffTestConfig CfgArm = diffConfig(Kind, /*Arm=*/true);
   CfgX64.JitStats = CfgArm.JitStats = &JStats;
   if (Opts.EnableCodeCache)
     CfgX64.CodeCache = CfgArm.CodeCache = &CodeCache;
+  if (Opts.EnableReplayArena)
+    CfgX64.Arena = CfgArm.Arena = &Arena;
   DifferentialTester X64(CfgX64);
   DifferentialTester Arm(CfgArm);
 

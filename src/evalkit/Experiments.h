@@ -74,6 +74,11 @@ struct HarnessOptions {
   /// cache key, and a hit replays the Compile trace event, so every
   /// output is byte-identical with the cache on or off.
   bool EnableCodeCache = true;
+  /// Reuse one pooled heap + simulator stack per worker instead of
+  /// building fresh ones per path (differential/ReplayArena.h). Like
+  /// the code cache this is purely an optimisation: the arena's reset
+  /// contract keeps every outcome byte-identical on or off.
+  bool EnableReplayArena = true;
   /// Limit instructions per kind (0 = all); used by quick tests.
   unsigned MaxBytecodes = 0;
   unsigned MaxNativeMethods = 0;

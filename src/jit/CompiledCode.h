@@ -19,9 +19,12 @@
 #include "jit/MachineCode.h"
 #include "vm/Oop.h"
 
+#include <memory>
 #include <vector>
 
 namespace igdt {
+
+struct PredecodedCode;
 
 /// Where one operand-stack entry lives when the fragment finishes.
 struct ValueLoc {
@@ -85,6 +88,13 @@ struct CompiledCode {
   /// Statistics for the evaluation harness.
   unsigned IRLength = 0;
   unsigned SpillCount = 0;
+  /// Threaded-dispatch form (jit/PredecodedCode.h), built lazily by
+  /// predecodedFor(). Shared across copies: the code cache stores one
+  /// entry per compilation unit and serves value copies per path, so
+  /// the pointer makes the predecode a build-once property of the unit
+  /// rather than of any copy. Mutable because building it observes the
+  /// code without changing it.
+  mutable std::shared_ptr<const PredecodedCode> Predecoded;
 };
 
 } // namespace igdt

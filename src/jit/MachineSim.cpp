@@ -2,15 +2,46 @@
 
 #include "jit/MachineSim.h"
 
+#include "jit/CompiledCode.h"
+#include "jit/PredecodedCode.h"
+#include "observe/MetricsRegistry.h"
 #include "observe/TraceBus.h"
 #include "support/Compiler.h"
 #include "support/IntMath.h"
-#include "support/StringUtils.h"
 
+#include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <cstdarg>
 #include <cstring>
 
 using namespace igdt;
+
+// The threaded dispatcher uses the labels-as-values GNU extension; on
+// other toolchains the predecoded engine degrades to the reference
+// switch loop (same semantics, per-instruction fuel).
+#if defined(__GNUC__) || defined(__clang__)
+#define IGDT_SIM_THREADED 1
+#else
+#define IGDT_SIM_THREADED 0
+#endif
+
+bool igdt::simThreadedDispatchSupported() { return IGDT_SIM_THREADED; }
+
+void ExitNote::format(const char *Fmt, ...) {
+  va_list Args;
+  va_start(Args, Fmt);
+  std::vsnprintf(Text, sizeof(Text), Fmt, Args);
+  va_end(Args);
+}
+
+void igdt::foldSimStats(MetricsRegistry &Registry, const SimStats &Stats) {
+  Registry.add("sim.runs", Stats.Runs);
+  Registry.add("sim.runs.predecoded", Stats.PredecodedRuns);
+  Registry.add("sim.runs.reference", Stats.ReferenceRuns);
+  Registry.add("sim.predecode.builds", Stats.PredecodeBuilds);
+  Registry.add("sim.predecode.hits", Stats.PredecodeHits);
+}
 
 const char *igdt::machExitKindName(MachExitKind Kind) {
   switch (Kind) {
@@ -33,46 +64,56 @@ const char *igdt::machExitKindName(MachExitKind Kind) {
 }
 
 MachineSim::MachineSim(ObjectMemory &Heap, SimOptions Options)
-    : Heap(Heap), Opts(std::move(Options)), StackMem(abi::StackBytes, 0),
-      Watermark(Heap.usedBytes()) {
+    : Heap(Heap), Opts(std::move(Options)), Watermark(Heap.usedBytes()) {
+  if (Opts.StackPool) {
+    Pool = Opts.StackPool;
+    Stack = Pool->acquire();
+    StackSize = Pool->size();
+  } else {
+    OwnedStack.assign(abi::StackBytes, 0);
+    Stack = OwnedStack.data();
+    StackSize = OwnedStack.size();
+  }
   setReg(MReg::SP, abi::StackBase + 8 * abi::NumSpillSlots + 16);
   setReg(MReg::FP, reg(MReg::SP));
 }
 
 std::optional<std::uint64_t> MachineSim::load64(std::uint64_t Address) const {
-  if (Address >= abi::StackBase &&
-      Address + 8 <= abi::StackBase + StackMem.size()) {
+  if (Address >= abi::StackBase && Address + 8 <= abi::StackBase + StackSize) {
     if ((Address & 7) != 0)
       return std::nullopt;
     std::uint64_t V;
-    std::memcpy(&V, &StackMem[Address - abi::StackBase], 8);
+    std::memcpy(&V, Stack + (Address - abi::StackBase), 8);
     return V;
   }
   return Heap.load64(Address);
 }
 
 bool MachineSim::store64(std::uint64_t Address, std::uint64_t Value) {
-  if (Address >= abi::StackBase &&
-      Address + 8 <= abi::StackBase + StackMem.size()) {
+  if (Address >= abi::StackBase && Address + 8 <= abi::StackBase + StackSize) {
     if ((Address & 7) != 0)
       return false;
-    std::memcpy(&StackMem[Address - abi::StackBase], &Value, 8);
+    std::size_t Off = static_cast<std::size_t>(Address - abi::StackBase);
+    std::memcpy(Stack + Off, &Value, 8);
+    if (Pool)
+      Pool->noteTouched(Off + 8);
     return true;
   }
   return Heap.store64(Address, Value);
 }
 
 std::optional<std::uint8_t> MachineSim::load8(std::uint64_t Address) const {
-  if (Address >= abi::StackBase &&
-      Address + 1 <= abi::StackBase + StackMem.size())
-    return StackMem[Address - abi::StackBase];
+  if (Address >= abi::StackBase && Address + 1 <= abi::StackBase + StackSize)
+    return Stack[Address - abi::StackBase];
   return Heap.load8(Address);
 }
 
 bool MachineSim::store8(std::uint64_t Address, std::uint8_t Value) {
-  if (Address >= abi::StackBase &&
-      Address + 1 <= abi::StackBase + StackMem.size()) {
-    StackMem[Address - abi::StackBase] = Value;
+  if (Address >= abi::StackBase && Address + 1 <= abi::StackBase + StackSize) {
+    std::size_t Off = static_cast<std::size_t>(Address - abi::StackBase);
+    Stack[Off] = Value;
+    if (Pool)
+      Pool->noteTouched(Off + 1);
     return true;
   }
   return Heap.store8(Address, Value);
@@ -118,11 +159,34 @@ void MachineSim::pushOperand(std::uint64_t Value) {
   setReg(MReg::SP, SP + 8);
 }
 
-std::vector<std::uint64_t> MachineSim::operandStack() const {
-  std::vector<std::uint64_t> Out;
+OperandStackView MachineSim::operandStackView() const {
+  OperandStackView V;
   std::uint64_t Base = FrameBase + abi::operandBaseOffset(FrameLocals);
-  for (std::uint64_t A = Base; A < reg(MReg::SP); A += 8)
-    Out.push_back(load64(A).value_or(0));
+  std::uint64_t SP = reg(MReg::SP);
+  if (SP <= Base)
+    return V;
+  std::uint64_t Count = (SP - Base + 7) / 8;
+  if (Base >= abi::StackBase && (Base & 7) == 0 &&
+      Base + Count * 8 <= abi::StackBase + StackSize) {
+    V.Borrowed = Stack + (Base - abi::StackBase);
+    V.Count = static_cast<std::size_t>(Count);
+    return V;
+  }
+  // SP or the frame base escaped the stack region (defective code):
+  // reproduce the legacy per-address bounds-checked copy exactly.
+  V.Owned.reserve(static_cast<std::size_t>(Count));
+  for (std::uint64_t A = Base; A < SP; A += 8)
+    V.Owned.push_back(load64(A).value_or(0));
+  V.Count = V.Owned.size();
+  return V;
+}
+
+std::vector<std::uint64_t> MachineSim::operandStack() const {
+  OperandStackView View = operandStackView();
+  std::vector<std::uint64_t> Out;
+  Out.reserve(View.size());
+  for (std::size_t I = 0; I < View.size(); ++I)
+    Out.push_back(View[I]);
   return Out;
 }
 
@@ -150,32 +214,34 @@ bool MachineSim::condHolds(MCond C) const {
   igdt_unreachable("unknown condition");
 }
 
-MachineExit MachineSim::fault(const MInstr &I, std::uint64_t Address) {
+MachineExit MachineSim::faultExit(bool IsFloat, unsigned GpReg,
+                                  unsigned FpReg, std::uint64_t Address) {
   // Fault recovery mirrors the paper's simulation runtime: the simulator
   // "disassembles the failing instruction and performs a read/write
   // operation using reflection to call the corresponding register
   // setter/getters" (§5.3). When an accessor is missing, the recovery
   // itself errors out — a Simulation Error, not a VM defect.
-  bool IsFloat = I.Op == MOp::FLoad;
   if (IsFloat) {
-    if (Opts.MissingFPAccessors.count(std::uint8_t(I.FA))) {
+    if (Opts.MissingFPAccessors.count(std::uint8_t(FpReg))) {
       MachineExit E;
       E.Kind = MachExitKind::SimulationError;
-      E.Note = formatString("missing simulation accessor for f%u",
-                            unsigned(I.FA));
+      E.Note.format("missing simulation accessor for f%u", FpReg);
       return E;
     }
-  } else if (Opts.MissingGPAccessors.count(std::uint8_t(I.A))) {
+  } else if (Opts.MissingGPAccessors.count(std::uint8_t(GpReg))) {
     MachineExit E;
     E.Kind = MachExitKind::SimulationError;
-    E.Note =
-        formatString("missing simulation accessor for r%u", unsigned(I.A));
+    E.Note.format("missing simulation accessor for r%u", GpReg);
     return E;
   }
   MachineExit E;
   E.Kind = MachExitKind::Segfault;
   E.FaultAddress = Address;
   return E;
+}
+
+MachineExit MachineSim::fault(const MInstr &I, std::uint64_t Address) {
+  return faultExit(I.Op == MOp::FLoad, unsigned(I.A), unsigned(I.FA), Address);
 }
 
 bool MachineSim::runtimeCall(RTFunc Func) {
@@ -241,28 +307,65 @@ bool MachineSim::runtimeCall(RTFunc Func) {
   return false;
 }
 
-MachineExit MachineSim::run(const std::vector<MInstr> &Code) {
-  FuelRemaining = Opts.Fuel;
-  MachineExit E = runLoop(Code);
+void MachineSim::finishRun(MachineExit &E, const char *Engine,
+                           std::uint64_t PredecodeHit) {
   // Stamp the fuel state onto every exit so callers can report it; a
   // FuelExhausted exit additionally explains itself.
   E.FuelLeft = FuelRemaining;
   if (E.Kind == MachExitKind::FuelExhausted && E.Note.empty())
-    E.Note = formatString("fuel exhausted after %llu instructions",
-                          (unsigned long long)Opts.Fuel);
+    E.Note.format("fuel exhausted after %llu instructions",
+                  (unsigned long long)Opts.Fuel);
   if (Opts.Trace) {
     TraceEvent T;
     T.Kind = TraceEventKind::SimRun;
     T.Detail = machExitKindName(E.Kind);
+    T.Aux = Engine;
     T.Value = Opts.Fuel - FuelRemaining;
+    T.Extra = PredecodeHit;
     Opts.Trace->emit(std::move(T));
   }
+}
+
+MachineExit MachineSim::run(const std::vector<MInstr> &Code) {
+  if (Opts.Stats) {
+    ++Opts.Stats->Runs;
+    ++Opts.Stats->ReferenceRuns;
+  }
+  FuelRemaining = Opts.Fuel;
+  MachineExit E = runLoop(Code, 0);
+  finishRun(E, "reference", 0);
   return E;
 }
 
-MachineExit MachineSim::runLoop(const std::vector<MInstr> &Code) {
-  std::size_t PC = 0;
+MachineExit MachineSim::run(const CompiledCode &Code) {
+  if (!Opts.EnablePredecode || !simThreadedDispatchSupported())
+    return run(Code.Code);
+  bool Hit = Code.Predecoded != nullptr;
+  const PredecodedCode &P = predecodedFor(Code, Opts.Stats);
+  if (Opts.Stats) {
+    ++Opts.Stats->Runs;
+    ++Opts.Stats->PredecodedRuns;
+  }
+  FuelRemaining = Opts.Fuel;
+  MachineExit E = runThreaded(P, Code.Code);
+  finishRun(E, "predecoded", Hit ? 1 : 0);
+  return E;
+}
 
+MachineExit MachineSim::runPredecoded(const PredecodedCode &P,
+                                      const std::vector<MInstr> &Reference) {
+  if (Opts.Stats) {
+    ++Opts.Stats->Runs;
+    ++Opts.Stats->PredecodedRuns;
+  }
+  FuelRemaining = Opts.Fuel;
+  MachineExit E = runThreaded(P, Reference);
+  finishRun(E, "predecoded", 0);
+  return E;
+}
+
+MachineExit MachineSim::runLoop(const std::vector<MInstr> &Code,
+                                std::size_t PC) {
   auto SetIntFlags = [&](std::int64_t Result, bool Overflowed) {
     Relation = Result < 0 ? Rel::Less : Result == 0 ? Rel::Equal : Rel::Greater;
     Overflow = Overflowed;
@@ -428,7 +531,7 @@ MachineExit MachineSim::runLoop(const std::vector<MInstr> &Code) {
       if (!runtimeCall(static_cast<RTFunc>(I.Aux))) {
         MachineExit E;
         E.Kind = MachExitKind::SimulationError;
-        E.Note = formatString("unknown runtime function %u", I.Aux);
+        E.Note.format("unknown runtime function %u", I.Aux);
         return E;
       }
       break;
@@ -544,4 +647,420 @@ MachineExit MachineSim::runLoop(const std::vector<MInstr> &Code) {
   E.Kind = MachExitKind::SimulationError;
   E.Note = "execution ran past the end of the generated code";
   return E;
+}
+
+MachineExit MachineSim::runThreaded(const PredecodedCode &P,
+                                    const std::vector<MInstr> &Reference) {
+#if !IGDT_SIM_THREADED
+  (void)P;
+  return runLoop(Reference, 0);
+#else
+  // Fuel contract (bit-equal to the reference loop's per-instruction
+  // accounting):
+  //  - At a block leader with FuelRemaining >= BlockLen, the whole
+  //    block is charged up front. Control only leaves a block at its
+  //    terminator (terminators are block-final by construction), so a
+  //    fully executed block consumes exactly BlockLen — what the
+  //    reference loop would have decremented one by one.
+  //  - At a leader with FuelRemaining < BlockLen, the remaining fuel
+  //    cannot reach the terminator; the tail is delegated to the
+  //    reference loop at the same PC, which burns the rest one
+  //    instruction at a time and produces the exhaustion (or earlier
+  //    fault) with identical state. Exhaustion exactly at a block
+  //    boundary lands here with FuelRemaining == 0 < BlockLen.
+  //  - A mid-block early exit (fault) refunds the unexecuted remainder
+  //    of the charge: Charged - (PC - BlockStart + 1).
+  const PInstr *const Ops = P.Instrs.data();
+  const std::size_t N = P.Instrs.size();
+  std::size_t PC = 0;
+  std::size_t BlockStart = 0;
+  std::uint32_t Charged = 0;
+  const PInstr *I = nullptr;
+
+  // Handler table indexed by PInstr::Handler (the MOp value space);
+  // order must match the MOp enum exactly.
+  static const void *const Table[] = {
+      &&H_MovRR,  &&H_MovRI,  &&H_Load,       &&H_Store,   &&H_Load8,
+      &&H_Store8, &&H_Add,    &&H_AddI,       &&H_Sub,     &&H_SubI,
+      &&H_Mul,    &&H_And,    &&H_AndI,       &&H_Or,      &&H_OrI,
+      &&H_Xor,    &&H_Shl,    &&H_ShlI,       &&H_Sar,     &&H_SarI,
+      &&H_Quo,    &&H_Rem,    &&H_Cmp,        &&H_CmpI,    &&H_Jmp,
+      &&H_Jcc,    &&H_CallRT, &&H_CallTramp,  &&H_Ret,     &&H_Brk,
+      &&H_FLoad,  &&H_FMovI,  &&H_FMovFF,     &&H_FAdd,    &&H_FSub,
+      &&H_FMul,   &&H_FDiv,   &&H_FSqrt,      &&H_FTruncF, &&H_FCvtIF,
+      &&H_FTrunc, &&H_FCmp,   &&H_FBitsToF,   &&H_FBitsFromF,
+      &&H_FBits32ToF, &&H_FBitsFromF32,
+  };
+  static_assert(sizeof(Table) / sizeof(Table[0]) ==
+                    std::size_t(MOp::FBitsFromF32) + 1,
+                "dispatch table must cover every MOp");
+
+  auto SetIntFlags = [&](std::int64_t Result, bool Overflowed) {
+    Relation = Result < 0 ? Rel::Less : Result == 0 ? Rel::Equal : Rel::Greater;
+    Overflow = Overflowed;
+  };
+  auto RefundUnexecuted = [&] {
+    FuelRemaining += Charged - std::uint32_t(PC - BlockStart + 1);
+  };
+
+#define IGDT_SIM_DISPATCH()                                                    \
+  do {                                                                         \
+    if (IGDT_UNLIKELY(PC >= N))                                                \
+      goto ran_off_end;                                                        \
+    I = &Ops[PC];                                                              \
+    if (std::uint32_t BL = I->BlockLen) {                                      \
+      if (IGDT_UNLIKELY(FuelRemaining < BL))                                   \
+        return runLoop(Reference, PC);                                         \
+      FuelRemaining -= BL;                                                     \
+      Charged = BL;                                                            \
+      BlockStart = PC;                                                         \
+    }                                                                          \
+    goto *Table[I->Handler];                                                   \
+  } while (0)
+
+#define IGDT_SIM_NEXT()                                                        \
+  do {                                                                         \
+    ++PC;                                                                      \
+    IGDT_SIM_DISPATCH();                                                       \
+  } while (0)
+
+  IGDT_SIM_DISPATCH();
+
+H_MovRR:
+  Regs[I->A] = Regs[I->B];
+  IGDT_SIM_NEXT();
+H_MovRI:
+  Regs[I->A] = static_cast<std::uint64_t>(I->Imm);
+  IGDT_SIM_NEXT();
+H_Load: {
+  std::uint64_t Address = Regs[I->B] + static_cast<std::uint64_t>(I->Imm);
+  auto V = load64(Address);
+  if (IGDT_UNLIKELY(!V)) {
+    RefundUnexecuted();
+    return faultExit(false, I->A, I->FA, Address);
+  }
+  Regs[I->A] = *V;
+  IGDT_SIM_NEXT();
+}
+H_Store: {
+  std::uint64_t Address = Regs[I->B] + static_cast<std::uint64_t>(I->Imm);
+  if (IGDT_UNLIKELY(!store64(Address, Regs[I->A]))) {
+    RefundUnexecuted();
+    return faultExit(false, I->A, I->FA, Address);
+  }
+  IGDT_SIM_NEXT();
+}
+H_Load8: {
+  std::uint64_t Address = Regs[I->B] + static_cast<std::uint64_t>(I->Imm);
+  auto V = load8(Address);
+  if (IGDT_UNLIKELY(!V)) {
+    RefundUnexecuted();
+    return faultExit(false, I->A, I->FA, Address);
+  }
+  Regs[I->A] = *V;
+  IGDT_SIM_NEXT();
+}
+H_Store8: {
+  std::uint64_t Address = Regs[I->B] + static_cast<std::uint64_t>(I->Imm);
+  if (IGDT_UNLIKELY(
+          !store8(Address, static_cast<std::uint8_t>(Regs[I->A])))) {
+    RefundUnexecuted();
+    return faultExit(false, I->A, I->FA, Address);
+  }
+  IGDT_SIM_NEXT();
+}
+H_Add: {
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  auto B = static_cast<std::int64_t>(Regs[I->B]);
+  std::int64_t R;
+  bool Ovf = __builtin_add_overflow(A, B, &R);
+  Regs[I->A] = static_cast<std::uint64_t>(R);
+  SetIntFlags(R, Ovf);
+  IGDT_SIM_NEXT();
+}
+H_AddI: {
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  std::int64_t R;
+  bool Ovf = __builtin_add_overflow(A, I->Imm, &R);
+  Regs[I->A] = static_cast<std::uint64_t>(R);
+  SetIntFlags(R, Ovf);
+  IGDT_SIM_NEXT();
+}
+H_Sub: {
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  auto B = static_cast<std::int64_t>(Regs[I->B]);
+  std::int64_t R;
+  bool Ovf = __builtin_sub_overflow(A, B, &R);
+  Regs[I->A] = static_cast<std::uint64_t>(R);
+  SetIntFlags(R, Ovf);
+  IGDT_SIM_NEXT();
+}
+H_SubI: {
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  std::int64_t R;
+  bool Ovf = __builtin_sub_overflow(A, I->Imm, &R);
+  Regs[I->A] = static_cast<std::uint64_t>(R);
+  SetIntFlags(R, Ovf);
+  IGDT_SIM_NEXT();
+}
+H_Mul: {
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  auto B = static_cast<std::int64_t>(Regs[I->B]);
+  std::int64_t R;
+  bool Ovf = __builtin_mul_overflow(A, B, &R);
+  Regs[I->A] = static_cast<std::uint64_t>(R);
+  SetIntFlags(R, Ovf);
+  IGDT_SIM_NEXT();
+}
+H_And: {
+  std::uint64_t R = Regs[I->A] & Regs[I->B];
+  Regs[I->A] = R;
+  SetIntFlags(static_cast<std::int64_t>(R), false);
+  IGDT_SIM_NEXT();
+}
+H_AndI: {
+  std::uint64_t R = Regs[I->A] & static_cast<std::uint64_t>(I->Imm);
+  Regs[I->A] = R;
+  SetIntFlags(static_cast<std::int64_t>(R), false);
+  IGDT_SIM_NEXT();
+}
+H_Or: {
+  std::uint64_t R = Regs[I->A] | Regs[I->B];
+  Regs[I->A] = R;
+  SetIntFlags(static_cast<std::int64_t>(R), false);
+  IGDT_SIM_NEXT();
+}
+H_OrI: {
+  std::uint64_t R = Regs[I->A] | static_cast<std::uint64_t>(I->Imm);
+  Regs[I->A] = R;
+  SetIntFlags(static_cast<std::int64_t>(R), false);
+  IGDT_SIM_NEXT();
+}
+H_Xor: {
+  std::uint64_t R = Regs[I->A] ^ Regs[I->B];
+  Regs[I->A] = R;
+  SetIntFlags(static_cast<std::int64_t>(R), false);
+  IGDT_SIM_NEXT();
+}
+H_Shl: {
+  auto Amount = static_cast<std::int64_t>(Regs[I->B]);
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  std::int64_t R = Amount >= 0 && Amount < 64
+                       ? static_cast<std::int64_t>(
+                             static_cast<std::uint64_t>(A) << Amount)
+                       : 0;
+  bool Ovf = Amount >= 0 && (Amount >= 64 || asr(R, Amount) != A);
+  Regs[I->A] = static_cast<std::uint64_t>(R);
+  SetIntFlags(R, Ovf);
+  IGDT_SIM_NEXT();
+}
+H_ShlI: {
+  std::int64_t Amount = I->Imm;
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  std::int64_t R = Amount >= 0 && Amount < 64
+                       ? static_cast<std::int64_t>(
+                             static_cast<std::uint64_t>(A) << Amount)
+                       : 0;
+  bool Ovf = Amount >= 0 && (Amount >= 64 || asr(R, Amount) != A);
+  Regs[I->A] = static_cast<std::uint64_t>(R);
+  SetIntFlags(R, Ovf);
+  IGDT_SIM_NEXT();
+}
+H_Sar: {
+  auto Amount = static_cast<std::int64_t>(Regs[I->B]);
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  std::int64_t R = asr(A, std::max<std::int64_t>(Amount, 0));
+  Regs[I->A] = static_cast<std::uint64_t>(R);
+  SetIntFlags(R, false);
+  IGDT_SIM_NEXT();
+}
+H_SarI: {
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  std::int64_t R = asr(A, std::max<std::int64_t>(I->Imm, 0));
+  Regs[I->A] = static_cast<std::uint64_t>(R);
+  SetIntFlags(R, false);
+  IGDT_SIM_NEXT();
+}
+H_Quo: {
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  auto B = static_cast<std::int64_t>(Regs[I->B]);
+  if (IGDT_UNLIKELY(B == 0)) {
+    RefundUnexecuted();
+    MachineExit E;
+    E.Kind = MachExitKind::DivideFault;
+    return E;
+  }
+  std::int64_t R = truncDiv(A, B);
+  Regs[I->A] = static_cast<std::uint64_t>(R);
+  SetIntFlags(R, false);
+  IGDT_SIM_NEXT();
+}
+H_Rem: {
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  auto B = static_cast<std::int64_t>(Regs[I->B]);
+  if (IGDT_UNLIKELY(B == 0)) {
+    RefundUnexecuted();
+    MachineExit E;
+    E.Kind = MachExitKind::DivideFault;
+    return E;
+  }
+  std::int64_t R = A == SatMin && B == -1 ? 0 : A % B;
+  Regs[I->A] = static_cast<std::uint64_t>(R);
+  SetIntFlags(R, false);
+  IGDT_SIM_NEXT();
+}
+H_Cmp: {
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  auto B = static_cast<std::int64_t>(Regs[I->B]);
+  Relation = A < B ? Rel::Less : A == B ? Rel::Equal : Rel::Greater;
+  Overflow = false;
+  IGDT_SIM_NEXT();
+}
+H_CmpI: {
+  auto A = static_cast<std::int64_t>(Regs[I->A]);
+  Relation = A < I->Imm ? Rel::Less : A == I->Imm ? Rel::Equal : Rel::Greater;
+  Overflow = false;
+  IGDT_SIM_NEXT();
+}
+H_Jmp:
+  PC = I->Target;
+  IGDT_SIM_DISPATCH();
+H_Jcc:
+  if (condHolds(static_cast<MCond>(I->Cond))) {
+    PC = I->Target;
+    IGDT_SIM_DISPATCH();
+  }
+  IGDT_SIM_NEXT();
+H_CallRT:
+  if (IGDT_UNLIKELY(!runtimeCall(static_cast<RTFunc>(I->Aux)))) {
+    RefundUnexecuted();
+    MachineExit E;
+    E.Kind = MachExitKind::SimulationError;
+    E.Note.format("unknown runtime function %u", unsigned(I->Aux));
+    return E;
+  }
+  IGDT_SIM_NEXT();
+H_CallTramp: {
+  RefundUnexecuted();
+  MachineExit E;
+  E.Kind = MachExitKind::TrampolineCall;
+  E.Selector = I->Aux;
+  E.NumArgs = static_cast<std::uint8_t>(I->Imm);
+  return E;
+}
+H_Ret: {
+  RefundUnexecuted();
+  MachineExit E;
+  E.Kind = MachExitKind::Returned;
+  return E;
+}
+H_Brk: {
+  RefundUnexecuted();
+  MachineExit E;
+  E.Kind = MachExitKind::Breakpoint;
+  E.Marker = I->Aux;
+  return E;
+}
+H_FLoad: {
+  std::uint64_t Address = Regs[I->B] + static_cast<std::uint64_t>(I->Imm);
+  auto V = load64(Address);
+  if (IGDT_UNLIKELY(!V)) {
+    RefundUnexecuted();
+    return faultExit(true, I->A, I->FA, Address);
+  }
+  double D;
+  std::memcpy(&D, &*V, 8);
+  FRegs[I->FA] = D;
+  IGDT_SIM_NEXT();
+}
+H_FMovI: {
+  double D;
+  std::memcpy(&D, &I->Imm, 8);
+  FRegs[I->FA] = D;
+  IGDT_SIM_NEXT();
+}
+H_FMovFF:
+  FRegs[I->FA] = FRegs[I->FB];
+  IGDT_SIM_NEXT();
+H_FAdd:
+  FRegs[I->FA] = FRegs[I->FA] + FRegs[I->FB];
+  IGDT_SIM_NEXT();
+H_FSub:
+  FRegs[I->FA] = FRegs[I->FA] - FRegs[I->FB];
+  IGDT_SIM_NEXT();
+H_FMul:
+  FRegs[I->FA] = FRegs[I->FA] * FRegs[I->FB];
+  IGDT_SIM_NEXT();
+H_FDiv:
+  FRegs[I->FA] = FRegs[I->FA] / FRegs[I->FB];
+  IGDT_SIM_NEXT();
+H_FSqrt:
+  FRegs[I->FA] = std::sqrt(FRegs[I->FA]);
+  IGDT_SIM_NEXT();
+H_FTruncF:
+  FRegs[I->FA] = std::trunc(FRegs[I->FA]);
+  IGDT_SIM_NEXT();
+H_FCvtIF:
+  FRegs[I->FA] =
+      static_cast<double>(static_cast<std::int64_t>(Regs[I->A]));
+  IGDT_SIM_NEXT();
+H_FTrunc: {
+  double F = FRegs[I->FA];
+  bool Ovf = !(F > -9.3e18 && F < 9.3e18); // NaN also overflows
+  std::int64_t R = Ovf ? 0 : static_cast<std::int64_t>(std::trunc(F));
+  Regs[I->A] = static_cast<std::uint64_t>(R);
+  SetIntFlags(R, Ovf);
+  IGDT_SIM_NEXT();
+}
+H_FCmp: {
+  double A = FRegs[I->FA];
+  double B = FRegs[I->FB];
+  if (std::isnan(A) || std::isnan(B))
+    Relation = Rel::Unordered;
+  else
+    Relation = A < B ? Rel::Less : A == B ? Rel::Equal : Rel::Greater;
+  Overflow = false;
+  IGDT_SIM_NEXT();
+}
+H_FBitsToF: {
+  double D;
+  std::uint64_t Bits = Regs[I->A];
+  std::memcpy(&D, &Bits, 8);
+  FRegs[I->FA] = D;
+  IGDT_SIM_NEXT();
+}
+H_FBitsFromF: {
+  double D = FRegs[I->FA];
+  std::uint64_t Bits;
+  std::memcpy(&Bits, &D, 8);
+  Regs[I->A] = Bits;
+  IGDT_SIM_NEXT();
+}
+H_FBits32ToF: {
+  auto Bits = static_cast<std::uint32_t>(Regs[I->A]);
+  float Narrow;
+  std::memcpy(&Narrow, &Bits, 4);
+  FRegs[I->FA] = static_cast<double>(Narrow);
+  IGDT_SIM_NEXT();
+}
+H_FBitsFromF32: {
+  auto Narrow = static_cast<float>(FRegs[I->FA]);
+  std::uint32_t Bits;
+  std::memcpy(&Bits, &Narrow, 4);
+  Regs[I->A] = Bits;
+  IGDT_SIM_NEXT();
+}
+
+ran_off_end: {
+  // Running off the end is a code-generation bug (same exit as the
+  // reference loop's while-condition failure).
+  MachineExit E;
+  E.Kind = MachExitKind::SimulationError;
+  E.Note = "execution ran past the end of the generated code";
+  return E;
+}
+
+#undef IGDT_SIM_DISPATCH
+#undef IGDT_SIM_NEXT
+#endif // IGDT_SIM_THREADED
 }

@@ -15,6 +15,12 @@
 /// runtime; entries can be deliberately removed to reproduce the paper's
 /// two *simulation error* findings (§5.3).
 ///
+/// Two execution engines share these semantics: the reference switch
+/// loop (authoritative, per-instruction fuel) and a pre-decoded threaded
+/// fast path (jit/PredecodedCode.h, block-level fuel). They produce
+/// byte-identical MachineExit and heap/stack effects; SimOptions selects
+/// between them per run.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef IGDT_JIT_MACHINESIM_H
@@ -25,6 +31,9 @@
 #include "jit/Trampolines.h"
 #include "vm/ObjectMemory.h"
 
+#include <cstdio>
+#include <cstring>
+#include <ostream>
 #include <set>
 #include <string>
 #include <vector>
@@ -32,6 +41,9 @@
 namespace igdt {
 
 class TraceSink;
+class MetricsRegistry;
+struct CompiledCode;
+struct PredecodedCode;
 
 /// Why machine execution stopped.
 enum class MachExitKind : std::uint8_t {
@@ -46,6 +58,44 @@ enum class MachExitKind : std::uint8_t {
 
 const char *machExitKindName(MachExitKind Kind);
 
+/// Fixed-capacity exit annotation. MachineExit used to carry a
+/// std::string here, which put an allocation on every run() return —
+/// clean exits included — and the replay hot path constructs millions
+/// of exits. The capacity covers every note the simulator formats;
+/// anything longer is truncated, never overrun.
+class ExitNote {
+public:
+  ExitNote() { Text[0] = '\0'; }
+  ExitNote(const char *S) { assign(S); }
+
+  bool empty() const { return Text[0] == '\0'; }
+  const char *c_str() const { return Text; }
+  std::string str() const { return Text; }
+  /// std::string::find-compatible: offset of \p Needle or
+  /// std::string::npos.
+  std::size_t find(const char *Needle) const {
+    const char *P = std::strstr(Text, Needle);
+    return P ? static_cast<std::size_t>(P - Text) : std::string::npos;
+  }
+
+  ExitNote &operator=(const char *S) {
+    assign(S);
+    return *this;
+  }
+  /// printf-style assignment, truncating at capacity.
+  void format(const char *Fmt, ...);
+
+private:
+  void assign(const char *S) {
+    std::snprintf(Text, sizeof(Text), "%s", S);
+  }
+  char Text[120];
+};
+
+inline std::ostream &operator<<(std::ostream &Os, const ExitNote &N) {
+  return Os << N.c_str();
+}
+
 /// Terminal state of a simulation run.
 struct MachineExit {
   MachExitKind Kind = MachExitKind::FuelExhausted;
@@ -53,11 +103,69 @@ struct MachineExit {
   SelectorId Selector = 0;       // TrampolineCall
   std::uint8_t NumArgs = 0;      // TrampolineCall
   std::uint64_t FaultAddress = 0; // Segfault
-  std::string Note;              // SimulationError / FuelExhausted detail
+  ExitNote Note;                 // SimulationError / FuelExhausted detail
   /// Fuel remaining when execution stopped (0 on FuelExhausted);
   /// incident reports use it to tell a genuine runaway from a run that
   /// stopped one instruction short of its allowance.
   std::uint64_t FuelLeft = 0;
+};
+
+/// Dispatch-engine counters ("sim.*" metrics). Deterministic for a
+/// fixed configuration, but — like the code-cache counters — they
+/// describe how the harness executed, not what the code under test did,
+/// so they never enter campaign records or checkpoints.
+struct SimStats {
+  std::uint64_t Runs = 0;            ///< total run() invocations
+  std::uint64_t PredecodedRuns = 0;  ///< served by the threaded fast path
+  std::uint64_t ReferenceRuns = 0;   ///< served by the reference loop
+  std::uint64_t PredecodeBuilds = 0; ///< PredecodedCode built from scratch
+  std::uint64_t PredecodeHits = 0;   ///< runs reusing a cached predecode
+  void add(const SimStats &O) {
+    Runs += O.Runs;
+    PredecodedRuns += O.PredecodedRuns;
+    ReferenceRuns += O.ReferenceRuns;
+    PredecodeBuilds += O.PredecodeBuilds;
+    PredecodeHits += O.PredecodeHits;
+  }
+};
+
+/// Publishes \p Stats into \p Registry under "sim.*".
+void foldSimStats(MetricsRegistry &Registry, const SimStats &Stats);
+
+/// Pooled simulator stack memory (one per replay worker, owned by
+/// differential/ReplayArena.h). A fresh MachineSim zero-fills all
+/// abi::StackBytes of stack; pooled construction borrows this buffer
+/// and re-zeroes only the bytes the previous run dirtied (tracked as a
+/// high watermark of store offsets), so per-path stack cost tracks
+/// bytes touched rather than stack size.
+class SimStackPool {
+public:
+  SimStackPool() : Mem(abi::StackBytes, 0) {}
+
+  /// The buffer, with every byte a previous borrower dirtied re-zeroed.
+  std::uint8_t *acquire() {
+    if (DirtyHigh) {
+      std::memset(Mem.data(), 0, DirtyHigh);
+      TotalBytesReset += DirtyHigh;
+      DirtyHigh = 0;
+    }
+    return Mem.data();
+  }
+  std::size_t size() const { return Mem.size(); }
+
+  /// Called by the simulator after writing up to stack offset \p End.
+  void noteTouched(std::size_t End) {
+    if (End > DirtyHigh)
+      DirtyHigh = End;
+  }
+
+  /// Cumulative bytes re-zeroed by acquire() ("replay.stack.*").
+  std::uint64_t bytesReset() const { return TotalBytesReset; }
+
+private:
+  std::vector<std::uint8_t> Mem;
+  std::size_t DirtyHigh = 0;
+  std::uint64_t TotalBytesReset = 0;
 };
 
 /// Simulator configuration, including the simulation-error seeds.
@@ -68,9 +176,47 @@ struct SimOptions {
   std::set<std::uint8_t> MissingGPAccessors;
   std::set<std::uint8_t> MissingFPAccessors;
   std::uint64_t Fuel = 100000;
+  /// Execute run(const CompiledCode&) through the pre-decoded threaded
+  /// fast path instead of the reference switch loop. The two engines
+  /// produce byte-identical exits and heap/stack effects (verified by
+  /// PredecodeTest); the switch loop remains the authoritative
+  /// semantics and serves as fallback on toolchains without computed
+  /// goto.
+  bool EnablePredecode = true;
+  /// Pooled stack memory (non-owning, may be null). When set, the
+  /// simulator borrows the pool's buffer instead of owning a fresh
+  /// zero-filled stack; at most one live MachineSim may borrow a pool.
+  SimStackPool *StackPool = nullptr;
+  /// Dispatch-engine counters (non-owning, may be null).
+  SimStats *Stats = nullptr;
   /// Observability sink (non-owning, may be null). Each run emits one
-  /// SimRun event (exit kind, fuel consumed).
+  /// SimRun event (exit kind, fuel consumed, engine).
   TraceSink *Trace = nullptr;
+};
+
+/// Read-only view of the in-memory operand stack, bottom to top. The
+/// oracle used to copy the whole stack into a vector per comparison;
+/// this view aliases the simulator's stack bytes directly. When
+/// defective code drove SP outside the stack region, the view falls
+/// back to owned storage filled through the same bounds-checked loads
+/// the copy used, so observable behaviour is unchanged.
+class OperandStackView {
+public:
+  std::size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+  std::uint64_t operator[](std::size_t I) const {
+    if (!Owned.empty())
+      return Owned[I];
+    std::uint64_t V;
+    std::memcpy(&V, Borrowed + I * 8, 8);
+    return V;
+  }
+
+private:
+  friend class MachineSim;
+  const std::uint8_t *Borrowed = nullptr;
+  std::size_t Count = 0;
+  std::vector<std::uint64_t> Owned; // fallback storage, else borrowed
 };
 
 /// Machine register file + stack memory, bound to a VM heap.
@@ -107,9 +253,23 @@ public:
   void pushOperand(std::uint64_t Value);
   /// Operand-stack contents, bottom to top, of the current frame.
   std::vector<std::uint64_t> operandStack() const;
+  /// Copy-free equivalent of operandStack() for the oracle's
+  /// comparisons; valid until the simulator runs or is destroyed.
+  OperandStackView operandStackView() const;
 
-  /// Executes \p Code from instruction 0 until a terminal event.
+  /// Executes \p Code from instruction 0 until a terminal event,
+  /// through the reference switch loop.
   MachineExit run(const std::vector<MInstr> &Code);
+  /// Executes a compilation unit: through the pre-decoded threaded
+  /// dispatcher when Opts.EnablePredecode is set (building or reusing
+  /// Code.Predecoded), else through the reference loop.
+  MachineExit run(const CompiledCode &Code);
+  /// Runs an already-built predecode with block-level fuel accounting.
+  /// \p Reference is the originating MInstr vector (index-compatible by
+  /// construction); the dispatcher delegates to it when a block's fuel
+  /// cannot be charged up front. Exposed for the equivalence tests.
+  MachineExit runPredecoded(const PredecodedCode &P,
+                            const std::vector<MInstr> &Reference);
 
   /// Heap watermark when the simulator was constructed — objects above
   /// it were allocated by compiled code.
@@ -127,8 +287,14 @@ private:
 
   bool condHolds(MCond C) const;
   MachineExit fault(const MInstr &I, std::uint64_t Address);
+  MachineExit faultExit(bool IsFloat, unsigned GpReg, unsigned FpReg,
+                        std::uint64_t Address);
   bool runtimeCall(RTFunc Func);
-  MachineExit runLoop(const std::vector<MInstr> &Code);
+  MachineExit runLoop(const std::vector<MInstr> &Code, std::size_t PC);
+  MachineExit runThreaded(const PredecodedCode &P,
+                          const std::vector<MInstr> &Reference);
+  void finishRun(MachineExit &E, const char *Engine,
+                 std::uint64_t PredecodeHit);
 
   ObjectMemory &Heap;
   SimOptions Opts;
@@ -137,7 +303,12 @@ private:
   double FRegs[8] = {};
   Rel Relation = Rel::Equal;
   bool Overflow = false;
-  std::vector<std::uint8_t> StackMem;
+  /// Stack storage: borrowed from Opts.StackPool when pooled, else
+  /// OwnedStack. All accesses go through Stack/StackSize.
+  std::vector<std::uint8_t> OwnedStack;
+  std::uint8_t *Stack = nullptr;
+  std::size_t StackSize = 0;
+  SimStackPool *Pool = nullptr;
   std::uint64_t FrameBase = 0;
   unsigned FrameLocals = 0;
   std::size_t Watermark;

@@ -59,7 +59,11 @@ enum class TraceEventKind : std::uint8_t {
   /// (bytecode|method|native-method), Value=machine code bytes.
   Compile,
   /// MachineSim executed compiled code. Detail=machine exit kind,
-  /// Value=fuel consumed.
+  /// Value=fuel consumed, Aux=dispatch engine (reference|predecoded),
+  /// Extra=1 when the predecoded form was served from the code cache.
+  /// The campaign merge loop blanks Aux/Extra so deterministic trace
+  /// files stay byte-identical across predecode/arena configurations;
+  /// Session-level traces keep them.
   SimRun,
   /// DifferentialTester classified one path. Detail=path status,
   /// Aux=compiler/backend, Value=path index.

@@ -16,6 +16,7 @@
 
 #include "vm/ObjectFormat.h"
 
+#include <cassert>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -50,6 +51,16 @@ public:
 
   /// Number of registered classes (including the reserved slot 0).
   std::uint32_t size() const { return static_cast<std::uint32_t>(Classes.size()); }
+
+  /// Drops every class registered after the table had \p Count entries
+  /// (ObjectMemory::resetTo). Replay materialisation registers synthetic
+  /// classes whose indices are baked into compiled code; a pooled heap
+  /// must shed them between paths or indices would drift from a fresh
+  /// heap's.
+  void truncate(std::uint32_t Count) {
+    assert(Count <= Classes.size() && "truncating to a larger table");
+    Classes.resize(Count);
+  }
 
 private:
   std::vector<ClassInfo> Classes;

@@ -187,7 +187,11 @@ bool ObjectMemory::storePointerSlot(Oop Object, std::uint32_t Index,
     return false;
   if (Index >= Header->SlotCount)
     return false;
-  std::memcpy(bodyOf(Object) + std::size_t(Index) * 8, &Value, 8);
+  std::size_t Off =
+      Object - HeapBase + sizeof(ObjectHeader) + std::size_t(Index) * 8;
+  if (IGDT_UNLIKELY(Off < JournalLimit))
+    journal64(Off);
+  std::memcpy(&Heap[Off], &Value, 8);
   return true;
 }
 
@@ -212,7 +216,10 @@ bool ObjectMemory::storeByte(Oop Object, std::uint32_t Index,
     return false;
   if (Index >= Header->SlotCount)
     return false;
-  bodyOf(Object)[Index] = Value;
+  std::size_t Off = Object - HeapBase + sizeof(ObjectHeader) + Index;
+  if (IGDT_UNLIKELY(Off < JournalLimit))
+    journal8(Off);
+  Heap[Off] = Value;
   return true;
 }
 
@@ -251,7 +258,10 @@ std::optional<std::uint64_t> ObjectMemory::load64(std::uint64_t Address) const {
 bool ObjectMemory::store64(std::uint64_t Address, std::uint64_t Value) {
   if ((Address & 7) != 0 || !containsAddress(Address, 8))
     return false;
-  std::memcpy(&Heap[Address - HeapBase], &Value, 8);
+  std::size_t Off = static_cast<std::size_t>(Address - HeapBase);
+  if (IGDT_UNLIKELY(Off < JournalLimit))
+    journal64(Off);
+  std::memcpy(&Heap[Off], &Value, 8);
   return true;
 }
 
@@ -264,8 +274,56 @@ std::optional<std::uint8_t> ObjectMemory::load8(std::uint64_t Address) const {
 bool ObjectMemory::store8(std::uint64_t Address, std::uint8_t Value) {
   if (!containsAddress(Address, 1))
     return false;
-  Heap[Address - HeapBase] = Value;
+  std::size_t Off = static_cast<std::size_t>(Address - HeapBase);
+  if (IGDT_UNLIKELY(Off < JournalLimit))
+    journal8(Off);
+  Heap[Off] = Value;
   return true;
+}
+
+void ObjectMemory::journal64(std::size_t Offset) {
+  std::uint64_t Old;
+  std::memcpy(&Old, &Heap[Offset], 8);
+  Journal.push_back({Offset, Old, 8});
+}
+
+void ObjectMemory::journal8(std::size_t Offset) {
+  Journal.push_back({Offset, Heap[Offset], 1});
+}
+
+HeapMark ObjectMemory::mark() {
+  HeapMark M;
+  M.NextFree = NextFree;
+  M.NextHash = NextHash;
+  M.ClassCount = Classes.size();
+  M.JournalDepth = Journal.size();
+  JournalLimit = NextFree;
+  return M;
+}
+
+void ObjectMemory::resetTo(const HeapMark &M) {
+  // Undo in reverse so the oldest journalled value of a repeatedly
+  // clobbered byte wins.
+  for (std::size_t I = Journal.size(); I > M.JournalDepth; --I) {
+    const UndoEntry &U = Journal[I - 1];
+    if (U.Width == 8)
+      std::memcpy(&Heap[U.Offset], &U.OldValue, 8);
+    else
+      Heap[U.Offset] = static_cast<std::uint8_t>(U.OldValue);
+    ++UndoReplayed;
+  }
+  Journal.resize(M.JournalDepth);
+  // Objects above the mark are released without zeroing: allocation
+  // re-initialises header and body, and nothing can observe bytes above
+  // NextFree (containsAddress bounds every raw access against it).
+  NextFree = M.NextFree;
+  // The hash sequence is part of observable state — identity hashes sit
+  // in headers that raw loads can read — so it rewinds too.
+  NextHash = M.NextHash;
+  Classes.truncate(M.ClassCount);
+  Poisoned = false;
+  PoisonNote.clear();
+  JournalLimit = M.NextFree;
 }
 
 std::string ObjectMemory::describe(Oop Value) const {

@@ -39,6 +39,15 @@ struct ObjectHeader {
 
 static_assert(sizeof(ObjectHeader) == 16, "header layout");
 
+/// Snapshot of a heap's allocation state, taken by ObjectMemory::mark()
+/// and restored by resetTo(). Cheap value type: four integers.
+struct HeapMark {
+  std::size_t NextFree = 0;
+  std::uint32_t NextHash = 0;
+  std::uint32_t ClassCount = 0;
+  std::size_t JournalDepth = 0;
+};
+
 /// The QVM heap plus its class table and the nil/true/false singletons.
 class ObjectMemory {
 public:
@@ -158,6 +167,34 @@ public:
 
   /// @}
 
+  /// \name Pooled replay support (differential/ReplayArena.h)
+  /// @{
+
+  /// Snapshots the allocation state and arms the undo journal: from now
+  /// on, raw stores landing below the current watermark are journalled
+  /// so resetTo() can undo them (defective compiled code can write
+  /// anywhere in the live heap, singleton headers included). Until
+  /// mark() is called the journal is disarmed and stores pay only one
+  /// compare.
+  HeapMark mark();
+
+  /// Rolls the heap back to \p M: releases every object allocated since
+  /// (their stale bytes are unreachable — allocation re-initialises
+  /// header and body), undoes journalled below-mark stores in reverse,
+  /// restores the identity-hash sequence (hashes are observable through
+  /// raw header loads), drops classes registered since, and clears any
+  /// poison. The result is observably identical to a freshly
+  /// constructed heap when \p M was taken right after construction.
+  void resetTo(const HeapMark &M);
+
+  /// Journalled stores undone by resetTo() so far ("replay.*" metrics).
+  std::uint64_t undoStoresReplayed() const { return UndoReplayed; }
+
+  /// Total heap capacity in bytes.
+  std::size_t capacityBytes() const { return Heap.size(); }
+
+  /// @}
+
   /// Number of bytes currently allocated.
   std::size_t usedBytes() const { return NextFree; }
 
@@ -172,10 +209,24 @@ private:
 
   std::size_t bodyBytes(const ObjectHeader &Header) const;
 
+  /// One journalled raw store below the watermark.
+  struct UndoEntry {
+    std::size_t Offset;      ///< heap offset of the overwritten bytes
+    std::uint64_t OldValue;  ///< previous contents (low byte for Width 1)
+    std::uint8_t Width;      ///< 1 or 8
+  };
+  void journal64(std::size_t Offset);
+  void journal8(std::size_t Offset);
+
   ClassTable Classes;
   std::vector<std::uint8_t> Heap;
   std::size_t NextFree = 0;
   std::uint32_t NextHash = 0x1000;
+  /// Heap offset below which stores are journalled; 0 keeps the journal
+  /// disarmed (no mark taken yet).
+  std::size_t JournalLimit = 0;
+  std::vector<UndoEntry> Journal;
+  std::uint64_t UndoReplayed = 0;
 
   bool Poisoned = false;
   std::string PoisonNote;
