@@ -12,6 +12,12 @@ using namespace igdt;
 void igdt::addSessionFlags(FlagParser &Flags, SessionConfig &Config) {
   Flags.add("jobs", &Config.Campaign.Jobs,
             "campaign worker threads (0 = hardware)");
+  Flags.add("workers", &Config.Campaign.WorkerProcesses,
+            "campaign worker processes (0 = in-process threads)");
+  Flags.add("worker-deadline-millis", &Config.Campaign.WorkerDeadlineMillis,
+            "watchdog deadline per worker item in ms (0 = none)");
+  Flags.add("worker-backoff-millis", &Config.Campaign.WorkerBackoffMillis,
+            "base respawn backoff after a worker failure in ms");
   Flags.add("max-bytecodes", &Config.Campaign.Harness.MaxBytecodes,
             "limit byte-code instructions (0 = all)");
   Flags.add("max-native-methods", &Config.Campaign.Harness.MaxNativeMethods,
@@ -26,6 +32,8 @@ void igdt::addSessionFlags(FlagParser &Flags, SessionConfig &Config) {
             "JSONL trace file (merge-deterministic event stream)");
   Flags.add("profile", &Config.Profile,
             "collect metrics and print the end-of-run profile");
+  Flags.add("deterministic", &Config.Deterministic,
+            "drop wall timings so outputs are topology-independent");
   Flags.add("stop-after", &Config.Campaign.StopAfter,
             "stop after N new instructions (0 = run to completion)");
   Flags.add("max-attempts", &Config.Campaign.MaxAttempts,
@@ -128,6 +136,8 @@ CampaignSummary Session::runCampaign() {
   CampaignOptions Opts = Cfg.Campaign;
   if (Cfg.Profile)
     Opts.CollectMetrics = true;
+  if (Cfg.Deterministic)
+    Opts.RecordTimings = false;
   if (TraceWriter) {
     // The session writer is already appending (a direct explore or
     // testPath opened it): route the campaign's merged stream into the

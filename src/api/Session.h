@@ -52,6 +52,10 @@ struct SessionConfig {
   /// Build a ProfileReport after runCampaign() (implies metric
   /// collection during the campaign).
   bool Profile = false;
+  /// Force the campaign's determinism contract: turns RecordTimings
+  /// off so records, incidents and traces are byte-identical at any
+  /// Jobs/WorkerProcesses topology (the --deterministic flag).
+  bool Deterministic = false;
   /// Most-expensive-instruction rows in the profile.
   unsigned TopInstructions = 10;
 
@@ -71,10 +75,11 @@ struct SessionConfig {
 
 class FlagParser;
 
-/// Registers the standard session flags (--jobs, --max-bytecodes,
-/// --max-native-methods, --only, --checkpoint, --incidents, --trace,
-/// --profile, --stop-after, --max-attempts, budget limits) against
-/// \p Config, so every binary exposes the same vocabulary.
+/// Registers the standard session flags (--jobs, --workers and the
+/// worker deadline/backoff knobs, --max-bytecodes, --max-native-methods,
+/// --only, --checkpoint, --incidents, --trace, --profile,
+/// --deterministic, --stop-after, --max-attempts, budget limits)
+/// against \p Config, so every binary exposes the same vocabulary.
 void addSessionFlags(FlagParser &Flags, SessionConfig &Config);
 
 /// The unified pipeline entry point. Not thread-safe itself (campaign

@@ -2,13 +2,16 @@
 
 #include "evalkit/CampaignRunner.h"
 
+#include "evalkit/ProcessPool.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cctype>
 #include <chrono>
 #include <condition_variable>
+#include <deque>
 #include <fstream>
 #include <memory>
 #include <thread>
@@ -69,8 +72,161 @@ std::string CampaignIncident::toJson() const {
       .set("explore_budget", JsonValue::string(ExploreBudget))
       .set("replay_budget", JsonValue::string(ReplayBudget))
       .set("quarantined", JsonValue::boolean(Quarantined));
+  // Worker/Pid are deliberately absent: they are in-memory diagnostics
+  // the merge loop blanks before any incident is recorded, so the
+  // JSONL schema stays identical across topologies.
   return V.dump();
 }
+
+bool CampaignIncident::fromJson(const std::string &Line,
+                                CampaignIncident &Out) {
+  auto V = JsonValue::parse(Line);
+  if (!V || V->K != JsonValue::Kind::Object)
+    return false;
+  Out = CampaignIncident();
+  Out.Instruction = V->stringOr("instruction", "");
+  if (Out.Instruction.empty())
+    return false;
+  Out.Stage = V->stringOr("stage", "");
+  Out.ErrorClass = V->stringOr("error_class", "");
+  Out.Error = V->stringOr("error", "");
+  Out.Attempt = static_cast<unsigned>(V->numberOr("attempt", 1));
+  Out.ExploreBudget = V->stringOr("explore_budget", "");
+  Out.ReplayBudget = V->stringOr("replay_budget", "");
+  Out.Quarantined = V->boolOr("quarantined", false);
+  return true;
+}
+
+namespace {
+
+/// Replaces the spent-milliseconds number in a Budget::describe()
+/// string ("wall=12.3ms/unlimited" -> "wall=0.0ms/unlimited") so
+/// incident files are byte-comparable when timings are off. The limit
+/// side is configuration, hence deterministic, and is kept.
+std::string scrubBudgetWall(std::string Text) {
+  std::size_t Pos = Text.find("wall=");
+  if (Pos == std::string::npos)
+    return Text;
+  std::size_t Start = Pos + 5;
+  std::size_t End = Start;
+  while (End < Text.size() &&
+         (std::isdigit(static_cast<unsigned char>(Text[End])) ||
+          Text[End] == '.'))
+    ++End;
+  if (End > Start)
+    Text.replace(Start, End - Start, "0.0");
+  return Text;
+}
+
+/// \name Worker result payload
+/// What one worker process ships back per instruction: the checkpoint
+/// record (as its canonical JSONL line, so coordinator-side re-emission
+/// is byte-exact), the in-memory-only stats that never enter toJson()
+/// (solver cache diagnostics, jit/sim/replay counters), the attempt's
+/// incidents and its buffered trace events.
+/// @{
+JsonValue countersToJson(std::initializer_list<
+                         std::pair<const char *, std::uint64_t>>
+                             Fields) {
+  JsonValue V = JsonValue::object();
+  for (const auto &[Name, Value] : Fields)
+    V.set(Name, JsonValue::number(static_cast<double>(Value)));
+  return V;
+}
+
+std::uint64_t counterOr(const JsonValue *V, const char *Name) {
+  return V ? static_cast<std::uint64_t>(V->numberOr(Name, 0)) : 0;
+}
+
+std::string encodeWorkerPayload(const InstructionRecord &Rec,
+                                const std::vector<CampaignIncident> &Incidents,
+                                const std::vector<TraceEvent> &Events) {
+  JsonValue V = JsonValue::object();
+  V.set("record", JsonValue::string(Rec.toJson()));
+  V.set("solver_diag",
+        countersToJson({{"cache_hits", Rec.Solver.CacheHits},
+                        {"cache_misses", Rec.Solver.CacheMisses},
+                        {"unsat_subsumed", Rec.Solver.CacheUnsatSubsumed},
+                        {"model_hits", Rec.Solver.ModelCacheHits},
+                        {"prefix_reuse", Rec.Solver.PrefixReuseSolves},
+                        {"full_solves", Rec.Solver.FullSolves}}));
+  V.set("jit", countersToJson({{"compiles", Rec.Jit.Compiles},
+                               {"code_cache_hits", Rec.Jit.CodeCacheHits}}));
+  V.set("sim", countersToJson({{"runs", Rec.Sim.Runs},
+                               {"predecoded", Rec.Sim.PredecodedRuns},
+                               {"reference", Rec.Sim.ReferenceRuns},
+                               {"builds", Rec.Sim.PredecodeBuilds},
+                               {"hits", Rec.Sim.PredecodeHits}}));
+  V.set("replay",
+        countersToJson({{"acquires", Rec.Replay.HeapAcquires},
+                        {"resets", Rec.Replay.HeapResets},
+                        {"bytes_reset", Rec.Replay.HeapBytesReset},
+                        {"fresh", Rec.Replay.HeapFreshBuilds},
+                        {"bytes_rebuilt", Rec.Replay.HeapBytesRebuilt},
+                        {"undo", Rec.Replay.UndoStoresReplayed},
+                        {"stack_bytes", Rec.Replay.StackBytesReset}}));
+  JsonValue Inc = JsonValue::array();
+  for (const CampaignIncident &I : Incidents)
+    Inc.push(JsonValue::string(I.toJson()));
+  V.set("incidents", std::move(Inc));
+  JsonValue Ev = JsonValue::array();
+  for (const TraceEvent &E : Events)
+    Ev.push(JsonValue::string(E.toJson()));
+  V.set("events", std::move(Ev));
+  return V.dump();
+}
+
+bool decodeWorkerPayload(const std::string &Payload, InstructionRecord &Rec,
+                         std::vector<CampaignIncident> &Incidents,
+                         std::vector<TraceEvent> &Events) {
+  auto V = JsonValue::parse(Payload);
+  if (!V || V->K != JsonValue::Kind::Object)
+    return false;
+  if (!InstructionRecord::fromJson(V->stringOr("record", ""), Rec))
+    return false;
+  const JsonValue *Diag = V->find("solver_diag");
+  Rec.Solver.CacheHits = counterOr(Diag, "cache_hits");
+  Rec.Solver.CacheMisses = counterOr(Diag, "cache_misses");
+  Rec.Solver.CacheUnsatSubsumed = counterOr(Diag, "unsat_subsumed");
+  Rec.Solver.ModelCacheHits = counterOr(Diag, "model_hits");
+  Rec.Solver.PrefixReuseSolves = counterOr(Diag, "prefix_reuse");
+  Rec.Solver.FullSolves = counterOr(Diag, "full_solves");
+  const JsonValue *Jit = V->find("jit");
+  Rec.Jit.Compiles = counterOr(Jit, "compiles");
+  Rec.Jit.CodeCacheHits = counterOr(Jit, "code_cache_hits");
+  const JsonValue *Sim = V->find("sim");
+  Rec.Sim.Runs = counterOr(Sim, "runs");
+  Rec.Sim.PredecodedRuns = counterOr(Sim, "predecoded");
+  Rec.Sim.ReferenceRuns = counterOr(Sim, "reference");
+  Rec.Sim.PredecodeBuilds = counterOr(Sim, "builds");
+  Rec.Sim.PredecodeHits = counterOr(Sim, "hits");
+  const JsonValue *Replay = V->find("replay");
+  Rec.Replay.HeapAcquires = counterOr(Replay, "acquires");
+  Rec.Replay.HeapResets = counterOr(Replay, "resets");
+  Rec.Replay.HeapBytesReset = counterOr(Replay, "bytes_reset");
+  Rec.Replay.HeapFreshBuilds = counterOr(Replay, "fresh");
+  Rec.Replay.HeapBytesRebuilt = counterOr(Replay, "bytes_rebuilt");
+  Rec.Replay.UndoStoresReplayed = counterOr(Replay, "undo");
+  Rec.Replay.StackBytesReset = counterOr(Replay, "stack_bytes");
+  if (const JsonValue *Inc = V->find("incidents"))
+    for (const JsonValue &Line : Inc->Arr) {
+      CampaignIncident I;
+      if (!CampaignIncident::fromJson(Line.Str, I))
+        return false;
+      Incidents.push_back(std::move(I));
+    }
+  if (const JsonValue *Ev = V->find("events"))
+    for (const JsonValue &Line : Ev->Arr) {
+      TraceEvent E;
+      if (!TraceEvent::fromJson(Line.Str, E))
+        return false;
+      Events.push_back(std::move(E));
+    }
+  return true;
+}
+/// @}
+
+} // namespace
 
 std::string InstructionRecord::toJson() const {
   JsonValue V = JsonValue::object();
@@ -273,6 +429,15 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
     if (Spec.Kind != Wanted)
       continue;
 
+    // Worker-class faults fire as replay of the instruction's first
+    // compiler begins: a real signal/hang inside a forked worker, a
+    // synchronous WorkerFault in-process (see HarnessFaults.h).
+    if (Opts.Faults.armedFor(HarnessFaultKind::WorkerSegfault, Spec.Name,
+                             Attempt))
+      triggerWorkerSegfault();
+    if (Opts.Faults.armedFor(HarnessFaultKind::WorkerHang, Spec.Name, Attempt))
+      triggerWorkerHang();
+
     auto MakeConfig = [&](bool Arm) {
       DiffTestConfig Cfg;
       Cfg.Kind = Kind;
@@ -331,27 +496,59 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
 
 InstructionRecord CampaignRunner::testInstruction(
     const InstructionSpec &Spec, std::vector<CampaignIncident> &Incidents,
-    TraceSink *Trace, ReplayArena &Arena) const {
+    TraceSink *Trace, ReplayArena &Arena, unsigned StartAttempt) const {
   unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
   std::vector<CampaignIncident> Local;
   InstructionRecord Rec;
   bool Succeeded = false;
 
-  for (unsigned Attempt = 1; Attempt <= MaxAttempts && !Succeeded; ++Attempt) {
+  for (unsigned Attempt = std::max(1u, StartAttempt);
+       Attempt <= MaxAttempts && !Succeeded; ++Attempt) {
     // Fresh budgets AND a fresh exploration heap per attempt: a fault
     // must not leak state into the retry. The replay arena is reused,
     // but its reset contract makes the next acquire observably fresh
     // (poison included), so the guarantee carries over.
     Budget ExploreBud(Opts.ExploreBudget);
     Budget ReplayBud(Opts.ReplayBudget);
-    // Events of a failed attempt stay in the buffer: fault injection is
-    // deterministic, so the partial prefix is too, and the attempt
-    // stamp tells it apart from the retry.
-    TraceScope Scope(Trace, Spec.Name, Attempt, Opts.RecordTimings);
+    // Events of a failed attempt stay in the stream: fault injection
+    // is deterministic, so the partial prefix is too, and the attempt
+    // stamp tells it apart from the retry. The exception is a
+    // worker-class fault: its attempt's events can never be delivered
+    // out-of-process (they died with the worker, or travelled in a
+    // frame the coordinator refused), so the attempt is staged into
+    // its own buffer and dropped on WorkerFault — in-process
+    // topologies lose exactly the same events.
+    TraceBuffer AttemptEvents;
+    TraceScope Scope(Trace ? &AttemptEvents : nullptr, Spec.Name, Attempt,
+                     Opts.RecordTimings);
+    bool WorkerFaulted = false;
     try {
       Rec = attemptInstruction(Spec, Attempt, ExploreBud, ReplayBud,
                                Trace ? &Scope : nullptr, Arena);
+      // The in-process equivalent of a damaged response frame: the
+      // result was computed but cannot be trusted/delivered. Worker
+      // processes damage the real encoded frame instead (the send path
+      // in run() checks the same arming), so the fault exercises the
+      // actual CRC machinery there.
+      if (!inWorkerProcess() &&
+          Opts.Faults.armedFor(HarnessFaultKind::PipeMessageCorruption,
+                               Spec.Name, Attempt))
+        triggerPipeCorruption();
       Succeeded = true;
+    } catch (const WorkerFault &F) {
+      CampaignIncident I;
+      I.Instruction = Spec.Name;
+      I.Stage = F.stage();
+      I.ErrorClass = F.errorClass();
+      I.Error = F.what();
+      // The out-of-process coordinator never sees the failing
+      // attempt's budgets (they died with the worker); the in-process
+      // equivalent uses the same fixed marker so incidents match.
+      I.ExploreBudget = workerOutOfBandBudgetNote();
+      I.ReplayBudget = workerOutOfBandBudgetNote();
+      I.Attempt = Attempt;
+      Local.push_back(std::move(I));
+      WorkerFaulted = true;
     } catch (const HarnessFault &F) {
       CampaignIncident I;
       I.Instruction = Spec.Name;
@@ -373,6 +570,9 @@ InstructionRecord CampaignRunner::testInstruction(
       I.Attempt = Attempt;
       Local.push_back(std::move(I));
     }
+    if (Trace && !WorkerFaulted)
+      for (TraceEvent &Event : AttemptEvents.take())
+        Trace->emit(std::move(Event));
   }
 
   if (!Succeeded) {
@@ -468,6 +668,69 @@ CampaignSummary CampaignRunner::run() {
   if (Jobs == 0)
     Jobs = 1;
 
+  std::size_t NewItems = 0;
+  for (const WorkItem &W : Work)
+    if (!W.Resumed)
+      ++NewItems;
+
+  // Topology: out-of-process workers when requested and fork works.
+  // The pool forks here, while this process is still single-threaded —
+  // the coordinator stays single-threaded for its whole life (its poll
+  // loop shares the merge thread), so workers never inherit locks,
+  // threads or partially-written state.
+  bool UseProcs = Opts.WorkerProcesses > 0 && NewItems > 0 &&
+                  ProcessPool::available();
+  std::unique_ptr<ProcessPool> Forked;
+  if (UseProcs) {
+    ProcessPoolOptions POpts;
+    POpts.Workers =
+        unsigned(std::min<std::size_t>(Opts.WorkerProcesses, NewItems));
+    POpts.DeadlineMillis = Opts.WorkerDeadlineMillis;
+    POpts.BackoffMillis = Opts.WorkerBackoffMillis;
+    POpts.MaxAttempts = std::max(1u, Opts.MaxAttempts);
+    // One arena per worker process: constructed pre-fork, copied into
+    // each child, reused across that child's items — the same reuse
+    // the in-process pool gets from its per-thread arenas.
+    auto WorkerArena = std::make_shared<ReplayArena>();
+    Forked = std::make_unique<ProcessPool>(
+        POpts, [this, &Work, Observing, WorkerArena](std::size_t I,
+                                                     unsigned StartAttempt) {
+          PoolItemResult R;
+          std::vector<CampaignIncident> Incidents;
+          TraceBuffer Buffer;
+          InstructionRecord Rec = testInstruction(
+              *Work[I].Spec, Incidents, Observing ? &Buffer : nullptr,
+              *WorkerArena, StartAttempt);
+          // The armed pipe-corruption fault damages the real encoded
+          // frame (post-CRC), exercising the coordinator's protocol
+          // validation rather than simulating it.
+          R.CorruptFrame =
+              !Rec.Quarantined &&
+              Opts.Faults.armedFor(HarnessFaultKind::PipeMessageCorruption,
+                                   Work[I].Spec->Name, Rec.Attempts);
+          R.Payload = encodeWorkerPayload(Rec, Incidents, Buffer.take());
+          return R;
+        });
+    if (Forked->start()) {
+      Summary.Metrics.add("worker.processes", POpts.Workers);
+    } else {
+      Forked.reset();
+      UseProcs = false;
+    }
+  }
+  if (Opts.WorkerProcesses > 0 && NewItems > 0 && !UseProcs) {
+    // Graceful degradation: fork unavailable (or refused) — match the
+    // requested parallelism with in-process worker threads instead.
+    Jobs = std::max(Jobs, Opts.WorkerProcesses);
+    Summary.Metrics.add("worker.fallback_inprocess");
+  }
+  // Worker-level failure context the coordinator accumulates until the
+  // item completes; merged ahead of the slot's own incidents/events.
+  std::vector<std::vector<CampaignIncident>> PendingWorkerIncidents(
+      UseProcs ? Work.size() : 0);
+  std::vector<std::vector<TraceEvent>> PendingWorkerEvents(
+      UseProcs ? Work.size() : 0);
+
   const bool HasDeadline = Opts.CampaignWallMillis > 0;
   const auto Deadline =
       std::chrono::steady_clock::now() +
@@ -485,7 +748,8 @@ CampaignSummary CampaignRunner::run() {
   std::mutex SlotMutex;
   std::condition_variable SlotReady;
 
-  auto RunOne = [&](std::size_t I, ReplayArena &Arena) {
+  auto RunOne = [&](std::size_t I, ReplayArena &Arena,
+                    unsigned StartAttempt = 1) {
     Slot S;
     if (Cancelled.load(std::memory_order_relaxed) || WallExpired()) {
       S.Skipped = true;
@@ -494,7 +758,8 @@ CampaignSummary CampaignRunner::run() {
       // merge loop drains the slot in catalog order.
       TraceBuffer Buffer;
       S.Rec = testInstruction(*Work[I].Spec, S.Incidents,
-                              Observing ? &Buffer : nullptr, Arena);
+                              Observing ? &Buffer : nullptr, Arena,
+                              StartAttempt);
       S.Events = Buffer.take();
     }
     {
@@ -516,7 +781,7 @@ CampaignSummary CampaignRunner::run() {
   };
 
   std::vector<std::thread> Pool;
-  if (Jobs > 1) {
+  if (!UseProcs && Jobs > 1) {
     std::size_t Workers = std::min<std::size_t>(Jobs, Work.size());
     Pool.reserve(Workers);
     for (std::size_t W = 0; W < Workers; ++W)
@@ -552,6 +817,14 @@ CampaignSummary CampaignRunner::run() {
       Event.Aux.clear();
       Event.Extra = 0;
     }
+    // Worker lifecycle events carry which worker index / pid failed
+    // (Value / Extra): pure scheduling facts. Blank them so metrics
+    // and diagnostic sinks see identical streams across topologies;
+    // the deterministic trace file filters the kind out entirely.
+    if (Event.Kind == TraceEventKind::WorkerEvent) {
+      Event.Value = 0;
+      Event.Extra = 0;
+    }
     if (Opts.ExtraTraceSink)
       Opts.ExtraTraceSink->emit(Event);
     if (Observing)
@@ -560,32 +833,38 @@ CampaignSummary CampaignRunner::run() {
       TraceWriter->emit(std::move(Event));
   };
 
-  // Serial path: the merge thread doubles as the single worker and
-  // keeps one arena for the whole campaign.
-  ReplayArena SerialArena;
-  for (std::size_t I = 0; I < Work.size(); ++I) {
-    if (const InstructionRecord *Resumed = Work[I].Resumed) {
-      if (Resumed->Quarantined)
-        Summary.Quarantined.push_back(Resumed->Instruction);
-      Summary.Records.push_back(*Resumed);
-      ++Summary.ResumedInstructions;
-      continue;
-    }
+  auto MergeResumed = [&](const InstructionRecord &Resumed) {
+    if (Resumed.Quarantined)
+      Summary.Quarantined.push_back(Resumed.Instruction);
+    Summary.Records.push_back(Resumed);
+    ++Summary.ResumedInstructions;
+  };
 
-    if (Pool.empty()) {
-      RunOne(I, SerialArena);
-    } else {
-      std::unique_lock<std::mutex> Lock(SlotMutex);
-      SlotReady.wait(Lock, [&] { return Slots[I].Ready; });
-    }
+  // Merges one finished slot; false when the shared wall clock marked
+  // it skipped — stop merging, drop the tail (mirroring the serial
+  // StopAfter break) and let the workers wind down.
+  auto MergeSlot = [&](std::size_t I) -> bool {
     Slot &S = Slots[I];
     if (S.Skipped) {
-      // The shared wall clock ran out: stop merging, drop the tail
-      // (mirroring the serial StopAfter break) and let the workers
-      // wind down.
       Summary.Stopped = true;
       Cancelled.store(true, std::memory_order_relaxed);
-      break;
+      return false;
+    }
+    if (UseProcs) {
+      // Worker-level failures happened before the slot's own events:
+      // merge them in front, stamped with the item's final disposition.
+      auto &PendInc = PendingWorkerIncidents[I];
+      for (CampaignIncident &Inc : PendInc)
+        Inc.Quarantined = S.Rec.Quarantined;
+      S.Incidents.insert(S.Incidents.begin(),
+                         std::make_move_iterator(PendInc.begin()),
+                         std::make_move_iterator(PendInc.end()));
+      PendInc.clear();
+      auto &PendEv = PendingWorkerEvents[I];
+      S.Events.insert(S.Events.begin(),
+                      std::make_move_iterator(PendEv.begin()),
+                      std::make_move_iterator(PendEv.end()));
+      PendEv.clear();
     }
     // Publish the slot's event stream before its containment summary
     // events so a reader sees attempt events, then incidents, then the
@@ -593,6 +872,18 @@ CampaignSummary CampaignRunner::run() {
     for (TraceEvent &Event : S.Events)
       Publish(std::move(Event));
     for (CampaignIncident &Inc : S.Incidents) {
+      // Blank the nondeterministic provenance before anything records
+      // the incident: worker index and pid are scheduling/OS facts, and
+      // the spent-wall figure in the budget strings is clock noise.
+      // With timings off this keeps incident files (and in-memory
+      // incidents) byte-comparable across topologies, mirroring the
+      // SimRun Aux/Extra blanking above.
+      Inc.Worker = -1;
+      Inc.Pid = 0;
+      if (!Opts.RecordTimings) {
+        Inc.ExploreBudget = scrubBudgetWall(std::move(Inc.ExploreBudget));
+        Inc.ReplayBudget = scrubBudgetWall(std::move(Inc.ReplayBudget));
+      }
       if (Observing) {
         TraceEvent Event;
         Event.Kind = TraceEventKind::Containment;
@@ -619,6 +910,122 @@ CampaignSummary CampaignRunner::run() {
       Summary.Quarantined.push_back(S.Rec.Instruction);
     appendLine(Opts.CheckpointPath, S.Rec.toJson());
     Summary.Records.push_back(std::move(S.Rec));
+    return true;
+  };
+
+  // Serial path: the merge thread doubles as the single worker and
+  // keeps one arena for the whole campaign.
+  ReplayArena SerialArena;
+  if (!UseProcs) {
+    for (std::size_t I = 0; I < Work.size(); ++I) {
+      if (const InstructionRecord *Resumed = Work[I].Resumed) {
+        MergeResumed(*Resumed);
+        continue;
+      }
+      if (Pool.empty()) {
+        RunOne(I, SerialArena);
+      } else {
+        std::unique_lock<std::mutex> Lock(SlotMutex);
+        SlotReady.wait(Lock, [&] { return Slots[I].Ready; });
+      }
+      if (!MergeSlot(I))
+        break;
+    }
+  } else {
+    // Out-of-process path: the coordinator poll loop and the merge
+    // cursor share this thread. Results merge (and checkpoint lines
+    // land) as soon as the catalog-order cursor reaches them — not
+    // when the campaign ends — so a killed coordinator resumes from
+    // everything already merged.
+    std::size_t Cursor = 0;
+    bool Halted = false;
+    auto Advance = [&] {
+      while (!Halted && Cursor < Work.size()) {
+        if (const InstructionRecord *Resumed = Work[Cursor].Resumed) {
+          MergeResumed(*Resumed);
+          ++Cursor;
+          continue;
+        }
+        if (!Slots[Cursor].Ready)
+          break;
+        if (!MergeSlot(Cursor)) {
+          Halted = true;
+          break;
+        }
+        ++Cursor;
+      }
+    };
+
+    std::deque<PoolWorkItem> Items;
+    for (std::size_t I = 0; I < Work.size(); ++I)
+      if (!Work[I].Resumed)
+        Items.push_back({I, 1});
+
+    ProcessPoolHooks Hooks;
+    Hooks.OnResult = [&](std::size_t I, unsigned Attempt,
+                         const std::string &Payload) {
+      (void)Attempt;
+      Slot S;
+      if (!decodeWorkerPayload(Payload, S.Rec, S.Incidents, S.Events))
+        return false; // undecodable == corrupt: recycle worker, retry
+      S.Ready = true;
+      Slots[I] = std::move(S);
+      Advance();
+      return true;
+    };
+    Hooks.OnFailure = [&](std::size_t I, unsigned Attempt,
+                          WorkerFailureKind Kind, const std::string &Error,
+                          unsigned WorkerIdx, long Pid) {
+      CampaignIncident Inc;
+      Inc.Instruction = Work[I].Spec->Name;
+      Inc.Stage = "worker";
+      Inc.ErrorClass = workerFailureKindName(Kind);
+      Inc.Error = Error;
+      Inc.ExploreBudget = workerOutOfBandBudgetNote();
+      Inc.ReplayBudget = workerOutOfBandBudgetNote();
+      Inc.Attempt = Attempt;
+      Inc.Worker = int(WorkerIdx);
+      Inc.Pid = Pid;
+      PendingWorkerIncidents[I].push_back(std::move(Inc));
+      if (Observing) {
+        TraceEvent Event;
+        Event.Kind = TraceEventKind::WorkerEvent;
+        Event.Instruction = Work[I].Spec->Name;
+        Event.Attempt = Attempt;
+        Event.Detail = workerFailureKindName(Kind);
+        Event.Aux = Error;
+        Event.Value = WorkerIdx;
+        Event.Extra = std::uint64_t(Pid > 0 ? Pid : 0);
+        PendingWorkerEvents[I].push_back(std::move(Event));
+      }
+    };
+    Hooks.OnExhausted = [&](std::size_t I, unsigned Attempts) {
+      // Synthesise the quarantine record the in-process retry loop
+      // would have produced after the same number of failed attempts.
+      Slot S;
+      S.Rec.Instruction = Work[I].Spec->Name;
+      S.Rec.Kind = Work[I].Spec->Kind;
+      S.Rec.Attempts = Attempts;
+      S.Rec.Quarantined = true;
+      S.Ready = true;
+      Slots[I] = std::move(S);
+      Advance();
+    };
+    Hooks.ShouldStop = [&] { return Halted || WallExpired(); };
+    Hooks.OnCounter = [&](const char *Name) { Summary.Metrics.add(Name); };
+
+    std::vector<PoolWorkItem> Leftover = Forked->run(std::move(Items), Hooks);
+    Forked->shutdown();
+    // Graceful degradation: whatever the pool could not finish (early
+    // stop, or every worker dead with respawns failing) runs in this
+    // process; StartAttempt carries over the attempts workers consumed.
+    if (!Leftover.empty())
+      Summary.Metrics.add("worker.leftover_inprocess", Leftover.size());
+    for (const PoolWorkItem &It : Leftover)
+      RunOne(It.Index, SerialArena, It.StartAttempt);
+    Advance();
+    if (WallExpired() && Cursor < Work.size())
+      Summary.Stopped = true;
   }
 
   Cancelled.store(true, std::memory_order_relaxed);

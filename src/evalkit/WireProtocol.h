@@ -1,0 +1,99 @@
+//===- evalkit/WireProtocol.h - Coordinator/worker frame protocol --------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The small length-prefixed binary protocol the campaign coordinator
+/// speaks to its worker processes over pipes (see ProcessPool.h). One
+/// frame is:
+///
+///   magic  u32le  'IGDT' (0x49474454)
+///   type   u8     FrameType
+///   length u32le  payload byte count
+///   crc    u32le  CRC-32 of the payload
+///   payload      length bytes
+///
+/// Pipes deliver bytes reliably, so the CRC and the bounds checks are
+/// not there for line noise: they catch a *worker* that scribbled over
+/// its own output buffer before dying (heap corruption in the system
+/// under test is exactly what the process pool exists to contain). A
+/// frame that fails any check marks the decoder Corrupt and the
+/// coordinator recycles the worker instead of trusting anything else it
+/// sent. The codec is pure (no file descriptors), so the corruption
+/// paths are unit-testable without forking.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_EVALKIT_WIREPROTOCOL_H
+#define IGDT_EVALKIT_WIREPROTOCOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace igdt {
+
+/// CRC-32 (IEEE 802.3, reflected 0xEDB88320) of \p Size bytes.
+std::uint32_t crc32(const void *Data, std::size_t Size);
+
+/// Frame discriminator.
+enum class FrameType : std::uint8_t {
+  /// Coordinator -> worker: one work assignment.
+  Assign = 1,
+  /// Worker -> coordinator: the assignment's result payload.
+  Result = 2,
+  /// Coordinator -> worker: exit cleanly.
+  Shutdown = 3,
+};
+
+/// 'IGDT' — rejects a stream that lost framing entirely.
+constexpr std::uint32_t WireMagic = 0x49474454u;
+/// Upper bound on one payload; anything larger is corruption, not data.
+constexpr std::uint32_t WireMaxPayload = 64u << 20;
+
+/// One decoded frame.
+struct WireFrame {
+  FrameType Type = FrameType::Assign;
+  std::string Payload;
+};
+
+/// Encodes one frame. With \p CorruptPayload the encoded bytes are
+/// deliberately damaged *after* the CRC is computed (the pipe-corruption
+/// harness fault), so a conforming decoder must reject the frame.
+std::string encodeFrame(FrameType Type, const std::string &Payload,
+                        bool CorruptPayload = false);
+
+/// Incremental frame parser over a byte stream. Corruption is sticky:
+/// once a frame fails validation nothing later in the stream can be
+/// trusted (framing may be lost), so the owner must discard the stream
+/// — for the coordinator, that means recycling the worker.
+class FrameDecoder {
+public:
+  enum class Status : std::uint8_t {
+    /// No complete frame buffered yet.
+    NeedMore,
+    /// \p Out holds the next frame.
+    Frame,
+    /// Validation failed; the stream is poisoned.
+    Corrupt,
+  };
+
+  /// Appends \p Size raw bytes from the stream.
+  void feed(const char *Data, std::size_t Size);
+
+  /// Extracts the next frame if one is fully buffered and valid.
+  Status next(WireFrame &Out);
+
+  /// Forgets buffered bytes and the poison flag (fresh stream).
+  void reset();
+
+private:
+  std::string Buffer;
+  bool Poisoned = false;
+};
+
+} // namespace igdt
+
+#endif // IGDT_EVALKIT_WIREPROTOCOL_H

@@ -34,15 +34,19 @@ const char *traceEventKindName(TraceEventKind Kind) {
     return "quarantine";
   case TraceEventKind::StageTime:
     return "stage-time";
+  case TraceEventKind::WorkerEvent:
+    return "worker-event";
   }
   return "unknown";
 }
 
 bool traceEventIsSchedulingDependent(TraceEventKind Kind) {
   // Tier-2 SharedUnsatIndex hits depend on which worker stored a proof
-  // first; everything else is a pure function of the instruction and
-  // the campaign options (see DESIGN.md "Parallel execution model").
-  return Kind == TraceEventKind::CacheLookup;
+  // first, and worker-process lifecycle depends on pids and wall time;
+  // everything else is a pure function of the instruction and the
+  // campaign options (see DESIGN.md "Parallel execution model").
+  return Kind == TraceEventKind::CacheLookup ||
+         Kind == TraceEventKind::WorkerEvent;
 }
 
 namespace {
@@ -54,7 +58,7 @@ constexpr TraceEventKind AllKinds[] = {
     TraceEventKind::ExploreDone,  TraceEventKind::Compile,
     TraceEventKind::SimRun,       TraceEventKind::PathVerdict,
     TraceEventKind::Containment,  TraceEventKind::Quarantine,
-    TraceEventKind::StageTime,
+    TraceEventKind::StageTime,    TraceEventKind::WorkerEvent,
 };
 
 } // namespace
