@@ -202,6 +202,7 @@ int main(int Argc, char **Argv) {
 
   JsonValue V = JsonValue::object();
   V.set("jobs", JsonValue::number(Jobs))
+      .set("worker_processes", JsonValue::number(Base.Campaign.WorkerProcesses))
       .set("hardware_concurrency", JsonValue::number(Hardware))
       .set("reps", JsonValue::number(Reps))
       .set("smoke", JsonValue::boolean(Smoke))

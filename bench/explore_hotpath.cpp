@@ -36,6 +36,7 @@
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <thread>
 
 using namespace igdt;
 
@@ -128,6 +129,11 @@ int main(int Argc, char **Argv) {
 
   JsonValue V = JsonValue::object();
   V.set("smoke", JsonValue::boolean(Smoke))
+      .set("hardware_concurrency",
+           JsonValue::number(std::thread::hardware_concurrency()))
+      .set("jobs", JsonValue::number(Cfg.Campaign.Jobs))
+      .set("worker_processes",
+           JsonValue::number(Cfg.Campaign.WorkerProcesses))
       .set("instructions", JsonValue::number(double(Instructions)))
       .set("paths", JsonValue::number(double(Paths)))
       .set("explore_millis", JsonValue::number(ExploreMillis))

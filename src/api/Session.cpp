@@ -48,6 +48,22 @@ void igdt::addSessionFlags(FlagParser &Flags, SessionConfig &Config) {
             "per-instruction replay wall budget in ms");
   Flags.add("replay-work-units", &Config.Campaign.ReplayBudget.WorkUnits,
             "per-instruction replay work budget (tested paths)");
+  Flags.add("total-units", &Config.Campaign.TotalExploreUnits,
+            "campaign-level explore budget shared by all instructions "
+            "(0 = unlimited)");
+  Flags.add("schedule", &Config.Campaign.Schedule.Policy,
+            "campaign schedule: fixed (byte-identical order) or adaptive");
+  Flags.add("solver-tiers", &Config.Campaign.Schedule.SolverTiers,
+            "cheap solver tiers below full strength (adaptive schedule)");
+  Flags.add("budget-pool", &Config.Campaign.Schedule.BudgetPool,
+            "redistribute provably unspent explore budget to starved "
+            "instructions");
+  Flags.add("budget-pool-cap", &Config.Campaign.Schedule.BudgetPoolCapFactor,
+            "per-instruction budget ceiling after a grant (x base budget)");
+  Flags.add("warm-start", &Config.Campaign.Schedule.WarmStartPath,
+            "checkpoint JSONL whose yield stats seed the priority order");
+  Flags.add("persist-yield", &Config.Campaign.Schedule.PersistYield,
+            "write per-instruction yield stats into checkpoint records");
 }
 
 Session::Session(SessionConfig Config) : Cfg(std::move(Config)) {}

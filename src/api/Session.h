@@ -70,6 +70,7 @@ struct SessionConfig {
   SimOptions &sim() { return Campaign.Harness.Sim; }
   BudgetOptions &exploreBudget() { return Campaign.ExploreBudget; }
   BudgetOptions &replayBudget() { return Campaign.ReplayBudget; }
+  ScheduleOptions &schedule() { return Campaign.Schedule; }
   /// @}
 };
 
@@ -78,8 +79,10 @@ class FlagParser;
 /// Registers the standard session flags (--jobs, --workers and the
 /// worker deadline/backoff knobs, --max-bytecodes, --max-native-methods,
 /// --only, --checkpoint, --incidents, --trace, --profile,
-/// --deterministic, --stop-after, --max-attempts, budget limits)
-/// against \p Config, so every binary exposes the same vocabulary.
+/// --deterministic, --stop-after, --max-attempts, budget limits, and
+/// the scheduling knobs --schedule, --solver-tiers, --budget-pool,
+/// --budget-pool-cap, --warm-start, --persist-yield) against \p Config,
+/// so every binary exposes the same vocabulary.
 void addSessionFlags(FlagParser &Flags, SessionConfig &Config);
 
 /// The unified pipeline entry point. Not thread-safe itself (campaign

@@ -331,6 +331,11 @@ ExplorationResult ConcolicExplorer::run(ExplorationResult Seed) {
   if (Bud.expired())
     Result.BudgetExhausted = true;
   Result.BudgetNote = Bud.describe();
+  // Provable exhaustion: the loop drained its frontier (not an
+  // iteration/path cap with work still queued), nothing was cut short
+  // by budget, and every negation got a definite answer.
+  Result.FrontierExhausted =
+      Queue.empty() && !Result.BudgetExhausted && Result.UnknownNegations == 0;
   if (Opts.Trace) {
     // TraceScope zeroes Millis when the campaign runs untimed, so this
     // span never breaks trace byte-identity.

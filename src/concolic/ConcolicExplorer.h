@@ -121,6 +121,13 @@ struct ExplorationResult {
   /// how many turned an Unknown negation into a definite answer.
   unsigned LadderRetries = 0;
   unsigned LadderRescues = 0;
+  /// The frontier emptied with every negation settled definitively: no
+  /// budget expiry and no residual Unknown negations, so the retained
+  /// path set is *provably* the instruction's complete path set (under
+  /// the iteration/path caps that were in force). The campaign
+  /// scheduler's early-exit policy keys on this to refund the unspent
+  /// budget to the shared pool.
+  bool FrontierExhausted = false;
 
   /// Paths the differential harness can replay.
   unsigned curatedCount() const {

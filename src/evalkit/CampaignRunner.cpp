@@ -149,7 +149,8 @@ std::string encodeWorkerPayload(const InstructionRecord &Rec,
                         {"unsat_subsumed", Rec.Solver.CacheUnsatSubsumed},
                         {"model_hits", Rec.Solver.ModelCacheHits},
                         {"prefix_reuse", Rec.Solver.PrefixReuseSolves},
-                        {"full_solves", Rec.Solver.FullSolves}}));
+                        {"full_solves", Rec.Solver.FullSolves},
+                        {"cap_hits", Rec.Solver.CapHits}}));
   V.set("jit", countersToJson({{"compiles", Rec.Jit.Compiles},
                                {"code_cache_hits", Rec.Jit.CodeCacheHits}}));
   V.set("sim", countersToJson({{"runs", Rec.Sim.Runs},
@@ -191,6 +192,7 @@ bool decodeWorkerPayload(const std::string &Payload, InstructionRecord &Rec,
   Rec.Solver.ModelCacheHits = counterOr(Diag, "model_hits");
   Rec.Solver.PrefixReuseSolves = counterOr(Diag, "prefix_reuse");
   Rec.Solver.FullSolves = counterOr(Diag, "full_solves");
+  Rec.Solver.CapHits = counterOr(Diag, "cap_hits");
   const JsonValue *Jit = V->find("jit");
   Rec.Jit.Compiles = counterOr(Jit, "compiles");
   Rec.Jit.CodeCacheHits = counterOr(Jit, "code_cache_hits");
@@ -226,6 +228,28 @@ bool decodeWorkerPayload(const std::string &Payload, InstructionRecord &Rec,
 }
 /// @}
 
+/// Derives the persisted yield statistics from a finished record's
+/// deterministic counters (ScheduleOptions::PersistYield). Everything
+/// except PathsPerSec is a pure function of checkpoint-stable fields,
+/// so stamping never perturbs byte-identity across topologies — and
+/// PathsPerSec is exactly zero whenever timings are off.
+void stampYield(InstructionRecord &Rec) {
+  Rec.HasYield = true;
+  Rec.Yield.PathsPerKiloUnit =
+      1000.0 * Rec.Paths /
+      double(std::max<std::uint64_t>(1, Rec.ExploreUnits));
+  Rec.Yield.PathsPerSec =
+      Rec.ExploreMillis > 0 ? Rec.Paths * 1000.0 / Rec.ExploreMillis : 0;
+  unsigned Differing = 0;
+  for (const CompilerOutcome &C : Rec.Compilers)
+    Differing += C.DifferingPaths;
+  Rec.Yield.DivergenceRate = double(Differing) / std::max(1u, Rec.Paths);
+  Rec.Yield.UnknownRate =
+      Rec.Solver.Queries
+          ? double(Rec.Solver.UnknownCount) / double(Rec.Solver.Queries)
+          : 0;
+}
+
 } // namespace
 
 std::string InstructionRecord::toJson() const {
@@ -240,6 +264,8 @@ std::string InstructionRecord::toJson() const {
       .set("ladder_retries", JsonValue::number(LadderRetries))
       .set("ladder_rescues", JsonValue::number(LadderRescues))
       .set("budget_exhausted", JsonValue::boolean(BudgetExhausted))
+      .set("frontier_exhausted", JsonValue::boolean(FrontierExhausted))
+      .set("explore_units", JsonValue::number(double(ExploreUnits)))
       .set("explore_millis", JsonValue::number(ExploreMillis));
   JsonValue Sol = JsonValue::object();
   // Cache hit/miss counters are deliberately absent: they depend on
@@ -253,6 +279,14 @@ std::string InstructionRecord::toJson() const {
       .set("nodes", JsonValue::number(Solver.NodesExplored))
       .set("budget_stops", JsonValue::number(Solver.BudgetStops));
   V.set("solver", std::move(Sol));
+  if (HasYield) {
+    JsonValue Y = JsonValue::object();
+    Y.set("paths_per_kunit", JsonValue::number(Yield.PathsPerKiloUnit))
+        .set("paths_per_sec", JsonValue::number(Yield.PathsPerSec))
+        .set("divergence_rate", JsonValue::number(Yield.DivergenceRate))
+        .set("unknown_rate", JsonValue::number(Yield.UnknownRate));
+    V.set("yield", std::move(Y));
+  }
   JsonValue Comps = JsonValue::array();
   for (const CompilerOutcome &C : Compilers) {
     JsonValue O = JsonValue::object();
@@ -295,6 +329,11 @@ bool InstructionRecord::fromJson(const std::string &Line,
   Out.LadderRetries = static_cast<unsigned>(V->numberOr("ladder_retries", 0));
   Out.LadderRescues = static_cast<unsigned>(V->numberOr("ladder_rescues", 0));
   Out.BudgetExhausted = V->boolOr("budget_exhausted", false);
+  // Absent in pre-scheduler checkpoints; the defaults below keep those
+  // loading (satellite contract: old schemas resume fine).
+  Out.FrontierExhausted = V->boolOr("frontier_exhausted", false);
+  Out.ExploreUnits =
+      static_cast<std::uint64_t>(V->numberOr("explore_units", 0));
   Out.ExploreMillis = V->numberOr("explore_millis", 0);
   if (const JsonValue *Sol = V->find("solver")) {
     Out.Solver.Queries = static_cast<std::uint64_t>(Sol->numberOr("queries", 0));
@@ -309,6 +348,13 @@ bool InstructionRecord::fromJson(const std::string &Line,
         static_cast<std::uint64_t>(Sol->numberOr("nodes", 0));
     Out.Solver.BudgetStops =
         static_cast<std::uint64_t>(Sol->numberOr("budget_stops", 0));
+  }
+  if (const JsonValue *Y = V->find("yield")) {
+    Out.HasYield = true;
+    Out.Yield.PathsPerKiloUnit = Y->numberOr("paths_per_kunit", 0);
+    Out.Yield.PathsPerSec = Y->numberOr("paths_per_sec", 0);
+    Out.Yield.DivergenceRate = Y->numberOr("divergence_rate", 0);
+    Out.Yield.UnknownRate = Y->numberOr("unknown_rate", 0);
   }
   if (const JsonValue *Comps = V->find("compilers")) {
     for (const JsonValue &O : Comps->Arr) {
@@ -391,13 +437,20 @@ InstructionRecord
 CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
                                    unsigned Attempt, Budget &ExploreBud,
                                    Budget &ReplayBud, TraceSink *Trace,
-                                   ReplayArena &Arena) const {
+                                   ReplayArena &Arena,
+                                   unsigned TierDistance) const {
   InstructionRecord Rec;
   Rec.Instruction = Spec.Name;
   Rec.Kind = Spec.Kind;
   Rec.Attempts = Attempt;
 
   ExplorerOptions EOpts = Opts.Harness.Explorer;
+  // Cheap scheduler tier: structural caps only (solverTierCaps), so a
+  // run that never trips one (CapHits == 0) is bit-identical to full
+  // strength. Applied before fault arming so injected solver faults
+  // fire identically at every tier.
+  if (TierDistance > 0)
+    EOpts.Solver = solverTierCaps(EOpts.Solver, TierDistance);
   EOpts.ExternalBudget = &ExploreBud;
   EOpts.SharedUnsat = &SolverIndex;
   EOpts.Trace = Trace;
@@ -417,6 +470,8 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
   Rec.LadderRetries = R.LadderRetries;
   Rec.LadderRescues = R.LadderRescues;
   Rec.BudgetExhausted = R.BudgetExhausted;
+  Rec.FrontierExhausted = R.FrontierExhausted;
+  Rec.ExploreUnits = ExploreBud.spentUnits();
   Rec.Solver = R.Solver;
 
   // One compile-once cache per attempt, shared by every compiler kind
@@ -496,7 +551,8 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
 
 InstructionRecord CampaignRunner::testInstruction(
     const InstructionSpec &Spec, std::vector<CampaignIncident> &Incidents,
-    TraceSink *Trace, ReplayArena &Arena, unsigned StartAttempt) const {
+    TraceSink *Trace, ReplayArena &Arena, unsigned StartAttempt,
+    unsigned TierDistance, std::uint64_t ExploreUnitsOverride) const {
   unsigned MaxAttempts = std::max(1u, Opts.MaxAttempts);
   std::vector<CampaignIncident> Local;
   InstructionRecord Rec;
@@ -508,7 +564,12 @@ InstructionRecord CampaignRunner::testInstruction(
     // must not leak state into the retry. The replay arena is reused,
     // but its reset contract makes the next acquire observably fresh
     // (poison included), so the guarantee carries over.
-    Budget ExploreBud(Opts.ExploreBudget);
+    BudgetOptions ExploreCfg = Opts.ExploreBudget;
+    // A budget-pool grant raises this run's work-unit allowance; the
+    // wall/memory sides stay configuration.
+    if (ExploreUnitsOverride)
+      ExploreCfg.WorkUnits = ExploreUnitsOverride;
+    Budget ExploreBud(ExploreCfg);
     Budget ReplayBud(Opts.ReplayBudget);
     // Events of a failed attempt stay in the stream: fault injection
     // is deterministic, so the partial prefix is too, and the attempt
@@ -524,7 +585,7 @@ InstructionRecord CampaignRunner::testInstruction(
     bool WorkerFaulted = false;
     try {
       Rec = attemptInstruction(Spec, Attempt, ExploreBud, ReplayBud,
-                               Trace ? &Scope : nullptr, Arena);
+                               Trace ? &Scope : nullptr, Arena, TierDistance);
       // The in-process equivalent of a damaged response frame: the
       // result was computed but cannot be trusted/delivered. Worker
       // processes damage the real encoded frame instead (the send path
@@ -582,6 +643,9 @@ InstructionRecord CampaignRunner::testInstruction(
     Rec.Attempts = MaxAttempts;
     Rec.Quarantined = true;
   }
+
+  if (Opts.Schedule.PersistYield)
+    stampYield(Rec);
 
   for (CampaignIncident &I : Local) {
     I.Quarantined = Rec.Quarantined;
@@ -648,6 +712,23 @@ CampaignSummary CampaignRunner::run() {
     ++NewPlanned;
   }
 
+  // Adaptive scheduling: the policy object replaces the atomic cursor /
+  // pull queue as the source of "next instruction" (CampaignScheduler.h
+  // has the determinism contract). Built over the planned worklist so
+  // quota/StopAfter truncation is identical to fixed order.
+  const bool Adaptive = Opts.Schedule.adaptive();
+  std::unique_ptr<CampaignScheduler> Sched;
+  if (Adaptive) {
+    Sched = std::make_unique<CampaignScheduler>(Opts.Schedule,
+                                                Opts.ExploreBudget.WorkUnits);
+    for (std::size_t I = 0; I < Work.size(); ++I)
+      if (!Work[I].Resumed)
+        Sched->addItem(I, Work[I].Spec->Name);
+    if (!Opts.Schedule.WarmStartPath.empty())
+      Sched->loadWarmStart(Opts.Schedule.WarmStartPath);
+    Sched->finalize();
+  }
+
   // Phase 2: execute. Workers claim unprocessed items from an atomic
   // cursor and fill per-item slots; every exploration runs on a
   // worker-local heap/arena/solver (see ConcolicExplorer.h), so
@@ -677,9 +758,12 @@ CampaignSummary CampaignRunner::run() {
   // The pool forks here, while this process is still single-threaded —
   // the coordinator stays single-threaded for its whole life (its poll
   // loop shares the merge thread), so workers never inherit locks,
-  // threads or partially-written state.
+  // threads or partially-written state. A campaign-level budget forces
+  // in-process execution: the pool's pull queue claims items before
+  // the ledger can price them, so draws could not follow completion
+  // order; the degradation below swaps in worker threads instead.
   bool UseProcs = Opts.WorkerProcesses > 0 && NewItems > 0 &&
-                  ProcessPool::available();
+                  Opts.TotalExploreUnits == 0 && ProcessPool::available();
   std::unique_ptr<ProcessPool> Forked;
   if (UseProcs) {
     ProcessPoolOptions POpts;
@@ -693,21 +777,20 @@ CampaignSummary CampaignRunner::run() {
     // the in-process pool gets from its per-thread arenas.
     auto WorkerArena = std::make_shared<ReplayArena>();
     Forked = std::make_unique<ProcessPool>(
-        POpts, [this, &Work, Observing, WorkerArena](std::size_t I,
-                                                     unsigned StartAttempt) {
+        POpts, [this, &Work, Observing, WorkerArena](const PoolWorkItem &It) {
           PoolItemResult R;
           std::vector<CampaignIncident> Incidents;
           TraceBuffer Buffer;
           InstructionRecord Rec = testInstruction(
-              *Work[I].Spec, Incidents, Observing ? &Buffer : nullptr,
-              *WorkerArena, StartAttempt);
+              *Work[It.Index].Spec, Incidents, Observing ? &Buffer : nullptr,
+              *WorkerArena, It.StartAttempt, It.Tier, It.GrantUnits);
           // The armed pipe-corruption fault damages the real encoded
           // frame (post-CRC), exercising the coordinator's protocol
           // validation rather than simulating it.
           R.CorruptFrame =
               !Rec.Quarantined &&
               Opts.Faults.armedFor(HarnessFaultKind::PipeMessageCorruption,
-                                   Work[I].Spec->Name, Rec.Attempts);
+                                   Work[It.Index].Spec->Name, Rec.Attempts);
           R.Payload = encodeWorkerPayload(Rec, Incidents, Buffer.take());
           return R;
         });
@@ -748,19 +831,68 @@ CampaignSummary CampaignRunner::run() {
   std::mutex SlotMutex;
   std::condition_variable SlotReady;
 
+  // Campaign-level explore ledger (TotalExploreUnits): every dispatch
+  // draws its per-instruction allowance here and refunds what the run
+  // left unspent, so later dispatches see exactly the units earlier
+  // ones proved they did not need. Draw 0 means the ledger is dry.
+  // The ledger has the same reservation semantics as every other
+  // cooperative budget (charge-then-check): a run granted N units may
+  // spend N+1, and that final batch is outside the ledger — exactly as
+  // a WorkUnits=1200 exploration may report 1201 spent. Billing the
+  // overshoot back would tax many-small-runs schedules by one unit per
+  // dispatch and skew fixed-vs-adaptive comparisons under equal
+  // grants.
+  const bool TotalBudget = Opts.TotalExploreUnits > 0;
+  std::atomic<std::uint64_t> UnitsLeft{Opts.TotalExploreUnits};
+  auto ReserveUnits = [&](std::uint64_t Want) -> std::uint64_t {
+    std::uint64_t Cur = UnitsLeft.load(std::memory_order_relaxed);
+    for (;;) {
+      std::uint64_t Draw = Want ? std::min(Want, Cur) : Cur;
+      if (Draw == 0)
+        return 0;
+      if (UnitsLeft.compare_exchange_weak(Cur, Cur - Draw,
+                                          std::memory_order_relaxed))
+        return Draw;
+    }
+  };
+  auto RefundUnits = [&](std::uint64_t Draw, std::uint64_t Spent) {
+    if (Draw > Spent)
+      UnitsLeft.fetch_add(Draw - Spent, std::memory_order_relaxed);
+  };
+
   auto RunOne = [&](std::size_t I, ReplayArena &Arena,
-                    unsigned StartAttempt = 1) {
+                    unsigned StartAttempt = 1, unsigned Tier = 0,
+                    std::uint64_t GrantUnits = 0) {
     Slot S;
     if (Cancelled.load(std::memory_order_relaxed) || WallExpired()) {
       S.Skipped = true;
     } else {
-      // Per-worker buffering: events never cross threads until the
-      // merge loop drains the slot in catalog order.
-      TraceBuffer Buffer;
-      S.Rec = testInstruction(*Work[I].Spec, S.Incidents,
-                              Observing ? &Buffer : nullptr, Arena,
-                              StartAttempt);
-      S.Events = Buffer.take();
+      std::uint64_t Draw = 0;
+      if (TotalBudget)
+        Draw = ReserveUnits(GrantUnits ? GrantUnits
+                                       : Opts.ExploreBudget.WorkUnits);
+      if (TotalBudget && Draw == 0) {
+        // Ledger dry: an honest zero-path record instead of a run. The
+        // scheduler sees BudgetExhausted and can re-grant refunds; in
+        // fixed order the instruction simply went unfunded.
+        S.Rec.Instruction = Work[I].Spec->Name;
+        S.Rec.Kind = Work[I].Spec->Kind;
+        S.Rec.Attempts = 0;
+        S.Rec.BudgetExhausted = true;
+        if (Opts.Schedule.PersistYield)
+          stampYield(S.Rec);
+      } else {
+        // Per-worker buffering: events never cross threads until the
+        // merge loop drains the slot in catalog order.
+        TraceBuffer Buffer;
+        S.Rec = testInstruction(*Work[I].Spec, S.Incidents,
+                                Observing ? &Buffer : nullptr, Arena,
+                                StartAttempt, Tier,
+                                TotalBudget ? Draw : GrantUnits);
+        S.Events = Buffer.take();
+        if (TotalBudget)
+          RefundUnits(Draw, S.Rec.ExploreUnits);
+      }
     }
     {
       std::lock_guard<std::mutex> Lock(SlotMutex);
@@ -781,7 +913,9 @@ CampaignSummary CampaignRunner::run() {
   };
 
   std::vector<std::thread> Pool;
-  if (!UseProcs && Jobs > 1) {
+  // Adaptive campaigns drive their own per-wave execution below; the
+  // free-running fixed-order pool would race the scheduler's waves.
+  if (!UseProcs && !Adaptive && Jobs > 1) {
     std::size_t Workers = std::min<std::size_t>(Jobs, Work.size());
     Pool.reserve(Workers);
     for (std::size_t W = 0; W < Workers; ++W)
@@ -913,10 +1047,232 @@ CampaignSummary CampaignRunner::run() {
     return true;
   };
 
+  // Worker-level failure accounting shared by the fixed and adaptive
+  // out-of-process coordinators: stash the incident/event so the merge
+  // loop emits them ahead of the item's own stream.
+  auto OnWorkerFailure = [&](std::size_t I, unsigned Attempt,
+                             WorkerFailureKind Kind, const std::string &Error,
+                             unsigned WorkerIdx, long Pid) {
+    CampaignIncident Inc;
+    Inc.Instruction = Work[I].Spec->Name;
+    Inc.Stage = "worker";
+    Inc.ErrorClass = workerFailureKindName(Kind);
+    Inc.Error = Error;
+    Inc.ExploreBudget = workerOutOfBandBudgetNote();
+    Inc.ReplayBudget = workerOutOfBandBudgetNote();
+    Inc.Attempt = Attempt;
+    Inc.Worker = int(WorkerIdx);
+    Inc.Pid = Pid;
+    PendingWorkerIncidents[I].push_back(std::move(Inc));
+    if (Observing) {
+      TraceEvent Event;
+      Event.Kind = TraceEventKind::WorkerEvent;
+      Event.Instruction = Work[I].Spec->Name;
+      Event.Attempt = Attempt;
+      Event.Detail = workerFailureKindName(Kind);
+      Event.Aux = Error;
+      Event.Value = WorkerIdx;
+      Event.Extra = std::uint64_t(Pid > 0 ? Pid : 0);
+      PendingWorkerEvents[I].push_back(std::move(Event));
+    }
+  };
+
+  // Synthesise the quarantine record the in-process retry loop would
+  // have produced after the same number of failed attempts.
+  auto SynthesiseQuarantine = [&](std::size_t I, unsigned Attempts) {
+    Slot S;
+    S.Rec.Instruction = Work[I].Spec->Name;
+    S.Rec.Kind = Work[I].Spec->Kind;
+    S.Rec.Attempts = Attempts;
+    S.Rec.Quarantined = true;
+    if (Opts.Schedule.PersistYield)
+      stampYield(S.Rec);
+    S.Ready = true;
+    Slots[I] = std::move(S);
+  };
+
   // Serial path: the merge thread doubles as the single worker and
   // keeps one arena for the whole campaign.
   ReplayArena SerialArena;
-  if (!UseProcs) {
+  if (Adaptive) {
+    // Adaptive wave loop. The catalog-order merge cursor is the same
+    // one the fixed coordinator uses — scheduling changes *when* an
+    // instruction runs, never where its record lands, so checkpoint,
+    // incident and trace bytes keep their catalog order and land
+    // incrementally as the cursor reaches them.
+    std::size_t Cursor = 0;
+    bool Halted = false;
+    auto Advance = [&] {
+      while (!Halted && Cursor < Work.size()) {
+        if (const InstructionRecord *Resumed = Work[Cursor].Resumed) {
+          MergeResumed(*Resumed);
+          ++Cursor;
+          continue;
+        }
+        if (!Slots[Cursor].Ready)
+          break;
+        if (!MergeSlot(Cursor)) {
+          Halted = true;
+          break;
+        }
+        ++Cursor;
+      }
+    };
+
+    // A superseded run (escalation or regrant) vanishes entirely:
+    // record, incidents and buffered events are all regenerated by the
+    // re-run, which restarts attempt counting so deterministic fault
+    // arming and the event stream replay exactly as fixed order saw
+    // them.
+    auto DiscardRun = [&](std::size_t I) {
+      Slots[I] = Slot();
+      if (UseProcs) {
+        PendingWorkerIncidents[I].clear();
+        PendingWorkerEvents[I].clear();
+      }
+    };
+
+    auto FeedbackOf = [&](std::size_t I) {
+      const Slot &S = Slots[I];
+      ScheduleFeedback F;
+      F.Quarantined = S.Rec.Quarantined;
+      F.BudgetExhausted = S.Rec.BudgetExhausted;
+      F.FrontierExhausted = S.Rec.FrontierExhausted;
+      F.HadIncidents = !S.Incidents.empty() ||
+                       (UseProcs && !PendingWorkerIncidents[I].empty());
+      F.UnknownNegations = S.Rec.UnknownNegations;
+      F.LadderRetries = S.Rec.LadderRetries;
+      F.Paths = S.Rec.Paths;
+      F.CapHits = S.Rec.Solver.CapHits;
+      F.SpentUnits = S.Rec.ExploreUnits;
+      return F;
+    };
+
+    // Verdicts run on this (coordinating) thread only. Accept exposes
+    // the slot to the merge cursor; Retry/Hold keep it invisible.
+    auto ApplyVerdict = [&](const ScheduleAssignment &A) {
+      std::size_t I = A.Index;
+      if (Slots[I].Skipped)
+        return; // wall expired: the merge will see it and halt
+      switch (Sched->report(A, FeedbackOf(I))) {
+      case ScheduleVerdict::Accept:
+        Slots[I].Ready = true;
+        break;
+      case ScheduleVerdict::Retry:
+        DiscardRun(I);
+        break;
+      case ScheduleVerdict::Hold:
+        Slots[I].Ready = false;
+        break;
+      }
+    };
+
+    // Starved items the grant round left empty-handed: their held
+    // base-budget results become final without a re-run.
+    auto PublishFinalized = [&] {
+      for (std::size_t I : Sched->takeFinalized())
+        Slots[I].Ready = true;
+    };
+
+    while (!Halted && !Sched->done()) {
+      std::vector<ScheduleAssignment> Wave = Sched->nextWave();
+      PublishFinalized();
+      if (Wave.empty())
+        break;
+      for (const ScheduleAssignment &A : Wave)
+        DiscardRun(A.Index); // drop any held run this re-run supersedes
+
+      if (UseProcs) {
+        std::map<std::size_t, ScheduleAssignment> ByIndex;
+        std::deque<PoolWorkItem> Items;
+        for (const ScheduleAssignment &A : Wave) {
+          ByIndex[A.Index] = A;
+          Items.push_back({A.Index, 1, A.TierDistance, A.ExploreUnits});
+        }
+        ProcessPoolHooks Hooks;
+        Hooks.OnResult = [&](std::size_t I, unsigned Attempt,
+                             const std::string &Payload) {
+          (void)Attempt;
+          Slot S;
+          if (!decodeWorkerPayload(Payload, S.Rec, S.Incidents, S.Events))
+            return false; // undecodable == corrupt: recycle, retry
+          S.Ready = true;
+          Slots[I] = std::move(S);
+          // The coordinator is single-threaded, so verdict + merge run
+          // inline: accepted records checkpoint incrementally exactly
+          // like the fixed-order coordinator's.
+          ApplyVerdict(ByIndex[I]);
+          Advance();
+          return true;
+        };
+        Hooks.OnFailure = OnWorkerFailure;
+        Hooks.OnExhausted = [&](std::size_t I, unsigned Attempts) {
+          SynthesiseQuarantine(I, Attempts);
+          ApplyVerdict(ByIndex[I]);
+          Advance();
+        };
+        Hooks.ShouldStop = [&] { return Halted || WallExpired(); };
+        Hooks.OnCounter = [&](const char *Name) { Summary.Metrics.add(Name); };
+
+        std::vector<PoolWorkItem> Leftover =
+            Forked->run(std::move(Items), Hooks);
+        if (!Leftover.empty())
+          Summary.Metrics.add("worker.leftover_inprocess", Leftover.size());
+        for (const PoolWorkItem &It : Leftover) {
+          if (Halted)
+            break;
+          RunOne(It.Index, SerialArena, It.StartAttempt, It.Tier,
+                 It.GrantUnits);
+          ApplyVerdict(ByIndex[It.Index]);
+          Advance();
+        }
+      } else if (std::min<std::size_t>(Jobs, Wave.size()) > 1) {
+        // Per-wave thread pool over an atomic wave cursor; verdicts
+        // stay on this thread, consumed in wave order as slots land.
+        std::atomic<std::size_t> WaveNext{0};
+        std::size_t Threads = std::min<std::size_t>(Jobs, Wave.size());
+        std::vector<std::thread> WavePool;
+        WavePool.reserve(Threads);
+        for (std::size_t W = 0; W < Threads; ++W)
+          WavePool.emplace_back([&] {
+            ReplayArena Arena;
+            for (;;) {
+              std::size_t K = WaveNext.fetch_add(1, std::memory_order_relaxed);
+              if (K >= Wave.size())
+                break;
+              RunOne(Wave[K].Index, Arena, 1, Wave[K].TierDistance,
+                     Wave[K].ExploreUnits);
+            }
+          });
+        for (const ScheduleAssignment &A : Wave) {
+          {
+            std::unique_lock<std::mutex> Lock(SlotMutex);
+            SlotReady.wait(Lock, [&] { return Slots[A.Index].Ready; });
+          }
+          ApplyVerdict(A);
+          Advance();
+        }
+        for (std::thread &T : WavePool)
+          T.join();
+      } else {
+        for (const ScheduleAssignment &A : Wave) {
+          if (Halted)
+            break;
+          RunOne(A.Index, SerialArena, 1, A.TierDistance, A.ExploreUnits);
+          ApplyVerdict(A);
+          Advance();
+        }
+      }
+    }
+    if (Forked) {
+      Forked->shutdown();
+      Forked.reset();
+    }
+    PublishFinalized();
+    Advance();
+    if (WallExpired() && Cursor < Work.size())
+      Summary.Stopped = true;
+  } else if (!UseProcs) {
     for (std::size_t I = 0; I < Work.size(); ++I) {
       if (const InstructionRecord *Resumed = Work[I].Resumed) {
         MergeResumed(*Resumed);
@@ -973,42 +1329,9 @@ CampaignSummary CampaignRunner::run() {
       Advance();
       return true;
     };
-    Hooks.OnFailure = [&](std::size_t I, unsigned Attempt,
-                          WorkerFailureKind Kind, const std::string &Error,
-                          unsigned WorkerIdx, long Pid) {
-      CampaignIncident Inc;
-      Inc.Instruction = Work[I].Spec->Name;
-      Inc.Stage = "worker";
-      Inc.ErrorClass = workerFailureKindName(Kind);
-      Inc.Error = Error;
-      Inc.ExploreBudget = workerOutOfBandBudgetNote();
-      Inc.ReplayBudget = workerOutOfBandBudgetNote();
-      Inc.Attempt = Attempt;
-      Inc.Worker = int(WorkerIdx);
-      Inc.Pid = Pid;
-      PendingWorkerIncidents[I].push_back(std::move(Inc));
-      if (Observing) {
-        TraceEvent Event;
-        Event.Kind = TraceEventKind::WorkerEvent;
-        Event.Instruction = Work[I].Spec->Name;
-        Event.Attempt = Attempt;
-        Event.Detail = workerFailureKindName(Kind);
-        Event.Aux = Error;
-        Event.Value = WorkerIdx;
-        Event.Extra = std::uint64_t(Pid > 0 ? Pid : 0);
-        PendingWorkerEvents[I].push_back(std::move(Event));
-      }
-    };
+    Hooks.OnFailure = OnWorkerFailure;
     Hooks.OnExhausted = [&](std::size_t I, unsigned Attempts) {
-      // Synthesise the quarantine record the in-process retry loop
-      // would have produced after the same number of failed attempts.
-      Slot S;
-      S.Rec.Instruction = Work[I].Spec->Name;
-      S.Rec.Kind = Work[I].Spec->Kind;
-      S.Rec.Attempts = Attempts;
-      S.Rec.Quarantined = true;
-      S.Ready = true;
-      Slots[I] = std::move(S);
+      SynthesiseQuarantine(I, Attempts);
       Advance();
     };
     Hooks.ShouldStop = [&] { return Halted || WallExpired(); };
@@ -1049,6 +1372,23 @@ CampaignSummary CampaignRunner::run() {
   Summary.Metrics.add("campaign.resumed", Summary.ResumedInstructions);
   Summary.Metrics.add("campaign.quarantined", Summary.Quarantined.size());
   Summary.Metrics.add("campaign.incidents", Summary.Incidents.size());
+  if (Sched) {
+    Summary.ScheduleActive = true;
+    Summary.Schedule = Sched->stats();
+    const ScheduleStats &S = Summary.Schedule;
+    Summary.Metrics.add("schedule.waves", S.Waves);
+    Summary.Metrics.add("schedule.tier_escalations", S.TierEscalations);
+    Summary.Metrics.add("schedule.early_exits", S.EarlyExits);
+    Summary.Metrics.add("schedule.budget_pool.refunds", S.PoolRefunds);
+    Summary.Metrics.add("schedule.budget_pool.refund_units",
+                        S.PoolRefundUnits);
+    Summary.Metrics.add("schedule.budget_pool.transfers", S.PoolGrants);
+    Summary.Metrics.add("schedule.budget_pool.grant_units", S.PoolGrantUnits);
+    Summary.Metrics.add("schedule.priority_inversions", S.PriorityInversions);
+    Summary.Metrics.add("schedule.warm_start_entries", S.WarmStartEntries);
+    Summary.Metrics.add("schedule.discarded_runs", S.DiscardedRuns);
+    Summary.Metrics.add("schedule.discarded_units", S.DiscardedUnits);
+  }
   return Summary;
 }
 
@@ -1108,6 +1448,20 @@ ProfileReport igdt::buildCampaignProfile(const CampaignSummary &Summary,
   Report.FullSolves = Summary.Solver.FullSolves;
   Report.JitCompiles = Summary.Jit.Compiles;
   Report.JitCodeCacheHits = Summary.Jit.CodeCacheHits;
+  if (Summary.ScheduleActive) {
+    Report.HasSchedule = true;
+    Report.ScheduleWaves = Summary.Schedule.Waves;
+    Report.ScheduleTierEscalations = Summary.Schedule.TierEscalations;
+    Report.ScheduleEarlyExits = Summary.Schedule.EarlyExits;
+    Report.SchedulePoolRefunds = Summary.Schedule.PoolRefunds;
+    Report.SchedulePoolRefundUnits = Summary.Schedule.PoolRefundUnits;
+    Report.SchedulePoolGrants = Summary.Schedule.PoolGrants;
+    Report.SchedulePoolGrantUnits = Summary.Schedule.PoolGrantUnits;
+    Report.SchedulePriorityInversions = Summary.Schedule.PriorityInversions;
+    Report.ScheduleWarmStartEntries = Summary.Schedule.WarmStartEntries;
+    Report.ScheduleDiscardedRuns = Summary.Schedule.DiscardedRuns;
+    Report.ScheduleDiscardedUnits = Summary.Schedule.DiscardedUnits;
+  }
   Report.Metrics = Summary.Metrics;
   return Report;
 }

@@ -73,6 +73,25 @@ std::string ProfileReport::render() const {
     T.addRow({"hit rate", formatPercent(codeCacheHitRate())});
     Out += T.render();
   }
+  if (HasSchedule) {
+    Out += "\n";
+    TablePrinter T({"scheduling", "value"});
+    auto U64 = [](std::uint64_t V) {
+      return formatString("%llu", (unsigned long long)V);
+    };
+    T.addRow({"waves", U64(ScheduleWaves)});
+    T.addRow({"tier escalations", U64(ScheduleTierEscalations)});
+    T.addRow({"early exits", U64(ScheduleEarlyExits)});
+    T.addRow({"pool refunds", U64(SchedulePoolRefunds)});
+    T.addRow({"pool refund units", U64(SchedulePoolRefundUnits)});
+    T.addRow({"pool transfers", U64(SchedulePoolGrants)});
+    T.addRow({"pool grant units", U64(SchedulePoolGrantUnits)});
+    T.addRow({"priority inversions", U64(SchedulePriorityInversions)});
+    T.addRow({"warm-start entries", U64(ScheduleWarmStartEntries)});
+    T.addRow({"discarded runs", U64(ScheduleDiscardedRuns)});
+    T.addRow({"discarded units", U64(ScheduleDiscardedUnits)});
+    Out += T.render();
+  }
   if (!Metrics.empty()) {
     Out += "\n";
     Out += Metrics.render();
@@ -121,6 +140,24 @@ JsonValue ProfileReport::toJson() const {
                 JsonValue::number(static_cast<double>(JitCodeCacheHits)));
   CodeCache.set("hit_rate", JsonValue::number(codeCacheHitRate()));
   V.set("code_cache", std::move(CodeCache));
+  if (HasSchedule) {
+    auto N = [](std::uint64_t V) {
+      return JsonValue::number(static_cast<double>(V));
+    };
+    JsonValue Sched = JsonValue::object();
+    Sched.set("waves", N(ScheduleWaves));
+    Sched.set("tier_escalations", N(ScheduleTierEscalations));
+    Sched.set("early_exits", N(ScheduleEarlyExits));
+    Sched.set("pool_refunds", N(SchedulePoolRefunds));
+    Sched.set("pool_refund_units", N(SchedulePoolRefundUnits));
+    Sched.set("pool_transfers", N(SchedulePoolGrants));
+    Sched.set("pool_grant_units", N(SchedulePoolGrantUnits));
+    Sched.set("priority_inversions", N(SchedulePriorityInversions));
+    Sched.set("warm_start_entries", N(ScheduleWarmStartEntries));
+    Sched.set("discarded_runs", N(ScheduleDiscardedRuns));
+    Sched.set("discarded_units", N(ScheduleDiscardedUnits));
+    V.set("scheduling", std::move(Sched));
+  }
   V.set("metrics", Metrics.toJson());
   return V;
 }

@@ -878,6 +878,7 @@ CaseSolver::CaseStatus CaseSolver::solve(const Case &Lits, Model &Out) {
   std::vector<std::size_t> Choice(Reps.size(), 0);
   while (true) {
     if (Combos++ > Opts.MaxClassCombos) {
+      Stats.CapHits++;
       AnyUnknown = true;
       break;
     }
@@ -1001,7 +1002,14 @@ CaseSolver::CaseStatus CaseSolver::numericSolve(Model &M) {
     FloatOrder.push_back(Key);
 
   unsigned StartNodes = Nodes;
-  if (searchInt(0, M, Order))
+  bool SatFound = searchInt(0, M, Order);
+  // A node-cap trip prunes subtrees, so even a Sat answer may differ
+  // from the un-capped search's Sat — count the trip on every outcome
+  // (the scheduler's cheap-tier acceptance requires that no cap was
+  // felt anywhere, not merely that the final status stayed definite).
+  if (Nodes > Opts.MaxSearchNodes)
+    Stats.CapHits++;
+  if (SatFound)
     return CaseStatus::Sat;
   Stats.NodesExplored += Nodes - StartNodes;
   if (Nodes > Opts.MaxSearchNodes || BudgetStopped)
@@ -1028,6 +1036,7 @@ void SolverStats::add(const SolverStats &Other) {
   ModelCacheHits += Other.ModelCacheHits;
   PrefixReuseSolves += Other.PrefixReuseSolves;
   FullSolves += Other.FullSolves;
+  CapHits += Other.CapHits;
 }
 
 void igdt::foldSolverStats(MetricsRegistry &Registry,
@@ -1045,6 +1054,23 @@ void igdt::foldSolverStats(MetricsRegistry &Registry,
   Registry.add("solver.cache.model_hits", Stats.ModelCacheHits);
   Registry.add("solver.prefix_reuse_solves", Stats.PrefixReuseSolves);
   Registry.add("solver.full_solves", Stats.FullSolves);
+  Registry.add("solver.cap_hits", Stats.CapHits);
+}
+
+SolverOptions igdt::solverTierCaps(const SolverOptions &Base,
+                                   unsigned Distance) {
+  SolverOptions Tier = Base;
+  for (unsigned I = 0; I < Distance; ++I) {
+    // 4x per rung, floored so a tier never degenerates to an empty
+    // search. Only give-up thresholds move: everything that shapes the
+    // below-cap trajectory (RandomSamples, IntegerBits, stack/slot
+    // bounds, Seed) is untouched, so CapHits == 0 at any tier proves
+    // the run identical to full strength.
+    Tier.MaxCases = std::max(4u, Tier.MaxCases / 4);
+    Tier.MaxClassCombos = std::max(8u, Tier.MaxClassCombos / 4);
+    Tier.MaxSearchNodes = std::max(256u, Tier.MaxSearchNodes / 4);
+  }
+  return Tier;
 }
 
 ConstraintSolver::ConstraintSolver(const ClassTable &Classes,
@@ -1265,6 +1291,7 @@ SolveResult ConstraintSolver::solveImpl(
   }
   SolveResult Result;
   if (Burst) {
+    Stats.CapHits++;
     Result.Status = SolveStatus::Unknown;
     Stats.UnknownCount++;
     return Result;
