@@ -21,15 +21,18 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Requests.h"
 #include "api/Session.h"
 
 #include "faults/DefectCatalog.h"
+#include "service/ResultStore.h"
 #include "support/Flags.h"
 #include "support/Json.h"
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -74,16 +77,23 @@ int main(int Argc, char **Argv) {
   bool Smoke = false;
   std::string OutPath = "BENCH_campaign.json";
 
-  SessionConfig Base;
-  Base.Campaign.Jobs = 0; // hardware
+  CampaignRequest Request;
+  Request.Jobs = 0; // hardware
   FlagParser Flags("campaign_parallel",
                    "Serial-vs-parallel campaign timing + determinism check.");
-  addSessionFlags(Flags, Base);
+  requestFromFlags(Flags, Request);
   Flags.add("reps", &Reps, "timed repetitions per configuration");
   Flags.add("smoke", &Smoke, "small catalog slice with all faults armed");
   Flags.add("out", &OutPath, "JSON report path");
   if (!Flags.parse(Argc, Argv))
     return Flags.helpRequested() ? 0 : 2;
+
+  SessionConfig Base = Request.toSessionConfig();
+  std::unique_ptr<ResultStore> Store;
+  if (!Request.StorePath.empty()) {
+    Store = std::make_unique<ResultStore>(Request.StorePath);
+    Base.Campaign.Store = Store.get();
+  }
 
   unsigned Hardware = std::thread::hardware_concurrency();
   unsigned Jobs = Base.Campaign.Jobs;

@@ -16,27 +16,37 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Requests.h"
 #include "api/Session.h"
 
 #include "faults/DefectCatalog.h"
+#include "service/ResultStore.h"
 #include "support/Flags.h"
 
 #include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
 
 using namespace igdt;
 
 int main(int Argc, char **Argv) {
-  SessionConfig Config;
+  CampaignRequest Request;
   FlagParser Flags("campaign_resilience",
                    "Containment smoke: all harness faults armed.");
   // Armed hangs should trip the watchdog in seconds, not the library
   // default minute; --worker-deadline-millis still overrides.
-  Config.Campaign.WorkerDeadlineMillis = 2000;
-  addSessionFlags(Flags, Config);
+  Request.WorkerDeadlineMillis = 2000;
+  requestFromFlags(Flags, Request);
   if (!Flags.parse(Argc, Argv))
     return Flags.helpRequested() ? 0 : 2;
+
+  SessionConfig Config = Request.toSessionConfig();
+  std::unique_ptr<ResultStore> Store;
+  if (!Request.StorePath.empty()) {
+    Store = std::make_unique<ResultStore>(Request.StorePath);
+    Config.Campaign.Store = Store.get();
+  }
 
   Config.harness().VM = cleanVMConfig();
   Config.harness().Cogit = cleanCogitOptions();

@@ -36,9 +36,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Requests.h"
 #include "api/Session.h"
 
 #include "faults/DefectCatalog.h"
+#include "service/ResultStore.h"
 #include "support/Flags.h"
 #include "support/Json.h"
 
@@ -47,6 +49,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -95,11 +98,11 @@ int main(int Argc, char **Argv) {
   std::uint64_t BudgetUnits = 0;
   double MinRatio = -1; // default picked below: 2 full, 0 smoke
 
-  SessionConfig Base;
+  CampaignRequest Request;
   FlagParser Flags("campaign_schedule",
                    "Adaptive-vs-fixed campaign scheduling: byte-identity "
                    "with unlimited budgets, coverage under constraint.");
-  addSessionFlags(Flags, Base);
+  requestFromFlags(Flags, Request);
   Flags.add("smoke", &Smoke, "small catalog slice, no ratio enforcement");
   Flags.add("print-units", &PrintUnits,
             "dump per-instruction explore unit costs from the warm pass");
@@ -109,6 +112,10 @@ int main(int Argc, char **Argv) {
   Flags.add("budget-units", &BudgetUnits,
             "adaptive pass fair-share cap per instruction (0 = derive "
             "from the campaign budget)");
+  Flags.deprecate("budget-units",
+                  "use --explore-work-units from the shared request "
+                  "vocabulary; the fair-share derivation from "
+                  "--total-units covers the common case");
   Flags.add("min-ratio", &MinRatio,
             "fail when adaptive/fixed coverage falls below this "
             "(-1 = default: 2 normally, report-only with --smoke)");
@@ -117,9 +124,16 @@ int main(int Argc, char **Argv) {
   if (MinRatio < 0)
     MinRatio = Smoke ? 0 : 2;
 
-  // --total-units (a session flag) names the constrained campaign
-  // budget for the comparison passes; the warm and identity passes
-  // below always run unlimited.
+  SessionConfig Base = Request.toSessionConfig();
+  std::unique_ptr<ResultStore> Store;
+  if (!Request.StorePath.empty()) {
+    Store = std::make_unique<ResultStore>(Request.StorePath);
+    Base.Campaign.Store = Store.get();
+  }
+
+  // --total-units (a shared request flag) names the constrained
+  // campaign budget for the comparison passes; the warm and identity
+  // passes below always run unlimited.
   std::uint64_t TotalUnits = Base.Campaign.TotalExploreUnits;
   Base.Campaign.TotalExploreUnits = 0;
 

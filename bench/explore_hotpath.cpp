@@ -25,15 +25,18 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Requests.h"
 #include "api/Session.h"
 
 #include "faults/DefectCatalog.h"
+#include "service/ResultStore.h"
 #include "support/Flags.h"
 #include "support/Json.h"
 
 #include <chrono>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -58,16 +61,23 @@ int main(int Argc, char **Argv) {
   std::string OutPath = "BENCH_explore.json";
   std::string BaselinePath;
 
-  SessionConfig Cfg;
+  CampaignRequest Request;
   FlagParser Flags("explore_hotpath",
                    "Solver-call and compile reuse on the exploration hot path.");
-  addSessionFlags(Flags, Cfg);
+  requestFromFlags(Flags, Request);
   Flags.add("smoke", &Smoke, "small catalog slice, no reuse-rate enforcement");
   Flags.add("out", &OutPath, "JSON report path");
   Flags.add("baseline", &BaselinePath,
             "blessed full_solves JSON; fail when exceeded by >5%");
   if (!Flags.parse(Argc, Argv))
     return Flags.helpRequested() ? 0 : 2;
+
+  SessionConfig Cfg = Request.toSessionConfig();
+  std::unique_ptr<ResultStore> Store;
+  if (!Request.StorePath.empty()) {
+    Store = std::make_unique<ResultStore>(Request.StorePath);
+    Cfg.Campaign.Store = Store.get();
+  }
 
   Cfg.harness().VM = cleanVMConfig();
   Cfg.harness().Cogit = cleanCogitOptions();

@@ -23,13 +23,16 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Requests.h"
 #include "api/Session.h"
 
 #include "faults/DefectCatalog.h"
+#include "service/ResultStore.h"
 #include "support/Flags.h"
 #include "support/Json.h"
 
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -85,11 +88,11 @@ int main(int Argc, char **Argv) {
   std::string BaselinePath;
   double MinSpeedup = 0;
 
-  SessionConfig Cfg;
+  CampaignRequest Request;
   FlagParser Flags("replay_hotpath",
                    "Replay throughput with the threaded-dispatch and "
                    "arena layers on vs off.");
-  addSessionFlags(Flags, Cfg);
+  requestFromFlags(Flags, Request);
   Flags.add("smoke", &Smoke, "small catalog slice");
   Flags.add("out", &OutPath, "JSON report path");
   Flags.add("baseline", &BaselinePath,
@@ -98,6 +101,13 @@ int main(int Argc, char **Argv) {
             "fail when on/off speedup falls below this (0 = report only)");
   if (!Flags.parse(Argc, Argv))
     return Flags.helpRequested() ? 0 : 2;
+
+  SessionConfig Cfg = Request.toSessionConfig();
+  std::unique_ptr<ResultStore> Store;
+  if (!Request.StorePath.empty()) {
+    Store = std::make_unique<ResultStore>(Request.StorePath);
+    Cfg.Campaign.Store = Store.get();
+  }
 
   Cfg.harness().VM = cleanVMConfig();
   Cfg.harness().Cogit = cleanCogitOptions();

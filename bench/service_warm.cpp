@@ -1,0 +1,219 @@
+//===- bench/service_warm.cpp - Daemon warm-vs-cold campaign timing ------------===//
+//
+// Measures what the campaign service's content-addressed result store
+// buys: the same campaign submitted three times against one daemon —
+// cold (empty store), warm (fully populated), and after invalidating a
+// single instruction — reporting wall time, the store-served fraction,
+// and the incremental re-exploration count. The correctness gates are
+// the tentpole claims: the warm checkpoint must be byte-identical to
+// the cold one (records are served verbatim, never re-derived), the
+// warm run must perform zero live solver queries, and invalidating one
+// instruction must re-explore exactly that instruction. Emits
+// BENCH_service.json; CI uploads it next to BENCH_campaign.json.
+//
+// Usage: service_warm [--socket PATH] [session flags] [--out PATH]
+//                     [--invalidate NAME] [--smoke]
+//
+// Without --socket the bench starts its own daemon on a scratch socket
+// (the default, and what CI's first pass runs); with --socket it
+// drives an already-running igdtd, which is how CI proves a persistent
+// daemon serves across client processes. Campaigns default to the
+// nine-instruction resilience worklist; any catalog restriction flag
+// overrides it. --deterministic is forced: the byte-identity gate is
+// the point of the bench.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Requests.h"
+#include "service/Client.h"
+#include "service/Daemon.h"
+#include "support/Flags.h"
+#include "support/Json.h"
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+
+using namespace igdt;
+
+namespace {
+
+double millisSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+std::string slurp(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return Buf.str();
+}
+
+/// One submit --wait round trip; false on any transport/session error.
+bool runPass(ServiceClient &Client, CampaignRequest Request,
+             const std::string &CheckpointPath, StatusReply &Out,
+             double &Millis) {
+  Request.CheckpointPath = CheckpointPath;
+  std::remove(CheckpointPath.c_str());
+  std::string SessionId, Error;
+  auto T0 = std::chrono::steady_clock::now();
+  if (!Client.submit(Request, /*WantProfile=*/false, SessionId, &Error) ||
+      !Client.wait(SessionId, Out, &Error)) {
+    std::printf("service_warm: %s\n", Error.c_str());
+    return false;
+  }
+  Millis = millisSince(T0);
+  if (Out.State != "done") {
+    std::printf("service_warm: session %s ended %s: %s\n", SessionId.c_str(),
+                Out.State.c_str(), Out.Error.c_str());
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  std::string OutPath = "BENCH_service.json";
+  std::string Socket;
+  std::string Invalidate = "bytecodePrim_add";
+
+  CampaignRequest Request;
+  FlagParser Flags("service_warm",
+                   "Warm-vs-cold campaign submission through the daemon.");
+  requestFromFlags(Flags, Request);
+  Flags.add("socket", &Socket,
+            "drive a running igdtd (default: start an in-process daemon)");
+  Flags.add("smoke", &Smoke, "alias for the default small worklist");
+  Flags.add("out", &OutPath, "JSON report path");
+  Flags.add("invalidate", &Invalidate,
+            "instruction invalidated before the incremental pass");
+  if (!Flags.parse(Argc, Argv))
+    return Flags.helpRequested() ? 0 : 2;
+  (void)Smoke;
+
+  // Byte-identity is the gate, so timings never enter the records.
+  Request.Deterministic = true;
+  if (Request.MaxBytecodes == 0 && Request.MaxNativeMethods == 0 &&
+      Request.OnlyInstructions.empty())
+    Request.OnlyInstructions = {
+        "bytecodePrim_add",    "bytecodePrim_sub",   "bytecodePrim_mul",
+        "bytecodePrim_div",    "primitiveAdd",       "primitiveFloatAdd",
+        "bytecodePrim_bitAnd", "bytecodePrim_bitOr", "bytecodePrim_bitXor"};
+  if (Request.StorePath.empty())
+    Request.StorePath = OutPath + ".store";
+
+  // Self-hosted daemon unless the caller points at a running one.
+  std::unique_ptr<Daemon> Own;
+  std::thread DaemonThread;
+  if (Socket.empty()) {
+    Socket = OutPath + ".sock";
+    std::remove(Request.StorePath.c_str());
+    DaemonOptions DOpts;
+    DOpts.SocketPath = Socket;
+    Own = std::make_unique<Daemon>(DOpts);
+    std::string Error;
+    if (!Own->start(&Error)) {
+      std::printf("service_warm: %s\n", Error.c_str());
+      return 1;
+    }
+    DaemonThread = std::thread([&] { Own->run(); });
+  }
+  ServiceClient Client(Socket);
+  auto Shutdown = [&](int Rc) {
+    if (Own) {
+      Own->stop();
+      DaemonThread.join();
+      std::remove(Socket.c_str());
+    }
+    return Rc;
+  };
+
+  StatusReply Cold, Warm, Incremental;
+  double ColdMillis = 0, WarmMillis = 0, IncrementalMillis = 0;
+  const std::string ColdCheckpoint = OutPath + ".cold.jsonl";
+  const std::string WarmCheckpoint = OutPath + ".warm.jsonl";
+  const std::string IncrCheckpoint = OutPath + ".incr.jsonl";
+  if (!runPass(Client, Request, ColdCheckpoint, Cold, ColdMillis) ||
+      !runPass(Client, Request, WarmCheckpoint, Warm, WarmMillis))
+    return Shutdown(1);
+
+  std::string ColdBytes = slurp(ColdCheckpoint);
+  bool Identical = !ColdBytes.empty() && ColdBytes == slurp(WarmCheckpoint);
+  double ServedFraction =
+      Warm.Total ? double(Warm.StoreServed) / double(Warm.Total) : 0;
+
+  std::size_t Removed = 0;
+  std::string Error;
+  if (!Client.invalidate(Request.StorePath, Invalidate, Removed, &Error)) {
+    std::printf("service_warm: %s\n", Error.c_str());
+    return Shutdown(1);
+  }
+  if (!runPass(Client, Request, IncrCheckpoint, Incremental,
+               IncrementalMillis))
+    return Shutdown(1);
+  unsigned Reexplored = Incremental.Total - Incremental.StoreServed;
+  bool IncrementalIdentical = ColdBytes == slurp(IncrCheckpoint);
+
+  double Speedup = WarmMillis > 0 ? ColdMillis / WarmMillis : 0;
+  JsonValue V = JsonValue::object();
+  V.set("instructions", JsonValue::number(Cold.Total))
+      .set("jobs", JsonValue::number(Request.Jobs))
+      .set("worker_processes", JsonValue::number(Request.WorkerProcesses))
+      .set("hardware_concurrency",
+           JsonValue::number(std::thread::hardware_concurrency()))
+      .set("cold_millis", JsonValue::number(ColdMillis))
+      .set("warm_millis", JsonValue::number(WarmMillis))
+      .set("speedup", JsonValue::number(Speedup))
+      .set("store_served", JsonValue::number(Warm.StoreServed))
+      .set("store_served_fraction", JsonValue::number(ServedFraction))
+      .set("records_identical", JsonValue::boolean(Identical))
+      .set("warm_solver_queries",
+           JsonValue::number(double(Warm.LiveSolverQueries)))
+      .set("invalidated", JsonValue::number(double(Removed)))
+      .set("invalidate_reexplored", JsonValue::number(Reexplored))
+      .set("incremental_millis", JsonValue::number(IncrementalMillis))
+      .set("incremental_identical", JsonValue::boolean(IncrementalIdentical));
+
+  std::string Report = V.dump();
+  if (!OutPath.empty()) {
+    std::ofstream Out(OutPath);
+    Out << Report << '\n';
+  }
+  std::printf("%s\n", Report.c_str());
+  std::printf("service_warm: %u instructions, cold %.1f ms, warm %.1f ms "
+              "(%.2fx), %u/%u served, %u re-explored after invalidate\n",
+              Cold.Total, ColdMillis, WarmMillis, Speedup, Warm.StoreServed,
+              Warm.Total, Reexplored);
+
+  // The tentpole gates: verbatim serving, zero warm solver work,
+  // single-instruction incremental re-exploration.
+  if (!Identical) {
+    std::printf("FAIL: warm checkpoint differs from cold checkpoint\n");
+    return Shutdown(2);
+  }
+  if (Warm.LiveSolverQueries != 0) {
+    std::printf("FAIL: warm run performed %llu live solver queries\n",
+                (unsigned long long)Warm.LiveSolverQueries);
+    return Shutdown(2);
+  }
+  if (ServedFraction < 0.9) {
+    std::printf("FAIL: warm run served only %.0f%% from the store\n",
+                ServedFraction * 100);
+    return Shutdown(2);
+  }
+  if (Removed != 1 || Reexplored != 1 || !IncrementalIdentical) {
+    std::printf("FAIL: invalidating one instruction re-explored %u "
+                "(removed %zu, identical=%d)\n",
+                Reexplored, Removed, int(IncrementalIdentical));
+    return Shutdown(2);
+  }
+  return Shutdown(0);
+}

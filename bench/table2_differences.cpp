@@ -9,20 +9,30 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "api/Requests.h"
 #include "api/Session.h"
 
+#include "service/ResultStore.h"
 #include "support/Flags.h"
 
 #include <cstdio>
+#include <memory>
 
 using namespace igdt;
 
 int main(int Argc, char **Argv) {
-  SessionConfig Config;
+  CampaignRequest Request;
   FlagParser Flags("table2_differences", "Regenerates the paper's Table 2.");
-  addSessionFlags(Flags, Config);
+  requestFromFlags(Flags, Request);
   if (!Flags.parse(Argc, Argv))
     return Flags.helpRequested() ? 0 : 2;
+
+  SessionConfig Config = Request.toSessionConfig();
+  std::unique_ptr<ResultStore> Store;
+  if (!Request.StorePath.empty()) {
+    Store = std::make_unique<ResultStore>(Request.StorePath);
+    Config.Campaign.Store = Store.get();
+  }
 
   Session Sess(Config);
   CampaignSummary Summary = Sess.runCampaign();

@@ -1,0 +1,346 @@
+//===- api/Requests.cpp - Versioned request/response API ---------------------===//
+
+#include "api/Requests.h"
+
+#include "api/Session.h"
+#include "support/Flags.h"
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+using namespace igdt;
+
+namespace {
+
+/// Shared version gate: every fromJson starts here so the "newer than
+/// this build" diagnostic reads the same everywhere.
+bool checkEnvelope(const JsonValue &V, const char *What, unsigned &Version,
+                   std::string *Error) {
+  if (V.K != JsonValue::Kind::Object) {
+    if (Error)
+      *Error = formatString("%s: expected a JSON object", What);
+    return false;
+  }
+  Version = unsigned(V.numberOr("v", ApiSchemaVersion));
+  if (Version > ApiSchemaVersion) {
+    if (Error)
+      *Error = formatString("%s: schema version %u is newer than this "
+                            "build's %u",
+                            What, Version, ApiSchemaVersion);
+    return false;
+  }
+  return true;
+}
+
+JsonValue num(double Value) { return JsonValue::number(Value); }
+JsonValue numU64(std::uint64_t Value) {
+  return JsonValue::number(static_cast<double>(Value));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// CampaignRequest
+//===----------------------------------------------------------------------===//
+
+SessionConfig CampaignRequest::toSessionConfig() const {
+  SessionConfig Config;
+  Config.Campaign.Jobs = Jobs;
+  Config.Campaign.WorkerProcesses = WorkerProcesses;
+  Config.Campaign.WorkerDeadlineMillis = WorkerDeadlineMillis;
+  Config.Campaign.WorkerBackoffMillis = WorkerBackoffMillis;
+  Config.Campaign.Harness.MaxBytecodes = MaxBytecodes;
+  Config.Campaign.Harness.MaxNativeMethods = MaxNativeMethods;
+  Config.Campaign.OnlyInstructions = OnlyInstructions;
+  Config.Campaign.CheckpointPath = CheckpointPath;
+  Config.Campaign.IncidentLogPath = IncidentLogPath;
+  Config.Campaign.TracePath = TracePath;
+  Config.Profile = Profile;
+  Config.Deterministic = Deterministic;
+  Config.Campaign.StopAfter = StopAfter;
+  Config.Campaign.MaxAttempts = MaxAttempts;
+  Config.Campaign.CampaignWallMillis = CampaignWallMillis;
+  Config.Campaign.ExploreBudget.WallMillis = ExploreWallMillis;
+  Config.Campaign.ExploreBudget.WorkUnits = ExploreWorkUnits;
+  Config.Campaign.ReplayBudget.WallMillis = ReplayWallMillis;
+  Config.Campaign.ReplayBudget.WorkUnits = ReplayWorkUnits;
+  Config.Campaign.TotalExploreUnits = TotalExploreUnits;
+  Config.Campaign.Schedule.Policy = SchedulePolicy;
+  Config.Campaign.Schedule.SolverTiers = SolverTiers;
+  Config.Campaign.Schedule.BudgetPool = BudgetPool;
+  Config.Campaign.Schedule.BudgetPoolCapFactor = BudgetPoolCapFactor;
+  Config.Campaign.Schedule.WarmStartPath = WarmStartPath;
+  Config.Campaign.Schedule.PersistYield = PersistYield;
+  // StorePath is not mapped here: a VerdictStore is process state, not
+  // configuration. Session::runCampaign(const CampaignRequest&) and the
+  // daemon open/attach the store themselves.
+  return Config;
+}
+
+JsonValue CampaignRequest::toJson() const {
+  JsonValue V = JsonValue::object();
+  V.set("v", num(Version));
+  V.set("jobs", num(Jobs));
+  V.set("workers", num(WorkerProcesses));
+  V.set("worker_deadline_millis", num(WorkerDeadlineMillis));
+  V.set("worker_backoff_millis", num(WorkerBackoffMillis));
+  V.set("max_bytecodes", num(MaxBytecodes));
+  V.set("max_native_methods", num(MaxNativeMethods));
+  JsonValue Only = JsonValue::array();
+  for (const std::string &Name : OnlyInstructions)
+    Only.push(JsonValue::string(Name));
+  V.set("only", std::move(Only));
+  V.set("checkpoint", JsonValue::string(CheckpointPath));
+  V.set("incidents", JsonValue::string(IncidentLogPath));
+  V.set("trace", JsonValue::string(TracePath));
+  V.set("store", JsonValue::string(StorePath));
+  V.set("profile", JsonValue::boolean(Profile));
+  V.set("deterministic", JsonValue::boolean(Deterministic));
+  V.set("stop_after", num(StopAfter));
+  V.set("max_attempts", num(MaxAttempts));
+  V.set("campaign_wall_millis", num(CampaignWallMillis));
+  V.set("explore_wall_millis", num(ExploreWallMillis));
+  V.set("explore_work_units", numU64(ExploreWorkUnits));
+  V.set("replay_wall_millis", num(ReplayWallMillis));
+  V.set("replay_work_units", numU64(ReplayWorkUnits));
+  V.set("total_units", numU64(TotalExploreUnits));
+  V.set("schedule", JsonValue::string(SchedulePolicy));
+  V.set("solver_tiers", num(SolverTiers));
+  V.set("budget_pool", JsonValue::boolean(BudgetPool));
+  V.set("budget_pool_cap", num(BudgetPoolCapFactor));
+  V.set("warm_start", JsonValue::string(WarmStartPath));
+  V.set("persist_yield", JsonValue::boolean(PersistYield));
+  return V;
+}
+
+bool CampaignRequest::fromJson(const JsonValue &V, CampaignRequest &Out,
+                               std::string *Error) {
+  CampaignRequest R;
+  if (!checkEnvelope(V, "CampaignRequest", R.Version, Error))
+    return false;
+  R.Jobs = unsigned(V.numberOr("jobs", R.Jobs));
+  R.WorkerProcesses = unsigned(V.numberOr("workers", R.WorkerProcesses));
+  R.WorkerDeadlineMillis =
+      V.numberOr("worker_deadline_millis", R.WorkerDeadlineMillis);
+  R.WorkerBackoffMillis =
+      V.numberOr("worker_backoff_millis", R.WorkerBackoffMillis);
+  R.MaxBytecodes = unsigned(V.numberOr("max_bytecodes", R.MaxBytecodes));
+  R.MaxNativeMethods =
+      unsigned(V.numberOr("max_native_methods", R.MaxNativeMethods));
+  if (const JsonValue *Only = V.find("only"))
+    for (const JsonValue &Name : Only->Arr)
+      if (Name.K == JsonValue::Kind::String)
+        R.OnlyInstructions.push_back(Name.Str);
+  R.CheckpointPath = V.stringOr("checkpoint", R.CheckpointPath);
+  R.IncidentLogPath = V.stringOr("incidents", R.IncidentLogPath);
+  R.TracePath = V.stringOr("trace", R.TracePath);
+  R.StorePath = V.stringOr("store", R.StorePath);
+  R.Profile = V.boolOr("profile", R.Profile);
+  R.Deterministic = V.boolOr("deterministic", R.Deterministic);
+  R.StopAfter = unsigned(V.numberOr("stop_after", R.StopAfter));
+  R.MaxAttempts = unsigned(V.numberOr("max_attempts", R.MaxAttempts));
+  R.CampaignWallMillis =
+      V.numberOr("campaign_wall_millis", R.CampaignWallMillis);
+  R.ExploreWallMillis = V.numberOr("explore_wall_millis", R.ExploreWallMillis);
+  R.ExploreWorkUnits = std::uint64_t(
+      V.numberOr("explore_work_units", double(R.ExploreWorkUnits)));
+  R.ReplayWallMillis = V.numberOr("replay_wall_millis", R.ReplayWallMillis);
+  R.ReplayWorkUnits =
+      std::uint64_t(V.numberOr("replay_work_units", double(R.ReplayWorkUnits)));
+  R.TotalExploreUnits =
+      std::uint64_t(V.numberOr("total_units", double(R.TotalExploreUnits)));
+  R.SchedulePolicy = V.stringOr("schedule", R.SchedulePolicy);
+  R.SolverTiers = unsigned(V.numberOr("solver_tiers", R.SolverTiers));
+  R.BudgetPool = V.boolOr("budget_pool", R.BudgetPool);
+  R.BudgetPoolCapFactor =
+      V.numberOr("budget_pool_cap", R.BudgetPoolCapFactor);
+  R.WarmStartPath = V.stringOr("warm_start", R.WarmStartPath);
+  R.PersistYield = V.boolOr("persist_yield", R.PersistYield);
+  Out = std::move(R);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ExploreRequest
+//===----------------------------------------------------------------------===//
+
+JsonValue ExploreRequest::toJson() const {
+  JsonValue V = JsonValue::object();
+  V.set("v", num(Version));
+  V.set("instruction", JsonValue::string(Instruction));
+  return V;
+}
+
+bool ExploreRequest::fromJson(const JsonValue &V, ExploreRequest &Out,
+                              std::string *Error) {
+  ExploreRequest R;
+  if (!checkEnvelope(V, "ExploreRequest", R.Version, Error))
+    return false;
+  R.Instruction = V.stringOr("instruction", "");
+  Out = std::move(R);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// StatusReply
+//===----------------------------------------------------------------------===//
+
+JsonValue StatusReply::toJson() const {
+  JsonValue V = JsonValue::object();
+  V.set("v", num(Version));
+  V.set("state", JsonValue::string(State));
+  V.set("done", JsonValue::boolean(Done));
+  V.set("completed", num(Completed));
+  V.set("total", num(Total));
+  V.set("resumed", num(Resumed));
+  V.set("store_served", num(StoreServed));
+  V.set("quarantined", num(Quarantined));
+  V.set("paths", numU64(Paths));
+  V.set("live_solver_queries", numU64(LiveSolverQueries));
+  V.set("exit_code", num(ExitCode));
+  V.set("error", JsonValue::string(Error));
+  V.set("profile", JsonValue::string(ProfileJson));
+  return V;
+}
+
+bool StatusReply::fromJson(const JsonValue &V, StatusReply &Out,
+                           std::string *Error) {
+  StatusReply R;
+  if (!checkEnvelope(V, "StatusReply", R.Version, Error))
+    return false;
+  R.State = V.stringOr("state", R.State);
+  R.Done = V.boolOr("done", R.Done);
+  R.Completed = unsigned(V.numberOr("completed", R.Completed));
+  R.Total = unsigned(V.numberOr("total", R.Total));
+  R.Resumed = unsigned(V.numberOr("resumed", R.Resumed));
+  R.StoreServed = unsigned(V.numberOr("store_served", R.StoreServed));
+  R.Quarantined = unsigned(V.numberOr("quarantined", R.Quarantined));
+  R.Paths = std::uint64_t(V.numberOr("paths", double(R.Paths)));
+  R.LiveSolverQueries = std::uint64_t(
+      V.numberOr("live_solver_queries", double(R.LiveSolverQueries)));
+  R.ExitCode = int(V.numberOr("exit_code", R.ExitCode));
+  R.Error = V.stringOr("error", R.Error);
+  R.ProfileJson = V.stringOr("profile", R.ProfileJson);
+  Out = std::move(R);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// ServiceRequest / ServiceReply
+//===----------------------------------------------------------------------===//
+
+JsonValue ServiceRequest::toJson() const {
+  JsonValue V = JsonValue::object();
+  V.set("v", num(Version));
+  V.set("verb", JsonValue::string(Verb));
+  V.set("session", JsonValue::string(SessionId));
+  V.set("cursor", numU64(Cursor));
+  V.set("instruction", JsonValue::string(Instruction));
+  V.set("store", JsonValue::string(StorePath));
+  V.set("want_profile", JsonValue::boolean(WantProfile));
+  V.set("campaign", Campaign.toJson());
+  return V;
+}
+
+bool ServiceRequest::fromJson(const JsonValue &V, ServiceRequest &Out,
+                              std::string *Error) {
+  ServiceRequest R;
+  if (!checkEnvelope(V, "ServiceRequest", R.Version, Error))
+    return false;
+  R.Verb = V.stringOr("verb", "");
+  R.SessionId = V.stringOr("session", "");
+  R.Cursor = std::uint64_t(V.numberOr("cursor", 0));
+  R.Instruction = V.stringOr("instruction", "");
+  R.StorePath = V.stringOr("store", "");
+  R.WantProfile = V.boolOr("want_profile", false);
+  if (const JsonValue *Campaign = V.find("campaign"))
+    if (!CampaignRequest::fromJson(*Campaign, R.Campaign, Error))
+      return false;
+  Out = std::move(R);
+  return true;
+}
+
+JsonValue ServiceReply::toJson() const {
+  JsonValue V = JsonValue::object();
+  V.set("v", num(Version));
+  V.set("verb", JsonValue::string(Verb));
+  V.set("ok", JsonValue::boolean(Ok));
+  V.set("error", JsonValue::string(Error));
+  V.set("body", JsonValue::string(Body));
+  return V;
+}
+
+bool ServiceReply::fromJson(const JsonValue &V, ServiceReply &Out,
+                            std::string *Error) {
+  ServiceReply R;
+  if (!checkEnvelope(V, "ServiceReply", R.Version, Error))
+    return false;
+  R.Verb = V.stringOr("verb", "");
+  R.Ok = V.boolOr("ok", false);
+  R.Error = V.stringOr("error", "");
+  R.Body = V.stringOr("body", "");
+  Out = std::move(R);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// requestFromFlags
+//===----------------------------------------------------------------------===//
+
+void igdt::requestFromFlags(FlagParser &Flags, CampaignRequest &Request) {
+  Flags.add("jobs", &Request.Jobs, "campaign worker threads (0 = hardware)");
+  Flags.add("workers", &Request.WorkerProcesses,
+            "campaign worker processes (0 = in-process threads)");
+  Flags.add("worker-deadline-millis", &Request.WorkerDeadlineMillis,
+            "watchdog deadline per worker item in ms (0 = none)");
+  Flags.add("worker-backoff-millis", &Request.WorkerBackoffMillis,
+            "base respawn backoff after a worker failure in ms");
+  Flags.add("max-bytecodes", &Request.MaxBytecodes,
+            "limit byte-code instructions (0 = all)");
+  Flags.add("max-native-methods", &Request.MaxNativeMethods,
+            "limit native methods (0 = all)");
+  Flags.add("only", &Request.OnlyInstructions,
+            "restrict to this instruction (repeatable)");
+  Flags.add("checkpoint", &Request.CheckpointPath,
+            "JSONL checkpoint file (resume + append)");
+  Flags.add("incidents", &Request.IncidentLogPath,
+            "JSONL incident report file");
+  Flags.add("trace", &Request.TracePath,
+            "JSONL trace file (merge-deterministic event stream)");
+  Flags.add("store", &Request.StorePath,
+            "content-addressed verdict store (JSONL; serves cached "
+            "records byte-identically on re-runs)");
+  Flags.add("profile", &Request.Profile,
+            "collect metrics and print the end-of-run profile");
+  Flags.add("deterministic", &Request.Deterministic,
+            "drop wall timings so outputs are topology-independent");
+  Flags.add("stop-after", &Request.StopAfter,
+            "stop after N new instructions (0 = run to completion)");
+  Flags.add("max-attempts", &Request.MaxAttempts,
+            "attempts per instruction before quarantine");
+  Flags.add("campaign-wall-millis", &Request.CampaignWallMillis,
+            "campaign wall-clock ceiling in ms (0 = unlimited)");
+  Flags.add("explore-wall-millis", &Request.ExploreWallMillis,
+            "per-instruction exploration wall budget in ms");
+  Flags.add("explore-work-units", &Request.ExploreWorkUnits,
+            "per-instruction exploration work budget (solver nodes)");
+  Flags.add("replay-wall-millis", &Request.ReplayWallMillis,
+            "per-instruction replay wall budget in ms");
+  Flags.add("replay-work-units", &Request.ReplayWorkUnits,
+            "per-instruction replay work budget (tested paths)");
+  Flags.add("total-units", &Request.TotalExploreUnits,
+            "campaign-level explore budget shared by all instructions "
+            "(0 = unlimited)");
+  Flags.add("schedule", &Request.SchedulePolicy,
+            "campaign schedule: fixed (byte-identical order) or adaptive");
+  Flags.add("solver-tiers", &Request.SolverTiers,
+            "cheap solver tiers below full strength (adaptive schedule)");
+  Flags.add("budget-pool", &Request.BudgetPool,
+            "redistribute provably unspent explore budget to starved "
+            "instructions");
+  Flags.add("budget-pool-cap", &Request.BudgetPoolCapFactor,
+            "per-instruction budget ceiling after a grant (x base budget)");
+  Flags.add("warm-start", &Request.WarmStartPath,
+            "checkpoint JSONL whose yield stats seed the priority order");
+  Flags.add("persist-yield", &Request.PersistYield,
+            "write per-instruction yield stats into checkpoint records");
+}

@@ -2,6 +2,7 @@
 
 #include "api/Session.h"
 
+#include "api/Requests.h"
 #include "support/Flags.h"
 
 #include <stdexcept>
@@ -9,6 +10,12 @@
 
 using namespace igdt;
 
+// Definition of the deprecated shim; new code goes through
+// requestFromFlags() + Session::runCampaign(const CampaignRequest&).
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+#endif
 void igdt::addSessionFlags(FlagParser &Flags, SessionConfig &Config) {
   Flags.add("jobs", &Config.Campaign.Jobs,
             "campaign worker threads (0 = hardware)");
@@ -65,6 +72,9 @@ void igdt::addSessionFlags(FlagParser &Flags, SessionConfig &Config) {
   Flags.add("persist-yield", &Config.Campaign.Schedule.PersistYield,
             "write per-instruction yield stats into checkpoint records");
 }
+#if defined(__GNUC__) || defined(__clang__)
+#pragma GCC diagnostic pop
+#endif
 
 Session::Session(SessionConfig Config) : Cfg(std::move(Config)) {}
 
@@ -168,4 +178,11 @@ CampaignSummary Session::runCampaign() {
     LastProfile = std::make_unique<ProfileReport>(
         buildCampaignProfile(Summary, Cfg.TopInstructions));
   return Summary;
+}
+
+CampaignSummary Session::runCampaign(const CampaignRequest &Request,
+                                     VerdictStore *Store) {
+  Cfg = Request.toSessionConfig();
+  Cfg.Campaign.Store = Store;
+  return runCampaign();
 }

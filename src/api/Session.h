@@ -75,6 +75,7 @@ struct SessionConfig {
 };
 
 class FlagParser;
+struct CampaignRequest;
 
 /// Registers the standard session flags (--jobs, --workers and the
 /// worker deadline/backoff knobs, --max-bytecodes, --max-native-methods,
@@ -83,6 +84,13 @@ class FlagParser;
 /// the scheduling knobs --schedule, --solver-tiers, --budget-pool,
 /// --budget-pool-cap, --warm-start, --persist-yield) against \p Config,
 /// so every binary exposes the same vocabulary.
+///
+/// Deprecated: binds argv straight onto a SessionConfig, bypassing the
+/// versioned request schema. Register against a CampaignRequest via
+/// requestFromFlags() (api/Requests.h) instead, then submit the request
+/// to Session::runCampaign — the daemon, the CLI and embedders all
+/// share that one vocabulary.
+[[deprecated("build a CampaignRequest via requestFromFlags() instead")]]
 void addSessionFlags(FlagParser &Flags, SessionConfig &Config);
 
 /// The unified pipeline entry point. Not thread-safe itself (campaign
@@ -106,6 +114,16 @@ public:
   /// and metrics flow into the session sinks; with Profile on, the
   /// report is available from profile() afterwards.
   CampaignSummary runCampaign();
+
+  /// Store-aware request mode: replaces the session configuration with
+  /// \p Request (via CampaignRequest::toSessionConfig) and runs the
+  /// campaign with \p Store backing the verdicts (null = no store; the
+  /// caller owns it — Request.StorePath names the backing file, but
+  /// opening one is the caller's job so the façade stays free of
+  /// storage policy). This is the daemon's submit path and the shared
+  /// entry for binaries built on requestFromFlags().
+  CampaignSummary runCampaign(const CampaignRequest &Request,
+                              VerdictStore *Store = nullptr);
 
   /// The differential configuration explore/testPath derive from the
   /// harness options (exposed for callers mixing façade and layers).

@@ -3,6 +3,7 @@
 #include "evalkit/CampaignRunner.h"
 
 #include "evalkit/ProcessPool.h"
+#include "evalkit/VerdictStore.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
 
@@ -662,13 +663,39 @@ CampaignSummary CampaignRunner::run() {
   std::map<std::string, InstructionRecord> Done;
   if (!Opts.CheckpointPath.empty()) {
     std::ifstream In(Opts.CheckpointPath);
+    // Seal a torn final line (a coordinator SIGKILLed mid-append) with
+    // a newline before any fresh append, so the first new record
+    // starts its own line instead of gluing onto the fragment and
+    // being lost with it.
+    bool SealTornTail = false;
+    if (In.seekg(0, std::ios::end) && In.tellg() > 0) {
+      In.seekg(-1, std::ios::end);
+      SealTornTail = In.get() != '\n';
+    }
+    In.clear();
+    In.seekg(0);
     std::string Line;
     while (std::getline(In, Line)) {
       InstructionRecord Rec;
       if (InstructionRecord::fromJson(Line, Rec))
         Done[Rec.Instruction] = std::move(Rec);
     }
+    In.close();
+    if (SealTornTail)
+      appendLine(Opts.CheckpointPath, "");
   }
+
+  // Content-addressed store: consulted during planning so sharding and
+  // scheduling see served items exactly like resumed ones (they count
+  // toward quotas and StopAfter, and never reach a worker). The
+  // eligibility gate refuses configurations whose records are not pure
+  // functions of the key (VerdictStore.h).
+  VerdictStore *Store =
+      Opts.Store && storeEligible(Opts) ? Opts.Store : nullptr;
+  if (Opts.Store)
+    Summary.Metrics.add(Store ? "store.enabled" : "store.ineligible_config");
+  Summary.StoreActive = Store != nullptr;
+  const std::uint64_t ConfigFp = Store ? campaignConfigFingerprint(Opts) : 0;
 
   // Phase 1: plan the whole worklist up-front, in catalog order,
   // reproducing the serial loop's quota counting (Max* limits count
@@ -678,6 +705,10 @@ CampaignSummary CampaignRunner::run() {
   struct WorkItem {
     const InstructionSpec *Spec = nullptr;
     const InstructionRecord *Resumed = nullptr;
+    /// The exact stored checkpoint line when the store key hit; the
+    /// merge cursor appends it verbatim instead of dispatching.
+    std::string StoreLine;
+    bool FromStore = false;
   };
   std::vector<WorkItem> Work;
   unsigned Bytecodes = 0;
@@ -701,14 +732,37 @@ CampaignSummary CampaignRunner::run() {
 
     auto It = Done.find(Spec.Name);
     if (It != Done.end()) {
-      Work.push_back({&Spec, &It->second});
+      WorkItem Resumed;
+      Resumed.Spec = &Spec;
+      Resumed.Resumed = &It->second;
+      Work.push_back(std::move(Resumed));
       continue;
     }
     if (Opts.StopAfter && NewPlanned >= Opts.StopAfter) {
       Summary.Stopped = true;
       break;
     }
-    Work.push_back({&Spec, nullptr});
+    WorkItem Item;
+    Item.Spec = &Spec;
+    if (Store) {
+      // A hit must parse back to this instruction's record before it is
+      // trusted; anything else (corruption, a colliding key) is a miss
+      // and the instruction runs fresh.
+      std::string Line;
+      InstructionRecord Cached;
+      if (Store->lookup(resultStoreKey(Spec, ConfigFp), Line) &&
+          InstructionRecord::fromJson(Line, Cached) &&
+          Cached.Instruction == Spec.Name) {
+        ++Summary.StoreHits;
+        Item.StoreLine = std::move(Line);
+        Item.FromStore = true;
+      } else {
+        ++Summary.StoreMisses;
+      }
+    }
+    Work.push_back(std::move(Item));
+    // Served items still count as NEW work: a warm --stop-after N run
+    // covers exactly the N instructions the cold run covered.
     ++NewPlanned;
   }
 
@@ -722,7 +776,7 @@ CampaignSummary CampaignRunner::run() {
     Sched = std::make_unique<CampaignScheduler>(Opts.Schedule,
                                                 Opts.ExploreBudget.WorkUnits);
     for (std::size_t I = 0; I < Work.size(); ++I)
-      if (!Work[I].Resumed)
+      if (!Work[I].Resumed && !Work[I].FromStore)
         Sched->addItem(I, Work[I].Spec->Name);
     if (!Opts.Schedule.WarmStartPath.empty())
       Sched->loadWarmStart(Opts.Schedule.WarmStartPath);
@@ -751,7 +805,7 @@ CampaignSummary CampaignRunner::run() {
 
   std::size_t NewItems = 0;
   for (const WorkItem &W : Work)
-    if (!W.Resumed)
+    if (!W.Resumed && !W.FromStore)
       ++NewItems;
 
   // Topology: out-of-process workers when requested and fork works.
@@ -907,7 +961,7 @@ CampaignSummary CampaignRunner::run() {
       std::size_t I = Next.fetch_add(1, std::memory_order_relaxed);
       if (I >= Work.size())
         return Work.size();
-      if (!Work[I].Resumed)
+      if (!Work[I].Resumed && !Work[I].FromStore)
         return I;
     }
   };
@@ -972,6 +1026,22 @@ CampaignSummary CampaignRunner::run() {
       Summary.Quarantined.push_back(Resumed.Instruction);
     Summary.Records.push_back(Resumed);
     ++Summary.ResumedInstructions;
+  };
+
+  // Serves one store hit: the stored line is appended to the checkpoint
+  // *verbatim* (the byte-identity contract — never re-serialised), and
+  // the parsed record joins the summary like a fresh one. Served items
+  // emit no trace events: nothing ran, and only clean incident-free
+  // records are ever stored.
+  auto MergeStored = [&](WorkItem &W) {
+    InstructionRecord Rec;
+    InstructionRecord::fromJson(W.StoreLine, Rec); // validated at planning
+    ++Summary.CompletedInstructions;
+    ++Summary.StoreServed;
+    if (Rec.Quarantined) // defensive: put() refuses quarantined records
+      Summary.Quarantined.push_back(Rec.Instruction);
+    appendLine(Opts.CheckpointPath, W.StoreLine);
+    Summary.Records.push_back(std::move(Rec));
   };
 
   // Merges one finished slot; false when the shared wall clock marked
@@ -1042,7 +1112,18 @@ CampaignSummary CampaignRunner::run() {
     ++Summary.CompletedInstructions;
     if (S.Rec.Quarantined)
       Summary.Quarantined.push_back(S.Rec.Instruction);
-    appendLine(Opts.CheckpointPath, S.Rec.toJson());
+    Summary.LiveSolver.add(S.Rec.Solver);
+    std::string Line = S.Rec.toJson();
+    // Only clean records enter the store: a record that needed
+    // containment (or was quarantined) must re-run on the next campaign
+    // so its incidents are reproduced alongside it — serving the record
+    // without the incidents would break incident-file identity.
+    if (Store && !S.Rec.Quarantined && S.Incidents.empty()) {
+      Store->put(resultStoreKey(*Work[I].Spec, ConfigFp), S.Rec.Instruction,
+                 Line);
+      ++Summary.StoreStores;
+    }
+    appendLine(Opts.CheckpointPath, std::move(Line));
     Summary.Records.push_back(std::move(S.Rec));
     return true;
   };
@@ -1106,6 +1187,11 @@ CampaignSummary CampaignRunner::run() {
       while (!Halted && Cursor < Work.size()) {
         if (const InstructionRecord *Resumed = Work[Cursor].Resumed) {
           MergeResumed(*Resumed);
+          ++Cursor;
+          continue;
+        }
+        if (Work[Cursor].FromStore) {
+          MergeStored(Work[Cursor]);
           ++Cursor;
           continue;
         }
@@ -1278,6 +1364,10 @@ CampaignSummary CampaignRunner::run() {
         MergeResumed(*Resumed);
         continue;
       }
+      if (Work[I].FromStore) {
+        MergeStored(Work[I]);
+        continue;
+      }
       if (Pool.empty()) {
         RunOne(I, SerialArena);
       } else {
@@ -1302,6 +1392,11 @@ CampaignSummary CampaignRunner::run() {
           ++Cursor;
           continue;
         }
+        if (Work[Cursor].FromStore) {
+          MergeStored(Work[Cursor]);
+          ++Cursor;
+          continue;
+        }
         if (!Slots[Cursor].Ready)
           break;
         if (!MergeSlot(Cursor)) {
@@ -1314,7 +1409,7 @@ CampaignSummary CampaignRunner::run() {
 
     std::deque<PoolWorkItem> Items;
     for (std::size_t I = 0; I < Work.size(); ++I)
-      if (!Work[I].Resumed)
+      if (!Work[I].Resumed && !Work[I].FromStore)
         Items.push_back({I, 1});
 
     ProcessPoolHooks Hooks;
@@ -1370,6 +1465,14 @@ CampaignSummary CampaignRunner::run() {
   foldReplayStats(Summary.Metrics, Summary.Replay);
   Summary.Metrics.add("campaign.instructions", Summary.CompletedInstructions);
   Summary.Metrics.add("campaign.resumed", Summary.ResumedInstructions);
+  if (Opts.Store) {
+    Summary.Metrics.add("store.hits", Summary.StoreHits);
+    Summary.Metrics.add("store.misses", Summary.StoreMisses);
+    Summary.Metrics.add("store.served", Summary.StoreServed);
+    Summary.Metrics.add("store.stores", Summary.StoreStores);
+    Summary.Metrics.add("store.live_solver_queries",
+                        Summary.LiveSolver.Queries);
+  }
   Summary.Metrics.add("campaign.quarantined", Summary.Quarantined.size());
   Summary.Metrics.add("campaign.incidents", Summary.Incidents.size());
   if (Sched) {
@@ -1448,6 +1551,17 @@ ProfileReport igdt::buildCampaignProfile(const CampaignSummary &Summary,
   Report.FullSolves = Summary.Solver.FullSolves;
   Report.JitCompiles = Summary.Jit.Compiles;
   Report.JitCodeCacheHits = Summary.Jit.CodeCacheHits;
+  if (Summary.StoreActive) {
+    // Store-served (zero-work) runs keep full profiles: stage times and
+    // solver totals come from the served records — the cold run's cost
+    // figures — while LiveSolverQueries says what THIS run paid.
+    Report.HasStore = true;
+    Report.StoreServed = Summary.StoreServed;
+    Report.StoreHits = Summary.StoreHits;
+    Report.StoreMisses = Summary.StoreMisses;
+    Report.StoreStores = Summary.StoreStores;
+    Report.LiveSolverQueries = Summary.LiveSolver.Queries;
+  }
   if (Summary.ScheduleActive) {
     Report.HasSchedule = true;
     Report.ScheduleWaves = Summary.Schedule.Waves;

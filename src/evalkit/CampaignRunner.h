@@ -43,6 +43,8 @@
 
 namespace igdt {
 
+class VerdictStore;
+
 /// Campaign configuration.
 struct CampaignOptions {
   /// Exploration / compiler configuration, shared with the plain
@@ -141,6 +143,17 @@ struct CampaignOptions {
   /// are byte-identical to fixed order (the merge stays catalog-order
   /// and only provably-identical cheap-tier runs are accepted).
   ScheduleOptions Schedule;
+  /// Content-addressed verdict store (non-owning, may be null; see
+  /// VerdictStore.h). Instructions whose (body, config) key hits are
+  /// served by appending the stored checkpoint line *verbatim* — byte-
+  /// identical to a fresh run — and never explored; clean fresh records
+  /// are stored on merge. Ignored (with a "store.ineligible_config"
+  /// metric) when storeEligible() says the configuration's records are
+  /// not pure functions of the key: wall budgets, the campaign ledger,
+  /// or an adaptive budget pool. Records with incidents and quarantines
+  /// are never stored, so faulted instructions re-run — and reproduce
+  /// their incidents — on every campaign.
+  VerdictStore *Store = nullptr;
 };
 
 /// One contained failure.
@@ -253,6 +266,22 @@ struct CampaignSummary {
   unsigned CompletedInstructions = 0;
   /// Instructions restored from the checkpoint instead of re-run.
   unsigned ResumedInstructions = 0;
+  /// Instructions served verbatim from the content-addressed store
+  /// (counted inside CompletedInstructions, like fresh ones).
+  unsigned StoreServed = 0;
+  /// True when a store was configured and the configuration was
+  /// cache-eligible (VerdictStore.h's storeEligible).
+  bool StoreActive = false;
+  /// Store activity of this run: planning lookups that hit / missed,
+  /// and fresh clean records written back.
+  std::uint64_t StoreHits = 0;
+  std::uint64_t StoreMisses = 0;
+  std::uint64_t StoreStores = 0;
+  /// Solver work this run actually performed: aggregated over freshly
+  /// computed records only (store-served and resumed ones excluded).
+  /// Equals Solver on a cold run; Queries == 0 on a fully warm one —
+  /// the acceptance gate for incremental re-exploration.
+  SolverStats LiveSolver;
   /// True when StopAfter or the campaign wall clock ended the run
   /// before the worklist emptied.
   bool Stopped = false;

@@ -36,7 +36,7 @@ std::uint32_t getU32(const char *Data) {
 
 bool validFrameType(std::uint8_t Type) {
   return Type >= std::uint8_t(FrameType::Assign) &&
-         Type <= std::uint8_t(FrameType::Shutdown);
+         Type <= std::uint8_t(FrameType::Reply);
 }
 
 } // namespace

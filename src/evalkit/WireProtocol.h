@@ -46,6 +46,10 @@ enum class FrameType : std::uint8_t {
   Result = 2,
   /// Coordinator -> worker: exit cleanly.
   Shutdown = 3,
+  /// Client -> daemon: one JSON service request (api/Requests.h).
+  Request = 4,
+  /// Daemon -> client: the request's JSON reply.
+  Reply = 5,
 };
 
 /// 'IGDT' — rejects a stream that lost framing entirely.

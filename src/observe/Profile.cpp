@@ -26,6 +26,11 @@ double ProfileReport::codeCacheHitRate() const {
   return Requests ? double(JitCodeCacheHits) / double(Requests) : 0;
 }
 
+double ProfileReport::storeHitRate() const {
+  std::uint64_t Lookups = StoreHits + StoreMisses;
+  return Lookups ? double(StoreHits) / double(Lookups) : 0;
+}
+
 std::string ProfileReport::render() const {
   std::string Out = "== profile ==\n";
   {
@@ -71,6 +76,20 @@ std::string ProfileReport::render() const {
     T.addRow({"hits",
               formatString("%llu", (unsigned long long)JitCodeCacheHits)});
     T.addRow({"hit rate", formatPercent(codeCacheHitRate())});
+    Out += T.render();
+  }
+  if (HasStore) {
+    Out += "\n";
+    TablePrinter T({"verdict store", "value"});
+    auto U64 = [](std::uint64_t V) {
+      return formatString("%llu", (unsigned long long)V);
+    };
+    T.addRow({"served", U64(StoreServed)});
+    T.addRow({"hits", U64(StoreHits)});
+    T.addRow({"misses", U64(StoreMisses)});
+    T.addRow({"hit rate", formatPercent(storeHitRate())});
+    T.addRow({"stored", U64(StoreStores)});
+    T.addRow({"live solver queries", U64(LiveSolverQueries)});
     Out += T.render();
   }
   if (HasSchedule) {
@@ -140,6 +159,19 @@ JsonValue ProfileReport::toJson() const {
                 JsonValue::number(static_cast<double>(JitCodeCacheHits)));
   CodeCache.set("hit_rate", JsonValue::number(codeCacheHitRate()));
   V.set("code_cache", std::move(CodeCache));
+  if (HasStore) {
+    auto N = [](std::uint64_t V) {
+      return JsonValue::number(static_cast<double>(V));
+    };
+    JsonValue StoreJson = JsonValue::object();
+    StoreJson.set("served", N(StoreServed));
+    StoreJson.set("hits", N(StoreHits));
+    StoreJson.set("misses", N(StoreMisses));
+    StoreJson.set("hit_rate", JsonValue::number(storeHitRate()));
+    StoreJson.set("stored", N(StoreStores));
+    StoreJson.set("live_solver_queries", N(LiveSolverQueries));
+    V.set("store", std::move(StoreJson));
+  }
   if (HasSchedule) {
     auto N = [](std::uint64_t V) {
       return JsonValue::number(static_cast<double>(V));

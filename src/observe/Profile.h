@@ -68,6 +68,19 @@ struct ProfileReport {
   std::uint64_t JitCompiles = 0;
   std::uint64_t JitCodeCacheHits = 0;
 
+  /// Content-addressed store activity (the "Verdict store" table; only
+  /// rendered when HasStore — a campaign with an active store emits it
+  /// even when fully served, so warm zero-work runs still produce
+  /// comparable profiles). Stage times and the solver totals above come
+  /// from the served records (the cold run's cost figures);
+  /// LiveSolverQueries is the solver work this run actually performed.
+  bool HasStore = false;
+  std::uint64_t StoreServed = 0;
+  std::uint64_t StoreHits = 0;
+  std::uint64_t StoreMisses = 0;
+  std::uint64_t StoreStores = 0;
+  std::uint64_t LiveSolverQueries = 0;
+
   /// Adaptive-scheduling activity (the "Scheduling" table; only
   /// rendered when HasSchedule — fixed-order campaigns skip it). Flat
   /// uint64 mirrors of evalkit's ScheduleStats, to keep this header
@@ -96,6 +109,9 @@ struct ProfileReport {
 
   /// Fraction of compile requests served from the code cache.
   double codeCacheHitRate() const;
+
+  /// Fraction of store lookups that served a record; 0 without lookups.
+  double storeHitRate() const;
 
   /// Aligned tables: stages, top instructions, cache, metrics.
   std::string render() const;

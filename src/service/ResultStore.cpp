@@ -1,0 +1,186 @@
+//===- service/ResultStore.cpp - File-backed content-addressed store ---------===//
+
+#include "service/ResultStore.h"
+
+#include "support/Json.h"
+#include "support/StringUtils.h"
+
+#include <cstdio>
+#include <fstream>
+
+using namespace igdt;
+
+namespace {
+
+std::string keyToHex(std::uint64_t Key) {
+  return formatString("%016llx", static_cast<unsigned long long>(Key));
+}
+
+bool hexToKey(const std::string &Hex, std::uint64_t &Key) {
+  if (Hex.empty() || Hex.size() > 16)
+    return false;
+  std::uint64_t V = 0;
+  for (char C : Hex) {
+    unsigned Digit;
+    if (C >= '0' && C <= '9')
+      Digit = unsigned(C - '0');
+    else if (C >= 'a' && C <= 'f')
+      Digit = unsigned(C - 'a') + 10;
+    else
+      return false;
+    V = (V << 4) | Digit;
+  }
+  Key = V;
+  return true;
+}
+
+std::string putLine(std::uint64_t Key, const std::string &Instruction,
+                    const std::string &Record) {
+  JsonValue V = JsonValue::object();
+  V.set("v", JsonValue::number(ResultStore::FormatVersion));
+  V.set("key", JsonValue::string(keyToHex(Key)));
+  V.set("instruction", JsonValue::string(Instruction));
+  V.set("record", JsonValue::string(Record));
+  return V.dump();
+}
+
+std::string tombstoneLine(std::uint64_t Key) {
+  JsonValue V = JsonValue::object();
+  V.set("v", JsonValue::number(ResultStore::FormatVersion));
+  V.set("key", JsonValue::string(keyToHex(Key)));
+  V.set("tombstone", JsonValue::boolean(true));
+  return V.dump();
+}
+
+} // namespace
+
+ResultStore::ResultStore(std::string PathArg) : Path(std::move(PathArg)) {
+  std::ifstream In(Path);
+  // Seal a torn final line (a crash mid-append) with a newline now, so
+  // the first post-crash put starts a fresh line instead of gluing
+  // itself onto the garbage and dying with it.
+  bool SealTornTail = false;
+  if (In.seekg(0, std::ios::end) && In.tellg() > 0) {
+    In.seekg(-1, std::ios::end);
+    SealTornTail = In.get() != '\n';
+  }
+  In.clear();
+  In.seekg(0);
+  std::string Line;
+  while (std::getline(In, Line)) {
+    if (Line.empty())
+      continue;
+    std::optional<JsonValue> V = JsonValue::parse(Line);
+    std::uint64_t Key = 0;
+    if (!V || unsigned(V->numberOr("v", 0)) > FormatVersion ||
+        !hexToKey(V->stringOr("key", ""), Key)) {
+      ++DeadLines;
+      continue;
+    }
+    if (V->boolOr("tombstone", false)) {
+      // The tombstone itself is dead weight, and so is the put it
+      // buried (when one existed).
+      DeadLines += Live.erase(Key) + 1;
+      continue;
+    }
+    Entry E;
+    E.Instruction = V->stringOr("instruction", "");
+    E.Record = V->stringOr("record", "");
+    if (E.Record.empty()) {
+      ++DeadLines;
+      continue;
+    }
+    if (!Live.emplace(Key, std::move(E)).second) {
+      Live[Key] = {V->stringOr("instruction", ""), V->stringOr("record", "")};
+      ++DeadLines; // the superseded earlier put
+    }
+  }
+  In.close();
+  if (SealTornTail) {
+    std::ofstream Out(Path, std::ios::app);
+    Out << '\n';
+  }
+}
+
+void ResultStore::appendLocked(const std::string &Line) {
+  std::ofstream Out(Path, std::ios::app);
+  Out << Line << '\n';
+}
+
+bool ResultStore::lookup(std::uint64_t Key, std::string &RecordLine) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Live.find(Key);
+  if (It == Live.end()) {
+    ++Misses;
+    return false;
+  }
+  ++Hits;
+  RecordLine = It->second.Record;
+  return true;
+}
+
+void ResultStore::put(std::uint64_t Key, const std::string &Instruction,
+                      const std::string &RecordLine) {
+  std::lock_guard<std::mutex> Lock(M);
+  auto It = Live.find(Key);
+  if (It != Live.end()) {
+    if (It->second.Record == RecordLine)
+      return; // identical re-store: no log growth
+    ++DeadLines;
+  }
+  Live[Key] = {Instruction, RecordLine};
+  appendLocked(putLine(Key, Instruction, RecordLine));
+  ++Stores;
+}
+
+std::size_t ResultStore::invalidate(const std::string &Instruction) {
+  std::lock_guard<std::mutex> Lock(M);
+  std::size_t Removed = 0;
+  for (auto It = Live.begin(); It != Live.end();) {
+    if (Instruction.empty() || It->second.Instruction == Instruction) {
+      appendLocked(tombstoneLine(It->first));
+      DeadLines += 2; // the tombstone plus the put it buried
+      It = Live.erase(It);
+      ++Removed;
+    } else {
+      ++It;
+    }
+  }
+  return Removed;
+}
+
+ResultStore::GcStats ResultStore::gc() {
+  std::lock_guard<std::mutex> Lock(M);
+  GcStats Stats;
+  Stats.Kept = Live.size();
+  Stats.Dropped = DeadLines;
+  std::string Tmp = Path + ".gc";
+  {
+    std::ofstream Out(Tmp, std::ios::trunc);
+    for (const auto &[Key, E] : Live)
+      Out << putLine(Key, E.Instruction, E.Record) << '\n';
+  }
+  std::rename(Tmp.c_str(), Path.c_str());
+  DeadLines = 0;
+  return Stats;
+}
+
+std::size_t ResultStore::size() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Live.size();
+}
+
+std::uint64_t ResultStore::hits() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Hits;
+}
+
+std::uint64_t ResultStore::misses() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Misses;
+}
+
+std::uint64_t ResultStore::stores() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return Stores;
+}

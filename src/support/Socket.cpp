@@ -1,0 +1,171 @@
+//===- support/Socket.cpp - Unix-domain socket helpers ----------------------===//
+
+#include "support/Socket.h"
+
+#if !defined(_WIN32)
+#define IGDT_HAVE_UNIX_SOCKETS 1
+#include <cerrno>
+#include <cstring>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+#endif
+
+using namespace igdt;
+
+#if IGDT_HAVE_UNIX_SOCKETS
+
+namespace {
+
+/// Fills \p Addr from \p Path; false when the path does not fit in
+/// sun_path (a hard AF_UNIX limit, ~107 bytes).
+bool fillAddress(const std::string &Path, sockaddr_un &Addr,
+                 std::string *Error) {
+  if (Path.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "socket path too long: " + Path;
+    return false;
+  }
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+void setError(std::string *Error, const char *What, const std::string &Path) {
+  if (Error)
+    *Error = std::string(What) + " " + Path + ": " + std::strerror(errno);
+}
+
+} // namespace
+
+bool igdt::unixSocketsAvailable() { return true; }
+
+int igdt::unixListen(const std::string &Path, std::string *Error) {
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr, Error))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Error, "socket", Path);
+    return -1;
+  }
+  // A previous daemon that died uncleanly leaves its socket file behind;
+  // binding over it needs the unlink (connectors already get ECONNREFUSED
+  // from the dead socket, so nothing live is lost).
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0) {
+    setError(Error, "bind", Path);
+    closeFd(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 16) < 0) {
+    setError(Error, "listen", Path);
+    closeFd(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int igdt::unixAccept(int ListenFd, int TimeoutMillis) {
+  pollfd P;
+  P.fd = ListenFd;
+  P.events = POLLIN;
+  P.revents = 0;
+  int Ready = ::poll(&P, 1, TimeoutMillis);
+  if (Ready <= 0)
+    return -1;
+  int Fd;
+  do
+    Fd = ::accept(ListenFd, nullptr, nullptr);
+  while (Fd < 0 && errno == EINTR);
+  return Fd;
+}
+
+bool igdt::waitReadable(int Fd, int TimeoutMillis) {
+  pollfd P;
+  P.fd = Fd;
+  P.events = POLLIN;
+  P.revents = 0;
+  return ::poll(&P, 1, TimeoutMillis) > 0;
+}
+
+int igdt::unixConnect(const std::string &Path, std::string *Error) {
+  sockaddr_un Addr;
+  if (!fillAddress(Path, Addr, Error))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    setError(Error, "socket", Path);
+    return -1;
+  }
+  int Rc;
+  do
+    Rc = ::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr));
+  while (Rc < 0 && errno == EINTR);
+  if (Rc < 0) {
+    setError(Error, "connect", Path);
+    closeFd(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool igdt::writeAll(int Fd, const void *Data, std::size_t Size) {
+  const char *P = static_cast<const char *>(Data);
+  while (Size > 0) {
+    // MSG_NOSIGNAL: a peer that vanished mid-reply should surface as an
+    // EPIPE error on this call, not kill the daemon with SIGPIPE.
+    long N = ::send(Fd, P, Size, MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    P += N;
+    Size -= std::size_t(N);
+  }
+  return true;
+}
+
+long igdt::readSome(int Fd, void *Buf, std::size_t Size) {
+  long N;
+  do
+    N = ::read(Fd, Buf, Size);
+  while (N < 0 && errno == EINTR);
+  return N;
+}
+
+void igdt::closeFd(int Fd) {
+  if (Fd >= 0)
+    ::close(Fd);
+}
+
+#else // !IGDT_HAVE_UNIX_SOCKETS
+
+bool igdt::unixSocketsAvailable() { return false; }
+
+int igdt::unixListen(const std::string &, std::string *Error) {
+  if (Error)
+    *Error = "unix sockets unavailable on this platform";
+  return -1;
+}
+
+int igdt::unixAccept(int, int) { return -1; }
+
+bool igdt::waitReadable(int, int) { return false; }
+
+int igdt::unixConnect(const std::string &, std::string *Error) {
+  if (Error)
+    *Error = "unix sockets unavailable on this platform";
+  return -1;
+}
+
+bool igdt::writeAll(int, const void *, std::size_t) { return false; }
+
+long igdt::readSome(int, void *, std::size_t) { return -1; }
+
+void igdt::closeFd(int) {}
+
+#endif // IGDT_HAVE_UNIX_SOCKETS

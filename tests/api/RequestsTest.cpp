@@ -1,0 +1,278 @@
+//===- tests/api/RequestsTest.cpp ----------------------------------------------===//
+//
+// The versioned request/response vocabulary: JSON round-trips preserve
+// every field, absent fields read tolerantly as defaults, schema
+// versions newer than this build are rejected with a diagnostic that
+// names both versions, toSessionConfig is a faithful mapping onto the
+// nested option structs, and requestFromFlags parses the shared flag
+// vocabulary the benches and the client CLI speak.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Requests.h"
+
+#include "api/Session.h"
+#include "support/Flags.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+/// A request with every field off its default, so a round-trip that
+/// drops any field fails loudly.
+CampaignRequest fullyPopulated() {
+  CampaignRequest R;
+  R.Jobs = 6;
+  R.WorkerProcesses = 3;
+  R.WorkerDeadlineMillis = 1234.5;
+  R.WorkerBackoffMillis = 7.5;
+  R.MaxBytecodes = 11;
+  R.MaxNativeMethods = 4;
+  R.OnlyInstructions = {"bytecodePrim_add", "primitiveAdd"};
+  R.CheckpointPath = "ckpt.jsonl";
+  R.IncidentLogPath = "incidents.jsonl";
+  R.TracePath = "trace.jsonl";
+  R.StorePath = "store.jsonl";
+  R.Profile = true;
+  R.Deterministic = true;
+  R.StopAfter = 5;
+  R.MaxAttempts = 3;
+  R.CampaignWallMillis = 9000;
+  R.ExploreWallMillis = 800;
+  R.ExploreWorkUnits = 7000;
+  R.ReplayWallMillis = 600;
+  R.ReplayWorkUnits = 5000;
+  R.TotalExploreUnits = 40000;
+  R.SchedulePolicy = "adaptive";
+  R.SolverTiers = 3;
+  R.BudgetPool = true;
+  R.BudgetPoolCapFactor = 4.0;
+  R.WarmStartPath = "yield.json";
+  R.PersistYield = true;
+  return R;
+}
+
+void expectEqual(const CampaignRequest &A, const CampaignRequest &B) {
+  EXPECT_EQ(A.Jobs, B.Jobs);
+  EXPECT_EQ(A.WorkerProcesses, B.WorkerProcesses);
+  EXPECT_EQ(A.WorkerDeadlineMillis, B.WorkerDeadlineMillis);
+  EXPECT_EQ(A.WorkerBackoffMillis, B.WorkerBackoffMillis);
+  EXPECT_EQ(A.MaxBytecodes, B.MaxBytecodes);
+  EXPECT_EQ(A.MaxNativeMethods, B.MaxNativeMethods);
+  EXPECT_EQ(A.OnlyInstructions, B.OnlyInstructions);
+  EXPECT_EQ(A.CheckpointPath, B.CheckpointPath);
+  EXPECT_EQ(A.IncidentLogPath, B.IncidentLogPath);
+  EXPECT_EQ(A.TracePath, B.TracePath);
+  EXPECT_EQ(A.StorePath, B.StorePath);
+  EXPECT_EQ(A.Profile, B.Profile);
+  EXPECT_EQ(A.Deterministic, B.Deterministic);
+  EXPECT_EQ(A.StopAfter, B.StopAfter);
+  EXPECT_EQ(A.MaxAttempts, B.MaxAttempts);
+  EXPECT_EQ(A.CampaignWallMillis, B.CampaignWallMillis);
+  EXPECT_EQ(A.ExploreWallMillis, B.ExploreWallMillis);
+  EXPECT_EQ(A.ExploreWorkUnits, B.ExploreWorkUnits);
+  EXPECT_EQ(A.ReplayWallMillis, B.ReplayWallMillis);
+  EXPECT_EQ(A.ReplayWorkUnits, B.ReplayWorkUnits);
+  EXPECT_EQ(A.TotalExploreUnits, B.TotalExploreUnits);
+  EXPECT_EQ(A.SchedulePolicy, B.SchedulePolicy);
+  EXPECT_EQ(A.SolverTiers, B.SolverTiers);
+  EXPECT_EQ(A.BudgetPool, B.BudgetPool);
+  EXPECT_EQ(A.BudgetPoolCapFactor, B.BudgetPoolCapFactor);
+  EXPECT_EQ(A.WarmStartPath, B.WarmStartPath);
+  EXPECT_EQ(A.PersistYield, B.PersistYield);
+}
+
+} // namespace
+
+TEST(RequestsTest, CampaignRequestRoundTripsEveryField) {
+  CampaignRequest Original = fullyPopulated();
+  CampaignRequest Parsed;
+  std::string Error;
+  ASSERT_TRUE(CampaignRequest::fromJson(Original.toJson(), Parsed, &Error))
+      << Error;
+  expectEqual(Original, Parsed);
+
+  // And through the serialised text, as the wire actually carries it.
+  std::optional<JsonValue> Reparsed = JsonValue::parse(Original.toJson().dump());
+  ASSERT_TRUE(Reparsed.has_value());
+  CampaignRequest FromText;
+  ASSERT_TRUE(CampaignRequest::fromJson(*Reparsed, FromText, &Error)) << Error;
+  expectEqual(Original, FromText);
+}
+
+TEST(RequestsTest, AbsentFieldsReadAsDefaultsAndBadInputIsRejected) {
+  // A minimal envelope leaves every field at its default — this is what
+  // lets new optional fields ship without a version bump.
+  CampaignRequest Defaults, Minimal;
+  ASSERT_TRUE(CampaignRequest::fromJson(*JsonValue::parse("{\"v\":1}"),
+                                        Minimal));
+  expectEqual(Defaults, Minimal);
+
+  // A version without the "v" key is assumed current (hand-written
+  // requests stay convenient)...
+  ASSERT_TRUE(CampaignRequest::fromJson(*JsonValue::parse("{\"jobs\":3}"),
+                                        Minimal));
+  EXPECT_EQ(Minimal.Jobs, 3u);
+
+  // ...but a non-object is not a request.
+  std::string Error;
+  EXPECT_FALSE(
+      CampaignRequest::fromJson(*JsonValue::parse("[1,2]"), Minimal, &Error));
+  EXPECT_FALSE(Error.empty());
+}
+
+TEST(RequestsTest, NewerSchemaVersionsAreRejectedNamingBothVersions) {
+  CampaignRequest Out;
+  std::string Error;
+  EXPECT_FALSE(CampaignRequest::fromJson(
+      *JsonValue::parse("{\"v\":2,\"jobs\":3}"), Out, &Error));
+  EXPECT_NE(Error.find("2"), std::string::npos) << Error;
+  EXPECT_NE(Error.find("newer"), std::string::npos) << Error;
+
+  ServiceRequest Req;
+  EXPECT_FALSE(ServiceRequest::fromJson(
+      *JsonValue::parse("{\"v\":7,\"verb\":\"ping\"}"), Req, &Error));
+  StatusReply Status;
+  EXPECT_FALSE(StatusReply::fromJson(*JsonValue::parse("{\"v\":7}"), Status,
+                                     &Error));
+  ServiceReply Reply;
+  EXPECT_FALSE(ServiceReply::fromJson(*JsonValue::parse("{\"v\":7}"), Reply,
+                                      &Error));
+  ExploreRequest Explore;
+  EXPECT_FALSE(ExploreRequest::fromJson(*JsonValue::parse("{\"v\":7}"),
+                                        Explore, &Error));
+}
+
+TEST(RequestsTest, ServiceEnvelopesRoundTrip) {
+  ServiceRequest Req;
+  Req.Verb = "submit";
+  Req.SessionId = "s7";
+  Req.Cursor = 42;
+  Req.Instruction = "bytecodePrim_add";
+  Req.StorePath = "other_store.jsonl";
+  Req.WantProfile = true;
+  Req.Campaign = fullyPopulated();
+  ServiceRequest ReqBack;
+  std::string Error;
+  ASSERT_TRUE(ServiceRequest::fromJson(Req.toJson(), ReqBack, &Error)) << Error;
+  EXPECT_EQ(ReqBack.Verb, "submit");
+  EXPECT_EQ(ReqBack.SessionId, "s7");
+  EXPECT_EQ(ReqBack.Cursor, 42u);
+  EXPECT_EQ(ReqBack.Instruction, "bytecodePrim_add");
+  EXPECT_EQ(ReqBack.StorePath, "other_store.jsonl");
+  EXPECT_TRUE(ReqBack.WantProfile);
+  expectEqual(Req.Campaign, ReqBack.Campaign);
+
+  StatusReply Status;
+  Status.State = "done";
+  Status.Done = true;
+  Status.Completed = 8;
+  Status.Total = 9;
+  Status.Resumed = 2;
+  Status.StoreServed = 5;
+  Status.Quarantined = 1;
+  Status.Paths = 321;
+  Status.LiveSolverQueries = 17;
+  Status.ExitCode = 1;
+  Status.Error = "boom";
+  Status.ProfileJson = "{\"stages\":[]}";
+  StatusReply StatusBack;
+  ASSERT_TRUE(StatusReply::fromJson(Status.toJson(), StatusBack, &Error))
+      << Error;
+  EXPECT_EQ(StatusBack.State, "done");
+  EXPECT_TRUE(StatusBack.Done);
+  EXPECT_EQ(StatusBack.Completed, 8u);
+  EXPECT_EQ(StatusBack.Total, 9u);
+  EXPECT_EQ(StatusBack.Resumed, 2u);
+  EXPECT_EQ(StatusBack.StoreServed, 5u);
+  EXPECT_EQ(StatusBack.Quarantined, 1u);
+  EXPECT_EQ(StatusBack.Paths, 321u);
+  EXPECT_EQ(StatusBack.LiveSolverQueries, 17u);
+  EXPECT_EQ(StatusBack.ExitCode, 1);
+  EXPECT_EQ(StatusBack.Error, "boom");
+  EXPECT_EQ(StatusBack.ProfileJson, "{\"stages\":[]}");
+
+  ServiceReply Reply;
+  Reply.Verb = "status";
+  Reply.Ok = true;
+  Reply.Body = "{\"x\":1}";
+  ServiceReply ReplyBack;
+  ASSERT_TRUE(ServiceReply::fromJson(Reply.toJson(), ReplyBack, &Error))
+      << Error;
+  EXPECT_EQ(ReplyBack.Verb, "status");
+  EXPECT_TRUE(ReplyBack.Ok);
+  EXPECT_EQ(ReplyBack.Body, "{\"x\":1}");
+}
+
+TEST(RequestsTest, ToSessionConfigIsAFaithfulMapping) {
+  CampaignRequest R = fullyPopulated();
+  SessionConfig Config = R.toSessionConfig();
+  EXPECT_EQ(Config.Campaign.Jobs, 6u);
+  EXPECT_EQ(Config.Campaign.WorkerProcesses, 3u);
+  EXPECT_EQ(Config.Campaign.WorkerDeadlineMillis, 1234.5);
+  EXPECT_EQ(Config.Campaign.WorkerBackoffMillis, 7.5);
+  EXPECT_EQ(Config.Campaign.Harness.MaxBytecodes, 11u);
+  EXPECT_EQ(Config.Campaign.Harness.MaxNativeMethods, 4u);
+  EXPECT_EQ(Config.Campaign.OnlyInstructions, R.OnlyInstructions);
+  EXPECT_EQ(Config.Campaign.CheckpointPath, "ckpt.jsonl");
+  EXPECT_EQ(Config.Campaign.IncidentLogPath, "incidents.jsonl");
+  EXPECT_EQ(Config.Campaign.TracePath, "trace.jsonl");
+  EXPECT_TRUE(Config.Profile);
+  EXPECT_TRUE(Config.Deterministic);
+  EXPECT_EQ(Config.Campaign.StopAfter, 5u);
+  EXPECT_EQ(Config.Campaign.MaxAttempts, 3u);
+  EXPECT_EQ(Config.Campaign.CampaignWallMillis, 9000);
+  EXPECT_EQ(Config.Campaign.ExploreBudget.WallMillis, 800);
+  EXPECT_EQ(Config.Campaign.ExploreBudget.WorkUnits, 7000u);
+  EXPECT_EQ(Config.Campaign.ReplayBudget.WallMillis, 600);
+  EXPECT_EQ(Config.Campaign.ReplayBudget.WorkUnits, 5000u);
+  EXPECT_EQ(Config.Campaign.TotalExploreUnits, 40000u);
+  EXPECT_EQ(Config.Campaign.Schedule.Policy, "adaptive");
+  EXPECT_EQ(Config.Campaign.Schedule.SolverTiers, 3u);
+  EXPECT_TRUE(Config.Campaign.Schedule.BudgetPool);
+  EXPECT_EQ(Config.Campaign.Schedule.BudgetPoolCapFactor, 4.0);
+  EXPECT_EQ(Config.Campaign.Schedule.WarmStartPath, "yield.json");
+  EXPECT_TRUE(Config.Campaign.Schedule.PersistYield);
+  // The store is process state, not configuration: never mapped here.
+  EXPECT_EQ(Config.Campaign.Store, nullptr);
+
+  // The empty request is the stock campaign.
+  SessionConfig Stock = CampaignRequest().toSessionConfig();
+  SessionConfig Defaults;
+  EXPECT_EQ(Stock.Campaign.Jobs, Defaults.Campaign.Jobs);
+  EXPECT_EQ(Stock.Campaign.MaxAttempts, Defaults.Campaign.MaxAttempts);
+  EXPECT_EQ(Stock.Campaign.Schedule.Policy, Defaults.Campaign.Schedule.Policy);
+}
+
+TEST(RequestsTest, RequestFromFlagsParsesTheSharedVocabulary) {
+  CampaignRequest R;
+  FlagParser Flags("requests_test", "test");
+  requestFromFlags(Flags, R);
+  const char *Argv[] = {"requests_test",
+                        "--jobs",          "4",
+                        "--workers",       "2",
+                        "--max-bytecodes", "7",
+                        "--only",          "bytecodePrim_add",
+                        "--only",          "primitiveAdd",
+                        "--checkpoint",    "c.jsonl",
+                        "--store",         "s.jsonl",
+                        "--deterministic",
+                        "--max-attempts",  "3",
+                        "--schedule",      "adaptive",
+                        "--solver-tiers",  "2"};
+  ASSERT_TRUE(Flags.parse(int(std::size(Argv)), const_cast<char **>(Argv)));
+  EXPECT_EQ(R.Jobs, 4u);
+  EXPECT_EQ(R.WorkerProcesses, 2u);
+  EXPECT_EQ(R.MaxBytecodes, 7u);
+  EXPECT_EQ(R.OnlyInstructions,
+            (std::vector<std::string>{"bytecodePrim_add", "primitiveAdd"}));
+  EXPECT_EQ(R.CheckpointPath, "c.jsonl");
+  EXPECT_EQ(R.StorePath, "s.jsonl");
+  EXPECT_TRUE(R.Deterministic);
+  EXPECT_EQ(R.MaxAttempts, 3u);
+  EXPECT_EQ(R.SchedulePolicy, "adaptive");
+  EXPECT_EQ(R.SolverTiers, 2u);
+}

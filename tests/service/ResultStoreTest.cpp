@@ -1,0 +1,268 @@
+//===- tests/service/ResultStoreTest.cpp ---------------------------------------===//
+//
+// The content-addressed verdict store's contracts: key derivation is
+// sensitive to exactly the inputs a record depends on (and blind to
+// topology), the JSONL log survives reopen with last-entry-wins,
+// tombstones invalidate per instruction and persist, gc compacts to
+// the live set, and malformed lines never poison a load.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/ResultStore.h"
+
+#include "evalkit/CampaignRunner.h"
+#include "support/Json.h"
+#include "vm/InstructionCatalog.h"
+
+#include <cstdio>
+#include <fstream>
+#include <gtest/gtest.h>
+#include <set>
+
+using namespace igdt;
+
+namespace {
+
+std::string tempPath(const std::string &Name) {
+  std::string Path = ::testing::TempDir() + "igdt_store_" + Name;
+  std::remove(Path.c_str());
+  return Path;
+}
+
+std::vector<std::string> readLines(const std::string &Path) {
+  std::ifstream In(Path);
+  std::vector<std::string> Lines;
+  std::string Line;
+  while (std::getline(In, Line))
+    if (!Line.empty())
+      Lines.push_back(Line);
+  return Lines;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Key derivation
+//===----------------------------------------------------------------------===//
+
+TEST(ResultStoreTest, BodyHashSeparatesInstructionsAndTracksEveryByte) {
+  // Distinct across the whole catalog: no two instructions may collide,
+  // or an edit to one would serve stale bytes for another.
+  std::set<std::uint64_t> Seen;
+  for (const InstructionSpec &Spec : allInstructions())
+    EXPECT_TRUE(Seen.insert(instructionBodyHash(Spec)).second) << Spec.Name;
+
+  // Editing any body component changes the key; the name alone does not
+  // carry the identity.
+  const InstructionSpec *Add = findInstruction("bytecodePrim_add");
+  ASSERT_NE(Add, nullptr);
+  std::uint64_t Original = instructionBodyHash(*Add);
+
+  InstructionSpec Patched = *Add;
+  ASSERT_FALSE(Patched.Bytes.empty());
+  Patched.Bytes[0] ^= 1;
+  EXPECT_NE(instructionBodyHash(Patched), Original);
+
+  Patched = *Add;
+  Patched.NumLocals += 1;
+  EXPECT_NE(instructionBodyHash(Patched), Original);
+
+  Patched = *Add;
+  Patched.PaddingBytes += 1;
+  EXPECT_NE(instructionBodyHash(Patched), Original);
+
+  // An untouched copy keys identically: the hash is a pure function of
+  // the body, not of object identity.
+  EXPECT_EQ(instructionBodyHash(InstructionSpec(*Add)), Original);
+}
+
+TEST(ResultStoreTest, ConfigFingerprintIgnoresTopologyButNotSemantics) {
+  CampaignOptions Base;
+  std::uint64_t Baseline = campaignConfigFingerprint(Base);
+
+  // Topology knobs are excluded by design: records are proven
+  // byte-identical across them, so a record computed at one topology
+  // may serve any other.
+  CampaignOptions Topo = Base;
+  Topo.Jobs = 8;
+  Topo.WorkerProcesses = 4;
+  Topo.WorkerDeadlineMillis = 123;
+  Topo.WorkerBackoffMillis = 7;
+  EXPECT_EQ(campaignConfigFingerprint(Topo), Baseline);
+
+  // Record-shaping knobs are not.
+  CampaignOptions Semantic = Base;
+  Semantic.MaxAttempts = 3;
+  EXPECT_NE(campaignConfigFingerprint(Semantic), Baseline);
+
+  Semantic = Base;
+  Semantic.Harness.SeedSimulationErrors = !Semantic.Harness.SeedSimulationErrors;
+  EXPECT_NE(campaignConfigFingerprint(Semantic), Baseline);
+
+  // The full content address mixes body and config: same instruction
+  // under a different fingerprint is a different key, and vice versa.
+  const InstructionSpec *Add = findInstruction("bytecodePrim_add");
+  const InstructionSpec *Sub = findInstruction("bytecodePrim_sub");
+  ASSERT_NE(Add, nullptr);
+  ASSERT_NE(Sub, nullptr);
+  std::uint64_t FpA = campaignConfigFingerprint(Base);
+  std::uint64_t FpB = campaignConfigFingerprint(Semantic);
+  EXPECT_NE(resultStoreKey(*Add, FpA), resultStoreKey(*Sub, FpA));
+  EXPECT_NE(resultStoreKey(*Add, FpA), resultStoreKey(*Add, FpB));
+  EXPECT_EQ(resultStoreKey(*Add, FpA), resultStoreKey(*Add, FpA));
+}
+
+TEST(ResultStoreTest, StoreEligibilityRefusesTimingDependentConfigs) {
+  CampaignOptions Opts;
+  EXPECT_TRUE(storeEligible(Opts));
+
+  // Work-unit budgets are deterministic and allowed.
+  Opts.ExploreBudget.WorkUnits = 1000;
+  Opts.ReplayBudget.WorkUnits = 1000;
+  EXPECT_TRUE(storeEligible(Opts));
+
+  CampaignOptions Wall;
+  Wall.CampaignWallMillis = 1000;
+  EXPECT_FALSE(storeEligible(Wall));
+
+  Wall = CampaignOptions();
+  Wall.ExploreBudget.WallMillis = 50;
+  EXPECT_FALSE(storeEligible(Wall));
+
+  Wall = CampaignOptions();
+  Wall.ReplayBudget.WallMillis = 50;
+  EXPECT_FALSE(storeEligible(Wall));
+
+  CampaignOptions Ledger;
+  Ledger.TotalExploreUnits = 500;
+  EXPECT_FALSE(storeEligible(Ledger));
+
+  CampaignOptions Pool;
+  Pool.Schedule.Policy = "adaptive";
+  Pool.Schedule.BudgetPool = true;
+  EXPECT_FALSE(storeEligible(Pool));
+  // Adaptive ordering alone only permutes scheduling, not record bytes.
+  Pool.Schedule.BudgetPool = false;
+  EXPECT_TRUE(storeEligible(Pool));
+}
+
+//===----------------------------------------------------------------------===//
+// The JSONL log
+//===----------------------------------------------------------------------===//
+
+TEST(ResultStoreTest, PersistsAcrossReopenWithLastEntryWinning) {
+  std::string Path = tempPath("reopen.jsonl");
+  {
+    ResultStore Store(Path);
+    EXPECT_EQ(Store.size(), 0u);
+    Store.put(1, "bytecodePrim_add", "{\"r\":\"first\"}");
+    Store.put(2, "bytecodePrim_sub", "{\"r\":\"other\"}");
+    // Identical re-store is skipped (no log growth)...
+    Store.put(1, "bytecodePrim_add", "{\"r\":\"first\"}");
+    EXPECT_EQ(Store.stores(), 2u);
+    // ...a changed record is an overwrite, last entry wins.
+    Store.put(1, "bytecodePrim_add", "{\"r\":\"second\"}");
+    EXPECT_EQ(Store.stores(), 3u);
+    EXPECT_EQ(Store.size(), 2u);
+  }
+  {
+    ResultStore Store(Path);
+    EXPECT_EQ(Store.size(), 2u);
+    std::string Line;
+    ASSERT_TRUE(Store.lookup(1, Line));
+    EXPECT_EQ(Line, "{\"r\":\"second\"}");
+    ASSERT_TRUE(Store.lookup(2, Line));
+    EXPECT_EQ(Line, "{\"r\":\"other\"}");
+    EXPECT_FALSE(Store.lookup(3, Line));
+    EXPECT_EQ(Store.hits(), 2u);
+    EXPECT_EQ(Store.misses(), 1u);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(ResultStoreTest, InvalidateIsPerInstructionAndPersists) {
+  std::string Path = tempPath("invalidate.jsonl");
+  {
+    ResultStore Store(Path);
+    Store.put(1, "bytecodePrim_add", "{\"r\":\"a\"}");
+    Store.put(2, "bytecodePrim_add", "{\"r\":\"b\"}");
+    Store.put(3, "bytecodePrim_sub", "{\"r\":\"c\"}");
+    // Both entries of the named instruction go; the other survives.
+    EXPECT_EQ(Store.invalidate("bytecodePrim_add"), 2u);
+    EXPECT_EQ(Store.size(), 1u);
+    EXPECT_EQ(Store.invalidate("noSuchInstruction"), 0u);
+  }
+  {
+    // Tombstones are log entries, so the invalidation survives reopen.
+    ResultStore Store(Path);
+    EXPECT_EQ(Store.size(), 1u);
+    std::string Line;
+    EXPECT_FALSE(Store.lookup(1, Line));
+    EXPECT_FALSE(Store.lookup(2, Line));
+    ASSERT_TRUE(Store.lookup(3, Line));
+    EXPECT_EQ(Line, "{\"r\":\"c\"}");
+
+    // A put after a tombstone resurrects the key (the re-explored
+    // record re-enters the cache), and "" invalidates everything.
+    Store.put(1, "bytecodePrim_add", "{\"r\":\"a2\"}");
+    ASSERT_TRUE(Store.lookup(1, Line));
+    EXPECT_EQ(Line, "{\"r\":\"a2\"}");
+    EXPECT_EQ(Store.invalidate(""), 2u);
+    EXPECT_EQ(Store.size(), 0u);
+  }
+  std::remove(Path.c_str());
+}
+
+TEST(ResultStoreTest, GcCompactsTheLogToExactlyTheLiveEntries) {
+  std::string Path = tempPath("gc.jsonl");
+  ResultStore Store(Path);
+  Store.put(1, "bytecodePrim_add", "{\"r\":\"a\"}");
+  Store.put(1, "bytecodePrim_add", "{\"r\":\"a2\"}"); // superseded put
+  Store.put(2, "bytecodePrim_sub", "{\"r\":\"b\"}");
+  Store.put(3, "bytecodePrim_mul", "{\"r\":\"c\"}");
+  Store.invalidate("bytecodePrim_mul"); // put + tombstone, both dead
+  ASSERT_EQ(readLines(Path).size(), 5u);
+
+  ResultStore::GcStats Stats = Store.gc();
+  EXPECT_EQ(Stats.Kept, 2u);
+  EXPECT_EQ(Stats.Dropped, 3u);
+  EXPECT_EQ(readLines(Path).size(), 2u);
+
+  // The compacted log reloads to the same live set, bytes intact.
+  ResultStore Reloaded(Path);
+  EXPECT_EQ(Reloaded.size(), 2u);
+  std::string Line;
+  ASSERT_TRUE(Reloaded.lookup(1, Line));
+  EXPECT_EQ(Line, "{\"r\":\"a2\"}");
+
+  // A second gc with nothing dead is a no-op compaction.
+  Stats = Reloaded.gc();
+  EXPECT_EQ(Stats.Kept, 2u);
+  EXPECT_EQ(Stats.Dropped, 0u);
+  std::remove(Path.c_str());
+}
+
+TEST(ResultStoreTest, MalformedLinesAreSkippedNotFatal) {
+  std::string Path = tempPath("corrupt.jsonl");
+  {
+    ResultStore Store(Path);
+    Store.put(7, "bytecodePrim_add", "{\"r\":\"keep\"}");
+  }
+  {
+    // A torn final line and assorted garbage, as a crash would leave.
+    std::ofstream Out(Path, std::ios::app);
+    Out << "not json at all\n"
+        << "{\"v\":1,\"key\":\"zzzz\",\"record\":\"bad key\"}\n"
+        << "{\"v\":1,\"key\":\"0000000000000008\",\"instruction\":\"x\",\"rec";
+  }
+  ResultStore Store(Path);
+  EXPECT_EQ(Store.size(), 1u);
+  std::string Line;
+  ASSERT_TRUE(Store.lookup(7, Line));
+  EXPECT_EQ(Line, "{\"r\":\"keep\"}");
+  // The store keeps appending past the garbage; the new entry loads.
+  Store.put(8, "bytecodePrim_sub", "{\"r\":\"new\"}");
+  ResultStore Reloaded(Path);
+  EXPECT_EQ(Reloaded.size(), 2u);
+  std::remove(Path.c_str());
+}

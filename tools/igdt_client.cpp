@@ -1,0 +1,197 @@
+//===- tools/igdt_client.cpp - CLI for the campaign daemon ---------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Command-line front-end for igdtd. The first positional argument is
+/// the verb:
+///
+///   igdt-client --socket S submit [session flags] [--wait] [--follow]
+///   igdt-client --socket S status SESSION
+///   igdt-client --socket S subscribe SESSION
+///   igdt-client --socket S invalidate [--instruction NAME] [--store PATH]
+///   igdt-client --socket S gc [--store PATH]
+///   igdt-client --socket S ping | shutdown
+///
+/// submit takes the full shared session vocabulary (requestFromFlags),
+/// prints the session id, and with --wait blocks for the final status
+/// (--follow additionally streams trace events to stdout). Exit codes:
+/// 0 success, 1 daemon/transport error, 2 bad usage; with --wait, the
+/// campaign's own exit code.
+///
+//===----------------------------------------------------------------------===//
+
+#include "service/Client.h"
+#include "support/Flags.h"
+
+#include <cstdio>
+
+using namespace igdt;
+
+namespace {
+
+int follow(ServiceClient &Client, const std::string &SessionId) {
+  std::uint64_t Cursor = 0;
+  bool Done = false;
+  while (!Done) {
+    std::vector<std::string> Events;
+    std::string Error;
+    if (!Client.subscribe(SessionId, Cursor, Events, Done, &Error)) {
+      std::fprintf(stderr, "igdt-client: %s\n", Error.c_str());
+      return 1;
+    }
+    for (const std::string &Line : Events)
+      std::printf("%s\n", Line.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+int printStatus(const StatusReply &Status, bool WithProfile) {
+  std::printf("state=%s completed=%u total=%u resumed=%u store_served=%u "
+              "quarantined=%u paths=%llu live_solver_queries=%llu "
+              "exit=%d\n",
+              Status.State.c_str(), Status.Completed, Status.Total,
+              Status.Resumed, Status.StoreServed, Status.Quarantined,
+              (unsigned long long)Status.Paths,
+              (unsigned long long)Status.LiveSolverQueries, Status.ExitCode);
+  if (!Status.Error.empty())
+    std::fprintf(stderr, "igdt-client: session error: %s\n",
+                 Status.Error.c_str());
+  if (WithProfile && !Status.ProfileJson.empty())
+    std::printf("%s\n", Status.ProfileJson.c_str());
+  return Status.ExitCode;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Socket = "/tmp/igdt.sock";
+  std::string Instruction;
+  std::string Store;
+  bool Wait = false;
+  bool Follow = false;
+  bool WantProfile = false;
+  CampaignRequest Campaign;
+  FlagParser Flags("igdt-client",
+                   "IGDT daemon client; verbs: submit status subscribe "
+                   "invalidate gc ping shutdown");
+  Flags.add("socket", &Socket, "daemon unix-domain socket path");
+  Flags.add("instruction", &Instruction,
+            "invalidate: instruction to drop (default: whole store)");
+  Flags.add("wait", &Wait, "submit: block until the campaign finishes");
+  Flags.add("follow", &Follow,
+            "submit: stream trace events while waiting (implies --wait)");
+  Flags.add("want-profile", &WantProfile,
+            "submit: ask the daemon for the end-of-run profile JSON");
+  requestFromFlags(Flags, Campaign);
+  if (!Flags.parse(Argc, Argv))
+    return Flags.helpRequested() ? 0 : 2;
+  Store = Campaign.StorePath;
+
+  if (Flags.positional().empty()) {
+    std::fprintf(stderr, "igdt-client: missing verb (try --help)\n");
+    return 2;
+  }
+  const std::string &Verb = Flags.positional()[0];
+  auto Arg = [&](std::size_t I) {
+    return Flags.positional().size() > I ? Flags.positional()[I]
+                                         : std::string();
+  };
+
+  ServiceClient Client(Socket);
+  std::string Error;
+
+  if (Verb == "ping") {
+    if (!Client.ping(&Error)) {
+      std::fprintf(stderr, "igdt-client: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+
+  if (Verb == "shutdown") {
+    if (!Client.shutdown(&Error)) {
+      std::fprintf(stderr, "igdt-client: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("ok\n");
+    return 0;
+  }
+
+  if (Verb == "submit") {
+    std::string SessionId;
+    if (!Client.submit(Campaign, WantProfile || Campaign.Profile, SessionId,
+                       &Error)) {
+      std::fprintf(stderr, "igdt-client: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("session=%s\n", SessionId.c_str());
+    std::fflush(stdout);
+    if (Follow) {
+      int Rc = follow(Client, SessionId);
+      if (Rc)
+        return Rc;
+      Wait = true;
+    }
+    if (!Wait)
+      return 0;
+    StatusReply Status;
+    if (!Client.wait(SessionId, Status, &Error)) {
+      std::fprintf(stderr, "igdt-client: %s\n", Error.c_str());
+      return 1;
+    }
+    return printStatus(Status, WantProfile || Campaign.Profile);
+  }
+
+  if (Verb == "status") {
+    std::string SessionId = Arg(1);
+    if (SessionId.empty()) {
+      std::fprintf(stderr, "igdt-client: status needs a session id\n");
+      return 2;
+    }
+    StatusReply Status;
+    if (!Client.status(SessionId, Status, &Error)) {
+      std::fprintf(stderr, "igdt-client: %s\n", Error.c_str());
+      return 1;
+    }
+    printStatus(Status, WantProfile);
+    return 0;
+  }
+
+  if (Verb == "subscribe") {
+    std::string SessionId = Arg(1);
+    if (SessionId.empty()) {
+      std::fprintf(stderr, "igdt-client: subscribe needs a session id\n");
+      return 2;
+    }
+    return follow(Client, SessionId);
+  }
+
+  if (Verb == "invalidate") {
+    std::size_t Removed = 0;
+    if (!Client.invalidate(Store, Instruction, Removed, &Error)) {
+      std::fprintf(stderr, "igdt-client: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("removed=%zu\n", Removed);
+    return 0;
+  }
+
+  if (Verb == "gc") {
+    std::size_t Kept = 0, Dropped = 0;
+    if (!Client.gc(Store, Kept, Dropped, &Error)) {
+      std::fprintf(stderr, "igdt-client: %s\n", Error.c_str());
+      return 1;
+    }
+    std::printf("kept=%zu dropped=%zu\n", Kept, Dropped);
+    return 0;
+  }
+
+  std::fprintf(stderr, "igdt-client: unknown verb '%s' (try --help)\n",
+               Verb.c_str());
+  return 2;
+}
