@@ -36,6 +36,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <stdexcept>
 
 using namespace igdt;
 
@@ -88,7 +89,13 @@ int main(int Argc, char **Argv) {
   if (!Flags.parse(Argc, Argv))
     return Flags.helpRequested() ? 0 : 2;
 
-  SessionConfig Base = Request.toSessionConfig();
+  SessionConfig Base;
+  try {
+    Base = Request.toSessionConfig();
+  } catch (const std::invalid_argument &E) {
+    std::fprintf(stderr, "%s\n", E.what());
+    return 2;
+  }
   std::unique_ptr<ResultStore> Store;
   if (!Request.StorePath.empty()) {
     Store = std::make_unique<ResultStore>(Request.StorePath);

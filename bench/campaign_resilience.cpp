@@ -27,6 +27,7 @@
 #include <cstdio>
 #include <memory>
 #include <string>
+#include <stdexcept>
 
 using namespace igdt;
 
@@ -41,7 +42,13 @@ int main(int Argc, char **Argv) {
   if (!Flags.parse(Argc, Argv))
     return Flags.helpRequested() ? 0 : 2;
 
-  SessionConfig Config = Request.toSessionConfig();
+  SessionConfig Config;
+  try {
+    Config = Request.toSessionConfig();
+  } catch (const std::invalid_argument &E) {
+    std::fprintf(stderr, "%s\n", E.what());
+    return 2;
+  }
   std::unique_ptr<ResultStore> Store;
   if (!Request.StorePath.empty()) {
     Store = std::make_unique<ResultStore>(Request.StorePath);

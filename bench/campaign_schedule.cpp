@@ -54,6 +54,7 @@
 #include <string>
 #include <thread>
 #include <vector>
+#include <stdexcept>
 
 using namespace igdt;
 
@@ -124,7 +125,13 @@ int main(int Argc, char **Argv) {
   if (MinRatio < 0)
     MinRatio = Smoke ? 0 : 2;
 
-  SessionConfig Base = Request.toSessionConfig();
+  SessionConfig Base;
+  try {
+    Base = Request.toSessionConfig();
+  } catch (const std::invalid_argument &E) {
+    std::fprintf(stderr, "%s\n", E.what());
+    return 2;
+  }
   std::unique_ptr<ResultStore> Store;
   if (!Request.StorePath.empty()) {
     Store = std::make_unique<ResultStore>(Request.StorePath);

@@ -40,6 +40,7 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <stdexcept>
 
 using namespace igdt;
 
@@ -72,7 +73,13 @@ int main(int Argc, char **Argv) {
   if (!Flags.parse(Argc, Argv))
     return Flags.helpRequested() ? 0 : 2;
 
-  SessionConfig Cfg = Request.toSessionConfig();
+  SessionConfig Cfg;
+  try {
+    Cfg = Request.toSessionConfig();
+  } catch (const std::invalid_argument &E) {
+    std::fprintf(stderr, "%s\n", E.what());
+    return 2;
+  }
   std::unique_ptr<ResultStore> Store;
   if (!Request.StorePath.empty()) {
     Store = std::make_unique<ResultStore>(Request.StorePath);

@@ -1,0 +1,342 @@
+//===- bench/native_hotpath.cpp - Native-tier hot path ------------------------===//
+//
+// Measures the native x86-64 execution tier against the simulator's two
+// software engines, in two halves. (1) A serial full-catalog campaign
+// run three times — --engine switch, threaded and native — with
+// SimOptions::TimeRuns accumulating nanoseconds inside engine
+// execution: verdict-level output must be byte-identical across all
+// three runs ("records_identical"); the native tier is an accelerator,
+// never an oracle. (2) A hot-loop throughput measurement (a ~8M
+// dynamic-instruction countdown loop through each engine): campaign
+// paths are a handful of instructions each, so per-run fixed costs
+// dominate there; the headline speedup — and the --min-speedup gate —
+// is the hot-code ratio, where dispatch elimination is the story.
+// Emits BENCH_native.json; CI uploads it next to BENCH_replay.json.
+//
+// Usage: native_hotpath [--max-bytecodes N] [--max-native-methods N]
+//                       [--smoke] [--out PATH] [--baseline PATH]
+//                       [--min-speedup X]
+//
+// --baseline points at a JSON file recording "sim_runs" and
+// "native_builds" from a blessed run; the bench fails (exit 2) when the
+// current counts drift more than 5% — serial campaigns are
+// deterministic, so these are exact counts, not timings. Speedup is a
+// timing and therefore machine-dependent: it is only enforced when
+// --min-speedup is set above its default of 0 (the blessed baseline is
+// generated with --min-speedup 2), and never on hosts where
+// nativeTierSupported() is false — there the native run degrades to the
+// threaded engine and the speedup is meaningless by construction.
+//
+//===----------------------------------------------------------------------===//
+
+#include "api/Requests.h"
+#include "api/Session.h"
+
+#include "faults/DefectCatalog.h"
+#include "jit/CompiledCode.h"
+#include "jit/IR.h"
+#include "jit/Lowering.h"
+#include "jit/MachineSim.h"
+#include "support/CpuFeatures.h"
+#include "support/Flags.h"
+#include "support/Json.h"
+#include "vm/ObjectMemory.h"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <stdexcept>
+#include <cstdio>
+
+using namespace igdt;
+
+namespace {
+
+std::optional<JsonValue> readJsonFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream Buf;
+  Buf << In.rdbuf();
+  return JsonValue::parse(Buf.str());
+}
+
+/// The byte-identity claim, modulo wall clocks: records with every
+/// timing field zeroed must serialise identically whichever engine ran
+/// them.
+bool recordsIdentical(const CampaignSummary &A, const CampaignSummary &B) {
+  if (A.Records.size() != B.Records.size())
+    return false;
+  auto Stripped = [](const InstructionRecord &R) {
+    InstructionRecord Copy = R;
+    Copy.ExploreMillis = 0;
+    for (CompilerOutcome &C : Copy.Compilers)
+      C.TestMillis = 0;
+    return Copy.toJson();
+  };
+  for (std::size_t I = 0; I < A.Records.size(); ++I)
+    if (Stripped(A.Records[I]) != Stripped(B.Records[I]))
+      return false;
+  return true;
+}
+
+/// The hot-code half of the bench. Campaign paths are a handful of
+/// dynamic instructions each, so per-run fixed costs (context copy,
+/// trampoline entry) dominate there and the campaign ratio mostly
+/// measures overhead. Engine *throughput* — the thing the native tier
+/// buys — is measured on a long-running compiled unit: a countdown
+/// accumulation loop of ~4*Iters dynamic instructions, run through one
+/// engine with TimeRuns accumulating nanoseconds.
+struct HotRun {
+  std::uint64_t Nanos = 0;
+  std::uint64_t Result = 0;
+  MachExitKind Exit = MachExitKind::SimulationError;
+};
+
+CompiledCode hotLoop(std::int64_t Iters) {
+  IRFunction F;
+  IRBuilder B(F);
+  std::int32_t Loop = B.makeLabel();
+  B.movRI(preg(MReg::R0), 0);
+  B.movRI(preg(MReg::R1), Iters);
+  B.placeLabel(Loop);
+  B.add(preg(MReg::R0), preg(MReg::R1));
+  B.subI(preg(MReg::R1), 1);
+  B.cmpI(preg(MReg::R1), 0);
+  B.jcc(MCond::Gt, Loop);
+  B.ret();
+  CompiledCode Code;
+  Code.Code = lowerIR(F, x64Desc());
+  return Code;
+}
+
+HotRun runHot(SimEngine Engine, const CompiledCode &Code, std::int64_t Iters,
+              unsigned Reps) {
+  SimStats Stats;
+  SimOptions Opts;
+  Opts.Engine = Engine;
+  Opts.Fuel = std::uint64_t(4) * Iters + 16;
+  Opts.TimeRuns = true;
+  Opts.Stats = &Stats;
+  HotRun R;
+  ObjectMemory Mem(256 * 1024);
+  for (unsigned Rep = 0; Rep < Reps; ++Rep) {
+    MachineSim Sim(Mem, Opts);
+    MachineExit E = Sim.run(Code);
+    R.Exit = E.Kind;
+    R.Result = Sim.reg(MReg::R0);
+  }
+  R.Nanos = Stats.RunNanos;
+  return R;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  bool Smoke = false;
+  std::string OutPath = "BENCH_native.json";
+  std::string BaselinePath;
+  double MinSpeedup = 0;
+
+  CampaignRequest Request;
+  FlagParser Flags("native_hotpath",
+                   "Engine-execution throughput on the native x86-64 tier "
+                   "vs the threaded and switch simulator engines.");
+  requestFromFlags(Flags, Request);
+  Flags.add("smoke", &Smoke, "small catalog slice");
+  Flags.add("out", &OutPath, "JSON report path");
+  Flags.add("baseline", &BaselinePath,
+            "blessed sim_runs/native_builds JSON; fail on >5% drift");
+  Flags.add("min-speedup", &MinSpeedup,
+            "fail when the native/threaded engine-time ratio falls below "
+            "this (0 = report only; ignored without native support)");
+  if (!Flags.parse(Argc, Argv))
+    return Flags.helpRequested() ? 0 : 2;
+
+  SessionConfig Cfg;
+  try {
+    Cfg = Request.toSessionConfig();
+  } catch (const std::invalid_argument &E) {
+    std::fprintf(stderr, "%s\n", E.what());
+    return 2;
+  }
+  Cfg.harness().VM = cleanVMConfig();
+  Cfg.harness().Cogit = cleanCogitOptions();
+  Cfg.harness().SeedSimulationErrors = false;
+  // Serial and timed: every counter below is deterministic, so the JSON
+  // diffs cleanly between runs and the baseline guard is exact.
+  // RunNanos is the one timing, isolated to engine execution.
+  Cfg.Campaign.Jobs = 1;
+  Cfg.Campaign.RecordTimings = true;
+  Cfg.sim().TimeRuns = true;
+  if (Smoke) {
+    if (!Cfg.harness().MaxBytecodes)
+      Cfg.harness().MaxBytecodes = 12;
+    if (!Cfg.harness().MaxNativeMethods)
+      Cfg.harness().MaxNativeMethods = 6;
+  }
+
+  const bool NativeSupported = nativeTierSupported();
+
+  struct EngineRun {
+    SimEngine Engine;
+    CampaignSummary Summary;
+  };
+  EngineRun Runs[] = {{SimEngine::Switch, {}},
+                      {SimEngine::Threaded, {}},
+                      {SimEngine::Native, {}}};
+  for (EngineRun &R : Runs) {
+    SessionConfig EngineCfg = Cfg;
+    EngineCfg.sim().Engine = R.Engine;
+    R.Summary = Session(EngineCfg).runCampaign();
+  }
+  const CampaignSummary &Switch = Runs[0].Summary;
+  const CampaignSummary &Threaded = Runs[1].Summary;
+  const CampaignSummary &Native = Runs[2].Summary;
+
+  std::uint64_t Paths = 0;
+  for (const InstructionRecord &R : Native.Records)
+    Paths += R.Paths;
+  std::uint64_t SimRuns = Native.Sim.Runs;
+
+  double SwitchMillis = Switch.Sim.RunNanos / 1e6;
+  double ThreadedMillis = Threaded.Sim.RunNanos / 1e6;
+  double NativeMillis = Native.Sim.RunNanos / 1e6;
+
+  // Throughput on hot code, where dispatch cost is the story. Campaign
+  // paths are too short for the tier to pay for its entry overhead, so
+  // the headline speedup (and the --min-speedup gate) comes from here.
+  const std::int64_t HotIters = Smoke ? 200000 : 2000000;
+  const unsigned HotReps = 3;
+  CompiledCode Hot = hotLoop(HotIters);
+  HotRun HotSwitch = runHot(SimEngine::Switch, Hot, HotIters, HotReps);
+  HotRun HotThreaded = runHot(SimEngine::Threaded, Hot, HotIters, HotReps);
+  HotRun HotNative = runHot(SimEngine::Native, Hot, HotIters, HotReps);
+  bool HotIdentical = HotSwitch.Result == HotThreaded.Result &&
+                      HotSwitch.Result == HotNative.Result &&
+                      HotSwitch.Exit == MachExitKind::Returned &&
+                      HotThreaded.Exit == MachExitKind::Returned &&
+                      HotNative.Exit == MachExitKind::Returned;
+  double HotSwitchMillis = HotSwitch.Nanos / 1e6;
+  double HotThreadedMillis = HotThreaded.Nanos / 1e6;
+  double HotNativeMillis = HotNative.Nanos / 1e6;
+  double SpeedupVsThreaded =
+      HotNative.Nanos > 0 ? double(HotThreaded.Nanos) / HotNative.Nanos : 0;
+  double SpeedupVsSwitch =
+      HotNative.Nanos > 0 ? double(HotSwitch.Nanos) / HotNative.Nanos : 0;
+
+  std::uint64_t NativeRequests = Native.Sim.NativeBuilds + Native.Sim.NativeHits;
+  double NativeHitRate =
+      NativeRequests ? double(Native.Sim.NativeHits) / double(NativeRequests)
+                     : 0;
+  bool Identical = recordsIdentical(Switch, Threaded) &&
+                   recordsIdentical(Switch, Native) &&
+                   Switch.Sim.Runs == Threaded.Sim.Runs &&
+                   Switch.Sim.Runs == Native.Sim.Runs && HotIdentical;
+
+  JsonValue V = JsonValue::object();
+  V.set("smoke", JsonValue::boolean(Smoke))
+      .set("hardware_concurrency",
+           JsonValue::number(std::thread::hardware_concurrency()))
+      .set("native_supported", JsonValue::boolean(NativeSupported))
+      .set("instructions",
+           JsonValue::number(double(Native.CompletedInstructions)))
+      .set("paths", JsonValue::number(double(Paths)))
+      .set("sim_runs", JsonValue::number(double(SimRuns)))
+      .set("engine_millis_switch", JsonValue::number(SwitchMillis))
+      .set("engine_millis_threaded", JsonValue::number(ThreadedMillis))
+      .set("engine_millis_native", JsonValue::number(NativeMillis))
+      .set("hot_iters", JsonValue::number(double(HotIters)))
+      .set("hot_reps", JsonValue::number(HotReps))
+      .set("hot_millis_switch", JsonValue::number(HotSwitchMillis))
+      .set("hot_millis_threaded", JsonValue::number(HotThreadedMillis))
+      .set("hot_millis_native", JsonValue::number(HotNativeMillis))
+      .set("speedup_vs_threaded", JsonValue::number(SpeedupVsThreaded))
+      .set("speedup_vs_switch", JsonValue::number(SpeedupVsSwitch))
+      .set("native_runs", JsonValue::number(double(Native.Sim.NativeRuns)))
+      .set("native_builds", JsonValue::number(double(Native.Sim.NativeBuilds)))
+      .set("native_hits", JsonValue::number(double(Native.Sim.NativeHits)))
+      .set("native_hit_rate", JsonValue::number(NativeHitRate))
+      .set("native_fallbacks",
+           JsonValue::number(double(Native.Sim.NativeFallbacks)))
+      .set("records_identical", JsonValue::boolean(Identical));
+
+  std::string Report = V.dump();
+  if (!OutPath.empty()) {
+    std::ofstream Out(OutPath);
+    Out << Report << '\n';
+  }
+  std::printf("%s\n", Report.c_str());
+  std::printf("native_hotpath: %llu sim runs over %llu paths (campaign "
+              "engine time switch %.2f ms, threaded %.2f ms, native %.2f "
+              "ms); hot loop %lld iters x%u: switch %.1f ms, threaded %.1f "
+              "ms, native %.1f ms = %.2fx vs threaded (%.2fx vs switch); "
+              "%llu native runs (%llu fallbacks, hit rate %.1f%%); records "
+              "%s%s\n",
+              (unsigned long long)SimRuns, (unsigned long long)Paths,
+              SwitchMillis, ThreadedMillis, NativeMillis,
+              (long long)HotIters, HotReps, HotSwitchMillis,
+              HotThreadedMillis, HotNativeMillis, SpeedupVsThreaded,
+              SpeedupVsSwitch, (unsigned long long)Native.Sim.NativeRuns,
+              (unsigned long long)Native.Sim.NativeFallbacks,
+              NativeHitRate * 100, Identical ? "identical" : "DIFFER",
+              NativeSupported ? "" : " [no native tier on this host]");
+
+  int Exit = Native.exitCode();
+
+  // The tier must be invisible in every verdict-level byte. This is the
+  // bench's hard gate: a speedup that changes answers is a bug, not a
+  // win.
+  if (!Identical) {
+    std::printf("FAIL: campaign records differ between engines\n");
+    return 2;
+  }
+
+  // The work-count regression guard: serial sim runs and native builds
+  // are exact, deterministic counts. Drift means lost replay coverage
+  // or a broken native-code cache (or an intentional catalog change —
+  // refresh the baseline in the same commit). Native counts are only
+  // checked where the tier actually ran.
+  if (!BaselinePath.empty()) {
+    std::optional<JsonValue> Baseline = readJsonFile(BaselinePath);
+    if (!Baseline) {
+      std::printf("FAIL: cannot read baseline %s\n", BaselinePath.c_str());
+      return 2;
+    }
+    double BlessedRuns = Baseline->numberOr("sim_runs", -1);
+    if (BlessedRuns < 0) {
+      std::printf("FAIL: baseline %s lacks \"sim_runs\"\n",
+                  BaselinePath.c_str());
+      return 2;
+    }
+    if (double(SimRuns) > BlessedRuns * 1.05 ||
+        double(SimRuns) < BlessedRuns * 0.95) {
+      std::printf("FAIL: %llu sim runs drifts more than 5%% from baseline "
+                  "%.0f\n",
+                  (unsigned long long)SimRuns, BlessedRuns);
+      return 2;
+    }
+    double BlessedBuilds = Baseline->numberOr("native_builds", -1);
+    if (NativeSupported && BlessedBuilds >= 0 &&
+        double(Native.Sim.NativeBuilds) > BlessedBuilds * 1.05) {
+      std::printf("FAIL: %llu native builds exceeds baseline %.0f by more "
+                  "than 5%% (code cache sharing regressed)\n",
+                  (unsigned long long)Native.Sim.NativeBuilds, BlessedBuilds);
+      return 2;
+    }
+    std::printf("baseline check: %llu sim runs within 5%% of %.0f, %llu "
+                "native builds <= %.0f +5%%\n",
+                (unsigned long long)SimRuns, BlessedRuns,
+                (unsigned long long)Native.Sim.NativeBuilds, BlessedBuilds);
+  }
+
+  if (MinSpeedup > 0 && NativeSupported && SpeedupVsThreaded < MinSpeedup) {
+    std::printf("FAIL: native speedup %.2fx vs threaded below required "
+                "%.2fx\n",
+                SpeedupVsThreaded, MinSpeedup);
+    return 2;
+  }
+
+  return Exit;
+}

@@ -36,6 +36,8 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <stdexcept>
+#include <cstdio>
 
 using namespace igdt;
 
@@ -102,7 +104,13 @@ int main(int Argc, char **Argv) {
   if (!Flags.parse(Argc, Argv))
     return Flags.helpRequested() ? 0 : 2;
 
-  SessionConfig Cfg = Request.toSessionConfig();
+  SessionConfig Cfg;
+  try {
+    Cfg = Request.toSessionConfig();
+  } catch (const std::invalid_argument &E) {
+    std::fprintf(stderr, "%s\n", E.what());
+    return 2;
+  }
   std::unique_ptr<ResultStore> Store;
   if (!Request.StorePath.empty()) {
     Store = std::make_unique<ResultStore>(Request.StorePath);
@@ -124,12 +132,12 @@ int main(int Argc, char **Argv) {
   }
 
   SessionConfig OnCfg = Cfg;
-  OnCfg.sim().EnablePredecode = true;
+  OnCfg.sim().Engine = SimEngine::Threaded;
   OnCfg.harness().EnableReplayArena = true;
   CampaignSummary On = Session(OnCfg).runCampaign();
 
   SessionConfig OffCfg = Cfg;
-  OffCfg.sim().EnablePredecode = false;
+  OffCfg.sim().Engine = SimEngine::Switch;
   OffCfg.harness().EnableReplayArena = false;
   CampaignSummary Off = Session(OffCfg).runCampaign();
 

@@ -3,9 +3,12 @@
 #include "api/Requests.h"
 
 #include "api/Session.h"
+#include "jit/MachineSim.h"
 #include "support/Flags.h"
 #include "support/Json.h"
 #include "support/StringUtils.h"
+
+#include <stdexcept>
 
 using namespace igdt;
 
@@ -44,6 +47,12 @@ JsonValue numU64(std::uint64_t Value) {
 
 SessionConfig CampaignRequest::toSessionConfig() const {
   SessionConfig Config;
+  if (!simEngineFromName(Engine, Config.Campaign.Harness.Sim.Engine))
+    throw std::invalid_argument(
+        formatString("unknown engine '%s' (expected switch, threaded, or "
+                     "native)",
+                     Engine.c_str()));
+  Config.Campaign.Harness.CrossEngineCheck = CrossEngineCheck;
   Config.Campaign.Jobs = Jobs;
   Config.Campaign.WorkerProcesses = WorkerProcesses;
   Config.Campaign.WorkerDeadlineMillis = WorkerDeadlineMillis;
@@ -97,6 +106,8 @@ JsonValue CampaignRequest::toJson() const {
   V.set("deterministic", JsonValue::boolean(Deterministic));
   V.set("stop_after", num(StopAfter));
   V.set("max_attempts", num(MaxAttempts));
+  V.set("engine", JsonValue::string(Engine));
+  V.set("cross_engine_check", JsonValue::boolean(CrossEngineCheck));
   V.set("campaign_wall_millis", num(CampaignWallMillis));
   V.set("explore_wall_millis", num(ExploreWallMillis));
   V.set("explore_work_units", numU64(ExploreWorkUnits));
@@ -138,6 +149,16 @@ bool CampaignRequest::fromJson(const JsonValue &V, CampaignRequest &Out,
   R.Deterministic = V.boolOr("deterministic", R.Deterministic);
   R.StopAfter = unsigned(V.numberOr("stop_after", R.StopAfter));
   R.MaxAttempts = unsigned(V.numberOr("max_attempts", R.MaxAttempts));
+  R.Engine = V.stringOr("engine", R.Engine);
+  SimEngine Parsed;
+  if (!simEngineFromName(R.Engine, Parsed)) {
+    if (Error)
+      *Error = formatString("CampaignRequest: unknown engine '%s' (expected "
+                            "switch, threaded, or native)",
+                            R.Engine.c_str());
+    return false;
+  }
+  R.CrossEngineCheck = V.boolOr("cross_engine_check", R.CrossEngineCheck);
   R.CampaignWallMillis =
       V.numberOr("campaign_wall_millis", R.CampaignWallMillis);
   R.ExploreWallMillis = V.numberOr("explore_wall_millis", R.ExploreWallMillis);
@@ -317,6 +338,12 @@ void igdt::requestFromFlags(FlagParser &Flags, CampaignRequest &Request) {
             "stop after N new instructions (0 = run to completion)");
   Flags.add("max-attempts", &Request.MaxAttempts,
             "attempts per instruction before quarantine");
+  Flags.add("engine", &Request.Engine,
+            "replay execution engine: switch, threaded, or native "
+            "(unsupported tiers degrade gracefully at run time)");
+  Flags.add("cross-engine-check", &Request.CrossEngineCheck,
+            "run every path through the native tier as well and report "
+            "native-vs-simulator divergence as a defect");
   Flags.add("campaign-wall-millis", &Request.CampaignWallMillis,
             "campaign wall-clock ceiling in ms (0 = unlimited)");
   Flags.add("explore-wall-millis", &Request.ExploreWallMillis,

@@ -76,6 +76,14 @@ struct CampaignRequest {
   bool Deterministic = false;
   unsigned StopAfter = 0;
   unsigned MaxAttempts = 2;
+  /// Execution engine for every replay: "switch", "threaded", or
+  /// "native" (jit/MachineSim.h SimEngine). Unsupported engines degrade
+  /// gracefully at run time; unknown names are rejected loudly by
+  /// toSessionConfig/fromJson.
+  std::string Engine = "threaded";
+  /// Run every path through the native tier as well and report
+  /// divergence from the simulator as a first-class defect family.
+  bool CrossEngineCheck = false;
   /// @}
 
   /// \name Budgets

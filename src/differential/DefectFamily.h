@@ -5,9 +5,12 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The six defect families of the paper's Table 3 (§5.3). The classifier
-/// attributes every interpreter/compiler difference to one family from
-/// the exit-condition pattern and the evidence in the recorded path.
+/// The six defect families of the paper's Table 3 (§5.3), plus one
+/// harness-grown family: cross-engine divergence, where the native
+/// x86-64 tier disagrees with the simulator on the same path. The
+/// classifier attributes every interpreter/compiler difference to one
+/// family from the exit-condition pattern and the evidence in the
+/// recorded path.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -38,9 +41,14 @@ enum class DefectFamily : std::uint8_t {
   /// A defect of the testing/simulation environment itself (missing
   /// reflective register accessors in fault recovery).
   SimulationError,
+  /// The native execution tier and the simulator disagreed on the same
+  /// compiled code and inputs (--cross-engine-check): a miscompilation
+  /// or semantic gap in the x86-64 code generator, not in the VM under
+  /// test.
+  CrossEngineDivergence,
 };
 
-inline constexpr unsigned NumDefectFamilies = 6;
+inline constexpr unsigned NumDefectFamilies = 7;
 
 const char *defectFamilyName(DefectFamily Family);
 

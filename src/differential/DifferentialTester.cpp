@@ -6,8 +6,10 @@
 #include "jit/BytecodeCogit.h"
 #include "jit/NativeMethodCogit.h"
 #include "jit/PredecodedCode.h"
+#include "jit/native/NativeCode.h"
 #include "observe/TraceBus.h"
 #include "support/Compiler.h"
+#include "support/CpuFeatures.h"
 #include "support/StringUtils.h"
 #include "symbolic/FrameMaterializer.h"
 #include "vm/Bytecodes.h"
@@ -30,6 +32,8 @@ const char *igdt::defectFamilyName(DefectFamily Family) {
     return "Missing Functionality";
   case DefectFamily::SimulationError:
     return "Simulation Error";
+  case DefectFamily::CrossEngineDivergence:
+    return "Cross-engine divergence";
   }
   igdt_unreachable("unknown defect family");
 }
@@ -173,6 +177,18 @@ struct ExpectedBytes {
   bool Valid = false;
 };
 
+/// Builds the engine-specific forms of a freshly compiled unit before it
+/// enters the code cache, so cache-served copies share the ready-built
+/// predecode/native code (build-once per compilation unit).
+void warmEngineForms(const DiffTestConfig &Cfg, const CompiledCode &Code) {
+  bool WantNative = Cfg.Sim.Engine == SimEngine::Native || Cfg.CrossEngineCheck;
+  if (Cfg.Sim.Engine == SimEngine::Switch && !WantNative)
+    return;
+  (void)predecodedFor(Code, Cfg.Sim.Stats);
+  if (WantNative && nativeTierSupported())
+    (void)nativeFor(Code, Cfg.Sim.Stats, Cfg.Sim.NativeMiscompileProbe);
+}
+
 } // namespace
 
 PathTestOutcome DifferentialTester::testPath(const ExplorationResult &R,
@@ -307,10 +323,7 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
         ++Cfg.JitStats->Compiles;
       NativeMethodCogit Cogit(Mem, desc(), Cfg.Cogit);
       Code = Cogit.compile(Spec.PrimitiveIndex);
-      // Predecode before storing so cache-served copies share the
-      // ready-built form (build-once per compilation unit).
-      if (Cfg.Sim.EnablePredecode)
-        (void)predecodedFor(Code, Cfg.Sim.Stats);
+      warmEngineForms(Cfg, Code);
       if (CodeCache)
         CodeCache->store(Key, Code);
     }
@@ -342,8 +355,7 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
         return Skip(PathTestStatus::NotReplayable,
                     "instruction underflows the replayed operand stack");
       Code = *Compiled;
-      if (Cfg.Sim.EnablePredecode)
-        (void)predecodedFor(Code, Cfg.Sim.Stats);
+      warmEngineForms(Cfg, Code);
       if (CodeCache)
         CodeCache->store(Key, Code);
     }
@@ -444,6 +456,62 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
   }
 
   // Step 3: execute the compiled code on the concrete frame.
+  auto SetUpFrame = [&](MachineSim &S) {
+    if (Spec.Kind == InstructionKind::NativeMethod) {
+      S.setReg(abi::ResultReg, MF.Concrete.stackValue(PrimNumArgs));
+      static const MReg ArgRegs[3] = {abi::Arg0Reg, abi::Arg1Reg,
+                                      abi::Arg2Reg};
+      for (unsigned I = 0; I < PrimNumArgs && I < 3; ++I)
+        S.setReg(ArgRegs[I], MF.Concrete.stackValue(PrimNumArgs - 1 - I));
+    } else {
+      S.setUpFrame(R.Method->numLocals());
+      S.writeReceiver(MF.Concrete.Receiver);
+      for (std::size_t I = 0; I < MF.Concrete.Locals.size(); ++I)
+        S.writeLocal(static_cast<unsigned>(I), MF.Concrete.Locals[I]);
+      // The operand stack is NOT pre-filled: the compiled preamble pushes
+      // the inputs itself (paper Listing 3).
+    }
+  };
+
+  // Cross-engine probe: run the same code and inputs through the native
+  // tier on a marked heap first, snapshot everything observable, roll
+  // the heap back, then compare against the authoritative run below.
+  struct ProbeObservation {
+    MachineExit Exit;
+    std::uint64_t Regs[16];
+    std::uint64_t FRegBits[8];
+    std::vector<std::uint64_t> Stack;
+    std::uint64_t StackHash = 0;
+    std::uint64_t HeapHash = 0;
+  };
+  std::optional<ProbeObservation> Probe;
+  if (Cfg.CrossEngineCheck) {
+    HeapMark CheckMark = Mem.mark();
+    {
+      SimOptions ProbeOpts = Cfg.Sim;
+      ProbeOpts.Engine = SimEngine::Native;
+      // Fresh zero-filled stack (identical to a pool acquire) and no
+      // trace: probe runs are an oracle detail, not replay events.
+      ProbeOpts.StackPool = nullptr;
+      ProbeOpts.Trace = nullptr;
+      MachineSim ProbeSim(Mem, ProbeOpts);
+      SetUpFrame(ProbeSim);
+      ProbeObservation O;
+      O.Exit = ProbeSim.run(Code);
+      for (unsigned I = 0; I < 16; ++I)
+        O.Regs[I] = ProbeSim.reg(static_cast<MReg>(I));
+      for (unsigned I = 0; I < 8; ++I) {
+        double D = ProbeSim.freg(static_cast<FReg>(I));
+        std::memcpy(&O.FRegBits[I], &D, 8);
+      }
+      O.Stack = ProbeSim.operandStack();
+      O.StackHash = ProbeSim.stackHash();
+      O.HeapHash = Mem.contentHash();
+      Probe = std::move(O);
+    }
+    Mem.resetTo(CheckMark);
+  }
+
   std::uint64_t StackResetBefore =
       Cfg.Arena ? Cfg.Arena->stackPool().bytesReset() : 0;
   MachineSim Sim(Mem, Cfg.Sim);
@@ -451,23 +519,52 @@ PathTestOutcome DifferentialTester::testPathImpl(const ExplorationResult &R,
     Cfg.Replay->StackBytesReset +=
         Cfg.Arena->stackPool().bytesReset() - StackResetBefore;
   std::size_t Watermark = Sim.heapWatermark();
-  if (Spec.Kind == InstructionKind::NativeMethod) {
-    Sim.setReg(abi::ResultReg, MF.Concrete.stackValue(PrimNumArgs));
-    static const MReg ArgRegs[3] = {abi::Arg0Reg, abi::Arg1Reg,
-                                    abi::Arg2Reg};
-    for (unsigned I = 0; I < PrimNumArgs && I < 3; ++I)
-      Sim.setReg(ArgRegs[I], MF.Concrete.stackValue(PrimNumArgs - 1 - I));
-  } else {
-    Sim.setUpFrame(R.Method->numLocals());
-    Sim.writeReceiver(MF.Concrete.Receiver);
-    for (std::size_t I = 0; I < MF.Concrete.Locals.size(); ++I)
-      Sim.writeLocal(static_cast<unsigned>(I), MF.Concrete.Locals[I]);
-    // The operand stack is NOT pre-filled: the compiled preamble pushes
-    // the inputs itself (paper Listing 3).
-  }
+  SetUpFrame(Sim);
 
   MachineExit ME = Sim.run(Code);
   Out.MachineExit = ME.Kind;
+
+  if (Probe) {
+    const MachineExit &PE = Probe->Exit;
+    std::string Divergence;
+    if (PE.Kind != ME.Kind)
+      Divergence = formatString("exit %s vs %s", machExitKindName(PE.Kind),
+                                machExitKindName(ME.Kind));
+    else if (PE.Marker != ME.Marker || PE.Selector != ME.Selector ||
+             PE.NumArgs != ME.NumArgs ||
+             PE.FaultAddress != ME.FaultAddress ||
+             PE.FuelLeft != ME.FuelLeft || PE.Note.str() != ME.Note.str())
+      Divergence = formatString("exit detail mismatch on %s",
+                                machExitKindName(ME.Kind));
+    for (unsigned I = 0; I < 16 && Divergence.empty(); ++I)
+      if (Probe->Regs[I] != Sim.reg(static_cast<MReg>(I)))
+        Divergence = formatString(
+            "r%u = %llx native vs %llx simulated", I,
+            (unsigned long long)Probe->Regs[I],
+            (unsigned long long)Sim.reg(static_cast<MReg>(I)));
+    for (unsigned I = 0; I < 8 && Divergence.empty(); ++I) {
+      double D = Sim.freg(static_cast<FReg>(I));
+      std::uint64_t Bits;
+      std::memcpy(&Bits, &D, 8);
+      if (Probe->FRegBits[I] != Bits)
+        Divergence = formatString("f%u bit pattern differs", I);
+    }
+    if (Divergence.empty() && Probe->Stack != Sim.operandStack())
+      Divergence = "operand stack differs";
+    if (Divergence.empty() && Probe->StackHash != Sim.stackHash())
+      Divergence = "stack bytes differ";
+    if (Divergence.empty() && Probe->HeapHash != Mem.contentHash())
+      Divergence = "heap contents differ";
+    if (!Divergence.empty()) {
+      Out.Status = PathTestStatus::Difference;
+      Out.Family = DefectFamily::CrossEngineDivergence;
+      Out.CauseKey = formatString("%s|%s", defectFamilyName(Out.Family),
+                                  Spec.Name.c_str());
+      Out.Details =
+          "native tier diverged from the simulator: " + Divergence;
+      return Out;
+    }
+  }
 
   if (ME.Kind == MachExitKind::FuelExhausted &&
       Cfg.FuelExhaustionIsHarnessFault)

@@ -500,6 +500,7 @@ CampaignRunner::attemptInstruction(const InstructionSpec &Spec,
       Cfg.UseArmBackend = Arm;
       Cfg.Cogit = Opts.Harness.Cogit;
       Cfg.Sim = Opts.Harness.Sim;
+      Cfg.CrossEngineCheck = Opts.Harness.CrossEngineCheck;
       Cfg.Trace = Trace;
       if (Opts.Harness.SeedSimulationErrors && Arm)
         Cfg.Sim.MissingFPAccessors.insert(std::uint8_t(FReg::F5));

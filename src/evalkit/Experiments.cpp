@@ -31,6 +31,7 @@ DiffTestConfig EvaluationHarness::diffConfig(CompilerKind Kind,
   Cfg.UseArmBackend = Arm;
   Cfg.Cogit = Opts.Cogit;
   Cfg.Sim = Opts.Sim;
+  Cfg.CrossEngineCheck = Opts.CrossEngineCheck;
   if (Opts.SeedSimulationErrors && Arm)
     Cfg.Sim.MissingFPAccessors.insert(std::uint8_t(FReg::F5));
   return Cfg;

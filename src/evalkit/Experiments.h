@@ -66,6 +66,10 @@ struct HarnessOptions {
   /// SimOptions, so fuel/trace settings need only one assignment — the
   /// per-arm F5 seeding still layers on top.
   SimOptions Sim;
+  /// Run every path through the native x86-64 tier as well and report
+  /// any disagreement with the simulator as a CrossEngineDivergence
+  /// defect (see DiffTestConfig::CrossEngineCheck).
+  bool CrossEngineCheck = false;
   /// Arm the two simulation-error seeds (missing F5 accessor).
   bool SeedSimulationErrors = true;
   /// Compile each distinct compilation unit once per instruction and

@@ -21,15 +21,18 @@
 /// and the value is the *exact checkpoint JSONL line* the fresh run
 /// appended — never a re-serialisation — so a cache-served record is
 /// byte-identical to a freshly computed one. That is the same
-/// identity-gate pattern EnablePredecode and EnableReplayArena use: the
-/// store is purely an optimisation, provable by diffing checkpoint
+/// identity-gate pattern SimOptions::Engine and EnableReplayArena use:
+/// the store is purely an optimisation, provable by diffing checkpoint
 /// files from cold and warm runs.
 ///
 /// Deliberately EXCLUDED from the key: Jobs, WorkerProcesses, worker
-/// deadlines/backoff and the EnableCodeCache / EnableReplayArena /
-/// EnablePredecode toggles — the campaign already proves records
-/// byte-identical across all of them, so a record computed at one
-/// topology may serve any other. Wall-clock budgets are excluded too,
+/// deadlines/backoff, the EnableCodeCache / EnableReplayArena toggles
+/// and SimOptions::Engine (switch/threaded/native) — the campaign
+/// already proves records byte-identical across all of them, so a
+/// record computed at one topology or execution tier may serve any
+/// other. SimOptions::NativeMiscompileProbe and
+/// HarnessOptions::CrossEngineCheck ARE keyed: both change which
+/// defects a record reports. Wall-clock budgets are excluded too,
 /// but by *refusal* rather than omission: storeEligible() disables the
 /// store entirely when a wall budget or campaign-level ledger could
 /// make the record content timing- or scheduling-dependent.

@@ -25,6 +25,7 @@
 namespace igdt {
 
 struct PredecodedCode;
+struct NativeCode;
 
 /// Where one operand-stack entry lives when the fragment finishes.
 struct ValueLoc {
@@ -95,6 +96,10 @@ struct CompiledCode {
   /// rather than of any copy. Mutable because building it observes the
   /// code without changing it.
   mutable std::shared_ptr<const PredecodedCode> Predecoded;
+  /// Native x86-64 form (jit/native/NativeCode.h), built lazily by
+  /// nativeFor() under the same build-once-per-unit contract. Rebuilt
+  /// only when the miscompile-probe setting changes.
+  mutable std::shared_ptr<const NativeCode> Native;
 };
 
 } // namespace igdt

@@ -4,13 +4,16 @@
 
 #include "jit/CompiledCode.h"
 #include "jit/PredecodedCode.h"
+#include "jit/native/NativeEngine.h"
 #include "observe/MetricsRegistry.h"
 #include "observe/TraceBus.h"
 #include "support/Compiler.h"
+#include "support/CpuFeatures.h"
 #include "support/IntMath.h"
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 #include <cmath>
 #include <cstdarg>
 #include <cstring>
@@ -19,14 +22,37 @@ using namespace igdt;
 
 // The threaded dispatcher uses the labels-as-values GNU extension; on
 // other toolchains the predecoded engine degrades to the reference
-// switch loop (same semantics, per-instruction fuel).
+// switch loop (same semantics, per-instruction fuel). The runtime
+// answer lives in support/CpuFeatures.cpp (simThreadedDispatchSupported).
 #if defined(__GNUC__) || defined(__clang__)
 #define IGDT_SIM_THREADED 1
 #else
 #define IGDT_SIM_THREADED 0
 #endif
 
-bool igdt::simThreadedDispatchSupported() { return IGDT_SIM_THREADED; }
+const char *igdt::simEngineName(SimEngine E) {
+  switch (E) {
+  case SimEngine::Switch:
+    return "switch";
+  case SimEngine::Threaded:
+    return "threaded";
+  case SimEngine::Native:
+    return "native";
+  }
+  igdt_unreachable("unknown sim engine");
+}
+
+bool igdt::simEngineFromName(const std::string &Name, SimEngine &Out) {
+  if (Name == "switch")
+    Out = SimEngine::Switch;
+  else if (Name == "threaded")
+    Out = SimEngine::Threaded;
+  else if (Name == "native")
+    Out = SimEngine::Native;
+  else
+    return false;
+  return true;
+}
 
 void ExitNote::format(const char *Fmt, ...) {
   va_list Args;
@@ -41,6 +67,11 @@ void igdt::foldSimStats(MetricsRegistry &Registry, const SimStats &Stats) {
   Registry.add("sim.runs.reference", Stats.ReferenceRuns);
   Registry.add("sim.predecode.builds", Stats.PredecodeBuilds);
   Registry.add("sim.predecode.hits", Stats.PredecodeHits);
+  Registry.add("sim.runs.native", Stats.NativeRuns);
+  Registry.add("sim.native.builds", Stats.NativeBuilds);
+  Registry.add("sim.native.hits", Stats.NativeHits);
+  Registry.add("sim.native.fallbacks", Stats.NativeFallbacks);
+  Registry.add("sim.run.nanos", Stats.RunNanos);
 }
 
 const char *igdt::machExitKindName(MachExitKind Kind) {
@@ -78,42 +109,49 @@ MachineSim::MachineSim(ObjectMemory &Heap, SimOptions Options)
   setReg(MReg::FP, reg(MReg::SP));
 }
 
+// Stack bounds tests subtract first and compare offsets so an Address
+// near UINT64_MAX cannot wrap `Address + N` back into range (the
+// unsigned offset is huge when Address < StackBase, failing the test).
+// The native tier compiles the same offset form inline.
+
 std::optional<std::uint64_t> MachineSim::load64(std::uint64_t Address) const {
-  if (Address >= abi::StackBase && Address + 8 <= abi::StackBase + StackSize) {
+  std::uint64_t Off = Address - abi::StackBase;
+  if (Off <= StackSize - 8) {
     if ((Address & 7) != 0)
       return std::nullopt;
     std::uint64_t V;
-    std::memcpy(&V, Stack + (Address - abi::StackBase), 8);
+    std::memcpy(&V, Stack + Off, 8);
     return V;
   }
   return Heap.load64(Address);
 }
 
 bool MachineSim::store64(std::uint64_t Address, std::uint64_t Value) {
-  if (Address >= abi::StackBase && Address + 8 <= abi::StackBase + StackSize) {
+  std::uint64_t Off = Address - abi::StackBase;
+  if (Off <= StackSize - 8) {
     if ((Address & 7) != 0)
       return false;
-    std::size_t Off = static_cast<std::size_t>(Address - abi::StackBase);
     std::memcpy(Stack + Off, &Value, 8);
     if (Pool)
-      Pool->noteTouched(Off + 8);
+      Pool->noteTouched(static_cast<std::size_t>(Off) + 8);
     return true;
   }
   return Heap.store64(Address, Value);
 }
 
 std::optional<std::uint8_t> MachineSim::load8(std::uint64_t Address) const {
-  if (Address >= abi::StackBase && Address + 1 <= abi::StackBase + StackSize)
-    return Stack[Address - abi::StackBase];
+  std::uint64_t Off = Address - abi::StackBase;
+  if (Off <= StackSize - 1)
+    return Stack[Off];
   return Heap.load8(Address);
 }
 
 bool MachineSim::store8(std::uint64_t Address, std::uint8_t Value) {
-  if (Address >= abi::StackBase && Address + 1 <= abi::StackBase + StackSize) {
-    std::size_t Off = static_cast<std::size_t>(Address - abi::StackBase);
+  std::uint64_t Off = Address - abi::StackBase;
+  if (Off <= StackSize - 1) {
     Stack[Off] = Value;
     if (Pool)
-      Pool->noteTouched(Off + 1);
+      Pool->noteTouched(static_cast<std::size_t>(Off) + 1);
     return true;
   }
   return Heap.store8(Address, Value);
@@ -166,9 +204,10 @@ OperandStackView MachineSim::operandStackView() const {
   if (SP <= Base)
     return V;
   std::uint64_t Count = (SP - Base + 7) / 8;
-  if (Base >= abi::StackBase && (Base & 7) == 0 &&
-      Base + Count * 8 <= abi::StackBase + StackSize) {
-    V.Borrowed = Stack + (Base - abi::StackBase);
+  std::uint64_t BaseOff = Base - abi::StackBase;
+  if (BaseOff <= StackSize && (Base & 7) == 0 &&
+      Count <= (StackSize - BaseOff) / 8) {
+    V.Borrowed = Stack + BaseOff;
     V.Count = static_cast<std::size_t>(Count);
     return V;
   }
@@ -338,8 +377,42 @@ MachineExit MachineSim::run(const std::vector<MInstr> &Code) {
 }
 
 MachineExit MachineSim::run(const CompiledCode &Code) {
-  if (!Opts.EnablePredecode || !simThreadedDispatchSupported())
-    return run(Code.Code);
+  // Degradation ladder: an unsupported selection silently steps down to
+  // the next engine, so a campaign configured --engine native on a
+  // non-x86-64 host (or under IGDT_NO_NATIVE) still runs — identically,
+  // since the engines are proven byte-equal.
+  SimEngine Engine = Opts.Engine;
+  if (Engine == SimEngine::Native && !nativeTierSupported())
+    Engine = SimEngine::Threaded;
+  if (Engine == SimEngine::Threaded && !simThreadedDispatchSupported())
+    Engine = SimEngine::Switch;
+
+  if (Engine == SimEngine::Native)
+    return runNativeTier(*this, Code);
+
+  auto Timed = [&](auto &&Body) {
+    if (!Opts.TimeRuns || !Opts.Stats)
+      return Body();
+    auto Start = std::chrono::steady_clock::now();
+    MachineExit E = Body();
+    Opts.Stats->RunNanos +=
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - Start)
+            .count();
+    return E;
+  };
+
+  if (Engine == SimEngine::Switch) {
+    if (Opts.Stats) {
+      ++Opts.Stats->Runs;
+      ++Opts.Stats->ReferenceRuns;
+    }
+    FuelRemaining = Opts.Fuel;
+    MachineExit E = Timed([&] { return runLoop(Code.Code, 0); });
+    finishRun(E, "reference", 0);
+    return E;
+  }
+
   bool Hit = Code.Predecoded != nullptr;
   const PredecodedCode &P = predecodedFor(Code, Opts.Stats);
   if (Opts.Stats) {
@@ -347,9 +420,26 @@ MachineExit MachineSim::run(const CompiledCode &Code) {
     ++Opts.Stats->PredecodedRuns;
   }
   FuelRemaining = Opts.Fuel;
-  MachineExit E = runThreaded(P, Code.Code);
+  MachineExit E = Timed([&] { return runThreaded(P, Code.Code); });
   finishRun(E, "predecoded", Hit ? 1 : 0);
   return E;
+}
+
+std::uint64_t MachineSim::stackHash() const {
+  std::uint64_t SP = reg(MReg::SP);
+  std::uint64_t Off = SP - abi::StackBase;
+  std::size_t End = Off <= StackSize ? static_cast<std::size_t>(Off) : StackSize;
+  std::uint64_t H = 1469598103934665603ull; // FNV-1a 64
+  for (std::size_t I = 0; I < End; ++I) {
+    H ^= Stack[I];
+    H *= 1099511628211ull;
+  }
+  // Fold SP itself in so an out-of-region SP still perturbs the hash.
+  for (unsigned I = 0; I < 8; ++I) {
+    H ^= (SP >> (8 * I)) & 0xff;
+    H *= 1099511628211ull;
+  }
+  return H;
 }
 
 MachineExit MachineSim::runPredecoded(const PredecodedCode &P,

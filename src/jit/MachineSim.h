@@ -15,11 +15,14 @@
 /// runtime; entries can be deliberately removed to reproduce the paper's
 /// two *simulation error* findings (§5.3).
 ///
-/// Two execution engines share these semantics: the reference switch
-/// loop (authoritative, per-instruction fuel) and a pre-decoded threaded
-/// fast path (jit/PredecodedCode.h, block-level fuel). They produce
-/// byte-identical MachineExit and heap/stack effects; SimOptions selects
-/// between them per run.
+/// Three execution engines share these semantics: the reference switch
+/// loop (authoritative, per-instruction fuel), a pre-decoded threaded
+/// fast path (jit/PredecodedCode.h, block-level fuel), and a native
+/// x86-64 tier that runs generated machine code on real hardware
+/// (jit/native/, block-level fuel with mid-run fallback to the switch
+/// loop). They produce byte-identical MachineExit and heap/stack
+/// effects; SimOptions::Engine selects between them per run, degrading
+/// gracefully when a tier is unsupported on the host.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -120,12 +123,25 @@ struct SimStats {
   std::uint64_t ReferenceRuns = 0;   ///< served by the reference loop
   std::uint64_t PredecodeBuilds = 0; ///< PredecodedCode built from scratch
   std::uint64_t PredecodeHits = 0;   ///< runs reusing a cached predecode
+  std::uint64_t NativeRuns = 0;      ///< served by the native x86-64 tier
+  std::uint64_t NativeBuilds = 0;    ///< NativeCode compiled from scratch
+  std::uint64_t NativeHits = 0;      ///< runs reusing cached native code
+  std::uint64_t NativeFallbacks = 0; ///< native runs that fell back mid-run
+  /// Nanoseconds spent inside engine execution, accumulated only when
+  /// SimOptions::TimeRuns is set (benches); zero otherwise so campaign
+  /// runs stay free of clock reads.
+  std::uint64_t RunNanos = 0;
   void add(const SimStats &O) {
     Runs += O.Runs;
     PredecodedRuns += O.PredecodedRuns;
     ReferenceRuns += O.ReferenceRuns;
     PredecodeBuilds += O.PredecodeBuilds;
     PredecodeHits += O.PredecodeHits;
+    NativeRuns += O.NativeRuns;
+    NativeBuilds += O.NativeBuilds;
+    NativeHits += O.NativeHits;
+    NativeFallbacks += O.NativeFallbacks;
+    RunNanos += O.RunNanos;
   }
 };
 
@@ -168,6 +184,24 @@ private:
   std::uint64_t TotalBytesReset = 0;
 };
 
+/// Which engine executes run(const CompiledCode&). All three produce
+/// byte-identical exits and heap/stack effects (verified by
+/// PredecodeTest and NativeEngineTest); the switch loop remains the
+/// authoritative semantics. Unsupported selections degrade silently:
+/// Native falls back to Threaded when the host lacks the native tier
+/// (non-x86-64, missing SSE4.1, or IGDT_NO_NATIVE set), and Threaded
+/// falls back to Switch on toolchains without computed goto.
+enum class SimEngine : std::uint8_t {
+  Switch,   ///< reference switch loop (authoritative)
+  Threaded, ///< pre-decoded computed-goto dispatch (PR 5)
+  Native,   ///< x86-64 code run on real hardware (jit/native/)
+};
+
+const char *simEngineName(SimEngine E);
+/// Parses "switch" / "threaded" / "native" into \p Out; false (with
+/// \p Out untouched) on anything else.
+bool simEngineFromName(const std::string &Name, SimEngine &Out);
+
 /// Simulator configuration, including the simulation-error seeds.
 struct SimOptions {
   /// Registers whose fault-recovery accessor is "missing" (paper §5.3,
@@ -176,13 +210,17 @@ struct SimOptions {
   std::set<std::uint8_t> MissingGPAccessors;
   std::set<std::uint8_t> MissingFPAccessors;
   std::uint64_t Fuel = 100000;
-  /// Execute run(const CompiledCode&) through the pre-decoded threaded
-  /// fast path instead of the reference switch loop. The two engines
-  /// produce byte-identical exits and heap/stack effects (verified by
-  /// PredecodeTest); the switch loop remains the authoritative
-  /// semantics and serves as fallback on toolchains without computed
-  /// goto.
-  bool EnablePredecode = true;
+  /// Execution engine for run(const CompiledCode&); see SimEngine for
+  /// the degradation ladder.
+  SimEngine Engine = SimEngine::Threaded;
+  /// Deliberately miscompile AddI in the native tier (off-by-one on the
+  /// immediate). Exists solely so tests and benches can prove the
+  /// cross-engine oracle detects a genuinely divergent code generator;
+  /// never set in production configurations.
+  bool NativeMiscompileProbe = false;
+  /// Accumulate SimStats::RunNanos around engine execution. Off by
+  /// default: campaign records must not depend on clock reads.
+  bool TimeRuns = false;
   /// Pooled stack memory (non-owning, may be null). When set, the
   /// simulator borrows the pool's buffer instead of owning a fresh
   /// zero-filled stack; at most one live MachineSim may borrow a pool.
@@ -260,9 +298,9 @@ public:
   /// Executes \p Code from instruction 0 until a terminal event,
   /// through the reference switch loop.
   MachineExit run(const std::vector<MInstr> &Code);
-  /// Executes a compilation unit: through the pre-decoded threaded
-  /// dispatcher when Opts.EnablePredecode is set (building or reusing
-  /// Code.Predecoded), else through the reference loop.
+  /// Executes a compilation unit through the engine Opts.Engine selects
+  /// (building or reusing Code.Predecoded / Code.Native), degrading to
+  /// a supported engine when the host lacks the requested tier.
   MachineExit run(const CompiledCode &Code);
   /// Runs an already-built predecode with block-level fuel accounting.
   /// \p Reference is the originating MInstr vector (index-compatible by
@@ -277,7 +315,15 @@ public:
 
   ObjectMemory &heap() { return Heap; }
 
+  /// FNV-1a hash over the live stack bytes ([StackBase, SP) clamped to
+  /// the stack region). The cross-engine oracle compares it between a
+  /// native probe run and the simulator run; any stack byte the engines
+  /// disagree on changes the hash.
+  std::uint64_t stackHash() const;
+
 private:
+  friend struct NativeEngineAccess;
+
   enum class Rel : std::uint8_t { Less, Equal, Greater, Unordered };
 
   std::optional<std::uint64_t> load64(std::uint64_t Address) const;

@@ -79,6 +79,7 @@ const PredecodedCode &predecodedFor(const CompiledCode &Code,
 /// True when this build carries the computed-goto threaded dispatcher
 /// (labels-as-values is a GNU extension); otherwise the predecoded
 /// engine transparently degrades to the reference switch loop.
+/// Defined in support/CpuFeatures.cpp alongside the native-tier probe.
 bool simThreadedDispatchSupported();
 
 } // namespace igdt

@@ -1,0 +1,53 @@
+//===- jit/native/ExecutableBuffer.cpp - W^X code memory ------------------===//
+
+#include "jit/native/ExecutableBuffer.h"
+
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define IGDT_HAVE_MMAP 1
+#include <sys/mman.h>
+#include <unistd.h>
+#else
+#define IGDT_HAVE_MMAP 0
+#endif
+
+using namespace igdt;
+
+ExecutableBuffer ExecutableBuffer::make(const std::vector<std::uint8_t> &Code) {
+  ExecutableBuffer B;
+#if IGDT_HAVE_MMAP
+  if (Code.empty())
+    return B;
+  long Page = ::sysconf(_SC_PAGESIZE);
+  if (Page <= 0)
+    Page = 4096;
+  std::size_t Mapped =
+      (Code.size() + std::size_t(Page) - 1) & ~(std::size_t(Page) - 1);
+  void *Mem = ::mmap(nullptr, Mapped, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (Mem == MAP_FAILED)
+    return B;
+  std::memcpy(Mem, Code.data(), Code.size());
+  if (::mprotect(Mem, Mapped, PROT_READ | PROT_EXEC) != 0) {
+    ::munmap(Mem, Mapped);
+    return B;
+  }
+  B.Base = static_cast<std::uint8_t *>(Mem);
+  B.MappedSize = Mapped;
+  B.CodeSize = Code.size();
+#else
+  (void)Code;
+#endif
+  return B;
+}
+
+void ExecutableBuffer::release() {
+#if IGDT_HAVE_MMAP
+  if (Base)
+    ::munmap(Base, MappedSize);
+#endif
+  Base = nullptr;
+  MappedSize = 0;
+  CodeSize = 0;
+}

@@ -1,0 +1,78 @@
+//===- jit/native/ExecutableBuffer.h - W^X code memory --------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Page-aligned executable memory for the native tier, following W^X
+/// discipline: the buffer is mmap'd writable, filled once with the
+/// generated code, then flipped to read+execute and never written
+/// again. The mapping is owned move-only; destruction unmaps.
+///
+/// Only functional on x86-64 unix builds (the only hosts where the
+/// native tier compiles code); elsewhere make() always fails and the
+/// engine never asks for a buffer because nativeTierSupported() is
+/// false.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_NATIVE_EXECUTABLEBUFFER_H
+#define IGDT_JIT_NATIVE_EXECUTABLEBUFFER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace igdt {
+
+class ExecutableBuffer {
+public:
+  ExecutableBuffer() = default;
+  ExecutableBuffer(ExecutableBuffer &&O) noexcept
+      : Base(O.Base), MappedSize(O.MappedSize), CodeSize(O.CodeSize) {
+    O.Base = nullptr;
+    O.MappedSize = 0;
+    O.CodeSize = 0;
+  }
+  ExecutableBuffer &operator=(ExecutableBuffer &&O) noexcept {
+    if (this != &O) {
+      release();
+      Base = O.Base;
+      MappedSize = O.MappedSize;
+      CodeSize = O.CodeSize;
+      O.Base = nullptr;
+      O.MappedSize = 0;
+      O.CodeSize = 0;
+    }
+    return *this;
+  }
+  ExecutableBuffer(const ExecutableBuffer &) = delete;
+  ExecutableBuffer &operator=(const ExecutableBuffer &) = delete;
+  ~ExecutableBuffer() { release(); }
+
+  /// Maps writable pages, copies \p Code into them, and remaps them
+  /// read+execute. Returns an invalid buffer on any failure (mmap or
+  /// mprotect denied, empty input, unsupported platform).
+  static ExecutableBuffer make(const std::vector<std::uint8_t> &Code);
+
+  bool valid() const { return Base != nullptr; }
+  const std::uint8_t *code() const { return Base; }
+  std::size_t size() const { return CodeSize; }
+
+  /// The entry point as a callable of type \p Fn.
+  template <typename Fn> Fn entry() const {
+    return reinterpret_cast<Fn>(const_cast<std::uint8_t *>(Base));
+  }
+
+private:
+  void release();
+
+  std::uint8_t *Base = nullptr;
+  std::size_t MappedSize = 0;
+  std::size_t CodeSize = 0;
+};
+
+} // namespace igdt
+
+#endif // IGDT_JIT_NATIVE_EXECUTABLEBUFFER_H

@@ -1,0 +1,59 @@
+//===- jit/native/NativeCode.h - Compiled native form of one unit ---------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The native x86-64 form of one compilation unit, cached on the
+/// CompiledCode the same way PredecodedCode is: built at most once per
+/// unit (per probe setting), shared by every copy the code cache
+/// serves.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_NATIVE_NATIVECODE_H
+#define IGDT_JIT_NATIVE_NATIVECODE_H
+
+#include "jit/native/ExecutableBuffer.h"
+#include "jit/native/NativeContext.h"
+
+#include <memory>
+
+namespace igdt {
+
+struct CompiledCode;
+struct PredecodedCode;
+struct SimStats;
+
+/// One unit's generated machine code plus its entry point.
+struct NativeCode {
+  ExecutableBuffer Buffer;
+  NativeEntry Entry = nullptr;
+  /// Whether the deliberate AddI miscompilation was baked in (see
+  /// SimOptions::NativeMiscompileProbe); a cached build is only reused
+  /// when the probe setting matches.
+  bool MiscompileProbe = false;
+
+  bool valid() const { return Entry != nullptr; }
+};
+
+/// Translates \p Code into x86-64 using \p P for basic-block/fuel
+/// structure. Returns an invalid NativeCode when the platform cannot
+/// map executable memory (callers gate on nativeTierSupported() first,
+/// so this is defensive). When \p MiscompileProbe is set, AddI adds
+/// Imm+1 — the deliberate defect the cross-engine oracle must catch.
+NativeCode compileNative(const CompiledCode &Code, const PredecodedCode &P,
+                         bool MiscompileProbe);
+
+/// The native form of \p Code, building and caching it on the
+/// CompiledCode on first use (NativeBuilds/NativeHits land in \p Stats
+/// when non-null). Rebuilds when the cached probe flag differs from
+/// \p MiscompileProbe. Same thread-safety contract as predecodedFor:
+/// compiled code stays worker-local.
+const NativeCode &nativeFor(const CompiledCode &Code, SimStats *Stats,
+                            bool MiscompileProbe);
+
+} // namespace igdt
+
+#endif // IGDT_JIT_NATIVE_NATIVECODE_H

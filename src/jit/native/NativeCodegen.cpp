@@ -1,0 +1,773 @@
+//===- jit/native/NativeCodegen.cpp - MInstr -> x86-64 --------------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+//
+// Translates one compilation unit's MInstr vector into x86-64, byte-
+// equivalent in observable behaviour to the simulator engines:
+//
+//  - Guest registers live in the NativeContext (r14 -> GP file,
+//    r13 -> FP file); rbx caches fuel, r12 the host stack base, r15 the
+//    context. rax/rcx/rdx/rsi/rdi and xmm0/xmm1 are scratch.
+//  - Fuel is charged per basic block at each leader, reusing the
+//    PredecodedCode leader/length analysis. A leader that cannot afford
+//    its block exits with FuelFallback and NO charge — the wrapper
+//    finishes in the reference switch loop exactly like runThreaded.
+//    Early exits (faults, terminators) refund the statically-known
+//    unexecuted remainder of the block charge.
+//  - Memory accesses stash the guest address, take an inline fast path
+//    when it lands in the simulated stack window (bounds + alignment
+//    compiled inline; no guest address ever reaches host memory
+//    unchecked), and call a C++ helper for the heap path. Stack stores
+//    maintain the dirty-high watermark the pooled-stack arena relies
+//    on.
+//  - Subtle-semantics operations (register-amount shifts, division,
+//    FTrunc, CallRT) call helpers that share the simulator's C++
+//    implementations, so there is exactly one definition of each
+//    tricky rule.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/ABI.h"
+#include "jit/CompiledCode.h"
+#include "jit/MachineSim.h"
+#include "jit/PredecodedCode.h"
+#include "jit/native/NativeCode.h"
+#include "jit/native/X64Assembler.h"
+
+#include <cstddef>
+#include <limits>
+
+using namespace igdt;
+
+namespace {
+
+constexpr std::int32_t off(std::size_t O) { return std::int32_t(O); }
+
+#define CTX_OFF(Field) off(offsetof(NativeContext, Field))
+
+constexpr std::int32_t regDisp(MReg R) { return 8 * std::int32_t(unsigned(R)); }
+constexpr std::int32_t regDisp(std::uint8_t R) { return 8 * std::int32_t(R); }
+constexpr std::int32_t fregDisp(FReg R) {
+  return 8 * std::int32_t(unsigned(R));
+}
+
+bool fitsInt32(std::int64_t V) {
+  return V >= std::numeric_limits<std::int32_t>::min() &&
+         V <= std::numeric_limits<std::int32_t>::max();
+}
+
+/// Relation byte values (must match MachineSim's private Rel enum; the
+/// engine wrapper static_asserts the correspondence).
+constexpr std::uint8_t RelLess = 0;
+constexpr std::uint8_t RelEqual = 1;
+constexpr std::uint8_t RelGreater = 2;
+
+class Codegen {
+public:
+  Codegen(const CompiledCode &Unit, const PredecodedCode &P, bool Probe)
+      : Code(Unit.Code), P(P), Probe(Probe) {}
+
+  std::vector<std::uint8_t> run();
+
+private:
+  // One out-of-line cold exit. Jumps collect rel32 fixup positions.
+  struct Stub {
+    NativeExit Kind;
+    std::uint32_t Refund = 0;
+    std::uint32_t Aux = 0; // UnknownRT id / FuelFallback leader PC
+    std::uint8_t IsFloat = 0, GP = 0, FP = 0;
+    std::vector<std::size_t> Jumps;
+  };
+
+  std::size_t stubFor(NativeExit Kind, std::uint32_t Refund,
+                      std::uint32_t Aux = 0, std::uint8_t IsFloat = 0,
+                      std::uint8_t GP = 0, std::uint8_t FP = 0) {
+    for (std::size_t I = 0; I < Stubs.size(); ++I) {
+      const Stub &S = Stubs[I];
+      if (S.Kind == Kind && S.Refund == Refund && S.Aux == Aux &&
+          S.IsFloat == IsFloat && S.GP == GP && S.FP == FP)
+        return I;
+    }
+    Stub S;
+    S.Kind = Kind;
+    S.Refund = Refund;
+    S.Aux = Aux;
+    S.IsFloat = IsFloat;
+    S.GP = GP;
+    S.FP = FP;
+    Stubs.push_back(std::move(S));
+    return Stubs.size() - 1;
+  }
+
+  std::uint32_t refundAt(std::size_t I) const {
+    return BlockLen - std::uint32_t(I - BlockStart + 1);
+  }
+
+  void loadGuestReg(std::uint8_t Host, MReg R) {
+    A.movLoad(Host, R14, regDisp(R));
+  }
+  void storeGuestReg(MReg R, std::uint8_t Host) {
+    A.movStore(R14, regDisp(R), Host);
+  }
+
+  /// Relation := sign of the value in rax; clobbers rcx, rdx.
+  void flagsFromResult() {
+    A.testRR(RAX, RAX);
+    A.setcc(CC_G, RCX);
+    A.setcc(CC_S, RDX);
+    A.subRR8(RCX, RDX);
+    A.addImm8(RCX, 1);
+    A.movStoreByte(R15, CTX_OFF(Relation), RCX);
+  }
+
+  /// OverflowFlag := OF (must run directly after the flag-setting op).
+  void captureOverflow() {
+    A.setcc(CC_O, RDX);
+    A.movStoreByte(R15, CTX_OFF(OverflowFlag), RDX);
+  }
+
+  void clearOverflow() { A.movStoreByteImm(R15, CTX_OFF(OverflowFlag), 0); }
+
+  /// rdi=ctx, esi=X, edx=Y, call *Helper. Returns with status in eax.
+  void helperCall(const void *Helper, std::uint32_t X, std::uint32_t Y) {
+    A.movRR(RDI, R15);
+    A.movImm32(RSI, X);
+    A.movImm32(RDX, Y);
+    A.movImm64(RAX, std::uint64_t(reinterpret_cast<std::uintptr_t>(Helper)));
+    A.callReg(RAX);
+  }
+
+  /// Guest address of I into rax and ctx.FaultAddress.
+  void emitAddress(const MInstr &I) {
+    loadGuestReg(RAX, I.B);
+    if (I.Imm != 0) {
+      if (fitsInt32(I.Imm)) {
+        A.addImm32(RAX, std::int32_t(I.Imm));
+      } else {
+        A.movImm64(RCX, std::uint64_t(I.Imm));
+        A.addRR(RAX, RCX);
+      }
+    }
+    A.movStore(R15, CTX_OFF(FaultAddress), RAX);
+  }
+
+  /// Shared 3-status epilogue after a helper call: 1 falls through to
+  /// the patched continuation, 0 jumps to \p FaultStub, 2 to the
+  /// exception stub. Returns the fixup to patch to the continuation.
+  std::size_t helperStatus(std::size_t FaultStub) {
+    A.cmp32Imm8(RAX, 1);
+    std::size_t Ok = A.jcc(CC_E);
+    A.test32RR(RAX, RAX);
+    Stubs[FaultStub].Jumps.push_back(A.jcc(CC_E));
+    ExceptionJumps.push_back(A.jmp());
+    return Ok;
+  }
+
+  void emitInstr(std::size_t Idx, const MInstr &I);
+  void emitMemAccess(std::size_t Idx, const MInstr &I);
+  void emitJcc(const MInstr &I, std::size_t Idx);
+  void branchTo(std::size_t FixupPos, std::uint32_t Target);
+  void emitInlineExit(std::size_t Idx, NativeExit Kind, const MInstr &I);
+
+  X64Assembler A;
+  const std::vector<MInstr> &Code;
+  const PredecodedCode &P;
+  bool Probe;
+
+  std::vector<std::size_t> InstrOff;
+  struct BranchFixup {
+    std::size_t Pos;
+    std::uint32_t Target;
+  };
+  std::vector<BranchFixup> Branches;
+  std::vector<Stub> Stubs;
+  std::vector<std::size_t> ExceptionJumps;
+  std::vector<std::size_t> RanOffEndJumps;
+  std::vector<std::size_t> EpilogueJumps;
+  std::size_t BlockStart = 0;
+  std::uint32_t BlockLen = 1;
+};
+
+void Codegen::branchTo(std::size_t FixupPos, std::uint32_t Target) {
+  if (Target < Code.size())
+    Branches.push_back({FixupPos, Target});
+  else
+    RanOffEndJumps.push_back(FixupPos);
+}
+
+void Codegen::emitInlineExit(std::size_t Idx, NativeExit Kind,
+                             const MInstr &I) {
+  std::uint32_t Refund = refundAt(Idx);
+  if (Refund)
+    A.addImm32(RBX, std::int32_t(Refund));
+  A.movStoreDwordImm(R15, CTX_OFF(ExitKind), std::uint32_t(Kind));
+  switch (Kind) {
+  case NativeExit::Breakpoint:
+    A.movStoreWordImm(R15, CTX_OFF(Marker), I.Aux);
+    break;
+  case NativeExit::TrampolineCall:
+    A.movStoreWordImm(R15, CTX_OFF(Selector), I.Aux);
+    A.movStoreByteImm(R15, CTX_OFF(NumArgs), std::uint8_t(I.Imm));
+    break;
+  default:
+    break;
+  }
+  EpilogueJumps.push_back(A.jmp());
+}
+
+void Codegen::emitJcc(const MInstr &I, std::size_t Idx) {
+  (void)Idx;
+  if (I.Cond == MCond::Always) {
+    branchTo(A.jmp(), I.Target);
+    return;
+  }
+  std::size_t Fix = 0;
+  switch (I.Cond) {
+  case MCond::Eq:
+    A.cmpByteImm(R15, CTX_OFF(Relation), RelEqual);
+    Fix = A.jcc(CC_E);
+    break;
+  case MCond::Ne:
+    // Unordered compares not-equal, matching condHolds.
+    A.cmpByteImm(R15, CTX_OFF(Relation), RelEqual);
+    Fix = A.jcc(CC_NE);
+    break;
+  case MCond::Lt:
+    A.cmpByteImm(R15, CTX_OFF(Relation), RelLess);
+    Fix = A.jcc(CC_E);
+    break;
+  case MCond::Le:
+    // Less(0) or Equal(1); Greater(2)/Unordered(3) fall through.
+    A.cmpByteImm(R15, CTX_OFF(Relation), RelEqual);
+    Fix = A.jcc(CC_BE);
+    break;
+  case MCond::Gt:
+    A.cmpByteImm(R15, CTX_OFF(Relation), RelGreater);
+    Fix = A.jcc(CC_E);
+    break;
+  case MCond::Ge:
+    // Equal(1) or Greater(2): (Relation - 1) <= 1 unsigned.
+    A.movLoadByte(RAX, R15, CTX_OFF(Relation));
+    A.subImm8(RAX, 1);
+    A.cmpImm8(RAX, 1);
+    Fix = A.jcc(CC_BE);
+    break;
+  case MCond::Ov:
+    A.cmpByteImm(R15, CTX_OFF(OverflowFlag), 0);
+    Fix = A.jcc(CC_NE);
+    break;
+  case MCond::NoOv:
+    A.cmpByteImm(R15, CTX_OFF(OverflowFlag), 0);
+    Fix = A.jcc(CC_E);
+    break;
+  case MCond::Always:
+    return; // handled above
+  }
+  branchTo(Fix, I.Target);
+}
+
+void Codegen::emitMemAccess(std::size_t Idx, const MInstr &I) {
+  bool IsFLoad = I.Op == MOp::FLoad;
+  bool Is64 = I.Op == MOp::Load || I.Op == MOp::Store || IsFLoad;
+  bool IsStore = I.Op == MOp::Store || I.Op == MOp::Store8;
+  std::size_t FaultStub =
+      stubFor(NativeExit::MemoryFault, refundAt(Idx), 0, IsFLoad,
+              std::uint8_t(unsigned(I.A)), std::uint8_t(unsigned(I.FA)));
+
+  emitAddress(I); // rax = guest address, stashed
+  A.movRR(RCX, RAX);
+  A.subImm32(RCX, std::int32_t(abi::StackBase));
+  A.cmpMem(RCX, R15,
+           Is64 ? CTX_OFF(StackLimit8) : CTX_OFF(StackLimit1));
+  std::size_t ToHeap = A.jcc(CC_A);
+
+  // -- stack fast path: rcx = in-window offset.
+  if (Is64) {
+    A.testAlImm8(7);
+    Stubs[FaultStub].Jumps.push_back(A.jcc(CC_NE)); // misaligned
+  }
+  std::vector<std::size_t> Done;
+  switch (I.Op) {
+  case MOp::Load:
+    A.movLoadBI(RDX, R12, RCX);
+    storeGuestReg(I.A, RDX);
+    break;
+  case MOp::FLoad:
+    A.movLoadBI(RDX, R12, RCX);
+    A.movStore(R13, fregDisp(I.FA), RDX);
+    break;
+  case MOp::Load8:
+    A.movzxByteBI(RDX, R12, RCX);
+    storeGuestReg(I.A, RDX);
+    break;
+  case MOp::Store:
+  case MOp::Store8: {
+    loadGuestReg(RDX, I.A);
+    if (Is64)
+      A.movStoreBI(R12, RCX, RDX);
+    else
+      A.movStoreByteBI(R12, RCX, RDX);
+    // Dirty-high watermark: end offset of this store.
+    A.lea(RDX, RCX, Is64 ? 8 : 1);
+    A.cmpMem(RDX, R15, CTX_OFF(StackDirtyHigh));
+    std::size_t Skip = A.jcc(CC_BE);
+    A.movStore(R15, CTX_OFF(StackDirtyHigh), RDX);
+    A.patchRel32(Skip, A.size());
+    break;
+  }
+  default:
+    break;
+  }
+  Done.push_back(A.jmp());
+
+  // -- heap path: helper carries the simulator's heap semantics.
+  A.patchRel32(ToHeap, A.size());
+  const void *Helper = nullptr;
+  if (IsStore) {
+    A.movRR(RDI, R15);
+    A.movRR(RSI, RAX);
+    loadGuestReg(RDX, I.A);
+    Helper = Is64 ? reinterpret_cast<const void *>(&igdt_nh_store64)
+                  : reinterpret_cast<const void *>(&igdt_nh_store8);
+  } else {
+    A.movRR(RDI, R15);
+    A.movRR(RSI, RAX);
+    if (IsFLoad)
+      A.lea(RDX, R13, fregDisp(I.FA));
+    else
+      A.lea(RDX, R14, regDisp(I.A));
+    Helper = Is64 ? reinterpret_cast<const void *>(&igdt_nh_load64)
+                  : reinterpret_cast<const void *>(&igdt_nh_load8);
+  }
+  A.movImm64(RAX, std::uint64_t(reinterpret_cast<std::uintptr_t>(Helper)));
+  A.callReg(RAX);
+  Done.push_back(helperStatus(FaultStub));
+
+  for (std::size_t Fix : Done)
+    A.patchRel32(Fix, A.size());
+}
+
+void Codegen::emitInstr(std::size_t Idx, const MInstr &I) {
+  switch (I.Op) {
+  case MOp::MovRR:
+    loadGuestReg(RAX, I.B);
+    storeGuestReg(I.A, RAX);
+    break;
+  case MOp::MovRI:
+    if (fitsInt32(I.Imm)) {
+      A.movStoreQwordImm32(R14, regDisp(I.A), std::int32_t(I.Imm));
+    } else {
+      A.movImm64(RAX, std::uint64_t(I.Imm));
+      storeGuestReg(I.A, RAX);
+    }
+    break;
+
+  case MOp::Load:
+  case MOp::Store:
+  case MOp::Load8:
+  case MOp::Store8:
+  case MOp::FLoad:
+    emitMemAccess(Idx, I);
+    break;
+
+  case MOp::Add:
+  case MOp::AddI: {
+    loadGuestReg(RAX, I.A);
+    if (I.Op == MOp::Add) {
+      loadGuestReg(RCX, I.B);
+      A.addRR(RAX, RCX);
+    } else {
+      // The deliberate miscompilation probe: AddI adds Imm+1. Detected
+      // by --cross-engine-check, never shipped in real configurations.
+      std::int64_t Imm =
+          Probe ? std::int64_t(std::uint64_t(I.Imm) + 1) : I.Imm;
+      if (fitsInt32(Imm)) {
+        A.addImm32(RAX, std::int32_t(Imm));
+      } else {
+        A.movImm64(RCX, std::uint64_t(Imm));
+        A.addRR(RAX, RCX);
+      }
+    }
+    captureOverflow();
+    storeGuestReg(I.A, RAX);
+    flagsFromResult();
+    break;
+  }
+  case MOp::Sub:
+  case MOp::SubI: {
+    loadGuestReg(RAX, I.A);
+    if (I.Op == MOp::Sub) {
+      loadGuestReg(RCX, I.B);
+      A.subRR(RAX, RCX);
+    } else if (fitsInt32(I.Imm)) {
+      A.subImm32(RAX, std::int32_t(I.Imm));
+    } else {
+      A.movImm64(RCX, std::uint64_t(I.Imm));
+      A.subRR(RAX, RCX);
+    }
+    captureOverflow();
+    storeGuestReg(I.A, RAX);
+    flagsFromResult();
+    break;
+  }
+  case MOp::Mul:
+    loadGuestReg(RAX, I.A);
+    loadGuestReg(RCX, I.B);
+    A.imulRR(RAX, RCX);
+    captureOverflow();
+    storeGuestReg(I.A, RAX);
+    flagsFromResult();
+    break;
+
+  case MOp::And:
+  case MOp::AndI:
+  case MOp::Or:
+  case MOp::OrI:
+  case MOp::Xor: {
+    loadGuestReg(RAX, I.A);
+    bool IsImm = I.Op == MOp::AndI || I.Op == MOp::OrI;
+    if (IsImm)
+      A.movImm64(RCX, std::uint64_t(I.Imm));
+    else
+      loadGuestReg(RCX, I.B);
+    if (I.Op == MOp::And || I.Op == MOp::AndI)
+      A.andRR(RAX, RCX);
+    else if (I.Op == MOp::Or || I.Op == MOp::OrI)
+      A.orRR(RAX, RCX);
+    else
+      A.xorRR(RAX, RCX);
+    storeGuestReg(I.A, RAX);
+    clearOverflow();
+    flagsFromResult();
+    break;
+  }
+
+  case MOp::Shl:
+    helperCall(reinterpret_cast<const void *>(&igdt_nh_shl),
+               unsigned(I.A), unsigned(I.B));
+    break;
+  case MOp::Sar:
+    helperCall(reinterpret_cast<const void *>(&igdt_nh_sar),
+               unsigned(I.A), unsigned(I.B));
+    break;
+
+  case MOp::ShlI: {
+    std::int64_t Amt = I.Imm;
+    if (Amt < 0) {
+      // R = 0, Ovf = false, Relation = Equal.
+      A.movStoreQwordImm32(R14, regDisp(I.A), 0);
+      clearOverflow();
+      A.movStoreByteImm(R15, CTX_OFF(Relation), RelEqual);
+    } else if (Amt >= 64) {
+      A.movStoreQwordImm32(R14, regDisp(I.A), 0);
+      A.movStoreByteImm(R15, CTX_OFF(OverflowFlag), 1);
+      A.movStoreByteImm(R15, CTX_OFF(Relation), RelEqual);
+    } else if (Amt == 0) {
+      loadGuestReg(RAX, I.A);
+      clearOverflow();
+      flagsFromResult();
+    } else {
+      loadGuestReg(RAX, I.A);
+      A.movRR(RSI, RAX);
+      A.shlImm(RAX, std::uint8_t(Amt));
+      // Overflow when shifting back does not round-trip.
+      A.movRR(RDX, RAX);
+      A.sarImm(RDX, std::uint8_t(Amt));
+      A.cmpRR(RDX, RSI);
+      A.setcc(CC_NE, RDX);
+      A.movStoreByte(R15, CTX_OFF(OverflowFlag), RDX);
+      storeGuestReg(I.A, RAX);
+      flagsFromResult();
+    }
+    break;
+  }
+  case MOp::SarI: {
+    std::int64_t Amt = I.Imm < 0 ? 0 : I.Imm;
+    std::uint8_t K = Amt >= 63 ? 63 : std::uint8_t(Amt);
+    loadGuestReg(RAX, I.A);
+    if (K)
+      A.sarImm(RAX, K);
+    storeGuestReg(I.A, RAX);
+    clearOverflow();
+    flagsFromResult();
+    break;
+  }
+
+  case MOp::Quo:
+  case MOp::Rem: {
+    std::size_t DivStub = stubFor(NativeExit::DivideFault, refundAt(Idx));
+    helperCall(I.Op == MOp::Quo
+                   ? reinterpret_cast<const void *>(&igdt_nh_quo)
+                   : reinterpret_cast<const void *>(&igdt_nh_rem),
+               unsigned(I.A), unsigned(I.B));
+    A.test32RR(RAX, RAX);
+    Stubs[DivStub].Jumps.push_back(A.jcc(CC_E));
+    break;
+  }
+
+  case MOp::Cmp:
+  case MOp::CmpI: {
+    loadGuestReg(RAX, I.A);
+    if (I.Op == MOp::Cmp) {
+      loadGuestReg(RCX, I.B);
+      A.cmpRR(RAX, RCX);
+    } else if (fitsInt32(I.Imm)) {
+      A.cmpImm32(RAX, std::int32_t(I.Imm));
+    } else {
+      A.movImm64(RCX, std::uint64_t(I.Imm));
+      A.cmpRR(RAX, RCX);
+    }
+    A.setcc(CC_G, RCX);
+    A.setcc(CC_L, RDX);
+    A.subRR8(RCX, RDX);
+    A.addImm8(RCX, 1);
+    A.movStoreByte(R15, CTX_OFF(Relation), RCX);
+    clearOverflow();
+    break;
+  }
+
+  case MOp::Jmp:
+    branchTo(A.jmp(), I.Target);
+    break;
+  case MOp::Jcc:
+    emitJcc(I, Idx);
+    break;
+
+  case MOp::CallRT: {
+    std::size_t UnknownStub =
+        stubFor(NativeExit::UnknownRT, refundAt(Idx), I.Aux);
+    A.movRR(RDI, R15);
+    A.movImm32(RSI, I.Aux);
+    A.movImm64(RAX, std::uint64_t(reinterpret_cast<std::uintptr_t>(
+                        &igdt_nh_callrt)));
+    A.callReg(RAX);
+    std::size_t Ok = helperStatus(UnknownStub);
+    A.patchRel32(Ok, A.size());
+    break;
+  }
+
+  case MOp::CallTramp:
+    emitInlineExit(Idx, NativeExit::TrampolineCall, I);
+    break;
+  case MOp::Ret:
+    emitInlineExit(Idx, NativeExit::Returned, I);
+    break;
+  case MOp::Brk:
+    emitInlineExit(Idx, NativeExit::Breakpoint, I);
+    break;
+
+  case MOp::FMovI:
+    A.movImm64(RAX, std::uint64_t(I.Imm)); // double bits
+    A.movStore(R13, fregDisp(I.FA), RAX);
+    break;
+  case MOp::FMovFF:
+    A.movLoad(RAX, R13, fregDisp(I.FB));
+    A.movStore(R13, fregDisp(I.FA), RAX);
+    break;
+  case MOp::FAdd:
+  case MOp::FSub:
+  case MOp::FMul:
+  case MOp::FDiv:
+    A.movsdLoad(XMM0, R13, fregDisp(I.FA));
+    if (I.Op == MOp::FAdd)
+      A.addsdMem(XMM0, R13, fregDisp(I.FB));
+    else if (I.Op == MOp::FSub)
+      A.subsdMem(XMM0, R13, fregDisp(I.FB));
+    else if (I.Op == MOp::FMul)
+      A.mulsdMem(XMM0, R13, fregDisp(I.FB));
+    else
+      A.divsdMem(XMM0, R13, fregDisp(I.FB));
+    A.movsdStore(R13, fregDisp(I.FA), XMM0);
+    break;
+  case MOp::FSqrt:
+    A.movsdLoad(XMM0, R13, fregDisp(I.FA));
+    A.sqrtsdXX(XMM0, XMM0);
+    A.movsdStore(R13, fregDisp(I.FA), XMM0);
+    break;
+  case MOp::FTruncF:
+    A.movsdLoad(XMM0, R13, fregDisp(I.FA));
+    A.roundsd(XMM0, XMM0, 0x0B); // trunc, suppress precision exceptions
+    A.movsdStore(R13, fregDisp(I.FA), XMM0);
+    break;
+  case MOp::FCvtIF:
+    loadGuestReg(RAX, I.A);
+    A.cvtsi2sd(XMM0, RAX);
+    A.movsdStore(R13, fregDisp(I.FA), XMM0);
+    break;
+  case MOp::FTrunc:
+    helperCall(reinterpret_cast<const void *>(&igdt_nh_ftrunc),
+               unsigned(I.A), unsigned(I.FA));
+    break;
+  case MOp::FCmp: {
+    A.movsdLoad(XMM0, R13, fregDisp(I.FA));
+    A.ucomisdMem(XMM0, R13, fregDisp(I.FB));
+    // PF -> Unordered, A -> Greater, B -> Less, else Equal.
+    std::vector<std::size_t> Ends;
+    A.movImm8(RCX, 3);
+    Ends.push_back(A.jcc(CC_P));
+    A.movImm8(RCX, RelGreater);
+    Ends.push_back(A.jcc(CC_A));
+    A.movImm8(RCX, RelLess);
+    Ends.push_back(A.jcc(CC_B));
+    A.movImm8(RCX, RelEqual);
+    for (std::size_t Fix : Ends)
+      A.patchRel32(Fix, A.size());
+    A.movStoreByte(R15, CTX_OFF(Relation), RCX);
+    clearOverflow();
+    break;
+  }
+  case MOp::FBitsToF:
+    loadGuestReg(RAX, I.A);
+    A.movStore(R13, fregDisp(I.FA), RAX);
+    break;
+  case MOp::FBitsFromF:
+    A.movLoad(RAX, R13, fregDisp(I.FA));
+    storeGuestReg(I.A, RAX);
+    break;
+  case MOp::FBits32ToF:
+    A.movLoad32(RAX, R14, regDisp(I.A));
+    A.movdXmmR32(XMM0, RAX);
+    A.cvtss2sd(XMM0, XMM0);
+    A.movsdStore(R13, fregDisp(I.FA), XMM0);
+    break;
+  case MOp::FBitsFromF32:
+    A.movsdLoad(XMM0, R13, fregDisp(I.FA));
+    A.cvtsd2ss(XMM1, XMM0);
+    A.movdR32Xmm(RAX, XMM1); // zero-extends into rax
+    storeGuestReg(I.A, RAX);
+    break;
+  }
+}
+
+std::vector<std::uint8_t> Codegen::run() {
+  const std::size_t N = Code.size();
+  InstrOff.resize(N, 0);
+
+  // Prologue: save callee-saved hosts, bind the context registers.
+  // After the five pushes rsp is 16-byte aligned, so every helper call
+  // site in the body is correctly aligned for the SysV ABI.
+  A.push(RBX);
+  A.push(R12);
+  A.push(R13);
+  A.push(R14);
+  A.push(R15);
+  A.movRR(R15, RDI);
+  A.lea(R14, R15, CTX_OFF(Regs));
+  A.lea(R13, R15, CTX_OFF(FRegs));
+  A.movLoad(R12, R15, CTX_OFF(StackHost));
+  A.movLoad(RBX, R15, CTX_OFF(FuelRemaining));
+
+  for (std::size_t Idx = 0; Idx < N; ++Idx) {
+    InstrOff[Idx] = A.size();
+    const MInstr &I = Code[Idx];
+    if (std::uint32_t BL = P.Instrs[Idx].BlockLen) {
+      BlockStart = Idx;
+      BlockLen = BL;
+      // A leader that cannot afford its whole block exits without
+      // charging; the wrapper hands the tail to the reference loop.
+      std::size_t FuelStub =
+          stubFor(NativeExit::FuelFallback, 0, std::uint32_t(Idx));
+      A.cmpImm32(RBX, std::int32_t(BL));
+      Stubs[FuelStub].Jumps.push_back(A.jcc(CC_B));
+      A.subImm32(RBX, std::int32_t(BL));
+    }
+    emitInstr(Idx, I);
+  }
+  // Falling past the last instruction is a code-generation bug, same
+  // as the reference loop's while-condition failure.
+  RanOffEndJumps.push_back(A.jmp());
+
+  // Cold exits.
+  for (Stub &S : Stubs) {
+    std::size_t Here = A.size();
+    for (std::size_t Fix : S.Jumps)
+      A.patchRel32(Fix, Here);
+    if (S.Refund)
+      A.addImm32(RBX, std::int32_t(S.Refund));
+    A.movStoreDwordImm(R15, CTX_OFF(ExitKind), std::uint32_t(S.Kind));
+    switch (S.Kind) {
+    case NativeExit::MemoryFault:
+      A.movStoreByteImm(R15, CTX_OFF(FaultIsFloat), S.IsFloat);
+      A.movStoreByteImm(R15, CTX_OFF(FaultGP), S.GP);
+      A.movStoreByteImm(R15, CTX_OFF(FaultFP), S.FP);
+      break;
+    case NativeExit::UnknownRT:
+      A.movStoreDwordImm(R15, CTX_OFF(AuxInfo), S.Aux);
+      break;
+    case NativeExit::FuelFallback:
+      // Wrapper zero-initialises FallbackPC; a dword store suffices.
+      A.movStoreDwordImm(R15, CTX_OFF(FallbackPC), S.Aux);
+      break;
+    default:
+      break;
+    }
+    EpilogueJumps.push_back(A.jmp());
+  }
+
+  {
+    std::size_t Here = A.size();
+    for (std::size_t Fix : RanOffEndJumps)
+      A.patchRel32(Fix, Here);
+    A.movStoreDwordImm(R15, CTX_OFF(ExitKind),
+                       std::uint32_t(NativeExit::RanOffEnd));
+    EpilogueJumps.push_back(A.jmp());
+  }
+  {
+    std::size_t Here = A.size();
+    for (std::size_t Fix : ExceptionJumps)
+      A.patchRel32(Fix, Here);
+    A.movStoreDwordImm(R15, CTX_OFF(ExitKind),
+                       std::uint32_t(NativeExit::HelperException));
+    // fall through to the epilogue
+  }
+
+  // Epilogue: publish fuel, restore hosts.
+  std::size_t Epilogue = A.size();
+  for (std::size_t Fix : EpilogueJumps)
+    A.patchRel32(Fix, Epilogue);
+  A.movStore(R15, CTX_OFF(FuelRemaining), RBX);
+  A.pop(R15);
+  A.pop(R14);
+  A.pop(R13);
+  A.pop(R12);
+  A.pop(RBX);
+  A.ret();
+
+  // Branch targets are instruction leaders emitted above.
+  for (const BranchFixup &B : Branches)
+    A.patchRel32(B.Pos, InstrOff[B.Target]);
+
+  return A.bytes();
+}
+
+} // namespace
+
+NativeCode igdt::compileNative(const CompiledCode &Code,
+                               const PredecodedCode &P,
+                               bool MiscompileProbe) {
+  NativeCode N;
+  N.MiscompileProbe = MiscompileProbe;
+  Codegen CG(Code, P, MiscompileProbe);
+  N.Buffer = ExecutableBuffer::make(CG.run());
+  if (N.Buffer.valid())
+    N.Entry = N.Buffer.entry<NativeEntry>();
+  return N;
+}
+
+const NativeCode &igdt::nativeFor(const CompiledCode &Code, SimStats *Stats,
+                                  bool MiscompileProbe) {
+  if (Code.Native && Code.Native->MiscompileProbe == MiscompileProbe) {
+    if (Stats)
+      ++Stats->NativeHits;
+    return *Code.Native;
+  }
+  const PredecodedCode &P = predecodedFor(Code, Stats);
+  auto Built =
+      std::make_shared<NativeCode>(compileNative(Code, P, MiscompileProbe));
+  if (Stats)
+    ++Stats->NativeBuilds;
+  Code.Native = std::move(Built);
+  return *Code.Native;
+}

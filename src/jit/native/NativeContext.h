@@ -1,0 +1,119 @@
+//===- jit/native/NativeContext.h - Guest state block for native runs -----===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one block of host memory generated code reads and writes. Guest
+/// registers are memory-resident: the trampoline wrapper copies the
+/// simulator's register file in before entry and back out after exit,
+/// and every generated instruction addresses registers as
+/// [r14 + 8*reg] / [r13 + 8*freg]. That keeps the register mapping
+/// trivial (no allocator for guest->host registers) while still
+/// removing all dispatch overhead — the profitable part on this ISA.
+///
+/// The layout is ABI between NativeCodegen (which bakes offsetof()
+/// displacements into code) and NativeEngine (which owns the struct),
+/// so it must stay standard-layout; static_asserts in NativeEngine.cpp
+/// pin the invariants the generated code depends on.
+///
+/// Helper functions (extern "C", SysV) implement the operations not
+/// worth inlining: heap memory accesses, register-amount shifts,
+/// division, float->int truncation, and runtime calls. Status contract:
+/// 1 = success, 0 = the operation's failure exit (memory fault, divide
+/// fault, unknown runtime function), 2 = a C++ exception was captured
+/// into PendingExc (the wrapper rethrows after syncing state — an
+/// exception must never unwind through the JIT frame).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_NATIVE_NATIVECONTEXT_H
+#define IGDT_JIT_NATIVE_NATIVECONTEXT_H
+
+#include <cstdint>
+#include <exception>
+
+namespace igdt {
+
+class MachineSim;
+
+/// ExitKind values generated code stores before jumping to the
+/// epilogue. The wrapper maps them onto MachineExit.
+enum class NativeExit : std::uint32_t {
+  Returned = 0,
+  Breakpoint = 1,
+  TrampolineCall = 2,
+  DivideFault = 3,
+  /// Memory fault: FaultAddress/FaultIsFloat/FaultGP/FaultFP describe
+  /// the failing access; the wrapper runs the accessor-recovery logic.
+  MemoryFault = 4,
+  /// CallRT with an id runtimeCall does not know; AuxInfo = the id.
+  UnknownRT = 5,
+  /// Control ran past the end of the generated code.
+  RanOffEnd = 6,
+  /// A block leader could not afford its fuel charge; FallbackPC is the
+  /// leader's instruction index and the wrapper finishes the run in the
+  /// reference switch loop (the same mid-run fallback runThreaded
+  /// performs).
+  FuelFallback = 7,
+  /// A helper captured a C++ exception into PendingExc.
+  HelperException = 8,
+};
+
+/// Guest state block. Field order is load-bearing (see file comment).
+struct NativeContext {
+  std::uint64_t Regs[16];  ///< guest GP registers (r14 points here)
+  double FRegs[8];         ///< guest FP registers (r13 points here)
+  std::uint8_t *StackHost; ///< host base of the simulated stack (r12)
+  std::uint64_t StackLimit8; ///< StackSize - 8: max offset of a 64-bit access
+  std::uint64_t StackLimit1; ///< StackSize - 1: max offset of a byte access
+  std::uint64_t FuelRemaining; ///< cached in rbx while native code runs
+  std::uint64_t FaultAddress;  ///< stashed before every memory access
+  std::uint64_t StackDirtyHigh; ///< high watermark of stack store offsets
+  std::uint64_t FallbackPC;     ///< FuelFallback: leader instruction index
+  std::uint32_t ExitKind;       ///< NativeExit value
+  std::uint32_t AuxInfo;        ///< UnknownRT: the runtime-function id
+  std::uint16_t Marker;         ///< Breakpoint marker
+  std::uint16_t Selector;       ///< TrampolineCall selector
+  std::uint8_t NumArgs;         ///< TrampolineCall argument count
+  std::uint8_t Relation;        ///< 0 Less, 1 Equal, 2 Greater, 3 Unordered
+  std::uint8_t OverflowFlag;    ///< 0 / 1
+  std::uint8_t FaultIsFloat;    ///< failing access targeted an FP register
+  std::uint8_t FaultGP;         ///< GP destination of the failing access
+  std::uint8_t FaultFP;         ///< FP destination of the failing access
+  MachineSim *Sim;              ///< for helpers that need heap/runtime
+  std::exception_ptr *PendingExc; ///< helper-captured exception, if any
+};
+
+using NativeEntry = void (*)(NativeContext *);
+
+} // namespace igdt
+
+/// Helper entry points the generated code calls (SysV C ABI). Defined
+/// in NativeEngine.cpp; NativeCodegen embeds their addresses.
+extern "C" {
+/// Heap-path loads/stores (the address is already known to miss the
+/// stack window). Return 1/0/2 per the status contract.
+int igdt_nh_load64(igdt::NativeContext *C, std::uint64_t Addr,
+                   std::uint64_t *Out);
+int igdt_nh_store64(igdt::NativeContext *C, std::uint64_t Addr,
+                    std::uint64_t Value);
+int igdt_nh_load8(igdt::NativeContext *C, std::uint64_t Addr,
+                  std::uint64_t *Out);
+int igdt_nh_store8(igdt::NativeContext *C, std::uint64_t Addr,
+                   std::uint64_t Value);
+/// Register-amount shifts (subtle overflow/clamp semantics).
+void igdt_nh_shl(igdt::NativeContext *C, std::uint32_t A, std::uint32_t B);
+void igdt_nh_sar(igdt::NativeContext *C, std::uint32_t A, std::uint32_t B);
+/// Division; 0 = divide fault.
+int igdt_nh_quo(igdt::NativeContext *C, std::uint32_t A, std::uint32_t B);
+int igdt_nh_rem(igdt::NativeContext *C, std::uint32_t A, std::uint32_t B);
+/// FTrunc: saturating double -> int64 with the simulator's overflow rule.
+void igdt_nh_ftrunc(igdt::NativeContext *C, std::uint32_t A,
+                    std::uint32_t FA);
+/// CallRT: 1 ok, 0 unknown function, 2 exception captured.
+int igdt_nh_callrt(igdt::NativeContext *C, std::uint32_t Func);
+}
+
+#endif // IGDT_JIT_NATIVE_NATIVECONTEXT_H

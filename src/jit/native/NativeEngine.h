@@ -1,0 +1,34 @@
+//===- jit/native/NativeEngine.h - Native-tier entry point ----------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The MachineSim-facing door into the native tier: runNativeTier
+/// executes one compilation unit on real hardware and returns the same
+/// MachineExit (and heap/stack/register effects) the simulator engines
+/// produce. Callers must have checked nativeTierSupported() — that is
+/// what MachineSim::run's degradation ladder does.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_NATIVE_NATIVEENGINE_H
+#define IGDT_JIT_NATIVE_NATIVEENGINE_H
+
+namespace igdt {
+
+class MachineSim;
+struct CompiledCode;
+struct MachineExit;
+
+/// Runs \p Code through the native x86-64 tier on behalf of \p Sim:
+/// copies guest state into a NativeContext, enters the generated code
+/// through the trampoline, and maps the exit back — falling back to
+/// the reference switch loop mid-run when a block's fuel cannot be
+/// charged, exactly as the threaded engine does.
+MachineExit runNativeTier(MachineSim &Sim, const CompiledCode &Code);
+
+} // namespace igdt
+
+#endif // IGDT_JIT_NATIVE_NATIVEENGINE_H

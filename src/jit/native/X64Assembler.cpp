@@ -1,0 +1,503 @@
+//===- jit/native/X64Assembler.cpp - Minimal x86-64 emitter ---------------===//
+
+#include "jit/native/X64Assembler.h"
+
+using namespace igdt;
+
+void X64Assembler::imm16(std::uint16_t V) {
+  byte(std::uint8_t(V));
+  byte(std::uint8_t(V >> 8));
+}
+
+void X64Assembler::imm32(std::uint32_t V) {
+  byte(std::uint8_t(V));
+  byte(std::uint8_t(V >> 8));
+  byte(std::uint8_t(V >> 16));
+  byte(std::uint8_t(V >> 24));
+}
+
+void X64Assembler::imm64(std::uint64_t V) {
+  imm32(std::uint32_t(V));
+  imm32(std::uint32_t(V >> 32));
+}
+
+void X64Assembler::rex(bool W, std::uint8_t R, std::uint8_t X,
+                       std::uint8_t B) {
+  std::uint8_t P = 0x40 | (std::uint8_t(W) << 3) | (((R >> 3) & 1) << 2) |
+                   (((X >> 3) & 1) << 1) | ((B >> 3) & 1);
+  if (P != 0x40)
+    byte(P);
+}
+
+void X64Assembler::rex8(std::uint8_t R, std::uint8_t B) {
+  if (R > 3 || B > 3)
+    byte(0x40 | (((R >> 3) & 1) << 2) | ((B >> 3) & 1));
+}
+
+void X64Assembler::modrmReg(std::uint8_t Reg, std::uint8_t Rm) {
+  byte(0xC0 | ((Reg & 7) << 3) | (Rm & 7));
+}
+
+void X64Assembler::modrmMem(std::uint8_t Reg, std::uint8_t Base,
+                            std::int32_t Disp) {
+  // mod=10 [base + disp32]; rsp/r12 bases require a SIB byte.
+  if ((Base & 7) == 4) {
+    byte(0x80 | ((Reg & 7) << 3) | 4);
+    byte(0x24); // scale=1, no index, base=rsp/r12
+  } else {
+    byte(0x80 | ((Reg & 7) << 3) | (Base & 7));
+  }
+  imm32(std::uint32_t(Disp));
+}
+
+void X64Assembler::modrmMemBI(std::uint8_t Reg, std::uint8_t Base,
+                              std::uint8_t Index) {
+  // mod=10 [base + index*1 + disp32(0)] via SIB.
+  byte(0x80 | ((Reg & 7) << 3) | 4);
+  byte(((Index & 7) << 3) | (Base & 7));
+  imm32(0);
+}
+
+void X64Assembler::push(std::uint8_t R) {
+  if (R >= 8)
+    byte(0x41);
+  byte(0x50 + (R & 7));
+}
+
+void X64Assembler::pop(std::uint8_t R) {
+  if (R >= 8)
+    byte(0x41);
+  byte(0x58 + (R & 7));
+}
+
+void X64Assembler::ret() { byte(0xC3); }
+
+void X64Assembler::movImm64(std::uint8_t Dst, std::uint64_t Imm) {
+  rex(true, 0, 0, Dst);
+  byte(0xB8 + (Dst & 7));
+  imm64(Imm);
+}
+
+void X64Assembler::aluRR(std::uint8_t Opcode, std::uint8_t Dst,
+                         std::uint8_t Src) {
+  rex(true, Src, 0, Dst);
+  byte(Opcode);
+  modrmReg(Src, Dst);
+}
+
+void X64Assembler::movRR(std::uint8_t Dst, std::uint8_t Src) {
+  aluRR(0x89, Dst, Src);
+}
+
+void X64Assembler::movLoad(std::uint8_t Dst, std::uint8_t Base,
+                           std::int32_t Disp) {
+  rex(true, Dst, 0, Base);
+  byte(0x8B);
+  modrmMem(Dst, Base, Disp);
+}
+
+void X64Assembler::movStore(std::uint8_t Base, std::int32_t Disp,
+                            std::uint8_t Src) {
+  rex(true, Src, 0, Base);
+  byte(0x89);
+  modrmMem(Src, Base, Disp);
+}
+
+void X64Assembler::movLoadBI(std::uint8_t Dst, std::uint8_t Base,
+                             std::uint8_t Index) {
+  rex(true, Dst, Index, Base);
+  byte(0x8B);
+  modrmMemBI(Dst, Base, Index);
+}
+
+void X64Assembler::movStoreBI(std::uint8_t Base, std::uint8_t Index,
+                              std::uint8_t Src) {
+  rex(true, Src, Index, Base);
+  byte(0x89);
+  modrmMemBI(Src, Base, Index);
+}
+
+void X64Assembler::movzxByteBI(std::uint8_t Dst, std::uint8_t Base,
+                               std::uint8_t Index) {
+  rex(true, Dst, Index, Base);
+  byte(0x0F);
+  byte(0xB6);
+  modrmMemBI(Dst, Base, Index);
+}
+
+void X64Assembler::movStoreByteBI(std::uint8_t Base, std::uint8_t Index,
+                                  std::uint8_t Src) {
+  // 8-bit store; REX needed for extended base/index or sil..dil sources.
+  std::uint8_t P = 0x40 | (((Src >> 3) & 1) << 2) | (((Index >> 3) & 1) << 1) |
+                   ((Base >> 3) & 1);
+  if (P != 0x40 || Src > 3)
+    byte(P);
+  byte(0x88);
+  modrmMemBI(Src, Base, Index);
+}
+
+void X64Assembler::movLoad32(std::uint8_t Dst, std::uint8_t Base,
+                             std::int32_t Disp) {
+  std::uint8_t P = 0x40 | (((Dst >> 3) & 1) << 2) | ((Base >> 3) & 1);
+  if (P != 0x40)
+    byte(P);
+  byte(0x8B);
+  modrmMem(Dst, Base, Disp);
+}
+
+void X64Assembler::movStoreByteImm(std::uint8_t Base, std::int32_t Disp,
+                                   std::uint8_t Imm) {
+  if (Base >= 8)
+    byte(0x41);
+  byte(0xC6);
+  modrmMem(0, Base, Disp);
+  byte(Imm);
+}
+
+void X64Assembler::movStoreWordImm(std::uint8_t Base, std::int32_t Disp,
+                                   std::uint16_t Imm) {
+  byte(0x66);
+  if (Base >= 8)
+    byte(0x41);
+  byte(0xC7);
+  modrmMem(0, Base, Disp);
+  imm16(Imm);
+}
+
+void X64Assembler::movStoreDwordImm(std::uint8_t Base, std::int32_t Disp,
+                                    std::uint32_t Imm) {
+  if (Base >= 8)
+    byte(0x41);
+  byte(0xC7);
+  modrmMem(0, Base, Disp);
+  imm32(Imm);
+}
+
+void X64Assembler::movStoreQwordImm32(std::uint8_t Base, std::int32_t Disp,
+                                      std::int32_t Imm) {
+  rex(true, 0, 0, Base);
+  byte(0xC7);
+  modrmMem(0, Base, Disp);
+  imm32(std::uint32_t(Imm));
+}
+
+void X64Assembler::movLoadByte(std::uint8_t Dst, std::uint8_t Base,
+                               std::int32_t Disp) {
+  std::uint8_t P = 0x40 | (((Dst >> 3) & 1) << 2) | ((Base >> 3) & 1);
+  if (P != 0x40 || Dst > 3)
+    byte(P);
+  byte(0x8A);
+  modrmMem(Dst, Base, Disp);
+}
+
+void X64Assembler::movStoreByte(std::uint8_t Base, std::int32_t Disp,
+                                std::uint8_t Src) {
+  std::uint8_t P = 0x40 | (((Src >> 3) & 1) << 2) | ((Base >> 3) & 1);
+  if (P != 0x40 || Src > 3)
+    byte(P);
+  byte(0x88);
+  modrmMem(Src, Base, Disp);
+}
+
+void X64Assembler::movImm32(std::uint8_t Dst, std::uint32_t Imm) {
+  if (Dst >= 8)
+    byte(0x41);
+  byte(0xB8 + (Dst & 7));
+  imm32(Imm);
+}
+
+void X64Assembler::test32RR(std::uint8_t A, std::uint8_t B) {
+  std::uint8_t P = 0x40 | (((B >> 3) & 1) << 2) | ((A >> 3) & 1);
+  if (P != 0x40)
+    byte(P);
+  byte(0x85);
+  modrmReg(B, A);
+}
+
+void X64Assembler::cmp32Imm8(std::uint8_t Dst, std::uint8_t Imm) {
+  if (Dst >= 8)
+    byte(0x41);
+  byte(0x83);
+  modrmReg(7, Dst);
+  byte(Imm);
+}
+
+void X64Assembler::lea(std::uint8_t Dst, std::uint8_t Base,
+                       std::int32_t Disp) {
+  rex(true, Dst, 0, Base);
+  byte(0x8D);
+  modrmMem(Dst, Base, Disp);
+}
+
+void X64Assembler::addRR(std::uint8_t Dst, std::uint8_t Src) {
+  aluRR(0x01, Dst, Src);
+}
+void X64Assembler::subRR(std::uint8_t Dst, std::uint8_t Src) {
+  aluRR(0x29, Dst, Src);
+}
+void X64Assembler::andRR(std::uint8_t Dst, std::uint8_t Src) {
+  aluRR(0x21, Dst, Src);
+}
+void X64Assembler::orRR(std::uint8_t Dst, std::uint8_t Src) {
+  aluRR(0x09, Dst, Src);
+}
+void X64Assembler::xorRR(std::uint8_t Dst, std::uint8_t Src) {
+  aluRR(0x31, Dst, Src);
+}
+void X64Assembler::cmpRR(std::uint8_t Dst, std::uint8_t Src) {
+  aluRR(0x39, Dst, Src);
+}
+void X64Assembler::testRR(std::uint8_t A, std::uint8_t B) {
+  aluRR(0x85, A, B);
+}
+
+void X64Assembler::aluImm32(std::uint8_t Ext, std::uint8_t Dst,
+                            std::int32_t Imm) {
+  rex(true, 0, 0, Dst);
+  byte(0x81);
+  modrmReg(Ext, Dst);
+  imm32(std::uint32_t(Imm));
+}
+
+void X64Assembler::addImm32(std::uint8_t Dst, std::int32_t Imm) {
+  aluImm32(0, Dst, Imm);
+}
+void X64Assembler::subImm32(std::uint8_t Dst, std::int32_t Imm) {
+  aluImm32(5, Dst, Imm);
+}
+void X64Assembler::cmpImm32(std::uint8_t Dst, std::int32_t Imm) {
+  aluImm32(7, Dst, Imm);
+}
+
+void X64Assembler::cmpMem(std::uint8_t Dst, std::uint8_t Base,
+                          std::int32_t Disp) {
+  rex(true, Dst, 0, Base);
+  byte(0x3B);
+  modrmMem(Dst, Base, Disp);
+}
+
+void X64Assembler::imulRR(std::uint8_t Dst, std::uint8_t Src) {
+  rex(true, Dst, 0, Src);
+  byte(0x0F);
+  byte(0xAF);
+  modrmReg(Dst, Src);
+}
+
+void X64Assembler::testAlImm8(std::uint8_t Imm) {
+  byte(0xA8);
+  byte(Imm);
+}
+
+void X64Assembler::shlImm(std::uint8_t Dst, std::uint8_t Amount) {
+  rex(true, 0, 0, Dst);
+  byte(0xC1);
+  modrmReg(4, Dst);
+  byte(Amount);
+}
+
+void X64Assembler::sarImm(std::uint8_t Dst, std::uint8_t Amount) {
+  rex(true, 0, 0, Dst);
+  byte(0xC1);
+  modrmReg(7, Dst);
+  byte(Amount);
+}
+
+void X64Assembler::cmpByteImm(std::uint8_t Base, std::int32_t Disp,
+                              std::uint8_t Imm) {
+  if (Base >= 8)
+    byte(0x41);
+  byte(0x80);
+  modrmMem(7, Base, Disp);
+  byte(Imm);
+}
+
+void X64Assembler::subRR8(std::uint8_t Dst, std::uint8_t Src) {
+  rex8(Src, Dst);
+  byte(0x28);
+  modrmReg(Src, Dst);
+}
+
+void X64Assembler::addImm8(std::uint8_t Dst, std::uint8_t Imm) {
+  rex8(0, Dst);
+  byte(0x80);
+  modrmReg(0, Dst);
+  byte(Imm);
+}
+
+void X64Assembler::subImm8(std::uint8_t Dst, std::uint8_t Imm) {
+  rex8(0, Dst);
+  byte(0x80);
+  modrmReg(5, Dst);
+  byte(Imm);
+}
+
+void X64Assembler::cmpImm8(std::uint8_t Dst, std::uint8_t Imm) {
+  rex8(0, Dst);
+  byte(0x80);
+  modrmReg(7, Dst);
+  byte(Imm);
+}
+
+void X64Assembler::movImm8(std::uint8_t Dst, std::uint8_t Imm) {
+  rex8(0, Dst);
+  byte(0xB0 + (Dst & 7));
+  byte(Imm);
+}
+
+void X64Assembler::setcc(std::uint8_t CC, std::uint8_t Dst8) {
+  rex8(0, Dst8);
+  byte(0x0F);
+  byte(0x90 + CC);
+  modrmReg(0, Dst8);
+}
+
+std::size_t X64Assembler::jcc(std::uint8_t CC) {
+  byte(0x0F);
+  byte(0x80 + CC);
+  std::size_t Pos = Buf.size();
+  imm32(0);
+  return Pos;
+}
+
+std::size_t X64Assembler::jmp() {
+  byte(0xE9);
+  std::size_t Pos = Buf.size();
+  imm32(0);
+  return Pos;
+}
+
+void X64Assembler::callReg(std::uint8_t R) {
+  if (R >= 8)
+    byte(0x41);
+  byte(0xFF);
+  modrmReg(2, R);
+}
+
+void X64Assembler::patchRel32(std::size_t FixupPos, std::size_t Target) {
+  std::int64_t Rel = std::int64_t(Target) - std::int64_t(FixupPos + 4);
+  auto V = std::uint32_t(std::int32_t(Rel));
+  Buf[FixupPos] = std::uint8_t(V);
+  Buf[FixupPos + 1] = std::uint8_t(V >> 8);
+  Buf[FixupPos + 2] = std::uint8_t(V >> 16);
+  Buf[FixupPos + 3] = std::uint8_t(V >> 24);
+}
+
+void X64Assembler::movsdLoad(std::uint8_t Xmm, std::uint8_t Base,
+                             std::int32_t Disp) {
+  byte(0xF2);
+  rex(false, Xmm, 0, Base);
+  byte(0x0F);
+  byte(0x10);
+  modrmMem(Xmm, Base, Disp);
+}
+
+void X64Assembler::movsdStore(std::uint8_t Base, std::int32_t Disp,
+                              std::uint8_t Xmm) {
+  byte(0xF2);
+  rex(false, Xmm, 0, Base);
+  byte(0x0F);
+  byte(0x11);
+  modrmMem(Xmm, Base, Disp);
+}
+
+void X64Assembler::addsdMem(std::uint8_t Xmm, std::uint8_t Base,
+                            std::int32_t Disp) {
+  byte(0xF2);
+  rex(false, Xmm, 0, Base);
+  byte(0x0F);
+  byte(0x58);
+  modrmMem(Xmm, Base, Disp);
+}
+
+void X64Assembler::subsdMem(std::uint8_t Xmm, std::uint8_t Base,
+                            std::int32_t Disp) {
+  byte(0xF2);
+  rex(false, Xmm, 0, Base);
+  byte(0x0F);
+  byte(0x5C);
+  modrmMem(Xmm, Base, Disp);
+}
+
+void X64Assembler::mulsdMem(std::uint8_t Xmm, std::uint8_t Base,
+                            std::int32_t Disp) {
+  byte(0xF2);
+  rex(false, Xmm, 0, Base);
+  byte(0x0F);
+  byte(0x59);
+  modrmMem(Xmm, Base, Disp);
+}
+
+void X64Assembler::divsdMem(std::uint8_t Xmm, std::uint8_t Base,
+                            std::int32_t Disp) {
+  byte(0xF2);
+  rex(false, Xmm, 0, Base);
+  byte(0x0F);
+  byte(0x5E);
+  modrmMem(Xmm, Base, Disp);
+}
+
+void X64Assembler::sqrtsdXX(std::uint8_t Dst, std::uint8_t Src) {
+  byte(0xF2);
+  byte(0x0F);
+  byte(0x51);
+  modrmReg(Dst, Src);
+}
+
+void X64Assembler::ucomisdMem(std::uint8_t Xmm, std::uint8_t Base,
+                              std::int32_t Disp) {
+  byte(0x66);
+  rex(false, Xmm, 0, Base);
+  byte(0x0F);
+  byte(0x2E);
+  modrmMem(Xmm, Base, Disp);
+}
+
+void X64Assembler::cvtsi2sd(std::uint8_t Xmm, std::uint8_t Src64) {
+  byte(0xF2);
+  rex(true, Xmm, 0, Src64);
+  byte(0x0F);
+  byte(0x2A);
+  modrmReg(Xmm, Src64);
+}
+
+void X64Assembler::cvtsd2ss(std::uint8_t Dst, std::uint8_t Src) {
+  byte(0xF2);
+  byte(0x0F);
+  byte(0x5A);
+  modrmReg(Dst, Src);
+}
+
+void X64Assembler::cvtss2sd(std::uint8_t Dst, std::uint8_t Src) {
+  byte(0xF3);
+  byte(0x0F);
+  byte(0x5A);
+  modrmReg(Dst, Src);
+}
+
+void X64Assembler::roundsd(std::uint8_t Dst, std::uint8_t Src,
+                           std::uint8_t Mode) {
+  byte(0x66);
+  byte(0x0F);
+  byte(0x3A);
+  byte(0x0B);
+  modrmReg(Dst, Src);
+  byte(Mode);
+}
+
+void X64Assembler::movdXmmR32(std::uint8_t Xmm, std::uint8_t Src32) {
+  byte(0x66);
+  if (Src32 >= 8)
+    byte(0x41);
+  byte(0x0F);
+  byte(0x6E);
+  modrmReg(Xmm, Src32);
+}
+
+void X64Assembler::movdR32Xmm(std::uint8_t Dst32, std::uint8_t Xmm) {
+  byte(0x66);
+  if (Dst32 >= 8)
+    byte(0x41);
+  byte(0x0F);
+  byte(0x7E);
+  modrmReg(Xmm, Dst32);
+}

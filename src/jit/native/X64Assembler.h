@@ -1,0 +1,212 @@
+//===- jit/native/X64Assembler.h - Minimal x86-64 emitter -----------------===//
+//
+// Part of the IGDT project: interpreter-guided differential JIT testing.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Just enough of an x86-64 assembler for the native tier's code
+/// generator: straight byte emission into a vector, covering exactly
+/// the instruction forms NativeCodegen uses. Memory operands are always
+/// encoded as [base + disp32] (mod=10) — a few bytes larger than
+/// minimal encodings, but uniform across every base register including
+/// the rsp/r12 SIB and rbp/r13 disp special cases.
+///
+/// Register numbers are raw x86 encodings (rax=0 ... r15=15); condition
+/// codes are raw tttn values for Jcc/SETcc.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef IGDT_JIT_NATIVE_X64ASSEMBLER_H
+#define IGDT_JIT_NATIVE_X64ASSEMBLER_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace igdt {
+
+/// Host GPR encodings.
+enum HostReg : std::uint8_t {
+  RAX = 0,
+  RCX = 1,
+  RDX = 2,
+  RBX = 3,
+  RSP = 4,
+  RBP = 5,
+  RSI = 6,
+  RDI = 7,
+  R8 = 8,
+  R9 = 9,
+  R10 = 10,
+  R11 = 11,
+  R12 = 12,
+  R13 = 13,
+  R14 = 14,
+  R15 = 15,
+};
+
+/// Host XMM encodings (only the scratch pair is used).
+enum HostXmm : std::uint8_t { XMM0 = 0, XMM1 = 1 };
+
+/// x86 condition codes (the tttn field of 0F 8x / 0F 9x).
+enum HostCC : std::uint8_t {
+  CC_O = 0x0,
+  CC_NO = 0x1,
+  CC_B = 0x2,  ///< unsigned <
+  CC_AE = 0x3, ///< unsigned >=
+  CC_E = 0x4,
+  CC_NE = 0x5,
+  CC_BE = 0x6, ///< unsigned <=
+  CC_A = 0x7,  ///< unsigned >
+  CC_S = 0x8,
+  CC_NS = 0x9,
+  CC_P = 0xa,
+  CC_NP = 0xb,
+  CC_L = 0xc, ///< signed <
+  CC_GE = 0xd,
+  CC_LE = 0xe,
+  CC_G = 0xf, ///< signed >
+};
+
+class X64Assembler {
+public:
+  const std::vector<std::uint8_t> &bytes() const { return Buf; }
+  std::size_t size() const { return Buf.size(); }
+
+  /// \name Prologue/epilogue
+  /// @{
+  void push(std::uint8_t R);
+  void pop(std::uint8_t R);
+  void ret();
+  /// @}
+
+  /// \name 64-bit moves
+  /// @{
+  void movImm64(std::uint8_t Dst, std::uint64_t Imm); ///< movabs
+  void movRR(std::uint8_t Dst, std::uint8_t Src);
+  void movLoad(std::uint8_t Dst, std::uint8_t Base, std::int32_t Disp);
+  void movStore(std::uint8_t Base, std::int32_t Disp, std::uint8_t Src);
+  /// mov Dst, [Base + Index] (scale 1, disp32 0).
+  void movLoadBI(std::uint8_t Dst, std::uint8_t Base, std::uint8_t Index);
+  /// mov [Base + Index], Src.
+  void movStoreBI(std::uint8_t Base, std::uint8_t Index, std::uint8_t Src);
+  /// movzx Dst64, byte [Base + Index].
+  void movzxByteBI(std::uint8_t Dst, std::uint8_t Base, std::uint8_t Index);
+  /// mov byte [Base + Index], Src8.
+  void movStoreByteBI(std::uint8_t Base, std::uint8_t Index,
+                      std::uint8_t Src);
+  /// mov Dst32, dword [Base + disp32] (zero-extends to 64 bits).
+  void movLoad32(std::uint8_t Dst, std::uint8_t Base, std::int32_t Disp);
+  /// mov byte [Base + disp32], imm8.
+  void movStoreByteImm(std::uint8_t Base, std::int32_t Disp,
+                       std::uint8_t Imm);
+  /// mov word [Base + disp32], imm16.
+  void movStoreWordImm(std::uint8_t Base, std::int32_t Disp,
+                       std::uint16_t Imm);
+  /// mov dword [Base + disp32], imm32.
+  void movStoreDwordImm(std::uint8_t Base, std::int32_t Disp,
+                        std::uint32_t Imm);
+  /// mov qword [Base + disp32], imm32 (sign-extended).
+  void movStoreQwordImm32(std::uint8_t Base, std::int32_t Disp,
+                          std::int32_t Imm);
+  /// mov r8 Dst, byte [Base + disp32].
+  void movLoadByte(std::uint8_t Dst, std::uint8_t Base, std::int32_t Disp);
+  /// mov byte [Base + disp32], Src8.
+  void movStoreByte(std::uint8_t Base, std::int32_t Disp, std::uint8_t Src);
+  /// mov Dst32, imm32 (zero-extends to 64 bits).
+  void movImm32(std::uint8_t Dst, std::uint32_t Imm);
+  void lea(std::uint8_t Dst, std::uint8_t Base, std::int32_t Disp);
+  /// @}
+
+  /// \name 64-bit ALU
+  /// @{
+  void addRR(std::uint8_t Dst, std::uint8_t Src);
+  void subRR(std::uint8_t Dst, std::uint8_t Src);
+  void andRR(std::uint8_t Dst, std::uint8_t Src);
+  void orRR(std::uint8_t Dst, std::uint8_t Src);
+  void xorRR(std::uint8_t Dst, std::uint8_t Src);
+  void cmpRR(std::uint8_t Dst, std::uint8_t Src);
+  void addImm32(std::uint8_t Dst, std::int32_t Imm);
+  void subImm32(std::uint8_t Dst, std::int32_t Imm);
+  void cmpImm32(std::uint8_t Dst, std::int32_t Imm);
+  /// cmp Dst, qword [Base + disp32].
+  void cmpMem(std::uint8_t Dst, std::uint8_t Base, std::int32_t Disp);
+  void imulRR(std::uint8_t Dst, std::uint8_t Src);
+  void testRR(std::uint8_t A, std::uint8_t B);
+  /// test A32, B32 (helper-status checks: only eax's low 32 bits are
+  /// defined by the C ABI).
+  void test32RR(std::uint8_t A, std::uint8_t B);
+  /// cmp Dst32, imm8 (sign-extended 32-bit compare).
+  void cmp32Imm8(std::uint8_t Dst, std::uint8_t Imm);
+  void testAlImm8(std::uint8_t Imm);
+  void shlImm(std::uint8_t Dst, std::uint8_t Amount);
+  void sarImm(std::uint8_t Dst, std::uint8_t Amount);
+  /// cmp byte [Base + disp32], imm8.
+  void cmpByteImm(std::uint8_t Base, std::int32_t Disp, std::uint8_t Imm);
+  /// ALU on 8-bit registers (Relation arithmetic).
+  void subRR8(std::uint8_t Dst, std::uint8_t Src);
+  void addImm8(std::uint8_t Dst, std::uint8_t Imm);
+  void subImm8(std::uint8_t Dst, std::uint8_t Imm);
+  void cmpImm8(std::uint8_t Dst, std::uint8_t Imm);
+  void movImm8(std::uint8_t Dst, std::uint8_t Imm);
+  /// @}
+
+  /// \name Flags and control flow
+  /// @{
+  void setcc(std::uint8_t CC, std::uint8_t Dst8);
+  /// Emits jcc rel32 with a zero displacement; returns the offset of
+  /// the 4-byte displacement for later patching.
+  std::size_t jcc(std::uint8_t CC);
+  /// Emits jmp rel32 with a zero displacement; returns the offset of
+  /// the displacement.
+  std::size_t jmp();
+  void callReg(std::uint8_t R);
+  /// Patches the rel32 at \p FixupPos to reach \p Target (both are
+  /// buffer offsets; the displacement is relative to FixupPos + 4).
+  void patchRel32(std::size_t FixupPos, std::size_t Target);
+  /// @}
+
+  /// \name SSE scalar double
+  /// @{
+  void movsdLoad(std::uint8_t Xmm, std::uint8_t Base, std::int32_t Disp);
+  void movsdStore(std::uint8_t Base, std::int32_t Disp, std::uint8_t Xmm);
+  void addsdMem(std::uint8_t Xmm, std::uint8_t Base, std::int32_t Disp);
+  void subsdMem(std::uint8_t Xmm, std::uint8_t Base, std::int32_t Disp);
+  void mulsdMem(std::uint8_t Xmm, std::uint8_t Base, std::int32_t Disp);
+  void divsdMem(std::uint8_t Xmm, std::uint8_t Base, std::int32_t Disp);
+  void sqrtsdXX(std::uint8_t Dst, std::uint8_t Src);
+  void ucomisdMem(std::uint8_t Xmm, std::uint8_t Base, std::int32_t Disp);
+  void cvtsi2sd(std::uint8_t Xmm, std::uint8_t Src64);
+  void cvtsd2ss(std::uint8_t Dst, std::uint8_t Src);
+  void cvtss2sd(std::uint8_t Dst, std::uint8_t Src);
+  void roundsd(std::uint8_t Dst, std::uint8_t Src, std::uint8_t Mode);
+  void movdXmmR32(std::uint8_t Xmm, std::uint8_t Src32);
+  void movdR32Xmm(std::uint8_t Dst32, std::uint8_t Xmm);
+  /// @}
+
+private:
+  void byte(std::uint8_t B) { Buf.push_back(B); }
+  void imm16(std::uint16_t V);
+  void imm32(std::uint32_t V);
+  void imm64(std::uint64_t V);
+  /// REX prefix; emitted when W is set or any extended register is
+  /// referenced (always emitted for W=1).
+  void rex(bool W, std::uint8_t R, std::uint8_t X, std::uint8_t B);
+  /// REX for 8-bit register ops: also forced for spl/bpl/sil/dil.
+  void rex8(std::uint8_t R, std::uint8_t B);
+  /// ModRM mod=11 register form.
+  void modrmReg(std::uint8_t Reg, std::uint8_t Rm);
+  /// ModRM mod=10 [base + disp32] form, with SIB when base needs one.
+  void modrmMem(std::uint8_t Reg, std::uint8_t Base, std::int32_t Disp);
+  /// ModRM [base + index*1] form (disp32 0).
+  void modrmMemBI(std::uint8_t Reg, std::uint8_t Base, std::uint8_t Index);
+  void aluRR(std::uint8_t Opcode, std::uint8_t Dst, std::uint8_t Src);
+  void aluImm32(std::uint8_t Ext, std::uint8_t Dst, std::int32_t Imm);
+
+  std::vector<std::uint8_t> Buf;
+};
+
+} // namespace igdt
+
+#endif // IGDT_JIT_NATIVE_X64ASSEMBLER_H

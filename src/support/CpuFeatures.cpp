@@ -1,0 +1,53 @@
+//===- support/CpuFeatures.cpp - Host capability probing ------------------===//
+
+#include "support/CpuFeatures.h"
+
+#include <cstdlib>
+
+using namespace igdt;
+
+// The threaded dispatcher uses the labels-as-values GNU extension; on
+// other toolchains the predecoded engine degrades to the reference
+// switch loop (same semantics, per-instruction fuel).
+#if defined(__GNUC__) || defined(__clang__)
+#define IGDT_SIM_THREADED 1
+#else
+#define IGDT_SIM_THREADED 0
+#endif
+
+// The native tier emits x86-64 machine code into an mmap'd buffer and
+// is only compiled in on x86-64 unix hosts (see jit/native/).
+#if defined(__x86_64__) && (defined(__unix__) || defined(__APPLE__))
+#define IGDT_NATIVE_BUILD 1
+#else
+#define IGDT_NATIVE_BUILD 0
+#endif
+
+bool igdt::simThreadedDispatchSupported() { return IGDT_SIM_THREADED; }
+
+namespace {
+
+bool probeNativeTier() {
+#if IGDT_NATIVE_BUILD
+  if (std::getenv("IGDT_NO_NATIVE") != nullptr)
+    return false;
+  // The generated code uses roundsd (SSE4.1) for FTruncF; every other
+  // emitted instruction is baseline x86-64. Probe once via cpuid.
+  return __builtin_cpu_supports("sse4.1");
+#else
+  return false;
+#endif
+}
+
+bool &nativeTierCache() {
+  static bool Cached = probeNativeTier();
+  return Cached;
+}
+
+} // namespace
+
+bool igdt::nativeTierSupported() { return nativeTierCache(); }
+
+void igdt::refreshCpuFeatureCacheForTesting() {
+  nativeTierCache() = probeNativeTier();
+}

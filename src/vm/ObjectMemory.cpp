@@ -326,6 +326,23 @@ void ObjectMemory::resetTo(const HeapMark &M) {
   JournalLimit = M.NextFree;
 }
 
+std::uint64_t ObjectMemory::contentHash() const {
+  std::uint64_t H = 1469598103934665603ull; // FNV-1a 64
+  auto Fold = [&H](std::uint8_t B) {
+    H ^= B;
+    H *= 1099511628211ull;
+  };
+  for (std::size_t I = 0; I < NextFree; ++I)
+    Fold(Heap[I]);
+  // The cursors are observable too: NextFree bounds raw loads and
+  // NextHash shows up in the next allocation's header.
+  for (unsigned I = 0; I < 8; ++I)
+    Fold(static_cast<std::uint8_t>(std::uint64_t(NextFree) >> (8 * I)));
+  for (unsigned I = 0; I < 4; ++I)
+    Fold(static_cast<std::uint8_t>(NextHash >> (8 * I)));
+  return H;
+}
+
 std::string ObjectMemory::describe(Oop Value) const {
   if (Value == InvalidOop)
     return "<invalid>";

@@ -198,6 +198,13 @@ public:
   /// Number of bytes currently allocated.
   std::size_t usedBytes() const { return NextFree; }
 
+  /// FNV-1a hash over the allocated heap bytes plus the allocation and
+  /// identity-hash cursors. Two heaps that compare equal here are
+  /// observably identical through every raw load; the cross-engine
+  /// oracle uses it to compare a native probe run against the simulator
+  /// run without copying the heap.
+  std::uint64_t contentHash() const;
+
   /// Renders a short description of \p Value for reports and tests.
   std::string describe(Oop Value) const;
 

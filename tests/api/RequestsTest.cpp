@@ -12,10 +12,13 @@
 #include "api/Requests.h"
 
 #include "api/Session.h"
+#include "jit/MachineSim.h"
 #include "support/Flags.h"
 #include "support/Json.h"
 
 #include <gtest/gtest.h>
+
+#include <stdexcept>
 
 using namespace igdt;
 
@@ -40,6 +43,8 @@ CampaignRequest fullyPopulated() {
   R.Deterministic = true;
   R.StopAfter = 5;
   R.MaxAttempts = 3;
+  R.Engine = "native";
+  R.CrossEngineCheck = true;
   R.CampaignWallMillis = 9000;
   R.ExploreWallMillis = 800;
   R.ExploreWorkUnits = 7000;
@@ -71,6 +76,8 @@ void expectEqual(const CampaignRequest &A, const CampaignRequest &B) {
   EXPECT_EQ(A.Deterministic, B.Deterministic);
   EXPECT_EQ(A.StopAfter, B.StopAfter);
   EXPECT_EQ(A.MaxAttempts, B.MaxAttempts);
+  EXPECT_EQ(A.Engine, B.Engine);
+  EXPECT_EQ(A.CrossEngineCheck, B.CrossEngineCheck);
   EXPECT_EQ(A.CampaignWallMillis, B.CampaignWallMillis);
   EXPECT_EQ(A.ExploreWallMillis, B.ExploreWallMillis);
   EXPECT_EQ(A.ExploreWorkUnits, B.ExploreWorkUnits);
@@ -122,6 +129,16 @@ TEST(RequestsTest, AbsentFieldsReadAsDefaultsAndBadInputIsRejected) {
   EXPECT_FALSE(
       CampaignRequest::fromJson(*JsonValue::parse("[1,2]"), Minimal, &Error));
   EXPECT_FALSE(Error.empty());
+
+  // Unknown engine names are rejected loudly rather than silently
+  // falling back to a default tier.
+  EXPECT_FALSE(CampaignRequest::fromJson(
+      *JsonValue::parse("{\"engine\":\"turbo\"}"), Minimal, &Error));
+  EXPECT_NE(Error.find("turbo"), std::string::npos) << Error;
+  EXPECT_TRUE(CampaignRequest::fromJson(
+      *JsonValue::parse("{\"engine\":\"switch\"}"), Minimal, &Error))
+      << Error;
+  EXPECT_EQ(Minimal.Engine, "switch");
 }
 
 TEST(RequestsTest, NewerSchemaVersionsAreRejectedNamingBothVersions) {
@@ -236,8 +253,16 @@ TEST(RequestsTest, ToSessionConfigIsAFaithfulMapping) {
   EXPECT_EQ(Config.Campaign.Schedule.BudgetPoolCapFactor, 4.0);
   EXPECT_EQ(Config.Campaign.Schedule.WarmStartPath, "yield.json");
   EXPECT_TRUE(Config.Campaign.Schedule.PersistYield);
+  EXPECT_EQ(Config.Campaign.Harness.Sim.Engine, SimEngine::Native);
+  EXPECT_TRUE(Config.Campaign.Harness.CrossEngineCheck);
   // The store is process state, not configuration: never mapped here.
   EXPECT_EQ(Config.Campaign.Store, nullptr);
+
+  // An unknown engine fails the mapping loudly rather than running a
+  // tier the caller never asked for.
+  CampaignRequest Bad;
+  Bad.Engine = "turbo";
+  EXPECT_THROW((void)Bad.toSessionConfig(), std::invalid_argument);
 
   // The empty request is the stock campaign.
   SessionConfig Stock = CampaignRequest().toSessionConfig();
@@ -262,7 +287,9 @@ TEST(RequestsTest, RequestFromFlagsParsesTheSharedVocabulary) {
                         "--deterministic",
                         "--max-attempts",  "3",
                         "--schedule",      "adaptive",
-                        "--solver-tiers",  "2"};
+                        "--solver-tiers",  "2",
+                        "--engine",        "native",
+                        "--cross-engine-check"};
   ASSERT_TRUE(Flags.parse(int(std::size(Argv)), const_cast<char **>(Argv)));
   EXPECT_EQ(R.Jobs, 4u);
   EXPECT_EQ(R.WorkerProcesses, 2u);
@@ -275,4 +302,6 @@ TEST(RequestsTest, RequestFromFlagsParsesTheSharedVocabulary) {
   EXPECT_EQ(R.MaxAttempts, 3u);
   EXPECT_EQ(R.SchedulePolicy, "adaptive");
   EXPECT_EQ(R.SolverTiers, 2u);
+  EXPECT_EQ(R.Engine, "native");
+  EXPECT_TRUE(R.CrossEngineCheck);
 }

@@ -246,7 +246,8 @@ TEST(ReplayArenaTest, CampaignRecordsAreByteIdenticalAcrossToggles) {
   std::vector<std::string> Traces;
   for (const Variant &V : Variants) {
     CampaignOptions Opts = Base;
-    Opts.Harness.Sim.EnablePredecode = V.Predecode;
+    Opts.Harness.Sim.Engine =
+        V.Predecode ? SimEngine::Threaded : SimEngine::Switch;
     Opts.Harness.EnableReplayArena = V.Arena;
     Opts.Jobs = V.Jobs;
     Opts.TracePath = tempPath(std::string(V.Name) + ".jsonl");

@@ -1,0 +1,188 @@
+//===- tests/jit/MachinePrinterTest.cpp ----------------------------------------===//
+//
+// printMInstr / printMachineCode golden coverage: every MOp (integer,
+// control flow and all float opcodes) and every Jcc condition renders a
+// stable, distinguishable string. Incident reports and codegen
+// debugging both lean on these renderings, so they are pinned here.
+//
+//===----------------------------------------------------------------------===//
+
+#include "jit/MachineCode.h"
+
+#include <gtest/gtest.h>
+
+using namespace igdt;
+
+namespace {
+
+MInstr rr(MOp Op, MReg A, MReg B) {
+  MInstr I;
+  I.Op = Op;
+  I.A = A;
+  I.B = B;
+  return I;
+}
+
+MInstr ri(MOp Op, MReg A, std::int64_t Imm) {
+  MInstr I;
+  I.Op = Op;
+  I.A = A;
+  I.Imm = Imm;
+  return I;
+}
+
+MInstr mem(MOp Op, MReg A, MReg Base, std::int64_t Off) {
+  MInstr I;
+  I.Op = Op;
+  I.A = A;
+  I.B = Base;
+  I.Imm = Off;
+  return I;
+}
+
+MInstr ff(MOp Op, FReg FA, FReg FB) {
+  MInstr I;
+  I.Op = Op;
+  I.FA = FA;
+  I.FB = FB;
+  return I;
+}
+
+MInstr fr(MOp Op, FReg FA, MReg A) {
+  MInstr I;
+  I.Op = Op;
+  I.FA = FA;
+  I.A = A;
+  return I;
+}
+
+TEST(MachinePrinterTest, IntegerOpsRender) {
+  EXPECT_EQ(printMInstr(rr(MOp::MovRR, MReg::R0, MReg::R1)), "mov r0, r1");
+  EXPECT_EQ(printMInstr(ri(MOp::MovRI, MReg::R2, -7)), "mov r2, #-7");
+  EXPECT_EQ(printMInstr(mem(MOp::Load, MReg::R0, MReg::FP, 16)),
+            "ldr r0, [fp + 16]");
+  EXPECT_EQ(printMInstr(mem(MOp::Store, MReg::R1, MReg::SP, -8)),
+            "str r1, [sp + -8]");
+  EXPECT_EQ(printMInstr(mem(MOp::Load8, MReg::R3, MReg::R4, 3)),
+            "ldrb r3, [r4 + 3]");
+  EXPECT_EQ(printMInstr(mem(MOp::Store8, MReg::R3, MReg::R4, 3)),
+            "strb r3, [r4 + 3]");
+  EXPECT_EQ(printMInstr(rr(MOp::Add, MReg::R0, MReg::R1)), "add r0, r1");
+  EXPECT_EQ(printMInstr(ri(MOp::AddI, MReg::R0, 4)), "add r0, #4");
+  EXPECT_EQ(printMInstr(rr(MOp::Sub, MReg::R5, MReg::R6)), "sub r5, r6");
+  EXPECT_EQ(printMInstr(ri(MOp::SubI, MReg::R5, 1)), "sub r5, #1");
+  EXPECT_EQ(printMInstr(rr(MOp::Mul, MReg::R7, MReg::R8)), "mul r7, r8");
+  EXPECT_EQ(printMInstr(rr(MOp::And, MReg::R9, MReg::R10)), "and r9, r10");
+  EXPECT_EQ(printMInstr(ri(MOp::AndI, MReg::R9, 255)), "and r9, #255");
+  EXPECT_EQ(printMInstr(rr(MOp::Or, MReg::R11, MReg::R0)), "orr r11, r0");
+  EXPECT_EQ(printMInstr(ri(MOp::OrI, MReg::R11, 256)), "orr r11, #256");
+  EXPECT_EQ(printMInstr(rr(MOp::Xor, MReg::R0, MReg::R0)), "eor r0, r0");
+  EXPECT_EQ(printMInstr(rr(MOp::Shl, MReg::R1, MReg::R2)), "lsl r1, r2");
+  EXPECT_EQ(printMInstr(ri(MOp::ShlI, MReg::R1, 3)), "lsl r1, #3");
+  EXPECT_EQ(printMInstr(rr(MOp::Sar, MReg::R1, MReg::R2)), "asr r1, r2");
+  EXPECT_EQ(printMInstr(ri(MOp::SarI, MReg::R1, 1)), "asr r1, #1");
+  EXPECT_EQ(printMInstr(rr(MOp::Quo, MReg::R0, MReg::R1)), "sdiv r0, r1");
+  EXPECT_EQ(printMInstr(rr(MOp::Rem, MReg::R0, MReg::R1)), "srem r0, r1");
+  EXPECT_EQ(printMInstr(rr(MOp::Cmp, MReg::R0, MReg::R1)), "cmp r0, r1");
+  EXPECT_EQ(printMInstr(ri(MOp::CmpI, MReg::R0, 0)), "cmp r0, #0");
+}
+
+TEST(MachinePrinterTest, ControlFlowRenders) {
+  MInstr J;
+  J.Op = MOp::Jmp;
+  J.Target = 12;
+  EXPECT_EQ(printMInstr(J), "b 12");
+
+  MInstr RT;
+  RT.Op = MOp::CallRT;
+  RT.Aux = 3;
+  EXPECT_EQ(printMInstr(RT), "call rt#3");
+
+  MInstr Tramp;
+  Tramp.Op = MOp::CallTramp;
+  Tramp.Aux = 42;
+  Tramp.Imm = 2;
+  EXPECT_EQ(printMInstr(Tramp), "call send#42 nargs=2");
+
+  MInstr Ret;
+  Ret.Op = MOp::Ret;
+  EXPECT_EQ(printMInstr(Ret), "ret");
+
+  MInstr Brk;
+  Brk.Op = MOp::Brk;
+  Brk.Aux = 7;
+  EXPECT_EQ(printMInstr(Brk), "brk #7");
+}
+
+TEST(MachinePrinterTest, EveryJccConditionRenders) {
+  const struct {
+    MCond Cond;
+    const char *Expected;
+  } Cases[] = {
+      {MCond::Always, "b. 5"}, {MCond::Eq, "b.eq 5"}, {MCond::Ne, "b.ne 5"},
+      {MCond::Lt, "b.lt 5"},   {MCond::Le, "b.le 5"}, {MCond::Gt, "b.gt 5"},
+      {MCond::Ge, "b.ge 5"},   {MCond::Ov, "b.ov 5"}, {MCond::NoOv, "b.noov 5"},
+  };
+  for (const auto &C : Cases) {
+    MInstr I;
+    I.Op = MOp::Jcc;
+    I.Cond = C.Cond;
+    I.Target = 5;
+    EXPECT_EQ(printMInstr(I), C.Expected);
+  }
+}
+
+TEST(MachinePrinterTest, EveryFloatOpRenders) {
+  MInstr FLoad;
+  FLoad.Op = MOp::FLoad;
+  FLoad.FA = FReg::F1;
+  FLoad.B = MReg::R2;
+  FLoad.Imm = 24;
+  EXPECT_EQ(printMInstr(FLoad), "fldr f1, [r2 + 24]");
+
+  MInstr FMovI;
+  FMovI.Op = MOp::FMovI;
+  FMovI.FA = FReg::F0;
+  FMovI.Imm = 0x3FF0000000000000; // 1.0
+  EXPECT_EQ(printMInstr(FMovI), "fmov f0, bits:3ff0000000000000");
+
+  EXPECT_EQ(printMInstr(ff(MOp::FMovFF, FReg::F0, FReg::F1)), "fmov f0, f1");
+  EXPECT_EQ(printMInstr(ff(MOp::FAdd, FReg::F2, FReg::F3)), "fadd f2, f3");
+  EXPECT_EQ(printMInstr(ff(MOp::FSub, FReg::F2, FReg::F3)), "fsub f2, f3");
+  EXPECT_EQ(printMInstr(ff(MOp::FMul, FReg::F4, FReg::F5)), "fmul f4, f5");
+  EXPECT_EQ(printMInstr(ff(MOp::FDiv, FReg::F6, FReg::F7)), "fdiv f6, f7");
+  EXPECT_EQ(printMInstr(ff(MOp::FSqrt, FReg::F0, FReg::NoFReg)), "fsqrt f0");
+  EXPECT_EQ(printMInstr(ff(MOp::FTruncF, FReg::F1, FReg::NoFReg)),
+            "ftruncf f1");
+  EXPECT_EQ(printMInstr(fr(MOp::FCvtIF, FReg::F2, MReg::R3)), "fcvt f2, r3");
+  EXPECT_EQ(printMInstr(fr(MOp::FTrunc, FReg::F2, MReg::R3)), "ftrunc r3, f2");
+  EXPECT_EQ(printMInstr(ff(MOp::FCmp, FReg::F0, FReg::F1)), "fcmp f0, f1");
+  EXPECT_EQ(printMInstr(fr(MOp::FBitsToF, FReg::F3, MReg::R4)),
+            "fbits f3, r4");
+  EXPECT_EQ(printMInstr(fr(MOp::FBitsFromF, FReg::F3, MReg::R4)),
+            "fbits r4, f3");
+  EXPECT_EQ(printMInstr(fr(MOp::FBits32ToF, FReg::F6, MReg::R7)),
+            "fbits32 f6, r7");
+  EXPECT_EQ(printMInstr(fr(MOp::FBitsFromF32, FReg::F6, MReg::R7)),
+            "fbits32 r7, f6");
+}
+
+TEST(MachinePrinterTest, SpecialRegistersAndPlaceholders) {
+  EXPECT_EQ(printMInstr(rr(MOp::MovRR, MReg::FP, MReg::SP)), "mov fp, sp");
+  EXPECT_EQ(printMInstr(rr(MOp::MovRR, MReg::NoReg, MReg::NoReg)), "mov _, _");
+  EXPECT_EQ(printMInstr(ff(MOp::FMovFF, FReg::F0, FReg::NoFReg)),
+            "fmov f0, _");
+}
+
+TEST(MachinePrinterTest, MachineCodeListingNumbersEveryInstruction) {
+  std::vector<MInstr> Code;
+  Code.push_back(ri(MOp::MovRI, MReg::R0, 3));
+  Code.push_back(ri(MOp::AddI, MReg::R0, 4));
+  MInstr Ret;
+  Ret.Op = MOp::Ret;
+  Code.push_back(Ret);
+  EXPECT_EQ(printMachineCode(Code),
+            "   0: mov r0, #3\n   1: add r0, #4\n   2: ret\n");
+}
+
+} // namespace

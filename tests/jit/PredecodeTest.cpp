@@ -349,7 +349,7 @@ TEST(PredecodeTest, RunCompiledCodeHonoursTheToggleAndCounts) {
     SimStats Stats;
     SimOptions Opts;
     Opts.Stats = &Stats;
-    Opts.EnablePredecode = false;
+    Opts.Engine = SimEngine::Switch;
     ObjectMemory Mem(64 * 1024);
     MachineSim Sim(Mem, Opts);
     MachineExit E = Sim.run(Code);

@@ -90,6 +90,27 @@ TEST(ResultStoreTest, ConfigFingerprintIgnoresTopologyButNotSemantics) {
   Topo.WorkerBackoffMillis = 7;
   EXPECT_EQ(campaignConfigFingerprint(Topo), Baseline);
 
+  // The execution engine is excluded for the same reason: all three
+  // tiers are proven byte-identical, so a record computed on one engine
+  // may serve a campaign running another.
+  for (SimEngine E :
+       {SimEngine::Switch, SimEngine::Threaded, SimEngine::Native}) {
+    CampaignOptions Tier = Base;
+    Tier.Harness.Sim.Engine = E;
+    EXPECT_EQ(campaignConfigFingerprint(Tier), Baseline)
+        << simEngineName(E);
+  }
+
+  // But the miscompile probe and the cross-engine oracle change which
+  // defects a record reports, so both are keyed.
+  CampaignOptions Probe = Base;
+  Probe.Harness.Sim.NativeMiscompileProbe = true;
+  EXPECT_NE(campaignConfigFingerprint(Probe), Baseline);
+
+  CampaignOptions Check = Base;
+  Check.Harness.CrossEngineCheck = true;
+  EXPECT_NE(campaignConfigFingerprint(Check), Baseline);
+
   // Record-shaping knobs are not.
   CampaignOptions Semantic = Base;
   Semantic.MaxAttempts = 3;
